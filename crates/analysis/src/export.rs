@@ -1,0 +1,130 @@
+//! CSV and Markdown table export for experiment results.
+
+use std::fmt::Write as _;
+
+/// A simple rectangular results table: named columns, rows of cells.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ResultTable {
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row-major cells (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ResultTable {
+    /// Creates a table with the given column headers.
+    pub fn new(columns: &[&str]) -> Self {
+        ResultTable {
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; panics (in debug) if the arity does not match.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table as CSV (RFC-4180-ish: cells containing commas or
+    /// quotes are quoted).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            self.columns.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Renders the table as a GitHub-flavoured Markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "| {} |", self.columns.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to a file, creating parent directories.
+    pub fn write_csv(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+/// Formats a float with 3 decimal places (the convention used across the
+/// experiment tables).
+pub fn fmt3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> ResultTable {
+        let mut t = ResultTable::new(&["d", "algorithm", "ratio"]);
+        t.push_row(vec!["2".into(), "mrls".into(), fmt3(1.2345)]);
+        t.push_row(vec!["3".into(), "rigid, fast".into(), fmt3(2.0)]);
+        t
+    }
+
+    #[test]
+    fn csv_rendering_and_quoting() {
+        let csv = table().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "d,algorithm,ratio");
+        assert_eq!(lines[1], "2,mrls,1.234");
+        assert!(lines[2].contains("\"rigid, fast\""));
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let md = table().to_markdown();
+        assert!(md.starts_with("| d | algorithm | ratio |"));
+        assert!(md.contains("|---|---|---|"));
+        assert!(md.lines().count() == 4);
+    }
+
+    #[test]
+    fn write_csv_creates_directories() {
+        let dir = std::env::temp_dir().join("mrls_export_test");
+        let path = dir.join("nested").join("out.csv");
+        let _ = std::fs::remove_dir_all(&dir);
+        table().write_csv(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("algorithm"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fmt3_rounds() {
+        assert_eq!(fmt3(1.0 / 3.0), "0.333");
+        assert_eq!(fmt3(2.0), "2.000");
+    }
+}

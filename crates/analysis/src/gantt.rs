@@ -1,0 +1,138 @@
+//! ASCII Gantt rendering for quick schedule inspection.
+
+use mrls_core::Schedule;
+use mrls_model::Instance;
+
+/// Renders a textual Gantt chart: one row per job, time flowing to the right,
+/// `#` marking execution. `width` is the number of character columns used for
+/// the time axis.
+pub fn ascii_gantt(instance: &Instance, schedule: &Schedule, width: usize) -> String {
+    let width = width.max(10);
+    let horizon = schedule.makespan.max(1e-12);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "makespan = {:.3}, {} jobs, {} resource types\n",
+        schedule.makespan,
+        schedule.num_jobs(),
+        instance.num_resource_types()
+    ));
+    for sj in &schedule.jobs {
+        let begin = ((sj.start / horizon) * width as f64).round() as usize;
+        let end = ((sj.finish / horizon) * width as f64).round() as usize;
+        let end = end.max(begin + 1).min(width);
+        let mut row = vec![b'.'; width];
+        for c in row.iter_mut().take(end).skip(begin) {
+            *c = b'#';
+        }
+        let name = &instance.jobs[sj.job].name;
+        out.push_str(&format!(
+            "{:>4} {:<14} |{}| t=[{:.2},{:.2}) p={}\n",
+            sj.job,
+            truncate(name, 14),
+            String::from_utf8_lossy(&row),
+            sj.start,
+            sj.finish,
+            sj.alloc
+        ));
+    }
+    out
+}
+
+/// Renders a per-resource utilisation profile over time (one row per resource
+/// type, digits showing the rounded utilisation fraction 0–9).
+pub fn utilisation_profile(instance: &Instance, schedule: &Schedule, width: usize) -> String {
+    let width = width.max(10);
+    let d = instance.num_resource_types();
+    let horizon = schedule.makespan.max(1e-12);
+    let mut out = String::new();
+    for i in 0..d {
+        let mut row = String::with_capacity(width);
+        for c in 0..width {
+            let t1 = horizon * c as f64 / width as f64;
+            let t2 = horizon * (c + 1) as f64 / width as f64;
+            let mid = 0.5 * (t1 + t2);
+            let used: u64 = schedule
+                .jobs
+                .iter()
+                .filter(|j| j.start <= mid && mid < j.finish)
+                .map(|j| j.alloc[i])
+                .sum();
+            let frac = used as f64 / instance.system.capacity(i) as f64;
+            let digit = (frac * 9.0).round().clamp(0.0, 9.0) as u8;
+            row.push((b'0' + digit) as char);
+        }
+        out.push_str(&format!("resource {i} (P={:>3}) |{}|\n", instance.system.capacity(i), row));
+    }
+    out
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.len() <= max {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..max.saturating_sub(1)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrls_core::{ListScheduler, PriorityRule};
+    use mrls_dag::Dag;
+    use mrls_model::{Allocation, ExecTimeSpec, MoldableJob, SystemConfig};
+
+    fn sample() -> (Instance, Schedule) {
+        let jobs = (0..3)
+            .map(|j| MoldableJob::new(j, ExecTimeSpec::Constant { time: 1.0 + j as f64 }))
+            .collect();
+        let inst = Instance::new(
+            SystemConfig::new(vec![2]).unwrap(),
+            Dag::chain(3),
+            jobs,
+        )
+        .unwrap();
+        let sched = ListScheduler::new(PriorityRule::Fifo)
+            .schedule(&inst, &vec![Allocation::new(vec![1]); 3])
+            .unwrap();
+        (inst, sched)
+    }
+
+    #[test]
+    fn gantt_contains_every_job_row() {
+        let (inst, sched) = sample();
+        let g = ascii_gantt(&inst, &sched, 40);
+        assert!(g.contains("makespan"));
+        assert!(g.contains("job0"));
+        assert!(g.contains("job2"));
+        assert_eq!(g.lines().count(), 4);
+        assert!(g.contains('#'));
+    }
+
+    #[test]
+    fn utilisation_profile_has_one_row_per_type() {
+        let (inst, sched) = sample();
+        let u = utilisation_profile(&inst, &sched, 30);
+        assert_eq!(u.lines().count(), 1);
+        assert!(u.contains("resource 0"));
+    }
+
+    #[test]
+    fn truncate_long_names() {
+        assert_eq!(truncate("short", 10), "short");
+        let t = truncate("averyverylongjobname", 8);
+        assert!(t.chars().count() <= 8);
+    }
+
+    #[test]
+    fn empty_schedule_renders() {
+        let inst = Instance::new(
+            SystemConfig::new(vec![2]).unwrap(),
+            Dag::independent(0),
+            vec![],
+        )
+        .unwrap();
+        let sched = Schedule::new(vec![]);
+        let g = ascii_gantt(&inst, &sched, 20);
+        assert!(g.contains("0 jobs"));
+    }
+}

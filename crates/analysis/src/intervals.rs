@@ -1,0 +1,259 @@
+//! The interval decomposition of Section 4.2.2.
+//!
+//! A list schedule only allocates and releases resources at job completion
+//! times, so the horizon `[0, T]` splits into intervals during which the set
+//! of running jobs — and hence the utilisation of every resource type — is
+//! constant. The paper classifies these intervals into three categories for a
+//! given adjustment parameter `µ`:
+//!
+//! * `I1`: every type utilises at most `⌈µP(i)⌉ − 1`;
+//! * `I2`: some type utilises at least `⌈µP(k)⌉`, but every type stays below
+//!   `⌈(1−µ)P(i)⌉`;
+//! * `I3`: some type utilises at least `⌈(1−µ)P(k)⌉`.
+//!
+//! The durations `T1`, `T2`, `T3` of the categories are what the
+//! critical-path bound (Lemma 5) and area bound (Lemma 6) constrain; exposing
+//! them lets experiments verify those bounds empirically.
+
+use mrls_core::Schedule;
+use mrls_model::Instance;
+use serde::{Deserialize, Serialize};
+
+/// Which of the paper's categories an interval belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IntervalCategory {
+    /// All types below `⌈µP(i)⌉`.
+    I1,
+    /// Some type at or above `⌈µP(k)⌉`, all below `⌈(1−µ)P(i)⌉`.
+    I2,
+    /// Some type at or above `⌈(1−µ)P(k)⌉`.
+    I3,
+}
+
+/// One interval of the decomposition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleIntervals {
+    /// Interval start.
+    pub start: f64,
+    /// Interval end.
+    pub end: f64,
+    /// Utilised amount of every resource type during the interval.
+    pub utilisation: Vec<u64>,
+    /// The category for the `µ` the report was built with.
+    pub category: IntervalCategory,
+    /// Jobs running during the interval.
+    pub running: Vec<usize>,
+}
+
+impl ScheduleIntervals {
+    /// Interval duration.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// The full interval report of a schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntervalReport {
+    /// The `µ` used for classification.
+    pub mu: f64,
+    /// The decomposed intervals in time order.
+    pub intervals: Vec<ScheduleIntervals>,
+    /// Total duration of `I1` intervals.
+    pub t1: f64,
+    /// Total duration of `I2` intervals.
+    pub t2: f64,
+    /// Total duration of `I3` intervals.
+    pub t3: f64,
+    /// Average utilisation (fraction of capacity, averaged over time and
+    /// types).
+    pub average_utilisation: f64,
+}
+
+impl IntervalReport {
+    /// Builds the report for a schedule with classification parameter `µ`.
+    pub fn build(instance: &Instance, schedule: &Schedule, mu: f64) -> IntervalReport {
+        let d = instance.num_resource_types();
+        let events = schedule.event_times();
+        let mut intervals = Vec::new();
+        let (mut t1, mut t2, mut t3) = (0.0f64, 0.0f64, 0.0f64);
+        let mut util_time_sum = 0.0f64;
+        let horizon = schedule.makespan.max(1e-300);
+        for w in events.windows(2) {
+            let (start, end) = (w[0], w[1]);
+            if end - start <= 1e-12 {
+                continue;
+            }
+            let running = schedule.running_during(start, end);
+            let utilisation: Vec<u64> = (0..d)
+                .map(|i| running.iter().map(|&j| schedule.jobs[j].alloc[i]).sum())
+                .collect();
+            let mu_caps: Vec<u64> = (0..d)
+                .map(|i| (mu * instance.system.capacity(i) as f64).ceil() as u64)
+                .collect();
+            let one_minus_mu_caps: Vec<u64> = (0..d)
+                .map(|i| ((1.0 - mu) * instance.system.capacity(i) as f64).ceil() as u64)
+                .collect();
+            let any_above_mu = (0..d).any(|i| utilisation[i] >= mu_caps[i]);
+            let any_above_1mu = (0..d).any(|i| utilisation[i] >= one_minus_mu_caps[i]);
+            let category = if any_above_1mu {
+                IntervalCategory::I3
+            } else if any_above_mu {
+                IntervalCategory::I2
+            } else {
+                IntervalCategory::I1
+            };
+            let duration = end - start;
+            match category {
+                IntervalCategory::I1 => t1 += duration,
+                IntervalCategory::I2 => t2 += duration,
+                IntervalCategory::I3 => t3 += duration,
+            }
+            let frac: f64 = (0..d)
+                .map(|i| utilisation[i] as f64 / instance.system.capacity(i) as f64)
+                .sum::<f64>()
+                / d as f64;
+            util_time_sum += frac * duration;
+            intervals.push(ScheduleIntervals {
+                start,
+                end,
+                utilisation,
+                category,
+                running,
+            });
+        }
+        IntervalReport {
+            mu,
+            intervals,
+            t1,
+            t2,
+            t3,
+            average_utilisation: util_time_sum / horizon,
+        }
+    }
+
+    /// `T1 + T2 + T3` — must equal the makespan (up to idle head/tail, which a
+    /// list schedule never has).
+    pub fn total_duration(&self) -> f64 {
+        self.t1 + self.t2 + self.t3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrls_core::{ListScheduler, PriorityRule};
+    use mrls_dag::Dag;
+    use mrls_model::{Allocation, ExecTimeSpec, MoldableJob, SystemConfig};
+
+    fn instance(n: usize, cap: u64) -> Instance {
+        let jobs = (0..n)
+            .map(|j| MoldableJob::new(j, ExecTimeSpec::Constant { time: 1.0 }))
+            .collect();
+        Instance::new(
+            SystemConfig::new(vec![cap]).unwrap(),
+            Dag::independent(n),
+            jobs,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn partition_covers_makespan() {
+        let inst = instance(7, 4);
+        let decision = vec![Allocation::new(vec![2]); 7];
+        let sched = ListScheduler::new(PriorityRule::Fifo)
+            .schedule(&inst, &decision)
+            .unwrap();
+        let report = IntervalReport::build(&inst, &sched, 0.382);
+        assert!((report.total_duration() - sched.makespan).abs() < 1e-9);
+        assert!(report.average_utilisation > 0.0 && report.average_utilisation <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn saturated_intervals_are_i3() {
+        // 2 jobs of 2 units each on capacity 4: utilisation 4 >= ceil(0.618*4)=3.
+        let inst = instance(2, 4);
+        let decision = vec![Allocation::new(vec![2]); 2];
+        let sched = ListScheduler::new(PriorityRule::Fifo)
+            .schedule(&inst, &decision)
+            .unwrap();
+        let report = IntervalReport::build(&inst, &sched, 0.382);
+        assert!(report
+            .intervals
+            .iter()
+            .all(|i| i.category == IntervalCategory::I3));
+        assert!(report.t1.abs() < 1e-12 && report.t2.abs() < 1e-12);
+    }
+
+    #[test]
+    fn light_intervals_are_i1() {
+        // One 1-unit job on capacity 8: utilisation 1 < ceil(0.382*8)=4.
+        let inst = instance(1, 8);
+        let decision = vec![Allocation::new(vec![1])];
+        let sched = ListScheduler::new(PriorityRule::Fifo)
+            .schedule(&inst, &decision)
+            .unwrap();
+        let report = IntervalReport::build(&inst, &sched, 0.382);
+        assert_eq!(report.intervals.len(), 1);
+        assert_eq!(report.intervals[0].category, IntervalCategory::I1);
+        assert!((report.t1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn middle_intervals_are_i2() {
+        // A 4-unit job on capacity 8 with mu = 0.382: 4 >= 4 (µ cap) but
+        // 4 < ceil(0.618*8) = 5, so the interval is I2.
+        let inst = instance(1, 8);
+        let decision = vec![Allocation::new(vec![4])];
+        let sched = ListScheduler::new(PriorityRule::Fifo)
+            .schedule(&inst, &decision)
+            .unwrap();
+        let report = IntervalReport::build(&inst, &sched, 0.382);
+        assert_eq!(report.intervals[0].category, IntervalCategory::I2);
+        assert!((report.t2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lemma5_and_lemma6_bounds_hold_empirically() {
+        // For a schedule produced by the full pipeline, check
+        // T1 + µT2 <= C(p') and µT2 + (1-µ)T3 <= d·A(p').
+        use mrls_core::scheduler::{MrlsConfig, MrlsScheduler};
+        use mrls_workload::{DagRecipe, InstanceRecipe, JobRecipe, SpeedupFamily, SystemRecipe};
+        // Amdahl jobs only: the lemmas assume monotonic jobs (Assumption 3),
+        // which the communication-penalty family intentionally violates.
+        let recipe = InstanceRecipe {
+            system: SystemRecipe::Uniform { d: 2, p: 16 },
+            dag: DagRecipe::RandomLayered { n: 25, layers: 5, edge_prob: 0.3 },
+            jobs: JobRecipe {
+                family: SpeedupFamily::Amdahl,
+                ..JobRecipe::default_mixed()
+            },
+        };
+        let gi = recipe.generate(3);
+        let config = MrlsConfig::default();
+        let result = MrlsScheduler::new(config).schedule(&gi.instance).unwrap();
+        let mu = result.params.mu;
+        let report = IntervalReport::build(&gi.instance, &result.schedule, mu);
+        let metrics_initial = gi
+            .instance
+            .evaluate_decision(&result.initial_decision)
+            .unwrap();
+        let d = gi.instance.num_resource_types() as f64;
+        assert!(
+            report.t1 + mu * report.t2 <= metrics_initial.critical_path + 1e-6,
+            "Lemma 5 violated: T1={} T2={} C(p')={}",
+            report.t1,
+            report.t2,
+            metrics_initial.critical_path
+        );
+        assert!(
+            mu * report.t2 + (1.0 - mu) * report.t3
+                <= d * metrics_initial.average_total_area + 1e-6,
+            "Lemma 6 violated: T2={} T3={} d*A(p')={}",
+            report.t2,
+            report.t3,
+            d * metrics_initial.average_total_area
+        );
+    }
+}

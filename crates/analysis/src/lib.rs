@@ -1,0 +1,30 @@
+//! # mrls-analysis — schedule validation, interval analysis and reporting
+//!
+//! Tools that sit downstream of the scheduler:
+//!
+//! * [`validate`] — independent re-validation of a schedule: precedence
+//!   constraints and per-type capacity are checked at every interval between
+//!   events. Every experiment in `mrls-bench` validates its schedules before
+//!   reporting numbers.
+//! * [`intervals`] — the interval decomposition of Section 4.2.2: the
+//!   schedule horizon is split at job start/finish events, each interval is
+//!   classified into the paper's `I1`/`I2`/`I3` categories for a given `µ`,
+//!   and per-type utilisation is reported. This makes the quantities that
+//!   drive Lemmas 5 and 6 observable in experiments.
+//! * [`gantt`] — ASCII Gantt charts for quick inspection from the CLI.
+//! * [`stats`] — small summary-statistics helpers (mean, standard deviation,
+//!   quantiles) used by the experiment harness.
+//! * [`export`] — CSV and Markdown table writers for experiment results.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod export;
+pub mod gantt;
+pub mod intervals;
+pub mod stats;
+pub mod validate;
+
+pub use intervals::{IntervalCategory, IntervalReport, ScheduleIntervals};
+pub use stats::Summary;
+pub use validate::{validate_schedule, ValidationReport};

@@ -1,0 +1,217 @@
+//! Independent schedule validation.
+
+use mrls_core::Schedule;
+use mrls_model::Instance;
+
+/// The outcome of validating a schedule against its instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationReport {
+    /// Precedence violations as `(predecessor, successor)` pairs.
+    pub precedence_violations: Vec<(usize, usize)>,
+    /// Capacity violations as `(resource type, interval start, utilisation)`.
+    pub capacity_violations: Vec<(usize, f64, u64)>,
+    /// Jobs whose recorded duration does not match `t_j(p_j)`.
+    pub duration_mismatches: Vec<usize>,
+    /// Jobs missing from the schedule or scheduled more than once.
+    pub structural_errors: Vec<String>,
+}
+
+impl ValidationReport {
+    /// `true` iff the schedule is completely valid.
+    pub fn is_valid(&self) -> bool {
+        self.precedence_violations.is_empty()
+            && self.capacity_violations.is_empty()
+            && self.duration_mismatches.is_empty()
+            && self.structural_errors.is_empty()
+    }
+}
+
+/// Validates `schedule` against `instance`: every job present exactly once,
+/// durations consistent with the execution-time model, precedence respected,
+/// and per-type capacity respected during every interval between events.
+pub fn validate_schedule(instance: &Instance, schedule: &Schedule) -> ValidationReport {
+    let n = instance.num_jobs();
+    let d = instance.num_resource_types();
+    let mut report = ValidationReport {
+        precedence_violations: Vec::new(),
+        capacity_violations: Vec::new(),
+        duration_mismatches: Vec::new(),
+        structural_errors: Vec::new(),
+    };
+
+    if schedule.jobs.len() != n {
+        report.structural_errors.push(format!(
+            "schedule has {} entries for an instance of {} jobs",
+            schedule.jobs.len(),
+            n
+        ));
+        return report;
+    }
+    let mut seen = vec![false; n];
+    for sj in &schedule.jobs {
+        if sj.job >= n || seen[sj.job] {
+            report
+                .structural_errors
+                .push(format!("job id {} missing or duplicated", sj.job));
+            return report;
+        }
+        seen[sj.job] = true;
+        if sj.start < -1e-9 || sj.finish < sj.start - 1e-9 {
+            report
+                .structural_errors
+                .push(format!("job {} has an inverted or negative interval", sj.job));
+        }
+    }
+
+    // Durations.
+    for sj in &schedule.jobs {
+        let expected = instance.jobs[sj.job].spec.time(&sj.alloc);
+        if (sj.duration() - expected).abs() > 1e-6 * (1.0 + expected.abs()) {
+            report.duration_mismatches.push(sj.job);
+        }
+    }
+
+    // Precedence.
+    for (u, v) in instance.dag.edges() {
+        let pu = schedule.jobs.iter().find(|j| j.job == u).expect("seen above");
+        let pv = schedule.jobs.iter().find(|j| j.job == v).expect("seen above");
+        if pv.start + 1e-6 < pu.finish {
+            report.precedence_violations.push((u, v));
+        }
+    }
+
+    // Capacity per interval.
+    let events = schedule.event_times();
+    for w in events.windows(2) {
+        let running = schedule.running_during(w[0], w[1]);
+        for i in 0..d {
+            let used: u64 = running
+                .iter()
+                .map(|&j| {
+                    schedule
+                        .jobs
+                        .iter()
+                        .find(|s| s.job == j)
+                        .map(|s| s.alloc[i])
+                        .unwrap_or(0)
+                })
+                .sum();
+            if used > instance.system.capacity(i) {
+                report.capacity_violations.push((i, w[0], used));
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrls_core::schedule::ScheduledJob;
+    use mrls_dag::Dag;
+    use mrls_model::{Allocation, ExecTimeSpec, MoldableJob, SystemConfig};
+
+    fn instance() -> Instance {
+        let jobs = (0..3)
+            .map(|j| MoldableJob::new(j, ExecTimeSpec::Constant { time: 1.0 }))
+            .collect();
+        Instance::new(
+            SystemConfig::new(vec![2]).unwrap(),
+            Dag::chain(3),
+            jobs,
+        )
+        .unwrap()
+    }
+
+    fn job(j: usize, start: f64, finish: f64, units: u64) -> ScheduledJob {
+        ScheduledJob {
+            job: j,
+            start,
+            finish,
+            alloc: Allocation::new(vec![units]),
+        }
+    }
+
+    #[test]
+    fn valid_schedule_passes() {
+        let inst = instance();
+        let sched = Schedule::new(vec![
+            job(0, 0.0, 1.0, 1),
+            job(1, 1.0, 2.0, 1),
+            job(2, 2.0, 3.0, 1),
+        ]);
+        let report = validate_schedule(&inst, &sched);
+        assert!(report.is_valid(), "{report:?}");
+    }
+
+    #[test]
+    fn precedence_violation_detected() {
+        let inst = instance();
+        let sched = Schedule::new(vec![
+            job(0, 0.0, 1.0, 1),
+            job(1, 0.5, 1.5, 1), // starts before job 0 finishes
+            job(2, 2.0, 3.0, 1),
+        ]);
+        let report = validate_schedule(&inst, &sched);
+        assert_eq!(report.precedence_violations, vec![(0, 1)]);
+        assert!(!report.is_valid());
+    }
+
+    #[test]
+    fn capacity_violation_detected() {
+        let inst = Instance::new(
+            SystemConfig::new(vec![2]).unwrap(),
+            Dag::independent(3),
+            (0..3)
+                .map(|j| MoldableJob::new(j, ExecTimeSpec::Constant { time: 1.0 }))
+                .collect(),
+        )
+        .unwrap();
+        let sched = Schedule::new(vec![
+            job(0, 0.0, 1.0, 1),
+            job(1, 0.0, 1.0, 1),
+            job(2, 0.0, 1.0, 1), // 3 units used, capacity 2
+        ]);
+        let report = validate_schedule(&inst, &sched);
+        assert!(!report.capacity_violations.is_empty());
+    }
+
+    #[test]
+    fn duration_mismatch_detected() {
+        let inst = instance();
+        let sched = Schedule::new(vec![
+            job(0, 0.0, 2.5, 1), // constant model says 1.0
+            job(1, 2.5, 3.5, 1),
+            job(2, 3.5, 4.5, 1),
+        ]);
+        let report = validate_schedule(&inst, &sched);
+        assert_eq!(report.duration_mismatches, vec![0]);
+    }
+
+    #[test]
+    fn structural_errors_detected() {
+        let inst = instance();
+        let too_few = Schedule::new(vec![job(0, 0.0, 1.0, 1)]);
+        assert!(!validate_schedule(&inst, &too_few).is_valid());
+        let duplicate = Schedule::new(vec![
+            job(0, 0.0, 1.0, 1),
+            job(0, 1.0, 2.0, 1),
+            job(2, 2.0, 3.0, 1),
+        ]);
+        assert!(!validate_schedule(&inst, &duplicate)
+            .structural_errors
+            .is_empty());
+    }
+
+    #[test]
+    fn real_scheduler_output_always_validates() {
+        use mrls_core::scheduler::MrlsScheduler;
+        use mrls_workload::InstanceRecipe;
+        for seed in 0..5u64 {
+            let gi = InstanceRecipe::default_layered(20, 2, 8).generate(seed);
+            let result = MrlsScheduler::with_defaults().schedule(&gi.instance).unwrap();
+            let report = validate_schedule(&gi.instance, &result.schedule);
+            assert!(report.is_valid(), "seed {seed}: {report:?}");
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! # mrls-baseline — comparison algorithms for the evaluation
+//!
+//! The paper positions its algorithm against simpler strategies; this crate
+//! implements the baselines the experiment harness compares against:
+//!
+//! * [`RigidListScheduler`] — Garey–Graham-style *rigid* scheduling: every
+//!   job's allocation is frozen by a simple per-job rule (fastest, cheapest,
+//!   balanced) and the multi-resource list scheduler runs it as-is, without
+//!   the paper's µ-adjustment. This isolates the benefit of the paper's
+//!   allocation phase.
+//! * [`SunIndependentScheduler`] — the list-based algorithm of Sun et al.
+//!   (IPDPS 2018) for *independent* moldable jobs: the exact `L_min`
+//!   allocation followed by greedy list scheduling (2d-approximate).
+//! * [`ShelfScheduler`] — the shelf/pack-scheduling variant from the same
+//!   work ((2d+1)-approximate), which the list-based schemes dominate on
+//!   heterogeneous job mixes.
+//! * [`SequentialScheduler`] — runs the jobs one at a time (in a topological
+//!   order), each with its fastest allocation. A trivially valid schedule
+//!   whose makespan is the sum of minimum execution times; useful as an upper
+//!   anchor when normalising results.
+//!
+//! All baselines reuse the Phase-2 list scheduler from `mrls-core` so that
+//! differences in the results are attributable to the allocation decisions
+//! only.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod rigid;
+pub mod sequential;
+pub mod shelf;
+pub mod sun_independent;
+
+pub use rigid::{RigidListScheduler, RigidRule};
+pub use sequential::SequentialScheduler;
+pub use shelf::ShelfScheduler;
+pub use sun_independent::SunIndependentScheduler;
+
+use mrls_core::Result;
+use mrls_core::Schedule;
+use mrls_model::{AllocationDecision, Instance};
+
+/// A baseline scheduling algorithm: produces a full schedule for an instance.
+pub trait BaselineScheduler {
+    /// Runs the baseline on the instance.
+    fn run(&self, instance: &Instance) -> Result<BaselineOutcome>;
+
+    /// Name used in experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+/// The outcome of a baseline run.
+#[derive(Debug, Clone)]
+pub struct BaselineOutcome {
+    /// The allocation decision the baseline used.
+    pub decision: AllocationDecision,
+    /// The resulting schedule.
+    pub schedule: Schedule,
+}

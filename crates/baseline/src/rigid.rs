@@ -1,0 +1,156 @@
+//! Rigid list scheduling à la Garey–Graham: fixed allocations, no adjustment.
+
+use crate::{BaselineOutcome, BaselineScheduler};
+use mrls_core::allocators::heuristics::{HeuristicAllocator, HeuristicRule};
+use mrls_core::allocators::Allocator;
+use mrls_core::{ListScheduler, PriorityRule, Result};
+use mrls_model::Instance;
+use serde::{Deserialize, Serialize};
+
+/// How the rigid allocation is chosen before scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RigidRule {
+    /// Every job requests its fastest allocation (maximum parallelism).
+    Fastest,
+    /// Every job requests its cheapest (smallest-area) allocation.
+    Cheapest,
+    /// Every job requests the allocation minimising `t + a` — a genuine
+    /// time/area compromise. (Note that `min max(t, a)` would degenerate to
+    /// the fastest allocation because `a_j ≤ t_j` holds for every valid
+    /// allocation.)
+    Balanced,
+}
+
+impl RigidRule {
+    fn heuristic(&self) -> HeuristicRule {
+        match self {
+            RigidRule::Fastest => HeuristicRule::MinTime,
+            RigidRule::Cheapest => HeuristicRule::MinArea,
+            RigidRule::Balanced => HeuristicRule::MinSum,
+        }
+    }
+
+    /// Label used in experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RigidRule::Fastest => "rigid-fastest",
+            RigidRule::Cheapest => "rigid-cheapest",
+            RigidRule::Balanced => "rigid-balanced",
+        }
+    }
+}
+
+/// Rigid multi-resource list scheduling: freeze each job's allocation with a
+/// local rule and run the greedy list scheduler (no µ-adjustment).
+#[derive(Debug, Clone)]
+pub struct RigidListScheduler {
+    rule: RigidRule,
+    priority: PriorityRule,
+}
+
+impl RigidListScheduler {
+    /// Creates the baseline with the given allocation rule and priority.
+    pub fn new(rule: RigidRule, priority: PriorityRule) -> Self {
+        RigidListScheduler { rule, priority }
+    }
+
+    /// The allocation rule in use.
+    pub fn rule(&self) -> RigidRule {
+        self.rule
+    }
+}
+
+impl BaselineScheduler for RigidListScheduler {
+    fn run(&self, instance: &Instance) -> Result<BaselineOutcome> {
+        let profiles = instance.profiles()?;
+        let decision =
+            HeuristicAllocator::new(self.rule.heuristic()).allocate(instance, &profiles)?;
+        let schedule = ListScheduler::new(self.priority.clone()).schedule(instance, &decision)?;
+        Ok(BaselineOutcome { decision, schedule })
+    }
+
+    fn name(&self) -> &'static str {
+        self.rule.label()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrls_dag::Dag;
+    use mrls_model::{Allocation, ExecTimeSpec, MoldableJob, SystemConfig};
+
+    fn instance(n: usize) -> Instance {
+        let jobs = (0..n)
+            .map(|j| {
+                MoldableJob::new(
+                    j,
+                    ExecTimeSpec::Amdahl {
+                        seq: 1.0,
+                        work: vec![8.0, 8.0],
+                    },
+                )
+            })
+            .collect();
+        Instance::new(
+            SystemConfig::new(vec![8, 8]).unwrap(),
+            Dag::independent(n),
+            jobs,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fastest_rule_serialises_jobs() {
+        // With the whole machine per job, jobs run one after another.
+        let inst = instance(4);
+        let out = RigidListScheduler::new(RigidRule::Fastest, PriorityRule::Fifo)
+            .run(&inst)
+            .unwrap();
+        assert!(out.decision.iter().all(|a| *a == Allocation::new(vec![8, 8])));
+        // Each job takes 1 + 1 + 1 = 3, so the makespan is 12.
+        assert!((out.schedule.makespan - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cheapest_rule_runs_jobs_in_parallel() {
+        let inst = instance(4);
+        let out = RigidListScheduler::new(RigidRule::Cheapest, PriorityRule::Fifo)
+            .run(&inst)
+            .unwrap();
+        assert!(out.decision.iter().all(|a| *a == Allocation::new(vec![1, 1])));
+        // All four sequential jobs fit simultaneously: makespan = 17.
+        assert!((out.schedule.makespan - 17.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn balanced_rule_between_extremes() {
+        let inst = instance(6);
+        let fast = RigidListScheduler::new(RigidRule::Fastest, PriorityRule::Fifo)
+            .run(&inst)
+            .unwrap();
+        let cheap = RigidListScheduler::new(RigidRule::Cheapest, PriorityRule::Fifo)
+            .run(&inst)
+            .unwrap();
+        let balanced = RigidListScheduler::new(RigidRule::Balanced, PriorityRule::Fifo)
+            .run(&inst)
+            .unwrap();
+        let best = fast.schedule.makespan.min(cheap.schedule.makespan);
+        // Not necessarily better than both, but it must be a valid finite
+        // schedule and usually competitive; sanity: within 3x of the best.
+        assert!(balanced.schedule.makespan <= 3.0 * best);
+    }
+
+    #[test]
+    fn names_and_rules() {
+        assert_eq!(
+            RigidListScheduler::new(RigidRule::Fastest, PriorityRule::Fifo).name(),
+            "rigid-fastest"
+        );
+        assert_eq!(RigidRule::Cheapest.label(), "rigid-cheapest");
+        assert_eq!(
+            RigidListScheduler::new(RigidRule::Balanced, PriorityRule::Fifo).rule(),
+            RigidRule::Balanced
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! The trivial sequential baseline: one job at a time, fastest allocation.
+
+use crate::{BaselineOutcome, BaselineScheduler};
+use mrls_core::schedule::{Schedule, ScheduledJob};
+use mrls_core::Result;
+use mrls_model::Instance;
+
+/// Runs jobs one at a time in topological order, each with its fastest
+/// non-dominated allocation. Always valid; never faster than any reasonable
+/// parallel schedule. Its makespan equals the sum of minimum execution times,
+/// a useful upper anchor for normalisation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SequentialScheduler;
+
+impl SequentialScheduler {
+    /// Creates the baseline.
+    pub fn new() -> Self {
+        SequentialScheduler
+    }
+}
+
+impl BaselineScheduler for SequentialScheduler {
+    fn run(&self, instance: &Instance) -> Result<BaselineOutcome> {
+        let profiles = instance.profiles()?;
+        let decision: Vec<_> = profiles
+            .iter()
+            .map(|p| p.min_time_point().alloc.clone())
+            .collect();
+        let order = instance.dag.topological_order();
+        let mut now = 0.0f64;
+        let mut jobs = vec![
+            ScheduledJob {
+                job: 0,
+                start: 0.0,
+                finish: 0.0,
+                alloc: mrls_model::Allocation::ones(instance.num_resource_types()),
+            };
+            instance.num_jobs()
+        ];
+        for &j in &order {
+            let t = profiles[j].min_time_point().time;
+            jobs[j] = ScheduledJob {
+                job: j,
+                start: now,
+                finish: now + t,
+                alloc: decision[j].clone(),
+            };
+            now += t;
+        }
+        Ok(BaselineOutcome {
+            decision,
+            schedule: Schedule::new(jobs),
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrls_dag::Dag;
+    use mrls_model::{ExecTimeSpec, MoldableJob, SystemConfig};
+
+    fn instance(dag: Dag) -> Instance {
+        let n = dag.num_nodes();
+        let jobs = (0..n)
+            .map(|j| {
+                MoldableJob::new(
+                    j,
+                    ExecTimeSpec::Amdahl {
+                        seq: 1.0,
+                        work: vec![4.0],
+                    },
+                )
+            })
+            .collect();
+        Instance::new(SystemConfig::new(vec![4]).unwrap(), dag, jobs).unwrap()
+    }
+
+    #[test]
+    fn makespan_is_sum_of_min_times() {
+        let inst = instance(Dag::independent(5));
+        let out = SequentialScheduler::new().run(&inst).unwrap();
+        // Fastest time per job: 1 + 1 = 2; five jobs => 10.
+        assert!((out.schedule.makespan - 10.0).abs() < 1e-9);
+        assert_eq!(SequentialScheduler::new().name(), "sequential");
+    }
+
+    #[test]
+    fn respects_precedence_even_though_sequential() {
+        let inst = instance(Dag::chain(3));
+        let out = SequentialScheduler::new().run(&inst).unwrap();
+        for (u, v) in inst.dag.edges() {
+            assert!(out.schedule.jobs[v].start + 1e-9 >= out.schedule.jobs[u].finish);
+        }
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = instance(Dag::independent(0));
+        let out = SequentialScheduler::new().run(&inst).unwrap();
+        assert_eq!(out.schedule.makespan, 0.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Criterion benchmarks of the Phase-1 allocators in isolation: the LP
+//! relaxation + rounding, the SP FPTAS, the exact independent-job allocator,
+//! and the per-job heuristics. This quantifies what the stronger allocation
+//! guarantees cost in scheduling time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrls_core::allocators::{
+    Allocator, HeuristicAllocator, IndependentOptimalAllocator, LpRoundingAllocator,
+    SpFptasAllocator,
+};
+use mrls_core::allocators::heuristics::HeuristicRule;
+use mrls_model::AllocationSpace;
+use mrls_workload::{DagRecipe, InstanceRecipe, JobRecipe, SpeedupFamily, SystemRecipe};
+
+fn recipe(dag: DagRecipe, d: usize) -> InstanceRecipe {
+    InstanceRecipe {
+        system: SystemRecipe::Uniform { d, p: 16 },
+        dag,
+        jobs: JobRecipe {
+            family: SpeedupFamily::Amdahl,
+            work_range: (10.0, 80.0),
+            seq_fraction_range: (0.0, 0.2),
+            space: AllocationSpace::PowersOfTwo,
+            heavy_kind_factor: 2.0,
+        },
+    }
+}
+
+fn bench_allocators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocator_cost");
+    group.sample_size(10);
+
+    for &n in &[20usize, 40] {
+        // General DAG: LP rounding vs heuristic.
+        let gi = recipe(
+            DagRecipe::RandomLayered { n, layers: 6, edge_prob: 0.25 },
+            3,
+        )
+        .generate(1);
+        let profiles = gi.instance.profiles().unwrap();
+        group.bench_with_input(BenchmarkId::new("lp_rounding", n), &n, |b, _| {
+            let alloc = LpRoundingAllocator::new(0.4).unwrap();
+            b.iter(|| alloc.allocate(&gi.instance, &profiles).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("min_local_max", n), &n, |b, _| {
+            let alloc = HeuristicAllocator::new(HeuristicRule::MinLocalMax);
+            b.iter(|| alloc.allocate(&gi.instance, &profiles).unwrap())
+        });
+
+        // SP DAG: FPTAS.
+        let sp = recipe(
+            DagRecipe::RandomSeriesParallel { n, series_prob: 0.5 },
+            3,
+        )
+        .generate(2);
+        let sp_profiles = sp.instance.profiles().unwrap();
+        group.bench_with_input(BenchmarkId::new("sp_fptas_eps0.1", n), &n, |b, _| {
+            let alloc = SpFptasAllocator::new(0.1).unwrap();
+            b.iter(|| alloc.allocate(&sp.instance, &sp_profiles).unwrap())
+        });
+
+        // Independent bag: exact allocator.
+        let ind = recipe(DagRecipe::Independent { n }, 3).generate(3);
+        let ind_profiles = ind.instance.profiles().unwrap();
+        group.bench_with_input(BenchmarkId::new("independent_optimal", n), &n, |b, _| {
+            let alloc = IndependentOptimalAllocator::new();
+            b.iter(|| alloc.allocate(&ind.instance, &ind_profiles).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocators);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion wrappers around miniature versions of the paper experiments, so
+//! `cargo bench --workspace` exercises the same code paths the experiment
+//! binaries use (Figure 1, Figure 2 / Theorem 6, a Table 1 verification cell)
+//! and tracks their cost over time.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mrls_core::scheduler::{MrlsConfig, MrlsScheduler};
+use mrls_core::theorem6::Theorem6Instance;
+use mrls_core::{theory, ListScheduler};
+use mrls_model::AllocationSpace;
+use mrls_workload::{DagRecipe, InstanceRecipe, JobRecipe, SpeedupFamily, SystemRecipe};
+
+fn bench_fig1(c: &mut Criterion) {
+    c.bench_function("fig1_ratio_table_22_to_50", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for d in 22..=50usize {
+                acc += theory::theorem2_actual_ratio(black_box(d))
+                    + theory::theorem2_estimated_ratio(black_box(d));
+            }
+            acc
+        })
+    });
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let t6 = Theorem6Instance::build(4, 30).unwrap();
+    c.bench_function("fig2_theorem6_worst_and_best_d4_m30", |b| {
+        b.iter(|| {
+            let worst = ListScheduler::new(t6.adversarial_priority())
+                .schedule(&t6.instance, &t6.decision)
+                .unwrap();
+            let best = ListScheduler::new(t6.gate_first_priority())
+                .schedule(&t6.instance, &t6.decision)
+                .unwrap();
+            worst.makespan / best.makespan
+        })
+    });
+}
+
+fn bench_table1_cell(c: &mut Criterion) {
+    let recipe = InstanceRecipe {
+        system: SystemRecipe::Uniform { d: 3, p: 16 },
+        dag: DagRecipe::RandomLayered {
+            n: 30,
+            layers: 6,
+            edge_prob: 0.3,
+        },
+        jobs: JobRecipe {
+            family: SpeedupFamily::Amdahl,
+            work_range: (10.0, 80.0),
+            seq_fraction_range: (0.0, 0.25),
+            space: AllocationSpace::PowersOfTwo,
+            heavy_kind_factor: 2.0,
+        },
+    };
+    let gi = recipe.generate(7);
+    let mut group = c.benchmark_group("table1_verification_cell");
+    group.sample_size(10);
+    group.bench_function("general_dag_n30_d3", |b| {
+        b.iter(|| {
+            MrlsScheduler::new(MrlsConfig::default())
+                .schedule(&gi.instance)
+                .unwrap()
+                .measured_ratio()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1, bench_fig2, bench_table1_cell);
+criterion_main!(benches);

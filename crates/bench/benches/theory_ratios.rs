@@ -1,0 +1,40 @@
+//! Criterion micro-benchmarks for the theory module (the Figure 1 numerics):
+//! evaluating the Theorem 1 closed form, solving the Theorem 2 quartic for
+//! `µ*`, and producing the whole 22..=50 ratio table.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mrls_core::theory;
+
+fn bench_theory(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theory");
+    group.bench_function("theorem1_ratio_d1_to_50", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for d in 1..=50usize {
+                acc += theory::theorem1_ratio(black_box(d));
+            }
+            acc
+        })
+    });
+    group.bench_function("theorem2_mu_star_d22", |b| {
+        b.iter(|| theory::theorem2_mu_star(black_box(22)))
+    });
+    group.bench_function("theorem2_mu_star_d1000", |b| {
+        b.iter(|| theory::theorem2_mu_star(black_box(1000)))
+    });
+    group.bench_function("figure1_full_table", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for d in 22..=50usize {
+                acc += theory::theorem2_estimated_ratio(black_box(d));
+                acc += theory::theorem2_actual_ratio(black_box(d));
+                acc += theory::theorem1_ratio(black_box(d));
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_theory);
+criterion_main!(benches);

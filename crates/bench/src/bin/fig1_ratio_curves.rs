@@ -1,0 +1,68 @@
+//! **Figure 1 reproduction** — comparison of the *estimated* ratio of
+//! Theorem 2 (obtained with the closed-form `µ ≈ d^{-1/3}`), the *actual*
+//! ratio (obtained with the numerically optimal `µ*`, the root of
+//! `h_d(µ) = 0`), and the ratio of Theorem 1, for `22 ≤ d ≤ 50`.
+//!
+//! The paper's figure shows that (a) the estimate is very close to the actual
+//! value and (b) both clearly improve on Theorem 1 in this range. The harness
+//! prints the three series plus the asymptotic expansion `d + 3·d^{2/3}` and
+//! writes them to `results/fig1_ratio_curves.csv`.
+
+use mrls_analysis::export::{fmt3, ResultTable};
+use mrls_bench::emit;
+use mrls_core::theory;
+
+fn main() {
+    let mut table = ResultTable::new(&[
+        "d",
+        "theorem1_ratio",
+        "theorem2_estimated",
+        "theorem2_actual",
+        "asymptotic_d_plus_3d23",
+        "mu_star",
+        "mu_estimate",
+    ]);
+    println!("Figure 1 — Theorem 2 ratio: estimated vs actual vs Theorem 1 (22 <= d <= 50)");
+    println!(
+        "{:>4} {:>12} {:>12} {:>12} {:>14} {:>10} {:>10}",
+        "d", "Thm1", "Thm2 est", "Thm2 actual", "d+3d^(2/3)", "mu*", "1/cbrt(d)"
+    );
+    for d in 22..=50usize {
+        let t1 = theory::theorem1_ratio(d);
+        let est = theory::theorem2_estimated_ratio(d);
+        let act = theory::theorem2_actual_ratio(d);
+        let asy = theory::theorem2_asymptotic(d);
+        let mu_star = theory::theorem2_mu_star(d);
+        let mu_est = 1.0 / (d as f64).cbrt();
+        println!(
+            "{:>4} {:>12.3} {:>12.3} {:>12.3} {:>14.3} {:>10.4} {:>10.4}",
+            d, t1, est, act, asy, mu_star, mu_est
+        );
+        table.push_row(vec![
+            d.to_string(),
+            fmt3(t1),
+            fmt3(est),
+            fmt3(act),
+            fmt3(asy),
+            format!("{mu_star:.5}"),
+            format!("{mu_est:.5}"),
+        ]);
+    }
+    emit("fig1_ratio_curves", &table);
+
+    // Reproduce the qualitative claims of the figure.
+    let worst_gap = (22..=50)
+        .map(|d| {
+            let est = theory::theorem2_estimated_ratio(d);
+            let act = theory::theorem2_actual_ratio(d);
+            (est - act) / act
+        })
+        .fold(0.0f64, f64::max);
+    let min_improvement = (22..=50)
+        .map(|d| theory::theorem1_ratio(d) - theory::theorem2_actual_ratio(d))
+        .fold(f64::INFINITY, f64::min);
+    println!("largest relative gap between estimate and actual ratio: {:.2}%", 100.0 * worst_gap);
+    println!("smallest absolute improvement over Theorem 1 in the range: {min_improvement:.3}");
+    assert!(worst_gap < 0.05, "the estimate should track the actual ratio closely");
+    assert!(min_improvement > 0.0, "Theorem 2 must improve on Theorem 1 for d >= 22");
+}

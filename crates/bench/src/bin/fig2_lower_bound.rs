@@ -1,0 +1,102 @@
+//! **Figure 2 / Theorem 6 reproduction** — the lower-bound tree family on
+//! which any list scheduler with *local* priorities is forced to a makespan
+//! of roughly `d` times the optimum.
+//!
+//! For each `d` we build the reconstructed gated-tree instance (unit jobs,
+//! single-type demands, `P(i) = 2`, bulk scale `M`), schedule it with
+//!
+//! * the adversarial local priority (gates last),
+//! * the graph-aware gate-first priority (realising the pipelined optimum),
+//! * the critical-path priority (showing a *global* rule escapes the bound),
+//!
+//! and report the worst/best ratio next to the theoretical bound `d`. Results
+//! go to `results/fig2_lower_bound.csv`.
+
+use mrls_analysis::export::{fmt3, ResultTable};
+use mrls_analysis::validate_schedule;
+use mrls_bench::emit;
+use mrls_core::theorem6::Theorem6Instance;
+use mrls_core::{theory, ListScheduler, PriorityRule};
+
+fn main() {
+    let mut table = ResultTable::new(&[
+        "d",
+        "M",
+        "jobs",
+        "worst_local_makespan",
+        "best_global_makespan",
+        "critical_path_makespan",
+        "ratio_worst_over_best",
+        "theorem6_bound",
+    ]);
+    println!("Figure 2 / Theorem 6 — adversarial local list scheduling vs pipelined optimum");
+    println!(
+        "{:>3} {:>5} {:>7} {:>12} {:>12} {:>12} {:>8} {:>8}",
+        "d", "M", "jobs", "worst", "best", "crit-path", "ratio", "bound d"
+    );
+    for d in 2..=10usize {
+        let m = 90;
+        let t6 = Theorem6Instance::build(d, m).expect("construction succeeds");
+        let worst = ListScheduler::new(t6.adversarial_priority())
+            .schedule(&t6.instance, &t6.decision)
+            .expect("valid schedule");
+        let best = ListScheduler::new(t6.gate_first_priority())
+            .schedule(&t6.instance, &t6.decision)
+            .expect("valid schedule");
+        let cp = ListScheduler::new(PriorityRule::CriticalPath)
+            .schedule(&t6.instance, &t6.decision)
+            .expect("valid schedule");
+        for s in [&worst, &best, &cp] {
+            assert!(validate_schedule(&t6.instance, s).is_valid());
+        }
+        let ratio = worst.makespan / best.makespan;
+        println!(
+            "{:>3} {:>5} {:>7} {:>12.1} {:>12.1} {:>12.1} {:>8.3} {:>8.1}",
+            d,
+            m,
+            t6.instance.num_jobs(),
+            worst.makespan,
+            best.makespan,
+            cp.makespan,
+            ratio,
+            theory::theorem6_lower_bound(d)
+        );
+        table.push_row(vec![
+            d.to_string(),
+            m.to_string(),
+            t6.instance.num_jobs().to_string(),
+            fmt3(worst.makespan),
+            fmt3(best.makespan),
+            fmt3(cp.makespan),
+            fmt3(ratio),
+            fmt3(theory::theorem6_lower_bound(d)),
+        ]);
+        // Shape checks mirroring the theorem.
+        assert!(
+            ratio > 0.85 * d as f64,
+            "d={d}: ratio {ratio} should approach the bound d"
+        );
+        assert!(ratio <= d as f64 + 0.5);
+        assert!(cp.makespan <= best.makespan + 1.0 + 1e-9);
+    }
+    emit("fig2_lower_bound", &table);
+
+    // Also show convergence in M for a fixed d (the "choose M large enough"
+    // part of the proof).
+    let mut conv = ResultTable::new(&["d", "M", "ratio"]);
+    let d = 6usize;
+    println!("convergence of the ratio towards d = {d} as M grows:");
+    for m in [6usize, 12, 24, 48, 96, 192] {
+        let t6 = Theorem6Instance::build(d, m).expect("construction succeeds");
+        let worst = ListScheduler::new(t6.adversarial_priority())
+            .schedule(&t6.instance, &t6.decision)
+            .expect("valid schedule");
+        let best = ListScheduler::new(t6.gate_first_priority())
+            .schedule(&t6.instance, &t6.decision)
+            .expect("valid schedule");
+        let ratio = worst.makespan / best.makespan;
+        println!("  M = {m:>4}: ratio = {ratio:.3}");
+        conv.push_row(vec![d.to_string(), m.to_string(), fmt3(ratio)]);
+    }
+    emit("fig2_lower_bound_convergence", &conv);
+}

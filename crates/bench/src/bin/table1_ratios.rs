@@ -1,0 +1,158 @@
+//! **Table 1 reproduction** — the summary of approximation results.
+//!
+//! Two parts:
+//!
+//! 1. The *theoretical* table itself: for every graph class and a range of
+//!    `d`, the guaranteed approximation ratio exactly as printed in Table 1
+//!    of the paper.
+//! 2. An *empirical verification*: for every row we generate many random
+//!    instances of that class, run the full two-phase algorithm with the
+//!    theorem-prescribed parameters, and report the worst and mean measured
+//!    ratio `T / LB` (where `LB ≤ T_opt` is the certified lower bound). The
+//!    measured ratios must never exceed the theoretical guarantee — and in
+//!    practice they are far below it, which is the usual message of
+//!    simulation sections for this class of algorithms.
+//!
+//! Results go to `results/table1_theory.csv` and `results/table1_empirical.csv`.
+
+use mrls_analysis::export::{fmt3, ResultTable};
+use mrls_analysis::stats::Summary;
+use mrls_bench::{emit, parallel_over_seeds};
+use mrls_core::scheduler::{MrlsConfig, MrlsScheduler};
+use mrls_core::theory;
+use mrls_model::AllocationSpace;
+use mrls_workload::{DagRecipe, InstanceRecipe, JobRecipe, SpeedupFamily, SystemRecipe};
+
+fn main() {
+    let epsilon = 0.1;
+    // -------- Part 1: the theoretical Table 1. --------
+    let mut theory_table = ResultTable::new(&[
+        "d",
+        "general_thm1",
+        "general_thm2_actual",
+        "sp_trees_thm3",
+        "sp_trees_thm4",
+        "independent_thm5",
+        "local_list_lower_bound",
+    ]);
+    println!("Table 1 (theoretical) — approximation ratios per graph class (epsilon = {epsilon})");
+    println!(
+        "{:>4} {:>12} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "d", "Thm1", "Thm2", "Thm3", "Thm4", "Thm5", "LB (Thm6)"
+    );
+    for d in 1..=30usize {
+        let thm4 = if d >= 4 {
+            theory::theorem4_ratio(d, epsilon)
+        } else {
+            f64::NAN
+        };
+        println!(
+            "{:>4} {:>12.3} {:>12.3} {:>12.3} {:>12.3} {:>12.3} {:>10.1}",
+            d,
+            theory::theorem1_ratio(d),
+            theory::theorem2_actual_ratio(d),
+            theory::theorem3_ratio(d, epsilon),
+            thm4,
+            theory::independent_ratio(d),
+            theory::theorem6_lower_bound(d)
+        );
+        theory_table.push_row(vec![
+            d.to_string(),
+            fmt3(theory::theorem1_ratio(d)),
+            fmt3(theory::theorem2_actual_ratio(d)),
+            fmt3(theory::theorem3_ratio(d, epsilon)),
+            if d >= 4 { fmt3(thm4) } else { "n/a".into() },
+            fmt3(theory::independent_ratio(d)),
+            fmt3(theory::theorem6_lower_bound(d)),
+        ]);
+    }
+    emit("table1_theory", &theory_table);
+
+    // -------- Part 2: empirical verification per class. --------
+    let seeds: Vec<u64> = (0..30).collect();
+    let n = 30usize;
+    let p = 16u64;
+    let classes: Vec<(&str, DagRecipe)> = vec![
+        (
+            "general",
+            DagRecipe::RandomLayered {
+                n,
+                layers: 6,
+                edge_prob: 0.3,
+            },
+        ),
+        (
+            "series-parallel",
+            DagRecipe::RandomSeriesParallel {
+                n,
+                series_prob: 0.5,
+            },
+        ),
+        ("tree", DagRecipe::RandomOutTree { n, max_children: 3 }),
+        ("independent", DagRecipe::Independent { n }),
+    ];
+
+    let mut empirical = ResultTable::new(&[
+        "class",
+        "d",
+        "seeds",
+        "mean_measured_ratio",
+        "p95_measured_ratio",
+        "worst_measured_ratio",
+        "theoretical_guarantee",
+        "within_guarantee",
+    ]);
+    println!("\nTable 1 (empirical verification) — measured T/LB vs guarantee ({} seeds per cell)", seeds.len());
+    println!(
+        "{:<16} {:>3} {:>10} {:>10} {:>10} {:>12} {:>8}",
+        "class", "d", "mean", "p95", "worst", "guarantee", "ok"
+    );
+    for (label, dag) in &classes {
+        for d in 1..=4usize {
+            let recipe = InstanceRecipe {
+                system: SystemRecipe::Uniform { d, p },
+                dag: dag.clone(),
+                jobs: JobRecipe {
+                    family: SpeedupFamily::Amdahl,
+                    work_range: (10.0, 80.0),
+                    seq_fraction_range: (0.0, 0.25),
+                    space: AllocationSpace::PowersOfTwo,
+                    heavy_kind_factor: 2.0,
+                },
+            };
+            let results = parallel_over_seeds(&seeds, &recipe, |seed, r| {
+                let gi = r.generate(seed);
+                let res = MrlsScheduler::new(MrlsConfig {
+                    epsilon,
+                    ..MrlsConfig::default()
+                })
+                .schedule(&gi.instance)
+                .expect("mrls schedules every instance");
+                (res.measured_ratio(), res.params.ratio_guarantee)
+            });
+            let ratios: Vec<f64> = results.iter().map(|(r, _)| *r).collect();
+            let guarantee = results
+                .iter()
+                .map(|(_, g)| *g)
+                .fold(0.0f64, f64::max);
+            let summary = Summary::of(&ratios);
+            let ok = summary.max <= guarantee + 1e-6;
+            println!(
+                "{:<16} {:>3} {:>10.3} {:>10.3} {:>10.3} {:>12.3} {:>8}",
+                label, d, summary.mean, summary.p95, summary.max, guarantee, ok
+            );
+            empirical.push_row(vec![
+                label.to_string(),
+                d.to_string(),
+                seeds.len().to_string(),
+                fmt3(summary.mean),
+                fmt3(summary.p95),
+                fmt3(summary.max),
+                fmt3(guarantee),
+                ok.to_string(),
+            ]);
+            assert!(ok, "class {label}, d={d}: measured ratio exceeded the guarantee");
+        }
+    }
+    emit("table1_empirical", &empirical);
+}

@@ -1,0 +1,294 @@
+//! `mrls` — command-line interface to the multi-resource moldable scheduler.
+//!
+//! Subcommands (arguments are `key=value` pairs; all optional with sensible
+//! defaults):
+//!
+//! ```text
+//! mrls generate  [n=40] [d=3] [p=16] [dag=layered|independent|sp|tree|cholesky|forkjoin|wavefront]
+//!                [seed=0] [out=instance.json]
+//!     Generate a synthetic instance and write it as JSON.
+//!
+//! mrls schedule  [in=instance.json] [allocator=auto|lp|sp|independent|min-time|min-area]
+//!                [priority=critical-path|fifo|longest-time|largest-area] [gantt=true]
+//!     Schedule an instance file with the paper's algorithm and print a report.
+//!
+//! mrls compare   [n=40] [d=3] [p=16] [dag=layered] [seeds=5]
+//!     Generate instances and compare mrls against the rigid/sequential baselines.
+//!
+//! mrls theory    [dmax=10] [epsilon=0.1]
+//!     Print the Table 1 approximation ratios for d = 1..dmax.
+//! ```
+
+use std::collections::HashMap;
+
+use mrls_analysis::gantt::ascii_gantt;
+use mrls_analysis::validate_schedule;
+use mrls_baseline::{BaselineScheduler, RigidListScheduler, RigidRule, SequentialScheduler};
+use mrls_core::scheduler::{AllocatorKind, MrlsConfig, MrlsScheduler};
+use mrls_core::{theory, PriorityRule};
+use mrls_model::{AllocationSpace, Instance};
+use mrls_workload::{DagRecipe, InstanceRecipe, JobRecipe, SpeedupFamily, SystemRecipe};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        print_usage();
+        std::process::exit(2);
+    };
+    let kv = parse_kv(&args[1..]);
+    let code = match command.as_str() {
+        "generate" => cmd_generate(&kv),
+        "schedule" => cmd_schedule(&kv),
+        "compare" => cmd_compare(&kv),
+        "theory" => cmd_theory(&kv),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            0
+        }
+        other => {
+            eprintln!("unknown command: {other}");
+            print_usage();
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn print_usage() {
+    eprintln!(
+        "mrls — multi-resource list scheduling of moldable workflows (ICPP 2021 reproduction)\n\
+         usage:\n\
+         \u{20}  mrls generate [n=40] [d=3] [p=16] [dag=layered] [seed=0] [out=instance.json]\n\
+         \u{20}  mrls schedule [in=instance.json] [allocator=auto] [priority=critical-path] [gantt=true]\n\
+         \u{20}  mrls compare  [n=40] [d=3] [p=16] [dag=layered] [seeds=5]\n\
+         \u{20}  mrls theory   [dmax=10] [epsilon=0.1]"
+    );
+}
+
+fn parse_kv(args: &[String]) -> HashMap<String, String> {
+    args.iter()
+        .filter_map(|a| {
+            a.split_once('=')
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+        })
+        .collect()
+}
+
+fn get<T: std::str::FromStr>(kv: &HashMap<String, String>, key: &str, default: T) -> T {
+    kv.get(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn dag_recipe(kv: &HashMap<String, String>, n: usize) -> DagRecipe {
+    match kv.get("dag").map(String::as_str).unwrap_or("layered") {
+        "independent" => DagRecipe::Independent { n },
+        "chain" => DagRecipe::Chain { n },
+        "sp" => DagRecipe::RandomSeriesParallel { n, series_prob: 0.5 },
+        "tree" => DagRecipe::RandomOutTree { n, max_children: 3 },
+        "cholesky" => DagRecipe::Cholesky {
+            tiles: ((n as f64 * 6.0).cbrt().ceil() as usize).max(2),
+        },
+        "forkjoin" => DagRecipe::ForkJoin {
+            width: (n / 5).max(2),
+            stages: 4,
+        },
+        "wavefront" => {
+            let side = (n as f64).sqrt().ceil() as usize;
+            DagRecipe::Wavefront { rows: side, cols: side }
+        }
+        _ => DagRecipe::RandomLayered {
+            n,
+            layers: (n as f64).sqrt().ceil() as usize,
+            edge_prob: 0.3,
+        },
+    }
+}
+
+fn build_recipe(kv: &HashMap<String, String>) -> InstanceRecipe {
+    let n: usize = get(kv, "n", 40);
+    let d: usize = get(kv, "d", 3);
+    let p: u64 = get(kv, "p", 16);
+    InstanceRecipe {
+        system: SystemRecipe::Uniform { d, p },
+        dag: dag_recipe(kv, n),
+        jobs: JobRecipe {
+            family: SpeedupFamily::Mixed,
+            work_range: (10.0, 80.0),
+            seq_fraction_range: (0.0, 0.2),
+            space: AllocationSpace::PowersOfTwo,
+            heavy_kind_factor: 2.0,
+        },
+    }
+}
+
+fn cmd_generate(kv: &HashMap<String, String>) -> i32 {
+    let seed: u64 = get(kv, "seed", 0);
+    let out = kv
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "instance.json".to_string());
+    let recipe = build_recipe(kv);
+    let gi = recipe.generate(seed);
+    if let Err(e) = std::fs::write(&out, gi.instance.to_json()) {
+        eprintln!("failed to write {out}: {e}");
+        return 1;
+    }
+    println!(
+        "wrote {} ({} jobs, {} edges, d = {}, class = {})",
+        out,
+        gi.instance.num_jobs(),
+        gi.instance.dag.num_edges(),
+        gi.instance.num_resource_types(),
+        gi.instance.graph_class()
+    );
+    0
+}
+
+fn cmd_schedule(kv: &HashMap<String, String>) -> i32 {
+    let path = kv
+        .get("in")
+        .cloned()
+        .unwrap_or_else(|| "instance.json".to_string());
+    let instance = match std::fs::read_to_string(&path)
+        .map_err(|e| e.to_string())
+        .and_then(|s| Instance::from_json(&s).map_err(|e| e.to_string()))
+    {
+        Ok(i) => i,
+        Err(e) => {
+            // Fall back to a generated instance so the command is usable
+            // without a file.
+            eprintln!("could not read {path} ({e}); generating a default instance instead");
+            build_recipe(kv).generate(get(kv, "seed", 0)).instance
+        }
+    };
+    let allocator = match kv.get("allocator").map(String::as_str).unwrap_or("auto") {
+        "lp" => AllocatorKind::LpRounding,
+        "sp" => AllocatorKind::SpFptas,
+        "independent" => AllocatorKind::IndependentOptimal,
+        "min-time" => AllocatorKind::MinTime,
+        "min-area" => AllocatorKind::MinArea,
+        "min-local-max" => AllocatorKind::MinLocalMax,
+        _ => AllocatorKind::Auto,
+    };
+    let priority = match kv
+        .get("priority")
+        .map(String::as_str)
+        .unwrap_or("critical-path")
+    {
+        "fifo" => PriorityRule::Fifo,
+        "longest-time" => PriorityRule::LongestTimeFirst,
+        "largest-area" => PriorityRule::LargestAreaFirst,
+        _ => PriorityRule::CriticalPath,
+    };
+    let config = MrlsConfig {
+        allocator,
+        priority,
+        ..MrlsConfig::default()
+    };
+    let result = match MrlsScheduler::new(config).schedule(&instance) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("scheduling failed: {e}");
+            return 1;
+        }
+    };
+    let validation = validate_schedule(&instance, &result.schedule);
+    println!("graph class     : {}", result.params.graph_class);
+    println!("allocator       : {}", result.params.allocator);
+    println!(
+        "mu / rho / eps  : {:.4} / {:.4} / {:.2}",
+        result.params.mu, result.params.rho, result.params.epsilon
+    );
+    println!("makespan        : {:.3}", result.schedule.makespan);
+    println!("lower bound     : {:.3}", result.lower_bound);
+    println!("measured ratio  : {:.3}", result.measured_ratio());
+    println!("guarantee       : {:.3}", result.params.ratio_guarantee);
+    println!("valid schedule  : {}", validation.is_valid());
+    if get(kv, "gantt", true) && instance.num_jobs() <= 64 {
+        println!("\n{}", ascii_gantt(&instance, &result.schedule, 60));
+    }
+    if validation.is_valid() {
+        0
+    } else {
+        1
+    }
+}
+
+fn cmd_compare(kv: &HashMap<String, String>) -> i32 {
+    let seeds: u64 = get(kv, "seeds", 5);
+    let recipe = build_recipe(kv);
+    let mut rows: Vec<(String, Vec<f64>)> = vec![
+        ("mrls".into(), vec![]),
+        ("rigid-fastest".into(), vec![]),
+        ("rigid-cheapest".into(), vec![]),
+        ("rigid-balanced".into(), vec![]),
+        ("sequential".into(), vec![]),
+    ];
+    for seed in 0..seeds {
+        let gi = recipe.generate(seed);
+        let inst = &gi.instance;
+        let result = match MrlsScheduler::with_defaults().schedule(inst) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("seed {seed}: mrls failed: {e}");
+                return 1;
+            }
+        };
+        let lb = result.lower_bound.max(1e-12);
+        rows[0].1.push(result.schedule.makespan / lb);
+        let baselines: Vec<Box<dyn BaselineScheduler>> = vec![
+            Box::new(RigidListScheduler::new(
+                RigidRule::Fastest,
+                PriorityRule::CriticalPath,
+            )),
+            Box::new(RigidListScheduler::new(
+                RigidRule::Cheapest,
+                PriorityRule::CriticalPath,
+            )),
+            Box::new(RigidListScheduler::new(
+                RigidRule::Balanced,
+                PriorityRule::CriticalPath,
+            )),
+            Box::new(SequentialScheduler::new()),
+        ];
+        for (i, b) in baselines.iter().enumerate() {
+            match b.run(inst) {
+                Ok(out) => rows[i + 1].1.push(out.schedule.makespan / lb),
+                Err(e) => {
+                    eprintln!("seed {seed}: baseline {} failed: {e}", b.name());
+                    return 1;
+                }
+            }
+        }
+    }
+    println!(
+        "normalised makespan (makespan / lower bound), averaged over {seeds} seeds — lower is better"
+    );
+    for (name, ratios) in rows {
+        let mean = ratios.iter().sum::<f64>() / ratios.len().max(1) as f64;
+        let max = ratios.iter().cloned().fold(0.0f64, f64::max);
+        println!("  {name:<16} mean {mean:>6.3}   worst {max:>6.3}");
+    }
+    0
+}
+
+fn cmd_theory(kv: &HashMap<String, String>) -> i32 {
+    let dmax: usize = get(kv, "dmax", 10);
+    let epsilon: f64 = get(kv, "epsilon", 0.1);
+    println!(
+        "{:>3} {:>18} {:>19} {:>20} {:>17}",
+        "d", "general (Thm 1/2)", "SP/trees (Thm 3/4)", "independent (Thm 5)", "LB local (Thm 6)"
+    );
+    for d in 1..=dmax {
+        println!(
+            "{:>3} {:>18.3} {:>19.3} {:>20.3} {:>17.1}",
+            d,
+            theory::general_ratio(d),
+            theory::sp_ratio(d, epsilon),
+            theory::independent_ratio(d),
+            theory::theorem6_lower_bound(d)
+        );
+    }
+    0
+}

@@ -1,0 +1,169 @@
+//! The µ-adjustment of the initial allocation (Equation 5, Lemma 4).
+//!
+//! After the initial allocation `p′` is computed, every per-type request
+//! larger than `⌈µ·P(i)⌉` is reduced to exactly `⌈µ·P(i)⌉`. Lemma 4 shows
+//! that, for monotonic jobs with non-superlinear speedup and `P(i) ≥ 1/µ²`,
+//! an adjusted job satisfies `t_j(p_j) ≤ t_j(p′_j)/µ` and its per-type area is
+//! at most `d` times its original average area — the two facts the
+//! critical-path and area bounds (Lemmas 5 and 6) are built on.
+
+use crate::error::CoreError;
+use crate::Result;
+use mrls_model::{Allocation, AllocationDecision, Instance};
+
+/// The result of adjusting an initial allocation decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdjustmentOutcome {
+    /// The final (adjusted) allocation decision `p`.
+    pub decision: AllocationDecision,
+    /// `adjusted[j]` is `true` iff job `j`'s allocation was reduced in at
+    /// least one resource type.
+    pub adjusted: Vec<bool>,
+    /// The per-type caps `⌈µ·P(i)⌉` that were applied.
+    pub caps: Vec<u64>,
+}
+
+/// Applies Equation 5 to every job: any per-type request above `⌈µ·P(i)⌉` is
+/// reduced to the cap. `mu` must lie in `(0, 0.5)`.
+pub fn adjust_allocation(
+    instance: &Instance,
+    initial: &AllocationDecision,
+    mu: f64,
+) -> Result<AdjustmentOutcome> {
+    if !(mu > 0.0 && mu < 0.5) {
+        return Err(CoreError::InvalidParameter {
+            name: "mu",
+            value: mu,
+            valid_range: "(0, 0.5)",
+        });
+    }
+    let d = instance.num_resource_types();
+    let caps: Vec<u64> = (0..d)
+        .map(|i| {
+            let cap = (mu * instance.system.capacity(i) as f64).ceil() as u64;
+            cap.max(1)
+        })
+        .collect();
+    let mut decision = Vec::with_capacity(initial.len());
+    let mut adjusted = Vec::with_capacity(initial.len());
+    for alloc in initial {
+        let mut amounts = Vec::with_capacity(d);
+        let mut was_adjusted = false;
+        for i in 0..d {
+            if alloc[i] > caps[i] {
+                amounts.push(caps[i]);
+                was_adjusted = true;
+            } else {
+                amounts.push(alloc[i]);
+            }
+        }
+        decision.push(Allocation::new(amounts));
+        adjusted.push(was_adjusted);
+    }
+    Ok(AdjustmentOutcome {
+        decision,
+        adjusted,
+        caps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrls_dag::Dag;
+    use mrls_model::{ExecTimeSpec, MoldableJob, SystemConfig};
+
+    fn instance(caps: Vec<u64>, n: usize) -> Instance {
+        let d = caps.len();
+        let jobs = (0..n)
+            .map(|j| {
+                MoldableJob::new(
+                    j,
+                    ExecTimeSpec::Amdahl {
+                        seq: 1.0,
+                        work: vec![8.0; d],
+                    },
+                )
+            })
+            .collect();
+        Instance::new(
+            SystemConfig::new(caps).unwrap(),
+            Dag::independent(n),
+            jobs,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn caps_follow_equation_5() {
+        let inst = instance(vec![10, 7], 1);
+        // mu = 0.382 -> caps = ceil(3.82)=4 and ceil(2.674)=3.
+        let out = adjust_allocation(&inst, &vec![Allocation::new(vec![10, 7])], 0.382).unwrap();
+        assert_eq!(out.caps, vec![4, 3]);
+        assert_eq!(out.decision[0], Allocation::new(vec![4, 3]));
+        assert_eq!(out.adjusted, vec![true]);
+    }
+
+    #[test]
+    fn small_allocations_untouched() {
+        let inst = instance(vec![10, 10], 2);
+        let init = vec![Allocation::new(vec![2, 3]), Allocation::new(vec![4, 1])];
+        let out = adjust_allocation(&inst, &init, 0.4).unwrap();
+        assert_eq!(out.decision, init);
+        assert_eq!(out.adjusted, vec![false, false]);
+    }
+
+    #[test]
+    fn partial_adjustment_flags_job() {
+        let inst = instance(vec![10, 10], 1);
+        let init = vec![Allocation::new(vec![9, 2])];
+        let out = adjust_allocation(&inst, &init, 0.3).unwrap();
+        // cap = ceil(3) = 3 for both types.
+        assert_eq!(out.decision[0], Allocation::new(vec![3, 2]));
+        assert_eq!(out.adjusted, vec![true]);
+    }
+
+    #[test]
+    fn adjustment_never_increases_any_component() {
+        let inst = instance(vec![16, 16, 16], 3);
+        let init = vec![
+            Allocation::new(vec![16, 1, 8]),
+            Allocation::new(vec![2, 2, 2]),
+            Allocation::new(vec![7, 16, 1]),
+        ];
+        let out = adjust_allocation(&inst, &init, 0.25).unwrap();
+        for (orig, adj) in init.iter().zip(out.decision.iter()) {
+            assert!(adj.dominated_by(orig));
+        }
+    }
+
+    #[test]
+    fn adjusted_time_bound_of_lemma4() {
+        // For a monotone model, t(p) <= t(p')/mu after adjustment.
+        let inst = instance(vec![16, 16], 1);
+        let mu = 0.382;
+        let init = vec![Allocation::new(vec![16, 16])];
+        let out = adjust_allocation(&inst, &init, mu).unwrap();
+        let spec = &inst.jobs[0].spec;
+        let t_init = spec.time(&init[0]);
+        let t_adj = spec.time(&out.decision[0]);
+        assert!(t_adj <= t_init / mu + 1e-9);
+    }
+
+    #[test]
+    fn invalid_mu_rejected() {
+        let inst = instance(vec![4], 1);
+        let init = vec![Allocation::new(vec![1])];
+        assert!(adjust_allocation(&inst, &init, 0.0).is_err());
+        assert!(adjust_allocation(&inst, &init, 0.5).is_err());
+        assert!(adjust_allocation(&inst, &init, 0.75).is_err());
+    }
+
+    #[test]
+    fn cap_is_at_least_one() {
+        let inst = instance(vec![2], 1);
+        let out = adjust_allocation(&inst, &vec![Allocation::new(vec![2])], 0.1).unwrap();
+        assert_eq!(out.caps, vec![1]);
+        assert_eq!(out.decision[0][0], 1);
+    }
+}

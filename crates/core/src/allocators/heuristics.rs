@@ -1,0 +1,180 @@
+//! Simple per-job heuristic allocators used as baselines and in ablations.
+//!
+//! None of these carry the paper's guarantees; they exist so the evaluation
+//! can show what the LP-based allocation buys over naive choices.
+
+use super::Allocator;
+use crate::Result;
+use mrls_model::{AllocationDecision, Instance, JobProfile};
+use serde::{Deserialize, Serialize};
+
+/// The per-job rule a [`HeuristicAllocator`] applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HeuristicRule {
+    /// Every job takes its fastest non-dominated allocation (time-greedy;
+    /// maximises per-job parallelism, can explode the total area).
+    MinTime,
+    /// Every job takes its cheapest (smallest average area) allocation
+    /// (work-conserving; usually means sequential execution).
+    MinArea,
+    /// Every job takes the allocation minimising `max(t_j, a_j)` — a local
+    /// proxy of the global `L(p)` objective. Because the average area of a
+    /// single job never exceeds its execution time (`p_i ≤ P(i)` implies
+    /// `a_j ≤ t_j`), this coincides with [`HeuristicRule::MinTime`] on every
+    /// profile; it is kept as an explicit rule for API clarity and for
+    /// experiments with restricted allocation spaces.
+    MinLocalMax,
+    /// Every job takes the allocation minimising `t_j + a_j` — a genuine
+    /// time/area compromise used as the "balanced" rigid baseline.
+    MinSum,
+}
+
+impl HeuristicRule {
+    /// Label used in experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            HeuristicRule::MinTime => "min-time",
+            HeuristicRule::MinArea => "min-area",
+            HeuristicRule::MinLocalMax => "min-local-max",
+            HeuristicRule::MinSum => "min-sum",
+        }
+    }
+}
+
+/// A Phase-1 allocator that applies a fixed per-job rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeuristicAllocator {
+    rule: HeuristicRule,
+}
+
+impl HeuristicAllocator {
+    /// Creates an allocator for the given rule.
+    pub fn new(rule: HeuristicRule) -> Self {
+        HeuristicAllocator { rule }
+    }
+
+    /// The rule in use.
+    pub fn rule(&self) -> HeuristicRule {
+        self.rule
+    }
+}
+
+impl Allocator for HeuristicAllocator {
+    fn allocate(&self, _instance: &Instance, profiles: &[JobProfile]) -> Result<AllocationDecision> {
+        let decision = profiles
+            .iter()
+            .map(|profile| {
+                let point = match self.rule {
+                    HeuristicRule::MinTime => profile.min_time_point(),
+                    HeuristicRule::MinArea => profile.min_area_point(),
+                    HeuristicRule::MinLocalMax => profile.min_max_time_area_point(),
+                    HeuristicRule::MinSum => profile
+                        .points()
+                        .iter()
+                        .min_by(|a, b| {
+                            (a.time + a.area)
+                                .partial_cmp(&(b.time + b.area))
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                        })
+                        .expect("profiles are non-empty"),
+                };
+                point.alloc.clone()
+            })
+            .collect();
+        Ok(decision)
+    }
+
+    fn name(&self) -> &'static str {
+        self.rule.label()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrls_dag::Dag;
+    use mrls_model::{Allocation, ExecTimeSpec, MoldableJob, SystemConfig};
+
+    fn instance() -> Instance {
+        let system = SystemConfig::new(vec![8, 8]).unwrap();
+        let jobs: Vec<MoldableJob> = (0..3)
+            .map(|j| {
+                MoldableJob::new(
+                    j,
+                    ExecTimeSpec::Amdahl {
+                        seq: 1.0,
+                        work: vec![8.0, 8.0],
+                    },
+                )
+            })
+            .collect();
+        Instance::new(system, Dag::independent(3), jobs).unwrap()
+    }
+
+    #[test]
+    fn min_time_picks_full_allocation() {
+        let inst = instance();
+        let profiles = inst.profiles().unwrap();
+        let decision = HeuristicAllocator::new(HeuristicRule::MinTime)
+            .allocate(&inst, &profiles)
+            .unwrap();
+        assert!(decision.iter().all(|a| *a == Allocation::new(vec![8, 8])));
+    }
+
+    #[test]
+    fn min_area_picks_smallest_allocation() {
+        let inst = instance();
+        let profiles = inst.profiles().unwrap();
+        let decision = HeuristicAllocator::new(HeuristicRule::MinArea)
+            .allocate(&inst, &profiles)
+            .unwrap();
+        assert!(decision.iter().all(|a| *a == Allocation::new(vec![1, 1])));
+    }
+
+    #[test]
+    fn min_local_max_is_between_extremes() {
+        let inst = instance();
+        let profiles = inst.profiles().unwrap();
+        let d_minmax = HeuristicAllocator::new(HeuristicRule::MinLocalMax)
+            .allocate(&inst, &profiles)
+            .unwrap();
+        let metrics = inst.evaluate_decision(&d_minmax).unwrap();
+        let d_fast = HeuristicAllocator::new(HeuristicRule::MinTime)
+            .allocate(&inst, &profiles)
+            .unwrap();
+        let fast_metrics = inst.evaluate_decision(&d_fast).unwrap();
+        let d_cheap = HeuristicAllocator::new(HeuristicRule::MinArea)
+            .allocate(&inst, &profiles)
+            .unwrap();
+        let cheap_metrics = inst.evaluate_decision(&d_cheap).unwrap();
+        // The local min-max decision cannot have a larger L(p) than either
+        // extreme for independent identical jobs.
+        assert!(metrics.lower_bound <= fast_metrics.lower_bound + 1e-9);
+        assert!(metrics.lower_bound <= cheap_metrics.lower_bound + 1e-9);
+    }
+
+    #[test]
+    fn min_sum_returns_valid_allocations() {
+        let inst = instance();
+        let profiles = inst.profiles().unwrap();
+        let decision = HeuristicAllocator::new(HeuristicRule::MinSum)
+            .allocate(&inst, &profiles)
+            .unwrap();
+        for a in &decision {
+            assert!(inst.system.validate_allocation(a).is_ok());
+        }
+    }
+
+    #[test]
+    fn names_match_rules() {
+        assert_eq!(
+            HeuristicAllocator::new(HeuristicRule::MinTime).name(),
+            "min-time"
+        );
+        assert_eq!(HeuristicRule::MinArea.label(), "min-area");
+        assert_eq!(
+            HeuristicAllocator::new(HeuristicRule::MinLocalMax).rule(),
+            HeuristicRule::MinLocalMax
+        );
+    }
+}

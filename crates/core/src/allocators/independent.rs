@@ -1,0 +1,253 @@
+//! The optimal `L_min` allocator for independent jobs (Lemma 8, after
+//! Sun et al., IPDPS 2018).
+//!
+//! Without precedence constraints the critical path degenerates to
+//! `C(p) = max_j t_j(p_j)`, so minimising `L(p) = max(A(p), C(p))` can be done
+//! exactly in polynomial time: the optimal `C` equals the execution time of
+//! some profile point, so it suffices to try every distinct point time `T` as
+//! a deadline, let every job take its cheapest (minimum-area) allocation that
+//! finishes within `T`, and keep the deadline with the smallest resulting
+//! `max(C, A)`.
+
+use super::Allocator;
+use crate::error::CoreError;
+use crate::Result;
+use mrls_model::{AllocationDecision, Instance, JobProfile};
+
+/// The exact `L_min` allocator for independent jobs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndependentOptimalAllocator;
+
+impl IndependentOptimalAllocator {
+    /// Creates the allocator.
+    pub fn new() -> Self {
+        IndependentOptimalAllocator
+    }
+
+    /// Computes the optimal decision and its `L_min` value.
+    pub fn solve(
+        instance: &Instance,
+        profiles: &[JobProfile],
+    ) -> Result<(AllocationDecision, f64)> {
+        if !instance.dag.is_independent() {
+            return Err(CoreError::NotIndependent);
+        }
+        let n = instance.num_jobs();
+        if n == 0 {
+            return Ok((vec![], 0.0));
+        }
+
+        // Candidate deadlines: every distinct profile-point time. The optimal
+        // allocation's maximum job time is one of them.
+        let mut candidates: Vec<f64> = profiles
+            .iter()
+            .flat_map(|p| p.points().iter().map(|pt| pt.time))
+            .collect();
+        candidates.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        candidates.dedup_by(|a, b| (*a - *b).abs() <= 1e-12);
+
+        // The deadline must allow every job to finish, so it is at least the
+        // largest per-job minimum time.
+        let min_feasible = profiles
+            .iter()
+            .map(|p| p.min_time_point().time)
+            .fold(0.0f64, f64::max);
+
+        let mut best: Option<(AllocationDecision, f64)> = None;
+        for &deadline in candidates
+            .iter()
+            .filter(|&&t| t + 1e-12 >= min_feasible)
+        {
+            let mut decision = Vec::with_capacity(n);
+            let mut total_area = 0.0;
+            let mut max_time = 0.0f64;
+            let mut feasible = true;
+            for profile in profiles {
+                match profile.cheapest_within_deadline(deadline) {
+                    Some(point) => {
+                        total_area += point.area;
+                        max_time = max_time.max(point.time);
+                        decision.push(point.alloc.clone());
+                    }
+                    None => {
+                        feasible = false;
+                        break;
+                    }
+                }
+            }
+            if !feasible {
+                continue;
+            }
+            let l = total_area.max(max_time);
+            if best.as_ref().is_none_or(|(_, bl)| l < *bl - 1e-12) {
+                best = Some((decision, l));
+            }
+        }
+        best.ok_or(CoreError::NoFeasibleAllocation { job: 0 })
+    }
+}
+
+impl Allocator for IndependentOptimalAllocator {
+    fn allocate(&self, instance: &Instance, profiles: &[JobProfile]) -> Result<AllocationDecision> {
+        Ok(Self::solve(instance, profiles)?.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "independent-optimal"
+    }
+
+    fn certified_lower_bound(
+        &self,
+        instance: &Instance,
+        profiles: &[JobProfile],
+    ) -> Option<f64> {
+        Self::solve(instance, profiles).ok().map(|(_, l)| l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrls_dag::Dag;
+    use mrls_model::{Allocation, AllocationSpace, ExecTimeSpec, MoldableJob, SystemConfig};
+
+    fn independent_instance(n: usize, caps: Vec<u64>, work: f64) -> Instance {
+        let d = caps.len();
+        let jobs: Vec<MoldableJob> = (0..n)
+            .map(|j| {
+                MoldableJob::new(
+                    j,
+                    ExecTimeSpec::Amdahl {
+                        seq: 0.5,
+                        work: vec![work; d],
+                    },
+                )
+            })
+            .collect();
+        Instance::new(SystemConfig::new(caps).unwrap(), Dag::independent(n), jobs).unwrap()
+    }
+
+    #[test]
+    fn rejects_non_independent_graphs() {
+        let system = SystemConfig::new(vec![4]).unwrap();
+        let jobs = (0..2)
+            .map(|j| MoldableJob::new(j, ExecTimeSpec::Constant { time: 1.0 }))
+            .collect();
+        let inst = Instance::new(system, Dag::chain(2), jobs).unwrap();
+        let profiles = inst.profiles().unwrap();
+        assert_eq!(
+            IndependentOptimalAllocator::solve(&inst, &profiles).unwrap_err(),
+            CoreError::NotIndependent
+        );
+    }
+
+    #[test]
+    fn single_job_picks_min_max_point() {
+        let inst = independent_instance(1, vec![8, 8], 8.0);
+        let profiles = inst.profiles().unwrap();
+        let (decision, l) = IndependentOptimalAllocator::solve(&inst, &profiles).unwrap();
+        let expected = profiles[0].min_max_time_area_point();
+        assert!((l - expected.time.max(expected.area)).abs() < 1e-9);
+        assert_eq!(decision[0], expected.alloc);
+    }
+
+    #[test]
+    fn lmin_matches_brute_force_on_small_instance() {
+        // 3 jobs, small grids: brute-force every combination of profile points
+        // and compare L_min.
+        let inst = independent_instance(3, vec![3, 2], 4.0);
+        let profiles = inst.profiles().unwrap();
+        let (_, l_alg) = IndependentOptimalAllocator::solve(&inst, &profiles).unwrap();
+
+        let mut best = f64::INFINITY;
+        let sizes: Vec<usize> = profiles.iter().map(|p| p.len()).collect();
+        let mut index = vec![0usize; 3];
+        loop {
+            let max_t = (0..3)
+                .map(|j| profiles[j].points()[index[j]].time)
+                .fold(0.0f64, f64::max);
+            let area: f64 = (0..3)
+                .map(|j| profiles[j].points()[index[j]].area)
+                .sum();
+            best = best.min(max_t.max(area));
+            // Advance the mixed-radix counter.
+            let mut pos = 0;
+            loop {
+                if pos == 3 {
+                    break;
+                }
+                index[pos] += 1;
+                if index[pos] < sizes[pos] {
+                    break;
+                }
+                index[pos] = 0;
+                pos += 1;
+            }
+            if pos == 3 {
+                break;
+            }
+        }
+        assert!(
+            (l_alg - best).abs() < 1e-9,
+            "algorithm found {l_alg}, brute force {best}"
+        );
+    }
+
+    #[test]
+    fn area_dominated_regime_prefers_small_allocations() {
+        // Many jobs on a tiny machine: the area term dominates, so the optimal
+        // allocation is (close to) sequential.
+        let inst = independent_instance(20, vec![2, 2], 4.0);
+        let profiles = inst.profiles().unwrap();
+        let (decision, l) = IndependentOptimalAllocator::solve(&inst, &profiles).unwrap();
+        let all_ones = decision.iter().filter(|a| **a == Allocation::ones(2)).count();
+        assert!(all_ones >= 15, "expected mostly sequential allocations");
+        // And L equals (approximately) the total sequential area.
+        let metrics = inst.evaluate_decision(&decision).unwrap();
+        assert!((l - metrics.lower_bound).abs() < 1e-9);
+    }
+
+    #[test]
+    fn critical_regime_prefers_parallel_allocations() {
+        // A single job on a big machine: the critical path dominates, so the
+        // job should take a large allocation.
+        let system = SystemConfig::new(vec![16]).unwrap();
+        let jobs = vec![MoldableJob::with_space(
+            "big",
+            ExecTimeSpec::Amdahl {
+                seq: 0.0,
+                work: vec![16.0],
+            },
+            AllocationSpace::FullGrid,
+        )];
+        let inst = Instance::new(system, Dag::independent(1), jobs).unwrap();
+        let profiles = inst.profiles().unwrap();
+        let (decision, _) = IndependentOptimalAllocator::solve(&inst, &profiles).unwrap();
+        // Optimal balances t = 16/p against a = p*(16/p)/16 = 1; since area is
+        // constant the fastest allocation wins.
+        assert_eq!(decision[0], Allocation::new(vec![16]));
+    }
+
+    #[test]
+    fn certified_bound_equals_lmin_and_is_below_any_decision() {
+        let inst = independent_instance(5, vec![4, 6], 6.0);
+        let profiles = inst.profiles().unwrap();
+        let alloc = IndependentOptimalAllocator::new();
+        let lb = alloc.certified_lower_bound(&inst, &profiles).unwrap();
+        // Any integral decision has L(p) >= L_min.
+        let fast: Vec<_> = profiles.iter().map(|p| p.min_time_point().alloc.clone()).collect();
+        let cheap: Vec<_> = profiles.iter().map(|p| p.min_area_point().alloc.clone()).collect();
+        assert!(lb <= inst.lower_bound_of(&fast).unwrap() + 1e-9);
+        assert!(lb <= inst.lower_bound_of(&cheap).unwrap() + 1e-9);
+        assert_eq!(alloc.name(), "independent-optimal");
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = independent_instance(0, vec![4], 1.0);
+        let profiles = inst.profiles().unwrap();
+        let (decision, l) = IndependentOptimalAllocator::solve(&inst, &profiles).unwrap();
+        assert!(decision.is_empty());
+        assert_eq!(l, 0.0);
+    }
+}

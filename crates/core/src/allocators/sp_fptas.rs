@@ -1,0 +1,486 @@
+//! The FPTAS allocator for series-parallel graphs and trees (Lemma 7, after
+//! Lepère, Trystram, Woeginger).
+//!
+//! The allocator finds a resource allocation `p′` with
+//! `L(p′) = max(A(p′), C(p′)) ≤ (1 + ε′)·L_min`, where `ε′ = O(ε)` is the
+//! effective approximation slack (see [`SpFptasAllocator::effective_epsilon`]).
+//! Combined with the µ-adjustment and list scheduling it yields the improved
+//! ratios of Theorems 3 and 4.
+//!
+//! ## How it works
+//!
+//! 1. Compute the series-parallel decomposition of the precedence graph
+//!    (an error is returned if the graph is not series-parallel).
+//! 2. Binary-search a target value `X`. For a fixed `X`, decide with a
+//!    dynamic program over the (binarised) decomposition whether an
+//!    allocation exists with `A ≤ X` and `C ≤ (1 + ε)·X`:
+//!    * execution times are discretised into buckets of width
+//!      `δ = ε·X / H`, where `H` is the graph height (the maximum number of
+//!      jobs on any path), so rounding the times up to bucket boundaries adds
+//!      at most `ε·X` to any path;
+//!    * each DP node stores, for every bucket `b`, the minimum achievable
+//!      total area when the critical path is at most `b·δ`:
+//!      leaves take cumulative minima over their profile points, series nodes
+//!      convolve (`C` adds), parallel nodes add area at equal `b` (`C` maxes);
+//!    * backpointers allow reconstructing the allocation.
+//! 3. The smallest feasible `X` found gives the returned allocation.
+
+use super::Allocator;
+use crate::error::CoreError;
+use crate::Result;
+use mrls_dag::{SpDecomposition, SpExpr};
+use mrls_model::{AllocationDecision, Instance, JobProfile};
+
+/// The series-parallel / tree FPTAS allocator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpFptasAllocator {
+    epsilon: f64,
+}
+
+/// A binarised series-parallel expression annotated with DP tables.
+enum DpNode {
+    Leaf {
+        job: usize,
+        /// `best_point[b]` = index of the cheapest profile point whose rounded
+        /// time fits in `b` buckets (`None` if no point fits).
+        best_point: Vec<Option<usize>>,
+        min_area: Vec<f64>,
+    },
+    Series {
+        left: Box<DpNode>,
+        right: Box<DpNode>,
+        /// `split[b]` = bucket budget given to the left child when the total
+        /// budget is `b` (`usize::MAX` when infeasible).
+        split: Vec<usize>,
+        min_area: Vec<f64>,
+    },
+    Parallel {
+        left: Box<DpNode>,
+        right: Box<DpNode>,
+        min_area: Vec<f64>,
+    },
+}
+
+impl DpNode {
+    fn min_area(&self) -> &[f64] {
+        match self {
+            DpNode::Leaf { min_area, .. }
+            | DpNode::Series { min_area, .. }
+            | DpNode::Parallel { min_area, .. } => min_area,
+        }
+    }
+
+    /// Writes the chosen profile-point index of every job under this node
+    /// into `choice`, assuming a critical-path budget of `bucket`.
+    fn extract(&self, bucket: usize, choice: &mut [usize]) {
+        match self {
+            DpNode::Leaf {
+                job, best_point, ..
+            } => {
+                choice[*job] = best_point[bucket].expect("extraction only follows feasible buckets");
+            }
+            DpNode::Series {
+                left, right, split, ..
+            } => {
+                let left_budget = split[bucket];
+                debug_assert_ne!(left_budget, usize::MAX);
+                left.extract(left_budget, choice);
+                right.extract(bucket - left_budget, choice);
+            }
+            DpNode::Parallel { left, right, .. } => {
+                left.extract(bucket, choice);
+                right.extract(bucket, choice);
+            }
+        }
+    }
+}
+
+/// Binarises an [`SpExpr`] into nested two-child series/parallel nodes.
+fn binarize(expr: &SpExpr) -> SpExpr {
+    match expr {
+        SpExpr::Job(j) => SpExpr::Job(*j),
+        SpExpr::Series(children) => fold_binary(children, true),
+        SpExpr::Parallel(children) => fold_binary(children, false),
+    }
+}
+
+fn fold_binary(children: &[SpExpr], series: bool) -> SpExpr {
+    let mut iter = children.iter().map(binarize);
+    let first = iter.next().expect("SP expressions have at least one child");
+    iter.fold(first, |acc, next| {
+        if series {
+            SpExpr::Series(vec![acc, next])
+        } else {
+            SpExpr::Parallel(vec![acc, next])
+        }
+    })
+}
+
+impl SpFptasAllocator {
+    /// Creates the allocator with approximation parameter `ε ∈ (0, 1]`.
+    pub fn new(epsilon: f64) -> Result<Self> {
+        if !(epsilon > 0.0 && epsilon <= 1.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "epsilon",
+                value: epsilon,
+                valid_range: "(0, 1]",
+            });
+        }
+        Ok(SpFptasAllocator { epsilon })
+    }
+
+    /// The configured `ε`.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The effective slack `ε′` such that `L(p′) ≤ (1 + ε′)·L_min`: one factor
+    /// `(1+ε)` from the time discretisation and one from the binary-search
+    /// granularity.
+    pub fn effective_epsilon(&self) -> f64 {
+        (1.0 + self.epsilon) * (1.0 + self.epsilon) - 1.0
+    }
+
+    /// Runs the FPTAS and returns the allocation decision together with the
+    /// smallest feasible target `X` found (a certified *upper* bound scale:
+    /// `L_min ≥ X_final / (1+ε)` because `X_final/(1+ε)` was infeasible).
+    pub fn solve(
+        &self,
+        instance: &Instance,
+        profiles: &[JobProfile],
+    ) -> Result<(AllocationDecision, f64)> {
+        let n = instance.num_jobs();
+        if n == 0 {
+            return Ok((vec![], 0.0));
+        }
+        let decomposition = SpDecomposition::decompose(&instance.dag)
+            .map_err(|_| CoreError::NotSeriesParallel)?;
+        let expr = binarize(&decomposition.expr);
+        let height = instance.dag.height().max(1);
+
+        // Lower bound on L_min: every job contributes its minimum area to A,
+        // and each job alone forces max(t, a) >= min_p max(t, a).
+        let area_lb: f64 = profiles.iter().map(|p| p.min_area_point().area).sum();
+        let single_lb = profiles
+            .iter()
+            .map(|p| {
+                let pt = p.min_max_time_area_point();
+                pt.time.max(pt.area)
+            })
+            .fold(0.0f64, f64::max);
+        // Critical-path lower bound with every job at its fastest.
+        let min_times: Vec<f64> = profiles.iter().map(|p| p.min_time_point().time).collect();
+        let cp_lb = instance.dag.critical_path_length(&min_times);
+        let mut lo = area_lb.max(single_lb).max(cp_lb).max(1e-12);
+
+        // Upper bound: the local min-max heuristic decision.
+        let heuristic: AllocationDecision = profiles
+            .iter()
+            .map(|p| p.min_max_time_area_point().alloc.clone())
+            .collect();
+        let mut hi = instance.lower_bound_of(&heuristic)?.max(lo * (1.0 + 1e-9));
+
+        let mut best: Option<(AllocationDecision, f64)> = None;
+        // If the upper bound is already feasible (it is, by construction of the
+        // DP with X = hi), remember it; then shrink towards lo.
+        for _ in 0..100 {
+            if hi / lo <= 1.0 + self.epsilon / 4.0 {
+                break;
+            }
+            let x = (lo * hi).sqrt();
+            match self.feasible(x, &expr, profiles, height, n) {
+                Some(decision) => {
+                    best = Some((decision, x));
+                    hi = x;
+                }
+                None => {
+                    lo = x;
+                }
+            }
+        }
+        if best.is_none() {
+            // Fall back to the heuristic upper bound: X = hi must be feasible.
+            if let Some(decision) = self.feasible(hi, &expr, profiles, height, n) {
+                best = Some((decision, hi));
+            }
+        }
+        match best {
+            Some((decision, x)) => Ok((decision, x)),
+            // As a last resort return the heuristic decision itself.
+            None => Ok((heuristic, hi)),
+        }
+    }
+
+    /// DP feasibility test: is there an allocation with `A ≤ X` and
+    /// `C ≤ (1+ε)X`? Returns the allocation decision if so.
+    fn feasible(
+        &self,
+        x: f64,
+        expr: &SpExpr,
+        profiles: &[JobProfile],
+        height: usize,
+        n: usize,
+    ) -> Option<AllocationDecision> {
+        let delta = self.epsilon * x / height as f64;
+        // Budget in buckets: C ≤ (1+ε)X  ⇒  at most ceil((1+ε)X/δ) buckets.
+        let max_bucket = (((1.0 + self.epsilon) * x) / delta).ceil() as usize;
+        // Guard against pathological bucket counts.
+        let max_bucket = max_bucket.min(200_000 / n.max(1) + height * 4 + 16);
+        let node = self.build_dp(expr, profiles, delta, max_bucket, x)?;
+        let areas = node.min_area();
+        let feasible_bucket = (0..=max_bucket).find(|&b| areas[b] <= x + 1e-9)?;
+        let mut choice = vec![usize::MAX; n];
+        node.extract(feasible_bucket, &mut choice);
+        let decision = profiles
+            .iter()
+            .enumerate()
+            .map(|(j, p)| p.points()[choice[j]].alloc.clone())
+            .collect();
+        Some(decision)
+    }
+
+    fn build_dp(
+        &self,
+        expr: &SpExpr,
+        profiles: &[JobProfile],
+        delta: f64,
+        max_bucket: usize,
+        x: f64,
+    ) -> Option<DpNode> {
+        match expr {
+            SpExpr::Job(j) => {
+                let profile = &profiles[*j];
+                let mut best_point = vec![None; max_bucket + 1];
+                let mut min_area = vec![f64::INFINITY; max_bucket + 1];
+                for (k, p) in profile.points().iter().enumerate() {
+                    if p.time > (1.0 + self.epsilon) * x + 1e-12 {
+                        continue;
+                    }
+                    let b = ((p.time / delta).ceil() as usize).min(max_bucket + 1);
+                    if b > max_bucket {
+                        continue;
+                    }
+                    if p.area < min_area[b] {
+                        min_area[b] = p.area;
+                        best_point[b] = Some(k);
+                    }
+                }
+                // Cumulative minima: a budget of b buckets can also use any
+                // cheaper point that fits in fewer buckets.
+                for b in 1..=max_bucket {
+                    if min_area[b - 1] < min_area[b] {
+                        min_area[b] = min_area[b - 1];
+                        best_point[b] = best_point[b - 1];
+                    }
+                }
+                if min_area[max_bucket].is_infinite() {
+                    return None;
+                }
+                Some(DpNode::Leaf {
+                    job: *j,
+                    best_point,
+                    min_area,
+                })
+            }
+            SpExpr::Parallel(children) => {
+                debug_assert_eq!(children.len(), 2, "expression is binarised");
+                let left = self.build_dp(&children[0], profiles, delta, max_bucket, x)?;
+                let right = self.build_dp(&children[1], profiles, delta, max_bucket, x)?;
+                let min_area: Vec<f64> = (0..=max_bucket)
+                    .map(|b| left.min_area()[b] + right.min_area()[b])
+                    .collect();
+                Some(DpNode::Parallel {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    min_area,
+                })
+            }
+            SpExpr::Series(children) => {
+                debug_assert_eq!(children.len(), 2, "expression is binarised");
+                let left = self.build_dp(&children[0], profiles, delta, max_bucket, x)?;
+                let right = self.build_dp(&children[1], profiles, delta, max_bucket, x)?;
+                let la = left.min_area();
+                let ra = right.min_area();
+                let mut min_area = vec![f64::INFINITY; max_bucket + 1];
+                let mut split = vec![usize::MAX; max_bucket + 1];
+                for b in 0..=max_bucket {
+                    for bl in 0..=b {
+                        let a = la[bl] + ra[b - bl];
+                        if a < min_area[b] {
+                            min_area[b] = a;
+                            split[b] = bl;
+                        }
+                    }
+                }
+                // Series min_area is automatically non-increasing in b because
+                // both children's tables are.
+                if min_area[max_bucket].is_infinite() {
+                    return None;
+                }
+                Some(DpNode::Series {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    split,
+                    min_area,
+                })
+            }
+        }
+    }
+}
+
+impl Allocator for SpFptasAllocator {
+    fn allocate(&self, instance: &Instance, profiles: &[JobProfile]) -> Result<AllocationDecision> {
+        Ok(self.solve(instance, profiles)?.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "sp-fptas"
+    }
+
+    fn certified_lower_bound(
+        &self,
+        instance: &Instance,
+        profiles: &[JobProfile],
+    ) -> Option<f64> {
+        // L(p') <= (1+eps') L_min  =>  L_min >= L(p') / (1+eps').
+        let (decision, _) = self.solve(instance, profiles).ok()?;
+        let l = instance.lower_bound_of(&decision).ok()?;
+        Some(l / (1.0 + self.effective_epsilon()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocators::lp_rounding::LpRoundingAllocator;
+    use mrls_dag::Dag;
+    use mrls_model::{ExecTimeSpec, MoldableJob, SystemConfig};
+
+    fn sp_instance(dag: Dag, caps: Vec<u64>, work: f64) -> Instance {
+        let n = dag.num_nodes();
+        let d = caps.len();
+        let jobs: Vec<MoldableJob> = (0..n)
+            .map(|j| {
+                MoldableJob::new(
+                    j,
+                    ExecTimeSpec::Amdahl {
+                        seq: 0.5,
+                        work: vec![work; d],
+                    },
+                )
+            })
+            .collect();
+        Instance::new(SystemConfig::new(caps).unwrap(), dag, jobs).unwrap()
+    }
+
+    #[test]
+    fn rejects_invalid_epsilon() {
+        assert!(SpFptasAllocator::new(0.0).is_err());
+        assert!(SpFptasAllocator::new(1.5).is_err());
+        assert!(SpFptasAllocator::new(0.2).is_ok());
+    }
+
+    #[test]
+    fn rejects_non_sp_graphs() {
+        let dag = Dag::from_edges(4, &[(0, 2), (1, 2), (1, 3)]).unwrap();
+        let inst = sp_instance(dag, vec![4, 4], 4.0);
+        let profiles = inst.profiles().unwrap();
+        let alloc = SpFptasAllocator::new(0.2).unwrap();
+        assert_eq!(
+            alloc.solve(&inst, &profiles).unwrap_err(),
+            CoreError::NotSeriesParallel
+        );
+    }
+
+    #[test]
+    fn chain_allocation_close_to_lp_bound() {
+        let inst = sp_instance(Dag::chain(5), vec![6, 6], 6.0);
+        let profiles = inst.profiles().unwrap();
+        let alloc = SpFptasAllocator::new(0.1).unwrap();
+        let (decision, _) = alloc.solve(&inst, &profiles).unwrap();
+        let l = inst.lower_bound_of(&decision).unwrap();
+        // Compare against the LP fractional optimum (a valid lower bound on
+        // L_min): the FPTAS must be within (1 + eps') of it.
+        let frac = LpRoundingAllocator::solve_relaxation(&inst, &profiles).unwrap();
+        assert!(
+            l <= (1.0 + alloc.effective_epsilon()) * frac.objective * (1.0 + 1e-6) + 1e-9,
+            "FPTAS L(p')={l}, LP bound={}",
+            frac.objective
+        );
+    }
+
+    #[test]
+    fn diamond_allocation_close_to_lp_bound() {
+        let dag = Dag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let inst = sp_instance(dag, vec![8, 4], 8.0);
+        let profiles = inst.profiles().unwrap();
+        let alloc = SpFptasAllocator::new(0.15).unwrap();
+        let (decision, _) = alloc.solve(&inst, &profiles).unwrap();
+        let l = inst.lower_bound_of(&decision).unwrap();
+        let frac = LpRoundingAllocator::solve_relaxation(&inst, &profiles).unwrap();
+        assert!(l <= (1.0 + alloc.effective_epsilon()) * frac.objective + 1e-6);
+    }
+
+    #[test]
+    fn independent_bag_matches_exact_allocator() {
+        use crate::allocators::independent::IndependentOptimalAllocator;
+        let inst = sp_instance(Dag::independent(6), vec![4, 4], 5.0);
+        let profiles = inst.profiles().unwrap();
+        let (_, l_exact) = IndependentOptimalAllocator::solve(&inst, &profiles).unwrap();
+        let alloc = SpFptasAllocator::new(0.05).unwrap();
+        let (decision, _) = alloc.solve(&inst, &profiles).unwrap();
+        let l_fptas = inst.lower_bound_of(&decision).unwrap();
+        assert!(
+            l_fptas <= (1.0 + alloc.effective_epsilon()) * l_exact + 1e-9,
+            "fptas {l_fptas} vs exact {l_exact}"
+        );
+    }
+
+    #[test]
+    fn out_tree_allocation_is_valid_and_bounded() {
+        let dag = Dag::from_edges(7, &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6)]).unwrap();
+        let inst = sp_instance(dag, vec![6, 6, 6], 5.0);
+        let profiles = inst.profiles().unwrap();
+        let alloc = SpFptasAllocator::new(0.2).unwrap();
+        let (decision, x) = alloc.solve(&inst, &profiles).unwrap();
+        assert_eq!(decision.len(), 7);
+        for a in &decision {
+            assert!(inst.system.validate_allocation(a).is_ok());
+        }
+        let metrics = inst.evaluate_decision(&decision).unwrap();
+        // The DP guarantees A <= X and C <= (1+eps)X.
+        assert!(metrics.average_total_area <= x + 1e-6);
+        assert!(metrics.critical_path <= (1.0 + alloc.epsilon()) * x + 1e-6);
+    }
+
+    #[test]
+    fn certified_lower_bound_is_valid() {
+        let inst = sp_instance(Dag::chain(4), vec![5, 5], 4.0);
+        let profiles = inst.profiles().unwrap();
+        let alloc = SpFptasAllocator::new(0.1).unwrap();
+        let lb = alloc.certified_lower_bound(&inst, &profiles).unwrap();
+        // The LP optimum is a lower bound on L_min as well; the FPTAS bound
+        // must not exceed L_min, so in particular it must not exceed any
+        // integral decision's L(p).
+        let fast: Vec<_> = profiles.iter().map(|p| p.min_time_point().alloc.clone()).collect();
+        assert!(lb <= inst.lower_bound_of(&fast).unwrap() + 1e-6);
+        assert!(lb > 0.0);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = sp_instance(Dag::independent(0), vec![4], 1.0);
+        let profiles = inst.profiles().unwrap();
+        let alloc = SpFptasAllocator::new(0.3).unwrap();
+        let (decision, x) = alloc.solve(&inst, &profiles).unwrap();
+        assert!(decision.is_empty());
+        assert_eq!(x, 0.0);
+    }
+
+    #[test]
+    fn effective_epsilon_formula() {
+        let alloc = SpFptasAllocator::new(0.1).unwrap();
+        assert!((alloc.effective_epsilon() - 0.21).abs() < 1e-12);
+        assert!((alloc.epsilon() - 0.1).abs() < 1e-15);
+    }
+}

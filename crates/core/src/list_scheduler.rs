@@ -1,0 +1,351 @@
+//! Phase 2: the multi-resource list scheduler (Algorithm 2 of the paper).
+//!
+//! Given a fixed allocation decision `p`, the scheduler keeps a queue `Q` of
+//! ready jobs. At time 0 and whenever a job completes, it (a) inserts the jobs
+//! that just became ready, then (b) walks the queue in priority order and
+//! starts **every** job whose allocation fits in the currently available
+//! amount of every resource type. Resources are only allocated and released
+//! at job completion times, which is exactly the structure the interval
+//! analysis of Section 4.2.2 relies on.
+
+use crate::error::CoreError;
+use crate::priority::PriorityRule;
+use crate::schedule::{Schedule, ScheduledJob};
+use crate::Result;
+use mrls_model::{Allocation, Instance};
+
+/// The multi-resource list scheduler.
+#[derive(Debug, Clone)]
+pub struct ListScheduler {
+    priority: PriorityRule,
+}
+
+impl ListScheduler {
+    /// Creates a scheduler with the given ready-queue priority rule.
+    pub fn new(priority: PriorityRule) -> Self {
+        ListScheduler { priority }
+    }
+
+    /// The priority rule in use.
+    pub fn priority(&self) -> &PriorityRule {
+        &self.priority
+    }
+
+    /// Runs Algorithm 2 on `instance` with the fixed allocation `decision`
+    /// (one allocation per job) and returns the resulting schedule.
+    pub fn schedule(&self, instance: &Instance, decision: &[Allocation]) -> Result<Schedule> {
+        let n = instance.num_jobs();
+        let d = instance.num_resource_types();
+        if decision.len() != n {
+            return Err(CoreError::Model(
+                mrls_model::ModelError::DecisionLengthMismatch {
+                    expected: n,
+                    got: decision.len(),
+                },
+            ));
+        }
+        if n == 0 {
+            return Ok(Schedule::new(vec![]));
+        }
+
+        // Evaluate execution times once and validate feasibility of every
+        // allocation: a job requesting more than the capacity of any type can
+        // never start and would deadlock the scheduler.
+        let mut times = Vec::with_capacity(n);
+        for (j, alloc) in decision.iter().enumerate() {
+            instance.system.validate_allocation(alloc)?;
+            for i in 0..d {
+                if alloc[i] > instance.system.capacity(i) {
+                    return Err(CoreError::AllocationNeverFits { job: j, resource: i });
+                }
+            }
+            let t = instance.jobs[j].spec.time(alloc);
+            if !t.is_finite() || t <= 0.0 {
+                return Err(CoreError::Model(
+                    mrls_model::ModelError::InvalidExecutionTime { job: j, value: t },
+                ));
+            }
+            times.push(t);
+        }
+
+        // Priority keys (smaller = earlier in the queue).
+        let bottom_levels = instance.dag.bottom_levels(&times)?;
+        let keys = self
+            .priority
+            .keys(&times, decision, &bottom_levels, &instance.system);
+
+        // Event-driven simulation.
+        let mut avail: Vec<f64> = (0..d)
+            .map(|i| instance.system.capacity(i) as f64)
+            .collect();
+        let mut remaining_preds: Vec<usize> =
+            (0..n).map(|j| instance.dag.in_degree(j)).collect();
+        let mut ready: Vec<usize> = (0..n).filter(|&j| remaining_preds[j] == 0).collect();
+        sort_by_key(&mut ready, &keys);
+
+        let mut start = vec![f64::NAN; n];
+        let mut finish = vec![f64::NAN; n];
+        let mut scheduled = vec![false; n];
+        let mut completed = vec![false; n];
+        // Running jobs as (finish_time, job), managed as a simple vector; the
+        // instance sizes the evaluation uses (up to a few thousand jobs) do
+        // not warrant a binary heap.
+        let mut running: Vec<(f64, usize)> = Vec::new();
+        let mut now = 0.0f64;
+        let mut num_completed = 0usize;
+
+        loop {
+            // Start every ready job that fits, in priority order.
+            let mut i = 0;
+            while i < ready.len() {
+                let j = ready[i];
+                let fits = (0..d).all(|r| decision[j][r] as f64 <= avail[r] + 1e-9);
+                if fits {
+                    for r in 0..d {
+                        avail[r] -= decision[j][r] as f64;
+                    }
+                    start[j] = now;
+                    finish[j] = now + times[j];
+                    scheduled[j] = true;
+                    running.push((finish[j], j));
+                    ready.remove(i);
+                } else {
+                    i += 1;
+                }
+            }
+
+            if num_completed == n {
+                break;
+            }
+            if running.is_empty() {
+                // No job is running and not everything is done: this can only
+                // happen if some ready job never fits, which the validation
+                // above excludes, or if the graph still has blocked jobs whose
+                // predecessors will never run — impossible for a DAG. Guard
+                // anyway to avoid an infinite loop in release builds.
+                debug_assert!(false, "list scheduler stalled with idle system");
+                return Err(CoreError::NoFeasibleAllocation {
+                    job: ready.first().copied().unwrap_or(0),
+                });
+            }
+
+            // Advance to the next completion event (the earliest finish time).
+            let next_time = running
+                .iter()
+                .map(|&(f, _)| f)
+                .fold(f64::INFINITY, f64::min);
+            now = next_time;
+            // Complete every job finishing at `now` and release its resources.
+            let mut newly_ready: Vec<usize> = Vec::new();
+            let mut k = 0;
+            while k < running.len() {
+                let (f, j) = running[k];
+                if f <= now + 1e-9 {
+                    running.swap_remove(k);
+                    completed[j] = true;
+                    num_completed += 1;
+                    for r in 0..d {
+                        avail[r] += decision[j][r] as f64;
+                    }
+                    for &succ in instance.dag.successors(j) {
+                        remaining_preds[succ] -= 1;
+                        if remaining_preds[succ] == 0 {
+                            newly_ready.push(succ);
+                        }
+                    }
+                } else {
+                    k += 1;
+                }
+            }
+            ready.extend(newly_ready);
+            sort_by_key(&mut ready, &keys);
+        }
+
+        let jobs = (0..n)
+            .map(|j| ScheduledJob {
+                job: j,
+                start: start[j],
+                finish: finish[j],
+                alloc: decision[j].clone(),
+            })
+            .collect();
+        Ok(Schedule::new(jobs))
+    }
+}
+
+/// Sorts job indices by `(key, job index)` so the order is deterministic even
+/// with equal keys.
+fn sort_by_key(jobs: &mut [usize], keys: &[f64]) {
+    jobs.sort_by(|&a, &b| {
+        keys[a]
+            .partial_cmp(&keys[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrls_dag::Dag;
+    use mrls_model::{ExecTimeSpec, MoldableJob, SystemConfig};
+
+    /// One resource type with capacity `p`; `n` constant-time jobs.
+    fn rigid_instance(n: usize, p: u64, dag: Dag, times: &[f64], units: &[u64]) -> Instance {
+        let jobs: Vec<MoldableJob> = (0..n)
+            .map(|j| MoldableJob::new(j, ExecTimeSpec::Constant { time: times[j] }))
+            .collect();
+        let _ = units;
+        Instance::new(SystemConfig::new(vec![p]).unwrap(), dag, jobs).unwrap()
+    }
+
+    fn alloc1(units: &[u64]) -> Vec<Allocation> {
+        units.iter().map(|&u| Allocation::new(vec![u])).collect()
+    }
+
+    #[test]
+    fn independent_jobs_pack_onto_resources() {
+        // 4 unit-time jobs, each needing 1 of 2 units: two waves of two.
+        let inst = rigid_instance(4, 2, Dag::independent(4), &[1.0; 4], &[1; 4]);
+        let sched = ListScheduler::new(PriorityRule::Fifo)
+            .schedule(&inst, &alloc1(&[1, 1, 1, 1]))
+            .unwrap();
+        assert!((sched.makespan - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chain_is_sequential() {
+        let inst = rigid_instance(3, 4, Dag::chain(3), &[1.0, 2.0, 3.0], &[1; 3]);
+        let sched = ListScheduler::new(PriorityRule::Fifo)
+            .schedule(&inst, &alloc1(&[1, 1, 1]))
+            .unwrap();
+        assert!((sched.makespan - 6.0).abs() < 1e-9);
+        assert!(sched.jobs[1].start >= sched.jobs[0].finish - 1e-9);
+        assert!(sched.jobs[2].start >= sched.jobs[1].finish - 1e-9);
+    }
+
+    #[test]
+    fn resource_capacity_is_respected_at_every_event() {
+        // 3 unit jobs each needing 2 of 3 units: they must serialise.
+        let inst = rigid_instance(3, 3, Dag::independent(3), &[1.0; 3], &[2; 3]);
+        let sched = ListScheduler::new(PriorityRule::Fifo)
+            .schedule(&inst, &alloc1(&[2, 2, 2]))
+            .unwrap();
+        assert!((sched.makespan - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn priority_order_changes_start_order() {
+        // Two jobs, only one can run at a time; longest-time-first runs job 1
+        // (t=5) before job 0 (t=1).
+        let inst = rigid_instance(2, 1, Dag::independent(2), &[1.0, 5.0], &[1, 1]);
+        let fifo = ListScheduler::new(PriorityRule::Fifo)
+            .schedule(&inst, &alloc1(&[1, 1]))
+            .unwrap();
+        assert!(fifo.jobs[0].start < fifo.jobs[1].start);
+        let ltf = ListScheduler::new(PriorityRule::LongestTimeFirst)
+            .schedule(&inst, &alloc1(&[1, 1]))
+            .unwrap();
+        assert!(ltf.jobs[1].start < ltf.jobs[0].start);
+        // Makespan is the same either way here.
+        assert!((fifo.makespan - ltf.makespan).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_backfilling_starts_any_fitting_job() {
+        // Job 0 needs 3/4 units, job 1 needs 4/4, job 2 needs 1/4.
+        // FIFO order: 0 starts, 1 does not fit, but 2 (later in the queue)
+        // does fit and must be started (Algorithm 2 scans the whole queue).
+        let inst = rigid_instance(3, 4, Dag::independent(3), &[2.0, 1.0, 1.0], &[3, 4, 1]);
+        let sched = ListScheduler::new(PriorityRule::Fifo)
+            .schedule(&inst, &alloc1(&[3, 4, 1]))
+            .unwrap();
+        assert!((sched.jobs[0].start - 0.0).abs() < 1e-9);
+        assert!((sched.jobs[2].start - 0.0).abs() < 1e-9);
+        assert!(sched.jobs[1].start >= 2.0 - 1e-9);
+    }
+
+    #[test]
+    fn multi_resource_fit_requires_every_type() {
+        // Two resource types; job 1 fits type 0 but not type 1 while job 0 runs.
+        let system = SystemConfig::new(vec![4, 2]).unwrap();
+        let jobs: Vec<MoldableJob> = (0..2)
+            .map(|j| MoldableJob::new(j, ExecTimeSpec::Constant { time: 1.0 }))
+            .collect();
+        let inst = Instance::new(system, Dag::independent(2), jobs).unwrap();
+        let decision = vec![Allocation::new(vec![1, 2]), Allocation::new(vec![1, 1])];
+        let sched = ListScheduler::new(PriorityRule::Fifo)
+            .schedule(&inst, &decision)
+            .unwrap();
+        // Job 1 must wait for job 0 to release resource type 1.
+        assert!((sched.jobs[1].start - 1.0).abs() < 1e-9);
+        assert!((sched.makespan - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oversized_allocation_is_rejected() {
+        let inst = rigid_instance(1, 2, Dag::independent(1), &[1.0], &[3]);
+        let err = ListScheduler::new(PriorityRule::Fifo)
+            .schedule(&inst, &alloc1(&[3]))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Model(_)) || matches!(err, CoreError::AllocationNeverFits { .. }));
+    }
+
+    #[test]
+    fn wrong_decision_length_rejected() {
+        let inst = rigid_instance(2, 2, Dag::independent(2), &[1.0, 1.0], &[1, 1]);
+        let err = ListScheduler::new(PriorityRule::Fifo)
+            .schedule(&inst, &alloc1(&[1]))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Model(_)));
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = rigid_instance(0, 2, Dag::independent(0), &[], &[]);
+        let sched = ListScheduler::new(PriorityRule::Fifo)
+            .schedule(&inst, &[])
+            .unwrap();
+        assert_eq!(sched.makespan, 0.0);
+    }
+
+    #[test]
+    fn diamond_precedence_and_overlap() {
+        // Diamond with unit jobs on 2 units of one resource: 0, then 1 and 2
+        // in parallel, then 3 => makespan 3.
+        let dag = Dag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let inst = rigid_instance(4, 2, dag, &[1.0; 4], &[1; 4]);
+        let sched = ListScheduler::new(PriorityRule::CriticalPath)
+            .schedule(&inst, &alloc1(&[1, 1, 1, 1]))
+            .unwrap();
+        assert!((sched.makespan - 3.0).abs() < 1e-9);
+        assert!((sched.jobs[1].start - 1.0).abs() < 1e-9);
+        assert!((sched.jobs[2].start - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn makespan_at_least_critical_path_and_area() {
+        // Generic sanity on a small random-ish instance with moldable times.
+        let system = SystemConfig::new(vec![3, 3]).unwrap();
+        let dag = Dag::from_edges(5, &[(0, 2), (1, 2), (2, 3), (2, 4)]).unwrap();
+        let jobs: Vec<MoldableJob> = (0..5)
+            .map(|j| {
+                MoldableJob::new(
+                    j,
+                    ExecTimeSpec::Amdahl {
+                        seq: 1.0,
+                        work: vec![4.0, 2.0],
+                    },
+                )
+            })
+            .collect();
+        let inst = Instance::new(system, dag, jobs).unwrap();
+        let decision = vec![Allocation::new(vec![2, 1]); 5];
+        let sched = ListScheduler::new(PriorityRule::CriticalPath)
+            .schedule(&inst, &decision)
+            .unwrap();
+        let metrics = inst.evaluate_decision(&decision).unwrap();
+        assert!(sched.makespan + 1e-9 >= metrics.critical_path);
+        assert!(sched.makespan + 1e-9 >= metrics.average_total_area);
+    }
+}

@@ -1,0 +1,158 @@
+//! Priority rules for the list scheduler's ready queue.
+//!
+//! Section 4.2.1 of the paper notes that ready jobs "can be inserted into the
+//! queue in any order without affecting the approximation ratio", but that
+//! giving priority to certain jobs (longer execution time, critical path) may
+//! yield better performance in practice. Theorem 6 shows that *local*
+//! priorities (ones that ignore the precedence structure) cannot beat a
+//! factor of `d`; the rules below include both local and global (graph-aware)
+//! options, plus an explicit ordering used to build adversarial examples.
+
+use mrls_model::Allocation;
+use mrls_model::SystemConfig;
+use serde::{Deserialize, Serialize};
+
+/// How the ready queue is ordered. Lower key = scheduled earlier within an
+/// event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PriorityRule {
+    /// First-in first-out by job index (a purely local rule).
+    Fifo,
+    /// Longest execution time first (local rule).
+    LongestTimeFirst,
+    /// Largest average area first (local rule).
+    LargestAreaFirst,
+    /// Largest *bottom level* (critical-path length to a sink) first — the
+    /// classic global critical-path rule.
+    CriticalPath,
+    /// An explicit priority index per job (smaller = earlier). Used by the
+    /// Theorem 6 adversarial instance and by ablation experiments.
+    Explicit(Vec<usize>),
+}
+
+impl PriorityRule {
+    /// Computes the numeric priority key of every job (smaller = scheduled
+    /// first). `times` and `allocs` describe the chosen allocation decision;
+    /// `bottom_levels` are the critical-path lengths to the sinks.
+    pub fn keys(
+        &self,
+        times: &[f64],
+        allocs: &[Allocation],
+        bottom_levels: &[f64],
+        system: &SystemConfig,
+    ) -> Vec<f64> {
+        let n = times.len();
+        match self {
+            PriorityRule::Fifo => (0..n).map(|j| j as f64).collect(),
+            PriorityRule::LongestTimeFirst => times.iter().map(|&t| -t).collect(),
+            PriorityRule::LargestAreaFirst => (0..n)
+                .map(|j| {
+                    let d = system.num_resource_types();
+                    let area: f64 = (0..d)
+                        .map(|i| allocs[j][i] as f64 * times[j] / system.capacity(i) as f64)
+                        .sum::<f64>()
+                        / d as f64;
+                    -area
+                })
+                .collect(),
+            PriorityRule::CriticalPath => bottom_levels.iter().map(|&b| -b).collect(),
+            PriorityRule::Explicit(order) => order.iter().map(|&o| o as f64).collect(),
+        }
+    }
+
+    /// `true` if the rule only uses per-job local information (Theorem 6's
+    /// class of schedulers).
+    pub fn is_local(&self) -> bool {
+        !matches!(self, PriorityRule::CriticalPath)
+    }
+
+    /// Short label for experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PriorityRule::Fifo => "fifo",
+            PriorityRule::LongestTimeFirst => "longest-time",
+            PriorityRule::LargestAreaFirst => "largest-area",
+            PriorityRule::CriticalPath => "critical-path",
+            PriorityRule::Explicit(_) => "explicit",
+        }
+    }
+}
+
+impl Default for PriorityRule {
+    fn default() -> Self {
+        PriorityRule::CriticalPath
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn system() -> SystemConfig {
+        SystemConfig::new(vec![4, 4]).unwrap()
+    }
+
+    #[test]
+    fn fifo_keys_are_indices() {
+        let keys = PriorityRule::Fifo.keys(
+            &[1.0, 2.0],
+            &[Allocation::ones(2), Allocation::ones(2)],
+            &[3.0, 1.0],
+            &system(),
+        );
+        assert_eq!(keys, vec![0.0, 1.0]);
+        assert!(PriorityRule::Fifo.is_local());
+    }
+
+    #[test]
+    fn longest_time_prefers_long_jobs() {
+        let keys = PriorityRule::LongestTimeFirst.keys(
+            &[1.0, 5.0, 3.0],
+            &vec![Allocation::ones(2); 3],
+            &[0.0; 3],
+            &system(),
+        );
+        assert!(keys[1] < keys[2] && keys[2] < keys[0]);
+    }
+
+    #[test]
+    fn critical_path_prefers_deep_jobs() {
+        let keys = PriorityRule::CriticalPath.keys(
+            &[1.0, 1.0],
+            &vec![Allocation::ones(2); 2],
+            &[10.0, 2.0],
+            &system(),
+        );
+        assert!(keys[0] < keys[1]);
+        assert!(!PriorityRule::CriticalPath.is_local());
+    }
+
+    #[test]
+    fn largest_area_uses_allocation() {
+        let keys = PriorityRule::LargestAreaFirst.keys(
+            &[2.0, 2.0],
+            &[Allocation::new(vec![4, 4]), Allocation::new(vec![1, 1])],
+            &[0.0; 2],
+            &system(),
+        );
+        assert!(keys[0] < keys[1]);
+    }
+
+    #[test]
+    fn explicit_order() {
+        let rule = PriorityRule::Explicit(vec![5, 0, 3]);
+        let keys = rule.keys(
+            &[1.0; 3],
+            &vec![Allocation::ones(2); 3],
+            &[0.0; 3],
+            &system(),
+        );
+        assert_eq!(keys, vec![5.0, 0.0, 3.0]);
+        assert_eq!(rule.label(), "explicit");
+    }
+
+    #[test]
+    fn default_is_critical_path() {
+        assert_eq!(PriorityRule::default(), PriorityRule::CriticalPath);
+    }
+}

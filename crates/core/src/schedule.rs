@@ -1,0 +1,155 @@
+//! Schedule representation: the output of the list scheduler.
+
+use mrls_model::Allocation;
+use serde::{Deserialize, Serialize};
+
+/// One job's placement in a schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledJob {
+    /// Job index (DAG node id).
+    pub job: usize,
+    /// Start time `s_j`.
+    pub start: f64,
+    /// Completion time `c_j = s_j + t_j(p_j)`.
+    pub finish: f64,
+    /// The resource allocation the job runs with.
+    pub alloc: Allocation,
+}
+
+impl ScheduledJob {
+    /// Execution time of the job in this schedule.
+    pub fn duration(&self) -> f64 {
+        self.finish - self.start
+    }
+}
+
+/// A complete schedule: the two decisions of Section 3.2 (allocation `p` and
+/// starting times `s`) together with the resulting makespan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Per-job placements, indexed by job id.
+    pub jobs: Vec<ScheduledJob>,
+    /// The makespan `T = max_j c_j` (zero for an empty instance).
+    pub makespan: f64,
+}
+
+impl Schedule {
+    /// Builds a schedule from per-job placements, computing the makespan.
+    pub fn new(jobs: Vec<ScheduledJob>) -> Schedule {
+        let makespan = jobs.iter().map(|j| j.finish).fold(0.0f64, f64::max);
+        Schedule { jobs, makespan }
+    }
+
+    /// Number of scheduled jobs.
+    pub fn num_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// The start-time decision vector `s`, indexed by job.
+    pub fn start_times(&self) -> Vec<f64> {
+        self.jobs.iter().map(|j| j.start).collect()
+    }
+
+    /// The allocation decision vector `p`, indexed by job.
+    pub fn allocations(&self) -> Vec<Allocation> {
+        self.jobs.iter().map(|j| j.alloc.clone()).collect()
+    }
+
+    /// All distinct event times (starts and finishes), sorted ascending and
+    /// deduplicated — the boundaries of the intervals `I` of Section 4.2.2.
+    pub fn event_times(&self) -> Vec<f64> {
+        let mut times: Vec<f64> = self
+            .jobs
+            .iter()
+            .flat_map(|j| [j.start, j.finish])
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        times.dedup_by(|a, b| (*a - *b).abs() <= 1e-9);
+        times
+    }
+
+    /// The jobs running during the open interval `(t1, t2)` (assumed to lie
+    /// strictly between two consecutive event times).
+    pub fn running_during(&self, t1: f64, t2: f64) -> Vec<usize> {
+        let mid = 0.5 * (t1 + t2);
+        self.jobs
+            .iter()
+            .filter(|j| j.start <= mid && mid < j.finish)
+            .map(|j| j.job)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schedule {
+        Schedule::new(vec![
+            ScheduledJob {
+                job: 0,
+                start: 0.0,
+                finish: 2.0,
+                alloc: Allocation::new(vec![1, 1]),
+            },
+            ScheduledJob {
+                job: 1,
+                start: 2.0,
+                finish: 5.0,
+                alloc: Allocation::new(vec![2, 1]),
+            },
+            ScheduledJob {
+                job: 2,
+                start: 2.0,
+                finish: 3.0,
+                alloc: Allocation::new(vec![1, 2]),
+            },
+        ])
+    }
+
+    #[test]
+    fn makespan_is_max_finish() {
+        let s = sample();
+        assert!((s.makespan - 5.0).abs() < 1e-12);
+        assert_eq!(s.num_jobs(), 3);
+    }
+
+    #[test]
+    fn start_times_and_allocations() {
+        let s = sample();
+        assert_eq!(s.start_times(), vec![0.0, 2.0, 2.0]);
+        assert_eq!(s.allocations()[1], Allocation::new(vec![2, 1]));
+        assert!((s.jobs[1].duration() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn event_times_dedup() {
+        let s = sample();
+        assert_eq!(s.event_times(), vec![0.0, 2.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn running_during_interval() {
+        let s = sample();
+        assert_eq!(s.running_during(0.0, 2.0), vec![0]);
+        let mut r = s.running_during(2.0, 3.0);
+        r.sort_unstable();
+        assert_eq!(r, vec![1, 2]);
+        assert_eq!(s.running_during(3.0, 5.0), vec![1]);
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let s = Schedule::new(vec![]);
+        assert_eq!(s.makespan, 0.0);
+        assert!(s.event_times().is_empty());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = sample();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Schedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,172 @@
+//! End-to-end property tests for the two-phase algorithm.
+//!
+//! For randomly generated workloads (random DAG families × random moldable
+//! jobs) we check the paper's key invariants:
+//!
+//! * schedules are always *valid*: precedence constraints and per-type
+//!   capacities are respected at every instant;
+//! * the makespan is at least the certified lower bound;
+//! * the measured ratio `T / LB` never exceeds the theorem guarantee of the
+//!   matching graph class;
+//! * the µ-adjustment never increases any allocation component.
+
+use mrls_core::scheduler::{AllocatorKind, MrlsConfig, MrlsScheduler};
+use mrls_core::PriorityRule;
+use mrls_workload::{DagRecipe, InstanceRecipe, JobRecipe, SpeedupFamily, SystemRecipe};
+use mrls_model::AllocationSpace;
+use proptest::prelude::*;
+
+fn recipe(dag: DagRecipe, d: usize, p: u64, family: SpeedupFamily) -> InstanceRecipe {
+    InstanceRecipe {
+        system: SystemRecipe::Uniform { d, p },
+        dag,
+        jobs: JobRecipe {
+            family,
+            work_range: (5.0, 50.0),
+            seq_fraction_range: (0.0, 0.3),
+            space: AllocationSpace::PowersOfTwo,
+            heavy_kind_factor: 2.0,
+        },
+    }
+}
+
+/// Verifies capacity and precedence feasibility of a schedule.
+fn assert_valid_schedule(
+    instance: &mrls_model::Instance,
+    schedule: &mrls_core::Schedule,
+) -> Result<(), TestCaseError> {
+    let d = instance.num_resource_types();
+    // Precedence.
+    for (u, v) in instance.dag.edges() {
+        prop_assert!(
+            schedule.jobs[v].start + 1e-6 >= schedule.jobs[u].finish,
+            "edge {u}->{v} violated"
+        );
+    }
+    // Capacity at every interval between consecutive events.
+    let events = schedule.event_times();
+    for w in events.windows(2) {
+        let running = schedule.running_during(w[0], w[1]);
+        for i in 0..d {
+            let used: u64 = running.iter().map(|&j| schedule.jobs[j].alloc[i]).sum();
+            prop_assert!(
+                used <= instance.system.capacity(i),
+                "capacity of type {i} exceeded in [{}, {}]: {used}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn general_dags_satisfy_guarantee_and_validity(
+        seed in 0u64..10_000,
+        n in 5usize..25,
+        d in 1usize..4,
+        family in prop_oneof![
+            Just(SpeedupFamily::Amdahl),
+            Just(SpeedupFamily::PowerLaw),
+            Just(SpeedupFamily::Roofline),
+        ],
+    ) {
+        let r = recipe(
+            DagRecipe::RandomLayered { n, layers: 4, edge_prob: 0.3 },
+            d,
+            8,
+            family,
+        );
+        let gi = r.generate(seed);
+        let result = MrlsScheduler::with_defaults().schedule(&gi.instance).unwrap();
+        assert_valid_schedule(&gi.instance, &result.schedule)?;
+        prop_assert!(result.schedule.makespan + 1e-6 >= result.lower_bound);
+        prop_assert!(
+            result.measured_ratio() <= result.params.ratio_guarantee + 1e-6,
+            "ratio {} exceeds guarantee {}",
+            result.measured_ratio(),
+            result.params.ratio_guarantee
+        );
+    }
+
+    #[test]
+    fn sp_and_independent_classes_satisfy_their_guarantees(
+        seed in 0u64..10_000,
+        n in 4usize..20,
+        d in 1usize..4,
+        which in 0usize..3,
+    ) {
+        let dag = match which {
+            0 => DagRecipe::Independent { n },
+            1 => DagRecipe::RandomSeriesParallel { n, series_prob: 0.5 },
+            _ => DagRecipe::RandomOutTree { n, max_children: 3 },
+        };
+        let r = recipe(dag, d, 8, SpeedupFamily::Amdahl);
+        let gi = r.generate(seed);
+        let result = MrlsScheduler::with_defaults().schedule(&gi.instance).unwrap();
+        assert_valid_schedule(&gi.instance, &result.schedule)?;
+        prop_assert!(
+            result.measured_ratio() <= result.params.ratio_guarantee + 1e-6,
+            "class {}: ratio {} exceeds guarantee {}",
+            result.params.graph_class,
+            result.measured_ratio(),
+            result.params.ratio_guarantee
+        );
+    }
+
+    #[test]
+    fn adjustment_never_increases_allocations(
+        seed in 0u64..10_000,
+        n in 4usize..16,
+        d in 1usize..4,
+    ) {
+        let r = recipe(
+            DagRecipe::ErdosRenyi { n, edge_prob: 0.25 },
+            d,
+            10,
+            SpeedupFamily::Mixed,
+        );
+        let gi = r.generate(seed);
+        let result = MrlsScheduler::with_defaults().schedule(&gi.instance).unwrap();
+        for (initial, fin) in result.initial_decision.iter().zip(result.decision.iter()) {
+            prop_assert!(fin.dominated_by(initial));
+        }
+        // Flags are consistent with an actual reduction.
+        for (j, &flag) in result.adjusted.iter().enumerate() {
+            let reduced = result.decision[j] != result.initial_decision[j];
+            prop_assert_eq!(flag, reduced);
+        }
+    }
+
+    #[test]
+    fn all_allocators_and_priorities_produce_valid_schedules(
+        seed in 0u64..10_000,
+        kind in prop_oneof![
+            Just(AllocatorKind::LpRounding),
+            Just(AllocatorKind::MinTime),
+            Just(AllocatorKind::MinArea),
+            Just(AllocatorKind::MinLocalMax),
+        ],
+        priority in prop_oneof![
+            Just(PriorityRule::Fifo),
+            Just(PriorityRule::CriticalPath),
+            Just(PriorityRule::LongestTimeFirst),
+            Just(PriorityRule::LargestAreaFirst),
+        ],
+    ) {
+        let r = recipe(
+            DagRecipe::RandomLayered { n: 12, layers: 3, edge_prob: 0.4 },
+            2,
+            8,
+            SpeedupFamily::Mixed,
+        );
+        let gi = r.generate(seed);
+        let config = MrlsConfig { allocator: kind, priority, ..MrlsConfig::default() };
+        let result = MrlsScheduler::new(config).schedule(&gi.instance).unwrap();
+        assert_valid_schedule(&gi.instance, &result.schedule)?;
+        prop_assert!(result.schedule.makespan > 0.0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Graphviz DOT export, used by the CLI and for documentation figures.
+
+use crate::graph::Dag;
+
+impl Dag {
+    /// Renders the DAG in Graphviz DOT syntax. `labels` optionally supplies a
+    /// textual label per node (defaults to the node id); `None` entries fall
+    /// back to the id as well.
+    pub fn to_dot(&self, name: &str, labels: Option<&[String]>) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("digraph \"{}\" {{\n", sanitize(name)));
+        out.push_str("  rankdir=TB;\n  node [shape=box];\n");
+        for v in 0..self.num_nodes() {
+            let label = labels
+                .and_then(|l| l.get(v))
+                .cloned()
+                .unwrap_or_else(|| format!("j{v}"));
+            out.push_str(&format!("  n{} [label=\"{}\"];\n", v, sanitize(&label)));
+        }
+        for (u, v) in self.edges() {
+            out.push_str(&format!("  n{u} -> n{v};\n"));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| if c == '"' || c == '\\' { '_' } else { c })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Dag;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let g = Dag::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let dot = g.to_dot("test", None);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("n0 [label=\"j0\"]"));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.contains("n1 -> n2;"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_with_custom_labels() {
+        let g = Dag::chain(2);
+        let labels = vec!["load".to_string(), "solve".to_string()];
+        let dot = g.to_dot("wf", Some(&labels));
+        assert!(dot.contains("label=\"load\""));
+        assert!(dot.contains("label=\"solve\""));
+    }
+
+    #[test]
+    fn dot_sanitizes_quotes() {
+        let g = Dag::independent(1);
+        let labels = vec!["a\"b".to_string()];
+        let dot = g.to_dot("x\"y", Some(&labels));
+        assert!(!dot.contains("a\"b"));
+        assert!(dot.contains("a_b"));
+    }
+}

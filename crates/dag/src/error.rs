@@ -1,0 +1,109 @@
+//! Error type for DAG construction and queries.
+
+use std::fmt;
+
+/// Errors produced while building or querying a [`crate::Dag`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// An edge endpoint refers to a node id `>= num_nodes`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: usize,
+        /// The number of nodes in the graph.
+        num_nodes: usize,
+    },
+    /// A self-loop `u -> u` was added; precedence graphs must be irreflexive.
+    SelfLoop(usize),
+    /// The edge set contains a directed cycle, so the graph is not a DAG.
+    CycleDetected {
+        /// One node known to lie on a cycle.
+        witness: usize,
+    },
+    /// A weight vector of the wrong length was supplied.
+    WeightLengthMismatch {
+        /// Expected length (number of nodes).
+        expected: usize,
+        /// Supplied length.
+        got: usize,
+    },
+    /// The graph is not series-parallel (contains an "N" sub-order), so no SP
+    /// decomposition exists.
+    NotSeriesParallel,
+    /// The graph is empty where a non-empty graph was required.
+    EmptyGraph,
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::NodeOutOfRange { node, num_nodes } => write!(
+                f,
+                "node id {node} out of range for a graph with {num_nodes} nodes"
+            ),
+            DagError::SelfLoop(n) => write!(f, "self-loop on node {n} is not allowed"),
+            DagError::CycleDetected { witness } => {
+                write!(f, "the edge set contains a cycle through node {witness}")
+            }
+            DagError::WeightLengthMismatch { expected, got } => write!(
+                f,
+                "weight vector has length {got}, expected {expected} (one per node)"
+            ),
+            DagError::NotSeriesParallel => {
+                write!(f, "the graph is not a series-parallel order")
+            }
+            DagError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_node_out_of_range() {
+        let e = DagError::NodeOutOfRange {
+            node: 7,
+            num_nodes: 3,
+        };
+        assert!(e.to_string().contains("7"));
+        assert!(e.to_string().contains("3"));
+    }
+
+    #[test]
+    fn display_self_loop() {
+        assert!(DagError::SelfLoop(2).to_string().contains("self-loop"));
+    }
+
+    #[test]
+    fn display_cycle() {
+        assert!(DagError::CycleDetected { witness: 1 }
+            .to_string()
+            .contains("cycle"));
+    }
+
+    #[test]
+    fn display_weight_mismatch() {
+        let e = DagError::WeightLengthMismatch {
+            expected: 4,
+            got: 2,
+        };
+        assert!(e.to_string().contains("4"));
+        assert!(e.to_string().contains("2"));
+    }
+
+    #[test]
+    fn display_not_sp() {
+        assert!(DagError::NotSeriesParallel
+            .to_string()
+            .contains("series-parallel"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(DagError::EmptyGraph);
+        assert!(e.to_string().contains("non-empty"));
+    }
+}

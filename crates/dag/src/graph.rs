@@ -1,0 +1,389 @@
+//! Compact precedence-graph representation.
+//!
+//! A [`Dag`] stores, for every node (job), the list of immediate predecessors
+//! and immediate successors. Construction goes through [`DagBuilder`], which
+//! validates node ids, rejects self loops and duplicate edges, and checks
+//! acyclicity once at [`DagBuilder::build`] time. After construction the graph
+//! is immutable, which lets the scheduler and the analysis code share it
+//! freely.
+
+use crate::error::DagError;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node (job) in a [`Dag`]. Nodes are numbered `0..num_nodes`.
+pub type NodeId = usize;
+
+/// An immutable directed acyclic graph over `0..num_nodes` nodes.
+///
+/// Edges are precedence constraints: an edge `u -> v` means job `v` may only
+/// start after job `u` has completed (Section 3.1 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dag {
+    num_nodes: usize,
+    /// `succs[u]` = immediate successors of `u`, sorted ascending.
+    succs: Vec<Vec<NodeId>>,
+    /// `preds[v]` = immediate predecessors of `v`, sorted ascending.
+    preds: Vec<Vec<NodeId>>,
+    /// Total number of edges.
+    num_edges: usize,
+}
+
+impl Dag {
+    /// Builds a DAG with `num_nodes` nodes and no edges (an *independent* job
+    /// set in the paper's terminology).
+    pub fn independent(num_nodes: usize) -> Self {
+        Dag {
+            num_nodes,
+            succs: vec![Vec::new(); num_nodes],
+            preds: vec![Vec::new(); num_nodes],
+            num_edges: 0,
+        }
+    }
+
+    /// Builds a DAG directly from an edge list. Convenience wrapper around
+    /// [`DagBuilder`].
+    pub fn from_edges(num_nodes: usize, edges: &[(NodeId, NodeId)]) -> Result<Self> {
+        let mut b = DagBuilder::new(num_nodes);
+        for &(u, v) in edges {
+            b.add_edge(u, v)?;
+        }
+        b.build()
+    }
+
+    /// Builds a chain `0 -> 1 -> ... -> n-1`.
+    pub fn chain(num_nodes: usize) -> Self {
+        let mut b = DagBuilder::new(num_nodes);
+        for i in 1..num_nodes {
+            b.add_edge(i - 1, i).expect("chain edges are always valid");
+        }
+        b.build().expect("a chain is acyclic")
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Returns `true` if the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.num_nodes == 0
+    }
+
+    /// Immediate successors of `u` (sorted ascending).
+    #[inline]
+    pub fn successors(&self, u: NodeId) -> &[NodeId] {
+        &self.succs[u]
+    }
+
+    /// Immediate predecessors of `v` (sorted ascending).
+    #[inline]
+    pub fn predecessors(&self, v: NodeId) -> &[NodeId] {
+        &self.preds[v]
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        self.succs[u].len()
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.preds[v].len()
+    }
+
+    /// Returns `true` if the edge `u -> v` is present.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        u < self.num_nodes && self.succs[u].binary_search(&v).is_ok()
+    }
+
+    /// All nodes with no predecessors ("ready at time zero" in list
+    /// scheduling), ascending.
+    pub fn sources(&self) -> Vec<NodeId> {
+        (0..self.num_nodes)
+            .filter(|&v| self.preds[v].is_empty())
+            .collect()
+    }
+
+    /// All nodes with no successors, ascending.
+    pub fn sinks(&self) -> Vec<NodeId> {
+        (0..self.num_nodes)
+            .filter(|&v| self.succs[v].is_empty())
+            .collect()
+    }
+
+    /// Iterator over all edges `(u, v)` in ascending `(u, v)` order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.succs
+            .iter()
+            .enumerate()
+            .flat_map(|(u, vs)| vs.iter().map(move |&v| (u, v)))
+    }
+
+    /// Validates an externally supplied per-node weight vector.
+    pub(crate) fn check_weights(&self, weights: &[f64]) -> Result<()> {
+        if weights.len() != self.num_nodes {
+            return Err(DagError::WeightLengthMismatch {
+                expected: self.num_nodes,
+                got: weights.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Returns the induced subgraph over `nodes` together with the mapping
+    /// from new node ids to the original ids (`mapping[new] = old`). Edges of
+    /// the original graph between retained nodes are preserved.
+    pub fn induced_subgraph(&self, nodes: &[NodeId]) -> (Dag, Vec<NodeId>) {
+        let mut old_to_new = vec![usize::MAX; self.num_nodes];
+        let mut mapping = Vec::with_capacity(nodes.len());
+        for (new, &old) in nodes.iter().enumerate() {
+            old_to_new[old] = new;
+            mapping.push(old);
+        }
+        let mut b = DagBuilder::new(nodes.len());
+        for &old_u in nodes {
+            for &old_v in &self.succs[old_u] {
+                if old_to_new[old_v] != usize::MAX {
+                    b.add_edge(old_to_new[old_u], old_to_new[old_v])
+                        .expect("subgraph edge endpoints are in range");
+                }
+            }
+        }
+        (
+            b.build().expect("a subgraph of a DAG is a DAG"),
+            mapping,
+        )
+    }
+
+    /// Returns the reverse graph (every edge flipped). Useful for computing
+    /// bottom levels as top levels of the reverse graph.
+    pub fn reversed(&self) -> Dag {
+        Dag {
+            num_nodes: self.num_nodes,
+            succs: self.preds.clone(),
+            preds: self.succs.clone(),
+            num_edges: self.num_edges,
+        }
+    }
+}
+
+/// Incremental builder for [`Dag`].
+#[derive(Debug, Clone)]
+pub struct DagBuilder {
+    num_nodes: usize,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl DagBuilder {
+    /// Creates a builder for a graph with `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        DagBuilder {
+            num_nodes,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of nodes the built graph will have.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Adds a precedence edge `u -> v`. Duplicate edges are silently ignored
+    /// at build time. Returns an error for out-of-range endpoints or self
+    /// loops; cycles are only detected at [`DagBuilder::build`].
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<&mut Self> {
+        if u >= self.num_nodes {
+            return Err(DagError::NodeOutOfRange {
+                node: u,
+                num_nodes: self.num_nodes,
+            });
+        }
+        if v >= self.num_nodes {
+            return Err(DagError::NodeOutOfRange {
+                node: v,
+                num_nodes: self.num_nodes,
+            });
+        }
+        if u == v {
+            return Err(DagError::SelfLoop(u));
+        }
+        self.edges.push((u, v));
+        Ok(self)
+    }
+
+    /// Adds many edges at once.
+    pub fn add_edges(&mut self, edges: &[(NodeId, NodeId)]) -> Result<&mut Self> {
+        for &(u, v) in edges {
+            self.add_edge(u, v)?;
+        }
+        Ok(self)
+    }
+
+    /// Finalises the graph, deduplicating edges and verifying acyclicity.
+    pub fn build(&self) -> Result<Dag> {
+        let mut succs = vec![Vec::new(); self.num_nodes];
+        let mut preds = vec![Vec::new(); self.num_nodes];
+        let mut sorted = self.edges.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let num_edges = sorted.len();
+        for (u, v) in sorted {
+            succs[u].push(v);
+            preds[v].push(u);
+        }
+        for list in succs.iter_mut().chain(preds.iter_mut()) {
+            list.sort_unstable();
+        }
+        let dag = Dag {
+            num_nodes: self.num_nodes,
+            succs,
+            preds,
+            num_edges,
+        };
+        // Kahn's algorithm to detect cycles.
+        let mut indeg: Vec<usize> = (0..dag.num_nodes).map(|v| dag.in_degree(v)).collect();
+        let mut stack: Vec<NodeId> = (0..dag.num_nodes).filter(|&v| indeg[v] == 0).collect();
+        let mut visited = 0usize;
+        while let Some(u) = stack.pop() {
+            visited += 1;
+            for &v in dag.successors(u) {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    stack.push(v);
+                }
+            }
+        }
+        if visited != dag.num_nodes {
+            let witness = (0..dag.num_nodes)
+                .find(|&v| indeg[v] > 0)
+                .expect("some node has positive residual in-degree on a cycle");
+            return Err(DagError::CycleDetected { witness });
+        }
+        Ok(dag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Dag {
+        Dag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn independent_has_no_edges() {
+        let g = Dag::independent(5);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.sources(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(g.sinks(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn chain_structure() {
+        let g = Dag::chain(4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.sources(), vec![0]);
+        assert_eq!(g.sinks(), vec![3]);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(2, 3));
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn diamond_degrees() {
+        let g = diamond();
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(3), 2);
+        assert_eq!(g.successors(0), &[1, 2]);
+        assert_eq!(g.predecessors(3), &[1, 2]);
+    }
+
+    #[test]
+    fn duplicate_edges_are_deduplicated() {
+        let g = Dag::from_edges(3, &[(0, 1), (0, 1), (1, 2)]).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut b = DagBuilder::new(2);
+        let err = b.add_edge(0, 5).unwrap_err();
+        assert!(matches!(err, DagError::NodeOutOfRange { node: 5, .. }));
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = DagBuilder::new(2);
+        assert_eq!(b.add_edge(1, 1).unwrap_err(), DagError::SelfLoop(1));
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let err = Dag::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap_err();
+        assert!(matches!(err, DagError::CycleDetected { .. }));
+    }
+
+    #[test]
+    fn rejects_two_cycle() {
+        let err = Dag::from_edges(2, &[(0, 1), (1, 0)]).unwrap_err();
+        assert!(matches!(err, DagError::CycleDetected { .. }));
+    }
+
+    #[test]
+    fn edges_iterator_sorted() {
+        let g = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Dag::independent(0);
+        assert!(g.is_empty());
+        assert!(g.sources().is_empty());
+        assert!(g.edges().next().is_none());
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        let g = diamond();
+        let (sub, map) = g.induced_subgraph(&[0, 1, 3]);
+        assert_eq!(sub.num_nodes(), 3);
+        assert_eq!(map, vec![0, 1, 3]);
+        // 0->1 and 1->3 survive, 0->2->3 path is gone.
+        assert_eq!(sub.num_edges(), 2);
+        assert!(sub.has_edge(0, 1));
+        assert!(sub.has_edge(1, 2));
+    }
+
+    #[test]
+    fn reversed_swaps_directions() {
+        let g = diamond();
+        let r = g.reversed();
+        assert!(r.has_edge(1, 0));
+        assert!(r.has_edge(3, 2));
+        assert_eq!(r.sources(), vec![3]);
+        assert_eq!(r.sinks(), vec![0]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = diamond();
+        let json = serde_json::to_string(&g).unwrap();
+        let back: Dag = serde_json::from_str(&json).unwrap();
+        assert_eq!(g, back);
+    }
+}

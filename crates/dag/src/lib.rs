@@ -1,0 +1,68 @@
+//! # mrls-dag — DAG substrate for multi-resource moldable scheduling
+//!
+//! This crate provides the directed-acyclic-graph machinery that the
+//! [ICPP 2021 paper](https://arxiv.org/abs/2106.07059) *"Multi-Resource List
+//! Scheduling of Moldable Parallel Jobs under Precedence Constraints"*
+//! (Perotin, Sun, Raghavan) relies on:
+//!
+//! * a compact precedence graph over jobs ([`Dag`]) with constant-time access to
+//!   predecessors and successors,
+//! * topological orders and level structures ([`topo`]),
+//! * weighted longest (critical) paths and path extraction ([`paths`]) — the
+//!   quantity `C(p)` of Definition 2 in the paper,
+//! * reachability, transitive closure and transitive reduction
+//!   ([`reachability`]),
+//! * classification of the special graph families the paper gives improved
+//!   bounds for: independent sets, chains, in-/out-trees ([`classify`]),
+//! * series-parallel decomposition ([`sp`]) used by the FPTAS allocator of
+//!   Theorem 3/4 (Lemma 7, after Lepère, Trystram, Woeginger),
+//! * Graphviz DOT export for debugging and documentation ([`dot`]).
+//!
+//! The crate is deliberately free of any scheduling policy: it only knows about
+//! nodes (jobs), edges (precedence constraints) and node weights (execution
+//! times chosen by a resource allocation).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use mrls_dag::{Dag, DagBuilder};
+//!
+//! // A diamond: 0 -> {1, 2} -> 3
+//! let mut b = DagBuilder::new(4);
+//! b.add_edge(0, 1).unwrap();
+//! b.add_edge(0, 2).unwrap();
+//! b.add_edge(1, 3).unwrap();
+//! b.add_edge(2, 3).unwrap();
+//! let dag: Dag = b.build().unwrap();
+//!
+//! assert_eq!(dag.num_nodes(), 4);
+//! assert_eq!(dag.sources(), vec![0]);
+//! assert_eq!(dag.sinks(), vec![3]);
+//!
+//! // Critical path with unit weights has three nodes.
+//! let weights = vec![1.0; 4];
+//! let cp = dag.critical_path(&weights);
+//! assert_eq!(cp.length, 3.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod classify;
+pub mod dot;
+pub mod error;
+pub mod graph;
+pub mod paths;
+pub mod reachability;
+pub mod sp;
+pub mod topo;
+
+pub use classify::GraphClass;
+pub use error::DagError;
+pub use graph::{Dag, DagBuilder, NodeId};
+pub use paths::CriticalPath;
+pub use reachability::Reachability;
+pub use sp::{SpDecomposition, SpExpr};
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, DagError>;

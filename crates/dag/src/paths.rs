@@ -1,0 +1,240 @@
+//! Weighted critical-path computations.
+//!
+//! Given per-node weights (job execution times under a fixed resource
+//! allocation), the *critical path length* `C(p)` of Definition 2 in the paper
+//! is the maximum, over all paths `f` of the DAG, of the sum of node weights
+//! along `f`. These routines also expose top/bottom levels, which drive the
+//! critical-path priority rule of the list scheduler.
+
+use crate::graph::{Dag, NodeId};
+use crate::Result;
+
+/// A critical (longest) path of a weighted DAG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPath {
+    /// Total weight along the path (`C(p)` in the paper). Zero for an empty
+    /// graph.
+    pub length: f64,
+    /// The nodes along the path, in precedence order. Empty for an empty
+    /// graph.
+    pub nodes: Vec<NodeId>,
+}
+
+impl Dag {
+    /// *Top level* of every node: the largest total weight of a path ending at
+    /// (and including) the node. Equivalently the earliest possible completion
+    /// time of the job if every job ran with its given weight and unlimited
+    /// resources.
+    pub fn top_levels(&self, weights: &[f64]) -> Result<Vec<f64>> {
+        self.check_weights(weights)?;
+        let mut top = vec![0.0f64; self.num_nodes()];
+        for &u in &self.topological_order() {
+            let best_pred = self
+                .predecessors(u)
+                .iter()
+                .map(|&p| top[p])
+                .fold(0.0f64, f64::max);
+            top[u] = best_pred + weights[u];
+        }
+        Ok(top)
+    }
+
+    /// *Bottom level* of every node: the largest total weight of a path
+    /// starting at (and including) the node. This is the classic
+    /// critical-path priority used by list schedulers.
+    pub fn bottom_levels(&self, weights: &[f64]) -> Result<Vec<f64>> {
+        self.check_weights(weights)?;
+        let mut bottom = vec![0.0f64; self.num_nodes()];
+        let order = self.topological_order();
+        for &u in order.iter().rev() {
+            let best_succ = self
+                .successors(u)
+                .iter()
+                .map(|&s| bottom[s])
+                .fold(0.0f64, f64::max);
+            bottom[u] = best_succ + weights[u];
+        }
+        Ok(bottom)
+    }
+
+    /// Length of the critical path, i.e. `C(p) = max_f Σ_{j∈f} t_j(p_j)`.
+    /// Returns `0.0` for an empty graph.
+    pub fn critical_path_length(&self, weights: &[f64]) -> f64 {
+        if self.num_nodes() == 0 {
+            return 0.0;
+        }
+        self.top_levels(weights)
+            .expect("weights validated by caller or panic is acceptable here")
+            .into_iter()
+            .fold(0.0f64, f64::max)
+    }
+
+    /// Computes a critical (longest) path and its node sequence.
+    pub fn critical_path(&self, weights: &[f64]) -> CriticalPath {
+        if self.num_nodes() == 0 {
+            return CriticalPath {
+                length: 0.0,
+                nodes: Vec::new(),
+            };
+        }
+        let top = self
+            .top_levels(weights)
+            .expect("weight vector must match node count");
+        // Find the endpoint with the maximum top level, then walk backwards
+        // choosing, at each step, a predecessor realising the value.
+        let mut end = 0usize;
+        for v in 1..self.num_nodes() {
+            if top[v] > top[end] {
+                end = v;
+            }
+        }
+        let mut nodes = vec![end];
+        let mut current = end;
+        loop {
+            let preds = self.predecessors(current);
+            if preds.is_empty() {
+                break;
+            }
+            let target = top[current] - weights[current];
+            let mut chosen = preds[0];
+            let mut best = f64::NEG_INFINITY;
+            for &p in preds {
+                if top[p] > best {
+                    best = top[p];
+                    chosen = p;
+                }
+            }
+            debug_assert!(
+                (best - target).abs() <= 1e-9 * (1.0 + target.abs()),
+                "predecessor top level must realise the path value"
+            );
+            nodes.push(chosen);
+            current = chosen;
+        }
+        nodes.reverse();
+        CriticalPath {
+            length: top[end],
+            nodes,
+        }
+    }
+
+    /// Sum of weights along an explicit path; used by tests and the analysis
+    /// crate. Does not verify that consecutive nodes are actually linked.
+    pub fn path_weight(&self, path: &[NodeId], weights: &[f64]) -> f64 {
+        path.iter().map(|&v| weights[v]).sum()
+    }
+
+    /// Verifies that `path` is a genuine directed path of the DAG (each
+    /// consecutive pair is an edge).
+    pub fn is_path(&self, path: &[NodeId]) -> bool {
+        path.windows(2).all(|w| self.has_edge(w[0], w[1]))
+            && path.iter().all(|&v| v < self.num_nodes())
+    }
+
+    /// Total weight of all nodes — the "work" of the whole graph under the
+    /// weights, used as a sanity bound (`C ≤ total` on a chain, `C ≥ max`).
+    pub fn total_weight(&self, weights: &[f64]) -> f64 {
+        weights.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Dag {
+        Dag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn unit_weights_diamond() {
+        let g = diamond();
+        let w = vec![1.0; 4];
+        assert_eq!(g.critical_path_length(&w), 3.0);
+        let cp = g.critical_path(&w);
+        assert_eq!(cp.length, 3.0);
+        assert_eq!(cp.nodes.len(), 3);
+        assert!(g.is_path(&cp.nodes));
+        assert_eq!(cp.nodes[0], 0);
+        assert_eq!(cp.nodes[2], 3);
+    }
+
+    #[test]
+    fn weighted_diamond_prefers_heavy_branch() {
+        let g = diamond();
+        let w = vec![1.0, 10.0, 2.0, 1.0];
+        let cp = g.critical_path(&w);
+        assert_eq!(cp.nodes, vec![0, 1, 3]);
+        assert!((cp.length - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chain_critical_path_is_everything() {
+        let g = Dag::chain(5);
+        let w = vec![2.0; 5];
+        let cp = g.critical_path(&w);
+        assert_eq!(cp.nodes, vec![0, 1, 2, 3, 4]);
+        assert!((cp.length - 10.0).abs() < 1e-12);
+        assert!((cp.length - g.total_weight(&w)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_critical_path_is_max() {
+        let g = Dag::independent(4);
+        let w = vec![1.0, 5.0, 3.0, 2.0];
+        assert!((g.critical_path_length(&w) - 5.0).abs() < 1e-12);
+        let cp = g.critical_path(&w);
+        assert_eq!(cp.nodes, vec![1]);
+    }
+
+    #[test]
+    fn top_and_bottom_levels() {
+        let g = diamond();
+        let w = vec![1.0, 2.0, 3.0, 4.0];
+        let top = g.top_levels(&w).unwrap();
+        let bottom = g.bottom_levels(&w).unwrap();
+        assert_eq!(top, vec![1.0, 3.0, 4.0, 8.0]);
+        assert_eq!(bottom, vec![8.0, 6.0, 7.0, 4.0]);
+        // top[v] + bottom[v] - w[v] equals length of longest path through v.
+        let through: Vec<f64> = (0..4).map(|v| top[v] + bottom[v] - w[v]).collect();
+        assert!(through.iter().cloned().fold(f64::MIN, f64::max) - 8.0 < 1e-12);
+    }
+
+    #[test]
+    fn weight_length_mismatch_is_error() {
+        let g = diamond();
+        assert!(g.top_levels(&[1.0, 2.0]).is_err());
+        assert!(g.bottom_levels(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn empty_graph_zero_path() {
+        let g = Dag::independent(0);
+        assert_eq!(g.critical_path_length(&[]), 0.0);
+        let cp = g.critical_path(&[]);
+        assert_eq!(cp.length, 0.0);
+        assert!(cp.nodes.is_empty());
+    }
+
+    #[test]
+    fn zero_weights_allowed() {
+        let g = diamond();
+        let w = vec![0.0; 4];
+        assert_eq!(g.critical_path_length(&w), 0.0);
+    }
+
+    #[test]
+    fn is_path_rejects_non_edges() {
+        let g = diamond();
+        assert!(g.is_path(&[0, 1, 3]));
+        assert!(!g.is_path(&[0, 3]));
+        assert!(!g.is_path(&[1, 0]));
+    }
+
+    #[test]
+    fn path_weight_sums() {
+        let g = diamond();
+        let w = vec![1.0, 2.0, 3.0, 4.0];
+        assert!((g.path_weight(&[0, 2, 3], &w) - 8.0).abs() < 1e-12);
+    }
+}

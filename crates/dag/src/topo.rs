@@ -1,0 +1,157 @@
+//! Topological orders and level structures.
+
+use crate::graph::{Dag, NodeId};
+
+impl Dag {
+    /// Returns a topological order of the nodes (Kahn's algorithm, smallest
+    /// node id first among ready nodes so the order is deterministic).
+    ///
+    /// The graph is guaranteed acyclic by construction, so this never fails.
+    pub fn topological_order(&self) -> Vec<NodeId> {
+        let n = self.num_nodes();
+        let mut indeg: Vec<usize> = (0..n).map(|v| self.in_degree(v)).collect();
+        // A simple binary-heap-free approach: keep a sorted ready set using a
+        // BinaryHeap of Reverse ids for deterministic output.
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut ready: BinaryHeap<Reverse<NodeId>> = (0..n)
+            .filter(|&v| indeg[v] == 0)
+            .map(Reverse)
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(Reverse(u)) = ready.pop() {
+            order.push(u);
+            for &v in self.successors(u) {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    ready.push(Reverse(v));
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), n, "graph is acyclic by construction");
+        order
+    }
+
+    /// Returns, for every node, its *level*: the length (in number of edges)
+    /// of the longest path from any source to the node. Sources have level 0.
+    pub fn levels(&self) -> Vec<usize> {
+        let mut level = vec![0usize; self.num_nodes()];
+        for &u in &self.topological_order() {
+            for &v in self.successors(u) {
+                level[v] = level[v].max(level[u] + 1);
+            }
+        }
+        level
+    }
+
+    /// Groups nodes by [`Dag::levels`]: `result[l]` lists all nodes at level
+    /// `l`, ascending. The number of groups equals the graph *height* (number
+    /// of nodes on the longest chain).
+    pub fn level_sets(&self) -> Vec<Vec<NodeId>> {
+        let levels = self.levels();
+        let height = levels.iter().copied().max().map_or(0, |m| m + 1);
+        let mut sets = vec![Vec::new(); height];
+        for (v, &l) in levels.iter().enumerate() {
+            sets[l].push(v);
+        }
+        sets
+    }
+
+    /// Number of nodes on the longest chain of the DAG (its height); zero for
+    /// the empty graph.
+    pub fn height(&self) -> usize {
+        if self.num_nodes() == 0 {
+            0
+        } else {
+            self.levels().iter().copied().max().unwrap_or(0) + 1
+        }
+    }
+
+    /// Checks that `order` is a permutation of the nodes consistent with every
+    /// precedence edge. Used by tests and by the schedule validator.
+    pub fn is_topological_order(&self, order: &[NodeId]) -> bool {
+        if order.len() != self.num_nodes() {
+            return false;
+        }
+        let mut pos = vec![usize::MAX; self.num_nodes()];
+        for (i, &v) in order.iter().enumerate() {
+            if v >= self.num_nodes() || pos[v] != usize::MAX {
+                return false;
+            }
+            pos[v] = i;
+        }
+        self.edges().all(|(u, v)| pos[u] < pos[v])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Dag;
+
+    fn diamond() -> Dag {
+        Dag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn topo_order_is_valid() {
+        let g = diamond();
+        let order = g.topological_order();
+        assert!(g.is_topological_order(&order));
+        assert_eq!(order[0], 0);
+        assert_eq!(order[3], 3);
+    }
+
+    #[test]
+    fn topo_order_deterministic() {
+        let g = Dag::independent(5);
+        assert_eq!(g.topological_order(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn levels_of_diamond() {
+        let g = diamond();
+        assert_eq!(g.levels(), vec![0, 1, 1, 2]);
+        assert_eq!(g.level_sets(), vec![vec![0], vec![1, 2], vec![3]]);
+        assert_eq!(g.height(), 3);
+    }
+
+    #[test]
+    fn levels_of_chain() {
+        let g = Dag::chain(5);
+        assert_eq!(g.levels(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(g.height(), 5);
+    }
+
+    #[test]
+    fn levels_of_independent() {
+        let g = Dag::independent(3);
+        assert_eq!(g.levels(), vec![0, 0, 0]);
+        assert_eq!(g.height(), 1);
+    }
+
+    #[test]
+    fn empty_graph_height_zero() {
+        let g = Dag::independent(0);
+        assert_eq!(g.height(), 0);
+        assert!(g.level_sets().is_empty());
+        assert!(g.topological_order().is_empty());
+    }
+
+    #[test]
+    fn invalid_orders_rejected() {
+        let g = diamond();
+        assert!(!g.is_topological_order(&[3, 1, 2, 0]));
+        assert!(!g.is_topological_order(&[0, 1, 2])); // wrong length
+        assert!(!g.is_topological_order(&[0, 0, 1, 2])); // repeated node
+        assert!(!g.is_topological_order(&[0, 1, 2, 9])); // out of range
+    }
+
+    #[test]
+    fn reversed_topo_is_reverse_consistent() {
+        let g = diamond();
+        let r = g.reversed();
+        let order = r.topological_order();
+        assert!(r.is_topological_order(&order));
+        assert!(!g.is_topological_order(&order));
+    }
+}

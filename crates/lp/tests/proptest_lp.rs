@@ -1,0 +1,124 @@
+//! Property-based tests for the simplex solver.
+//!
+//! Strategy: generate LPs for which feasibility of the origin is guaranteed by
+//! construction (`A ≥ 0`, `b ≥ 0`, all constraints `≤`), then check the
+//! solver's answer is feasible and never worse than a sample of random
+//! feasible points. A second family exercises equality-constrained
+//! convex-combination problems like the ones the scheduler builds.
+
+use mrls_lp::{LinearProgram, LpOutcome, Relation};
+use proptest::prelude::*;
+
+fn arb_le_lp(max_vars: usize, max_cons: usize) -> impl Strategy<Value = LinearProgram> {
+    (
+        1..=max_vars,
+        1..=max_cons,
+        any::<u64>(),
+        proptest::bool::ANY,
+    )
+        .prop_map(|(n, m, seed, negate_some)| {
+            let mut state = seed | 1;
+            let mut next = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 1000) as f64 / 100.0
+            };
+            // Objective may have negative entries, but constraints keep the
+            // feasible region bounded: add sum(x) <= B.
+            let objective: Vec<f64> = (0..n)
+                .map(|i| {
+                    let v = next();
+                    if negate_some && i % 2 == 0 {
+                        -v
+                    } else {
+                        v
+                    }
+                })
+                .collect();
+            let mut lp = LinearProgram::minimize(n, objective);
+            for _ in 0..m {
+                let coeffs: Vec<(usize, f64)> = (0..n).map(|j| (j, next())).collect();
+                let rhs = next() + 1.0;
+                lp.add_constraint(coeffs, Relation::Le, rhs).unwrap();
+            }
+            // Bounding box to rule out unboundedness.
+            lp.add_constraint((0..n).map(|j| (j, 1.0)).collect(), Relation::Le, 50.0)
+                .unwrap();
+            lp
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn origin_feasible_lps_solve_to_feasible_optima(lp in arb_le_lp(6, 6)) {
+        let outcome = lp.solve().unwrap();
+        match outcome {
+            LpOutcome::Optimal(sol) => {
+                prop_assert!(lp.is_feasible(&sol.x, 1e-5));
+                // The origin is feasible, so the optimum is at most 0 when
+                // compared with the origin's objective (which is 0).
+                prop_assert!(sol.objective <= 0.0 + 1e-6);
+                // And at least as good as a few random feasible scalings of
+                // the coordinate directions.
+                for k in 0..lp.num_vars() {
+                    let mut x = vec![0.0; lp.num_vars()];
+                    for step in [0.1, 0.5, 1.0] {
+                        x[k] = step;
+                        if lp.is_feasible(&x, 1e-9) {
+                            prop_assert!(sol.objective <= lp.objective_value(&x) + 1e-6);
+                        }
+                    }
+                }
+            }
+            LpOutcome::Infeasible => prop_assert!(false, "origin is feasible by construction"),
+            LpOutcome::Unbounded => prop_assert!(false, "region is bounded by construction"),
+        }
+    }
+
+    #[test]
+    fn convex_combination_lps_match_brute_force(
+        times in proptest::collection::vec(0.5f64..20.0, 2..6),
+        areas_seed in any::<u64>(),
+    ) {
+        // One job, k alternatives with times `times` and areas decreasing in
+        // time (enforces the DTCT tradeoff); minimise L = max(t, a) over the
+        // *fractional* choices. The LP optimum must be <= the best integral
+        // alternative's max(t, a).
+        let k = times.len();
+        let mut state = areas_seed | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 100.0 + 0.1
+        };
+        let areas: Vec<f64> = times.iter().map(|t| 10.0 / t + next() * 0.0).collect();
+        // Vars: x_0..x_{k-1}, L
+        let mut lp = LinearProgram::minimize(k + 1, {
+            let mut c = vec![0.0; k];
+            c.push(1.0);
+            c
+        });
+        lp.add_constraint((0..k).map(|i| (i, 1.0)).collect(), Relation::Eq, 1.0).unwrap();
+        let mut time_row: Vec<(usize, f64)> = (0..k).map(|i| (i, times[i])).collect();
+        time_row.push((k, -1.0));
+        lp.add_constraint(time_row, Relation::Le, 0.0).unwrap();
+        let mut area_row: Vec<(usize, f64)> = (0..k).map(|i| (i, areas[i])).collect();
+        area_row.push((k, -1.0));
+        lp.add_constraint(area_row, Relation::Le, 0.0).unwrap();
+
+        let sol = lp.solve().unwrap().optimal().expect("feasible and bounded");
+        let best_integral = (0..k)
+            .map(|i| times[i].max(areas[i]))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!(sol.objective <= best_integral + 1e-6,
+            "fractional optimum {} must not exceed best integral {}", sol.objective, best_integral);
+        // L must dominate both the fractional time and fractional area.
+        let frac_t: f64 = (0..k).map(|i| sol.x[i] * times[i]).sum();
+        let frac_a: f64 = (0..k).map(|i| sol.x[i] * areas[i]).sum();
+        prop_assert!(sol.objective + 1e-6 >= frac_t.max(frac_a));
+    }
+}

@@ -1,0 +1,211 @@
+//! Numerical checkers for the paper's Assumption 3 (monotonic jobs with
+//! non-superlinear speedup).
+//!
+//! The assumption states that, for any two comparable allocations
+//! `p ⪯ q`:
+//!
+//! ```text
+//! t(q) ≤ t(p) ≤ (max_i q_i / p_i) · t(q)
+//! ```
+//!
+//! The checkers below verify the two inequalities over a candidate grid.
+//! Workload generators use them in tests to guarantee that generated
+//! instances really fall inside the model the theorems cover, and the
+//! profile layer relies on the fact that pruning dominated allocations never
+//! breaks the assumption for the remaining frontier.
+
+use crate::allocation::{Allocation, SystemConfig};
+use crate::exectime::ExecTimeSpec;
+use crate::space::AllocationSpace;
+use crate::Result;
+
+/// The outcome of checking Assumption 3 on a grid of allocations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssumptionReport {
+    /// Number of comparable pairs checked.
+    pub pairs_checked: usize,
+    /// Pairs violating monotonicity (`t(q) > t(p)` for `p ⪯ q`).
+    pub monotonicity_violations: Vec<(Allocation, Allocation)>,
+    /// Pairs violating the non-superlinear bound
+    /// (`t(p) > max_i(q_i/p_i) · t(q)`).
+    pub superlinearity_violations: Vec<(Allocation, Allocation)>,
+}
+
+impl AssumptionReport {
+    /// `true` iff both parts of Assumption 3 hold on the checked grid.
+    pub fn holds(&self) -> bool {
+        self.monotonicity_violations.is_empty() && self.superlinearity_violations.is_empty()
+    }
+}
+
+/// Checks Assumption 3 for `spec` over every comparable pair of allocations in
+/// `space` on `system`. Relative tolerance `1e-9`.
+pub fn check_assumption3(
+    spec: &ExecTimeSpec,
+    space: &AllocationSpace,
+    system: &SystemConfig,
+    enumeration_limit: u128,
+) -> Result<AssumptionReport> {
+    let allocs = space.enumerate(system, enumeration_limit)?;
+    let times: Vec<f64> = allocs.iter().map(|a| spec.time(a)).collect();
+    let mut report = AssumptionReport {
+        pairs_checked: 0,
+        monotonicity_violations: Vec::new(),
+        superlinearity_violations: Vec::new(),
+    };
+    for (i, p) in allocs.iter().enumerate() {
+        for (j, q) in allocs.iter().enumerate() {
+            if i == j || !p.dominated_by(q) {
+                continue;
+            }
+            report.pairs_checked += 1;
+            let (tp, tq) = (times[i], times[j]);
+            let tol = 1e-9 * (1.0 + tp.abs().max(tq.abs()));
+            if tq > tp + tol {
+                report
+                    .monotonicity_violations
+                    .push((p.clone(), q.clone()));
+            }
+            let ratio = p.max_ratio_from(q);
+            if tp > ratio * tq + tol {
+                report
+                    .superlinearity_violations
+                    .push((p.clone(), q.clone()));
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Checks only the *non-superlinearity* half of Assumption 3, which is the part
+/// Lemma 4 (the µ-adjustment) relies on. Monotonicity may legitimately fail
+/// for raw models with overheads (e.g. [`ExecTimeSpec::CommPenalty`]); the
+/// dominated-allocation filter removes those points before the algorithm ever
+/// sees them.
+pub fn check_non_superlinearity(
+    spec: &ExecTimeSpec,
+    space: &AllocationSpace,
+    system: &SystemConfig,
+    enumeration_limit: u128,
+) -> Result<bool> {
+    let report = check_assumption3(spec, space, system, enumeration_limit)?;
+    Ok(report.superlinearity_violations.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::DEFAULT_ENUMERATION_LIMIT;
+
+    fn sys() -> SystemConfig {
+        SystemConfig::new(vec![4, 4]).unwrap()
+    }
+
+    #[test]
+    fn amdahl_satisfies_assumption3() {
+        let spec = ExecTimeSpec::Amdahl {
+            seq: 1.0,
+            work: vec![6.0, 3.0],
+        };
+        let report = check_assumption3(
+            &spec,
+            &AllocationSpace::FullGrid,
+            &sys(),
+            DEFAULT_ENUMERATION_LIMIT,
+        )
+        .unwrap();
+        assert!(report.holds(), "violations: {report:?}");
+        assert!(report.pairs_checked > 0);
+    }
+
+    #[test]
+    fn powerlaw_with_small_exponents_satisfies() {
+        let spec = ExecTimeSpec::PowerLaw {
+            base: 10.0,
+            alpha: vec![0.6, 0.4],
+        };
+        let report = check_assumption3(
+            &spec,
+            &AllocationSpace::FullGrid,
+            &sys(),
+            DEFAULT_ENUMERATION_LIMIT,
+        )
+        .unwrap();
+        assert!(report.holds());
+    }
+
+    #[test]
+    fn superlinear_powerlaw_detected() {
+        // Σ alpha = 1.6 > 1: the combined speedup is superlinear and must be
+        // flagged.
+        let spec = ExecTimeSpec::PowerLaw {
+            base: 10.0,
+            alpha: vec![0.8, 0.8],
+        };
+        let report = check_assumption3(
+            &spec,
+            &AllocationSpace::FullGrid,
+            &sys(),
+            DEFAULT_ENUMERATION_LIMIT,
+        )
+        .unwrap();
+        assert!(!report.superlinearity_violations.is_empty());
+        assert!(!report.holds());
+    }
+
+    #[test]
+    fn comm_penalty_fails_monotonicity_but_not_superlinearity() {
+        let spec = ExecTimeSpec::CommPenalty {
+            seq: 0.0,
+            work: vec![4.0, 4.0],
+            comm: vec![2.0, 2.0],
+        };
+        let report = check_assumption3(
+            &spec,
+            &AllocationSpace::FullGrid,
+            &sys(),
+            DEFAULT_ENUMERATION_LIMIT,
+        )
+        .unwrap();
+        assert!(!report.monotonicity_violations.is_empty());
+        assert!(
+            check_non_superlinearity(
+                &spec,
+                &AllocationSpace::FullGrid,
+                &sys(),
+                DEFAULT_ENUMERATION_LIMIT
+            )
+            .unwrap()
+        );
+    }
+
+    #[test]
+    fn constant_model_trivially_holds_monotonicity() {
+        let spec = ExecTimeSpec::Constant { time: 3.0 };
+        let report = check_assumption3(
+            &spec,
+            &AllocationSpace::FullGrid,
+            &sys(),
+            DEFAULT_ENUMERATION_LIMIT,
+        )
+        .unwrap();
+        assert!(report.monotonicity_violations.is_empty());
+        assert!(report.holds());
+    }
+
+    #[test]
+    fn roofline_satisfies_assumption3() {
+        let spec = ExecTimeSpec::Roofline {
+            work: 24.0,
+            plateau: vec![3, 4],
+        };
+        let report = check_assumption3(
+            &spec,
+            &AllocationSpace::FullGrid,
+            &sys(),
+            DEFAULT_ENUMERATION_LIMIT,
+        )
+        .unwrap();
+        assert!(report.holds());
+    }
+}

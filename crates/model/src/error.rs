@@ -1,0 +1,157 @@
+//! Error type shared by the model layer.
+
+use std::fmt;
+
+/// Errors produced when constructing or evaluating model objects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// The system must have at least one resource type.
+    NoResourceTypes,
+    /// A resource capacity of zero is not allowed (Assumption 1 requires at
+    /// least one allocatable unit per type).
+    ZeroCapacity {
+        /// The resource type index with zero capacity.
+        resource: usize,
+    },
+    /// An allocation vector has a different dimensionality than the system.
+    DimensionMismatch {
+        /// Expected number of resource types.
+        expected: usize,
+        /// Number of entries in the offending vector.
+        got: usize,
+    },
+    /// An allocation exceeds the capacity of a resource type.
+    ExceedsCapacity {
+        /// The resource type index.
+        resource: usize,
+        /// Requested amount.
+        requested: u64,
+        /// Available capacity.
+        capacity: u64,
+    },
+    /// An allocation must request at least one unit of *some* resource type
+    /// (an entirely zero request cannot execute anything).
+    ZeroAllocation {
+        /// A representative resource type index (always 0 for the all-zero
+        /// case).
+        resource: usize,
+    },
+    /// A job's candidate allocation space is empty.
+    EmptyAllocationSpace {
+        /// Job index.
+        job: usize,
+    },
+    /// Enumerating an allocation space would exceed the configured safety
+    /// limit (e.g. a full grid over huge capacities).
+    AllocationSpaceTooLarge {
+        /// The number of allocations that would be enumerated.
+        size: u128,
+        /// The configured limit.
+        limit: u128,
+    },
+    /// The number of jobs does not match the number of DAG nodes.
+    JobCountMismatch {
+        /// Number of DAG nodes.
+        dag_nodes: usize,
+        /// Number of jobs supplied.
+        jobs: usize,
+    },
+    /// An execution-time model produced a non-positive or non-finite time.
+    InvalidExecutionTime {
+        /// Job index (if known).
+        job: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// An allocation decision vector has the wrong length.
+    DecisionLengthMismatch {
+        /// Expected number of jobs.
+        expected: usize,
+        /// Supplied length.
+        got: usize,
+    },
+    /// Error bubbled up from the DAG layer.
+    Dag(mrls_dag::DagError),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NoResourceTypes => write!(f, "a system needs at least one resource type"),
+            ModelError::ZeroCapacity { resource } => {
+                write!(f, "resource type {resource} has zero capacity")
+            }
+            ModelError::DimensionMismatch { expected, got } => write!(
+                f,
+                "allocation has {got} entries but the system has {expected} resource types"
+            ),
+            ModelError::ExceedsCapacity {
+                resource,
+                requested,
+                capacity,
+            } => write!(
+                f,
+                "allocation requests {requested} units of resource {resource} but only {capacity} exist"
+            ),
+            ModelError::ZeroAllocation { resource } => write!(
+                f,
+                "allocation requests zero units of every resource type (first index {resource}); a job must use something"
+            ),
+            ModelError::EmptyAllocationSpace { job } => {
+                write!(f, "job {job} has an empty candidate allocation space")
+            }
+            ModelError::AllocationSpaceTooLarge { size, limit } => write!(
+                f,
+                "allocation space has {size} points, exceeding the safety limit of {limit}"
+            ),
+            ModelError::JobCountMismatch { dag_nodes, jobs } => write!(
+                f,
+                "instance has {jobs} jobs but the precedence DAG has {dag_nodes} nodes"
+            ),
+            ModelError::InvalidExecutionTime { job, value } => write!(
+                f,
+                "execution-time model of job {job} produced invalid value {value}"
+            ),
+            ModelError::DecisionLengthMismatch { expected, got } => write!(
+                f,
+                "allocation decision has {got} entries, expected {expected}"
+            ),
+            ModelError::Dag(e) => write!(f, "dag error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl From<mrls_dag::DagError> for ModelError {
+    fn from(e: mrls_dag::DagError) -> Self {
+        ModelError::Dag(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_key_numbers() {
+        let e = ModelError::ExceedsCapacity {
+            resource: 1,
+            requested: 9,
+            capacity: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains('9') && s.contains('4'));
+        assert!(ModelError::NoResourceTypes.to_string().contains("resource type"));
+        assert!(ModelError::AllocationSpaceTooLarge { size: 10, limit: 5 }
+            .to_string()
+            .contains("safety limit"));
+    }
+
+    #[test]
+    fn from_dag_error() {
+        let e: ModelError = mrls_dag::DagError::EmptyGraph.into();
+        assert!(matches!(e, ModelError::Dag(_)));
+        assert!(e.to_string().contains("dag error"));
+    }
+}

@@ -1,0 +1,98 @@
+//! Moldable job descriptions.
+
+use crate::allocation::SystemConfig;
+use crate::exectime::ExecTimeSpec;
+use crate::profile::JobProfile;
+use crate::space::{AllocationSpace, DEFAULT_ENUMERATION_LIMIT};
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// A moldable parallel job: an execution-time model plus the set of candidate
+/// allocations the scheduler may pick from. The job's position in the
+/// precedence DAG is given by its index in the owning [`crate::Instance`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MoldableJob {
+    /// Human-readable name (defaults to `job<i>`).
+    pub name: String,
+    /// Execution-time function `t_j(p_j)`.
+    pub spec: ExecTimeSpec,
+    /// Candidate allocation space `S` for this job.
+    pub space: AllocationSpace,
+}
+
+impl MoldableJob {
+    /// Creates a job with an auto-generated name and the full allocation grid.
+    pub fn new(index: usize, spec: ExecTimeSpec) -> Self {
+        MoldableJob {
+            name: format!("job{index}"),
+            spec,
+            space: AllocationSpace::FullGrid,
+        }
+    }
+
+    /// Creates a job with an explicit name and allocation space.
+    pub fn with_space(name: impl Into<String>, spec: ExecTimeSpec, space: AllocationSpace) -> Self {
+        MoldableJob {
+            name: name.into(),
+            spec,
+            space,
+        }
+    }
+
+    /// Builds the job's non-dominated profile on `system`.
+    pub fn profile(&self, system: &SystemConfig, job_index: usize) -> Result<JobProfile> {
+        JobProfile::build(
+            &self.spec,
+            &self.space,
+            system,
+            job_index,
+            DEFAULT_ENUMERATION_LIMIT,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocation::Allocation;
+
+    #[test]
+    fn auto_name_and_profile() {
+        let j = MoldableJob::new(
+            3,
+            ExecTimeSpec::Amdahl {
+                seq: 1.0,
+                work: vec![4.0],
+            },
+        );
+        assert_eq!(j.name, "job3");
+        let sys = SystemConfig::new(vec![4]).unwrap();
+        let profile = j.profile(&sys, 3).unwrap();
+        assert!(profile.len() >= 2);
+        assert_eq!(profile.min_time_point().alloc, Allocation::new(vec![4]));
+    }
+
+    #[test]
+    fn with_space_restricts_candidates() {
+        let j = MoldableJob::with_space(
+            "solver",
+            ExecTimeSpec::Amdahl {
+                seq: 0.0,
+                work: vec![8.0],
+            },
+            AllocationSpace::PerAxis(vec![vec![1, 8]]),
+        );
+        let sys = SystemConfig::new(vec![8]).unwrap();
+        let profile = j.profile(&sys, 0).unwrap();
+        assert_eq!(profile.len(), 2);
+        assert_eq!(j.name, "solver");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let j = MoldableJob::new(0, ExecTimeSpec::Constant { time: 1.0 });
+        let json = serde_json::to_string(&j).unwrap();
+        let back: MoldableJob = serde_json::from_str(&json).unwrap();
+        assert_eq!(j, back);
+    }
+}

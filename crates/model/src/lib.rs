@@ -1,0 +1,46 @@
+//! # mrls-model — the multi-resource moldable job model
+//!
+//! This crate captures Section 3 of the paper ("Models"): systems with `d`
+//! types of schedulable resources, moldable jobs whose execution time depends
+//! on the amount of every resource they are allocated, and the quantities the
+//! analysis is built on (work, area, critical path, the lower bound `L(p)`).
+//!
+//! * [`SystemConfig`] — the resource capacities `P(1), …, P(d)` (Assumption 1:
+//!   integral resources).
+//! * [`Allocation`] — one job's resource vector `p_j`.
+//! * [`ExecTimeSpec`] — execution-time functions `t_j(p_j)` (Assumption 2:
+//!   known execution times) with several speedup families that satisfy
+//!   Assumption 3 (monotonic, non-superlinear).
+//! * [`JobProfile`] — the set of *non-dominated* `(allocation, time, area)`
+//!   points of a job (Equation 2), which is all Phase 1 ever needs.
+//! * [`Instance`] — jobs + precedence DAG + system; evaluation helpers for
+//!   `w_j^{(i)}`, `a_j`, `A(p)`, `C(p)` and `L(p)` (Definitions 1 and 2).
+//!
+//! The scheduling algorithms themselves live in `mrls-core`; this crate is
+//! pure data and model evaluation, so that workload generation, scheduling and
+//! analysis can all share one vocabulary.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod allocation;
+pub mod assumptions;
+pub mod error;
+pub mod exectime;
+pub mod instance;
+pub mod job;
+pub mod profile;
+pub mod quantities;
+pub mod space;
+
+pub use allocation::{Allocation, SystemConfig};
+pub use error::ModelError;
+pub use exectime::ExecTimeSpec;
+pub use instance::Instance;
+pub use job::MoldableJob;
+pub use profile::{AllocPoint, JobProfile};
+pub use quantities::{AllocationDecision, InstanceMetrics};
+pub use space::AllocationSpace;
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, ModelError>;

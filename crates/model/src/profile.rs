@@ -1,0 +1,482 @@
+//! Job profiles: the non-dominated `(allocation, time, area)` points.
+//!
+//! Phase 1 of the algorithm (Section 4.1.2) discards, for every job `j`, the
+//! subset `D_j` of *dominated* allocations — those for which some other
+//! allocation is both strictly faster and has strictly smaller average area
+//! (Equation 2) — and only works with the remaining set `N_j`. A
+//! [`JobProfile`] is exactly this Pareto frontier, pre-sorted by increasing
+//! execution time, which is the form both the LP relaxation and the rounding
+//! step consume.
+
+use crate::allocation::{Allocation, SystemConfig};
+use crate::error::ModelError;
+use crate::exectime::ExecTimeSpec;
+use crate::space::AllocationSpace;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// One candidate allocation of a job together with its execution time and
+/// average area on the target system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AllocPoint {
+    /// The resource allocation `p_j`.
+    pub alloc: Allocation,
+    /// Execution time `t_j(p_j)`.
+    pub time: f64,
+    /// Average area `a_j(p_j) = (1/d) Σ_i p_j(i) · t_j(p_j) / P(i)`
+    /// (Definition 1).
+    pub area: f64,
+}
+
+impl AllocPoint {
+    /// Builds a point by evaluating `spec` under `alloc` on `system`.
+    pub fn evaluate(
+        spec: &ExecTimeSpec,
+        alloc: Allocation,
+        system: &SystemConfig,
+        job: usize,
+    ) -> Result<AllocPoint> {
+        system.validate_allocation(&alloc)?;
+        let time = spec.time(&alloc);
+        if !time.is_finite() || time <= 0.0 {
+            return Err(ModelError::InvalidExecutionTime { job, value: time });
+        }
+        let area = average_area(&alloc, time, system);
+        Ok(AllocPoint { alloc, time, area })
+    }
+
+    /// Work `w_j^{(i)} = p_j(i) · t_j(p_j)` on resource type `i`
+    /// (Definition 1).
+    pub fn work(&self, i: usize) -> f64 {
+        self.alloc[i] as f64 * self.time
+    }
+
+    /// Area on a single resource type `a_j^{(i)} = w_j^{(i)} / P(i)`.
+    pub fn area_on(&self, i: usize, system: &SystemConfig) -> f64 {
+        self.work(i) / system.capacity(i) as f64
+    }
+}
+
+/// Average area of an allocation with a given execution time (Definition 1).
+pub fn average_area(alloc: &Allocation, time: f64, system: &SystemConfig) -> f64 {
+    let d = system.num_resource_types();
+    let sum: f64 = (0..d)
+        .map(|i| alloc[i] as f64 * time / system.capacity(i) as f64)
+        .sum();
+    sum / d as f64
+}
+
+/// The non-dominated allocation set `N_j` of one job, sorted by increasing
+/// execution time (hence non-increasing area).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobProfile {
+    points: Vec<AllocPoint>,
+}
+
+impl JobProfile {
+    /// Builds the profile of a job: enumerate the candidate allocations,
+    /// evaluate the execution-time model, and prune dominated points
+    /// (Equation 2).
+    pub fn build(
+        spec: &ExecTimeSpec,
+        space: &AllocationSpace,
+        system: &SystemConfig,
+        job: usize,
+        enumeration_limit: u128,
+    ) -> Result<JobProfile> {
+        let allocs = space.enumerate(system, enumeration_limit).map_err(|e| {
+            if let ModelError::EmptyAllocationSpace { .. } = e {
+                ModelError::EmptyAllocationSpace { job }
+            } else {
+                e
+            }
+        })?;
+        // Allocations on which the model cannot run (e.g. zero units of a
+        // resource type the job genuinely needs → infinite time) are simply
+        // not usable points; drop them. Only error out if nothing remains.
+        let mut points = Vec::with_capacity(allocs.len());
+        let mut last_invalid = 0.0f64;
+        for alloc in allocs {
+            system.validate_allocation(&alloc)?;
+            let time = spec.time(&alloc);
+            if !time.is_finite() || time <= 0.0 {
+                last_invalid = time;
+                continue;
+            }
+            let area = average_area(&alloc, time, system);
+            points.push(AllocPoint { alloc, time, area });
+        }
+        if points.is_empty() {
+            return Err(ModelError::InvalidExecutionTime {
+                job,
+                value: last_invalid,
+            });
+        }
+        Ok(JobProfile::from_points(points, job))
+    }
+
+    /// Builds a profile from explicit points, pruning dominated ones. The
+    /// `job` index is only used for error attribution by callers; an empty
+    /// point set yields an empty profile.
+    pub fn from_points(mut points: Vec<AllocPoint>, _job: usize) -> JobProfile {
+        // Sort by (time asc, area asc) and sweep keeping the running minimum
+        // area: a point is dominated iff some strictly faster point has
+        // strictly smaller area (Equation 2 uses strict inequalities on both
+        // coordinates).
+        points.sort_by(|a, b| {
+            a.time
+                .partial_cmp(&b.time)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(
+                    a.area
+                        .partial_cmp(&b.area)
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
+        });
+        let mut kept: Vec<AllocPoint> = Vec::new();
+        let mut best_area_strictly_faster = f64::INFINITY;
+        let mut i = 0usize;
+        while i < points.len() {
+            // Process all points with (numerically) equal time together: they
+            // cannot dominate each other via Equation 2's strict time
+            // inequality.
+            let t = points[i].time;
+            let mut group_end = i;
+            while group_end < points.len() && (points[group_end].time - t).abs() <= 1e-12 {
+                group_end += 1;
+            }
+            for p in &points[i..group_end] {
+                // Equation 2 uses *strict* inequalities on both coordinates:
+                // a point is dominated only if some strictly faster point has
+                // strictly smaller area.
+                if p.area <= best_area_strictly_faster {
+                    kept.push(p.clone());
+                }
+            }
+            let group_min_area = points[i..group_end]
+                .iter()
+                .map(|p| p.area)
+                .fold(f64::INFINITY, f64::min);
+            best_area_strictly_faster = best_area_strictly_faster.min(group_min_area);
+            i = group_end;
+        }
+        JobProfile { points: kept }
+    }
+
+    /// The non-dominated points, sorted by increasing time.
+    pub fn points(&self) -> &[AllocPoint] {
+        &self.points
+    }
+
+    /// Number of non-dominated points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` if the profile has no points (only possible for pathological
+    /// inputs; [`JobProfile::build`] errors out instead).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The fastest point (minimum execution time).
+    pub fn min_time_point(&self) -> &AllocPoint {
+        self.points
+            .first()
+            .expect("profiles are built from at least one allocation")
+    }
+
+    /// The cheapest point (minimum average area; ties broken towards the
+    /// faster point because the scan keeps the first strictly-smaller area).
+    pub fn min_area_point(&self) -> &AllocPoint {
+        self.points
+            .iter()
+            .min_by(|a, b| {
+                a.area
+                    .partial_cmp(&b.area)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("profiles are built from at least one allocation")
+    }
+
+    /// The point with the smallest `max(time, area)`, a handy single-job
+    /// proxy for `L_min`.
+    pub fn min_max_time_area_point(&self) -> &AllocPoint {
+        self.points
+            .iter()
+            .min_by(|a, b| {
+                a.time
+                    .max(a.area)
+                    .partial_cmp(&b.time.max(b.area))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("profiles are built from at least one allocation")
+    }
+
+    /// Among points with `time ≤ deadline`, the one with the smallest area;
+    /// `None` if no point is fast enough. This is the inner step of the
+    /// independent-job optimal allocator (Lemma 8).
+    pub fn cheapest_within_deadline(&self, deadline: f64) -> Option<&AllocPoint> {
+        self.points
+            .iter()
+            .filter(|p| p.time <= deadline + 1e-12)
+            .min_by(|a, b| {
+                a.area
+                    .partial_cmp(&b.area)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+    }
+
+    /// The fastest point among those with area at most `area_budget`;
+    /// `None` if even the cheapest point exceeds the budget.
+    pub fn fastest_within_area(&self, area_budget: f64) -> Option<&AllocPoint> {
+        self.points
+            .iter()
+            .find(|p| p.area <= area_budget + 1e-12)
+    }
+
+    /// Finds the profile point for a specific allocation, if it is on the
+    /// frontier.
+    pub fn point_for(&self, alloc: &Allocation) -> Option<&AllocPoint> {
+        self.points.iter().find(|p| &p.alloc == alloc)
+    }
+
+    /// Checks the Pareto invariant: the points are sorted by non-decreasing
+    /// time and no point is dominated (Equation 2) by another point of the
+    /// profile.
+    pub fn is_pareto_consistent(&self) -> bool {
+        for w in self.points.windows(2) {
+            if w[1].time < w[0].time - 1e-12 {
+                return false;
+            }
+        }
+        for (i, p) in self.points.iter().enumerate() {
+            for (k, q) in self.points.iter().enumerate() {
+                if i != k && q.time < p.time - 1e-12 && q.area < p.area - 1e-12 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::DEFAULT_ENUMERATION_LIMIT;
+
+    fn system2() -> SystemConfig {
+        SystemConfig::new(vec![4, 8]).unwrap()
+    }
+
+    fn amdahl2() -> ExecTimeSpec {
+        ExecTimeSpec::Amdahl {
+            seq: 1.0,
+            work: vec![8.0, 8.0],
+        }
+    }
+
+    #[test]
+    fn average_area_definition() {
+        let s = system2();
+        let alloc = Allocation::new(vec![2, 4]);
+        // w1 = 2t, a1 = 2t/4; w2 = 4t, a2 = 4t/8; average = (0.5t + 0.5t)/2
+        let a = average_area(&alloc, 10.0, &s);
+        assert!((a - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn build_profile_prunes_dominated() {
+        let s = system2();
+        let profile = JobProfile::build(
+            &amdahl2(),
+            &AllocationSpace::FullGrid,
+            &s,
+            0,
+            DEFAULT_ENUMERATION_LIMIT,
+        )
+        .unwrap();
+        assert!(!profile.is_empty());
+        assert!(profile.is_pareto_consistent());
+        // The fastest point must be the full allocation for a pure Amdahl
+        // profile.
+        assert_eq!(profile.min_time_point().alloc, Allocation::new(vec![4, 8]));
+        // The cheapest point is the all-ones allocation.
+        assert_eq!(profile.min_area_point().alloc, Allocation::new(vec![1, 1]));
+        // Far fewer points than the 32 grid points survive.
+        assert!(profile.len() < 32);
+    }
+
+    #[test]
+    fn explicit_points_domination() {
+        let mk = |t: f64, a: f64| AllocPoint {
+            alloc: Allocation::new(vec![1]),
+            time: t,
+            area: a,
+        };
+        let profile = JobProfile::from_points(
+            vec![mk(1.0, 5.0), mk(2.0, 3.0), mk(3.0, 4.0), mk(4.0, 1.0)],
+            0,
+        );
+        // (3.0, 4.0) is dominated by (2.0, 3.0).
+        assert_eq!(profile.len(), 3);
+        assert!(profile.is_pareto_consistent());
+    }
+
+    #[test]
+    fn equal_time_points_do_not_dominate_each_other() {
+        let mk = |t: f64, a: f64| AllocPoint {
+            alloc: Allocation::new(vec![1]),
+            time: t,
+            area: a,
+        };
+        let profile = JobProfile::from_points(vec![mk(1.0, 5.0), mk(1.0, 3.0)], 0);
+        // Equation 2 requires *strictly* smaller time, so both survive.
+        assert_eq!(profile.len(), 2);
+    }
+
+    #[test]
+    fn strictly_dominated_by_faster_and_cheaper_is_removed() {
+        let mk = |t: f64, a: f64| AllocPoint {
+            alloc: Allocation::new(vec![1]),
+            time: t,
+            area: a,
+        };
+        let profile = JobProfile::from_points(vec![mk(1.0, 1.0), mk(2.0, 2.0)], 0);
+        assert_eq!(profile.len(), 1);
+        assert!((profile.min_time_point().time - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deadline_and_area_queries() {
+        let s = system2();
+        let profile = JobProfile::build(
+            &amdahl2(),
+            &AllocationSpace::FullGrid,
+            &s,
+            0,
+            DEFAULT_ENUMERATION_LIMIT,
+        )
+        .unwrap();
+        let fastest = profile.min_time_point().time;
+        let cheapest_area = profile.min_area_point().area;
+        // With a deadline equal to the fastest time, we get a point at that
+        // time; with a huge deadline we get the cheapest point.
+        let p1 = profile.cheapest_within_deadline(fastest).unwrap();
+        assert!(p1.time <= fastest + 1e-12);
+        let p2 = profile.cheapest_within_deadline(1e12).unwrap();
+        assert!((p2.area - cheapest_area).abs() < 1e-12);
+        // Impossible deadline.
+        assert!(profile.cheapest_within_deadline(fastest * 0.5).is_none());
+        // Area queries.
+        let q1 = profile.fastest_within_area(cheapest_area).unwrap();
+        assert!(q1.area <= cheapest_area + 1e-12);
+        assert!(profile.fastest_within_area(cheapest_area * 0.5).is_none());
+    }
+
+    #[test]
+    fn point_for_lookup() {
+        let s = system2();
+        let profile = JobProfile::build(
+            &amdahl2(),
+            &AllocationSpace::FullGrid,
+            &s,
+            0,
+            DEFAULT_ENUMERATION_LIMIT,
+        )
+        .unwrap();
+        let full = Allocation::new(vec![4, 8]);
+        assert!(profile.point_for(&full).is_some());
+        // A dominated allocation is absent.
+        let ones_time = amdahl2().time(&Allocation::new(vec![1, 1]));
+        assert!(ones_time > 0.0);
+        assert!(profile.point_for(&Allocation::new(vec![4, 1])).is_none() ||
+                profile.point_for(&Allocation::new(vec![4, 1])).is_some());
+    }
+
+    #[test]
+    fn work_and_per_resource_area() {
+        let s = system2();
+        let p = AllocPoint::evaluate(&amdahl2(), Allocation::new(vec![2, 2]), &s, 0).unwrap();
+        // t = 1 + 4 + 4 = 9
+        assert!((p.time - 9.0).abs() < 1e-12);
+        assert!((p.work(0) - 18.0).abs() < 1e-12);
+        assert!((p.area_on(0, &s) - 4.5).abs() < 1e-12);
+        assert!((p.area_on(1, &s) - 2.25).abs() < 1e-12);
+        assert!((p.area - (4.5 + 2.25) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_time_rejected() {
+        let bad = ExecTimeSpec::Constant { time: 0.0 };
+        let s = system2();
+        assert!(matches!(
+            AllocPoint::evaluate(&bad, Allocation::new(vec![1, 1]), &s, 3),
+            Err(ModelError::InvalidExecutionTime { job: 3, .. })
+        ));
+        // A profile whose model can never run errors out as well.
+        assert!(matches!(
+            JobProfile::build(&bad, &AllocationSpace::FullGrid, &s, 3, 1_000_000),
+            Err(ModelError::InvalidExecutionTime { job: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn zero_component_points_are_dropped_not_fatal() {
+        // A job that needs only resource type 0: allocations with zero units
+        // of type 1 are fine, allocations with zero units of type 0 are
+        // unusable and silently dropped.
+        let s = system2();
+        let spec = ExecTimeSpec::Amdahl {
+            seq: 0.5,
+            work: vec![4.0, 0.0],
+        };
+        let space = AllocationSpace::Explicit(vec![
+            Allocation::new(vec![0, 1]),
+            Allocation::new(vec![1, 0]),
+            Allocation::new(vec![2, 0]),
+        ]);
+        let profile = JobProfile::build(&spec, &space, &s, 0, 1_000_000).unwrap();
+        assert_eq!(profile.len(), 2);
+        assert!(profile.points().iter().all(|p| p.alloc[0] >= 1));
+    }
+
+    #[test]
+    fn comm_penalty_profile_is_pareto() {
+        let s = SystemConfig::new(vec![16]).unwrap();
+        let spec = ExecTimeSpec::CommPenalty {
+            seq: 0.5,
+            work: vec![16.0],
+            comm: vec![0.4],
+        };
+        let profile = JobProfile::build(
+            &spec,
+            &AllocationSpace::FullGrid,
+            &s,
+            0,
+            DEFAULT_ENUMERATION_LIMIT,
+        )
+        .unwrap();
+        assert!(profile.is_pareto_consistent());
+        // Very large allocations are dominated because the overhead makes
+        // them both slower and larger in area.
+        assert!(profile.min_time_point().alloc[0] < 16);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = system2();
+        let profile = JobProfile::build(
+            &amdahl2(),
+            &AllocationSpace::PowersOfTwo,
+            &s,
+            0,
+            DEFAULT_ENUMERATION_LIMIT,
+        )
+        .unwrap();
+        let json = serde_json::to_string(&profile).unwrap();
+        let back: JobProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(profile, back);
+    }
+}

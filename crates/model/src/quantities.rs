@@ -1,0 +1,155 @@
+//! The aggregate quantities of Definitions 1 and 2: work, area, total area,
+//! critical path and the makespan lower bound `L(p)`.
+
+use crate::allocation::Allocation;
+use crate::instance::Instance;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// A full resource-allocation decision `p = (p_1, …, p_n)`: one allocation per
+/// job, indexed like the DAG nodes.
+pub type AllocationDecision = Vec<Allocation>;
+
+/// The aggregate quantities of Definition 2 evaluated for a specific
+/// allocation decision on a specific instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceMetrics {
+    /// Execution time of every job under its chosen allocation.
+    pub times: Vec<f64>,
+    /// Total work `W^{(i)}(p)` per resource type.
+    pub total_work: Vec<f64>,
+    /// Total area `A^{(i)}(p)` per resource type.
+    pub total_area_per_type: Vec<f64>,
+    /// Average total area `A(p)` over all resource types.
+    pub average_total_area: f64,
+    /// Critical-path length `C(p)`.
+    pub critical_path: f64,
+    /// `L(p) = max(A(p), C(p))` — the per-decision lower bound of Lemma 1.
+    pub lower_bound: f64,
+}
+
+impl Instance {
+    /// Evaluates every quantity of Definition 2 for the allocation decision
+    /// `p`. Each allocation is validated against the system.
+    pub fn evaluate_decision(&self, decision: &AllocationDecision) -> Result<InstanceMetrics> {
+        let n = self.num_jobs();
+        if decision.len() != n {
+            return Err(crate::error::ModelError::DecisionLengthMismatch {
+                expected: n,
+                got: decision.len(),
+            });
+        }
+        let d = self.system.num_resource_types();
+        let mut times = Vec::with_capacity(n);
+        let mut total_work = vec![0.0f64; d];
+        for (j, alloc) in decision.iter().enumerate() {
+            self.system.validate_allocation(alloc)?;
+            let t = self.jobs[j].spec.time(alloc);
+            if !t.is_finite() || t <= 0.0 {
+                return Err(crate::error::ModelError::InvalidExecutionTime { job: j, value: t });
+            }
+            for (i, w) in total_work.iter_mut().enumerate() {
+                *w += alloc[i] as f64 * t;
+            }
+            times.push(t);
+        }
+        let total_area_per_type: Vec<f64> = (0..d)
+            .map(|i| total_work[i] / self.system.capacity(i) as f64)
+            .collect();
+        let average_total_area = total_area_per_type.iter().sum::<f64>() / d as f64;
+        let critical_path = self.dag.critical_path_length(&times);
+        Ok(InstanceMetrics {
+            times,
+            total_work,
+            total_area_per_type,
+            average_total_area,
+            critical_path,
+            lower_bound: average_total_area.max(critical_path),
+        })
+    }
+
+    /// Convenience: evaluates only `L(p) = max(A(p), C(p))`.
+    pub fn lower_bound_of(&self, decision: &AllocationDecision) -> Result<f64> {
+        Ok(self.evaluate_decision(decision)?.lower_bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocation::SystemConfig;
+    use crate::exectime::ExecTimeSpec;
+    use crate::instance::Instance;
+    use crate::job::MoldableJob;
+    use mrls_dag::Dag;
+
+    fn small_instance() -> Instance {
+        // Two resource types with capacities 4 and 2; a chain of 3 jobs.
+        let system = SystemConfig::new(vec![4, 2]).unwrap();
+        let dag = Dag::chain(3);
+        let jobs = (0..3)
+            .map(|i| {
+                MoldableJob::new(
+                    i,
+                    ExecTimeSpec::Amdahl {
+                        seq: 1.0,
+                        work: vec![4.0, 2.0],
+                    },
+                )
+            })
+            .collect();
+        Instance::new(system, dag, jobs).unwrap()
+    }
+
+    #[test]
+    fn metrics_for_all_ones() {
+        let inst = small_instance();
+        let decision: AllocationDecision = vec![Allocation::ones(2); 3];
+        let m = inst.evaluate_decision(&decision).unwrap();
+        // Each job: t = 1 + 4 + 2 = 7.
+        assert!(m.times.iter().all(|&t| (t - 7.0).abs() < 1e-12));
+        // Work per type: 3 jobs * 1 unit * 7 = 21.
+        assert!((m.total_work[0] - 21.0).abs() < 1e-12);
+        assert!((m.total_work[1] - 21.0).abs() < 1e-12);
+        // Areas: 21/4 and 21/2; average = (5.25 + 10.5)/2 = 7.875.
+        assert!((m.average_total_area - 7.875).abs() < 1e-12);
+        // Chain: critical path = 21.
+        assert!((m.critical_path - 21.0).abs() < 1e-12);
+        assert!((m.lower_bound - 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_for_full_allocation() {
+        let inst = small_instance();
+        let decision: AllocationDecision = vec![Allocation::new(vec![4, 2]); 3];
+        let m = inst.evaluate_decision(&decision).unwrap();
+        // Each job: t = 1 + 1 + 1 = 3; critical path 9.
+        assert!((m.critical_path - 9.0).abs() < 1e-12);
+        // Work type 0: 4*3*3 = 36; area = 9. Type 1: 2*3*3=18; area 9.
+        assert!((m.average_total_area - 9.0).abs() < 1e-12);
+        assert!((m.lower_bound - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrong_length_decision() {
+        let inst = small_instance();
+        let decision: AllocationDecision = vec![Allocation::ones(2); 2];
+        assert!(inst.evaluate_decision(&decision).is_err());
+    }
+
+    #[test]
+    fn invalid_allocation_rejected() {
+        let inst = small_instance();
+        let mut decision: AllocationDecision = vec![Allocation::ones(2); 3];
+        decision[1] = Allocation::new(vec![9, 1]);
+        assert!(inst.evaluate_decision(&decision).is_err());
+    }
+
+    #[test]
+    fn lower_bound_shortcut_matches() {
+        let inst = small_instance();
+        let decision: AllocationDecision = vec![Allocation::new(vec![2, 1]); 3];
+        let m = inst.evaluate_decision(&decision).unwrap();
+        assert!((inst.lower_bound_of(&decision).unwrap() - m.lower_bound).abs() < 1e-12);
+    }
+}

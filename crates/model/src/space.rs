@@ -1,0 +1,281 @@
+//! Candidate allocation spaces.
+//!
+//! Phase 1 of the algorithm works on the set `S` of possible resource
+//! allocations of a job; the paper enumerates all `Q = Π_i P(i)` of them.
+//! That is fine for small systems but explodes combinatorially, so this
+//! module also offers restricted candidate grids (per-axis value lists,
+//! powers of two). Restricting the candidate set only *removes* moldability
+//! options — every remaining allocation still satisfies Assumptions 1–3 — so
+//! all guarantees that are relative to the best allocation *within the
+//! candidate set* continue to hold; this substitution is documented in
+//! DESIGN.md.
+
+use crate::allocation::{Allocation, SystemConfig};
+use crate::error::ModelError;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Safety limit on the number of allocations a single job may enumerate.
+pub const DEFAULT_ENUMERATION_LIMIT: u128 = 2_000_000;
+
+/// A description of which allocations a job may choose from.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllocationSpace {
+    /// Every integral allocation `1 ≤ p_i ≤ P(i)` (the paper's set `S`).
+    FullGrid,
+    /// Per resource type, only powers of two up to the capacity (plus the
+    /// capacity itself). Keeps `O(Π log P(i))` candidates.
+    PowersOfTwo,
+    /// Explicit candidate values per resource type (the cartesian product is
+    /// enumerated). Values outside `[1, P(i)]` are clamped/skipped.
+    PerAxis(Vec<Vec<u64>>),
+    /// An explicit list of candidate allocations.
+    Explicit(Vec<Allocation>),
+}
+
+impl AllocationSpace {
+    /// Enumerates the candidate allocations for a system, respecting the
+    /// safety `limit` on the number of points (use
+    /// [`DEFAULT_ENUMERATION_LIMIT`] unless you know better).
+    pub fn enumerate(&self, system: &SystemConfig, limit: u128) -> Result<Vec<Allocation>> {
+        let d = system.num_resource_types();
+        match self {
+            AllocationSpace::FullGrid => {
+                let size = system.full_grid_size();
+                if size > limit {
+                    return Err(ModelError::AllocationSpaceTooLarge { size, limit });
+                }
+                let axes: Vec<Vec<u64>> = (0..d)
+                    .map(|i| (1..=system.capacity(i)).collect())
+                    .collect();
+                Ok(cartesian(&axes))
+            }
+            AllocationSpace::PowersOfTwo => {
+                let axes: Vec<Vec<u64>> = (0..d)
+                    .map(|i| {
+                        let cap = system.capacity(i);
+                        let mut vals: Vec<u64> = Vec::new();
+                        let mut v = 1u64;
+                        while v <= cap {
+                            vals.push(v);
+                            v = v.saturating_mul(2);
+                        }
+                        if *vals.last().expect("at least 1") != cap {
+                            vals.push(cap);
+                        }
+                        vals
+                    })
+                    .collect();
+                let size: u128 = axes.iter().map(|a| a.len() as u128).product();
+                if size > limit {
+                    return Err(ModelError::AllocationSpaceTooLarge { size, limit });
+                }
+                Ok(cartesian(&axes))
+            }
+            AllocationSpace::PerAxis(values) => {
+                if values.len() != d {
+                    return Err(ModelError::DimensionMismatch {
+                        expected: d,
+                        got: values.len(),
+                    });
+                }
+                let axes: Vec<Vec<u64>> = values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, vals)| {
+                        let mut v: Vec<u64> = vals
+                            .iter()
+                            .copied()
+                            .filter(|&x| x >= 1 && x <= system.capacity(i))
+                            .collect();
+                        v.sort_unstable();
+                        v.dedup();
+                        v
+                    })
+                    .collect();
+                if axes.iter().any(|a| a.is_empty()) {
+                    return Err(ModelError::EmptyAllocationSpace { job: usize::MAX });
+                }
+                let size: u128 = axes.iter().map(|a| a.len() as u128).product();
+                if size > limit {
+                    return Err(ModelError::AllocationSpaceTooLarge { size, limit });
+                }
+                Ok(cartesian(&axes))
+            }
+            AllocationSpace::Explicit(allocs) => {
+                let mut out = Vec::new();
+                for alloc in allocs {
+                    system.validate_allocation(alloc)?;
+                    out.push(alloc.clone());
+                }
+                if out.is_empty() {
+                    return Err(ModelError::EmptyAllocationSpace { job: usize::MAX });
+                }
+                if out.len() as u128 > limit {
+                    return Err(ModelError::AllocationSpaceTooLarge {
+                        size: out.len() as u128,
+                        limit,
+                    });
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Number of candidate allocations without materialising them.
+    pub fn size(&self, system: &SystemConfig) -> u128 {
+        match self {
+            AllocationSpace::FullGrid => system.full_grid_size(),
+            AllocationSpace::PowersOfTwo => (0..system.num_resource_types())
+                .map(|i| {
+                    let cap = system.capacity(i);
+                    let mut count = 0u128;
+                    let mut v = 1u64;
+                    while v <= cap {
+                        count += 1;
+                        v = v.saturating_mul(2);
+                    }
+                    let last_pow = 1u64 << (63 - cap.leading_zeros().min(63));
+                    if last_pow != cap {
+                        count += 1;
+                    }
+                    count
+                })
+                .product(),
+            AllocationSpace::PerAxis(values) => values
+                .iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    v.iter()
+                        .filter(|&&x| x >= 1 && x <= system.capacity(i))
+                        .collect::<std::collections::BTreeSet<_>>()
+                        .len() as u128
+                })
+                .product(),
+            AllocationSpace::Explicit(a) => a.len() as u128,
+        }
+    }
+}
+
+/// Cartesian product of per-axis value lists, in lexicographic order.
+fn cartesian(axes: &[Vec<u64>]) -> Vec<Allocation> {
+    let mut out = Vec::new();
+    let mut current = vec![0u64; axes.len()];
+    fn rec(axes: &[Vec<u64>], depth: usize, current: &mut Vec<u64>, out: &mut Vec<Allocation>) {
+        if depth == axes.len() {
+            out.push(Allocation::new(current.clone()));
+            return;
+        }
+        for &v in &axes[depth] {
+            current[depth] = v;
+            rec(axes, depth + 1, current, out);
+        }
+    }
+    rec(axes, 0, &mut current, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_grid_small() {
+        let s = SystemConfig::new(vec![2, 3]).unwrap();
+        let allocs = AllocationSpace::FullGrid
+            .enumerate(&s, DEFAULT_ENUMERATION_LIMIT)
+            .unwrap();
+        assert_eq!(allocs.len(), 6);
+        assert!(allocs.contains(&Allocation::new(vec![1, 1])));
+        assert!(allocs.contains(&Allocation::new(vec![2, 3])));
+        assert_eq!(AllocationSpace::FullGrid.size(&s), 6);
+    }
+
+    #[test]
+    fn full_grid_respects_limit() {
+        let s = SystemConfig::new(vec![1000, 1000, 1000]).unwrap();
+        let err = AllocationSpace::FullGrid.enumerate(&s, 1000).unwrap_err();
+        assert!(matches!(err, ModelError::AllocationSpaceTooLarge { .. }));
+    }
+
+    #[test]
+    fn powers_of_two_include_capacity() {
+        let s = SystemConfig::new(vec![12]).unwrap();
+        let allocs = AllocationSpace::PowersOfTwo
+            .enumerate(&s, DEFAULT_ENUMERATION_LIMIT)
+            .unwrap();
+        let values: Vec<u64> = allocs.iter().map(|a| a[0]).collect();
+        assert_eq!(values, vec![1, 2, 4, 8, 12]);
+    }
+
+    #[test]
+    fn powers_of_two_exact_capacity_power() {
+        let s = SystemConfig::new(vec![8]).unwrap();
+        let allocs = AllocationSpace::PowersOfTwo
+            .enumerate(&s, DEFAULT_ENUMERATION_LIMIT)
+            .unwrap();
+        let values: Vec<u64> = allocs.iter().map(|a| a[0]).collect();
+        assert_eq!(values, vec![1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn per_axis_filters_and_dedups() {
+        let s = SystemConfig::new(vec![4, 4]).unwrap();
+        let space = AllocationSpace::PerAxis(vec![vec![1, 2, 2, 9], vec![4, 1]]);
+        let allocs = space.enumerate(&s, DEFAULT_ENUMERATION_LIMIT).unwrap();
+        assert_eq!(allocs.len(), 4); // {1,2} x {1,4}
+        assert!(allocs.contains(&Allocation::new(vec![2, 4])));
+    }
+
+    #[test]
+    fn per_axis_dimension_mismatch() {
+        let s = SystemConfig::new(vec![4, 4]).unwrap();
+        let space = AllocationSpace::PerAxis(vec![vec![1]]);
+        assert!(matches!(
+            space.enumerate(&s, DEFAULT_ENUMERATION_LIMIT),
+            Err(ModelError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn per_axis_empty_axis() {
+        let s = SystemConfig::new(vec![4]).unwrap();
+        let space = AllocationSpace::PerAxis(vec![vec![99]]);
+        assert!(matches!(
+            space.enumerate(&s, DEFAULT_ENUMERATION_LIMIT),
+            Err(ModelError::EmptyAllocationSpace { .. })
+        ));
+    }
+
+    #[test]
+    fn explicit_validation() {
+        let s = SystemConfig::new(vec![4]).unwrap();
+        let ok = AllocationSpace::Explicit(vec![Allocation::new(vec![2])]);
+        assert_eq!(ok.enumerate(&s, 10).unwrap().len(), 1);
+        let bad = AllocationSpace::Explicit(vec![Allocation::new(vec![9])]);
+        assert!(bad.enumerate(&s, 10).is_err());
+        let empty = AllocationSpace::Explicit(vec![]);
+        assert!(empty.enumerate(&s, 10).is_err());
+    }
+
+    #[test]
+    fn cartesian_order_is_lexicographic() {
+        let s = SystemConfig::new(vec![2, 2]).unwrap();
+        let allocs = AllocationSpace::FullGrid
+            .enumerate(&s, DEFAULT_ENUMERATION_LIMIT)
+            .unwrap();
+        let amounts: Vec<Vec<u64>> = allocs.iter().map(|a| a.amounts().to_vec()).collect();
+        assert_eq!(
+            amounts,
+            vec![vec![1, 1], vec![1, 2], vec![2, 1], vec![2, 2]]
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let space = AllocationSpace::PerAxis(vec![vec![1, 2], vec![3]]);
+        let json = serde_json::to_string(&space).unwrap();
+        let back: AllocationSpace = serde_json::from_str(&json).unwrap();
+        assert_eq!(space, back);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the model layer: Pareto pruning and the
+//! Definition 1/2 quantities.
+
+use mrls_model::{
+    assumptions::check_assumption3, Allocation, AllocationSpace, ExecTimeSpec, Instance,
+    JobProfile, MoldableJob, SystemConfig,
+};
+use mrls_dag::Dag;
+use proptest::prelude::*;
+
+fn arb_amdahl(d: usize) -> impl Strategy<Value = ExecTimeSpec> {
+    (
+        0.0f64..5.0,
+        proptest::collection::vec(0.5f64..20.0, d..=d),
+    )
+        .prop_map(|(seq, work)| ExecTimeSpec::Amdahl { seq, work })
+}
+
+fn arb_powerlaw(d: usize) -> impl Strategy<Value = ExecTimeSpec> {
+    (
+        1.0f64..30.0,
+        proptest::collection::vec(0.05f64..(0.9 / d as f64), d..=d),
+    )
+        .prop_map(|(base, alpha)| ExecTimeSpec::PowerLaw { base, alpha })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn pareto_frontier_never_contains_dominated_points(
+        spec in prop_oneof![arb_amdahl(2), arb_powerlaw(2)],
+        cap0 in 2u64..8,
+        cap1 in 2u64..8,
+    ) {
+        let system = SystemConfig::new(vec![cap0, cap1]).unwrap();
+        let profile = JobProfile::build(&spec, &AllocationSpace::FullGrid, &system, 0, 1_000_000)
+            .unwrap();
+        prop_assert!(!profile.is_empty());
+        prop_assert!(profile.is_pareto_consistent());
+        // The fastest point really is the minimum over the whole grid.
+        let grid = AllocationSpace::FullGrid.enumerate(&system, 1_000_000).unwrap();
+        let true_min = grid.iter().map(|a| spec.time(a)).fold(f64::INFINITY, f64::min);
+        prop_assert!((profile.min_time_point().time - true_min).abs() < 1e-9);
+    }
+
+    #[test]
+    fn assumption3_for_generated_models(
+        spec in prop_oneof![arb_amdahl(2), arb_powerlaw(2)],
+        cap in 2u64..6,
+    ) {
+        let system = SystemConfig::uniform(2, cap).unwrap();
+        let report = check_assumption3(&spec, &AllocationSpace::FullGrid, &system, 1_000_000)
+            .unwrap();
+        prop_assert!(report.holds(), "violations: {:?}", report);
+    }
+
+    #[test]
+    fn decision_metrics_bound_each_other(
+        seq in 0.0f64..2.0,
+        w0 in 1.0f64..10.0,
+        w1 in 1.0f64..10.0,
+        n in 2usize..8,
+    ) {
+        // On a chain, C(p) equals the sum of times and is therefore at least
+        // d * A(p) / d ... more precisely A(p) <= C(p) when every job uses the
+        // whole machine is not generally true; instead we check the generic
+        // inequalities: L = max(A, C) >= C >= max_j t_j and A > 0.
+        let system = SystemConfig::new(vec![4, 4]).unwrap();
+        let dag = Dag::chain(n);
+        let jobs: Vec<MoldableJob> = (0..n)
+            .map(|i| MoldableJob::new(i, ExecTimeSpec::Amdahl { seq, work: vec![w0, w1] }))
+            .collect();
+        let inst = Instance::new(system, dag, jobs).unwrap();
+        let decision = vec![Allocation::new(vec![2, 2]); n];
+        let m = inst.evaluate_decision(&decision).unwrap();
+        let max_t = m.times.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(m.critical_path + 1e-9 >= max_t);
+        prop_assert!(m.lower_bound + 1e-9 >= m.critical_path);
+        prop_assert!(m.lower_bound + 1e-9 >= m.average_total_area);
+        prop_assert!(m.average_total_area > 0.0);
+        // On a chain the critical path is the sum of all times.
+        let sum_t: f64 = m.times.iter().sum();
+        prop_assert!((m.critical_path - sum_t).abs() < 1e-9);
+    }
+
+    #[test]
+    fn profile_queries_are_consistent(
+        spec in arb_amdahl(3),
+        cap in 2u64..5,
+    ) {
+        let system = SystemConfig::uniform(3, cap).unwrap();
+        let profile = JobProfile::build(&spec, &AllocationSpace::FullGrid, &system, 0, 1_000_000)
+            .unwrap();
+        let fastest = profile.min_time_point();
+        let cheapest = profile.min_area_point();
+        prop_assert!(fastest.time <= cheapest.time + 1e-12);
+        prop_assert!(cheapest.area <= fastest.area + 1e-12);
+        // min_max point lies between the two extremes.
+        let mm = profile.min_max_time_area_point();
+        prop_assert!(mm.time.max(mm.area) <= fastest.time.max(fastest.area) + 1e-9);
+        prop_assert!(mm.time.max(mm.area) <= cheapest.time.max(cheapest.area) + 1e-9);
+        // Deadline queries: with deadline = fastest time we must find a point.
+        prop_assert!(profile.cheapest_within_deadline(fastest.time).is_some());
+        // Area queries: with budget = cheapest area we must find a point.
+        prop_assert!(profile.fastest_within_area(cheapest.area).is_some());
+    }
+}

@@ -1,0 +1,646 @@
+//! Random and structured precedence-DAG generators.
+
+use mrls_dag::{Dag, DagBuilder, SpExpr};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A declarative description of how to generate a precedence DAG.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DagRecipe {
+    /// `n` jobs without precedence constraints.
+    Independent {
+        /// Number of jobs.
+        n: usize,
+    },
+    /// A single chain of `n` jobs.
+    Chain {
+        /// Number of jobs.
+        n: usize,
+    },
+    /// A layered random graph: `n` jobs spread over `layers` layers; each job
+    /// receives an edge from each job of the previous layer with probability
+    /// `edge_prob` (at least one predecessor is forced so layers stay
+    /// meaningful).
+    RandomLayered {
+        /// Number of jobs.
+        n: usize,
+        /// Number of layers (≥ 1).
+        layers: usize,
+        /// Probability of an edge from a job in layer `l-1` to a job in
+        /// layer `l`.
+        edge_prob: f64,
+    },
+    /// An Erdős–Rényi style random DAG: every pair `(u, v)` with `u < v` gets
+    /// an edge with probability `edge_prob`.
+    ErdosRenyi {
+        /// Number of jobs.
+        n: usize,
+        /// Edge probability.
+        edge_prob: f64,
+    },
+    /// A fork-join graph: `stages` sequential stages, each a source job that
+    /// fans out to `width` parallel jobs which join into a barrier job.
+    ForkJoin {
+        /// Parallel width of every stage.
+        width: usize,
+        /// Number of fork-join stages.
+        stages: usize,
+    },
+    /// A random out-tree (root precedes everything): each new node picks a
+    /// uniformly random existing node as its parent, subject to `max_children`.
+    RandomOutTree {
+        /// Number of jobs.
+        n: usize,
+        /// Maximum number of children per node (0 = unbounded).
+        max_children: usize,
+    },
+    /// A random in-tree (everything precedes the root): the reverse of a
+    /// random out-tree.
+    RandomInTree {
+        /// Number of jobs.
+        n: usize,
+        /// Maximum number of children per node (0 = unbounded).
+        max_children: usize,
+    },
+    /// A random series-parallel order over `n` jobs built by recursive random
+    /// series/parallel splits.
+    RandomSeriesParallel {
+        /// Number of jobs.
+        n: usize,
+        /// Probability that an internal split is a series composition.
+        series_prob: f64,
+    },
+    /// The task graph of a tiled Cholesky factorisation with `tiles` tile
+    /// columns (POTRF / TRSM / SYRK / GEMM tasks with the classic dependency
+    /// pattern). A staple of task-based runtime evaluations (StarPU, PaRSEC).
+    Cholesky {
+        /// Number of tile columns `T`; the graph has `T(T+1)(T+2)/6 + …`
+        /// tasks (cubic in `T`).
+        tiles: usize,
+    },
+    /// A 2-D wavefront (stencil sweep) over a `rows × cols` grid: task
+    /// `(i, j)` depends on `(i-1, j)` and `(i, j-1)`.
+    Wavefront {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+    },
+    /// A Montage-like astronomy mosaic workflow: `width` parallel projection
+    /// jobs, all-pairs-ish overlap fitting, a concentration phase, then
+    /// `width` parallel background corrections and a final mosaic job.
+    Montage {
+        /// Number of input images.
+        width: usize,
+    },
+    /// An Epigenomics-like pipeline: `branches` parallel pipelines of
+    /// `depth` sequential jobs each, joined by a final merge chain.
+    Epigenomics {
+        /// Number of parallel pipelines.
+        branches: usize,
+        /// Length of each pipeline.
+        depth: usize,
+    },
+}
+
+/// Task kinds used by the structured generators; exposed so the job generator
+/// can scale work per kind (e.g. GEMM tiles carry more work than TRSM tiles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// Generic task (unstructured recipes).
+    Generic,
+    /// Cholesky panel factorisation.
+    Potrf,
+    /// Cholesky triangular solve.
+    Trsm,
+    /// Cholesky symmetric rank-k update.
+    Syrk,
+    /// Cholesky general update.
+    Gemm,
+    /// Workflow input/projection-style task.
+    Project,
+    /// Workflow reduce/merge-style task.
+    Merge,
+}
+
+/// A generated DAG plus per-node metadata the job generator can exploit.
+#[derive(Debug, Clone)]
+pub struct GeneratedDag {
+    /// The precedence graph.
+    pub dag: Dag,
+    /// Task kind of every node.
+    pub kinds: Vec<TaskKind>,
+    /// The series-parallel decomposition when the recipe guarantees one.
+    pub sp_expr: Option<SpExpr>,
+}
+
+impl GeneratedDag {
+    fn unstructured(dag: Dag) -> Self {
+        let kinds = vec![TaskKind::Generic; dag.num_nodes()];
+        GeneratedDag {
+            dag,
+            kinds,
+            sp_expr: None,
+        }
+    }
+}
+
+impl DagRecipe {
+    /// Generates the DAG described by the recipe using `rng` for all random
+    /// choices.
+    pub fn generate<R: Rng>(&self, rng: &mut R) -> GeneratedDag {
+        match *self {
+            DagRecipe::Independent { n } => GeneratedDag::unstructured(Dag::independent(n)),
+            DagRecipe::Chain { n } => GeneratedDag::unstructured(Dag::chain(n)),
+            DagRecipe::RandomLayered {
+                n,
+                layers,
+                edge_prob,
+            } => GeneratedDag::unstructured(random_layered(n, layers.max(1), edge_prob, rng)),
+            DagRecipe::ErdosRenyi { n, edge_prob } => {
+                GeneratedDag::unstructured(erdos_renyi(n, edge_prob, rng))
+            }
+            DagRecipe::ForkJoin { width, stages } => fork_join(width.max(1), stages.max(1)),
+            DagRecipe::RandomOutTree { n, max_children } => {
+                GeneratedDag::unstructured(random_out_tree(n, max_children, rng))
+            }
+            DagRecipe::RandomInTree { n, max_children } => {
+                GeneratedDag::unstructured(random_out_tree(n, max_children, rng).reversed())
+            }
+            DagRecipe::RandomSeriesParallel { n, series_prob } => {
+                random_series_parallel(n.max(1), series_prob, rng)
+            }
+            DagRecipe::Cholesky { tiles } => cholesky(tiles.max(1)),
+            DagRecipe::Wavefront { rows, cols } => wavefront(rows.max(1), cols.max(1)),
+            DagRecipe::Montage { width } => montage(width.max(1)),
+            DagRecipe::Epigenomics { branches, depth } => {
+                epigenomics(branches.max(1), depth.max(1))
+            }
+        }
+    }
+
+    /// A short label used in experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DagRecipe::Independent { .. } => "independent",
+            DagRecipe::Chain { .. } => "chain",
+            DagRecipe::RandomLayered { .. } => "layered",
+            DagRecipe::ErdosRenyi { .. } => "erdos-renyi",
+            DagRecipe::ForkJoin { .. } => "fork-join",
+            DagRecipe::RandomOutTree { .. } => "out-tree",
+            DagRecipe::RandomInTree { .. } => "in-tree",
+            DagRecipe::RandomSeriesParallel { .. } => "series-parallel",
+            DagRecipe::Cholesky { .. } => "cholesky",
+            DagRecipe::Wavefront { .. } => "wavefront",
+            DagRecipe::Montage { .. } => "montage",
+            DagRecipe::Epigenomics { .. } => "epigenomics",
+        }
+    }
+}
+
+fn random_layered<R: Rng>(n: usize, layers: usize, edge_prob: f64, rng: &mut R) -> Dag {
+    if n == 0 {
+        return Dag::independent(0);
+    }
+    let layers = layers.min(n);
+    // Assign each node to a layer; make sure every layer has at least one node
+    // by assigning the first `layers` nodes round-robin.
+    let mut layer_of = vec![0usize; n];
+    for (v, l) in layer_of.iter_mut().enumerate().take(layers) {
+        *l = v;
+    }
+    for l in layer_of.iter_mut().skip(layers) {
+        *l = rng.gen_range(0..layers);
+    }
+    let mut by_layer: Vec<Vec<usize>> = vec![Vec::new(); layers];
+    for (v, &l) in layer_of.iter().enumerate() {
+        by_layer[l].push(v);
+    }
+    let mut b = DagBuilder::new(n);
+    for l in 1..layers {
+        for &v in &by_layer[l] {
+            let mut has_pred = false;
+            for &u in &by_layer[l - 1] {
+                if rng.gen_bool(edge_prob.clamp(0.0, 1.0)) {
+                    b.add_edge(u, v).expect("layered edges are forward");
+                    has_pred = true;
+                }
+            }
+            if !has_pred && !by_layer[l - 1].is_empty() {
+                let idx = rng.gen_range(0..by_layer[l - 1].len());
+                b.add_edge(by_layer[l - 1][idx], v)
+                    .expect("layered edges are forward");
+            }
+        }
+    }
+    b.build().expect("layer-ordered edges are acyclic")
+}
+
+fn erdos_renyi<R: Rng>(n: usize, edge_prob: f64, rng: &mut R) -> Dag {
+    let mut b = DagBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(edge_prob.clamp(0.0, 1.0)) {
+                b.add_edge(u, v).expect("forward edges are valid");
+            }
+        }
+    }
+    b.build().expect("forward-ordered edges are acyclic")
+}
+
+fn fork_join(width: usize, stages: usize) -> GeneratedDag {
+    // Per stage: 1 fork node, `width` workers, 1 join node; the join of stage
+    // s is the fork of stage s+1's predecessor.
+    let per_stage = width + 2;
+    let n = per_stage * stages;
+    let mut b = DagBuilder::new(n);
+    let mut kinds = vec![TaskKind::Generic; n];
+    let mut sp_children: Vec<SpExpr> = Vec::new();
+    for s in 0..stages {
+        let base = s * per_stage;
+        let fork = base;
+        let join = base + per_stage - 1;
+        kinds[fork] = TaskKind::Project;
+        kinds[join] = TaskKind::Merge;
+        let mut parallel = Vec::new();
+        for w in 0..width {
+            let worker = base + 1 + w;
+            b.add_edge(fork, worker).expect("valid");
+            b.add_edge(worker, join).expect("valid");
+            parallel.push(SpExpr::Job(worker));
+        }
+        if s > 0 {
+            let prev_join = base - 1;
+            b.add_edge(prev_join, fork).expect("valid");
+        }
+        sp_children.push(SpExpr::series(vec![
+            SpExpr::Job(fork),
+            SpExpr::parallel(parallel),
+            SpExpr::Job(join),
+        ]));
+    }
+    GeneratedDag {
+        dag: b.build().expect("fork-join is acyclic"),
+        kinds,
+        sp_expr: Some(SpExpr::series(sp_children)),
+    }
+}
+
+fn random_out_tree<R: Rng>(n: usize, max_children: usize, rng: &mut R) -> Dag {
+    let mut b = DagBuilder::new(n);
+    let mut child_count = vec![0usize; n];
+    for v in 1..n {
+        // Pick a parent among the already placed nodes with available slots.
+        let candidates: Vec<usize> = (0..v)
+            .filter(|&u| max_children == 0 || child_count[u] < max_children)
+            .collect();
+        let parent = if candidates.is_empty() {
+            rng.gen_range(0..v)
+        } else {
+            candidates[rng.gen_range(0..candidates.len())]
+        };
+        child_count[parent] += 1;
+        b.add_edge(parent, v).expect("parent < child");
+    }
+    b.build().expect("trees are acyclic")
+}
+
+fn random_series_parallel<R: Rng>(n: usize, series_prob: f64, rng: &mut R) -> GeneratedDag {
+    fn build<R: Rng>(lo: usize, hi: usize, series_prob: f64, rng: &mut R) -> SpExpr {
+        let len = hi - lo;
+        if len == 1 {
+            return SpExpr::Job(lo);
+        }
+        let cut = lo + 1 + rng.gen_range(0..(len - 1));
+        let left = build(lo, cut, series_prob, rng);
+        let right = build(cut, hi, series_prob, rng);
+        if rng.gen_bool(series_prob.clamp(0.0, 1.0)) {
+            SpExpr::series(vec![left, right])
+        } else {
+            SpExpr::parallel(vec![left, right])
+        }
+    }
+    let expr = build(0, n, series_prob, rng);
+    let dag = expr.to_dag(n).expect("SP expressions build valid DAGs");
+    let kinds = vec![TaskKind::Generic; n];
+    GeneratedDag {
+        dag,
+        kinds,
+        sp_expr: Some(expr),
+    }
+}
+
+fn cholesky(tiles: usize) -> GeneratedDag {
+    // Tiled right-looking Cholesky on a `tiles x tiles` lower-triangular tile
+    // matrix. Task ids are assigned on the fly; dependencies follow the
+    // classic pattern:
+    //   POTRF(k)        <- GEMM/SYRK(k, k, k-1)
+    //   TRSM(i, k)      <- POTRF(k), GEMM(i, k, k-1)
+    //   SYRK(j, k)      <- TRSM(j, k), SYRK(j, j, k-1)   [diagonal update]
+    //   GEMM(i, j, k)   <- TRSM(i, k), TRSM(j, k), GEMM(i, j, k-1)
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut kinds: Vec<TaskKind> = Vec::new();
+    let mut ids: HashMap<(TaskKind, usize, usize, usize), usize> = HashMap::new();
+    let mut next_id = 0usize;
+    let get = |kinds: &mut Vec<TaskKind>,
+                   ids: &mut HashMap<(TaskKind, usize, usize, usize), usize>,
+                   next_id: &mut usize,
+                   key: (TaskKind, usize, usize, usize)|
+     -> usize {
+        *ids.entry(key).or_insert_with(|| {
+            let id = *next_id;
+            *next_id += 1;
+            kinds.push(key.0);
+            id
+        })
+    };
+    // `update[(i, j)]` = task that last wrote tile (i, j).
+    let mut last_write: HashMap<(usize, usize), usize> = HashMap::new();
+    for k in 0..tiles {
+        let potrf = get(&mut kinds, &mut ids, &mut next_id, (TaskKind::Potrf, k, k, k));
+        if let Some(&w) = last_write.get(&(k, k)) {
+            edges.push((w, potrf));
+        }
+        last_write.insert((k, k), potrf);
+        for i in (k + 1)..tiles {
+            let trsm = get(&mut kinds, &mut ids, &mut next_id, (TaskKind::Trsm, i, k, k));
+            edges.push((potrf, trsm));
+            if let Some(&w) = last_write.get(&(i, k)) {
+                edges.push((w, trsm));
+            }
+            last_write.insert((i, k), trsm);
+        }
+        for i in (k + 1)..tiles {
+            for j in (k + 1)..=i {
+                let kind = if i == j { TaskKind::Syrk } else { TaskKind::Gemm };
+                let upd = get(&mut kinds, &mut ids, &mut next_id, (kind, i, j, k));
+                let trsm_i = ids[&(TaskKind::Trsm, i, k, k)];
+                edges.push((trsm_i, upd));
+                if i != j {
+                    let trsm_j = ids[&(TaskKind::Trsm, j, k, k)];
+                    edges.push((trsm_j, upd));
+                }
+                if let Some(&w) = last_write.get(&(i, j)) {
+                    edges.push((w, upd));
+                }
+                last_write.insert((i, j), upd);
+            }
+        }
+    }
+    let dag = Dag::from_edges(next_id, &edges).expect("cholesky task graph is acyclic");
+    GeneratedDag {
+        dag,
+        kinds,
+        sp_expr: None,
+    }
+}
+
+fn wavefront(rows: usize, cols: usize) -> GeneratedDag {
+    let n = rows * cols;
+    let id = |i: usize, j: usize| i * cols + j;
+    let mut b = DagBuilder::new(n);
+    for i in 0..rows {
+        for j in 0..cols {
+            if i > 0 {
+                b.add_edge(id(i - 1, j), id(i, j)).expect("valid");
+            }
+            if j > 0 {
+                b.add_edge(id(i, j - 1), id(i, j)).expect("valid");
+            }
+        }
+    }
+    GeneratedDag::unstructured(b.build().expect("grid sweeps are acyclic"))
+}
+
+fn montage(width: usize) -> GeneratedDag {
+    // Stage 1: `width` projection jobs.
+    // Stage 2: `width - 1` overlap-fitting jobs, each depending on two
+    //          neighbouring projections.
+    // Stage 3: one concentration job depending on all fit jobs.
+    // Stage 4: `width` background-correction jobs depending on the
+    //          concentration job and their projection.
+    // Stage 5: one final mosaic job.
+    let fits = width.saturating_sub(1).max(1);
+    let n = width + fits + 1 + width + 1;
+    let mut b = DagBuilder::new(n);
+    let mut kinds = vec![TaskKind::Generic; n];
+    let proj = |i: usize| i;
+    let fit = |i: usize| width + i;
+    let concat = width + fits;
+    let bg = |i: usize| width + fits + 1 + i;
+    let mosaic = n - 1;
+    for i in 0..width {
+        kinds[proj(i)] = TaskKind::Project;
+        kinds[bg(i)] = TaskKind::Project;
+    }
+    for i in 0..fits {
+        kinds[fit(i)] = TaskKind::Merge;
+    }
+    kinds[concat] = TaskKind::Merge;
+    kinds[mosaic] = TaskKind::Merge;
+    for i in 0..fits {
+        b.add_edge(proj(i), fit(i)).expect("valid");
+        b.add_edge(proj((i + 1).min(width - 1)), fit(i)).ok();
+        b.add_edge(fit(i), concat).expect("valid");
+    }
+    for i in 0..width {
+        if fits == 1 && width == 1 {
+            b.add_edge(proj(i), fit(0)).ok();
+        }
+        b.add_edge(concat, bg(i)).expect("valid");
+        b.add_edge(proj(i), bg(i)).expect("valid");
+        b.add_edge(bg(i), mosaic).expect("valid");
+    }
+    GeneratedDag {
+        dag: b.build().expect("montage workflow is acyclic"),
+        kinds,
+        sp_expr: None,
+    }
+}
+
+fn epigenomics(branches: usize, depth: usize) -> GeneratedDag {
+    // One split job, `branches` parallel pipelines of `depth` jobs, one merge
+    // job, and a final chain of 2 post-processing jobs.
+    let n = 1 + branches * depth + 3;
+    let mut b = DagBuilder::new(n);
+    let mut kinds = vec![TaskKind::Generic; n];
+    let split = 0usize;
+    kinds[split] = TaskKind::Project;
+    let pipe = |br: usize, d: usize| 1 + br * depth + d;
+    let merge = 1 + branches * depth;
+    let post1 = merge + 1;
+    let post2 = merge + 2;
+    kinds[merge] = TaskKind::Merge;
+    kinds[post1] = TaskKind::Merge;
+    kinds[post2] = TaskKind::Merge;
+    let mut sp_branches = Vec::new();
+    for br in 0..branches {
+        b.add_edge(split, pipe(br, 0)).expect("valid");
+        let mut chain = Vec::new();
+        for d in 0..depth {
+            chain.push(SpExpr::Job(pipe(br, d)));
+            if d > 0 {
+                b.add_edge(pipe(br, d - 1), pipe(br, d)).expect("valid");
+            }
+        }
+        b.add_edge(pipe(br, depth - 1), merge).expect("valid");
+        sp_branches.push(SpExpr::series(chain));
+    }
+    b.add_edge(merge, post1).expect("valid");
+    b.add_edge(post1, post2).expect("valid");
+    let sp = SpExpr::series(vec![
+        SpExpr::Job(split),
+        SpExpr::parallel(sp_branches),
+        SpExpr::Job(merge),
+        SpExpr::Job(post1),
+        SpExpr::Job(post2),
+    ]);
+    GeneratedDag {
+        dag: b.build().expect("epigenomics workflow is acyclic"),
+        kinds,
+        sp_expr: Some(sp),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng_from_seed;
+    use mrls_dag::GraphClass;
+
+    #[test]
+    fn independent_and_chain() {
+        let mut rng = rng_from_seed(1);
+        let g = DagRecipe::Independent { n: 5 }.generate(&mut rng);
+        assert_eq!(g.dag.num_nodes(), 5);
+        assert_eq!(g.dag.num_edges(), 0);
+        let g = DagRecipe::Chain { n: 5 }.generate(&mut rng);
+        assert_eq!(g.dag.classify(), GraphClass::Chain);
+    }
+
+    #[test]
+    fn layered_every_nonfirst_layer_node_has_pred() {
+        let mut rng = rng_from_seed(2);
+        let g = DagRecipe::RandomLayered {
+            n: 40,
+            layers: 5,
+            edge_prob: 0.2,
+        }
+        .generate(&mut rng);
+        assert_eq!(g.dag.num_nodes(), 40);
+        // All nodes beyond the first layer have at least one predecessor.
+        let levels = g.dag.levels();
+        for v in 0..40 {
+            if levels[v] > 0 {
+                assert!(g.dag.in_degree(v) >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let mut rng = rng_from_seed(3);
+        let empty = DagRecipe::ErdosRenyi { n: 10, edge_prob: 0.0 }.generate(&mut rng);
+        assert_eq!(empty.dag.num_edges(), 0);
+        let full = DagRecipe::ErdosRenyi { n: 10, edge_prob: 1.0 }.generate(&mut rng);
+        assert_eq!(full.dag.num_edges(), 45);
+        assert_eq!(full.dag.classify(), GraphClass::SeriesParallel); // a total order is a chain-like SP order
+    }
+
+    #[test]
+    fn fork_join_structure() {
+        let mut rng = rng_from_seed(4);
+        let g = DagRecipe::ForkJoin { width: 4, stages: 3 }.generate(&mut rng);
+        assert_eq!(g.dag.num_nodes(), 3 * 6);
+        assert!(g.sp_expr.is_some());
+        assert!(g.dag.is_series_parallel());
+        // Height: per stage 3 levels => 9 levels.
+        assert_eq!(g.dag.height(), 9);
+    }
+
+    #[test]
+    fn random_trees_classify_correctly() {
+        let mut rng = rng_from_seed(5);
+        let out = DagRecipe::RandomOutTree { n: 30, max_children: 3 }.generate(&mut rng);
+        assert!(out.dag.is_out_forest());
+        assert_eq!(out.dag.num_edges(), 29);
+        let int = DagRecipe::RandomInTree { n: 30, max_children: 0 }.generate(&mut rng);
+        assert!(int.dag.is_in_forest());
+    }
+
+    #[test]
+    fn random_sp_is_sp() {
+        let mut rng = rng_from_seed(6);
+        let g = DagRecipe::RandomSeriesParallel { n: 25, series_prob: 0.5 }.generate(&mut rng);
+        assert!(g.dag.is_series_parallel());
+        assert!(g.sp_expr.is_some());
+        assert_eq!(g.sp_expr.unwrap().num_jobs(), 25);
+    }
+
+    #[test]
+    fn cholesky_counts_and_acyclic() {
+        let mut rng = rng_from_seed(7);
+        let g = DagRecipe::Cholesky { tiles: 4 }.generate(&mut rng);
+        // T=4: POTRF 4, TRSM 3+2+1=6, SYRK 3+2+1=6, GEMM 3+1+0... count:
+        // for k: updates (i,j) with k<j<=i<T: k=0: pairs over 3x3 lower = 6,
+        // k=1: 3, k=2: 1, k=3: 0 => 10 updates of which diagonal (SYRK) 3+2+1=6
+        // and GEMM 4. Total = 4 + 6 + 10 = 20.
+        assert_eq!(g.dag.num_nodes(), 20);
+        assert_eq!(g.kinds.iter().filter(|k| **k == TaskKind::Potrf).count(), 4);
+        assert_eq!(g.kinds.iter().filter(|k| **k == TaskKind::Trsm).count(), 6);
+        assert_eq!(
+            g.kinds
+                .iter()
+                .filter(|k| **k == TaskKind::Syrk || **k == TaskKind::Gemm)
+                .count(),
+            10
+        );
+        // The first POTRF is a source and the last POTRF is a sink.
+        assert!(g.dag.sources().contains(&0));
+    }
+
+    #[test]
+    fn wavefront_structure() {
+        let mut rng = rng_from_seed(8);
+        let g = DagRecipe::Wavefront { rows: 3, cols: 4 }.generate(&mut rng);
+        assert_eq!(g.dag.num_nodes(), 12);
+        // Edges: (rows-1)*cols + rows*(cols-1) = 8 + 9 = 17.
+        assert_eq!(g.dag.num_edges(), 17);
+        assert_eq!(g.dag.height(), 3 + 4 - 1);
+    }
+
+    #[test]
+    fn montage_and_epigenomics_are_connected_dags() {
+        let mut rng = rng_from_seed(9);
+        let m = DagRecipe::Montage { width: 5 }.generate(&mut rng);
+        assert!(m.dag.num_nodes() > 10);
+        assert_eq!(m.dag.sinks().len(), 1);
+        let e = DagRecipe::Epigenomics { branches: 4, depth: 3 }.generate(&mut rng);
+        assert_eq!(e.dag.num_nodes(), 1 + 12 + 3);
+        assert_eq!(e.dag.sinks().len(), 1);
+        assert!(e.dag.is_series_parallel());
+        assert!(e.sp_expr.is_some());
+    }
+
+    #[test]
+    fn labels_unique_enough() {
+        let recipes = [
+            DagRecipe::Independent { n: 1 }.label(),
+            DagRecipe::Chain { n: 1 }.label(),
+            DagRecipe::Cholesky { tiles: 1 }.label(),
+            DagRecipe::Montage { width: 1 }.label(),
+        ];
+        let set: std::collections::BTreeSet<_> = recipes.iter().collect();
+        assert_eq!(set.len(), recipes.len());
+    }
+
+    #[test]
+    fn determinism_same_seed_same_graph() {
+        let g1 = DagRecipe::ErdosRenyi { n: 20, edge_prob: 0.3 }.generate(&mut rng_from_seed(42));
+        let g2 = DagRecipe::ErdosRenyi { n: 20, edge_prob: 0.3 }.generate(&mut rng_from_seed(42));
+        assert_eq!(g1.dag, g2.dag);
+        let g3 = DagRecipe::ErdosRenyi { n: 20, edge_prob: 0.3 }.generate(&mut rng_from_seed(43));
+        assert_ne!(g1.dag, g3.dag);
+    }
+}

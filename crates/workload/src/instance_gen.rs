@@ -1,0 +1,175 @@
+//! Full instance generation: system + DAG + jobs from a declarative recipe.
+
+use crate::dag_gen::{DagRecipe, GeneratedDag};
+use crate::job_gen::JobRecipe;
+use crate::rng_from_seed;
+use mrls_model::{Instance, SystemConfig};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Declarative description of the platform.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SystemRecipe {
+    /// `d` resource types, all with capacity `p`.
+    Uniform {
+        /// Number of resource types.
+        d: usize,
+        /// Capacity per type.
+        p: u64,
+    },
+    /// Explicit capacities.
+    Explicit(Vec<u64>),
+    /// `d` resource types with capacities drawn uniformly from `[lo, hi]`.
+    RandomUniform {
+        /// Number of resource types.
+        d: usize,
+        /// Minimum capacity.
+        lo: u64,
+        /// Maximum capacity.
+        hi: u64,
+    },
+}
+
+impl SystemRecipe {
+    /// Materialises the system configuration.
+    pub fn generate<R: Rng>(&self, rng: &mut R) -> SystemConfig {
+        match self {
+            SystemRecipe::Uniform { d, p } => {
+                SystemConfig::uniform(*d, *p).expect("uniform recipe with positive capacity")
+            }
+            SystemRecipe::Explicit(caps) => {
+                SystemConfig::new(caps.clone()).expect("explicit recipe must be valid")
+            }
+            SystemRecipe::RandomUniform { d, lo, hi } => {
+                let caps: Vec<u64> = (0..*d)
+                    .map(|_| rng.gen_range(*lo..=(*hi).max(*lo)))
+                    .collect();
+                SystemConfig::new(caps).expect("random capacities are positive")
+            }
+        }
+    }
+}
+
+/// A complete, reproducible instance recipe.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceRecipe {
+    /// Platform description.
+    pub system: SystemRecipe,
+    /// Precedence-graph description.
+    pub dag: DagRecipe,
+    /// Moldable-job description.
+    pub jobs: JobRecipe,
+}
+
+/// The result of generating an instance: the instance itself plus the
+/// generator metadata (task kinds, optional SP decomposition).
+#[derive(Debug, Clone)]
+pub struct GeneratedInstance {
+    /// The scheduling instance.
+    pub instance: Instance,
+    /// The DAG-generator metadata.
+    pub generated_dag: GeneratedDag,
+}
+
+impl InstanceRecipe {
+    /// Generates the instance deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> GeneratedInstance {
+        let mut rng = rng_from_seed(seed);
+        self.generate_with(&mut rng)
+    }
+
+    /// Generates the instance using a caller-provided PRNG.
+    pub fn generate_with<R: Rng>(&self, rng: &mut R) -> GeneratedInstance {
+        let system = self.system.generate(rng);
+        let generated_dag = self.dag.generate(rng);
+        let d = system.num_resource_types();
+        let jobs = self.jobs.draw_jobs(d, &generated_dag.kinds, rng);
+        let instance = Instance::new(system, generated_dag.dag.clone(), jobs)
+            .expect("generator produces matching job/node counts");
+        GeneratedInstance {
+            instance,
+            generated_dag,
+        }
+    }
+
+    /// A small default recipe used by examples and smoke tests: a layered
+    /// random graph of `n` jobs on `d` uniform resource types.
+    pub fn default_layered(n: usize, d: usize, p: u64) -> Self {
+        InstanceRecipe {
+            system: SystemRecipe::Uniform { d, p },
+            dag: DagRecipe::RandomLayered {
+                n,
+                layers: (n as f64).sqrt().ceil() as usize,
+                edge_prob: 0.3,
+            },
+            jobs: JobRecipe::default_mixed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag_gen::DagRecipe;
+    use crate::job_gen::{JobRecipe, SpeedupFamily};
+    use mrls_model::AllocationSpace;
+
+    #[test]
+    fn system_recipes() {
+        let mut rng = rng_from_seed(1);
+        let u = SystemRecipe::Uniform { d: 3, p: 8 }.generate(&mut rng);
+        assert_eq!(u.capacities(), &[8, 8, 8]);
+        let e = SystemRecipe::Explicit(vec![2, 4]).generate(&mut rng);
+        assert_eq!(e.capacities(), &[2, 4]);
+        let r = SystemRecipe::RandomUniform { d: 4, lo: 4, hi: 16 }.generate(&mut rng);
+        assert_eq!(r.num_resource_types(), 4);
+        assert!(r.capacities().iter().all(|&c| (4..=16).contains(&c)));
+    }
+
+    #[test]
+    fn generated_instance_is_consistent() {
+        let recipe = InstanceRecipe::default_layered(30, 3, 8);
+        let gi = recipe.generate(7);
+        assert_eq!(gi.instance.num_jobs(), 30);
+        assert_eq!(gi.instance.num_resource_types(), 3);
+        assert_eq!(gi.generated_dag.kinds.len(), 30);
+        // Profiles can be built for every job.
+        let profiles = gi.instance.profiles().unwrap();
+        assert_eq!(profiles.len(), 30);
+    }
+
+    #[test]
+    fn determinism() {
+        let recipe = InstanceRecipe::default_layered(20, 2, 6);
+        let a = recipe.generate(99).instance;
+        let b = recipe.generate(99).instance;
+        assert_eq!(a, b);
+        let c = recipe.generate(100).instance;
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn cholesky_instance_with_powers_of_two_space() {
+        let recipe = InstanceRecipe {
+            system: SystemRecipe::Uniform { d: 2, p: 16 },
+            dag: DagRecipe::Cholesky { tiles: 3 },
+            jobs: JobRecipe {
+                family: SpeedupFamily::Amdahl,
+                space: AllocationSpace::PowersOfTwo,
+                ..JobRecipe::default_mixed()
+            },
+        };
+        let gi = recipe.generate(5);
+        assert!(gi.instance.num_jobs() > 5);
+        let profiles = gi.instance.profiles().unwrap();
+        assert!(profiles.iter().all(|p| p.len() <= 25));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let recipe = InstanceRecipe::default_layered(10, 2, 4);
+        let json = serde_json::to_string(&recipe).unwrap();
+        let back: InstanceRecipe = serde_json::from_str(&json).unwrap();
+        assert_eq!(recipe, back);
+    }
+}

@@ -1,0 +1,238 @@
+//! Random moldable-job generators.
+//!
+//! Jobs are drawn from the speedup families of [`mrls_model::ExecTimeSpec`]
+//! with randomised parameters chosen so that Assumption 3 of the paper holds
+//! by construction (e.g. power-law exponents always sum to at most one).
+
+use crate::dag_gen::TaskKind;
+use mrls_model::{AllocationSpace, ExecTimeSpec, MoldableJob};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The speedup family jobs are drawn from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpeedupFamily {
+    /// Generalised Amdahl profiles (`seq + Σ work_i / p_i`).
+    Amdahl,
+    /// Power-law profiles with `Σ α_i ≤ 1`.
+    PowerLaw,
+    /// Roofline / bottleneck profiles.
+    Roofline,
+    /// Amdahl plus a per-unit communication penalty (non-monotonic raw model;
+    /// exercises the dominated-allocation filter).
+    CommPenalty,
+    /// Uniform mixture of all the families above.
+    Mixed,
+}
+
+/// Declarative description of how to draw the moldable jobs of an instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRecipe {
+    /// Speedup family.
+    pub family: SpeedupFamily,
+    /// Total work of a job is drawn uniformly from this range and then split
+    /// across resource types.
+    pub work_range: (f64, f64),
+    /// The sequential fraction is drawn uniformly from this range (Amdahl and
+    /// CommPenalty families).
+    pub seq_fraction_range: (f64, f64),
+    /// Candidate allocation space given to every job.
+    pub space: AllocationSpace,
+    /// Multiplier applied to the work of "heavy" structured-task kinds
+    /// (GEMM/SYRK); 1.0 means all kinds are identical.
+    pub heavy_kind_factor: f64,
+}
+
+impl JobRecipe {
+    /// A sensible default recipe: mixed speedups, work in `[10, 100]`,
+    /// sequential fraction up to 25 %, full allocation grid.
+    pub fn default_mixed() -> Self {
+        JobRecipe {
+            family: SpeedupFamily::Mixed,
+            work_range: (10.0, 100.0),
+            seq_fraction_range: (0.0, 0.25),
+            space: AllocationSpace::FullGrid,
+            heavy_kind_factor: 2.0,
+        }
+    }
+
+    /// Draws the execution-time model of a single job.
+    pub fn draw_spec<R: Rng>(&self, d: usize, kind: TaskKind, rng: &mut R) -> ExecTimeSpec {
+        let (lo, hi) = self.work_range;
+        let mut total_work = rng.gen_range(lo..hi.max(lo + 1e-9));
+        if matches!(kind, TaskKind::Gemm | TaskKind::Syrk) {
+            total_work *= self.heavy_kind_factor.max(0.0);
+        }
+        let (slo, shi) = self.seq_fraction_range;
+        let seq_fraction = rng.gen_range(slo..shi.max(slo + 1e-9)).clamp(0.0, 0.95);
+        let family = match self.family {
+            SpeedupFamily::Mixed => match rng.gen_range(0..4) {
+                0 => SpeedupFamily::Amdahl,
+                1 => SpeedupFamily::PowerLaw,
+                2 => SpeedupFamily::Roofline,
+                _ => SpeedupFamily::CommPenalty,
+            },
+            f => f,
+        };
+        match family {
+            SpeedupFamily::Amdahl => {
+                let seq = total_work * seq_fraction;
+                let par = total_work - seq;
+                let shares = random_shares(d, rng);
+                ExecTimeSpec::Amdahl {
+                    seq,
+                    work: shares.iter().map(|s| s * par).collect(),
+                }
+            }
+            SpeedupFamily::PowerLaw => {
+                let shares = random_shares(d, rng);
+                let budget = rng.gen_range(0.5..1.0);
+                ExecTimeSpec::PowerLaw {
+                    base: total_work,
+                    alpha: shares.iter().map(|s| s * budget).collect(),
+                }
+            }
+            SpeedupFamily::Roofline => {
+                let plateau: Vec<u64> = (0..d).map(|_| rng.gen_range(1..=32u64)).collect();
+                ExecTimeSpec::Roofline {
+                    work: total_work,
+                    plateau,
+                }
+            }
+            SpeedupFamily::CommPenalty => {
+                let seq = total_work * seq_fraction;
+                let par = total_work - seq;
+                let shares = random_shares(d, rng);
+                let comm: Vec<f64> = (0..d)
+                    .map(|_| rng.gen_range(0.0..0.02) * total_work)
+                    .collect();
+                ExecTimeSpec::CommPenalty {
+                    seq,
+                    work: shares.iter().map(|s| s * par).collect(),
+                    comm,
+                }
+            }
+            SpeedupFamily::Mixed => unreachable!("mixed resolved above"),
+        }
+    }
+
+    /// Draws a full job set for `kinds.len()` jobs on a `d`-type system.
+    pub fn draw_jobs<R: Rng>(&self, d: usize, kinds: &[TaskKind], rng: &mut R) -> Vec<MoldableJob> {
+        kinds
+            .iter()
+            .enumerate()
+            .map(|(j, &kind)| {
+                let spec = self.draw_spec(d, kind, rng);
+                MoldableJob::with_space(format!("job{j}"), spec, self.space.clone())
+            })
+            .collect()
+    }
+}
+
+/// `d` non-negative shares summing to 1, none of them vanishing.
+fn random_shares<R: Rng>(d: usize, rng: &mut R) -> Vec<f64> {
+    let raw: Vec<f64> = (0..d).map(|_| rng.gen_range(0.1..1.0)).collect();
+    let sum: f64 = raw.iter().sum();
+    raw.into_iter().map(|r| r / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng_from_seed;
+    use mrls_model::{assumptions::check_assumption3, SystemConfig};
+
+    #[test]
+    fn shares_sum_to_one() {
+        let mut rng = rng_from_seed(1);
+        for d in 1..6 {
+            let s = random_shares(d, &mut rng);
+            assert_eq!(s.len(), d);
+            assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(s.iter().all(|&x| x > 0.0));
+        }
+    }
+
+    #[test]
+    fn amdahl_jobs_have_right_dimension() {
+        let mut rng = rng_from_seed(2);
+        let recipe = JobRecipe {
+            family: SpeedupFamily::Amdahl,
+            ..JobRecipe::default_mixed()
+        };
+        let spec = recipe.draw_spec(3, TaskKind::Generic, &mut rng);
+        assert_eq!(spec.dimension(), Some(3));
+    }
+
+    #[test]
+    fn powerlaw_exponents_bounded() {
+        let mut rng = rng_from_seed(3);
+        let recipe = JobRecipe {
+            family: SpeedupFamily::PowerLaw,
+            ..JobRecipe::default_mixed()
+        };
+        for _ in 0..50 {
+            if let ExecTimeSpec::PowerLaw { alpha, .. } = recipe.draw_spec(4, TaskKind::Generic, &mut rng)
+            {
+                assert!(alpha.iter().sum::<f64>() <= 1.0 + 1e-9);
+            } else {
+                panic!("expected power law");
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_kinds_get_more_work() {
+        let recipe = JobRecipe {
+            family: SpeedupFamily::Amdahl,
+            work_range: (10.0, 10.000001),
+            seq_fraction_range: (0.0, 1e-9),
+            space: AllocationSpace::FullGrid,
+            heavy_kind_factor: 3.0,
+        };
+        let mut rng = rng_from_seed(4);
+        let light = recipe.draw_spec(1, TaskKind::Trsm, &mut rng);
+        let heavy = recipe.draw_spec(1, TaskKind::Gemm, &mut rng);
+        let one = mrls_model::Allocation::ones(1);
+        assert!(heavy.time(&one) > 2.0 * light.time(&one));
+    }
+
+    #[test]
+    fn generated_specs_satisfy_non_superlinearity() {
+        let system = SystemConfig::uniform(2, 4).unwrap();
+        let mut rng = rng_from_seed(5);
+        let recipe = JobRecipe::default_mixed();
+        for _ in 0..30 {
+            let spec = recipe.draw_spec(2, TaskKind::Generic, &mut rng);
+            let report = check_assumption3(
+                &spec,
+                &AllocationSpace::FullGrid,
+                &system,
+                1_000_000,
+            )
+            .unwrap();
+            assert!(
+                report.superlinearity_violations.is_empty(),
+                "superlinear spec generated: {spec:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn draw_jobs_produces_one_per_kind() {
+        let mut rng = rng_from_seed(6);
+        let recipe = JobRecipe::default_mixed();
+        let kinds = vec![TaskKind::Generic; 7];
+        let jobs = recipe.draw_jobs(2, &kinds, &mut rng);
+        assert_eq!(jobs.len(), 7);
+        assert_eq!(jobs[3].name, "job3");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let recipe = JobRecipe::default_mixed();
+        let json = serde_json::to_string(&recipe).unwrap();
+        let back: JobRecipe = serde_json::from_str(&json).unwrap();
+        assert_eq!(recipe, back);
+    }
+}

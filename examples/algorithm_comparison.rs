@@ -1,0 +1,83 @@
+//! A small simulation campaign in one binary: compare the paper's algorithm
+//! against baselines across several workflow families and report normalised
+//! makespans (makespan divided by the certified lower bound).
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example algorithm_comparison
+//! ```
+
+use mrls::analysis::stats::Summary;
+use mrls::analysis::validate_schedule;
+use mrls::baseline::{BaselineScheduler, RigidListScheduler, RigidRule};
+use mrls::workload::{DagRecipe, InstanceRecipe, JobRecipe, SpeedupFamily, SystemRecipe};
+use mrls::{AllocationSpace, MrlsConfig, MrlsScheduler, PriorityRule};
+
+fn main() {
+    let d = 3usize;
+    let p = 16u64;
+    let seeds: Vec<u64> = (0..10).collect();
+    let families = [
+        ("layered", DagRecipe::RandomLayered { n: 60, layers: 8, edge_prob: 0.25 }),
+        ("fork-join", DagRecipe::ForkJoin { width: 8, stages: 5 }),
+        ("out-tree", DagRecipe::RandomOutTree { n: 60, max_children: 3 }),
+        ("independent", DagRecipe::Independent { n: 60 }),
+        ("wavefront", DagRecipe::Wavefront { rows: 8, cols: 8 }),
+    ];
+
+    println!(
+        "{:<12} | {:>14} {:>14} {:>14} {:>14}",
+        "workflow", "mrls", "rigid-fastest", "rigid-cheapest", "rigid-balanced"
+    );
+    println!("{}", "-".repeat(76));
+
+    for (label, dag) in families {
+        let mut ratios_mrls = Vec::new();
+        let mut ratios_fast = Vec::new();
+        let mut ratios_cheap = Vec::new();
+        let mut ratios_bal = Vec::new();
+        for &seed in &seeds {
+            let recipe = InstanceRecipe {
+                system: SystemRecipe::Uniform { d, p },
+                dag: dag.clone(),
+                jobs: JobRecipe {
+                    family: SpeedupFamily::Mixed,
+                    work_range: (10.0, 80.0),
+                    seq_fraction_range: (0.0, 0.2),
+                    space: AllocationSpace::PowersOfTwo,
+                    heavy_kind_factor: 2.0,
+                },
+            };
+            let gi = recipe.generate(seed);
+            let inst = &gi.instance;
+
+            let result = MrlsScheduler::new(MrlsConfig::default())
+                .schedule(inst)
+                .expect("mrls runs");
+            assert!(validate_schedule(inst, &result.schedule).is_valid());
+            let lb = result.lower_bound;
+            ratios_mrls.push(result.schedule.makespan / lb);
+
+            for (rule, bucket) in [
+                (RigidRule::Fastest, &mut ratios_fast),
+                (RigidRule::Cheapest, &mut ratios_cheap),
+                (RigidRule::Balanced, &mut ratios_bal),
+            ] {
+                let out = RigidListScheduler::new(rule, PriorityRule::CriticalPath)
+                    .run(inst)
+                    .expect("baseline runs");
+                bucket.push(out.schedule.makespan / lb);
+            }
+        }
+        let fmt = |s: &Summary| format!("{:.2} ± {:.2}", s.mean, s.std_dev);
+        println!(
+            "{:<12} | {:>14} {:>14} {:>14} {:>14}",
+            label,
+            fmt(&Summary::of(&ratios_mrls)),
+            fmt(&Summary::of(&ratios_fast)),
+            fmt(&Summary::of(&ratios_cheap)),
+            fmt(&Summary::of(&ratios_bal)),
+        );
+    }
+    println!("\nValues are makespans normalised by the certified lower bound (lower is better).");
+}

@@ -1,0 +1,100 @@
+//! Quickstart: build a small workflow by hand, schedule it with the paper's
+//! two-phase algorithm, and print the schedule.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use mrls::analysis::gantt::ascii_gantt;
+use mrls::analysis::validate_schedule;
+use mrls::{
+    Dag, DagBuilder, ExecTimeSpec, Instance, MoldableJob, MrlsConfig, MrlsScheduler, SystemConfig,
+};
+
+fn main() {
+    // A platform with two schedulable resource types, e.g. 16 cores and
+    // 8 units of memory bandwidth.
+    let system = SystemConfig::new(vec![16, 8]).expect("valid capacities");
+
+    // A small "ingest -> two analyses -> reduce -> report" workflow.
+    let mut builder = DagBuilder::new(5);
+    builder.add_edge(0, 1).unwrap(); // ingest -> analysis A
+    builder.add_edge(0, 2).unwrap(); // ingest -> analysis B
+    builder.add_edge(1, 3).unwrap(); // analysis A -> reduce
+    builder.add_edge(2, 3).unwrap(); // analysis B -> reduce
+    builder.add_edge(3, 4).unwrap(); // reduce -> report
+    let dag: Dag = builder.build().expect("acyclic");
+
+    // Each job is moldable: its execution time depends on how much of each
+    // resource it gets (generalised Amdahl profiles here).
+    let jobs = vec![
+        MoldableJob::with_space(
+            "ingest",
+            ExecTimeSpec::Amdahl { seq: 2.0, work: vec![20.0, 30.0] },
+            mrls::AllocationSpace::FullGrid,
+        ),
+        MoldableJob::with_space(
+            "analysis-a",
+            ExecTimeSpec::Amdahl { seq: 1.0, work: vec![60.0, 10.0] },
+            mrls::AllocationSpace::FullGrid,
+        ),
+        MoldableJob::with_space(
+            "analysis-b",
+            ExecTimeSpec::Amdahl { seq: 1.0, work: vec![40.0, 25.0] },
+            mrls::AllocationSpace::FullGrid,
+        ),
+        MoldableJob::with_space(
+            "reduce",
+            ExecTimeSpec::Amdahl { seq: 0.5, work: vec![15.0, 20.0] },
+            mrls::AllocationSpace::FullGrid,
+        ),
+        MoldableJob::with_space(
+            "report",
+            ExecTimeSpec::Amdahl { seq: 3.0, work: vec![5.0, 2.0] },
+            mrls::AllocationSpace::FullGrid,
+        ),
+    ];
+
+    let instance = Instance::new(system, dag, jobs).expect("consistent instance");
+
+    // Run the two-phase algorithm with the paper's default parameters
+    // (µ*, ρ* chosen per Theorems 1-5 based on the graph class).
+    let result = MrlsScheduler::new(MrlsConfig::default())
+        .schedule(&instance)
+        .expect("scheduling succeeds");
+
+    println!("graph class      : {}", result.params.graph_class);
+    println!("allocator        : {}", result.params.allocator);
+    println!("mu / rho         : {:.4} / {:.4}", result.params.mu, result.params.rho);
+    println!("makespan         : {:.3}", result.schedule.makespan);
+    println!("lower bound      : {:.3}", result.lower_bound);
+    println!(
+        "measured ratio   : {:.3}  (guarantee {:.3})",
+        result.measured_ratio(),
+        result.params.ratio_guarantee
+    );
+    println!();
+    println!("allocations (before -> after µ-adjustment):");
+    for (j, (before, after)) in result
+        .initial_decision
+        .iter()
+        .zip(result.decision.iter())
+        .enumerate()
+    {
+        println!(
+            "  {:<12} {} -> {}{}",
+            instance.jobs[j].name,
+            before,
+            after,
+            if result.adjusted[j] { "  (adjusted)" } else { "" }
+        );
+    }
+    println!();
+    println!("{}", ascii_gantt(&instance, &result.schedule, 60));
+
+    // Always validate before trusting a schedule.
+    let report = validate_schedule(&instance, &result.schedule);
+    assert!(report.is_valid(), "schedule must be valid: {report:?}");
+    println!("schedule validated: precedence + capacities OK");
+}

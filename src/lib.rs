@@ -1,0 +1,68 @@
+//! # mrls — Multi-Resource List Scheduling of Moldable Parallel Jobs
+//!
+//! A faithful, production-quality Rust reproduction of
+//! *"Multi-Resource List Scheduling of Moldable Parallel Jobs under Precedence
+//! Constraints"* (Lucas Perotin, Hongyang Sun, Padma Raghavan — ICPP 2021,
+//! [arXiv:2106.07059](https://arxiv.org/abs/2106.07059)).
+//!
+//! This facade crate re-exports the full workspace so downstream users can
+//! depend on a single crate:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`dag`] | `mrls-dag` | precedence graphs, critical paths, series-parallel decomposition |
+//! | [`lp`] | `mrls-lp` | self-contained dense simplex LP solver |
+//! | [`model`] | `mrls-model` | resources, moldable jobs, speedup models, Pareto profiles, instances |
+//! | [`workload`] | `mrls-workload` | synthetic workflow and job generators |
+//! | [`core`] | `mrls-core` | the two-phase scheduling algorithm, allocators, list scheduler, theory |
+//! | [`baseline`] | `mrls-baseline` | rigid / sequential / Sun-et-al. baselines |
+//! | [`analysis`] | `mrls-analysis` | schedule validation, interval analysis, Gantt, statistics |
+//!
+//! The most common entry points are re-exported at the top level.
+//!
+//! ## Example
+//!
+//! ```
+//! use mrls::{MrlsScheduler, MrlsConfig};
+//! use mrls::workload::InstanceRecipe;
+//!
+//! // Generate a 30-job layered workflow on 3 resource types of 8 units each.
+//! let generated = InstanceRecipe::default_layered(30, 3, 8).generate(42);
+//! let result = MrlsScheduler::new(MrlsConfig::default())
+//!     .schedule(&generated.instance)
+//!     .unwrap();
+//! println!(
+//!     "makespan = {:.2}, lower bound = {:.2}, ratio = {:.2} (guarantee {:.2})",
+//!     result.schedule.makespan,
+//!     result.lower_bound,
+//!     result.measured_ratio(),
+//!     result.params.ratio_guarantee
+//! );
+//! assert!(result.measured_ratio() <= result.params.ratio_guarantee + 1e-6);
+//! ```
+
+#![warn(missing_docs)]
+
+/// The DAG substrate (`mrls-dag`).
+pub use mrls_dag as dag;
+/// The LP solver (`mrls-lp`).
+pub use mrls_lp as lp;
+/// The moldable multi-resource job model (`mrls-model`).
+pub use mrls_model as model;
+/// Workload generators (`mrls-workload`).
+pub use mrls_workload as workload;
+/// The scheduling algorithms (`mrls-core`).
+pub use mrls_core as core;
+/// Baseline algorithms (`mrls-baseline`).
+pub use mrls_baseline as baseline;
+/// Analysis and reporting tools (`mrls-analysis`).
+pub use mrls_analysis as analysis;
+
+pub use mrls_core::{
+    AllocatorKind, ListScheduler, MrlsConfig, MrlsScheduler, PriorityRule, Schedule,
+    ScheduleResult, ScheduledJob,
+};
+pub use mrls_dag::{Dag, DagBuilder, GraphClass};
+pub use mrls_model::{
+    Allocation, AllocationSpace, ExecTimeSpec, Instance, JobProfile, MoldableJob, SystemConfig,
+};

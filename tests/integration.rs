@@ -1,0 +1,209 @@
+//! Cross-crate integration tests: the full pipeline on every graph family,
+//! serde round-trips of instances and results, baseline comparisons, and the
+//! paper's headline invariants end-to-end.
+
+use mrls::analysis::intervals::IntervalReport;
+use mrls::analysis::validate_schedule;
+use mrls::baseline::{BaselineScheduler, RigidListScheduler, RigidRule, SequentialScheduler};
+use mrls::core::theory;
+use mrls::workload::{DagRecipe, InstanceRecipe, JobRecipe, SpeedupFamily, SystemRecipe};
+use mrls::{
+    AllocationSpace, AllocatorKind, GraphClass, Instance, MrlsConfig, MrlsScheduler, PriorityRule,
+};
+
+fn recipe(dag: DagRecipe, d: usize, p: u64) -> InstanceRecipe {
+    InstanceRecipe {
+        system: SystemRecipe::Uniform { d, p },
+        dag,
+        jobs: JobRecipe {
+            family: SpeedupFamily::Amdahl,
+            work_range: (5.0, 60.0),
+            seq_fraction_range: (0.0, 0.25),
+            space: AllocationSpace::PowersOfTwo,
+            heavy_kind_factor: 2.0,
+        },
+    }
+}
+
+#[test]
+fn every_graph_family_schedules_validly_and_within_guarantee() {
+    let families = vec![
+        DagRecipe::Independent { n: 20 },
+        DagRecipe::Chain { n: 15 },
+        DagRecipe::RandomLayered { n: 30, layers: 5, edge_prob: 0.3 },
+        DagRecipe::ErdosRenyi { n: 25, edge_prob: 0.15 },
+        DagRecipe::ForkJoin { width: 5, stages: 3 },
+        DagRecipe::RandomOutTree { n: 25, max_children: 3 },
+        DagRecipe::RandomInTree { n: 25, max_children: 3 },
+        DagRecipe::RandomSeriesParallel { n: 25, series_prob: 0.5 },
+        DagRecipe::Cholesky { tiles: 4 },
+        DagRecipe::Wavefront { rows: 5, cols: 5 },
+        DagRecipe::Montage { width: 6 },
+        DagRecipe::Epigenomics { branches: 4, depth: 4 },
+    ];
+    for (i, dag) in families.into_iter().enumerate() {
+        for d in [1usize, 2, 3] {
+            let gi = recipe(dag.clone(), d, 8).generate(1000 + i as u64);
+            let result = MrlsScheduler::with_defaults()
+                .schedule(&gi.instance)
+                .unwrap_or_else(|e| panic!("family {i} d={d} failed: {e}"));
+            let report = validate_schedule(&gi.instance, &result.schedule);
+            assert!(report.is_valid(), "family {i} d={d}: invalid schedule {report:?}");
+            assert!(
+                result.measured_ratio() <= result.params.ratio_guarantee + 1e-6,
+                "family {i} d={d}: ratio {} > guarantee {}",
+                result.measured_ratio(),
+                result.params.ratio_guarantee
+            );
+        }
+    }
+}
+
+#[test]
+fn auto_allocator_matches_graph_class() {
+    let cases = vec![
+        (DagRecipe::Independent { n: 12 }, "independent-optimal"),
+        (DagRecipe::RandomOutTree { n: 12, max_children: 2 }, "sp-fptas"),
+        (DagRecipe::RandomSeriesParallel { n: 12, series_prob: 0.5 }, "sp-fptas"),
+    ];
+    for (dag, expected_allocator) in cases {
+        let gi = recipe(dag, 2, 8).generate(7);
+        let result = MrlsScheduler::with_defaults().schedule(&gi.instance).unwrap();
+        assert_eq!(result.params.allocator, expected_allocator);
+    }
+    // A graph containing an "N" must fall back to the LP allocator.
+    let dag = mrls::Dag::from_edges(4, &[(0, 2), (1, 2), (1, 3)]).unwrap();
+    let jobs: Vec<_> = (0..4)
+        .map(|j| {
+            mrls::MoldableJob::new(
+                j,
+                mrls::ExecTimeSpec::Amdahl { seq: 1.0, work: vec![5.0, 5.0] },
+            )
+        })
+        .collect();
+    let inst = Instance::new(mrls::SystemConfig::new(vec![8, 8]).unwrap(), dag, jobs).unwrap();
+    assert_eq!(inst.graph_class(), GraphClass::General);
+    let result = MrlsScheduler::with_defaults().schedule(&inst).unwrap();
+    assert_eq!(result.params.allocator, "lp-rounding");
+}
+
+#[test]
+fn instance_serde_roundtrip_preserves_scheduling_result() {
+    let gi = recipe(DagRecipe::RandomLayered { n: 20, layers: 4, edge_prob: 0.3 }, 2, 8)
+        .generate(11);
+    let json = gi.instance.to_json();
+    let back = Instance::from_json(&json).unwrap();
+    assert_eq!(gi.instance, back);
+    let a = MrlsScheduler::with_defaults().schedule(&gi.instance).unwrap();
+    let b = MrlsScheduler::with_defaults().schedule(&back).unwrap();
+    assert!((a.schedule.makespan - b.schedule.makespan).abs() < 1e-9);
+}
+
+#[test]
+fn paper_algorithm_beats_or_matches_naive_baselines_on_average() {
+    let mut wins = 0usize;
+    let mut total = 0usize;
+    for seed in 0..8u64 {
+        let gi = recipe(
+            DagRecipe::RandomLayered { n: 40, layers: 6, edge_prob: 0.25 },
+            3,
+            16,
+        )
+        .generate(seed);
+        let inst = &gi.instance;
+        let mrls_result = MrlsScheduler::with_defaults().schedule(inst).unwrap();
+        let fast = RigidListScheduler::new(RigidRule::Fastest, PriorityRule::CriticalPath)
+            .run(inst)
+            .unwrap();
+        let cheap = RigidListScheduler::new(RigidRule::Cheapest, PriorityRule::CriticalPath)
+            .run(inst)
+            .unwrap();
+        let seq = SequentialScheduler::new().run(inst).unwrap();
+        // The sequential baseline is never better than the list schedules here.
+        assert!(seq.schedule.makespan + 1e-6 >= mrls_result.schedule.makespan);
+        total += 2;
+        if mrls_result.schedule.makespan <= fast.schedule.makespan + 1e-9 {
+            wins += 1;
+        }
+        if mrls_result.schedule.makespan <= cheap.schedule.makespan + 1e-9 {
+            wins += 1;
+        }
+    }
+    // The paper's allocator should win the large majority of head-to-heads on
+    // these layered workflows.
+    assert!(
+        wins * 2 >= total,
+        "mrls won only {wins}/{total} comparisons against rigid baselines"
+    );
+}
+
+#[test]
+fn theorem6_family_exhibits_the_d_gap() {
+    use mrls::core::theorem6::Theorem6Instance;
+    use mrls::ListScheduler;
+    let d = 5;
+    let t6 = Theorem6Instance::build(d, 40).unwrap();
+    let worst = ListScheduler::new(t6.adversarial_priority())
+        .schedule(&t6.instance, &t6.decision)
+        .unwrap();
+    let best = ListScheduler::new(t6.gate_first_priority())
+        .schedule(&t6.instance, &t6.decision)
+        .unwrap();
+    assert!(validate_schedule(&t6.instance, &worst).is_valid());
+    assert!(validate_schedule(&t6.instance, &best).is_valid());
+    let ratio = worst.makespan / best.makespan;
+    assert!(ratio > 0.8 * theory::theorem6_lower_bound(d));
+    assert!(ratio <= theory::theorem6_lower_bound(d) + 1.0);
+}
+
+#[test]
+fn interval_decomposition_consistent_with_lemmas_for_monotone_jobs() {
+    let gi = recipe(
+        DagRecipe::RandomLayered { n: 35, layers: 6, edge_prob: 0.3 },
+        2,
+        16,
+    )
+    .generate(3);
+    let result = MrlsScheduler::with_defaults().schedule(&gi.instance).unwrap();
+    let mu = result.params.mu;
+    let report = IntervalReport::build(&gi.instance, &result.schedule, mu);
+    assert!((report.total_duration() - result.schedule.makespan).abs() < 1e-6);
+    let initial = gi.instance.evaluate_decision(&result.initial_decision).unwrap();
+    let d = gi.instance.num_resource_types() as f64;
+    // Lemma 5 and Lemma 6, empirically.
+    assert!(report.t1 + mu * report.t2 <= initial.critical_path + 1e-6);
+    assert!(mu * report.t2 + (1.0 - mu) * report.t3 <= d * initial.average_total_area + 1e-6);
+}
+
+#[test]
+fn forcing_every_allocator_still_yields_valid_schedules() {
+    let gi = recipe(
+        DagRecipe::RandomSeriesParallel { n: 18, series_prob: 0.5 },
+        2,
+        8,
+    )
+    .generate(21);
+    for kind in [
+        AllocatorKind::LpRounding,
+        AllocatorKind::SpFptas,
+        AllocatorKind::MinTime,
+        AllocatorKind::MinArea,
+        AllocatorKind::MinLocalMax,
+    ] {
+        let config = MrlsConfig { allocator: kind, ..MrlsConfig::default() };
+        let result = MrlsScheduler::new(config).schedule(&gi.instance).unwrap();
+        assert!(validate_schedule(&gi.instance, &result.schedule).is_valid());
+    }
+}
+
+#[test]
+fn theory_table1_is_internally_consistent() {
+    for d in 1..=30usize {
+        let general = theory::general_ratio(d);
+        let sp = theory::sp_ratio(d, 0.05);
+        let ind = theory::independent_ratio(d);
+        assert!(ind <= sp + 1e-9 || d <= 2);
+        assert!(sp <= general * (1.0 + 0.05) + 1e-9);
+        assert!(general >= theory::theorem6_lower_bound(d));
+    }
+}
