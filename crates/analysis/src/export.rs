@@ -40,7 +40,11 @@ impl ResultTable {
         let _ = writeln!(
             out,
             "{}",
-            self.columns.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            self.columns
+                .iter()
+                .map(|c| esc(c))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -59,7 +63,11 @@ impl ResultTable {
         let _ = writeln!(
             out,
             "|{}|",
-            self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.columns
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));

@@ -61,7 +61,11 @@ pub fn utilisation_profile(instance: &Instance, schedule: &Schedule, width: usiz
             let digit = (frac * 9.0).round().clamp(0.0, 9.0) as u8;
             row.push((b'0' + digit) as char);
         }
-        out.push_str(&format!("resource {i} (P={:>3}) |{}|\n", instance.system.capacity(i), row));
+        out.push_str(&format!(
+            "resource {i} (P={:>3}) |{}|\n",
+            instance.system.capacity(i),
+            row
+        ));
     }
     out
 }
@@ -83,14 +87,16 @@ mod tests {
 
     fn sample() -> (Instance, Schedule) {
         let jobs = (0..3)
-            .map(|j| MoldableJob::new(j, ExecTimeSpec::Constant { time: 1.0 + j as f64 }))
+            .map(|j| {
+                MoldableJob::new(
+                    j,
+                    ExecTimeSpec::Constant {
+                        time: 1.0 + j as f64,
+                    },
+                )
+            })
             .collect();
-        let inst = Instance::new(
-            SystemConfig::new(vec![2]).unwrap(),
-            Dag::chain(3),
-            jobs,
-        )
-        .unwrap();
+        let inst = Instance::new(SystemConfig::new(vec![2]).unwrap(), Dag::chain(3), jobs).unwrap();
         let sched = ListScheduler::new(PriorityRule::Fifo)
             .schedule(&inst, &vec![Allocation::new(vec![1]); 3])
             .unwrap();

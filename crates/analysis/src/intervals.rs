@@ -224,7 +224,11 @@ mod tests {
         // which the communication-penalty family intentionally violates.
         let recipe = InstanceRecipe {
             system: SystemRecipe::Uniform { d: 2, p: 16 },
-            dag: DagRecipe::RandomLayered { n: 25, layers: 5, edge_prob: 0.3 },
+            dag: DagRecipe::RandomLayered {
+                n: 25,
+                layers: 5,
+                edge_prob: 0.3,
+            },
             jobs: JobRecipe {
                 family: SpeedupFamily::Amdahl,
                 ..JobRecipe::default_mixed()

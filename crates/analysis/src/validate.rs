@@ -57,9 +57,10 @@ pub fn validate_schedule(instance: &Instance, schedule: &Schedule) -> Validation
         }
         seen[sj.job] = true;
         if sj.start < -1e-9 || sj.finish < sj.start - 1e-9 {
-            report
-                .structural_errors
-                .push(format!("job {} has an inverted or negative interval", sj.job));
+            report.structural_errors.push(format!(
+                "job {} has an inverted or negative interval",
+                sj.job
+            ));
         }
     }
 
@@ -73,8 +74,16 @@ pub fn validate_schedule(instance: &Instance, schedule: &Schedule) -> Validation
 
     // Precedence.
     for (u, v) in instance.dag.edges() {
-        let pu = schedule.jobs.iter().find(|j| j.job == u).expect("seen above");
-        let pv = schedule.jobs.iter().find(|j| j.job == v).expect("seen above");
+        let pu = schedule
+            .jobs
+            .iter()
+            .find(|j| j.job == u)
+            .expect("seen above");
+        let pv = schedule
+            .jobs
+            .iter()
+            .find(|j| j.job == v)
+            .expect("seen above");
         if pv.start + 1e-6 < pu.finish {
             report.precedence_violations.push((u, v));
         }
@@ -115,12 +124,7 @@ mod tests {
         let jobs = (0..3)
             .map(|j| MoldableJob::new(j, ExecTimeSpec::Constant { time: 1.0 }))
             .collect();
-        Instance::new(
-            SystemConfig::new(vec![2]).unwrap(),
-            Dag::chain(3),
-            jobs,
-        )
-        .unwrap()
+        Instance::new(SystemConfig::new(vec![2]).unwrap(), Dag::chain(3), jobs).unwrap()
     }
 
     fn job(j: usize, start: f64, finish: f64, units: u64) -> ScheduledJob {
@@ -204,12 +208,54 @@ mod tests {
     }
 
     #[test]
+    fn multi_resource_capacity_checked_per_type() {
+        // Two resource types with asymmetric capacities (4, 2). A hand-built
+        // schedule that fits type 0 but oversubscribes type 1 must be
+        // rejected, and the violation must name the right resource type.
+        let inst = Instance::new(
+            SystemConfig::new(vec![4, 2]).unwrap(),
+            Dag::independent(2),
+            (0..2)
+                .map(|j| MoldableJob::new(j, ExecTimeSpec::Constant { time: 1.0 }))
+                .collect(),
+        )
+        .unwrap();
+        let wide = |j: usize, start: f64, units: Vec<u64>| ScheduledJob {
+            job: j,
+            start,
+            finish: start + 1.0,
+            alloc: Allocation::new(units),
+        };
+
+        // Feasible: (2, 1) + (2, 1) fits (4, 2) exactly.
+        let feasible = Schedule::new(vec![wide(0, 0.0, vec![2, 1]), wide(1, 0.0, vec![2, 1])]);
+        let report = validate_schedule(&inst, &feasible);
+        assert!(report.is_valid(), "{report:?}");
+
+        // Infeasible on type 1 only: (2, 2) + (2, 1) = (4, 3) > (4, 2).
+        let oversub = Schedule::new(vec![wide(0, 0.0, vec![2, 2]), wide(1, 0.0, vec![2, 1])]);
+        let report = validate_schedule(&inst, &oversub);
+        assert!(!report.is_valid());
+        assert!(
+            report.capacity_violations.iter().all(|&(i, _, _)| i == 1),
+            "only type 1 is oversubscribed: {report:?}"
+        );
+        assert!(report.precedence_violations.is_empty());
+
+        // Shifting the second job past the first resolves the conflict.
+        let shifted = Schedule::new(vec![wide(0, 0.0, vec![2, 2]), wide(1, 1.0, vec![2, 1])]);
+        assert!(validate_schedule(&inst, &shifted).is_valid());
+    }
+
+    #[test]
     fn real_scheduler_output_always_validates() {
         use mrls_core::scheduler::MrlsScheduler;
         use mrls_workload::InstanceRecipe;
         for seed in 0..5u64 {
             let gi = InstanceRecipe::default_layered(20, 2, 8).generate(seed);
-            let result = MrlsScheduler::with_defaults().schedule(&gi.instance).unwrap();
+            let result = MrlsScheduler::with_defaults()
+                .schedule(&gi.instance)
+                .unwrap();
             let report = validate_schedule(&gi.instance, &result.schedule);
             assert!(report.is_valid(), "seed {seed}: {report:?}");
         }

@@ -107,7 +107,10 @@ mod tests {
         let out = RigidListScheduler::new(RigidRule::Fastest, PriorityRule::Fifo)
             .run(&inst)
             .unwrap();
-        assert!(out.decision.iter().all(|a| *a == Allocation::new(vec![8, 8])));
+        assert!(out
+            .decision
+            .iter()
+            .all(|a| *a == Allocation::new(vec![8, 8])));
         // Each job takes 1 + 1 + 1 = 3, so the makespan is 12.
         assert!((out.schedule.makespan - 12.0).abs() < 1e-9);
     }
@@ -118,7 +121,10 @@ mod tests {
         let out = RigidListScheduler::new(RigidRule::Cheapest, PriorityRule::Fifo)
             .run(&inst)
             .unwrap();
-        assert!(out.decision.iter().all(|a| *a == Allocation::new(vec![1, 1])));
+        assert!(out
+            .decision
+            .iter()
+            .all(|a| *a == Allocation::new(vec![1, 1])));
         // All four sequential jobs fit simultaneously: makespan = 17.
         assert!((out.schedule.makespan - 17.0).abs() < 1e-9);
     }

@@ -53,7 +53,8 @@ impl BaselineScheduler for ShelfScheduler {
         let mut shelf_height = 0.0f64;
         let mut shelf_used: Vec<u64> = vec![0; d];
         for &j in &order {
-            let fits = (0..d).all(|i| shelf_used[i] + decision[j][i] <= instance.system.capacity(i));
+            let fits =
+                (0..d).all(|i| shelf_used[i] + decision[j][i] <= instance.system.capacity(i));
             if !fits {
                 // Close the shelf and open a new one.
                 shelf_start += shelf_height;
@@ -94,7 +95,11 @@ mod tests {
     fn independent_instance(n: usize, d: usize, seed_spread: bool) -> Instance {
         let jobs = (0..n)
             .map(|j| {
-                let scale = if seed_spread { 1.0 + (j % 5) as f64 } else { 1.0 };
+                let scale = if seed_spread {
+                    1.0 + (j % 5) as f64
+                } else {
+                    1.0
+                };
                 MoldableJob::new(
                     j,
                     ExecTimeSpec::Amdahl {
@@ -166,7 +171,7 @@ mod tests {
         let (decision, _) = IndependentOptimalAllocator::solve(&inst, &profiles).unwrap();
         let per_job_units = decision[0][0];
         let jobs_per_shelf = 8 / per_job_units.max(1);
-        let shelves = (8 + jobs_per_shelf - 1) / jobs_per_shelf;
+        let shelves = 8_u64.div_ceil(jobs_per_shelf);
         let t = inst.jobs[0].spec.time(&decision[0]);
         assert!((out.schedule.makespan - shelves as f64 * t).abs() < 1e-9);
     }

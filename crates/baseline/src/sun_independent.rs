@@ -94,17 +94,15 @@ mod tests {
         let jobs = (0..2)
             .map(|j| MoldableJob::new(j, ExecTimeSpec::Constant { time: 1.0 }))
             .collect();
-        let inst = Instance::new(
-            SystemConfig::new(vec![4]).unwrap(),
-            Dag::chain(2),
-            jobs,
-        )
-        .unwrap();
+        let inst = Instance::new(SystemConfig::new(vec![4]).unwrap(), Dag::chain(2), jobs).unwrap();
         assert!(SunIndependentScheduler::default().run(&inst).is_err());
     }
 
     #[test]
     fn name_is_stable() {
-        assert_eq!(SunIndependentScheduler::default().name(), "sun-independent-2d");
+        assert_eq!(
+            SunIndependentScheduler::default().name(),
+            "sun-independent-2d"
+        );
     }
 }

@@ -4,11 +4,11 @@
 //! guarantees cost in scheduling time.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrls_core::allocators::heuristics::HeuristicRule;
 use mrls_core::allocators::{
     Allocator, HeuristicAllocator, IndependentOptimalAllocator, LpRoundingAllocator,
     SpFptasAllocator,
 };
-use mrls_core::allocators::heuristics::HeuristicRule;
 use mrls_model::AllocationSpace;
 use mrls_workload::{DagRecipe, InstanceRecipe, JobRecipe, SpeedupFamily, SystemRecipe};
 
@@ -33,7 +33,11 @@ fn bench_allocators(c: &mut Criterion) {
     for &n in &[20usize, 40] {
         // General DAG: LP rounding vs heuristic.
         let gi = recipe(
-            DagRecipe::RandomLayered { n, layers: 6, edge_prob: 0.25 },
+            DagRecipe::RandomLayered {
+                n,
+                layers: 6,
+                edge_prob: 0.25,
+            },
             3,
         )
         .generate(1);
@@ -49,7 +53,10 @@ fn bench_allocators(c: &mut Criterion) {
 
         // SP DAG: FPTAS.
         let sp = recipe(
-            DagRecipe::RandomSeriesParallel { n, series_prob: 0.5 },
+            DagRecipe::RandomSeriesParallel {
+                n,
+                series_prob: 0.5,
+            },
             3,
         )
         .generate(2);

@@ -77,7 +77,13 @@ fn main() {
             rho: Some(rho),
             ..MrlsConfig::default()
         };
-        run_config(&format!("rho={rho:.3}"), config, &recipe, &seeds, &mut table);
+        run_config(
+            &format!("rho={rho:.3}"),
+            config,
+            &recipe,
+            &seeds,
+            &mut table,
+        );
     }
     emit("ext_ablation_rho", &table);
 

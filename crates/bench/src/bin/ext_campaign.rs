@@ -32,12 +32,7 @@ fn job_recipe(family: SpeedupFamily) -> JobRecipe {
     }
 }
 
-fn sweep(
-    title: &str,
-    csv_name: &str,
-    configs: Vec<(String, InstanceRecipe)>,
-    seeds: &[u64],
-) {
+fn sweep(title: &str, csv_name: &str, configs: Vec<(String, InstanceRecipe)>, seeds: &[u64]) {
     let mut table = ResultTable::new(&[
         "configuration",
         "algorithm",
@@ -87,15 +82,49 @@ fn main() {
 
     // Sweep 1: workflow families at fixed n, d.
     let families: Vec<(String, DagRecipe)> = vec![
-        ("layered".into(), DagRecipe::RandomLayered { n: 50, layers: 7, edge_prob: 0.25 }),
-        ("fork-join".into(), DagRecipe::ForkJoin { width: 8, stages: 5 }),
-        ("out-tree".into(), DagRecipe::RandomOutTree { n: 50, max_children: 3 }),
-        ("series-parallel".into(), DagRecipe::RandomSeriesParallel { n: 50, series_prob: 0.5 }),
+        (
+            "layered".into(),
+            DagRecipe::RandomLayered {
+                n: 50,
+                layers: 7,
+                edge_prob: 0.25,
+            },
+        ),
+        (
+            "fork-join".into(),
+            DagRecipe::ForkJoin {
+                width: 8,
+                stages: 5,
+            },
+        ),
+        (
+            "out-tree".into(),
+            DagRecipe::RandomOutTree {
+                n: 50,
+                max_children: 3,
+            },
+        ),
+        (
+            "series-parallel".into(),
+            DagRecipe::RandomSeriesParallel {
+                n: 50,
+                series_prob: 0.5,
+            },
+        ),
         ("independent".into(), DagRecipe::Independent { n: 50 }),
         ("cholesky".into(), DagRecipe::Cholesky { tiles: 5 }),
-        ("wavefront".into(), DagRecipe::Wavefront { rows: 7, cols: 7 }),
+        (
+            "wavefront".into(),
+            DagRecipe::Wavefront { rows: 7, cols: 7 },
+        ),
         ("montage".into(), DagRecipe::Montage { width: 12 }),
-        ("epigenomics".into(), DagRecipe::Epigenomics { branches: 6, depth: 6 }),
+        (
+            "epigenomics".into(),
+            DagRecipe::Epigenomics {
+                branches: 6,
+                depth: 6,
+            },
+        ),
     ];
     sweep(
         "E1a — workflow families (n ≈ 50, d = 3, P = 16, Amdahl jobs)",
@@ -126,7 +155,11 @@ fn main() {
                     format!("d={d}"),
                     InstanceRecipe {
                         system: SystemRecipe::Uniform { d, p: 16 },
-                        dag: DagRecipe::RandomLayered { n: 40, layers: 6, edge_prob: 0.25 },
+                        dag: DagRecipe::RandomLayered {
+                            n: 40,
+                            layers: 6,
+                            edge_prob: 0.25,
+                        },
                         jobs: job_recipe(SpeedupFamily::Amdahl),
                     },
                 )
@@ -178,7 +211,11 @@ fn main() {
                 label.to_string(),
                 InstanceRecipe {
                     system: SystemRecipe::Uniform { d: 3, p: 16 },
-                    dag: DagRecipe::RandomLayered { n: 40, layers: 6, edge_prob: 0.25 },
+                    dag: DagRecipe::RandomLayered {
+                        n: 40,
+                        layers: 6,
+                        edge_prob: 0.25,
+                    },
                     jobs: job_recipe(*family),
                 },
             )

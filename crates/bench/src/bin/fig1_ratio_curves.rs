@@ -61,8 +61,17 @@ fn main() {
     let min_improvement = (22..=50)
         .map(|d| theory::theorem1_ratio(d) - theory::theorem2_actual_ratio(d))
         .fold(f64::INFINITY, f64::min);
-    println!("largest relative gap between estimate and actual ratio: {:.2}%", 100.0 * worst_gap);
+    println!(
+        "largest relative gap between estimate and actual ratio: {:.2}%",
+        100.0 * worst_gap
+    );
     println!("smallest absolute improvement over Theorem 1 in the range: {min_improvement:.3}");
-    assert!(worst_gap < 0.05, "the estimate should track the actual ratio closely");
-    assert!(min_improvement > 0.0, "Theorem 2 must improve on Theorem 1 for d >= 22");
+    assert!(
+        worst_gap < 0.05,
+        "the estimate should track the actual ratio closely"
+    );
+    assert!(
+        min_improvement > 0.0,
+        "Theorem 2 must improve on Theorem 1 for d >= 22"
+    );
 }

@@ -102,7 +102,10 @@ fn main() {
         "theoretical_guarantee",
         "within_guarantee",
     ]);
-    println!("\nTable 1 (empirical verification) — measured T/LB vs guarantee ({} seeds per cell)", seeds.len());
+    println!(
+        "\nTable 1 (empirical verification) — measured T/LB vs guarantee ({} seeds per cell)",
+        seeds.len()
+    );
     println!(
         "{:<16} {:>3} {:>10} {:>10} {:>10} {:>12} {:>8}",
         "class", "d", "mean", "p95", "worst", "guarantee", "ok"
@@ -131,10 +134,7 @@ fn main() {
                 (res.measured_ratio(), res.params.ratio_guarantee)
             });
             let ratios: Vec<f64> = results.iter().map(|(r, _)| *r).collect();
-            let guarantee = results
-                .iter()
-                .map(|(_, g)| *g)
-                .fold(0.0f64, f64::max);
+            let guarantee = results.iter().map(|(_, g)| *g).fold(0.0f64, f64::max);
             let summary = Summary::of(&ratios);
             let ok = summary.max <= guarantee + 1e-6;
             println!(
@@ -151,7 +151,10 @@ fn main() {
                 fmt3(guarantee),
                 ok.to_string(),
             ]);
-            assert!(ok, "class {label}, d={d}: measured ratio exceeded the guarantee");
+            assert!(
+                ok,
+                "class {label}, d={d}: measured ratio exceeded the guarantee"
+            );
         }
     }
     emit("table1_empirical", &empirical);

@@ -111,8 +111,8 @@ pub fn run_algorithms(instance: &Instance, include_sequential: bool) -> Vec<RunO
     outcomes
 }
 
-/// Runs `f` over `seeds` in parallel (one crossbeam scope thread per chunk)
-/// and collects the results in seed order.
+/// Runs `f` over `seeds` in parallel (a scoped worker thread per core, pulling
+/// indices off a shared counter) and collects the results in seed order.
 pub fn parallel_over_seeds<T, F>(seeds: &[u64], recipe: &InstanceRecipe, f: F) -> Vec<T>
 where
     T: Send,
@@ -122,22 +122,24 @@ where
         .map(|n| n.get())
         .unwrap_or(4)
         .min(seeds.len().max(1));
-    let results = parking_lot::Mutex::new(Vec::<(usize, T)>::with_capacity(seeds.len()));
+    let results = std::sync::Mutex::new(Vec::<(usize, T)>::with_capacity(seeds.len()));
     let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if idx >= seeds.len() {
                     break;
                 }
                 let value = f(seeds[idx], recipe);
-                results.lock().push((idx, value));
+                results
+                    .lock()
+                    .expect("worker threads do not panic")
+                    .push((idx, value));
             });
         }
-    })
-    .expect("worker threads do not panic");
-    let mut collected = results.into_inner();
+    });
+    let mut collected = results.into_inner().expect("worker threads do not panic");
     collected.sort_by_key(|(i, _)| *i);
     collected.into_iter().map(|(_, v)| v).collect()
 }
@@ -154,7 +156,11 @@ mod tests {
         assert_eq!(outcomes.len(), 5);
         assert_eq!(outcomes[0].algorithm, "mrls");
         for o in &outcomes {
-            assert!(o.normalized >= 1.0 - 1e-9, "{} below lower bound", o.algorithm);
+            assert!(
+                o.normalized >= 1.0 - 1e-9,
+                "{} below lower bound",
+                o.algorithm
+            );
             assert!(o.makespan > 0.0);
         }
     }

@@ -75,16 +75,17 @@ fn parse_kv(args: &[String]) -> HashMap<String, String> {
 }
 
 fn get<T: std::str::FromStr>(kv: &HashMap<String, String>, key: &str, default: T) -> T {
-    kv.get(key)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    kv.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
 fn dag_recipe(kv: &HashMap<String, String>, n: usize) -> DagRecipe {
     match kv.get("dag").map(String::as_str).unwrap_or("layered") {
         "independent" => DagRecipe::Independent { n },
         "chain" => DagRecipe::Chain { n },
-        "sp" => DagRecipe::RandomSeriesParallel { n, series_prob: 0.5 },
+        "sp" => DagRecipe::RandomSeriesParallel {
+            n,
+            series_prob: 0.5,
+        },
         "tree" => DagRecipe::RandomOutTree { n, max_children: 3 },
         "cholesky" => DagRecipe::Cholesky {
             tiles: ((n as f64 * 6.0).cbrt().ceil() as usize).max(2),
@@ -95,7 +96,10 @@ fn dag_recipe(kv: &HashMap<String, String>, n: usize) -> DagRecipe {
         },
         "wavefront" => {
             let side = (n as f64).sqrt().ceil() as usize;
-            DagRecipe::Wavefront { rows: side, cols: side }
+            DagRecipe::Wavefront {
+                rows: side,
+                cols: side,
+            }
         }
         _ => DagRecipe::RandomLayered {
             n,

@@ -86,12 +86,7 @@ mod tests {
                 )
             })
             .collect();
-        Instance::new(
-            SystemConfig::new(caps).unwrap(),
-            Dag::independent(n),
-            jobs,
-        )
-        .unwrap()
+        Instance::new(SystemConfig::new(caps).unwrap(), Dag::independent(n), jobs).unwrap()
     }
 
     #[test]

@@ -60,7 +60,11 @@ impl HeuristicAllocator {
 }
 
 impl Allocator for HeuristicAllocator {
-    fn allocate(&self, _instance: &Instance, profiles: &[JobProfile]) -> Result<AllocationDecision> {
+    fn allocate(
+        &self,
+        _instance: &Instance,
+        profiles: &[JobProfile],
+    ) -> Result<AllocationDecision> {
         let decision = profiles
             .iter()
             .map(|profile| {

@@ -54,10 +54,7 @@ impl IndependentOptimalAllocator {
             .fold(0.0f64, f64::max);
 
         let mut best: Option<(AllocationDecision, f64)> = None;
-        for &deadline in candidates
-            .iter()
-            .filter(|&&t| t + 1e-12 >= min_feasible)
-        {
+        for &deadline in candidates.iter().filter(|&&t| t + 1e-12 >= min_feasible) {
             let mut decision = Vec::with_capacity(n);
             let mut total_area = 0.0;
             let mut max_time = 0.0f64;
@@ -96,11 +93,7 @@ impl Allocator for IndependentOptimalAllocator {
         "independent-optimal"
     }
 
-    fn certified_lower_bound(
-        &self,
-        instance: &Instance,
-        profiles: &[JobProfile],
-    ) -> Option<f64> {
+    fn certified_lower_bound(&self, instance: &Instance, profiles: &[JobProfile]) -> Option<f64> {
         Self::solve(instance, profiles).ok().map(|(_, l)| l)
     }
 }
@@ -161,14 +154,12 @@ mod tests {
 
         let mut best = f64::INFINITY;
         let sizes: Vec<usize> = profiles.iter().map(|p| p.len()).collect();
-        let mut index = vec![0usize; 3];
+        let mut index = [0usize; 3];
         loop {
             let max_t = (0..3)
                 .map(|j| profiles[j].points()[index[j]].time)
                 .fold(0.0f64, f64::max);
-            let area: f64 = (0..3)
-                .map(|j| profiles[j].points()[index[j]].area)
-                .sum();
+            let area: f64 = (0..3).map(|j| profiles[j].points()[index[j]].area).sum();
             best = best.min(max_t.max(area));
             // Advance the mixed-radix counter.
             let mut pos = 0;
@@ -200,7 +191,10 @@ mod tests {
         let inst = independent_instance(20, vec![2, 2], 4.0);
         let profiles = inst.profiles().unwrap();
         let (decision, l) = IndependentOptimalAllocator::solve(&inst, &profiles).unwrap();
-        let all_ones = decision.iter().filter(|a| **a == Allocation::ones(2)).count();
+        let all_ones = decision
+            .iter()
+            .filter(|a| **a == Allocation::ones(2))
+            .count();
         assert!(all_ones >= 15, "expected mostly sequential allocations");
         // And L equals (approximately) the total sequential area.
         let metrics = inst.evaluate_decision(&decision).unwrap();
@@ -235,8 +229,14 @@ mod tests {
         let alloc = IndependentOptimalAllocator::new();
         let lb = alloc.certified_lower_bound(&inst, &profiles).unwrap();
         // Any integral decision has L(p) >= L_min.
-        let fast: Vec<_> = profiles.iter().map(|p| p.min_time_point().alloc.clone()).collect();
-        let cheap: Vec<_> = profiles.iter().map(|p| p.min_area_point().alloc.clone()).collect();
+        let fast: Vec<_> = profiles
+            .iter()
+            .map(|p| p.min_time_point().alloc.clone())
+            .collect();
+        let cheap: Vec<_> = profiles
+            .iter()
+            .map(|p| p.min_area_point().alloc.clone())
+            .collect();
         assert!(lb <= inst.lower_bound_of(&fast).unwrap() + 1e-9);
         assert!(lb <= inst.lower_bound_of(&cheap).unwrap() + 1e-9);
         assert_eq!(alloc.name(), "independent-optimal");

@@ -116,9 +116,8 @@ impl LpRoundingAllocator {
 
         for (j, profile) in profiles.iter().enumerate() {
             // Convex combination.
-            let coeffs: Vec<(usize, f64)> = (0..profile.len())
-                .map(|k| (offsets[j] + k, 1.0))
-                .collect();
+            let coeffs: Vec<(usize, f64)> =
+                (0..profile.len()).map(|k| (offsets[j] + k, 1.0)).collect();
             lp.add_constraint(coeffs, Relation::Eq, 1.0)?;
 
             // Completion-time constraints.
@@ -267,11 +266,7 @@ impl Allocator for LpRoundingAllocator {
         "lp-rounding"
     }
 
-    fn certified_lower_bound(
-        &self,
-        instance: &Instance,
-        profiles: &[JobProfile],
-    ) -> Option<f64> {
+    fn certified_lower_bound(&self, instance: &Instance, profiles: &[JobProfile]) -> Option<f64> {
         Self::solve_relaxation(instance, profiles)
             .ok()
             .map(|f| f.objective)
@@ -350,7 +345,9 @@ mod tests {
             let alloc = LpRoundingAllocator::new(rho).unwrap();
             let decision = alloc.round(&profiles, &frac);
             for (j, a) in decision.iter().enumerate() {
-                let point = profiles[j].point_for(a).expect("rounded point is on the frontier");
+                let point = profiles[j]
+                    .point_for(a)
+                    .expect("rounded point is on the frontier");
                 assert!(point.time <= frac.fractional_times[j] / rho + 1e-6);
                 assert!(point.area <= frac.fractional_areas[j] / (1.0 - rho) + 1e-6);
             }
@@ -370,7 +367,10 @@ mod tests {
         let profiles = inst.profiles().unwrap();
         let frac = LpRoundingAllocator::solve_relaxation(&inst, &profiles).unwrap();
         let min_time_l = {
-            let decision: Vec<_> = profiles.iter().map(|p| p.min_time_point().alloc.clone()).collect();
+            let decision: Vec<_> = profiles
+                .iter()
+                .map(|p| p.min_time_point().alloc.clone())
+                .collect();
             inst.lower_bound_of(&decision).unwrap()
         };
         assert!(frac.objective <= min_time_l + 1e-6);

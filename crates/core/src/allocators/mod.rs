@@ -45,11 +45,7 @@ pub trait Allocator {
     /// certify as a by-product (e.g. the LP optimum, or `L_min` for
     /// independent jobs). Returns `None` when the allocator provides no
     /// better bound than the generic ones in [`crate::bounds`].
-    fn certified_lower_bound(
-        &self,
-        _instance: &Instance,
-        _profiles: &[JobProfile],
-    ) -> Option<f64> {
+    fn certified_lower_bound(&self, _instance: &Instance, _profiles: &[JobProfile]) -> Option<f64> {
         None
     }
 }

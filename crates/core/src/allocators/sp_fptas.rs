@@ -77,7 +77,8 @@ impl DpNode {
             DpNode::Leaf {
                 job, best_point, ..
             } => {
-                choice[*job] = best_point[bucket].expect("extraction only follows feasible buckets");
+                choice[*job] =
+                    best_point[bucket].expect("extraction only follows feasible buckets");
             }
             DpNode::Series {
                 left, right, split, ..
@@ -153,8 +154,8 @@ impl SpFptasAllocator {
         if n == 0 {
             return Ok((vec![], 0.0));
         }
-        let decomposition = SpDecomposition::decompose(&instance.dag)
-            .map_err(|_| CoreError::NotSeriesParallel)?;
+        let decomposition =
+            SpDecomposition::decompose(&instance.dag).map_err(|_| CoreError::NotSeriesParallel)?;
         let expr = binarize(&decomposition.expr);
         let height = instance.dag.height().max(1);
 
@@ -337,11 +338,7 @@ impl Allocator for SpFptasAllocator {
         "sp-fptas"
     }
 
-    fn certified_lower_bound(
-        &self,
-        instance: &Instance,
-        profiles: &[JobProfile],
-    ) -> Option<f64> {
+    fn certified_lower_bound(&self, instance: &Instance, profiles: &[JobProfile]) -> Option<f64> {
         // L(p') <= (1+eps') L_min  =>  L_min >= L(p') / (1+eps').
         let (decision, _) = self.solve(instance, profiles).ok()?;
         let l = instance.lower_bound_of(&decision).ok()?;
@@ -462,7 +459,10 @@ mod tests {
         // The LP optimum is a lower bound on L_min as well; the FPTAS bound
         // must not exceed L_min, so in particular it must not exceed any
         // integral decision's L(p).
-        let fast: Vec<_> = profiles.iter().map(|p| p.min_time_point().alloc.clone()).collect();
+        let fast: Vec<_> = profiles
+            .iter()
+            .map(|p| p.min_time_point().alloc.clone())
+            .collect();
         assert!(lb <= inst.lower_bound_of(&fast).unwrap() + 1e-6);
         assert!(lb > 0.0);
     }

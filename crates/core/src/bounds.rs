@@ -89,8 +89,14 @@ mod tests {
         let profiles = inst.profiles().unwrap();
         let bounds = lower_bounds_with_lp(&inst, &profiles).unwrap();
         // L(p) of any decision dominates every bound.
-        let fast: Vec<_> = profiles.iter().map(|p| p.min_time_point().alloc.clone()).collect();
-        let cheap: Vec<_> = profiles.iter().map(|p| p.min_area_point().alloc.clone()).collect();
+        let fast: Vec<_> = profiles
+            .iter()
+            .map(|p| p.min_time_point().alloc.clone())
+            .collect();
+        let cheap: Vec<_> = profiles
+            .iter()
+            .map(|p| p.min_area_point().alloc.clone())
+            .collect();
         for decision in [fast, cheap] {
             let l = inst.lower_bound_of(&decision).unwrap();
             assert!(bounds.best <= l + 1e-6);

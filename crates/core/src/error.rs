@@ -48,19 +48,31 @@ impl fmt::Display for CoreError {
                 name,
                 value,
                 valid_range,
-            } => write!(f, "parameter {name}={value} outside valid range {valid_range}"),
+            } => write!(
+                f,
+                "parameter {name}={value} outside valid range {valid_range}"
+            ),
             CoreError::AllocationNeverFits { job, resource } => write!(
                 f,
                 "job {job} is allocated more of resource {resource} than the system has"
             ),
             CoreError::NoFeasibleAllocation { job } => {
-                write!(f, "job {job} has no feasible allocation for the allocator's constraints")
+                write!(
+                    f,
+                    "job {job} has no feasible allocation for the allocator's constraints"
+                )
             }
             CoreError::NotSeriesParallel => {
-                write!(f, "the SP/tree allocator requires a series-parallel precedence graph")
+                write!(
+                    f,
+                    "the SP/tree allocator requires a series-parallel precedence graph"
+                )
             }
             CoreError::NotIndependent => {
-                write!(f, "the independent-job allocator requires a graph without edges")
+                write!(
+                    f,
+                    "the independent-job allocator requires a graph without edges"
+                )
             }
             CoreError::LpFailure(msg) => write!(f, "LP relaxation failed: {msg}"),
             CoreError::Model(e) => write!(f, "model error: {e}"),
@@ -101,13 +113,22 @@ mod tests {
             valid_range: "(0, 1)",
         };
         assert!(e.to_string().contains("rho"));
-        assert!(CoreError::NotSeriesParallel.to_string().contains("series-parallel"));
-        assert!(CoreError::NotIndependent.to_string().contains("independent"));
-        assert!(CoreError::LpFailure("x".into()).to_string().contains("LP"));
-        assert!(CoreError::NoFeasibleAllocation { job: 3 }.to_string().contains('3'));
-        assert!(CoreError::AllocationNeverFits { job: 1, resource: 0 }
+        assert!(CoreError::NotSeriesParallel
             .to_string()
-            .contains("resource 0"));
+            .contains("series-parallel"));
+        assert!(CoreError::NotIndependent
+            .to_string()
+            .contains("independent"));
+        assert!(CoreError::LpFailure("x".into()).to_string().contains("LP"));
+        assert!(CoreError::NoFeasibleAllocation { job: 3 }
+            .to_string()
+            .contains('3'));
+        assert!(CoreError::AllocationNeverFits {
+            job: 1,
+            resource: 0
+        }
+        .to_string()
+        .contains("resource 0"));
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //!      `A(p′) ≤ T_opt/(1−ρ)` (Lemma 3) — [`allocators::LpRoundingAllocator`],
 //!    * cap every per-type allocation at `⌈µ·P(i)⌉` (Equation 5, Lemma 4) —
 //!      [`allocators::adjust_allocation`].
+//!
 //!    Specialised allocators implement Lemma 7 (series-parallel graphs and
 //!    trees, [`allocators::SpFptasAllocator`]) and Lemma 8 (independent jobs,
 //!    [`allocators::IndependentOptimalAllocator`]), plus simple heuristics

@@ -56,7 +56,10 @@ impl ListScheduler {
             instance.system.validate_allocation(alloc)?;
             for i in 0..d {
                 if alloc[i] > instance.system.capacity(i) {
-                    return Err(CoreError::AllocationNeverFits { job: j, resource: i });
+                    return Err(CoreError::AllocationNeverFits {
+                        job: j,
+                        resource: i,
+                    });
                 }
             }
             let t = instance.jobs[j].spec.time(alloc);
@@ -75,11 +78,8 @@ impl ListScheduler {
             .keys(&times, decision, &bottom_levels, &instance.system);
 
         // Event-driven simulation.
-        let mut avail: Vec<f64> = (0..d)
-            .map(|i| instance.system.capacity(i) as f64)
-            .collect();
-        let mut remaining_preds: Vec<usize> =
-            (0..n).map(|j| instance.dag.in_degree(j)).collect();
+        let mut avail: Vec<f64> = (0..d).map(|i| instance.system.capacity(i) as f64).collect();
+        let mut remaining_preds: Vec<usize> = (0..n).map(|j| instance.dag.in_degree(j)).collect();
         let mut ready: Vec<usize> = (0..n).filter(|&j| remaining_preds[j] == 0).collect();
         sort_by_key(&mut ready, &keys);
 
@@ -288,7 +288,10 @@ mod tests {
         let err = ListScheduler::new(PriorityRule::Fifo)
             .schedule(&inst, &alloc1(&[3]))
             .unwrap_err();
-        assert!(matches!(err, CoreError::Model(_)) || matches!(err, CoreError::AllocationNeverFits { .. }));
+        assert!(
+            matches!(err, CoreError::Model(_))
+                || matches!(err, CoreError::AllocationNeverFits { .. })
+        );
     }
 
     #[test]

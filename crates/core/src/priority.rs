@@ -14,7 +14,7 @@ use serde::{Deserialize, Serialize};
 
 /// How the ready queue is ordered. Lower key = scheduled earlier within an
 /// event.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub enum PriorityRule {
     /// First-in first-out by job index (a purely local rule).
     Fifo,
@@ -24,6 +24,7 @@ pub enum PriorityRule {
     LargestAreaFirst,
     /// Largest *bottom level* (critical-path length to a sink) first — the
     /// classic global critical-path rule.
+    #[default]
     CriticalPath,
     /// An explicit priority index per job (smaller = earlier). Used by the
     /// Theorem 6 adversarial instance and by ablation experiments.
@@ -75,12 +76,6 @@ impl PriorityRule {
             PriorityRule::CriticalPath => "critical-path",
             PriorityRule::Explicit(_) => "explicit",
         }
-    }
-}
-
-impl Default for PriorityRule {
-    fn default() -> Self {
-        PriorityRule::CriticalPath
     }
 }
 

@@ -11,11 +11,11 @@
 //! | series-parallel / tree| SP FPTAS                  | Theorem 3/4 `µ*`      | `(1+ε)(φd+1)`, `(1+ε)(d+2√(d−1))` |
 //! | independent           | exact `L_min` allocator   | Theorem 5 `µ*`        | `1.619d+1`, `d+2√(d−1)` |
 
+use crate::allocators::heuristics::HeuristicRule;
 use crate::allocators::{
     adjust_allocation, Allocator, HeuristicAllocator, IndependentOptimalAllocator,
     LpRoundingAllocator, SpFptasAllocator,
 };
-use crate::allocators::heuristics::HeuristicRule;
 use crate::bounds::{combinatorial_lower_bound, LowerBounds};
 use crate::list_scheduler::ListScheduler;
 use crate::priority::PriorityRule;
@@ -186,48 +186,54 @@ impl MrlsScheduler {
         let epsilon = self.config.epsilon;
 
         // Phase 1: initial allocation p'.
-        let (initial_decision, allocator_name, certified_lb): (AllocationDecision, &str, Option<f64>) =
-            match kind {
-                AllocatorKind::LpRounding => {
-                    let alloc = LpRoundingAllocator::new(rho)?;
-                    let frac = LpRoundingAllocator::solve_relaxation(instance, profiles)?;
-                    let decision = alloc.round(profiles, &frac);
-                    (decision, alloc.name(), Some(frac.objective))
-                }
-                AllocatorKind::SpFptas => {
-                    let alloc = SpFptasAllocator::new(epsilon)?;
-                    let (decision, _) = alloc.solve(instance, profiles)?;
-                    let lb = instance
-                        .lower_bound_of(&decision)
-                        .map(|l| l / (1.0 + alloc.effective_epsilon()))
-                        .ok();
-                    (decision, alloc.name(), lb)
-                }
-                AllocatorKind::IndependentOptimal => {
-                    let (decision, lmin) = IndependentOptimalAllocator::solve(instance, profiles)?;
-                    (decision, "independent-optimal", Some(lmin))
-                }
-                AllocatorKind::MinTime => {
-                    let alloc = HeuristicAllocator::new(HeuristicRule::MinTime);
-                    (alloc.allocate(instance, profiles)?, alloc.name(), None)
-                }
-                AllocatorKind::MinArea => {
-                    let alloc = HeuristicAllocator::new(HeuristicRule::MinArea);
-                    (alloc.allocate(instance, profiles)?, alloc.name(), None)
-                }
-                AllocatorKind::MinLocalMax => {
-                    let alloc = HeuristicAllocator::new(HeuristicRule::MinLocalMax);
-                    (alloc.allocate(instance, profiles)?, alloc.name(), None)
-                }
-                AllocatorKind::Auto => unreachable!("Auto is resolved above"),
-            };
+        let (initial_decision, allocator_name, certified_lb): (
+            AllocationDecision,
+            &str,
+            Option<f64>,
+        ) = match kind {
+            AllocatorKind::LpRounding => {
+                let alloc = LpRoundingAllocator::new(rho)?;
+                let frac = LpRoundingAllocator::solve_relaxation(instance, profiles)?;
+                let decision = alloc.round(profiles, &frac);
+                (decision, alloc.name(), Some(frac.objective))
+            }
+            AllocatorKind::SpFptas => {
+                let alloc = SpFptasAllocator::new(epsilon)?;
+                let (decision, _) = alloc.solve(instance, profiles)?;
+                let lb = instance
+                    .lower_bound_of(&decision)
+                    .map(|l| l / (1.0 + alloc.effective_epsilon()))
+                    .ok();
+                (decision, alloc.name(), lb)
+            }
+            AllocatorKind::IndependentOptimal => {
+                let (decision, lmin) = IndependentOptimalAllocator::solve(instance, profiles)?;
+                (decision, "independent-optimal", Some(lmin))
+            }
+            AllocatorKind::MinTime => {
+                let alloc = HeuristicAllocator::new(HeuristicRule::MinTime);
+                (alloc.allocate(instance, profiles)?, alloc.name(), None)
+            }
+            AllocatorKind::MinArea => {
+                let alloc = HeuristicAllocator::new(HeuristicRule::MinArea);
+                (alloc.allocate(instance, profiles)?, alloc.name(), None)
+            }
+            AllocatorKind::MinLocalMax => {
+                let alloc = HeuristicAllocator::new(HeuristicRule::MinLocalMax);
+                (alloc.allocate(instance, profiles)?, alloc.name(), None)
+            }
+            AllocatorKind::Auto => unreachable!("Auto is resolved above"),
+        };
 
         // Adjustment (Equation 5).
         let (decision, adjusted) = if self.config.apply_adjustment && !initial_decision.is_empty() {
             let out = adjust_allocation(instance, &initial_decision, mu)?;
             (out.decision, out.adjusted)
         } else {
-            (initial_decision.clone(), vec![false; initial_decision.len()])
+            (
+                initial_decision.clone(),
+                vec![false; initial_decision.len()],
+            )
         };
 
         // Phase 2: list scheduling.
@@ -354,7 +360,11 @@ mod tests {
     fn heuristic_allocators_produce_valid_schedules() {
         let dag = Dag::from_edges(5, &[(0, 2), (1, 2), (2, 3), (2, 4)]).unwrap();
         let inst = instance(dag, vec![8, 8]);
-        for kind in [AllocatorKind::MinTime, AllocatorKind::MinArea, AllocatorKind::MinLocalMax] {
+        for kind in [
+            AllocatorKind::MinTime,
+            AllocatorKind::MinArea,
+            AllocatorKind::MinLocalMax,
+        ] {
             let config = MrlsConfig {
                 allocator: kind,
                 ..MrlsConfig::default()
@@ -422,7 +432,9 @@ mod tests {
         let r = MrlsScheduler::with_defaults().schedule(&general).unwrap();
         assert!((r.params.ratio_guarantee - theory::general_ratio(d)).abs() < 1e-9);
         let independent = instance(Dag::independent(3), vec![8, 8]);
-        let r = MrlsScheduler::with_defaults().schedule(&independent).unwrap();
+        let r = MrlsScheduler::with_defaults()
+            .schedule(&independent)
+            .unwrap();
         assert!((r.params.ratio_guarantee - theory::independent_ratio(d)).abs() < 1e-9);
     }
 }

@@ -260,10 +260,16 @@ mod tests {
             // The estimate is close to the actual value (Figure 1's message).
             let est = theorem2_estimated_ratio(d);
             assert!((est - t2) / t2 < 0.05, "d={d}: est {est} vs actual {t2}");
-            assert!(est >= t2 - 1e-9, "the estimate uses a suboptimal µ, so it cannot beat the optimum");
+            assert!(
+                est >= t2 - 1e-9,
+                "the estimate uses a suboptimal µ, so it cannot beat the optimum"
+            );
             // And the asymptotic d + 3 d^(2/3) tracks both.
             let asy = theorem2_asymptotic(d);
-            assert!((asy - t2).abs() / t2 < 0.25, "d={d}: asymptotic {asy} vs {t2}");
+            assert!(
+                (asy - t2).abs() / t2 < 0.25,
+                "d={d}: asymptotic {asy} vs {t2}"
+            );
         }
     }
 
@@ -318,8 +324,13 @@ mod tests {
     #[test]
     fn guaranteed_ratio_dispatch() {
         assert!((guaranteed_ratio(RatioClass::General, 3, 0.0) - theorem1_ratio(3)).abs() < 1e-12);
-        assert!((guaranteed_ratio(RatioClass::SeriesParallel, 5, 0.1) - sp_ratio(5, 0.1)).abs() < 1e-12);
-        assert!((guaranteed_ratio(RatioClass::Independent, 5, 0.0) - independent_ratio(5)).abs() < 1e-12);
+        assert!(
+            (guaranteed_ratio(RatioClass::SeriesParallel, 5, 0.1) - sp_ratio(5, 0.1)).abs() < 1e-12
+        );
+        assert!(
+            (guaranteed_ratio(RatioClass::Independent, 5, 0.0) - independent_ratio(5)).abs()
+                < 1e-12
+        );
     }
 
     #[test]

@@ -12,8 +12,8 @@
 
 use mrls_core::scheduler::{AllocatorKind, MrlsConfig, MrlsScheduler};
 use mrls_core::PriorityRule;
-use mrls_workload::{DagRecipe, InstanceRecipe, JobRecipe, SpeedupFamily, SystemRecipe};
 use mrls_model::AllocationSpace;
+use mrls_workload::{DagRecipe, InstanceRecipe, JobRecipe, SpeedupFamily, SystemRecipe};
 use proptest::prelude::*;
 
 fn recipe(dag: DagRecipe, d: usize, p: u64, family: SpeedupFamily) -> InstanceRecipe {
@@ -169,4 +169,59 @@ proptest! {
         assert_valid_schedule(&gi.instance, &result.schedule)?;
         prop_assert!(result.schedule.makespan > 0.0);
     }
+}
+
+/// Degenerate instances must be handled gracefully, not panic: the paper's
+/// machinery (profiles, LP, list scheduler, lower bound) all have sensible
+/// n = 0 / n = 1 specialisations.
+#[test]
+fn empty_instance_schedules_to_zero_makespan() {
+    use mrls_dag::Dag;
+    use mrls_model::{Instance, SystemConfig};
+
+    let inst = Instance::new(
+        SystemConfig::new(vec![4, 4]).unwrap(),
+        Dag::independent(0),
+        vec![],
+    )
+    .unwrap();
+    let result = MrlsScheduler::with_defaults().schedule(&inst).unwrap();
+    assert_eq!(result.schedule.jobs.len(), 0);
+    assert_eq!(result.schedule.makespan, 0.0);
+    assert_eq!(result.lower_bound, 0.0);
+}
+
+#[test]
+fn single_job_instance_gets_its_best_point() {
+    use mrls_dag::Dag;
+    use mrls_model::{ExecTimeSpec, Instance, MoldableJob, SystemConfig};
+
+    let job = MoldableJob::new(
+        0,
+        ExecTimeSpec::Amdahl {
+            seq: 1.0,
+            work: vec![4.0],
+        },
+    );
+    let inst = Instance::new(
+        SystemConfig::new(vec![4]).unwrap(),
+        Dag::independent(1),
+        vec![job],
+    )
+    .unwrap();
+    let result = MrlsScheduler::with_defaults().schedule(&inst).unwrap();
+    assert_eq!(result.schedule.jobs.len(), 1);
+    assert!(result.schedule.makespan > 0.0);
+    assert!(result.schedule.makespan + 1e-9 >= result.lower_bound);
+    assert!(result.measured_ratio() <= result.params.ratio_guarantee + 1e-6);
+}
+
+/// Zero-capacity resource types are rejected at construction time — the
+/// model refuses to build a system no job could ever run on.
+#[test]
+fn zero_capacity_resource_rejected_at_construction() {
+    use mrls_model::SystemConfig;
+
+    assert!(SystemConfig::new(vec![4, 0]).is_err());
+    assert!(SystemConfig::new(vec![]).is_err());
 }

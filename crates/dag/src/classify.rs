@@ -77,9 +77,7 @@ impl Dag {
 
     /// `true` iff the graph is one single chain covering all nodes.
     pub fn is_single_chain(&self) -> bool {
-        self.num_nodes() > 0
-            && self.is_chain_forest()
-            && self.num_edges() + 1 == self.num_nodes()
+        self.num_nodes() > 0 && self.is_chain_forest() && self.num_edges() + 1 == self.num_nodes()
     }
 
     /// Returns the most specific [`GraphClass`] describing this DAG.

@@ -160,10 +160,7 @@ impl Dag {
                 }
             }
         }
-        (
-            b.build().expect("a subgraph of a DAG is a DAG"),
-            mapping,
-        )
+        (b.build().expect("a subgraph of a DAG is a DAG"), mapping)
     }
 
     /// Returns the reverse graph (every edge flipped). Useful for computing

@@ -116,8 +116,7 @@ impl Dag {
                 }
             }
         }
-        Dag::from_edges(self.num_nodes(), &edges)
-            .expect("the closure of a DAG is a DAG")
+        Dag::from_edges(self.num_nodes(), &edges).expect("the closure of a DAG is a DAG")
     }
 }
 
@@ -174,7 +173,16 @@ mod tests {
     fn transitive_reduction_preserves_reachability() {
         let g = Dag::from_edges(
             6,
-            &[(0, 1), (0, 2), (1, 3), (2, 3), (0, 3), (3, 4), (1, 4), (4, 5)],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (2, 3),
+                (0, 3),
+                (3, 4),
+                (1, 4),
+                (4, 5),
+            ],
         )
         .unwrap();
         let red = g.transitive_reduction();

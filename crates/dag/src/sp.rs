@@ -118,10 +118,7 @@ impl SpExpr {
     pub fn minimal_jobs(&self) -> Vec<NodeId> {
         match self {
             SpExpr::Job(j) => vec![*j],
-            SpExpr::Series(cs) => cs
-                .first()
-                .map(SpExpr::minimal_jobs)
-                .unwrap_or_default(),
+            SpExpr::Series(cs) => cs.first().map(SpExpr::minimal_jobs).unwrap_or_default(),
             SpExpr::Parallel(cs) => cs.iter().flat_map(SpExpr::minimal_jobs).collect(),
         }
     }

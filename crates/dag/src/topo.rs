@@ -14,10 +14,8 @@ impl Dag {
         // BinaryHeap of Reverse ids for deterministic output.
         use std::cmp::Reverse;
         use std::collections::BinaryHeap;
-        let mut ready: BinaryHeap<Reverse<NodeId>> = (0..n)
-            .filter(|&v| indeg[v] == 0)
-            .map(Reverse)
-            .collect();
+        let mut ready: BinaryHeap<Reverse<NodeId>> =
+            (0..n).filter(|&v| indeg[v] == 0).map(Reverse).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(Reverse(u)) = ready.pop() {
             order.push(u);

@@ -56,10 +56,9 @@ impl fmt::Display for LpError {
                 f,
                 "variable index {index} out of range (problem has {num_vars} variables)"
             ),
-            LpError::ObjectiveLengthMismatch { expected, got } => write!(
-                f,
-                "objective has {got} coefficients, expected {expected}"
-            ),
+            LpError::ObjectiveLengthMismatch { expected, got } => {
+                write!(f, "objective has {got} coefficients, expected {expected}")
+            }
             LpError::NonFiniteValue => write!(f, "coefficients must be finite"),
             LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
         }
@@ -188,7 +187,8 @@ mod tests {
     #[test]
     fn build_and_validate() {
         let mut lp = LinearProgram::minimize(2, vec![1.0, 1.0]);
-        lp.add_constraint(vec![(0, 1.0)], Relation::Ge, 1.0).unwrap();
+        lp.add_constraint(vec![(0, 1.0)], Relation::Ge, 1.0)
+            .unwrap();
         assert_eq!(lp.num_vars(), 2);
         assert_eq!(lp.num_constraints(), 1);
         assert!(lp.validate().is_ok());
@@ -223,7 +223,10 @@ mod tests {
         let lp = LinearProgram::minimize(3, vec![1.0]);
         assert!(matches!(
             lp.validate().unwrap_err(),
-            LpError::ObjectiveLengthMismatch { expected: 3, got: 1 }
+            LpError::ObjectiveLengthMismatch {
+                expected: 3,
+                got: 1
+            }
         ));
     }
 
@@ -232,7 +235,8 @@ mod tests {
         let mut lp = LinearProgram::minimize(2, vec![0.0, 0.0]);
         lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Le, 1.0)
             .unwrap();
-        lp.add_constraint(vec![(0, 1.0)], Relation::Ge, 0.25).unwrap();
+        lp.add_constraint(vec![(0, 1.0)], Relation::Ge, 0.25)
+            .unwrap();
         assert!(lp.is_feasible(&[0.5, 0.5], 1e-9));
         assert!(!lp.is_feasible(&[0.0, 0.5], 1e-9)); // violates Ge
         assert!(!lp.is_feasible(&[0.9, 0.9], 1e-9)); // violates Le

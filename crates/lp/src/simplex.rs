@@ -358,7 +358,8 @@ mod tests {
         let mut lp = LinearProgram::minimize(2, vec![-1.0, -2.0]);
         lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Le, 4.0)
             .unwrap();
-        lp.add_constraint(vec![(1, 1.0)], Relation::Le, 3.0).unwrap();
+        lp.add_constraint(vec![(1, 1.0)], Relation::Le, 3.0)
+            .unwrap();
         let sol = solve(&lp).optimal().unwrap();
         assert!((sol.objective - (-7.0)).abs() < 1e-7);
         assert!((sol.x[0] - 1.0).abs() < 1e-7);
@@ -385,7 +386,8 @@ mod tests {
         let mut lp = LinearProgram::minimize(2, vec![2.0, 3.0]);
         lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Ge, 4.0)
             .unwrap();
-        lp.add_constraint(vec![(0, 1.0)], Relation::Ge, 1.0).unwrap();
+        lp.add_constraint(vec![(0, 1.0)], Relation::Ge, 1.0)
+            .unwrap();
         let sol = solve(&lp).optimal().unwrap();
         assert!((sol.objective - 8.0).abs() < 1e-7);
         assert!((sol.x[0] - 4.0).abs() < 1e-7);
@@ -396,8 +398,10 @@ mod tests {
     fn detects_infeasible() {
         // x0 <= 1 and x0 >= 2 cannot both hold.
         let mut lp = LinearProgram::minimize(1, vec![1.0]);
-        lp.add_constraint(vec![(0, 1.0)], Relation::Le, 1.0).unwrap();
-        lp.add_constraint(vec![(0, 1.0)], Relation::Ge, 2.0).unwrap();
+        lp.add_constraint(vec![(0, 1.0)], Relation::Le, 1.0)
+            .unwrap();
+        lp.add_constraint(vec![(0, 1.0)], Relation::Ge, 2.0)
+            .unwrap();
         assert_eq!(solve(&lp), LpOutcome::Infeasible);
     }
 
@@ -405,7 +409,8 @@ mod tests {
     fn detects_infeasible_negative_rhs() {
         // x0 <= -1 with x0 >= 0 is infeasible.
         let mut lp = LinearProgram::minimize(1, vec![0.0]);
-        lp.add_constraint(vec![(0, 1.0)], Relation::Le, -1.0).unwrap();
+        lp.add_constraint(vec![(0, 1.0)], Relation::Le, -1.0)
+            .unwrap();
         assert_eq!(solve(&lp), LpOutcome::Infeasible);
     }
 
@@ -413,7 +418,8 @@ mod tests {
     fn detects_unbounded() {
         // min -x0 with only x0 >= 1: objective unbounded below.
         let mut lp = LinearProgram::minimize(1, vec![-1.0]);
-        lp.add_constraint(vec![(0, 1.0)], Relation::Ge, 1.0).unwrap();
+        lp.add_constraint(vec![(0, 1.0)], Relation::Ge, 1.0)
+            .unwrap();
         assert_eq!(solve(&lp), LpOutcome::Unbounded);
     }
 
@@ -465,7 +471,8 @@ mod tests {
             .unwrap();
         lp.add_constraint(vec![(0, 0.5), (1, -90.0), (2, -0.02)], Relation::Le, 0.0)
             .unwrap();
-        lp.add_constraint(vec![(2, 1.0)], Relation::Le, 1.0).unwrap();
+        lp.add_constraint(vec![(2, 1.0)], Relation::Le, 1.0)
+            .unwrap();
         // (A variant of Beale's cycling example.) Must terminate and find a
         // finite optimum.
         let sol = solve(&lp).optimal().unwrap();
@@ -497,7 +504,8 @@ mod tests {
     fn maximize_helper_negates() {
         // max x0 s.t. x0 <= 5  -> internal objective is -x0, optimum -5.
         let mut lp = LinearProgram::maximize(1, vec![1.0]);
-        lp.add_constraint(vec![(0, 1.0)], Relation::Le, 5.0).unwrap();
+        lp.add_constraint(vec![(0, 1.0)], Relation::Le, 5.0)
+            .unwrap();
         let sol = solve(&lp).optimal().unwrap();
         assert!((sol.x[0] - 5.0).abs() < 1e-7);
         assert!((sol.objective - (-5.0)).abs() < 1e-7);

@@ -62,10 +62,7 @@ impl SystemConfig {
     /// The total number of distinct positive allocations `Q = Π_i P(i)`,
     /// computed in 128-bit to avoid overflow for large systems.
     pub fn full_grid_size(&self) -> u128 {
-        self.capacities
-            .iter()
-            .map(|&c| c as u128)
-            .product()
+        self.capacities.iter().map(|&c| c as u128).product()
     }
 
     /// Validates an allocation against this system: right dimension, within
@@ -160,11 +157,7 @@ impl Allocation {
 
     /// Component-wise minimum of two allocations.
     pub fn component_min(&self, other: &Allocation) -> Allocation {
-        Allocation(
-            (0..self.dim())
-                .map(|i| self.0[i].min(other.0[i]))
-                .collect(),
-        )
+        Allocation((0..self.dim()).map(|i| self.0[i].min(other.0[i])).collect())
     }
 
     /// Returns a copy with component `i` replaced by `value`.

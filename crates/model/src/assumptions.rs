@@ -62,9 +62,7 @@ pub fn check_assumption3(
             let (tp, tq) = (times[i], times[j]);
             let tol = 1e-9 * (1.0 + tp.abs().max(tq.abs()));
             if tq > tp + tol {
-                report
-                    .monotonicity_violations
-                    .push((p.clone(), q.clone()));
+                report.monotonicity_violations.push((p.clone(), q.clone()));
             }
             let ratio = p.max_ratio_from(q);
             if tp > ratio * tq + tol {
@@ -168,15 +166,13 @@ mod tests {
         )
         .unwrap();
         assert!(!report.monotonicity_violations.is_empty());
-        assert!(
-            check_non_superlinearity(
-                &spec,
-                &AllocationSpace::FullGrid,
-                &sys(),
-                DEFAULT_ENUMERATION_LIMIT
-            )
-            .unwrap()
-        );
+        assert!(check_non_superlinearity(
+            &spec,
+            &AllocationSpace::FullGrid,
+            &sys(),
+            DEFAULT_ENUMERATION_LIMIT
+        )
+        .unwrap());
     }
 
     #[test]

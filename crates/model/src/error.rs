@@ -142,7 +142,9 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains('9') && s.contains('4'));
-        assert!(ModelError::NoResourceTypes.to_string().contains("resource type"));
+        assert!(ModelError::NoResourceTypes
+            .to_string()
+            .contains("resource type"));
         assert!(ModelError::AllocationSpaceTooLarge { size: 10, limit: 5 }
             .to_string()
             .contains("safety limit"));

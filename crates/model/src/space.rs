@@ -45,9 +45,8 @@ impl AllocationSpace {
                 if size > limit {
                     return Err(ModelError::AllocationSpaceTooLarge { size, limit });
                 }
-                let axes: Vec<Vec<u64>> = (0..d)
-                    .map(|i| (1..=system.capacity(i)).collect())
-                    .collect();
+                let axes: Vec<Vec<u64>> =
+                    (0..d).map(|i| (1..=system.capacity(i)).collect()).collect();
                 Ok(cartesian(&axes))
             }
             AllocationSpace::PowersOfTwo => {

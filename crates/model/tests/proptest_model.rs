@@ -1,18 +1,15 @@
 //! Property-based tests for the model layer: Pareto pruning and the
 //! Definition 1/2 quantities.
 
+use mrls_dag::Dag;
 use mrls_model::{
     assumptions::check_assumption3, Allocation, AllocationSpace, ExecTimeSpec, Instance,
     JobProfile, MoldableJob, SystemConfig,
 };
-use mrls_dag::Dag;
 use proptest::prelude::*;
 
 fn arb_amdahl(d: usize) -> impl Strategy<Value = ExecTimeSpec> {
-    (
-        0.0f64..5.0,
-        proptest::collection::vec(0.5f64..20.0, d..=d),
-    )
+    (0.0f64..5.0, proptest::collection::vec(0.5f64..20.0, d..=d))
         .prop_map(|(seq, work)| ExecTimeSpec::Amdahl { seq, work })
 }
 

@@ -344,9 +344,9 @@ fn cholesky(tiles: usize) -> GeneratedDag {
     let mut ids: HashMap<(TaskKind, usize, usize, usize), usize> = HashMap::new();
     let mut next_id = 0usize;
     let get = |kinds: &mut Vec<TaskKind>,
-                   ids: &mut HashMap<(TaskKind, usize, usize, usize), usize>,
-                   next_id: &mut usize,
-                   key: (TaskKind, usize, usize, usize)|
+               ids: &mut HashMap<(TaskKind, usize, usize, usize), usize>,
+               next_id: &mut usize,
+               key: (TaskKind, usize, usize, usize)|
      -> usize {
         *ids.entry(key).or_insert_with(|| {
             let id = *next_id;
@@ -358,13 +358,23 @@ fn cholesky(tiles: usize) -> GeneratedDag {
     // `update[(i, j)]` = task that last wrote tile (i, j).
     let mut last_write: HashMap<(usize, usize), usize> = HashMap::new();
     for k in 0..tiles {
-        let potrf = get(&mut kinds, &mut ids, &mut next_id, (TaskKind::Potrf, k, k, k));
+        let potrf = get(
+            &mut kinds,
+            &mut ids,
+            &mut next_id,
+            (TaskKind::Potrf, k, k, k),
+        );
         if let Some(&w) = last_write.get(&(k, k)) {
             edges.push((w, potrf));
         }
         last_write.insert((k, k), potrf);
         for i in (k + 1)..tiles {
-            let trsm = get(&mut kinds, &mut ids, &mut next_id, (TaskKind::Trsm, i, k, k));
+            let trsm = get(
+                &mut kinds,
+                &mut ids,
+                &mut next_id,
+                (TaskKind::Trsm, i, k, k),
+            );
             edges.push((potrf, trsm));
             if let Some(&w) = last_write.get(&(i, k)) {
                 edges.push((w, trsm));
@@ -373,7 +383,11 @@ fn cholesky(tiles: usize) -> GeneratedDag {
         }
         for i in (k + 1)..tiles {
             for j in (k + 1)..=i {
-                let kind = if i == j { TaskKind::Syrk } else { TaskKind::Gemm };
+                let kind = if i == j {
+                    TaskKind::Syrk
+                } else {
+                    TaskKind::Gemm
+                };
                 let upd = get(&mut kinds, &mut ids, &mut next_id, (kind, i, j, k));
                 let trsm_i = ids[&(TaskKind::Trsm, i, k, k)];
                 edges.push((trsm_i, upd));
@@ -531,8 +545,8 @@ mod tests {
         assert_eq!(g.dag.num_nodes(), 40);
         // All nodes beyond the first layer have at least one predecessor.
         let levels = g.dag.levels();
-        for v in 0..40 {
-            if levels[v] > 0 {
+        for (v, &level) in levels.iter().enumerate() {
+            if level > 0 {
                 assert!(g.dag.in_degree(v) >= 1);
             }
         }
@@ -541,9 +555,17 @@ mod tests {
     #[test]
     fn erdos_renyi_extremes() {
         let mut rng = rng_from_seed(3);
-        let empty = DagRecipe::ErdosRenyi { n: 10, edge_prob: 0.0 }.generate(&mut rng);
+        let empty = DagRecipe::ErdosRenyi {
+            n: 10,
+            edge_prob: 0.0,
+        }
+        .generate(&mut rng);
         assert_eq!(empty.dag.num_edges(), 0);
-        let full = DagRecipe::ErdosRenyi { n: 10, edge_prob: 1.0 }.generate(&mut rng);
+        let full = DagRecipe::ErdosRenyi {
+            n: 10,
+            edge_prob: 1.0,
+        }
+        .generate(&mut rng);
         assert_eq!(full.dag.num_edges(), 45);
         assert_eq!(full.dag.classify(), GraphClass::SeriesParallel); // a total order is a chain-like SP order
     }
@@ -551,7 +573,11 @@ mod tests {
     #[test]
     fn fork_join_structure() {
         let mut rng = rng_from_seed(4);
-        let g = DagRecipe::ForkJoin { width: 4, stages: 3 }.generate(&mut rng);
+        let g = DagRecipe::ForkJoin {
+            width: 4,
+            stages: 3,
+        }
+        .generate(&mut rng);
         assert_eq!(g.dag.num_nodes(), 3 * 6);
         assert!(g.sp_expr.is_some());
         assert!(g.dag.is_series_parallel());
@@ -562,17 +588,29 @@ mod tests {
     #[test]
     fn random_trees_classify_correctly() {
         let mut rng = rng_from_seed(5);
-        let out = DagRecipe::RandomOutTree { n: 30, max_children: 3 }.generate(&mut rng);
+        let out = DagRecipe::RandomOutTree {
+            n: 30,
+            max_children: 3,
+        }
+        .generate(&mut rng);
         assert!(out.dag.is_out_forest());
         assert_eq!(out.dag.num_edges(), 29);
-        let int = DagRecipe::RandomInTree { n: 30, max_children: 0 }.generate(&mut rng);
+        let int = DagRecipe::RandomInTree {
+            n: 30,
+            max_children: 0,
+        }
+        .generate(&mut rng);
         assert!(int.dag.is_in_forest());
     }
 
     #[test]
     fn random_sp_is_sp() {
         let mut rng = rng_from_seed(6);
-        let g = DagRecipe::RandomSeriesParallel { n: 25, series_prob: 0.5 }.generate(&mut rng);
+        let g = DagRecipe::RandomSeriesParallel {
+            n: 25,
+            series_prob: 0.5,
+        }
+        .generate(&mut rng);
         assert!(g.dag.is_series_parallel());
         assert!(g.sp_expr.is_some());
         assert_eq!(g.sp_expr.unwrap().num_jobs(), 25);
@@ -616,7 +654,11 @@ mod tests {
         let m = DagRecipe::Montage { width: 5 }.generate(&mut rng);
         assert!(m.dag.num_nodes() > 10);
         assert_eq!(m.dag.sinks().len(), 1);
-        let e = DagRecipe::Epigenomics { branches: 4, depth: 3 }.generate(&mut rng);
+        let e = DagRecipe::Epigenomics {
+            branches: 4,
+            depth: 3,
+        }
+        .generate(&mut rng);
         assert_eq!(e.dag.num_nodes(), 1 + 12 + 3);
         assert_eq!(e.dag.sinks().len(), 1);
         assert!(e.dag.is_series_parallel());
@@ -637,10 +679,22 @@ mod tests {
 
     #[test]
     fn determinism_same_seed_same_graph() {
-        let g1 = DagRecipe::ErdosRenyi { n: 20, edge_prob: 0.3 }.generate(&mut rng_from_seed(42));
-        let g2 = DagRecipe::ErdosRenyi { n: 20, edge_prob: 0.3 }.generate(&mut rng_from_seed(42));
+        let g1 = DagRecipe::ErdosRenyi {
+            n: 20,
+            edge_prob: 0.3,
+        }
+        .generate(&mut rng_from_seed(42));
+        let g2 = DagRecipe::ErdosRenyi {
+            n: 20,
+            edge_prob: 0.3,
+        }
+        .generate(&mut rng_from_seed(42));
         assert_eq!(g1.dag, g2.dag);
-        let g3 = DagRecipe::ErdosRenyi { n: 20, edge_prob: 0.3 }.generate(&mut rng_from_seed(43));
+        let g3 = DagRecipe::ErdosRenyi {
+            n: 20,
+            edge_prob: 0.3,
+        }
+        .generate(&mut rng_from_seed(43));
         assert_ne!(g1.dag, g3.dag);
     }
 }

@@ -121,7 +121,12 @@ mod tests {
         assert_eq!(u.capacities(), &[8, 8, 8]);
         let e = SystemRecipe::Explicit(vec![2, 4]).generate(&mut rng);
         assert_eq!(e.capacities(), &[2, 4]);
-        let r = SystemRecipe::RandomUniform { d: 4, lo: 4, hi: 16 }.generate(&mut rng);
+        let r = SystemRecipe::RandomUniform {
+            d: 4,
+            lo: 4,
+            hi: 16,
+        }
+        .generate(&mut rng);
         assert_eq!(r.num_resource_types(), 4);
         assert!(r.capacities().iter().all(|&c| (4..=16).contains(&c)));
     }

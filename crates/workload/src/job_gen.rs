@@ -172,7 +172,8 @@ mod tests {
             ..JobRecipe::default_mixed()
         };
         for _ in 0..50 {
-            if let ExecTimeSpec::PowerLaw { alpha, .. } = recipe.draw_spec(4, TaskKind::Generic, &mut rng)
+            if let ExecTimeSpec::PowerLaw { alpha, .. } =
+                recipe.draw_spec(4, TaskKind::Generic, &mut rng)
             {
                 assert!(alpha.iter().sum::<f64>() <= 1.0 + 1e-9);
             } else {
@@ -204,13 +205,8 @@ mod tests {
         let recipe = JobRecipe::default_mixed();
         for _ in 0..30 {
             let spec = recipe.draw_spec(2, TaskKind::Generic, &mut rng);
-            let report = check_assumption3(
-                &spec,
-                &AllocationSpace::FullGrid,
-                &system,
-                1_000_000,
-            )
-            .unwrap();
+            let report =
+                check_assumption3(&spec, &AllocationSpace::FullGrid, &system, 1_000_000).unwrap();
             assert!(
                 report.superlinearity_violations.is_empty(),
                 "superlinear spec generated: {spec:?}"

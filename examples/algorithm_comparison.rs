@@ -18,9 +18,28 @@ fn main() {
     let p = 16u64;
     let seeds: Vec<u64> = (0..10).collect();
     let families = [
-        ("layered", DagRecipe::RandomLayered { n: 60, layers: 8, edge_prob: 0.25 }),
-        ("fork-join", DagRecipe::ForkJoin { width: 8, stages: 5 }),
-        ("out-tree", DagRecipe::RandomOutTree { n: 60, max_children: 3 }),
+        (
+            "layered",
+            DagRecipe::RandomLayered {
+                n: 60,
+                layers: 8,
+                edge_prob: 0.25,
+            },
+        ),
+        (
+            "fork-join",
+            DagRecipe::ForkJoin {
+                width: 8,
+                stages: 5,
+            },
+        ),
+        (
+            "out-tree",
+            DagRecipe::RandomOutTree {
+                n: 60,
+                max_children: 3,
+            },
+        ),
         ("independent", DagRecipe::Independent { n: 60 }),
         ("wavefront", DagRecipe::Wavefront { rows: 8, cols: 8 }),
     ];

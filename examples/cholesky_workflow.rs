@@ -54,10 +54,15 @@ fn main() {
     let rigid_balanced = RigidListScheduler::new(RigidRule::Balanced, PriorityRule::CriticalPath)
         .run(instance)
         .expect("baseline runs");
-    let sequential = SequentialScheduler::new().run(instance).expect("baseline runs");
+    let sequential = SequentialScheduler::new()
+        .run(instance)
+        .expect("baseline runs");
 
     let lb = result.lower_bound;
-    println!("\n{:<22} {:>10} {:>12}", "algorithm", "makespan", "vs lower bnd");
+    println!(
+        "\n{:<22} {:>10} {:>12}",
+        "algorithm", "makespan", "vs lower bnd"
+    );
     let print_row = |name: &str, makespan: f64| {
         println!("{name:<22} {makespan:>10.2} {:>11.3}x", makespan / lb);
     };

@@ -13,7 +13,10 @@ use mrls::core::theory;
 use mrls::{ListScheduler, PriorityRule};
 
 fn main() {
-    println!("{:>3} {:>6} {:>12} {:>12} {:>8} {:>8}", "d", "M", "worst (local)", "best (global)", "ratio", "bound d");
+    println!(
+        "{:>3} {:>6} {:>12} {:>12} {:>8} {:>8}",
+        "d", "M", "worst (local)", "best (global)", "ratio", "bound d"
+    );
     for d in 2..=8usize {
         let m = 60;
         let t6 = Theorem6Instance::build(d, m).expect("construction succeeds");
@@ -29,7 +32,12 @@ fn main() {
         let ratio = worst.makespan / best.makespan;
         println!(
             "{:>3} {:>6} {:>13.1} {:>13.1} {:>8.3} {:>8.1}",
-            d, m, worst.makespan, best.makespan, ratio, theory::theorem6_lower_bound(d)
+            d,
+            m,
+            worst.makespan,
+            best.makespan,
+            ratio,
+            theory::theorem6_lower_bound(d)
         );
         // The critical-path priority (a *global* rule) matches the good schedule.
         assert!(cp.makespan <= best.makespan + 1.0);

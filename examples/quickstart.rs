@@ -31,27 +31,42 @@ fn main() {
     let jobs = vec![
         MoldableJob::with_space(
             "ingest",
-            ExecTimeSpec::Amdahl { seq: 2.0, work: vec![20.0, 30.0] },
+            ExecTimeSpec::Amdahl {
+                seq: 2.0,
+                work: vec![20.0, 30.0],
+            },
             mrls::AllocationSpace::FullGrid,
         ),
         MoldableJob::with_space(
             "analysis-a",
-            ExecTimeSpec::Amdahl { seq: 1.0, work: vec![60.0, 10.0] },
+            ExecTimeSpec::Amdahl {
+                seq: 1.0,
+                work: vec![60.0, 10.0],
+            },
             mrls::AllocationSpace::FullGrid,
         ),
         MoldableJob::with_space(
             "analysis-b",
-            ExecTimeSpec::Amdahl { seq: 1.0, work: vec![40.0, 25.0] },
+            ExecTimeSpec::Amdahl {
+                seq: 1.0,
+                work: vec![40.0, 25.0],
+            },
             mrls::AllocationSpace::FullGrid,
         ),
         MoldableJob::with_space(
             "reduce",
-            ExecTimeSpec::Amdahl { seq: 0.5, work: vec![15.0, 20.0] },
+            ExecTimeSpec::Amdahl {
+                seq: 0.5,
+                work: vec![15.0, 20.0],
+            },
             mrls::AllocationSpace::FullGrid,
         ),
         MoldableJob::with_space(
             "report",
-            ExecTimeSpec::Amdahl { seq: 3.0, work: vec![5.0, 2.0] },
+            ExecTimeSpec::Amdahl {
+                seq: 3.0,
+                work: vec![5.0, 2.0],
+            },
             mrls::AllocationSpace::FullGrid,
         ),
     ];
@@ -66,7 +81,10 @@ fn main() {
 
     println!("graph class      : {}", result.params.graph_class);
     println!("allocator        : {}", result.params.allocator);
-    println!("mu / rho         : {:.4} / {:.4}", result.params.mu, result.params.rho);
+    println!(
+        "mu / rho         : {:.4} / {:.4}",
+        result.params.mu, result.params.rho
+    );
     println!("makespan         : {:.3}", result.schedule.makespan);
     println!("lower bound      : {:.3}", result.lower_bound);
     println!(
@@ -87,7 +105,11 @@ fn main() {
             instance.jobs[j].name,
             before,
             after,
-            if result.adjusted[j] { "  (adjusted)" } else { "" }
+            if result.adjusted[j] {
+                "  (adjusted)"
+            } else {
+                ""
+            }
         );
     }
     println!();

@@ -43,6 +43,12 @@
 
 #![warn(missing_docs)]
 
+/// Analysis and reporting tools (`mrls-analysis`).
+pub use mrls_analysis as analysis;
+/// Baseline algorithms (`mrls-baseline`).
+pub use mrls_baseline as baseline;
+/// The scheduling algorithms (`mrls-core`).
+pub use mrls_core as core;
 /// The DAG substrate (`mrls-dag`).
 pub use mrls_dag as dag;
 /// The LP solver (`mrls-lp`).
@@ -51,12 +57,6 @@ pub use mrls_lp as lp;
 pub use mrls_model as model;
 /// Workload generators (`mrls-workload`).
 pub use mrls_workload as workload;
-/// The scheduling algorithms (`mrls-core`).
-pub use mrls_core as core;
-/// Baseline algorithms (`mrls-baseline`).
-pub use mrls_baseline as baseline;
-/// Analysis and reporting tools (`mrls-analysis`).
-pub use mrls_analysis as analysis;
 
 pub use mrls_core::{
     AllocatorKind, ListScheduler, MrlsConfig, MrlsScheduler, PriorityRule, Schedule,

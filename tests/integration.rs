@@ -30,16 +30,38 @@ fn every_graph_family_schedules_validly_and_within_guarantee() {
     let families = vec![
         DagRecipe::Independent { n: 20 },
         DagRecipe::Chain { n: 15 },
-        DagRecipe::RandomLayered { n: 30, layers: 5, edge_prob: 0.3 },
-        DagRecipe::ErdosRenyi { n: 25, edge_prob: 0.15 },
-        DagRecipe::ForkJoin { width: 5, stages: 3 },
-        DagRecipe::RandomOutTree { n: 25, max_children: 3 },
-        DagRecipe::RandomInTree { n: 25, max_children: 3 },
-        DagRecipe::RandomSeriesParallel { n: 25, series_prob: 0.5 },
+        DagRecipe::RandomLayered {
+            n: 30,
+            layers: 5,
+            edge_prob: 0.3,
+        },
+        DagRecipe::ErdosRenyi {
+            n: 25,
+            edge_prob: 0.15,
+        },
+        DagRecipe::ForkJoin {
+            width: 5,
+            stages: 3,
+        },
+        DagRecipe::RandomOutTree {
+            n: 25,
+            max_children: 3,
+        },
+        DagRecipe::RandomInTree {
+            n: 25,
+            max_children: 3,
+        },
+        DagRecipe::RandomSeriesParallel {
+            n: 25,
+            series_prob: 0.5,
+        },
         DagRecipe::Cholesky { tiles: 4 },
         DagRecipe::Wavefront { rows: 5, cols: 5 },
         DagRecipe::Montage { width: 6 },
-        DagRecipe::Epigenomics { branches: 4, depth: 4 },
+        DagRecipe::Epigenomics {
+            branches: 4,
+            depth: 4,
+        },
     ];
     for (i, dag) in families.into_iter().enumerate() {
         for d in [1usize, 2, 3] {
@@ -48,7 +70,10 @@ fn every_graph_family_schedules_validly_and_within_guarantee() {
                 .schedule(&gi.instance)
                 .unwrap_or_else(|e| panic!("family {i} d={d} failed: {e}"));
             let report = validate_schedule(&gi.instance, &result.schedule);
-            assert!(report.is_valid(), "family {i} d={d}: invalid schedule {report:?}");
+            assert!(
+                report.is_valid(),
+                "family {i} d={d}: invalid schedule {report:?}"
+            );
             assert!(
                 result.measured_ratio() <= result.params.ratio_guarantee + 1e-6,
                 "family {i} d={d}: ratio {} > guarantee {}",
@@ -63,12 +88,26 @@ fn every_graph_family_schedules_validly_and_within_guarantee() {
 fn auto_allocator_matches_graph_class() {
     let cases = vec![
         (DagRecipe::Independent { n: 12 }, "independent-optimal"),
-        (DagRecipe::RandomOutTree { n: 12, max_children: 2 }, "sp-fptas"),
-        (DagRecipe::RandomSeriesParallel { n: 12, series_prob: 0.5 }, "sp-fptas"),
+        (
+            DagRecipe::RandomOutTree {
+                n: 12,
+                max_children: 2,
+            },
+            "sp-fptas",
+        ),
+        (
+            DagRecipe::RandomSeriesParallel {
+                n: 12,
+                series_prob: 0.5,
+            },
+            "sp-fptas",
+        ),
     ];
     for (dag, expected_allocator) in cases {
         let gi = recipe(dag, 2, 8).generate(7);
-        let result = MrlsScheduler::with_defaults().schedule(&gi.instance).unwrap();
+        let result = MrlsScheduler::with_defaults()
+            .schedule(&gi.instance)
+            .unwrap();
         assert_eq!(result.params.allocator, expected_allocator);
     }
     // A graph containing an "N" must fall back to the LP allocator.
@@ -77,7 +116,10 @@ fn auto_allocator_matches_graph_class() {
         .map(|j| {
             mrls::MoldableJob::new(
                 j,
-                mrls::ExecTimeSpec::Amdahl { seq: 1.0, work: vec![5.0, 5.0] },
+                mrls::ExecTimeSpec::Amdahl {
+                    seq: 1.0,
+                    work: vec![5.0, 5.0],
+                },
             )
         })
         .collect();
@@ -89,12 +131,22 @@ fn auto_allocator_matches_graph_class() {
 
 #[test]
 fn instance_serde_roundtrip_preserves_scheduling_result() {
-    let gi = recipe(DagRecipe::RandomLayered { n: 20, layers: 4, edge_prob: 0.3 }, 2, 8)
-        .generate(11);
+    let gi = recipe(
+        DagRecipe::RandomLayered {
+            n: 20,
+            layers: 4,
+            edge_prob: 0.3,
+        },
+        2,
+        8,
+    )
+    .generate(11);
     let json = gi.instance.to_json();
     let back = Instance::from_json(&json).unwrap();
     assert_eq!(gi.instance, back);
-    let a = MrlsScheduler::with_defaults().schedule(&gi.instance).unwrap();
+    let a = MrlsScheduler::with_defaults()
+        .schedule(&gi.instance)
+        .unwrap();
     let b = MrlsScheduler::with_defaults().schedule(&back).unwrap();
     assert!((a.schedule.makespan - b.schedule.makespan).abs() < 1e-9);
 }
@@ -105,7 +157,11 @@ fn paper_algorithm_beats_or_matches_naive_baselines_on_average() {
     let mut total = 0usize;
     for seed in 0..8u64 {
         let gi = recipe(
-            DagRecipe::RandomLayered { n: 40, layers: 6, edge_prob: 0.25 },
+            DagRecipe::RandomLayered {
+                n: 40,
+                layers: 6,
+                edge_prob: 0.25,
+            },
             3,
             16,
         )
@@ -159,16 +215,25 @@ fn theorem6_family_exhibits_the_d_gap() {
 #[test]
 fn interval_decomposition_consistent_with_lemmas_for_monotone_jobs() {
     let gi = recipe(
-        DagRecipe::RandomLayered { n: 35, layers: 6, edge_prob: 0.3 },
+        DagRecipe::RandomLayered {
+            n: 35,
+            layers: 6,
+            edge_prob: 0.3,
+        },
         2,
         16,
     )
     .generate(3);
-    let result = MrlsScheduler::with_defaults().schedule(&gi.instance).unwrap();
+    let result = MrlsScheduler::with_defaults()
+        .schedule(&gi.instance)
+        .unwrap();
     let mu = result.params.mu;
     let report = IntervalReport::build(&gi.instance, &result.schedule, mu);
     assert!((report.total_duration() - result.schedule.makespan).abs() < 1e-6);
-    let initial = gi.instance.evaluate_decision(&result.initial_decision).unwrap();
+    let initial = gi
+        .instance
+        .evaluate_decision(&result.initial_decision)
+        .unwrap();
     let d = gi.instance.num_resource_types() as f64;
     // Lemma 5 and Lemma 6, empirically.
     assert!(report.t1 + mu * report.t2 <= initial.critical_path + 1e-6);
@@ -178,7 +243,10 @@ fn interval_decomposition_consistent_with_lemmas_for_monotone_jobs() {
 #[test]
 fn forcing_every_allocator_still_yields_valid_schedules() {
     let gi = recipe(
-        DagRecipe::RandomSeriesParallel { n: 18, series_prob: 0.5 },
+        DagRecipe::RandomSeriesParallel {
+            n: 18,
+            series_prob: 0.5,
+        },
         2,
         8,
     )
@@ -190,7 +258,10 @@ fn forcing_every_allocator_still_yields_valid_schedules() {
         AllocatorKind::MinArea,
         AllocatorKind::MinLocalMax,
     ] {
-        let config = MrlsConfig { allocator: kind, ..MrlsConfig::default() };
+        let config = MrlsConfig {
+            allocator: kind,
+            ..MrlsConfig::default()
+        };
         let result = MrlsScheduler::new(config).schedule(&gi.instance).unwrap();
         assert!(validate_schedule(&gi.instance, &result.schedule).is_valid());
     }

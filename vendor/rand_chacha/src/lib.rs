@@ -1,0 +1,44 @@
+//! Offline stand-in for `rand_chacha`.
+//!
+//! Exposes a `ChaCha8Rng` type implementing the vendored `rand` traits. The
+//! underlying algorithm is xoshiro256**, not actual ChaCha — the workspace
+//! only relies on determinism-given-seed, not on the ChaCha keystream.
+
+use rand::{RngCore, SeedableRng};
+
+/// Deterministic seedable generator (xoshiro256** core).
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Expand the seed with SplitMix64, as the xoshiro authors recommend.
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        ChaCha8Rng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}

@@ -1,0 +1,367 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no network access, so the real `serde` crate
+//! cannot be fetched. This crate provides the same surface the workspace
+//! actually uses — `#[derive(Serialize, Deserialize)]` plus trait impls for
+//! the standard types — implemented over a simple JSON-like [`__private::Value`]
+//! tree. `serde_json` (also vendored) serialises that tree to real JSON text.
+//!
+//! It is intentionally minimal: no custom serialisers, no `#[serde(...)]`
+//! attributes, no zero-copy deserialisation. If the workspace ever gains
+//! network access, this vendor crate can be swapped for the real `serde`
+//! without touching downstream code.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Types that can be converted into a JSON-like value tree.
+pub trait Serialize {
+    /// Convert `self` into a [`__private::Value`].
+    fn to_value(&self) -> __private::Value;
+}
+
+/// Types that can be reconstructed from a JSON-like value tree.
+pub trait Deserialize: Sized {
+    /// Reconstruct `Self` from a [`__private::Value`].
+    fn from_value(v: &__private::Value) -> Result<Self, __private::Error>;
+}
+
+/// Implementation details shared with the derive macro and `serde_json`.
+///
+/// Everything in here is semver-exempt scaffolding; downstream code should
+/// only use the [`Serialize`] / [`Deserialize`] traits and the derives.
+pub mod __private {
+    use super::{Deserialize, Serialize};
+
+    /// A JSON value tree. Object keys preserve insertion order.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// JSON `null`.
+        Null,
+        /// JSON boolean.
+        Bool(bool),
+        /// Negative integer.
+        Int(i64),
+        /// Non-negative integer.
+        UInt(u64),
+        /// Floating-point number.
+        Float(f64),
+        /// String.
+        Str(String),
+        /// Array.
+        Array(Vec<Value>),
+        /// Object as an ordered list of key/value pairs.
+        Object(Vec<(String, Value)>),
+    }
+
+    /// Deserialisation error: a human-readable description of the mismatch.
+    #[derive(Debug, Clone)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "deserialization error: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    impl Error {
+        /// Build an error from anything displayable.
+        pub fn msg(m: impl std::fmt::Display) -> Self {
+            Error(m.to_string())
+        }
+    }
+
+    impl Value {
+        /// Borrow the object pairs, if this is an object.
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Object(pairs) => Some(pairs),
+                _ => None,
+            }
+        }
+
+        /// Borrow the array elements, if this is an array.
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        /// Borrow the string contents, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+    }
+
+    /// Look up a struct field in an object value.
+    pub fn get_field<'a>(v: &'a Value, name: &str) -> Result<&'a Value, Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| Error::msg(format!("expected object with field `{name}`")))?;
+        obj.iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, val)| val)
+            .ok_or_else(|| Error::msg(format!("missing field `{name}`")))
+    }
+
+    /// Deserialise a struct field from an object value.
+    pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
+        T::from_value(get_field(v, name)?)
+    }
+
+    /// Decompose an externally-tagged enum value into `(tag, payload)`.
+    ///
+    /// Unit variants are encoded as a bare string; payload variants as a
+    /// single-entry object `{ "Tag": payload }`.
+    pub fn enum_parts(v: &Value) -> Result<(&str, Option<&Value>), Error> {
+        match v {
+            Value::Str(tag) => Ok((tag, None)),
+            Value::Object(pairs) if pairs.len() == 1 => Ok((&pairs[0].0, Some(&pairs[0].1))),
+            _ => Err(Error::msg(
+                "expected enum (string tag or single-entry object)",
+            )),
+        }
+    }
+
+    /// Borrow a tuple-variant payload as exactly `n` array elements.
+    pub fn tuple_elems(v: &Value, n: usize) -> Result<&[Value], Error> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| Error::msg(format!("expected array of length {n}")))?;
+        if items.len() != n {
+            return Err(Error::msg(format!(
+                "expected array of length {n}, got {}",
+                items.len()
+            )));
+        }
+        Ok(items)
+    }
+
+    /// Error for an unknown enum tag.
+    pub fn unknown_variant(enum_name: &str, tag: &str) -> Error {
+        Error::msg(format!("unknown variant `{tag}` for enum `{enum_name}`"))
+    }
+
+    fn int_from(v: &Value) -> Result<i128, Error> {
+        match v {
+            Value::Int(i) => Ok(*i as i128),
+            Value::UInt(u) => Ok(*u as i128),
+            Value::Float(f) if f.fract() == 0.0 && f.abs() < 9.0e18 => Ok(*f as i128),
+            _ => Err(Error::msg(format!("expected integer, got {v:?}"))),
+        }
+    }
+
+    macro_rules! impl_int {
+        ($($t:ty)*) => {$(
+            impl Serialize for $t {
+                fn to_value(&self) -> Value {
+                    #[allow(unused_comparisons)]
+                    if *self >= 0 {
+                        Value::UInt(*self as u64)
+                    } else {
+                        Value::Int(*self as i64)
+                    }
+                }
+            }
+            impl Deserialize for $t {
+                fn from_value(v: &Value) -> Result<Self, Error> {
+                    let i = int_from(v)?;
+                    <$t>::try_from(i).map_err(|_| {
+                        Error::msg(format!("integer {i} out of range for {}", stringify!($t)))
+                    })
+                }
+            }
+        )*};
+    }
+
+    impl_int!(u8 u16 u32 u64 usize i8 i16 i32 i64 isize);
+
+    macro_rules! impl_float {
+        ($($t:ty)*) => {$(
+            impl Serialize for $t {
+                fn to_value(&self) -> Value {
+                    Value::Float(f64::from(*self))
+                }
+            }
+            impl Deserialize for $t {
+                fn from_value(v: &Value) -> Result<Self, Error> {
+                    match v {
+                        Value::Float(f) => Ok(*f as $t),
+                        Value::Int(i) => Ok(*i as $t),
+                        Value::UInt(u) => Ok(*u as $t),
+                        Value::Null => Ok(<$t>::NAN),
+                        _ => Err(Error::msg(format!("expected number, got {v:?}"))),
+                    }
+                }
+            }
+        )*};
+    }
+
+    impl_float!(f32 f64);
+
+    impl Serialize for bool {
+        fn to_value(&self) -> Value {
+            Value::Bool(*self)
+        }
+    }
+
+    impl Deserialize for bool {
+        fn from_value(v: &Value) -> Result<Self, Error> {
+            match v {
+                Value::Bool(b) => Ok(*b),
+                _ => Err(Error::msg(format!("expected bool, got {v:?}"))),
+            }
+        }
+    }
+
+    impl Serialize for String {
+        fn to_value(&self) -> Value {
+            Value::Str(self.clone())
+        }
+    }
+
+    impl Deserialize for String {
+        fn from_value(v: &Value) -> Result<Self, Error> {
+            v.as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| Error::msg(format!("expected string, got {v:?}")))
+        }
+    }
+
+    impl Serialize for str {
+        fn to_value(&self) -> Value {
+            Value::Str(self.to_owned())
+        }
+    }
+
+    impl Serialize for char {
+        fn to_value(&self) -> Value {
+            Value::Str(self.to_string())
+        }
+    }
+
+    impl Deserialize for char {
+        fn from_value(v: &Value) -> Result<Self, Error> {
+            let s = v
+                .as_str()
+                .ok_or_else(|| Error::msg("expected single-character string"))?;
+            let mut chars = s.chars();
+            match (chars.next(), chars.next()) {
+                (Some(c), None) => Ok(c),
+                _ => Err(Error::msg("expected single-character string")),
+            }
+        }
+    }
+
+    impl<T: Serialize + ?Sized> Serialize for &T {
+        fn to_value(&self) -> Value {
+            (**self).to_value()
+        }
+    }
+
+    impl<T: Serialize> Serialize for Vec<T> {
+        fn to_value(&self) -> Value {
+            Value::Array(self.iter().map(Serialize::to_value).collect())
+        }
+    }
+
+    impl<T: Deserialize> Deserialize for Vec<T> {
+        fn from_value(v: &Value) -> Result<Self, Error> {
+            v.as_array()
+                .ok_or_else(|| Error::msg(format!("expected array, got {v:?}")))?
+                .iter()
+                .map(T::from_value)
+                .collect()
+        }
+    }
+
+    impl<T: Serialize> Serialize for [T] {
+        fn to_value(&self) -> Value {
+            Value::Array(self.iter().map(Serialize::to_value).collect())
+        }
+    }
+
+    impl<T: Serialize> Serialize for Option<T> {
+        fn to_value(&self) -> Value {
+            match self {
+                Some(t) => t.to_value(),
+                None => Value::Null,
+            }
+        }
+    }
+
+    impl<T: Deserialize> Deserialize for Option<T> {
+        fn from_value(v: &Value) -> Result<Self, Error> {
+            match v {
+                Value::Null => Ok(None),
+                other => T::from_value(other).map(Some),
+            }
+        }
+    }
+
+    impl<T: Serialize> Serialize for Box<T> {
+        fn to_value(&self) -> Value {
+            (**self).to_value()
+        }
+    }
+
+    impl<T: Deserialize> Deserialize for Box<T> {
+        fn from_value(v: &Value) -> Result<Self, Error> {
+            T::from_value(v).map(Box::new)
+        }
+    }
+
+    macro_rules! impl_tuple {
+        ($(($($n:tt $t:ident),+))*) => {$(
+            impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+                fn to_value(&self) -> Value {
+                    Value::Array(vec![$(self.$n.to_value()),+])
+                }
+            }
+            impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+                fn from_value(v: &Value) -> Result<Self, Error> {
+                    const N: usize = 0 $(+ { let _ = $n; 1 })+;
+                    let items = tuple_elems(v, N)?;
+                    Ok(($($t::from_value(&items[$n])?,)+))
+                }
+            }
+        )*};
+    }
+
+    impl_tuple! {
+        (0 A)
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+        (0 A, 1 B, 2 C, 3 D, 4 E)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+    }
+
+    impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+        fn to_value(&self) -> Value {
+            Value::Array(
+                self.iter()
+                    .map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()]))
+                    .collect(),
+            )
+        }
+    }
+
+    impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+        fn from_value(v: &Value) -> Result<Self, Error> {
+            v.as_array()
+                .ok_or_else(|| Error::msg("expected array of pairs"))?
+                .iter()
+                .map(|pair| {
+                    let kv = tuple_elems(pair, 2)?;
+                    Ok((K::from_value(&kv[0])?, V::from_value(&kv[1])?))
+                })
+                .collect()
+        }
+    }
+}

@@ -1,0 +1,408 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` with a
+//! hand-rolled token parser (no `syn`/`quote` available offline). Supports
+//! the shapes the workspace uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtypes serialise transparently, wider ones as arrays),
+//! * unit structs,
+//! * enums with unit, tuple, and struct variants (externally tagged, like
+//!   stock serde: `"Variant"` or `{ "Variant": payload }`).
+//!
+//! Generics and `#[serde(...)]` attributes are intentionally unsupported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the fields of a struct or enum variant.
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+/// Parsed shape of the deriving item.
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+/// Derive `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => serialize_struct_body(name, fields),
+        Item::Enum { name, variants } => serialize_enum_body(name, variants),
+    };
+    let name = item_name(&item);
+    let code = format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::__private::Value {{\n{body}\n}}\n\
+         }}\n"
+    );
+    code.parse()
+        .expect("derive(Serialize): generated code must parse")
+}
+
+/// Derive `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => deserialize_struct_body(name, fields),
+        Item::Enum { name, variants } => deserialize_enum_body(name, variants),
+    };
+    let name = item_name(&item);
+    let code = format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::__private::Value) \
+                 -> ::std::result::Result<Self, ::serde::__private::Error> {{\n{body}\n}}\n\
+         }}\n"
+    );
+    code.parse()
+        .expect("derive(Deserialize): generated code must parse")
+}
+
+fn item_name(item: &Item) -> &str {
+    match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Input parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    loop {
+        match tokens.next() {
+            // Attribute: `#` (optionally `!`) followed by a bracket group.
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if matches!(tokens.peek(), Some(TokenTree::Punct(q)) if q.as_char() == '!') {
+                    tokens.next();
+                }
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // `pub(crate)` etc.: skip the restriction group.
+                if matches!(
+                    tokens.peek(),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    tokens.next();
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                let name = expect_ident(tokens.next(), "struct name");
+                let fields = match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Fields::Named(parse_named_fields(g.stream()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        Fields::Tuple(count_tuple_fields(g.stream()))
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                    other => panic!("derive(Serde): unsupported struct shape near {other:?} (generics are not supported by the vendored serde_derive)"),
+                };
+                return Item::Struct { name, fields };
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                let name = expect_ident(tokens.next(), "enum name");
+                let body = match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                    other => panic!("derive(Serde): unsupported enum shape near {other:?} (generics are not supported by the vendored serde_derive)"),
+                };
+                return Item::Enum {
+                    name,
+                    variants: parse_variants(body),
+                };
+            }
+            Some(_) => {}
+            None => panic!("derive(Serde): no struct or enum found in input"),
+        }
+    }
+}
+
+fn expect_ident(tt: Option<TokenTree>, what: &str) -> String {
+    match tt {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive(Serde): expected {what}, found {other:?}"),
+    }
+}
+
+/// Skip attributes (`#[...]`) at the current position.
+fn skip_attributes(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        tokens.next();
+        tokens.next(); // the [...] group
+    }
+}
+
+/// Consume tokens up to (and including) the next comma that sits outside any
+/// `<...>` nesting. Delimited groups are single atomic tokens, so only angle
+/// brackets need explicit depth tracking. Returns false at end of stream.
+fn skip_past_top_level_comma(
+    tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+) -> bool {
+    let mut angle_depth = 0usize;
+    for tt in tokens.by_ref() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => return true,
+                _ => {}
+            }
+        }
+    }
+    false
+}
+
+/// Parse `name: Type, ...` field lists, collecting the field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attributes(&mut tokens);
+        match tokens.next() {
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if matches!(
+                    tokens.peek(),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    tokens.next();
+                }
+                fields.push(expect_ident(tokens.next(), "field name"));
+            }
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            other => panic!("derive(Serde): expected field name, found {other:?}"),
+        }
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("derive(Serde): expected `:` after field name, found {other:?}"),
+        }
+        if !skip_past_top_level_comma(&mut tokens) {
+            break;
+        }
+    }
+    fields
+}
+
+/// Count the fields of a tuple struct / tuple variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut tokens = stream.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        skip_attributes(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        count += 1;
+        if !skip_past_top_level_comma(&mut tokens) {
+            break;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("derive(Serde): expected variant name, found {other:?}"),
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                tokens.next();
+                Fields::Named(parse_named_fields(inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner = g.stream();
+                tokens.next();
+                Fields::Tuple(count_tuple_fields(inner))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push((name, fields));
+        // Skip an optional discriminant and the trailing comma.
+        if !skip_past_top_level_comma(&mut tokens) {
+            break;
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (as strings, parsed back into a TokenStream)
+// ---------------------------------------------------------------------------
+
+const VALUE: &str = "::serde::__private::Value";
+const PRIV: &str = "::serde::__private";
+
+fn named_to_object(fields: &[String], access_prefix: &str) -> String {
+    let pairs: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&{access_prefix}{f}))"
+            )
+        })
+        .collect();
+    format!("{VALUE}::Object(::std::vec![{}])", pairs.join(", "))
+}
+
+fn serialize_struct_body(_name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!("{VALUE}::Null"),
+        Fields::Named(fields) => named_to_object(fields, "self."),
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("{VALUE}::Array(::std::vec![{}])", elems.join(", "))
+        }
+    }
+}
+
+fn serialize_enum_body(name: &str, variants: &[(String, Fields)]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|(vname, fields)| match fields {
+            Fields::Unit => format!(
+                "{name}::{vname} => {VALUE}::Str(::std::string::String::from(\"{vname}\")),"
+            ),
+            Fields::Named(fields) => {
+                let bindings = fields.join(", ");
+                let payload = named_to_object(fields, "");
+                format!(
+                    "{name}::{vname} {{ {bindings} }} => {VALUE}::Object(::std::vec![\
+                     (::std::string::String::from(\"{vname}\"), {payload})]),"
+                )
+            }
+            Fields::Tuple(n) => {
+                let bindings: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                let payload = if *n == 1 {
+                    "::serde::Serialize::to_value(f0)".to_string()
+                } else {
+                    let elems: Vec<String> = bindings
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!("{VALUE}::Array(::std::vec![{}])", elems.join(", "))
+                };
+                format!(
+                    "{name}::{vname}({}) => {VALUE}::Object(::std::vec![\
+                     (::std::string::String::from(\"{vname}\"), {payload})]),",
+                    bindings.join(", ")
+                )
+            }
+        })
+        .collect();
+    format!("match self {{\n{}\n}}", arms.join("\n"))
+}
+
+fn named_from_object(fields: &[String], source: &str) -> String {
+    fields
+        .iter()
+        .map(|f| format!("{f}: {PRIV}::field({source}, \"{f}\")?,"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn deserialize_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!("::std::result::Result::Ok({name})"),
+        Fields::Named(fields) => {
+            let inits = named_from_object(fields, "v");
+            format!("::std::result::Result::Ok({name} {{\n{inits}\n}})")
+        }
+        Fields::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Fields::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = {PRIV}::tuple_elems(v, {n})?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+    }
+}
+
+fn deserialize_enum_body(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut unit_arms = Vec::new();
+    let mut payload_arms = Vec::new();
+    for (vname, fields) in variants {
+        match fields {
+            Fields::Unit => unit_arms.push(format!(
+                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+            )),
+            Fields::Named(fields) => {
+                let inits = named_from_object(fields, "payload");
+                payload_arms.push(format!(
+                    "\"{vname}\" => ::std::result::Result::Ok({name}::{vname} {{\n{inits}\n}}),"
+                ));
+            }
+            Fields::Tuple(n) => {
+                let build = if *n == 1 {
+                    format!("{name}::{vname}(::serde::Deserialize::from_value(payload)?)")
+                } else {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect();
+                    format!(
+                        "{{ let items = {PRIV}::tuple_elems(payload, {n})?; {name}::{vname}({}) }}",
+                        elems.join(", ")
+                    )
+                };
+                payload_arms.push(format!(
+                    "\"{vname}\" => ::std::result::Result::Ok({build}),"
+                ));
+            }
+        }
+    }
+    // Bind the payload as `_` when no variant carries one, so the generated
+    // code never trips the unused-variable lint.
+    let payload_binding = if payload_arms.is_empty() {
+        "_"
+    } else {
+        "payload"
+    };
+    format!(
+        "let (tag, payload) = {PRIV}::enum_parts(v)?;\n\
+         match payload {{\n\
+             ::std::option::Option::None => match tag {{\n\
+                 {unit}\n\
+                 _ => ::std::result::Result::Err({PRIV}::unknown_variant(\"{name}\", tag)),\n\
+             }},\n\
+             ::std::option::Option::Some({payload_binding}) => match tag {{\n\
+                 {pay}\n\
+                 _ => ::std::result::Result::Err({PRIV}::unknown_variant(\"{name}\", tag)),\n\
+             }},\n\
+         }}",
+        unit = unit_arms.join("\n"),
+        pay = payload_arms.join("\n"),
+    )
+}
