@@ -27,4 +27,6 @@ pub mod validate;
 
 pub use intervals::{IntervalCategory, IntervalReport, ScheduleIntervals};
 pub use stats::Summary;
-pub use validate::{validate_schedule, ValidationReport};
+pub use validate::{
+    validate_schedule, validate_schedule_with, ValidationOptions, ValidationReport,
+};

@@ -26,10 +26,39 @@ impl ValidationReport {
     }
 }
 
+/// What [`validate_schedule_with`] checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ValidationOptions {
+    /// Check that every job's recorded duration matches `t_j(p_j)`.
+    ///
+    /// Disable for *realized* schedules produced by the `mrls-sim` execution
+    /// runtime: under stochastic perturbations the realized duration
+    /// intentionally differs from the nominal model, but capacity and
+    /// precedence feasibility must still hold.
+    pub check_durations: bool,
+}
+
+impl Default for ValidationOptions {
+    fn default() -> Self {
+        ValidationOptions {
+            check_durations: true,
+        }
+    }
+}
+
 /// Validates `schedule` against `instance`: every job present exactly once,
 /// durations consistent with the execution-time model, precedence respected,
 /// and per-type capacity respected during every interval between events.
 pub fn validate_schedule(instance: &Instance, schedule: &Schedule) -> ValidationReport {
+    validate_schedule_with(instance, schedule, ValidationOptions::default())
+}
+
+/// [`validate_schedule`] with explicit [`ValidationOptions`].
+pub fn validate_schedule_with(
+    instance: &Instance,
+    schedule: &Schedule,
+    options: ValidationOptions,
+) -> ValidationReport {
     let n = instance.num_jobs();
     let d = instance.num_resource_types();
     let mut report = ValidationReport {
@@ -65,10 +94,12 @@ pub fn validate_schedule(instance: &Instance, schedule: &Schedule) -> Validation
     }
 
     // Durations.
-    for sj in &schedule.jobs {
-        let expected = instance.jobs[sj.job].spec.time(&sj.alloc);
-        if (sj.duration() - expected).abs() > 1e-6 * (1.0 + expected.abs()) {
-            report.duration_mismatches.push(sj.job);
+    if options.check_durations {
+        for sj in &schedule.jobs {
+            let expected = instance.jobs[sj.job].spec.time(&sj.alloc);
+            if (sj.duration() - expected).abs() > 1e-6 * (1.0 + expected.abs()) {
+                report.duration_mismatches.push(sj.job);
+            }
         }
     }
 
@@ -190,6 +221,31 @@ mod tests {
         ]);
         let report = validate_schedule(&inst, &sched);
         assert_eq!(report.duration_mismatches, vec![0]);
+    }
+
+    #[test]
+    fn relaxed_validation_skips_durations_but_not_feasibility() {
+        let inst = instance();
+        // A "realized" schedule with perturbed (stretched) durations but
+        // intact precedence and capacity.
+        let perturbed = Schedule::new(vec![
+            job(0, 0.0, 1.7, 1),
+            job(1, 1.7, 2.9, 1),
+            job(2, 2.9, 4.1, 1),
+        ]);
+        assert!(!validate_schedule(&inst, &perturbed).is_valid());
+        let relaxed = ValidationOptions {
+            check_durations: false,
+        };
+        assert!(validate_schedule_with(&inst, &perturbed, relaxed).is_valid());
+        // Relaxed validation still rejects precedence/capacity violations.
+        let broken = Schedule::new(vec![
+            job(0, 0.0, 1.7, 1),
+            job(1, 0.5, 2.9, 1),
+            job(2, 2.9, 4.1, 1),
+        ]);
+        let report = validate_schedule_with(&inst, &broken, relaxed);
+        assert_eq!(report.precedence_violations, vec![(0, 1)]);
     }
 
     #[test]

@@ -4,30 +4,47 @@
 //! defaults):
 //!
 //! ```text
-//! mrls generate  [n=40] [d=3] [p=16] [dag=layered|independent|sp|tree|cholesky|forkjoin|wavefront]
+//! mrls generate  [n=40] [d=3] [p=16] [dag=layered|independent|chain|sp|tree|cholesky|forkjoin|wavefront]
 //!                [seed=0] [out=instance.json]
 //!     Generate a synthetic instance and write it as JSON.
 //!
-//! mrls schedule  [in=instance.json] [allocator=auto|lp|sp|independent|min-time|min-area]
+//! mrls schedule  [in=instance.json] [allocator=auto|lp|sp|independent|min-time|min-area|min-local-max]
 //!                [priority=critical-path|fifo|longest-time|largest-area] [gantt=true]
 //!     Schedule an instance file with the paper's algorithm and print a report.
 //!
 //! mrls compare   [n=40] [d=3] [p=16] [dag=layered] [seeds=5]
 //!     Generate instances and compare mrls against the rigid/sequential baselines.
 //!
+//! mrls simulate  [in=FILE] [n=40] [d=3] [p=16] [dag=layered] [seed=0]
+//!                [allocator=auto] [priority=critical-path]
+//!                [plan=FILE] [plan-out=FILE] [out=FILE]
+//!                [policy=reactive|static|full] [noise=none|mult|heavy|slowdown]
+//!                [sigma=0.3] [prob=0.1] [alpha=1.5] [cap=10] [slowdown=2.0]
+//!                [arrivals=none|uniform|poisson] [window-frac=0.5] [mean-gap=1.0]
+//!                [drop=none|half|blip] [drop-at=0.33] [keep=0.5] [simseed=0]
+//!     Execute the planned schedule in virtual time under stochastic
+//!     perturbations / online events and report planned-vs-realized stress.
+//!
 //! mrls theory    [dmax=10] [epsilon=0.1]
 //!     Print the Table 1 approximation ratios for d = 1..dmax.
 //! ```
+//!
+//! Malformed arguments (tokens without `=`, unknown keys, unparsable or
+//! unrecognised values) are reported on stderr and exit with code 2.
 
 use std::collections::HashMap;
 
 use mrls_analysis::gantt::ascii_gantt;
-use mrls_analysis::validate_schedule;
+use mrls_analysis::{validate_schedule, validate_schedule_with, ValidationOptions};
 use mrls_baseline::{BaselineScheduler, RigidListScheduler, RigidRule, SequentialScheduler};
 use mrls_core::scheduler::{AllocatorKind, MrlsConfig, MrlsScheduler};
-use mrls_core::{theory, PriorityRule};
+use mrls_core::{theory, PriorityRule, Schedule};
 use mrls_model::{AllocationSpace, Instance};
-use mrls_workload::{DagRecipe, InstanceRecipe, JobRecipe, SpeedupFamily, SystemRecipe};
+use mrls_sim::{PerturbationModel, PolicyKind, Scenario, SimConfig, Simulator};
+use mrls_workload::{
+    rng_from_seed, ArrivalRecipe, CapacityDropRecipe, DagRecipe, InstanceRecipe, JobRecipe,
+    SpeedupFamily, SystemRecipe,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,18 +52,59 @@ fn main() {
         print_usage();
         std::process::exit(2);
     };
-    let kv = parse_kv(&args[1..]);
-    let code = match command.as_str() {
-        "generate" => cmd_generate(&kv),
-        "schedule" => cmd_schedule(&kv),
-        "compare" => cmd_compare(&kv),
-        "theory" => cmd_theory(&kv),
+    let result = match command.as_str() {
+        "generate" => parse_kv(&args[1..], &["n", "d", "p", "dag", "seed", "out"])
+            .and_then(|kv| cmd_generate(&kv)),
+        "schedule" => parse_kv(
+            &args[1..],
+            &["in", "allocator", "priority", "gantt", "seed"],
+        )
+        .and_then(|kv| cmd_schedule(&kv)),
+        "compare" => {
+            parse_kv(&args[1..], &["n", "d", "p", "dag", "seeds"]).and_then(|kv| cmd_compare(&kv))
+        }
+        "simulate" => parse_kv(
+            &args[1..],
+            &[
+                "in",
+                "n",
+                "d",
+                "p",
+                "dag",
+                "seed",
+                "allocator",
+                "priority",
+                "plan",
+                "plan-out",
+                "out",
+                "policy",
+                "noise",
+                "sigma",
+                "prob",
+                "alpha",
+                "cap",
+                "slowdown",
+                "arrivals",
+                "window-frac",
+                "mean-gap",
+                "drop",
+                "drop-at",
+                "keep",
+                "simseed",
+            ],
+        )
+        .and_then(|kv| cmd_simulate(&kv)),
+        "theory" => parse_kv(&args[1..], &["dmax", "epsilon"]).and_then(|kv| cmd_theory(&kv)),
         "help" | "--help" | "-h" => {
             print_usage();
-            0
+            Ok(0)
         }
-        other => {
-            eprintln!("unknown command: {other}");
+        other => Err(format!("unknown command: {other}")),
+    };
+    let code = match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
             print_usage();
             2
         }
@@ -61,25 +119,74 @@ fn print_usage() {
          \u{20}  mrls generate [n=40] [d=3] [p=16] [dag=layered] [seed=0] [out=instance.json]\n\
          \u{20}  mrls schedule [in=instance.json] [allocator=auto] [priority=critical-path] [gantt=true]\n\
          \u{20}  mrls compare  [n=40] [d=3] [p=16] [dag=layered] [seeds=5]\n\
+         \u{20}  mrls simulate [in=FILE|n=40 d=3 p=16 dag=layered seed=0] [policy=reactive] [noise=mult]\n\
+         \u{20}                [sigma=0.3] [arrivals=none] [drop=none] [simseed=0] [out=trace.json]\n\
          \u{20}  mrls theory   [dmax=10] [epsilon=0.1]"
     );
 }
 
-fn parse_kv(args: &[String]) -> HashMap<String, String> {
-    args.iter()
-        .filter_map(|a| {
-            a.split_once('=')
-                .map(|(k, v)| (k.to_string(), v.to_string()))
-        })
-        .collect()
+/// Parses `key=value` tokens, rejecting malformed tokens and unknown keys.
+fn parse_kv(args: &[String], allowed: &[&str]) -> Result<HashMap<String, String>, String> {
+    let mut kv = HashMap::new();
+    for a in args {
+        let Some((k, v)) = a.split_once('=') else {
+            return Err(format!("malformed argument `{a}` (expected key=value)"));
+        };
+        if k.is_empty() {
+            return Err(format!("malformed argument `{a}` (empty key)"));
+        }
+        if !allowed.contains(&k) {
+            return Err(format!(
+                "unknown key `{k}` (expected one of: {})",
+                allowed.join(", ")
+            ));
+        }
+        if kv.insert(k.to_string(), v.to_string()).is_some() {
+            return Err(format!("key `{k}` given more than once"));
+        }
+    }
+    Ok(kv)
 }
 
-fn get<T: std::str::FromStr>(kv: &HashMap<String, String>, key: &str, default: T) -> T {
-    kv.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+/// Typed lookup: the default when absent, an error when unparsable.
+fn get<T: std::str::FromStr>(
+    kv: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match kv.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value `{v}` for key `{key}`")),
+    }
 }
 
-fn dag_recipe(kv: &HashMap<String, String>, n: usize) -> DagRecipe {
-    match kv.get("dag").map(String::as_str).unwrap_or("layered") {
+/// Enumerated lookup: the default when absent, an error on unknown variants.
+fn get_choice<'a, T: Copy>(
+    kv: &HashMap<String, String>,
+    key: &str,
+    choices: &'a [(&'a str, T)],
+    default: T,
+) -> Result<T, String> {
+    match kv.get(key) {
+        None => Ok(default),
+        Some(v) => choices
+            .iter()
+            .find(|(name, _)| name == v)
+            .map(|&(_, value)| value)
+            .ok_or_else(|| {
+                let names: Vec<&str> = choices.iter().map(|&(name, _)| name).collect();
+                format!(
+                    "invalid value `{v}` for key `{key}` (expected one of: {})",
+                    names.join(", ")
+                )
+            }),
+    }
+}
+
+fn dag_recipe(kv: &HashMap<String, String>, n: usize) -> Result<DagRecipe, String> {
+    let recipe = match kv.get("dag").map(String::as_str).unwrap_or("layered") {
         "independent" => DagRecipe::Independent { n },
         "chain" => DagRecipe::Chain { n },
         "sp" => DagRecipe::RandomSeriesParallel {
@@ -101,21 +208,28 @@ fn dag_recipe(kv: &HashMap<String, String>, n: usize) -> DagRecipe {
                 cols: side,
             }
         }
-        _ => DagRecipe::RandomLayered {
+        "layered" => DagRecipe::RandomLayered {
             n,
             layers: (n as f64).sqrt().ceil() as usize,
             edge_prob: 0.3,
         },
-    }
+        other => {
+            return Err(format!(
+                "invalid value `{other}` for key `dag` (expected one of: layered, independent, \
+                 chain, sp, tree, cholesky, forkjoin, wavefront)"
+            ))
+        }
+    };
+    Ok(recipe)
 }
 
-fn build_recipe(kv: &HashMap<String, String>) -> InstanceRecipe {
-    let n: usize = get(kv, "n", 40);
-    let d: usize = get(kv, "d", 3);
-    let p: u64 = get(kv, "p", 16);
-    InstanceRecipe {
+fn build_recipe(kv: &HashMap<String, String>) -> Result<InstanceRecipe, String> {
+    let n: usize = get(kv, "n", 40)?;
+    let d: usize = get(kv, "d", 3)?;
+    let p: u64 = get(kv, "p", 16)?;
+    Ok(InstanceRecipe {
         system: SystemRecipe::Uniform { d, p },
-        dag: dag_recipe(kv, n),
+        dag: dag_recipe(kv, n)?,
         jobs: JobRecipe {
             family: SpeedupFamily::Mixed,
             work_range: (10.0, 80.0),
@@ -123,20 +237,43 @@ fn build_recipe(kv: &HashMap<String, String>) -> InstanceRecipe {
             space: AllocationSpace::PowersOfTwo,
             heavy_kind_factor: 2.0,
         },
+    })
+}
+
+const ALLOCATOR_CHOICES: &[(&str, AllocatorKind)] = &[
+    ("auto", AllocatorKind::Auto),
+    ("lp", AllocatorKind::LpRounding),
+    ("sp", AllocatorKind::SpFptas),
+    ("independent", AllocatorKind::IndependentOptimal),
+    ("min-time", AllocatorKind::MinTime),
+    ("min-area", AllocatorKind::MinArea),
+    ("min-local-max", AllocatorKind::MinLocalMax),
+];
+
+fn priority_rule(kv: &HashMap<String, String>) -> Result<PriorityRule, String> {
+    match kv.get("priority").map(String::as_str) {
+        None | Some("critical-path") => Ok(PriorityRule::CriticalPath),
+        Some("fifo") => Ok(PriorityRule::Fifo),
+        Some("longest-time") => Ok(PriorityRule::LongestTimeFirst),
+        Some("largest-area") => Ok(PriorityRule::LargestAreaFirst),
+        Some(other) => Err(format!(
+            "invalid value `{other}` for key `priority` (expected one of: critical-path, fifo, \
+             longest-time, largest-area)"
+        )),
     }
 }
 
-fn cmd_generate(kv: &HashMap<String, String>) -> i32 {
-    let seed: u64 = get(kv, "seed", 0);
+fn cmd_generate(kv: &HashMap<String, String>) -> Result<i32, String> {
+    let seed: u64 = get(kv, "seed", 0)?;
     let out = kv
         .get("out")
         .cloned()
         .unwrap_or_else(|| "instance.json".to_string());
-    let recipe = build_recipe(kv);
+    let recipe = build_recipe(kv)?;
     let gi = recipe.generate(seed);
     if let Err(e) = std::fs::write(&out, gi.instance.to_json()) {
         eprintln!("failed to write {out}: {e}");
-        return 1;
+        return Ok(1);
     }
     println!(
         "wrote {} ({} jobs, {} edges, d = {}, class = {})",
@@ -146,10 +283,10 @@ fn cmd_generate(kv: &HashMap<String, String>) -> i32 {
         gi.instance.num_resource_types(),
         gi.instance.graph_class()
     );
-    0
+    Ok(0)
 }
 
-fn cmd_schedule(kv: &HashMap<String, String>) -> i32 {
+fn cmd_schedule(kv: &HashMap<String, String>) -> Result<i32, String> {
     let path = kv
         .get("in")
         .cloned()
@@ -163,28 +300,11 @@ fn cmd_schedule(kv: &HashMap<String, String>) -> i32 {
             // Fall back to a generated instance so the command is usable
             // without a file.
             eprintln!("could not read {path} ({e}); generating a default instance instead");
-            build_recipe(kv).generate(get(kv, "seed", 0)).instance
+            build_recipe(kv)?.generate(get(kv, "seed", 0)?).instance
         }
     };
-    let allocator = match kv.get("allocator").map(String::as_str).unwrap_or("auto") {
-        "lp" => AllocatorKind::LpRounding,
-        "sp" => AllocatorKind::SpFptas,
-        "independent" => AllocatorKind::IndependentOptimal,
-        "min-time" => AllocatorKind::MinTime,
-        "min-area" => AllocatorKind::MinArea,
-        "min-local-max" => AllocatorKind::MinLocalMax,
-        _ => AllocatorKind::Auto,
-    };
-    let priority = match kv
-        .get("priority")
-        .map(String::as_str)
-        .unwrap_or("critical-path")
-    {
-        "fifo" => PriorityRule::Fifo,
-        "longest-time" => PriorityRule::LongestTimeFirst,
-        "largest-area" => PriorityRule::LargestAreaFirst,
-        _ => PriorityRule::CriticalPath,
-    };
+    let allocator = get_choice(kv, "allocator", ALLOCATOR_CHOICES, AllocatorKind::Auto)?;
+    let priority = priority_rule(kv)?;
     let config = MrlsConfig {
         allocator,
         priority,
@@ -194,7 +314,7 @@ fn cmd_schedule(kv: &HashMap<String, String>) -> i32 {
         Ok(r) => r,
         Err(e) => {
             eprintln!("scheduling failed: {e}");
-            return 1;
+            return Ok(1);
         }
     };
     let validation = validate_schedule(&instance, &result.schedule);
@@ -209,19 +329,15 @@ fn cmd_schedule(kv: &HashMap<String, String>) -> i32 {
     println!("measured ratio  : {:.3}", result.measured_ratio());
     println!("guarantee       : {:.3}", result.params.ratio_guarantee);
     println!("valid schedule  : {}", validation.is_valid());
-    if get(kv, "gantt", true) && instance.num_jobs() <= 64 {
+    if get(kv, "gantt", true)? && instance.num_jobs() <= 64 {
         println!("\n{}", ascii_gantt(&instance, &result.schedule, 60));
     }
-    if validation.is_valid() {
-        0
-    } else {
-        1
-    }
+    Ok(if validation.is_valid() { 0 } else { 1 })
 }
 
-fn cmd_compare(kv: &HashMap<String, String>) -> i32 {
-    let seeds: u64 = get(kv, "seeds", 5);
-    let recipe = build_recipe(kv);
+fn cmd_compare(kv: &HashMap<String, String>) -> Result<i32, String> {
+    let seeds: u64 = get(kv, "seeds", 5)?;
+    let recipe = build_recipe(kv)?;
     let mut rows: Vec<(String, Vec<f64>)> = vec![
         ("mrls".into(), vec![]),
         ("rigid-fastest".into(), vec![]),
@@ -236,7 +352,7 @@ fn cmd_compare(kv: &HashMap<String, String>) -> i32 {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("seed {seed}: mrls failed: {e}");
-                return 1;
+                return Ok(1);
             }
         };
         let lb = result.lower_bound.max(1e-12);
@@ -261,7 +377,7 @@ fn cmd_compare(kv: &HashMap<String, String>) -> i32 {
                 Ok(out) => rows[i + 1].1.push(out.schedule.makespan / lb),
                 Err(e) => {
                     eprintln!("seed {seed}: baseline {} failed: {e}", b.name());
-                    return 1;
+                    return Ok(1);
                 }
             }
         }
@@ -274,12 +390,204 @@ fn cmd_compare(kv: &HashMap<String, String>) -> i32 {
         let max = ratios.iter().cloned().fold(0.0f64, f64::max);
         println!("  {name:<16} mean {mean:>6.3}   worst {max:>6.3}");
     }
-    0
+    Ok(0)
 }
 
-fn cmd_theory(kv: &HashMap<String, String>) -> i32 {
-    let dmax: usize = get(kv, "dmax", 10);
-    let epsilon: f64 = get(kv, "epsilon", 0.1);
+fn cmd_simulate(kv: &HashMap<String, String>) -> Result<i32, String> {
+    // Keys that would silently do nothing in the chosen mode are rejected.
+    if kv.contains_key("in") {
+        for k in ["n", "d", "p", "dag", "seed"] {
+            if kv.contains_key(k) {
+                return Err(format!(
+                    "key `{k}` has no effect when `in=` loads an instance file"
+                ));
+            }
+        }
+    }
+    if kv.contains_key("plan") {
+        for k in ["allocator", "priority"] {
+            if kv.contains_key(k) {
+                return Err(format!(
+                    "key `{k}` has no effect when `plan=` loads a planned schedule"
+                ));
+            }
+        }
+    }
+
+    // 1. The instance: an explicit file, or a generated one.
+    let instance = match kv.get("in") {
+        Some(path) => std::fs::read_to_string(path)
+            .map_err(|e| format!("could not read {path}: {e}"))
+            .and_then(|s| {
+                Instance::from_json(&s).map_err(|e| format!("could not parse {path}: {e}"))
+            })?,
+        None => build_recipe(kv)?.generate(get(kv, "seed", 0)?).instance,
+    };
+
+    // 2. The plan: loaded from a previous export, or computed fresh.
+    let planned: Schedule = match kv.get("plan") {
+        Some(path) => std::fs::read_to_string(path)
+            .map_err(|e| format!("could not read {path}: {e}"))
+            .and_then(|s| {
+                Schedule::from_json(&s).map_err(|e| format!("could not parse {path}: {e}"))
+            })?,
+        None => {
+            let config = MrlsConfig {
+                allocator: get_choice(kv, "allocator", ALLOCATOR_CHOICES, AllocatorKind::Auto)?,
+                priority: priority_rule(kv)?,
+                ..MrlsConfig::default()
+            };
+            match MrlsScheduler::new(config).schedule(&instance) {
+                Ok(r) => r.schedule,
+                Err(e) => {
+                    eprintln!("planning failed: {e}");
+                    return Ok(1);
+                }
+            }
+        }
+    };
+    if let Some(path) = kv.get("plan-out") {
+        std::fs::write(path, planned.to_json())
+            .map_err(|e| format!("could not write {path}: {e}"))?;
+        println!("wrote plan to {path}");
+    }
+
+    // 3. Perturbation model.
+    let sigma: f64 = get(kv, "sigma", 0.3)?;
+    let prob: f64 = get(kv, "prob", 0.1)?;
+    let alpha: f64 = get(kv, "alpha", 1.5)?;
+    let cap: f64 = get(kv, "cap", 10.0)?;
+    let slow: f64 = get(kv, "slowdown", 2.0)?;
+    let perturbation = match kv.get("noise").map(String::as_str) {
+        None | Some("mult") => PerturbationModel::Multiplicative { sigma },
+        Some("none") => PerturbationModel::None,
+        Some("heavy") => PerturbationModel::HeavyTail { prob, alpha, cap },
+        Some("slowdown") => PerturbationModel::ResourceSlowdown {
+            factors: (0..instance.num_resource_types())
+                .map(|i| if i == 0 { slow } else { 1.0 })
+                .collect(),
+        },
+        Some(other) => {
+            return Err(format!(
+                "invalid value `{other}` for key `noise` (expected one of: none, mult, heavy, \
+                 slowdown)"
+            ))
+        }
+    };
+
+    // 4. Scenario (arrivals + capacity drops), parameterised by the planned
+    //    horizon.
+    let simseed: u64 = get(kv, "simseed", 0)?;
+    let horizon = planned.makespan.max(1e-9);
+    let mut scenario = Scenario::offline();
+    match kv.get("arrivals").map(String::as_str) {
+        None | Some("none") => {}
+        Some("uniform") => {
+            let frac: f64 = get(kv, "window-frac", 0.5)?;
+            let release = ArrivalRecipe::UniformWindow {
+                horizon: horizon * frac,
+            }
+            .release_times(instance.num_jobs(), &mut rng_from_seed(simseed ^ 0xA881));
+            scenario = scenario.with_release_times(release);
+        }
+        Some("poisson") => {
+            let mean_gap: f64 = get(kv, "mean-gap", horizon / instance.num_jobs().max(1) as f64)?;
+            let release = ArrivalRecipe::PoissonStream { mean_gap }
+                .release_times(instance.num_jobs(), &mut rng_from_seed(simseed ^ 0xA881));
+            scenario = scenario.with_release_times(release);
+        }
+        Some(other) => {
+            return Err(format!(
+                "invalid value `{other}` for key `arrivals` (expected one of: none, uniform, \
+                 poisson)"
+            ))
+        }
+    }
+    let drop_at: f64 = get(kv, "drop-at", 0.33)?;
+    let keep: f64 = get(kv, "keep", 0.5)?;
+    match kv.get("drop").map(String::as_str) {
+        None | Some("none") => {}
+        Some("half") => {
+            let changes = CapacityDropRecipe::SingleDrop {
+                at_frac: drop_at,
+                keep_fraction: keep,
+            }
+            .changes(instance.system.capacities(), horizon);
+            scenario = scenario.with_capacity_changes(changes);
+        }
+        Some("blip") => {
+            let changes = CapacityDropRecipe::Blip {
+                resource: 0,
+                at_frac: drop_at,
+                duration_frac: 0.25,
+                keep_fraction: keep,
+            }
+            .changes(instance.system.capacities(), horizon);
+            scenario = scenario.with_capacity_changes(changes);
+        }
+        Some(other) => {
+            return Err(format!(
+                "invalid value `{other}` for key `drop` (expected one of: none, half, blip)"
+            ))
+        }
+    }
+
+    // 5. Policy + run.
+    let policy_kind = get_choice(
+        kv,
+        "policy",
+        &[
+            ("reactive", PolicyKind::ReactiveList),
+            ("static", PolicyKind::Static),
+            ("full", PolicyKind::FullReschedule),
+        ],
+        PolicyKind::ReactiveList,
+    )?;
+    let sim = Simulator::new(SimConfig {
+        seed: simseed,
+        perturbation,
+        scenario,
+        max_events: None,
+    });
+    let trace = match sim.run(&instance, &planned, policy_kind.build().as_mut()) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("simulation failed: {e}");
+            return Ok(1);
+        }
+    };
+    let report = validate_schedule_with(
+        &instance,
+        &trace.realized,
+        ValidationOptions {
+            check_durations: false,
+        },
+    );
+
+    println!("policy            : {}", trace.policy);
+    println!("noise             : {}", sim.config().perturbation.label());
+    println!("planned makespan  : {:.3}", trace.stats.planned_makespan);
+    println!("realized makespan : {:.3}", trace.stats.realized_makespan);
+    println!("stretch           : {:.3}", trace.stats.stretch);
+    println!(
+        "job slowdown      : mean {:.3} / max {:.3}",
+        trace.stats.mean_slowdown, trace.stats.max_slowdown
+    );
+    println!("events            : {}", trace.events.len());
+    println!("reschedules       : {}", trace.stats.num_reschedules);
+    println!("re-allocated jobs : {}", trace.stats.num_realloc_jobs);
+    println!("feasible          : {}", report.is_valid());
+    if let Some(path) = kv.get("out") {
+        std::fs::write(path, trace.to_json())
+            .map_err(|e| format!("could not write {path}: {e}"))?;
+        println!("wrote trace to {path}");
+    }
+    Ok(if report.is_valid() { 0 } else { 1 })
+}
+
+fn cmd_theory(kv: &HashMap<String, String>) -> Result<i32, String> {
+    let dmax: usize = get(kv, "dmax", 10)?;
+    let epsilon: f64 = get(kv, "epsilon", 0.1)?;
     println!(
         "{:>3} {:>18} {:>19} {:>20} {:>17}",
         "d", "general (Thm 1/2)", "SP/trees (Thm 3/4)", "independent (Thm 5)", "LB local (Thm 6)"
@@ -294,5 +602,5 @@ fn cmd_theory(kv: &HashMap<String, String>) -> i32 {
             theory::theorem6_lower_bound(d)
         );
     }
-    0
+    Ok(0)
 }

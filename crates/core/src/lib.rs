@@ -61,6 +61,7 @@ pub mod bounds;
 pub mod error;
 pub mod list_scheduler;
 pub mod priority;
+pub mod resource_state;
 pub mod schedule;
 pub mod scheduler;
 pub mod theorem6;
@@ -69,6 +70,7 @@ pub mod theory;
 pub use error::CoreError;
 pub use list_scheduler::ListScheduler;
 pub use priority::PriorityRule;
+pub use resource_state::ResourceState;
 pub use schedule::{Schedule, ScheduledJob};
 pub use scheduler::{AllocatorKind, MrlsConfig, MrlsScheduler, ScheduleResult};
 

@@ -10,6 +10,7 @@
 
 use crate::error::CoreError;
 use crate::priority::PriorityRule;
+use crate::resource_state::ResourceState;
 use crate::schedule::{Schedule, ScheduledJob};
 use crate::Result;
 use mrls_model::{Allocation, Instance};
@@ -31,9 +32,10 @@ impl ListScheduler {
         &self.priority
     }
 
-    /// Runs Algorithm 2 on `instance` with the fixed allocation `decision`
-    /// (one allocation per job) and returns the resulting schedule.
-    pub fn schedule(&self, instance: &Instance, decision: &[Allocation]) -> Result<Schedule> {
+    /// Validates `decision` against `instance` and evaluates the execution
+    /// time of every job under it. This is the common entry check for both
+    /// the offline schedule and incremental callers.
+    pub fn evaluate_times(&self, instance: &Instance, decision: &[Allocation]) -> Result<Vec<f64>> {
         let n = instance.num_jobs();
         let d = instance.num_resource_types();
         if decision.len() != n {
@@ -44,13 +46,6 @@ impl ListScheduler {
                 },
             ));
         }
-        if n == 0 {
-            return Ok(Schedule::new(vec![]));
-        }
-
-        // Evaluate execution times once and validate feasibility of every
-        // allocation: a job requesting more than the capacity of any type can
-        // never start and would deadlock the scheduler.
         let mut times = Vec::with_capacity(n);
         for (j, alloc) in decision.iter().enumerate() {
             instance.system.validate_allocation(alloc)?;
@@ -70,23 +65,77 @@ impl ListScheduler {
             }
             times.push(t);
         }
+        Ok(times)
+    }
+
+    /// Computes the per-job priority keys of this scheduler's rule for the
+    /// given allocation decision and execution times (smaller = earlier).
+    pub fn priority_keys(
+        &self,
+        instance: &Instance,
+        decision: &[Allocation],
+        times: &[f64],
+    ) -> Result<Vec<f64>> {
+        let bottom_levels = instance.dag.bottom_levels(times)?;
+        Ok(self
+            .priority
+            .keys(times, decision, &bottom_levels, &instance.system))
+    }
+
+    /// One placement pass of Algorithm 2 over a persistent resource state:
+    /// sorts `ready` by `keys` (ties broken by job index), then starts
+    /// **every** job whose allocation fits the current availability,
+    /// acquiring its resources. Started jobs are removed from `ready` and
+    /// returned in start order.
+    ///
+    /// The offline [`ListScheduler::schedule`] calls this at time zero and at
+    /// every completion event; reactive callers (the `mrls-sim` runtime) call
+    /// it with whatever ready set and availability reality produced.
+    pub fn schedule_ready(
+        &self,
+        ready: &mut Vec<usize>,
+        keys: &[f64],
+        decision: &[Allocation],
+        resources: &mut ResourceState,
+    ) -> Vec<usize> {
+        sort_by_key(ready, keys);
+        let mut started = Vec::new();
+        let mut i = 0;
+        while i < ready.len() {
+            let j = ready[i];
+            if resources.fits(&decision[j]) {
+                resources.acquire(&decision[j]);
+                started.push(j);
+                ready.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        started
+    }
+
+    /// Runs Algorithm 2 on `instance` with the fixed allocation `decision`
+    /// (one allocation per job) and returns the resulting schedule.
+    pub fn schedule(&self, instance: &Instance, decision: &[Allocation]) -> Result<Schedule> {
+        let n = instance.num_jobs();
+        // Evaluate execution times once and validate feasibility of every
+        // allocation: a job requesting more than the capacity of any type can
+        // never start and would deadlock the scheduler.
+        let times = self.evaluate_times(instance, decision)?;
+        if n == 0 {
+            return Ok(Schedule::new(vec![]));
+        }
 
         // Priority keys (smaller = earlier in the queue).
-        let bottom_levels = instance.dag.bottom_levels(&times)?;
-        let keys = self
-            .priority
-            .keys(&times, decision, &bottom_levels, &instance.system);
+        let keys = self.priority_keys(instance, decision, &times)?;
 
         // Event-driven simulation.
-        let mut avail: Vec<f64> = (0..d).map(|i| instance.system.capacity(i) as f64).collect();
+        let mut resources = ResourceState::from_system(&instance.system);
         let mut remaining_preds: Vec<usize> = (0..n).map(|j| instance.dag.in_degree(j)).collect();
         let mut ready: Vec<usize> = (0..n).filter(|&j| remaining_preds[j] == 0).collect();
-        sort_by_key(&mut ready, &keys);
 
         let mut start = vec![f64::NAN; n];
         let mut finish = vec![f64::NAN; n];
-        let mut scheduled = vec![false; n];
-        let mut completed = vec![false; n];
         // Running jobs as (finish_time, job), managed as a simple vector; the
         // instance sizes the evaluation uses (up to a few thousand jobs) do
         // not warrant a binary heap.
@@ -96,22 +145,10 @@ impl ListScheduler {
 
         loop {
             // Start every ready job that fits, in priority order.
-            let mut i = 0;
-            while i < ready.len() {
-                let j = ready[i];
-                let fits = (0..d).all(|r| decision[j][r] as f64 <= avail[r] + 1e-9);
-                if fits {
-                    for r in 0..d {
-                        avail[r] -= decision[j][r] as f64;
-                    }
-                    start[j] = now;
-                    finish[j] = now + times[j];
-                    scheduled[j] = true;
-                    running.push((finish[j], j));
-                    ready.remove(i);
-                } else {
-                    i += 1;
-                }
+            for j in self.schedule_ready(&mut ready, &keys, decision, &mut resources) {
+                start[j] = now;
+                finish[j] = now + times[j];
+                running.push((finish[j], j));
             }
 
             if num_completed == n {
@@ -142,11 +179,8 @@ impl ListScheduler {
                 let (f, j) = running[k];
                 if f <= now + 1e-9 {
                     running.swap_remove(k);
-                    completed[j] = true;
                     num_completed += 1;
-                    for r in 0..d {
-                        avail[r] += decision[j][r] as f64;
-                    }
+                    resources.release(&decision[j]);
                     for &succ in instance.dag.successors(j) {
                         remaining_preds[succ] -= 1;
                         if remaining_preds[succ] == 0 {
@@ -158,7 +192,6 @@ impl ListScheduler {
                 }
             }
             ready.extend(newly_ready);
-            sort_by_key(&mut ready, &keys);
         }
 
         let jobs = (0..n)
@@ -310,6 +343,37 @@ mod tests {
             .schedule(&inst, &[])
             .unwrap();
         assert_eq!(sched.makespan, 0.0);
+    }
+
+    #[test]
+    fn incremental_schedule_ready_matches_offline_pass() {
+        // Same scenario as `greedy_backfilling_starts_any_fitting_job`, but
+        // driven through the incremental entry point over a persistent
+        // resource state.
+        let inst = rigid_instance(3, 4, Dag::independent(3), &[2.0, 1.0, 1.0], &[3, 4, 1]);
+        let decision = alloc1(&[3, 4, 1]);
+        let sched = ListScheduler::new(PriorityRule::Fifo);
+        let times = sched.evaluate_times(&inst, &decision).unwrap();
+        let keys = sched.priority_keys(&inst, &decision, &times).unwrap();
+        let mut resources = ResourceState::from_system(&inst.system);
+        let mut ready = vec![0, 1, 2];
+        // At time 0: job 0 (3/4) starts, job 1 (4/4) does not fit, job 2
+        // (1/4) backfills.
+        let started = sched.schedule_ready(&mut ready, &keys, &decision, &mut resources);
+        assert_eq!(started, vec![0, 2]);
+        assert_eq!(ready, vec![1]);
+        // Nothing more fits until a completion releases resources.
+        assert!(sched
+            .schedule_ready(&mut ready, &keys, &decision, &mut resources)
+            .is_empty());
+        resources.release(&decision[2]);
+        assert!(sched
+            .schedule_ready(&mut ready, &keys, &decision, &mut resources)
+            .is_empty());
+        resources.release(&decision[0]);
+        let started = sched.schedule_ready(&mut ready, &keys, &decision, &mut resources);
+        assert_eq!(started, vec![1]);
+        assert!(ready.is_empty());
     }
 
     #[test]

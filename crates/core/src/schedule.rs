@@ -66,6 +66,11 @@ impl Schedule {
 
     /// The jobs running during the open interval `(t1, t2)` (assumed to lie
     /// strictly between two consecutive event times).
+    ///
+    /// The query evaluates occupancy at the interval midpoint, so a boundary
+    /// query with `t1 == t2` asks "who is running at this instant" under the
+    /// half-open convention `[start, finish)`, and zero-duration jobs are
+    /// never reported as running.
     pub fn running_during(&self, t1: f64, t2: f64) -> Vec<usize> {
         let mid = 0.5 * (t1 + t2);
         self.jobs
@@ -73,6 +78,17 @@ impl Schedule {
             .filter(|j| j.start <= mid && mid < j.finish)
             .map(|j| j.job)
             .collect()
+    }
+
+    /// Serialises the schedule to pretty JSON, so plans and realized traces
+    /// can be exported for external tooling and re-loaded by `mrls simulate`.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("schedules are always serialisable")
+    }
+
+    /// Parses a schedule from JSON.
+    pub fn from_json(s: &str) -> std::result::Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
     }
 }
 
@@ -147,5 +163,84 @@ mod tests {
         let json = serde_json::to_string(&s).unwrap();
         let back: Schedule = serde_json::from_str(&json).unwrap();
         assert_eq!(s, back);
+    }
+
+    #[test]
+    fn json_helper_roundtrip_preserves_schedule() {
+        let s = sample();
+        let back = Schedule::from_json(&s.to_json()).unwrap();
+        assert_eq!(s, back);
+        assert!((back.makespan - s.makespan).abs() < 1e-12);
+        assert!(Schedule::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn duplicate_event_times_are_deduplicated() {
+        // Three jobs sharing start time 0 and two sharing finish time 2, plus
+        // a start exactly at another job's finish: each boundary appears once.
+        let s = Schedule::new(vec![
+            ScheduledJob {
+                job: 0,
+                start: 0.0,
+                finish: 2.0,
+                alloc: Allocation::new(vec![1]),
+            },
+            ScheduledJob {
+                job: 1,
+                start: 0.0,
+                finish: 2.0,
+                alloc: Allocation::new(vec![1]),
+            },
+            ScheduledJob {
+                job: 2,
+                start: 2.0,
+                finish: 4.0,
+                alloc: Allocation::new(vec![1]),
+            },
+        ]);
+        assert_eq!(s.event_times(), vec![0.0, 2.0, 4.0]);
+        let mut r = s.running_during(0.0, 2.0);
+        r.sort_unstable();
+        assert_eq!(r, vec![0, 1]);
+    }
+
+    #[test]
+    fn zero_duration_jobs_make_one_event_and_never_run() {
+        let s = Schedule::new(vec![
+            ScheduledJob {
+                job: 0,
+                start: 0.0,
+                finish: 2.0,
+                alloc: Allocation::new(vec![1]),
+            },
+            ScheduledJob {
+                job: 1,
+                start: 1.0,
+                finish: 1.0, // zero duration
+                alloc: Allocation::new(vec![1]),
+            },
+        ]);
+        // The zero-duration job contributes a single (deduplicated) event.
+        assert_eq!(s.event_times(), vec![0.0, 1.0, 2.0]);
+        // Under the half-open [start, finish) convention it never occupies an
+        // interval, on either side of its instant.
+        assert_eq!(s.running_during(0.0, 1.0), vec![0]);
+        assert_eq!(s.running_during(1.0, 2.0), vec![0]);
+        assert_eq!(s.running_during(1.0, 1.0), vec![0]);
+        assert!((s.makespan - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_point_queries_use_half_open_intervals() {
+        let s = sample();
+        // t1 == t2 at a boundary: job 0 finishes at 2.0 exactly as jobs 1 and
+        // 2 start, so the instant 2.0 belongs to the starters only.
+        let mut r = s.running_during(2.0, 2.0);
+        r.sort_unstable();
+        assert_eq!(r, vec![1, 2]);
+        // The instant a job finishes it is no longer running.
+        assert_eq!(s.running_during(5.0, 5.0), Vec::<usize>::new());
+        // The instant it starts it is.
+        assert_eq!(s.running_during(0.0, 0.0), vec![0]);
     }
 }

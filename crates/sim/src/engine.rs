@@ -1,0 +1,512 @@
+//! The deterministic discrete-event execution engine.
+//!
+//! [`Simulator::run`] executes a planned [`Schedule`] in virtual time on the
+//! instance's machine, under a [`Scenario`] (online arrivals, capacity
+//! changes) and a [`PerturbationModel`] (stochastic execution times). The
+//! engine owns the world state and enforces the hard invariants — precedence,
+//! release times, resource capacity — while a [`Policy`](crate::Policy)
+//! decides *which* ready jobs start, with which allocations, whenever the
+//! world changes.
+//!
+//! Everything is deterministic: events are processed in `(time, kind, id)`
+//! order, random draws are consumed in event order from a `ChaCha8` stream,
+//! and two runs with the same seed produce byte-identical traces.
+
+use crate::perturb::{PerturbationModel, Perturber};
+use crate::policy::Policy;
+use crate::scenario::Scenario;
+use crate::trace::{RealizedTrace, StressStats, TraceEvent};
+use mrls_core::{CoreError, ResourceState, Schedule, ScheduledJob};
+use mrls_model::{Allocation, Instance};
+
+/// Errors produced by the simulation engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// Error bubbled up from the scheduling core.
+    Core(CoreError),
+    /// The planned schedule does not match the instance.
+    InvalidPlan(String),
+    /// The scenario does not match the instance.
+    InvalidScenario(String),
+    /// A policy asked the engine to do something infeasible.
+    PolicyViolation {
+        /// The offending policy.
+        policy: String,
+        /// The job involved.
+        job: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// The system went idle with unfinished jobs and no future events — a
+    /// ready job can never fit (e.g. the capacity it needs was dropped and
+    /// the policy cannot re-allocate).
+    Stalled {
+        /// Virtual time of the stall.
+        time: f64,
+        /// The jobs that were ready but could not start.
+        ready: Vec<usize>,
+    },
+    /// The run exceeded the configured event budget.
+    EventLimitExceeded {
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Core(e) => write!(f, "core error: {e}"),
+            SimError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
+            SimError::InvalidScenario(msg) => write!(f, "invalid scenario: {msg}"),
+            SimError::PolicyViolation {
+                policy,
+                job,
+                reason,
+            } => write!(
+                f,
+                "policy {policy} violated an invariant on job {job}: {reason}"
+            ),
+            SimError::Stalled { time, ready } => write!(
+                f,
+                "simulation stalled at t={time:.3} with ready jobs {ready:?} that can never start"
+            ),
+            SimError::EventLimitExceeded { limit } => {
+                write!(f, "simulation exceeded the event budget of {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<CoreError> for SimError {
+    fn from(e: CoreError) -> Self {
+        SimError::Core(e)
+    }
+}
+
+/// A job currently executing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunningJob {
+    /// Job index.
+    pub job: usize,
+    /// When it started.
+    pub start: f64,
+    /// When it will finish (realized).
+    pub finish: f64,
+    /// Its nominal execution time under the allocation it runs with.
+    pub nominal: f64,
+    /// The allocation it holds.
+    pub alloc: Allocation,
+}
+
+/// The world state the engine maintains and policies observe.
+#[derive(Debug, Clone)]
+pub struct SimState<'a> {
+    /// The instance being executed.
+    pub instance: &'a Instance,
+    /// The offline plan the run started from.
+    pub plan: &'a Schedule,
+    /// Current virtual time.
+    pub now: f64,
+    /// Current per-type capacities (after any capacity changes).
+    pub capacities: Vec<u64>,
+    /// Current availability (capacities minus held resources).
+    pub resources: ResourceState,
+    /// Jobs that are released, have all predecessors completed, and have not
+    /// started, sorted by job index.
+    pub ready: Vec<usize>,
+    /// Per-job released flag.
+    pub released: Vec<bool>,
+    /// Per-job started flag (running or completed).
+    pub started: Vec<bool>,
+    /// Per-job completed flag.
+    pub completed: Vec<bool>,
+    /// Jobs currently executing.
+    pub running: Vec<RunningJob>,
+    /// Per-job count of not-yet-completed predecessors.
+    pub remaining_preds: Vec<usize>,
+}
+
+impl SimState<'_> {
+    /// `true` iff job `j` is in the ready set.
+    pub fn is_ready(&self, j: usize) -> bool {
+        self.ready.binary_search(&j).is_ok()
+    }
+}
+
+/// Configuration of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Seed of the perturbation stream.
+    pub seed: u64,
+    /// How realized execution times deviate from nominal ones.
+    pub perturbation: PerturbationModel,
+    /// Online arrivals and capacity changes.
+    pub scenario: Scenario,
+    /// Event budget; `None` = `1000 + 200 * n`.
+    pub max_events: Option<usize>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0,
+            perturbation: PerturbationModel::None,
+            scenario: Scenario::offline(),
+            max_events: None,
+        }
+    }
+}
+
+/// The discrete-event execution engine.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    config: SimConfig,
+}
+
+/// Event-time grouping tolerance, matching the offline list scheduler.
+const EPS: f64 = 1e-9;
+
+impl Simulator {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: SimConfig) -> Self {
+        Simulator { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Executes `plan` on `instance` under `policy`, returning the realized
+    /// trace.
+    pub fn run(
+        &self,
+        instance: &Instance,
+        plan: &Schedule,
+        policy: &mut dyn Policy,
+    ) -> Result<RealizedTrace, SimError> {
+        let n = instance.num_jobs();
+        // Normalise the plan so entry `j` describes job `j` — externally
+        // loaded plans may list jobs in any order, but policies index the
+        // plan's allocation/start vectors by job id.
+        let plan = &normalize_plan(instance, plan)?;
+        let plan_allocs = plan.allocations();
+        self.config
+            .scenario
+            .validate(instance)
+            .map_err(SimError::InvalidScenario)?;
+        let scenario = &self.config.scenario;
+        let max_events = self.config.max_events.unwrap_or(1000 + 200 * n);
+        let mut perturber = Perturber::new(self.config.perturbation.clone(), self.config.seed);
+
+        // World state.
+        let released: Vec<bool> = (0..n).map(|j| scenario.release_time(j) <= 0.0).collect();
+        let remaining_preds: Vec<usize> = (0..n).map(|j| instance.dag.in_degree(j)).collect();
+        let ready: Vec<usize> = (0..n)
+            .filter(|&j| released[j] && remaining_preds[j] == 0)
+            .collect();
+        let mut state = SimState {
+            instance,
+            plan,
+            now: 0.0,
+            capacities: instance.system.capacities().to_vec(),
+            resources: ResourceState::from_system(&instance.system),
+            ready,
+            released,
+            started: vec![false; n],
+            completed: vec![false; n],
+            running: Vec::new(),
+            remaining_preds,
+        };
+
+        // Future scenario events, each sorted ascending and consumed front to
+        // back via an index.
+        let mut arrivals: Vec<(f64, usize)> = (0..n)
+            .map(|j| (scenario.release_time(j), j))
+            .filter(|&(t, _)| t > 0.0)
+            .collect();
+        arrivals.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut next_arrival = 0usize;
+        let mut cap_changes = scenario.capacity_changes.clone();
+        cap_changes.sort_by(|a, b| a.time.total_cmp(&b.time).then(a.resource.cmp(&b.resource)));
+        let mut next_cap = 0usize;
+
+        // Per-job realized record.
+        let mut start = vec![f64::NAN; n];
+        let mut finish = vec![f64::NAN; n];
+        let mut nominal = vec![f64::NAN; n];
+        let mut alloc_used: Vec<Allocation> = plan_allocs.clone();
+        let mut num_completed = 0usize;
+        let mut events: Vec<TraceEvent> = Vec::new();
+        let mut event_budget = 0usize;
+
+        policy.on_start(&state)?;
+
+        loop {
+            // Decision point: let the policy start jobs until it passes.
+            loop {
+                let starts = policy.select_starts(&state);
+                if starts.is_empty() {
+                    break;
+                }
+                for (j, alloc) in starts {
+                    self.apply_start(
+                        &mut state,
+                        policy.label(),
+                        j,
+                        alloc,
+                        &mut perturber,
+                        &mut start,
+                        &mut finish,
+                        &mut nominal,
+                        &mut alloc_used,
+                        &mut events,
+                    )?;
+                }
+            }
+
+            if num_completed == n {
+                break;
+            }
+
+            // Advance to the next event.
+            let mut t_next = f64::INFINITY;
+            for r in &state.running {
+                t_next = t_next.min(r.finish);
+            }
+            if next_arrival < arrivals.len() {
+                t_next = t_next.min(arrivals[next_arrival].0);
+            }
+            if next_cap < cap_changes.len() {
+                t_next = t_next.min(cap_changes[next_cap].time);
+            }
+            if !t_next.is_finite() {
+                return Err(SimError::Stalled {
+                    time: state.now,
+                    ready: state.ready.clone(),
+                });
+            }
+            event_budget += 1;
+            if event_budget > max_events {
+                return Err(SimError::EventLimitExceeded { limit: max_events });
+            }
+            state.now = t_next;
+
+            // Apply every event at this instant, in a fixed order:
+            // completions (freeing resources and successors), then arrivals,
+            // then capacity changes.
+            let mut batch: Vec<TraceEvent> = Vec::new();
+
+            let mut done: Vec<RunningJob> = Vec::new();
+            state.running.retain(|r| {
+                if r.finish <= state.now + EPS {
+                    done.push(r.clone());
+                    false
+                } else {
+                    true
+                }
+            });
+            done.sort_by_key(|r| r.job);
+            for r in done {
+                state.completed[r.job] = true;
+                num_completed += 1;
+                state.resources.release(&r.alloc);
+                for &succ in instance.dag.successors(r.job) {
+                    state.remaining_preds[succ] -= 1;
+                    if state.remaining_preds[succ] == 0 && state.released[succ] {
+                        state.ready.push(succ);
+                    }
+                }
+                batch.push(TraceEvent::JobCompleted {
+                    time: state.now,
+                    job: r.job,
+                    nominal: r.nominal,
+                    realized: r.finish - r.start,
+                });
+            }
+
+            while next_arrival < arrivals.len() && arrivals[next_arrival].0 <= state.now + EPS {
+                let (_, j) = arrivals[next_arrival];
+                next_arrival += 1;
+                state.released[j] = true;
+                if state.remaining_preds[j] == 0 && !state.started[j] {
+                    state.ready.push(j);
+                }
+                batch.push(TraceEvent::JobReleased {
+                    time: state.now,
+                    job: j,
+                });
+            }
+
+            while next_cap < cap_changes.len() && cap_changes[next_cap].time <= state.now + EPS {
+                let change = cap_changes[next_cap].clone();
+                next_cap += 1;
+                let delta = change.capacity as f64 - state.capacities[change.resource] as f64;
+                state.capacities[change.resource] = change.capacity;
+                state.resources.shift_capacity(change.resource, delta);
+                batch.push(TraceEvent::CapacityChanged {
+                    time: state.now,
+                    resource: change.resource,
+                    capacity: change.capacity,
+                });
+            }
+
+            state.ready.sort_unstable();
+            events.extend(batch.iter().cloned());
+            let policy_events = policy.on_events(&state, &batch)?;
+            events.extend(policy_events);
+        }
+
+        // Assemble the realized schedule and the stress statistics.
+        let jobs: Vec<ScheduledJob> = (0..n)
+            .map(|j| ScheduledJob {
+                job: j,
+                start: start[j],
+                finish: finish[j],
+                alloc: alloc_used[j].clone(),
+            })
+            .collect();
+        let realized = Schedule::new(jobs);
+        let slowdowns: Vec<f64> = (0..n)
+            .map(|j| (finish[j] - start[j]) / nominal[j])
+            .collect();
+        let num_reschedules = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Rescheduled { .. }))
+            .count();
+        let num_realloc_jobs = (0..n).filter(|&j| alloc_used[j] != plan_allocs[j]).count();
+        let stats = StressStats {
+            planned_makespan: plan.makespan,
+            realized_makespan: realized.makespan,
+            stretch: if plan.makespan > 0.0 {
+                realized.makespan / plan.makespan
+            } else {
+                1.0
+            },
+            mean_slowdown: if n > 0 {
+                slowdowns.iter().sum::<f64>() / n as f64
+            } else {
+                1.0
+            },
+            max_slowdown: if n > 0 {
+                slowdowns.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            } else {
+                1.0
+            },
+            num_reschedules,
+            num_realloc_jobs,
+        };
+        Ok(RealizedTrace {
+            policy: policy.label().to_string(),
+            seed: self.config.seed,
+            events,
+            realized,
+            stats,
+        })
+    }
+
+    /// Validates and applies one policy-selected start.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_start(
+        &self,
+        state: &mut SimState<'_>,
+        policy_label: &str,
+        j: usize,
+        alloc: Allocation,
+        perturber: &mut Perturber,
+        start: &mut [f64],
+        finish: &mut [f64],
+        nominal: &mut [f64],
+        alloc_used: &mut [Allocation],
+        events: &mut Vec<TraceEvent>,
+    ) -> Result<(), SimError> {
+        let violation = |reason: String| SimError::PolicyViolation {
+            policy: policy_label.to_string(),
+            job: j,
+            reason,
+        };
+        let pos = state
+            .ready
+            .binary_search(&j)
+            .map_err(|_| violation("job is not ready".to_string()))?;
+        state
+            .instance
+            .system
+            .validate_allocation(&alloc)
+            .map_err(|e| violation(e.to_string()))?;
+        if !state.resources.fits(&alloc) {
+            return Err(violation(format!(
+                "allocation {alloc} does not fit the current availability"
+            )));
+        }
+        let t_nom = state.instance.jobs[j].spec.time(&alloc);
+        if !t_nom.is_finite() || t_nom <= 0.0 {
+            return Err(violation(format!(
+                "allocation {alloc} has invalid execution time {t_nom}"
+            )));
+        }
+        let t_real = perturber.realize(&alloc, t_nom);
+        state.ready.remove(pos);
+        state.started[j] = true;
+        state.resources.acquire(&alloc);
+        start[j] = state.now;
+        finish[j] = state.now + t_real;
+        nominal[j] = t_nom;
+        alloc_used[j] = alloc.clone();
+        state.running.push(RunningJob {
+            job: j,
+            start: state.now,
+            finish: state.now + t_real,
+            nominal: t_nom,
+            alloc: alloc.clone(),
+        });
+        events.push(TraceEvent::JobStarted {
+            time: state.now,
+            job: j,
+            alloc,
+            nominal: t_nom,
+        });
+        Ok(())
+    }
+}
+
+/// Checks that `plan` covers every job of `instance` exactly once with a
+/// well-formed allocation, and returns it with entry `j` describing job `j`
+/// (externally loaded plans may list jobs in any order).
+fn normalize_plan(instance: &Instance, plan: &Schedule) -> Result<Schedule, SimError> {
+    let n = instance.num_jobs();
+    if plan.jobs.len() != n {
+        return Err(SimError::InvalidPlan(format!(
+            "plan has {} entries for an instance of {n} jobs",
+            plan.jobs.len()
+        )));
+    }
+    let mut jobs: Vec<Option<ScheduledJob>> = vec![None; n];
+    for sj in &plan.jobs {
+        if sj.job >= n {
+            return Err(SimError::InvalidPlan(format!(
+                "plan references job {} outside the instance",
+                sj.job
+            )));
+        }
+        if jobs[sj.job].is_some() {
+            return Err(SimError::InvalidPlan(format!(
+                "plan schedules job {} twice",
+                sj.job
+            )));
+        }
+        instance
+            .system
+            .validate_allocation(&sj.alloc)
+            .map_err(|e| SimError::InvalidPlan(format!("job {}: {e}", sj.job)))?;
+        jobs[sj.job] = Some(sj.clone());
+    }
+    Ok(Schedule::new(
+        jobs.into_iter()
+            .map(|sj| sj.expect("every job present exactly once"))
+            .collect(),
+    ))
+}

@@ -1,0 +1,246 @@
+//! Stochastic execution-time perturbation models.
+//!
+//! The paper plans schedules from *exact* execution times (Assumption 2). In
+//! practice realized times deviate: background load adds multiplicative
+//! noise, a small fraction of jobs straggle badly, and a degraded resource
+//! slows every job that touches it. [`PerturbationModel`] describes those
+//! deviations declaratively and [`Perturber`] samples them deterministically
+//! from a `ChaCha8` stream, so a simulation is reproducible bit-for-bit from
+//! its seed.
+
+use mrls_model::Allocation;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// How realized execution times deviate from the nominal model `t_j(p_j)`.
+///
+/// Every model produces a multiplicative factor applied to the nominal time;
+/// factors are clamped so realized times stay positive and finite.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PerturbationModel {
+    /// No deviation: realized time equals nominal time.
+    None,
+    /// Log-normal multiplicative noise: the factor is `exp(sigma * Z)` with
+    /// `Z` standard normal, so `sigma = 0` is noise-free and the median
+    /// factor is always 1.
+    Multiplicative {
+        /// Noise intensity (standard deviation of the log-factor).
+        sigma: f64,
+    },
+    /// Heavy-tail stragglers: with probability `prob` a job's factor is drawn
+    /// from a Pareto tail `(1-U)^(-1/alpha)` (shape `alpha`, capped at
+    /// `cap`); otherwise the job runs at nominal speed.
+    HeavyTail {
+        /// Probability that a job straggles.
+        prob: f64,
+        /// Pareto tail shape; smaller = heavier tail.
+        alpha: f64,
+        /// Upper bound on the straggler factor.
+        cap: f64,
+    },
+    /// Deterministic per-resource slowdown: resource type `i` runs at
+    /// `1/factors[i]` of its nominal speed, and a job is slowed by the worst
+    /// factor among the types it actually uses (missing entries default
+    /// to 1).
+    ResourceSlowdown {
+        /// Per-type slowdown factors (`>= 1` means slower).
+        factors: Vec<f64>,
+    },
+    /// Apply several models in sequence (factors multiply).
+    Compose(Vec<PerturbationModel>),
+}
+
+impl PerturbationModel {
+    /// Short label for experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PerturbationModel::None => "none",
+            PerturbationModel::Multiplicative { .. } => "multiplicative",
+            PerturbationModel::HeavyTail { .. } => "heavy-tail",
+            PerturbationModel::ResourceSlowdown { .. } => "resource-slowdown",
+            PerturbationModel::Compose(_) => "compose",
+        }
+    }
+
+    /// `true` iff the model never changes any execution time.
+    pub fn is_noise_free(&self) -> bool {
+        match self {
+            PerturbationModel::None => true,
+            PerturbationModel::Multiplicative { sigma } => *sigma == 0.0,
+            PerturbationModel::HeavyTail { prob, .. } => *prob == 0.0,
+            PerturbationModel::ResourceSlowdown { factors } => {
+                factors.iter().all(|&f| (f - 1.0).abs() < 1e-12)
+            }
+            PerturbationModel::Compose(models) => models.iter().all(|m| m.is_noise_free()),
+        }
+    }
+}
+
+/// Samples perturbation factors deterministically from a seeded stream.
+#[derive(Debug, Clone)]
+pub struct Perturber {
+    model: PerturbationModel,
+    rng: ChaCha8Rng,
+}
+
+/// Realized times are clamped to `[MIN_FACTOR, MAX_FACTOR] * nominal`.
+const MIN_FACTOR: f64 = 1e-6;
+const MAX_FACTOR: f64 = 1e6;
+
+impl Perturber {
+    /// Creates a perturber for `model` seeded with `seed`.
+    pub fn new(model: PerturbationModel, seed: u64) -> Self {
+        Perturber {
+            model,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// The model in use.
+    pub fn model(&self) -> &PerturbationModel {
+        &self.model
+    }
+
+    /// Draws the realized execution time for one job start. Draws are
+    /// consumed in event order, so a fixed seed and event sequence yields a
+    /// fixed realization.
+    pub fn realize(&mut self, alloc: &Allocation, nominal: f64) -> f64 {
+        let factor = Self::factor(&mut self.rng, &self.model, alloc).clamp(MIN_FACTOR, MAX_FACTOR);
+        nominal * factor
+    }
+
+    fn factor(rng: &mut ChaCha8Rng, model: &PerturbationModel, alloc: &Allocation) -> f64 {
+        match model {
+            PerturbationModel::None => 1.0,
+            PerturbationModel::Multiplicative { sigma } => {
+                // Box–Muller on two uniform draws; `1 - u` keeps the log away
+                // from -inf.
+                let u1: f64 = 1.0 - rng.gen::<f64>();
+                let u2: f64 = rng.gen();
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                (sigma * z).exp()
+            }
+            PerturbationModel::HeavyTail { prob, alpha, cap } => {
+                // Always consume both draws so the stream position does not
+                // depend on whether this job straggled.
+                let hit = rng.gen::<f64>() < *prob;
+                let u: f64 = rng.gen();
+                if hit {
+                    let pareto = (1.0 - u)
+                        .max(f64::MIN_POSITIVE)
+                        .powf(-1.0 / alpha.max(0.05));
+                    pareto.min(cap.max(1.0))
+                } else {
+                    1.0
+                }
+            }
+            PerturbationModel::ResourceSlowdown { factors } => (0..alloc.dim())
+                .filter(|&i| alloc[i] > 0)
+                .map(|i| factors.get(i).copied().unwrap_or(1.0))
+                .fold(1.0, f64::max),
+            PerturbationModel::Compose(models) => {
+                let mut f = 1.0;
+                for m in models {
+                    f *= Self::factor(rng, m, alloc);
+                }
+                f
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alloc() -> Allocation {
+        Allocation::new(vec![2, 0])
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let mut p = Perturber::new(PerturbationModel::None, 0);
+        assert_eq!(p.realize(&alloc(), 3.5), 3.5);
+        assert!(PerturbationModel::None.is_noise_free());
+    }
+
+    #[test]
+    fn multiplicative_zero_sigma_is_identity() {
+        let model = PerturbationModel::Multiplicative { sigma: 0.0 };
+        assert!(model.is_noise_free());
+        let mut p = Perturber::new(model, 1);
+        for _ in 0..10 {
+            assert!((p.realize(&alloc(), 2.0) - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn multiplicative_noise_is_seeded_and_centred() {
+        let model = PerturbationModel::Multiplicative { sigma: 0.3 };
+        let mut a = Perturber::new(model.clone(), 42);
+        let mut b = Perturber::new(model.clone(), 42);
+        let mut c = Perturber::new(model, 43);
+        let xs: Vec<f64> = (0..200).map(|_| a.realize(&alloc(), 1.0)).collect();
+        let ys: Vec<f64> = (0..200).map(|_| b.realize(&alloc(), 1.0)).collect();
+        let zs: Vec<f64> = (0..200).map(|_| c.realize(&alloc(), 1.0)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+        // The median log-factor is ~0: roughly half the draws land below 1.
+        let below = xs.iter().filter(|&&x| x < 1.0).count();
+        assert!((40..=160).contains(&below), "below = {below}");
+        assert!(xs.iter().all(|&x| x > 0.0 && x.is_finite()));
+    }
+
+    #[test]
+    fn heavy_tail_stragglers_are_rare_and_bounded() {
+        let model = PerturbationModel::HeavyTail {
+            prob: 0.1,
+            alpha: 1.5,
+            cap: 20.0,
+        };
+        let mut p = Perturber::new(model, 7);
+        let xs: Vec<f64> = (0..500).map(|_| p.realize(&alloc(), 1.0)).collect();
+        let stragglers = xs.iter().filter(|&&x| x > 1.0).count();
+        assert!(stragglers > 10 && stragglers < 150, "{stragglers}");
+        assert!(xs.iter().all(|&x| (1.0..=20.0).contains(&x)));
+    }
+
+    #[test]
+    fn resource_slowdown_only_hits_used_types() {
+        let model = PerturbationModel::ResourceSlowdown {
+            factors: vec![1.0, 2.5],
+        };
+        let mut p = Perturber::new(model, 0);
+        // Job uses only type 0: unaffected.
+        assert!((p.realize(&Allocation::new(vec![2, 0]), 4.0) - 4.0).abs() < 1e-12);
+        // Job uses type 1: slowed by 2.5.
+        assert!((p.realize(&Allocation::new(vec![1, 1]), 4.0) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compose_multiplies_factors() {
+        let model = PerturbationModel::Compose(vec![
+            PerturbationModel::ResourceSlowdown { factors: vec![2.0] },
+            PerturbationModel::ResourceSlowdown { factors: vec![3.0] },
+        ]);
+        let mut p = Perturber::new(model.clone(), 0);
+        assert!((p.realize(&Allocation::new(vec![1]), 1.0) - 6.0).abs() < 1e-12);
+        assert!(!model.is_noise_free());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let model = PerturbationModel::Compose(vec![
+            PerturbationModel::Multiplicative { sigma: 0.2 },
+            PerturbationModel::HeavyTail {
+                prob: 0.05,
+                alpha: 1.1,
+                cap: 10.0,
+            },
+        ]);
+        let json = serde_json::to_string(&model).unwrap();
+        let back: PerturbationModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(model, back);
+    }
+}

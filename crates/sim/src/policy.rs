@@ -1,0 +1,346 @@
+//! Scheduling policies: how a run reacts (or not) when reality diverges from
+//! the plan.
+//!
+//! The engine enforces the invariants; a [`Policy`] only decides *which*
+//! ready jobs start and with which allocations. Three reference policies
+//! cover the reaction spectrum:
+//!
+//! * [`StaticPolicy`] — replay the plan order verbatim; no backfilling, no
+//!   re-allocation. Jobs slide when their predecessors run long.
+//! * [`ReactiveListPolicy`] — re-run Phase 2's placement pass (the shared
+//!   [`ListScheduler::schedule_ready`] routine) over the actual ready set at
+//!   every event, reusing the Phase-1 allocations.
+//! * [`FullReschedulePolicy`] — on perturbation events (arrivals, capacity
+//!   changes, stragglers) re-invoke the complete two-phase [`MrlsScheduler`]
+//!   on the pending jobs and adopt its new allocations and priorities.
+
+use crate::engine::{SimError, SimState};
+use crate::trace::TraceEvent;
+use mrls_core::{ListScheduler, MrlsConfig, MrlsScheduler, PriorityRule};
+use mrls_model::{Allocation, Instance, MoldableJob, SystemConfig};
+use serde::{Deserialize, Serialize};
+
+/// A scheduling policy driven by the engine at every decision point.
+pub trait Policy {
+    /// Short label for traces and experiment tables.
+    fn label(&self) -> &'static str;
+
+    /// Called once before the run with the initial state.
+    fn on_start(&mut self, state: &SimState<'_>) -> Result<(), SimError>;
+
+    /// Called after every batch of world events (completions, arrivals,
+    /// capacity changes). May return policy events (e.g.
+    /// [`TraceEvent::Rescheduled`]) to append to the trace.
+    fn on_events(
+        &mut self,
+        state: &SimState<'_>,
+        batch: &[TraceEvent],
+    ) -> Result<Vec<TraceEvent>, SimError>;
+
+    /// Picks the jobs to start right now, in order, with their allocations.
+    /// Every returned job must be ready and every allocation must fit the
+    /// availability left by the starts before it; the engine verifies this
+    /// and aborts the run otherwise. Returning an empty vector ends the
+    /// decision point.
+    fn select_starts(&mut self, state: &SimState<'_>) -> Vec<(usize, Allocation)>;
+}
+
+/// Which reference policy to run (serialisable configuration handle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// Replay the plan; jobs slide.
+    Static,
+    /// Re-run the list phase over the ready set at every event.
+    ReactiveList,
+    /// Re-invoke the two-phase scheduler on perturbation events.
+    FullReschedule,
+}
+
+impl PolicyKind {
+    /// All reference policies, in sweep order.
+    pub fn all() -> [PolicyKind; 3] {
+        [
+            PolicyKind::Static,
+            PolicyKind::ReactiveList,
+            PolicyKind::FullReschedule,
+        ]
+    }
+
+    /// Short label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PolicyKind::Static => "static",
+            PolicyKind::ReactiveList => "reactive-list",
+            PolicyKind::FullReschedule => "full-reschedule",
+        }
+    }
+
+    /// Builds the policy with its default configuration.
+    pub fn build(&self) -> Box<dyn Policy> {
+        match self {
+            PolicyKind::Static => Box::new(StaticPolicy::new()),
+            PolicyKind::ReactiveList => {
+                Box::new(ReactiveListPolicy::new(PriorityRule::CriticalPath))
+            }
+            PolicyKind::FullReschedule => {
+                Box::new(FullReschedulePolicy::new(MrlsConfig::default(), 1.5))
+            }
+        }
+    }
+}
+
+/// Replays the plan: jobs start in planned-start order, without reordering or
+/// backfilling. When a predecessor runs long, everything behind it slides.
+#[derive(Debug, Clone, Default)]
+pub struct StaticPolicy {
+    order: Vec<usize>,
+    cursor: usize,
+    decision: Vec<Allocation>,
+}
+
+impl StaticPolicy {
+    /// Creates the policy; the plan is read from the state at `on_start`.
+    pub fn new() -> Self {
+        StaticPolicy::default()
+    }
+}
+
+impl Policy for StaticPolicy {
+    fn label(&self) -> &'static str {
+        "static"
+    }
+
+    fn on_start(&mut self, state: &SimState<'_>) -> Result<(), SimError> {
+        let mut order: Vec<usize> = state.plan.jobs.iter().map(|sj| sj.job).collect();
+        let starts = state.plan.start_times();
+        order.sort_by(|&a, &b| starts[a].total_cmp(&starts[b]).then(a.cmp(&b)));
+        self.order = order;
+        self.cursor = 0;
+        self.decision = state.plan.allocations();
+        Ok(())
+    }
+
+    fn on_events(
+        &mut self,
+        _state: &SimState<'_>,
+        _batch: &[TraceEvent],
+    ) -> Result<Vec<TraceEvent>, SimError> {
+        Ok(vec![])
+    }
+
+    fn select_starts(&mut self, state: &SimState<'_>) -> Vec<(usize, Allocation)> {
+        let mut starts = Vec::new();
+        let mut resources = state.resources.clone();
+        while self.cursor < self.order.len() {
+            let j = self.order[self.cursor];
+            if state.started[j] {
+                self.cursor += 1;
+                continue;
+            }
+            if state.is_ready(j) && resources.fits(&self.decision[j]) {
+                resources.acquire(&self.decision[j]);
+                starts.push((j, self.decision[j].clone()));
+                self.cursor += 1;
+            } else {
+                // Strict plan order: the head of the queue blocks everything
+                // behind it.
+                break;
+            }
+        }
+        starts
+    }
+}
+
+/// Re-runs the list phase (the shared placement routine of Algorithm 2) over
+/// the actual ready set at every event, reusing the Phase-1 allocations.
+#[derive(Debug, Clone)]
+pub struct ReactiveListPolicy {
+    scheduler: ListScheduler,
+    decision: Vec<Allocation>,
+    keys: Vec<f64>,
+}
+
+impl ReactiveListPolicy {
+    /// Creates the policy with the given ready-queue priority rule.
+    pub fn new(priority: PriorityRule) -> Self {
+        ReactiveListPolicy {
+            scheduler: ListScheduler::new(priority),
+            decision: Vec::new(),
+            keys: Vec::new(),
+        }
+    }
+}
+
+impl Policy for ReactiveListPolicy {
+    fn label(&self) -> &'static str {
+        "reactive-list"
+    }
+
+    fn on_start(&mut self, state: &SimState<'_>) -> Result<(), SimError> {
+        self.decision = state.plan.allocations();
+        let times = self
+            .scheduler
+            .evaluate_times(state.instance, &self.decision)?;
+        self.keys = self
+            .scheduler
+            .priority_keys(state.instance, &self.decision, &times)?;
+        Ok(())
+    }
+
+    fn on_events(
+        &mut self,
+        _state: &SimState<'_>,
+        _batch: &[TraceEvent],
+    ) -> Result<Vec<TraceEvent>, SimError> {
+        Ok(vec![])
+    }
+
+    fn select_starts(&mut self, state: &SimState<'_>) -> Vec<(usize, Allocation)> {
+        let mut ready = state.ready.clone();
+        let mut resources = state.resources.clone();
+        self.scheduler
+            .schedule_ready(&mut ready, &self.keys, &self.decision, &mut resources)
+            .into_iter()
+            .map(|j| (j, self.decision[j].clone()))
+            .collect()
+    }
+}
+
+/// Re-invokes the complete two-phase scheduler on the pending jobs whenever a
+/// perturbation event fires (an online arrival, a capacity change, or a
+/// straggler whose realized time exceeded `straggler_threshold ×` nominal),
+/// adopting the new allocations and the new plan's start order as priorities.
+/// Between reschedules it behaves like [`ReactiveListPolicy`].
+#[derive(Debug, Clone)]
+pub struct FullReschedulePolicy {
+    config: MrlsConfig,
+    straggler_threshold: f64,
+    scheduler: ListScheduler,
+    decision: Vec<Allocation>,
+    keys: Vec<f64>,
+}
+
+impl FullReschedulePolicy {
+    /// Creates the policy. `config` drives the re-invoked scheduler;
+    /// `straggler_threshold` is the realized/nominal factor above which a
+    /// completion triggers a reschedule.
+    pub fn new(config: MrlsConfig, straggler_threshold: f64) -> Self {
+        let priority = config.priority.clone();
+        FullReschedulePolicy {
+            config,
+            straggler_threshold: straggler_threshold.max(1.0),
+            scheduler: ListScheduler::new(priority),
+            decision: Vec::new(),
+            keys: Vec::new(),
+        }
+    }
+
+    /// The reschedule trigger in `batch`, if any.
+    fn trigger(&self, batch: &[TraceEvent]) -> Option<&'static str> {
+        let mut straggler = false;
+        for e in batch {
+            match e {
+                TraceEvent::CapacityChanged { .. } => return Some("capacity-change"),
+                TraceEvent::JobReleased { .. } => return Some("arrival"),
+                TraceEvent::JobCompleted {
+                    nominal, realized, ..
+                } => {
+                    straggler |= *realized > self.straggler_threshold * *nominal;
+                }
+                _ => {}
+            }
+        }
+        straggler.then_some("straggler")
+    }
+
+    /// Recomputes allocations and priorities for every pending (unstarted)
+    /// job by scheduling the induced sub-instance from scratch.
+    fn reschedule(&mut self, state: &SimState<'_>) -> Result<usize, SimError> {
+        let n = state.instance.num_jobs();
+        let pending: Vec<usize> = (0..n).filter(|&j| !state.started[j]).collect();
+        if pending.is_empty() {
+            return Ok(0);
+        }
+        let (sub_dag, mapping) = state.instance.dag.induced_subgraph(&pending);
+        let sub_jobs: Vec<MoldableJob> = mapping
+            .iter()
+            .map(|&old| state.instance.jobs[old].clone())
+            .collect();
+        // Plan against the machine as it is now (post-drop capacities); the
+        // scenario guarantees capacities stay >= 1.
+        let system = SystemConfig::new(state.capacities.clone())
+            .map_err(|e| SimError::InvalidScenario(e.to_string()))?;
+        let sub_instance = Instance::new(system, sub_dag, sub_jobs)
+            .map_err(|e| SimError::InvalidScenario(e.to_string()))?;
+        match MrlsScheduler::new(self.config.clone()).schedule(&sub_instance) {
+            Ok(result) => {
+                // Adopt the new allocations; use the new plan's start times
+                // as priorities (pending jobs only ever compete with each
+                // other, so keys of started jobs are irrelevant).
+                for sj in &result.schedule.jobs {
+                    let old = mapping[sj.job];
+                    self.decision[old] = sj.alloc.clone();
+                    self.keys[old] = sj.start;
+                }
+            }
+            Err(_) => {
+                // Fallback: keep the current allocations but clamp them to
+                // the degraded capacities so pending jobs stay startable.
+                for &old in &pending {
+                    let alloc = &self.decision[old];
+                    let clamped: Vec<u64> = (0..alloc.dim())
+                        .map(|i| {
+                            if alloc[i] == 0 {
+                                0
+                            } else {
+                                alloc[i].min(state.capacities[i]).max(1)
+                            }
+                        })
+                        .collect();
+                    self.decision[old] = Allocation::new(clamped);
+                }
+            }
+        }
+        Ok(pending.len())
+    }
+}
+
+impl Policy for FullReschedulePolicy {
+    fn label(&self) -> &'static str {
+        "full-reschedule"
+    }
+
+    fn on_start(&mut self, state: &SimState<'_>) -> Result<(), SimError> {
+        self.decision = state.plan.allocations();
+        // Replay priorities: the planned start times (ties broken by job
+        // index inside the placement routine).
+        self.keys = state.plan.start_times();
+        Ok(())
+    }
+
+    fn on_events(
+        &mut self,
+        state: &SimState<'_>,
+        batch: &[TraceEvent],
+    ) -> Result<Vec<TraceEvent>, SimError> {
+        let Some(trigger) = self.trigger(batch) else {
+            return Ok(vec![]);
+        };
+        let jobs = self.reschedule(state)?;
+        Ok(vec![TraceEvent::Rescheduled {
+            time: state.now,
+            trigger: trigger.to_string(),
+            jobs,
+        }])
+    }
+
+    fn select_starts(&mut self, state: &SimState<'_>) -> Vec<(usize, Allocation)> {
+        let mut ready = state.ready.clone();
+        let mut resources = state.resources.clone();
+        self.scheduler
+            .schedule_ready(&mut ready, &self.keys, &self.decision, &mut resources)
+            .into_iter()
+            .map(|j| (j, self.decision[j].clone()))
+            .collect()
+    }
+}

@@ -1,0 +1,158 @@
+//! Runtime scenarios: online job arrivals and resource-capacity changes.
+
+use mrls_model::Instance;
+use serde::{Deserialize, Serialize};
+
+/// A timed change of one resource type's capacity (absolute new value).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapacityChange {
+    /// Virtual time at which the change takes effect.
+    pub time: f64,
+    /// Affected resource type.
+    pub resource: usize,
+    /// The new capacity (a drop if below the current value, a recovery if
+    /// above).
+    pub capacity: u64,
+}
+
+/// Everything that happens *to* the system during a run, independent of the
+/// scheduling policy: when jobs become known and how the machine degrades.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Per-job release times; an empty vector means every job is available at
+    /// time zero (the offline setting).
+    pub release_times: Vec<f64>,
+    /// Capacity changes, applied in time order.
+    pub capacity_changes: Vec<CapacityChange>,
+}
+
+impl Scenario {
+    /// The offline scenario: all jobs at time zero, machine never changes.
+    pub fn offline() -> Self {
+        Scenario::default()
+    }
+
+    /// Sets per-job release times (e.g. from
+    /// `mrls_workload::ArrivalRecipe::release_times`).
+    pub fn with_release_times(mut self, release_times: Vec<f64>) -> Self {
+        self.release_times = release_times;
+        self
+    }
+
+    /// Adds capacity changes from `(time, resource, new_capacity)` triples
+    /// (e.g. from `mrls_workload::CapacityDropRecipe::changes`).
+    pub fn with_capacity_changes(mut self, changes: Vec<(f64, usize, u64)>) -> Self {
+        self.capacity_changes = changes
+            .into_iter()
+            .map(|(time, resource, capacity)| CapacityChange {
+                time,
+                resource,
+                capacity,
+            })
+            .collect();
+        self
+    }
+
+    /// The release time of job `j` (zero when no arrival pattern is set).
+    pub fn release_time(&self, j: usize) -> f64 {
+        self.release_times.get(j).copied().unwrap_or(0.0).max(0.0)
+    }
+
+    /// `true` iff the scenario contains no online events at all.
+    pub fn is_offline(&self) -> bool {
+        self.capacity_changes.is_empty() && self.release_times.iter().all(|&t| t <= 0.0)
+    }
+
+    /// Checks the scenario against an instance: release-time vector length
+    /// and capacity-change resource indices.
+    pub fn validate(&self, instance: &Instance) -> Result<(), String> {
+        if !self.release_times.is_empty() && self.release_times.len() != instance.num_jobs() {
+            return Err(format!(
+                "scenario has {} release times for {} jobs",
+                self.release_times.len(),
+                instance.num_jobs()
+            ));
+        }
+        if let Some(t) = self
+            .release_times
+            .iter()
+            .find(|t| !t.is_finite() || **t < 0.0)
+        {
+            return Err(format!("invalid release time {t}"));
+        }
+        for c in &self.capacity_changes {
+            if c.resource >= instance.num_resource_types() {
+                return Err(format!(
+                    "capacity change targets resource {} but the system has {} types",
+                    c.resource,
+                    instance.num_resource_types()
+                ));
+            }
+            if !c.time.is_finite() || c.time < 0.0 {
+                return Err(format!("invalid capacity change time {}", c.time));
+            }
+            if c.capacity == 0 {
+                return Err(format!(
+                    "capacity change would zero resource {} (capacities must stay >= 1)",
+                    c.resource
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrls_dag::Dag;
+    use mrls_model::{ExecTimeSpec, MoldableJob, SystemConfig};
+
+    fn instance(n: usize) -> Instance {
+        let jobs = (0..n)
+            .map(|j| MoldableJob::new(j, ExecTimeSpec::Constant { time: 1.0 }))
+            .collect();
+        Instance::new(
+            SystemConfig::new(vec![4, 4]).unwrap(),
+            Dag::independent(n),
+            jobs,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn offline_scenario_is_offline() {
+        let s = Scenario::offline();
+        assert!(s.is_offline());
+        assert_eq!(s.release_time(3), 0.0);
+        assert!(s.validate(&instance(2)).is_ok());
+    }
+
+    #[test]
+    fn builders_and_validation() {
+        let s = Scenario::offline()
+            .with_release_times(vec![0.0, 2.0])
+            .with_capacity_changes(vec![(1.0, 0, 2)]);
+        assert!(!s.is_offline());
+        assert_eq!(s.release_time(1), 2.0);
+        assert!(s.validate(&instance(2)).is_ok());
+        // Wrong release-time length.
+        assert!(s.validate(&instance(3)).is_err());
+        // Bad resource index.
+        let bad = Scenario::offline().with_capacity_changes(vec![(1.0, 7, 2)]);
+        assert!(bad.validate(&instance(2)).is_err());
+        // Zero capacity is rejected.
+        let zero = Scenario::offline().with_capacity_changes(vec![(1.0, 0, 0)]);
+        assert!(zero.validate(&instance(2)).is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = Scenario::offline()
+            .with_release_times(vec![0.0, 1.5])
+            .with_capacity_changes(vec![(2.0, 1, 3)]);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

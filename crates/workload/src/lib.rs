@@ -15,6 +15,9 @@
 //! * **Full instances** ([`instance_gen`]): a declarative [`InstanceRecipe`]
 //!   (serialisable, seedable) that combines a system, a DAG recipe and a job
 //!   recipe into an [`mrls_model::Instance`].
+//! * **Runtime scenarios** ([`scenario_gen`]): online-arrival patterns
+//!   (release times) and resource-capacity drop schedules consumed by the
+//!   `mrls-sim` execution runtime.
 //!
 //! Everything is deterministic given a `u64` seed (ChaCha8 PRNG), so every
 //! experiment in `mrls-bench` can be reproduced bit-for-bit.
@@ -25,10 +28,12 @@
 pub mod dag_gen;
 pub mod instance_gen;
 pub mod job_gen;
+pub mod scenario_gen;
 
 pub use dag_gen::DagRecipe;
 pub use instance_gen::{InstanceRecipe, SystemRecipe};
 pub use job_gen::{JobRecipe, SpeedupFamily};
+pub use scenario_gen::{ArrivalRecipe, CapacityDropRecipe};
 
 /// Constructs the crate-standard PRNG from a seed.
 pub fn rng_from_seed(seed: u64) -> rand_chacha::ChaCha8Rng {

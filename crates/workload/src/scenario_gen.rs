@@ -1,0 +1,227 @@
+//! Runtime-scenario generators: online job arrivals and resource-capacity
+//! drops.
+//!
+//! The offline algorithm assumes every job is known at time zero and the
+//! machine never changes. The `mrls-sim` execution runtime relaxes both
+//! assumptions; this module generates the *patterns* it replays — per-job
+//! release times and timed capacity changes — as plain data (`Vec<f64>` and
+//! `(time, resource, new_capacity)` triples) so that the simulation crate can
+//! consume them without `mrls-workload` depending on it.
+//!
+//! Everything is deterministic given the caller's PRNG, like the DAG and job
+//! generators.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// When jobs become known to the scheduler (release times).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalRecipe {
+    /// The offline setting: every job is available at time zero.
+    AllAtZero,
+    /// Every job's release time is drawn uniformly from `[0, horizon)`.
+    UniformWindow {
+        /// Upper bound of the release window.
+        horizon: f64,
+    },
+    /// Jobs arrive as a stream in index order with i.i.d. exponential gaps
+    /// (a Poisson process over the job sequence).
+    PoissonStream {
+        /// Mean gap between consecutive arrivals.
+        mean_gap: f64,
+    },
+    /// Jobs arrive in bursts: batches of `batch` consecutive jobs share one
+    /// release time, batches are `gap` apart.
+    Batched {
+        /// Jobs per batch.
+        batch: usize,
+        /// Time between batches.
+        gap: f64,
+    },
+}
+
+impl ArrivalRecipe {
+    /// Draws one release time per job.
+    pub fn release_times<R: Rng>(&self, n: usize, rng: &mut R) -> Vec<f64> {
+        match self {
+            ArrivalRecipe::AllAtZero => vec![0.0; n],
+            ArrivalRecipe::UniformWindow { horizon } => {
+                let h = horizon.max(0.0);
+                (0..n)
+                    .map(|_| if h > 0.0 { rng.gen_range(0.0..h) } else { 0.0 })
+                    .collect()
+            }
+            ArrivalRecipe::PoissonStream { mean_gap } => {
+                let mut t = 0.0;
+                (0..n)
+                    .map(|_| {
+                        let u: f64 = rng.gen();
+                        t += -mean_gap.max(0.0) * (1.0 - u).max(f64::MIN_POSITIVE).ln();
+                        t
+                    })
+                    .collect()
+            }
+            ArrivalRecipe::Batched { batch, gap } => {
+                let b = (*batch).max(1);
+                (0..n).map(|j| (j / b) as f64 * gap.max(0.0)).collect()
+            }
+        }
+    }
+
+    /// Short label for experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArrivalRecipe::AllAtZero => "all-at-zero",
+            ArrivalRecipe::UniformWindow { .. } => "uniform-window",
+            ArrivalRecipe::PoissonStream { .. } => "poisson-stream",
+            ArrivalRecipe::Batched { .. } => "batched",
+        }
+    }
+}
+
+/// Timed machine degradation: capacity drops (and optional recovery).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CapacityDropRecipe {
+    /// The machine never changes.
+    None,
+    /// At `at_frac * horizon`, every resource type permanently drops to
+    /// `ceil(keep_fraction * P(i))` (at least 1 unit).
+    SingleDrop {
+        /// When the drop happens, as a fraction of the planned horizon.
+        at_frac: f64,
+        /// Fraction of each capacity that survives the drop.
+        keep_fraction: f64,
+    },
+    /// One resource type drops to `ceil(keep_fraction * P(i))` at
+    /// `at_frac * horizon` and recovers `duration_frac * horizon` later.
+    Blip {
+        /// Affected resource type.
+        resource: usize,
+        /// When the drop happens, as a fraction of the planned horizon.
+        at_frac: f64,
+        /// How long it lasts, as a fraction of the planned horizon.
+        duration_frac: f64,
+        /// Fraction of the capacity that survives during the blip.
+        keep_fraction: f64,
+    },
+}
+
+impl CapacityDropRecipe {
+    /// Materialises the recipe as `(time, resource, new_capacity)` triples,
+    /// sorted by time, for a machine with `capacities` and a planned makespan
+    /// of `horizon`.
+    pub fn changes(&self, capacities: &[u64], horizon: f64) -> Vec<(f64, usize, u64)> {
+        let dropped = |cap: u64, keep: f64| ((cap as f64 * keep).ceil() as u64).clamp(1, cap);
+        match self {
+            CapacityDropRecipe::None => vec![],
+            CapacityDropRecipe::SingleDrop {
+                at_frac,
+                keep_fraction,
+            } => {
+                let t = at_frac.max(0.0) * horizon;
+                capacities
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &c)| (t, i, dropped(c, *keep_fraction)))
+                    .collect()
+            }
+            CapacityDropRecipe::Blip {
+                resource,
+                at_frac,
+                duration_frac,
+                keep_fraction,
+            } => {
+                if *resource >= capacities.len() {
+                    return vec![];
+                }
+                let c = capacities[*resource];
+                let t0 = at_frac.max(0.0) * horizon;
+                let t1 = t0 + duration_frac.max(0.0) * horizon;
+                vec![
+                    (t0, *resource, dropped(c, *keep_fraction)),
+                    (t1, *resource, c),
+                ]
+            }
+        }
+    }
+
+    /// Short label for experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CapacityDropRecipe::None => "stable",
+            CapacityDropRecipe::SingleDrop { .. } => "single-drop",
+            CapacityDropRecipe::Blip { .. } => "blip",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng_from_seed;
+
+    #[test]
+    fn all_at_zero_is_the_offline_setting() {
+        let mut rng = rng_from_seed(0);
+        assert_eq!(
+            ArrivalRecipe::AllAtZero.release_times(3, &mut rng),
+            vec![0.0; 3]
+        );
+    }
+
+    #[test]
+    fn uniform_window_stays_in_range_and_is_deterministic() {
+        let recipe = ArrivalRecipe::UniformWindow { horizon: 10.0 };
+        let a = recipe.release_times(50, &mut rng_from_seed(7));
+        let b = recipe.release_times(50, &mut rng_from_seed(7));
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&t| (0.0..10.0).contains(&t)));
+        let c = recipe.release_times(50, &mut rng_from_seed(8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn poisson_stream_is_nondecreasing() {
+        let recipe = ArrivalRecipe::PoissonStream { mean_gap: 2.0 };
+        let times = recipe.release_times(40, &mut rng_from_seed(3));
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        assert!(times[0] > 0.0);
+    }
+
+    #[test]
+    fn batched_arrivals_group_jobs() {
+        let recipe = ArrivalRecipe::Batched { batch: 3, gap: 5.0 };
+        let times = recipe.release_times(7, &mut rng_from_seed(0));
+        assert_eq!(times, vec![0.0, 0.0, 0.0, 5.0, 5.0, 5.0, 10.0]);
+    }
+
+    #[test]
+    fn single_drop_hits_every_type_and_keeps_at_least_one_unit() {
+        let recipe = CapacityDropRecipe::SingleDrop {
+            at_frac: 0.5,
+            keep_fraction: 0.4,
+        };
+        let changes = recipe.changes(&[10, 1], 100.0);
+        assert_eq!(changes, vec![(50.0, 0, 4), (50.0, 1, 1)]);
+    }
+
+    #[test]
+    fn blip_drops_then_restores() {
+        let recipe = CapacityDropRecipe::Blip {
+            resource: 1,
+            at_frac: 0.25,
+            duration_frac: 0.25,
+            keep_fraction: 0.5,
+        };
+        let changes = recipe.changes(&[8, 8], 40.0);
+        assert_eq!(changes, vec![(10.0, 1, 4), (20.0, 1, 8)]);
+        // Out-of-range resource indices yield no events rather than panicking.
+        let oob = CapacityDropRecipe::Blip {
+            resource: 9,
+            at_frac: 0.25,
+            duration_frac: 0.25,
+            keep_fraction: 0.5,
+        };
+        assert!(oob.changes(&[8, 8], 40.0).is_empty());
+    }
+}

@@ -17,6 +17,7 @@
 //! | [`core`] | `mrls-core` | the two-phase scheduling algorithm, allocators, list scheduler, theory |
 //! | [`baseline`] | `mrls-baseline` | rigid / sequential / Sun-et-al. baselines |
 //! | [`analysis`] | `mrls-analysis` | schedule validation, interval analysis, Gantt, statistics |
+//! | [`sim`] | `mrls-sim` | discrete-event execution runtime: stochastic perturbations, online arrivals, reactive rescheduling |
 //!
 //! The most common entry points are re-exported at the top level.
 //!
@@ -55,6 +56,8 @@ pub use mrls_dag as dag;
 pub use mrls_lp as lp;
 /// The moldable multi-resource job model (`mrls-model`).
 pub use mrls_model as model;
+/// The discrete-event execution runtime (`mrls-sim`).
+pub use mrls_sim as sim;
 /// Workload generators (`mrls-workload`).
 pub use mrls_workload as workload;
 
