@@ -1,0 +1,143 @@
+//! **Serving benchmark** — submission throughput and time-to-first-placement
+//! of the `mrls-serve` online scheduling service across batching windows.
+//!
+//! For each batch-window setting an in-process server is started on an
+//! ephemeral loopback port and a client replays `jobs` singleton
+//! submissions as fast as the request/response protocol allows. Reported per
+//! window:
+//!
+//! * `submit_per_s` — admissions per wall-clock second,
+//! * `ttfp_ms` — wall-clock time from the first submission until a
+//!   `QueryStatus` poll first observes a placed job (the latency cost of
+//!   batching),
+//! * `rounds` — how many scheduling rounds the stream coalesced into.
+//!
+//! Arguments (`key=value`, all optional): `jobs=120 windows-ms=0,10,50`.
+//! CI-sized smoke: `jobs=20 windows-ms=0,25`.
+//!
+//! Results go to `results/serve_throughput.csv`.
+
+use mrls_analysis::export::{fmt3, ResultTable};
+use mrls_bench::emit;
+use mrls_serve::{Client, ServeConfig, Server};
+use mrls_sim::PolicyKind;
+use mrls_workload::InstanceRecipe;
+use std::time::{Duration, Instant};
+
+const ARG_KEYS: &[&str] = &["jobs", "windows-ms"];
+
+/// Strict `key=value` lookup (same contract as the `mrls` CLI): unknown
+/// keys, malformed tokens and unparsable values exit with code 2.
+fn args() -> (usize, Vec<u64>) {
+    let mut jobs = 120usize;
+    let mut windows = vec![0u64, 10, 50];
+    for a in std::env::args().skip(1) {
+        let Some((k, v)) = a.split_once('=') else {
+            eprintln!("malformed argument `{a}` (expected key=value)");
+            std::process::exit(2);
+        };
+        if !ARG_KEYS.contains(&k) {
+            eprintln!(
+                "unknown key `{k}` (expected one of: {})",
+                ARG_KEYS.join(", ")
+            );
+            std::process::exit(2);
+        }
+        match k {
+            "jobs" => jobs = v.parse().unwrap_or_else(|_| invalid(k, v)),
+            _ => {
+                windows = v
+                    .split(',')
+                    .map(|w| w.parse().unwrap_or_else(|_| invalid(k, v)))
+                    .collect();
+            }
+        }
+    }
+    (jobs.max(1), windows)
+}
+
+fn invalid(k: &str, v: &str) -> ! {
+    eprintln!("invalid value `{v}` for `{k}`");
+    std::process::exit(2);
+}
+
+fn main() {
+    let (jobs, windows) = args();
+    // A pool of singleton moldable jobs drawn from the standard mixed recipe.
+    let pool = InstanceRecipe::default_layered(jobs, 2, 8)
+        .generate(7)
+        .instance;
+
+    let mut table = ResultTable::new(&[
+        "window_ms",
+        "jobs",
+        "rounds",
+        "submit_per_s",
+        "ttfp_ms",
+        "virtual_makespan",
+    ]);
+
+    for &window_ms in &windows {
+        let handle = Server::spawn(
+            ServeConfig {
+                capacities: vec![8, 8],
+                policy: PolicyKind::ReactiveList,
+                batch_window: Duration::from_millis(window_ms),
+                ..ServeConfig::default()
+            },
+            "127.0.0.1:0",
+        )
+        .expect("bind loopback");
+        let mut client = Client::connect(handle.addr(), "bench").expect("connect");
+
+        // First submission, then poll until the service placed it: the
+        // window is the dominant term of time-to-first-placement.
+        let t0 = Instant::now();
+        client
+            .submit_job(pool.jobs[0].clone(), vec![])
+            .expect("submit");
+        let ttfp = loop {
+            let status = client.status().expect("status");
+            if status.jobs_scheduled >= 1 {
+                break t0.elapsed();
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        };
+
+        // Then the bulk of the stream, flat out.
+        let bulk = Instant::now();
+        for job in pool.jobs.iter().skip(1).cloned() {
+            client.submit_job(job, vec![]).expect("submit");
+        }
+        let elapsed = bulk.elapsed().as_secs_f64().max(1e-9);
+        let submit_per_s = (jobs.saturating_sub(1)) as f64 / elapsed;
+
+        let report = client.drain().expect("drain");
+        assert_eq!(
+            report.completed, jobs as u64,
+            "window {window_ms}ms: {} of {jobs} jobs completed",
+            report.completed
+        );
+        assert!(report.feasible, "window {window_ms}ms: infeasible trace");
+        client.shutdown().expect("shutdown");
+        handle.join();
+
+        println!(
+            "window {window_ms:>3}ms  {jobs:>4} jobs  rounds {:>4}  {submit_per_s:>9.0} submit/s  \
+             ttfp {:>7.2}ms  makespan {:.2}",
+            report.metrics.rounds,
+            ttfp.as_secs_f64() * 1e3,
+            report.virtual_makespan
+        );
+        table.push_row(vec![
+            window_ms.to_string(),
+            jobs.to_string(),
+            report.metrics.rounds.to_string(),
+            fmt3(submit_per_s),
+            fmt3(ttfp.as_secs_f64() * 1e3),
+            fmt3(report.virtual_makespan),
+        ]);
+    }
+
+    emit("serve_throughput", &table);
+}

@@ -88,9 +88,9 @@ fn main() {
         "mean_reschedules",
     ]);
 
-    // Mean stretch per (workload, policy) over the *noisy* sigmas, for the
-    // reaction-pays-off check.
-    let mut noisy_means: Vec<(String, PolicyKind, f64)> = Vec::new();
+    // Mean stretch per (workload, sigma, policy) over the *noisy* sigmas,
+    // for the reaction-pays-off checks.
+    let mut noisy_means: Vec<(String, PolicyKind, f64, f64)> = Vec::new();
 
     for (wl, recipe) in &workloads {
         for &sigma in SIGMAS {
@@ -161,7 +161,7 @@ fn main() {
                     fmt3(rs.mean),
                 ]);
                 if sigma > 0.0 {
-                    noisy_means.push(((*wl).to_string(), kind, s.mean));
+                    noisy_means.push(((*wl).to_string(), kind, sigma, s.mean));
                 }
             }
         }
@@ -175,16 +175,16 @@ fn main() {
     // benched scale; reduced smoke configurations only report it.
     let mut ok = true;
     for (wl, _) in &workloads {
-        let mean_of = |kind: PolicyKind| {
+        let mean_of = |kind: PolicyKind, sigma_min: f64| {
             let xs: Vec<f64> = noisy_means
                 .iter()
-                .filter(|(w, k, _)| w == wl && *k == kind)
-                .map(|&(_, _, m)| m)
+                .filter(|(w, k, s, _)| w == wl && *k == kind && *s >= sigma_min)
+                .map(|&(_, _, _, m)| m)
                 .collect();
             xs.iter().sum::<f64>() / xs.len().max(1) as f64
         };
-        let stat = mean_of(PolicyKind::Static);
-        let reactive = mean_of(PolicyKind::ReactiveList);
+        let stat = mean_of(PolicyKind::Static, 0.0);
+        let reactive = mean_of(PolicyKind::ReactiveList, 0.0);
         let verdict = reactive <= stat + 1e-9;
         println!(
             "[{wl}] mean noisy stretch: static {stat:.3} vs reactive-list {reactive:.3} -> \
@@ -192,9 +192,22 @@ fn main() {
             if verdict { "<=" } else { ">" }
         );
         ok &= verdict;
+
+        // The debounced full rescheduler must no longer thrash under pure
+        // noise at high sigma (it used to lose to static replay there).
+        let sigma_hi = SIGMAS.iter().cloned().fold(0.0f64, f64::max);
+        let stat_hi = mean_of(PolicyKind::Static, sigma_hi);
+        let full_hi = mean_of(PolicyKind::FullReschedule, sigma_hi);
+        let verdict_full = full_hi <= stat_hi + 1e-9;
+        println!(
+            "[{wl}] mean stretch at sigma {sigma_hi}: static {stat_hi:.4} vs full-reschedule \
+             {full_hi:.4} -> full {} static",
+            if verdict_full { "<=" } else { ">" }
+        );
+        ok &= verdict_full;
     }
     if seeds.len() >= 5 && n >= 24 && !ok {
-        eprintln!("FAIL: reactive-list lost to static replay on a benched workload");
+        eprintln!("FAIL: a reacting policy lost to static replay on a benched workload");
         std::process::exit(1);
     }
 }

@@ -25,6 +25,19 @@
 //!     Execute the planned schedule in virtual time under stochastic
 //!     perturbations / online events and report planned-vs-realized stress.
 //!
+//! mrls serve     [addr=127.0.0.1] [port=7163] [d=3] [p=16] [policy=full|reactive|static]
+//!                [batch-window=0.02] [tick=1.0] [max-pending=4096] [seed=0]
+//!                [noise=none|mult] [sigma=0.3]
+//!     Run the online scheduling service: clients stream jobs/DAGs over
+//!     line-delimited JSON on TCP; batches are planned with the two-phase
+//!     scheduler and executed in virtual time.
+//!
+//! mrls client    [addr=127.0.0.1] [port=7163] [tenant=cli] [n=20] [d=3] [p=16] [dag=layered]
+//!                [seed=0] [arrivals=none|uniform|poisson] [horizon=...] [mean-gap=0.5]
+//!                [pace=0] [mode=jobs|dag] [drain=true] [shutdown=false] [out=FILE]
+//!     Generate a workload and replay it against a running server; with
+//!     drain=true waits for completion and verifies every job finished.
+//!
 //! mrls theory    [dmax=10] [epsilon=0.1]
 //!     Print the Table 1 approximation ratios for d = 1..dmax.
 //! ```
@@ -40,6 +53,7 @@ use mrls_baseline::{BaselineScheduler, RigidListScheduler, RigidRule, Sequential
 use mrls_core::scheduler::{AllocatorKind, MrlsConfig, MrlsScheduler};
 use mrls_core::{theory, PriorityRule, Schedule};
 use mrls_model::{AllocationSpace, Instance};
+use mrls_serve::{Client, ServeConfig, Server};
 use mrls_sim::{PerturbationModel, PolicyKind, Scenario, SimConfig, Simulator};
 use mrls_workload::{
     rng_from_seed, ArrivalRecipe, CapacityDropRecipe, DagRecipe, InstanceRecipe, JobRecipe,
@@ -94,6 +108,31 @@ fn main() {
             ],
         )
         .and_then(|kv| cmd_simulate(&kv)),
+        "serve" => parse_kv(
+            &args[1..],
+            &[
+                "addr",
+                "port",
+                "d",
+                "p",
+                "policy",
+                "batch-window",
+                "tick",
+                "max-pending",
+                "seed",
+                "noise",
+                "sigma",
+            ],
+        )
+        .and_then(|kv| cmd_serve(&kv)),
+        "client" => parse_kv(
+            &args[1..],
+            &[
+                "addr", "port", "tenant", "n", "d", "p", "dag", "seed", "arrivals", "horizon",
+                "mean-gap", "pace", "mode", "drain", "shutdown", "out",
+            ],
+        )
+        .and_then(|kv| cmd_client(&kv)),
         "theory" => parse_kv(&args[1..], &["dmax", "epsilon"]).and_then(|kv| cmd_theory(&kv)),
         "help" | "--help" | "-h" => {
             print_usage();
@@ -121,6 +160,8 @@ fn print_usage() {
          \u{20}  mrls compare  [n=40] [d=3] [p=16] [dag=layered] [seeds=5]\n\
          \u{20}  mrls simulate [in=FILE|n=40 d=3 p=16 dag=layered seed=0] [policy=reactive] [noise=mult]\n\
          \u{20}                [sigma=0.3] [arrivals=none] [drop=none] [simseed=0] [out=trace.json]\n\
+         \u{20}  mrls serve    [addr=127.0.0.1] [port=7163] [d=3] [p=16] [policy=full] [batch-window=0.02]\n\
+         \u{20}  mrls client   [addr=127.0.0.1] [port=7163] [tenant=cli] [n=20] [arrivals=none] [drain=true]\n\
          \u{20}  mrls theory   [dmax=10] [epsilon=0.1]"
     );
 }
@@ -583,6 +624,182 @@ fn cmd_simulate(kv: &HashMap<String, String>) -> Result<i32, String> {
         println!("wrote trace to {path}");
     }
     Ok(if report.is_valid() { 0 } else { 1 })
+}
+
+fn cmd_serve(kv: &HashMap<String, String>) -> Result<i32, String> {
+    let addr: String = get(kv, "addr", "127.0.0.1".to_string())?;
+    let port: u16 = get(kv, "port", 7163)?;
+    let d: usize = get(kv, "d", 3)?;
+    let p: u64 = get(kv, "p", 16)?;
+    if d == 0 || p == 0 {
+        return Err("the machine needs d >= 1 resource types of p >= 1 units".to_string());
+    }
+    let policy = get_choice(
+        kv,
+        "policy",
+        &[
+            ("full", PolicyKind::FullReschedule),
+            ("reactive", PolicyKind::ReactiveList),
+            ("static", PolicyKind::Static),
+        ],
+        PolicyKind::FullReschedule,
+    )?;
+    let window_s: f64 = get(kv, "batch-window", 0.02)?;
+    if !(0.0..=3600.0).contains(&window_s) {
+        return Err(format!("invalid batch-window {window_s} (seconds)"));
+    }
+    let sigma: f64 = get(kv, "sigma", 0.3)?;
+    let perturbation = match kv.get("noise").map(String::as_str) {
+        None | Some("none") => PerturbationModel::None,
+        Some("mult") => PerturbationModel::Multiplicative { sigma },
+        Some(other) => {
+            return Err(format!(
+                "invalid value `{other}` for key `noise` (expected one of: none, mult)"
+            ))
+        }
+    };
+    let config = ServeConfig {
+        capacities: vec![p; d],
+        policy,
+        batch_window: std::time::Duration::from_secs_f64(window_s),
+        tick: get(kv, "tick", 1.0)?,
+        max_pending_jobs: get(kv, "max-pending", 4096)?,
+        seed: get(kv, "seed", 0)?,
+        perturbation,
+        ..ServeConfig::default()
+    };
+    let handle = Server::spawn(config, &format!("{addr}:{port}"))
+        .map_err(|e| format!("could not bind {addr}:{port}: {e}"))?;
+    println!(
+        "mrls-serve listening on {} (d={d}, p={p}, policy={}, batch-window={window_s}s)",
+        handle.addr(),
+        policy.label()
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    handle.join();
+    println!("mrls-serve stopped");
+    Ok(0)
+}
+
+fn cmd_client(kv: &HashMap<String, String>) -> Result<i32, String> {
+    let addr: String = get(kv, "addr", "127.0.0.1".to_string())?;
+    let port: u16 = get(kv, "port", 7163)?;
+    let tenant: String = get(kv, "tenant", "cli".to_string())?;
+    let seed: u64 = get(kv, "seed", 0)?;
+    let pace: f64 = get(kv, "pace", 0.0)?;
+    let recipe = build_recipe(kv)?;
+    let instance = recipe.generate(seed).instance;
+    let n = instance.num_jobs();
+
+    // Virtual release times drive the submission order (and, with pace > 0,
+    // wall-clock gaps of `pace` seconds per virtual unit).
+    let release: Vec<f64> = match kv.get("arrivals").map(String::as_str) {
+        None | Some("none") => vec![0.0; n],
+        Some("uniform") => {
+            let horizon: f64 = get(kv, "horizon", (n as f64 / 4.0).max(1.0))?;
+            ArrivalRecipe::UniformWindow { horizon }
+                .release_times(n, &mut rng_from_seed(seed ^ 0x51EA))
+        }
+        Some("poisson") => {
+            let mean_gap: f64 = get(kv, "mean-gap", 0.5)?;
+            ArrivalRecipe::PoissonStream { mean_gap }
+                .release_times(n, &mut rng_from_seed(seed ^ 0x51EA))
+        }
+        Some(other) => {
+            return Err(format!(
+                "invalid value `{other}` for key `arrivals` (expected one of: none, uniform, \
+                 poisson)"
+            ))
+        }
+    };
+
+    let mut client = Client::connect((addr.as_str(), port), &tenant)
+        .map_err(|e| format!("could not connect to {addr}:{port}: {e}"))?;
+    let started = std::time::Instant::now();
+    let submitted: u64;
+    match kv.get("mode").map(String::as_str) {
+        Some("dag") => {
+            let ids = client.submit_dag(instance.jobs.clone(), instance.dag.edges().collect())?;
+            submitted = ids.len() as u64;
+        }
+        None | Some("jobs") => {
+            // Stream singleton jobs: dependency-feasible order, earliest
+            // release first.
+            let mut ids: Vec<Option<u64>> = vec![None; n];
+            let mut last_t = 0.0f64;
+            for _ in 0..n {
+                let next = (0..n)
+                    .filter(|&j| {
+                        ids[j].is_none()
+                            && instance
+                                .dag
+                                .predecessors(j)
+                                .iter()
+                                .all(|&p| ids[p].is_some())
+                    })
+                    .min_by(|&a, &b| release[a].total_cmp(&release[b]).then(a.cmp(&b)))
+                    .expect("a DAG always has a submittable job");
+                if pace > 0.0 && release[next] > last_t {
+                    std::thread::sleep(std::time::Duration::from_secs_f64(
+                        pace * (release[next] - last_t),
+                    ));
+                }
+                last_t = last_t.max(release[next]);
+                let deps: Vec<u64> = instance
+                    .dag
+                    .predecessors(next)
+                    .iter()
+                    .map(|&p| ids[p].expect("predecessors submitted first"))
+                    .collect();
+                ids[next] = Some(client.submit_job(instance.jobs[next].clone(), deps)?);
+            }
+            submitted = n as u64;
+        }
+        Some(other) => {
+            return Err(format!(
+                "invalid value `{other}` for key `mode` (expected one of: jobs, dag)"
+            ))
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    println!(
+        "submitted {submitted} jobs in {elapsed:.3}s ({:.0} submissions/s)",
+        submitted as f64 / elapsed
+    );
+
+    let mut code = 0;
+    if get(kv, "drain", true)? {
+        let report = client.drain()?;
+        println!("virtual makespan  : {:.3}", report.virtual_makespan);
+        println!(
+            "completed         : {}/{} (all tenants)",
+            report.completed, report.submitted
+        );
+        println!("feasible          : {}", report.feasible);
+        println!("rounds            : {}", report.metrics.rounds);
+        if let Some(m) = report.metrics.tenants.get(&tenant) {
+            println!(
+                "tenant {tenant:<10} : scheduled {} / completed {} / stretch {:.3}",
+                m.scheduled, m.completed, m.stretch
+            );
+        }
+        if let Some(path) = kv.get("out") {
+            let json = serde_json::to_string_pretty(&report)
+                .expect("drain reports are always serialisable");
+            std::fs::write(path, json).map_err(|e| format!("could not write {path}: {e}"))?;
+            println!("wrote drain report to {path}");
+        }
+        if report.completed != report.submitted || !report.feasible {
+            eprintln!("error: not every admitted job completed feasibly");
+            code = 1;
+        }
+    }
+    if get(kv, "shutdown", false)? {
+        client.shutdown()?;
+        println!("server asked to stop");
+    }
+    Ok(code)
 }
 
 fn cmd_theory(kv: &HashMap<String, String>) -> Result<i32, String> {

@@ -38,6 +38,19 @@ impl ResourceState {
         }
     }
 
+    /// Restores a state from previously captured availability amounts (a
+    /// simulation checkpoint). The amounts are taken verbatim — including any
+    /// accumulated floating-point residue — so a resumed run makes exactly
+    /// the same fit decisions as the run it was captured from.
+    pub fn from_available(avail: Vec<f64>) -> Self {
+        ResourceState { avail }
+    }
+
+    /// The raw per-type availability amounts (for checkpointing).
+    pub fn available_amounts(&self) -> &[f64] {
+        &self.avail
+    }
+
     /// Number of resource types `d`.
     pub fn num_resource_types(&self) -> usize {
         self.avail.len()

@@ -1,0 +1,132 @@
+//! A small blocking client for the serve protocol, used by `mrls client`,
+//! the `serve_throughput` bench and the loopback tests.
+
+use crate::metrics::MetricsSnapshot;
+use crate::protocol::{
+    read_frame, write_message, DrainReport, Request, RequestBody, Response, ResponseBody,
+    DEFAULT_MAX_LINE_BYTES,
+};
+use mrls_model::MoldableJob;
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected protocol client. One request is in flight at a time; every
+/// call blocks until the matching response arrives.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    tenant: String,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a server and names the tenant the work is accounted
+    /// under.
+    pub fn connect<A: ToSocketAddrs>(addr: A, tenant: &str) -> std::io::Result<Self> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client {
+            reader,
+            writer,
+            tenant: tenant.to_string(),
+            next_id: 1,
+        })
+    }
+
+    /// Sends one request and waits for its response.
+    pub fn request(&mut self, body: RequestBody) -> Result<Response, String> {
+        self.request_opt(body)?
+            .ok_or_else(|| "server closed the connection".to_string())
+    }
+
+    /// Like [`Client::request`], but reports a clean EOF instead of a reply
+    /// as `Ok(None)` (a stopping server may exit before its goodbye lands).
+    fn request_opt(&mut self, body: RequestBody) -> Result<Option<Response>, String> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let request = Request {
+            id,
+            tenant: self.tenant.clone(),
+            body,
+        };
+        write_message(&mut self.writer, &request).map_err(|e| format!("send failed: {e}"))?;
+        let Some(line) = read_frame(&mut self.reader, DEFAULT_MAX_LINE_BYTES)
+            .map_err(|e| format!("receive failed: {e}"))?
+        else {
+            return Ok(None);
+        };
+        let response: Response =
+            serde_json::from_str(line.trim()).map_err(|e| format!("malformed response: {e}"))?;
+        if response.id != id {
+            return Err(format!(
+                "response id {} does not match request id {id}",
+                response.id
+            ));
+        }
+        Ok(Some(response))
+    }
+
+    fn accepted(&mut self, body: RequestBody) -> Result<Vec<u64>, String> {
+        match self.request(body)?.body {
+            ResponseBody::Accepted { jobs } => Ok(jobs),
+            ResponseBody::Rejected { reason } => Err(format!("rejected: {reason}")),
+            ResponseBody::Error { message } => Err(message),
+            other => Err(format!("unexpected response: {other:?}")),
+        }
+    }
+
+    /// Submits one job; returns its global id.
+    pub fn submit_job(&mut self, job: MoldableJob, deps: Vec<u64>) -> Result<u64, String> {
+        let ids = self.accepted(RequestBody::SubmitJob { job, deps })?;
+        ids.first()
+            .copied()
+            .ok_or_else(|| "server accepted the job without an id".to_string())
+    }
+
+    /// Submits a DAG; returns the global ids, in order.
+    pub fn submit_dag(
+        &mut self,
+        jobs: Vec<MoldableJob>,
+        edges: Vec<(usize, usize)>,
+    ) -> Result<Vec<u64>, String> {
+        self.accepted(RequestBody::SubmitDag { jobs, edges })
+    }
+
+    /// Requests a capacity change.
+    pub fn change_capacity(&mut self, resource: usize, capacity: u64) -> Result<(), String> {
+        self.accepted(RequestBody::CapacityChange { resource, capacity })
+            .map(|_| ())
+    }
+
+    /// Fetches the metrics snapshot.
+    pub fn status(&mut self) -> Result<MetricsSnapshot, String> {
+        match self.request(RequestBody::QueryStatus)?.body {
+            ResponseBody::Status { metrics } => Ok(metrics),
+            ResponseBody::Error { message } => Err(message),
+            other => Err(format!("unexpected response: {other:?}")),
+        }
+    }
+
+    /// Drains the server: everything admitted runs to completion.
+    pub fn drain(&mut self) -> Result<DrainReport, String> {
+        match self.request(RequestBody::Drain)?.body {
+            ResponseBody::Drained { report } => Ok(report),
+            ResponseBody::Error { message } => Err(message),
+            other => Err(format!("unexpected response: {other:?}")),
+        }
+    }
+
+    /// Asks the server to stop. A connection closed right after the request
+    /// counts as success — the server may exit before its goodbye lands.
+    pub fn shutdown(&mut self) -> Result<(), String> {
+        match self.request_opt(RequestBody::Shutdown)? {
+            None => Ok(()),
+            Some(response) => match response.body {
+                ResponseBody::Stopping => Ok(()),
+                ResponseBody::Error { message } => Err(message),
+                other => Err(format!("unexpected response: {other:?}")),
+            },
+        }
+    }
+}

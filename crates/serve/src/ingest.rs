@@ -1,0 +1,136 @@
+//! The ingest/batching layer: admitted work waits here until the batching
+//! window closes, then the whole batch becomes one scheduling round.
+//!
+//! Coalescing submissions amortises the two-phase planning cost: with a zero
+//! window every submission is its own round (lowest time-to-first-placement,
+//! most plannings); a longer window trades placement latency for fewer,
+//! larger rounds. The queue also enforces the admission limit — when more
+//! jobs are waiting than `max_pending_jobs`, further submissions are refused
+//! with a backpressure reply instead of growing the queue without bound.
+
+use std::time::{Duration, Instant};
+
+/// One flushed batch: job releases and capacity changes, each in admission
+/// order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Batch {
+    /// Global ids of the jobs released in this round.
+    pub jobs: Vec<usize>,
+    /// `(resource, new_capacity)` changes applied in this round.
+    pub capacity_changes: Vec<(usize, u64)>,
+}
+
+impl Batch {
+    /// `true` iff the batch carries no events.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty() && self.capacity_changes.is_empty()
+    }
+}
+
+/// The arrival queue: admitted-but-not-yet-scheduled work, plus the batching
+/// window bookkeeping.
+#[derive(Debug, Clone)]
+pub struct IngestQueue {
+    window: Duration,
+    max_pending_jobs: usize,
+    pending: Batch,
+    window_started: Option<Instant>,
+}
+
+impl IngestQueue {
+    /// Creates a queue with the given batching window and admission limit.
+    pub fn new(window: Duration, max_pending_jobs: usize) -> Self {
+        IngestQueue {
+            window,
+            max_pending_jobs: max_pending_jobs.max(1),
+            pending: Batch::default(),
+            window_started: None,
+        }
+    }
+
+    /// Number of queued events (jobs + capacity changes).
+    pub fn queue_depth(&self) -> usize {
+        self.pending.jobs.len() + self.pending.capacity_changes.len()
+    }
+
+    /// `true` iff nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Checks the admission limit for a submission of `count` jobs without
+    /// enqueueing anything.
+    pub fn admit(&self, count: usize) -> Result<(), String> {
+        let pending = self.pending.jobs.len();
+        if pending + count > self.max_pending_jobs {
+            Err(format!(
+                "backpressure: {pending} jobs already queued, submitting {count} more would \
+                 exceed the limit of {} — retry after the next round",
+                self.max_pending_jobs
+            ))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Enqueues admitted jobs, opening the batching window if it was closed.
+    pub fn push_jobs(&mut self, ids: &[usize]) {
+        self.pending.jobs.extend_from_slice(ids);
+        self.window_started.get_or_insert_with(Instant::now);
+    }
+
+    /// Enqueues a capacity change, opening the batching window if it was
+    /// closed.
+    pub fn push_capacity(&mut self, resource: usize, capacity: u64) {
+        self.pending.capacity_changes.push((resource, capacity));
+        self.window_started.get_or_insert_with(Instant::now);
+    }
+
+    /// When the current batch must be flushed, if one is open.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.window_started.map(|t| t + self.window)
+    }
+
+    /// Takes the batch and closes the window.
+    pub fn take_batch(&mut self) -> Batch {
+        self.window_started = None;
+        std::mem::take(&mut self.pending)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_accumulate_until_taken() {
+        let mut q = IngestQueue::new(Duration::from_millis(10), 4);
+        assert!(q.is_empty());
+        assert!(q.deadline().is_none());
+        q.push_jobs(&[0, 1]);
+        q.push_capacity(0, 3);
+        q.push_jobs(&[2]);
+        assert_eq!(q.queue_depth(), 4);
+        assert!(q.deadline().is_some());
+        let batch = q.take_batch();
+        assert_eq!(batch.jobs, vec![0, 1, 2]);
+        assert_eq!(batch.capacity_changes, vec![(0, 3)]);
+        assert!(q.is_empty());
+        assert!(q.deadline().is_none());
+    }
+
+    #[test]
+    fn admission_limit_applies_backpressure() {
+        let mut q = IngestQueue::new(Duration::ZERO, 3);
+        assert!(q.admit(3).is_ok());
+        q.push_jobs(&[0, 1]);
+        assert!(q.admit(1).is_ok());
+        let err = q.admit(2).unwrap_err();
+        assert!(err.contains("backpressure"), "{err}");
+        // Capacity changes are not jobs and never count against the limit.
+        q.push_capacity(0, 2);
+        assert!(q.admit(1).is_ok());
+        q.take_batch();
+        assert!(q.admit(3).is_ok());
+    }
+}

@@ -1,0 +1,314 @@
+//! # mrls-serve — the online scheduling service
+//!
+//! The paper plans moldable DAG schedules offline; `mrls-sim` executes plans
+//! under perturbations; this crate turns the pair into a **long-running,
+//! multi-client service**: jobs and DAGs stream in over TCP, are coalesced
+//! into batching rounds, planned with the two-phase scheduler and executed
+//! by the virtual-time engine — std-only (no async runtime), built from
+//! `std::net::TcpListener`, `std::thread` and `std::sync::mpsc`.
+//!
+//! Four layers:
+//!
+//! * [`protocol`] — line-delimited JSON requests/responses with correlation
+//!   ids ([`Request`], [`Response`], [`DrainReport`]).
+//! * [`ingest`] — the arrival queue: admissions coalesce within a batching
+//!   window into one scheduling round, with an admission limit answered by
+//!   backpressure replies ([`IngestQueue`]).
+//! * [`service`] — the core: owns the growing world, re-plans pending jobs
+//!   with the two-phase scheduler each round, and drives a checkpointed
+//!   `mrls-sim` [`SimRun`](mrls_sim::SimRun) over a channel-fed
+//!   [`ChannelSource`](mrls_sim::ChannelSource) ([`ServiceCore`]).
+//! * [`metrics`] — per-tenant counters queryable over the protocol and
+//!   dumpable as JSON ([`MetricsSnapshot`]).
+//!
+//! Virtual time is decoupled from wall time: each round's events are stamped
+//! deterministically from the submission order alone, so two servers fed the
+//! same stream in the same order produce **byte-identical** metrics and
+//! traces — the loopback tests verify this end to end.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use mrls_model::{ExecTimeSpec, MoldableJob};
+//! use mrls_serve::{ServeConfig, ServiceCore};
+//!
+//! let mut core = ServiceCore::new(ServeConfig {
+//!     capacities: vec![4, 4],
+//!     ..ServeConfig::default()
+//! });
+//! let job = MoldableJob::new(0, ExecTimeSpec::Constant { time: 2.0 });
+//! let id = core.submit_job("alice", job, &[]).unwrap();
+//! let report = core.drain().unwrap();
+//! assert_eq!(report.completed, 1);
+//! assert!(report.feasible);
+//! # let _ = id;
+//! ```
+//!
+//! The TCP front end ([`Server::spawn`]) wraps the same core; `mrls serve` /
+//! `mrls client` expose it on the command line.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod client;
+pub mod ingest;
+pub mod metrics;
+pub mod protocol;
+pub mod service;
+
+pub use client::Client;
+pub use ingest::{Batch, IngestQueue};
+pub use metrics::{MetricsRegistry, MetricsSnapshot, TenantMetrics};
+pub use protocol::{
+    encode_line, parse_request, probe_request_id, read_frame, write_message, DrainReport, Request,
+    RequestBody, Response, ResponseBody, DEFAULT_MAX_LINE_BYTES,
+};
+pub use service::{ServeConfig, ServiceCore};
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// One parsed request in flight from a connection thread to the service
+/// thread, with the channel its response goes back on.
+struct ClientMsg {
+    request: Request,
+    reply: Sender<Response>,
+}
+
+/// The TCP front end: an acceptor thread, one thread per connection, and a
+/// single service thread that owns the [`ServiceCore`].
+pub struct Server;
+
+/// Handle to a spawned server: its bound address and the threads to join.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    service: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server listens on (useful with an ephemeral port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits until the server stopped (a client sent `Shutdown`).
+    pub fn join(mut self) {
+        if let Some(h) = self.service.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and spawns
+    /// the acceptor and service threads. The server runs until a client
+    /// sends [`RequestBody::Shutdown`].
+    pub fn spawn(config: ServeConfig, addr: &str) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let (tx, rx) = std::sync::mpsc::channel::<ClientMsg>();
+        let stopping = Arc::new(AtomicBool::new(false));
+        let max_line = config.max_line_bytes;
+
+        let acceptor = {
+            let stopping = Arc::clone(&stopping);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if stopping.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let tx = tx.clone();
+                    std::thread::spawn(move || connection_loop(stream, tx, max_line));
+                }
+            })
+        };
+        let service = {
+            let stopping = Arc::clone(&stopping);
+            std::thread::spawn(move || service_loop(config, rx, stopping, local))
+        };
+        Ok(ServerHandle {
+            addr: local,
+            acceptor: Some(acceptor),
+            service: Some(service),
+        })
+    }
+}
+
+/// Reads frames off one connection, forwards parsed requests to the service
+/// thread and writes the responses back. Parse failures are answered
+/// in-place; an oversized line is answered and the connection dropped.
+fn connection_loop(stream: TcpStream, tx: Sender<ClientMsg>, max_line: usize) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        let line = match read_frame(&mut reader, max_line) {
+            Ok(None) => break,
+            Ok(Some(line)) => line,
+            Err(e) => {
+                let _ = write_message(
+                    &mut writer,
+                    &Response {
+                        id: 0,
+                        body: ResponseBody::Error {
+                            message: e.to_string(),
+                        },
+                    },
+                );
+                break;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match parse_request(&line) {
+            Ok(request) => request,
+            Err(message) => {
+                let ok = write_message(
+                    &mut writer,
+                    &Response {
+                        id: probe_request_id(&line),
+                        body: ResponseBody::Error { message },
+                    },
+                )
+                .is_ok();
+                if ok {
+                    continue;
+                }
+                break;
+            }
+        };
+        let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+        if tx
+            .send(ClientMsg {
+                request,
+                reply: reply_tx,
+            })
+            .is_err()
+        {
+            let _ = write_message(
+                &mut writer,
+                &Response {
+                    id: 0,
+                    body: ResponseBody::Error {
+                        message: "server is shutting down".to_string(),
+                    },
+                },
+            );
+            break;
+        }
+        let Ok(response) = reply_rx.recv() else { break };
+        let is_stopping = matches!(response.body, ResponseBody::Stopping);
+        if write_message(&mut writer, &response).is_err() || is_stopping {
+            break;
+        }
+    }
+}
+
+/// The single-threaded service loop: admits requests immediately, flushes
+/// the ingest queue whenever the batching window closes, and stops on
+/// `Shutdown`.
+fn service_loop(
+    config: ServeConfig,
+    rx: Receiver<ClientMsg>,
+    stopping: Arc<AtomicBool>,
+    addr: SocketAddr,
+) {
+    let mut core = ServiceCore::new(config);
+    loop {
+        // Flush before waiting for more work, so a zero window makes every
+        // submission its own round regardless of how fast clients pipeline.
+        if let Some(deadline) = core.deadline() {
+            let now = Instant::now();
+            if now >= deadline {
+                if let Err(e) = core.flush() {
+                    eprintln!("mrls-serve: round failed: {e}");
+                }
+                continue;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(msg) => {
+                    if handle(&mut core, msg) == Flow::Stop {
+                        break;
+                    }
+                }
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => continue,
+                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        } else {
+            match rx.recv() {
+                Ok(msg) => {
+                    if handle(&mut core, msg) == Flow::Stop {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+    }
+    stopping.store(true, Ordering::SeqCst);
+    // Unblock the acceptor's blocking `accept` so it can observe the flag.
+    let _ = TcpStream::connect(addr);
+}
+
+#[derive(PartialEq)]
+enum Flow {
+    Continue,
+    Stop,
+}
+
+/// Serves one request against the core.
+fn handle(core: &mut ServiceCore, msg: ClientMsg) -> Flow {
+    let Request { id, tenant, body } = msg.request;
+    let (body, flow) = match body {
+        RequestBody::SubmitJob { job, deps } => (
+            match core.submit_job(&tenant, job, &deps) {
+                Ok(id) => ResponseBody::Accepted { jobs: vec![id] },
+                Err(reason) => ResponseBody::Rejected { reason },
+            },
+            Flow::Continue,
+        ),
+        RequestBody::SubmitDag { jobs, edges } => (
+            match core.submit_dag(&tenant, jobs, &edges) {
+                Ok(jobs) => ResponseBody::Accepted { jobs },
+                Err(reason) => ResponseBody::Rejected { reason },
+            },
+            Flow::Continue,
+        ),
+        RequestBody::CapacityChange { resource, capacity } => (
+            match core.submit_capacity(resource, capacity) {
+                Ok(()) => ResponseBody::Accepted { jobs: vec![] },
+                Err(reason) => ResponseBody::Rejected { reason },
+            },
+            Flow::Continue,
+        ),
+        RequestBody::QueryStatus => (
+            ResponseBody::Status {
+                metrics: core.status(),
+            },
+            Flow::Continue,
+        ),
+        RequestBody::Drain => (
+            match core.drain() {
+                Ok(report) => ResponseBody::Drained { report },
+                Err(message) => ResponseBody::Error { message },
+            },
+            Flow::Continue,
+        ),
+        RequestBody::Shutdown => (ResponseBody::Stopping, Flow::Stop),
+    };
+    let _ = msg.reply.send(Response { id, body });
+    flow
+}

@@ -1,0 +1,165 @@
+//! Per-tenant counters and the queryable metrics snapshot.
+//!
+//! The registry is fed from the service core (admissions as they happen,
+//! engine trace events as each round is harvested) and is deliberately free
+//! of wall-clock readings: two runs that see the same submission order
+//! produce byte-identical snapshots, which the loopback determinism test
+//! relies on.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Counters for one tenant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantMetrics {
+    /// Jobs admitted.
+    pub submitted: u64,
+    /// Jobs refused (backpressure or validation).
+    pub rejected: u64,
+    /// Jobs placed on the machine (started).
+    pub scheduled: u64,
+    /// Jobs completed.
+    pub completed: u64,
+    /// Latest planned finish time among this tenant's jobs (virtual time).
+    pub planned_finish: f64,
+    /// Latest realized finish time among this tenant's jobs (virtual time).
+    pub realized_finish: f64,
+    /// Realized over planned finish — how much later than promised the
+    /// tenant's work completed (1.0 until something completes).
+    pub stretch: f64,
+}
+
+impl Default for TenantMetrics {
+    fn default() -> Self {
+        TenantMetrics {
+            submitted: 0,
+            rejected: 0,
+            scheduled: 0,
+            completed: 0,
+            planned_finish: 0.0,
+            realized_finish: 0.0,
+            stretch: 1.0,
+        }
+    }
+}
+
+/// The queryable state of the service, dumped as JSON over the protocol.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Current virtual time of the engine.
+    pub virtual_now: f64,
+    /// Batching rounds executed so far.
+    pub rounds: u64,
+    /// Submissions admitted but not yet flushed into a round.
+    pub queue_depth: usize,
+    /// Jobs admitted, across tenants.
+    pub jobs_submitted: u64,
+    /// Jobs refused, across tenants.
+    pub jobs_rejected: u64,
+    /// Jobs placed, across tenants.
+    pub jobs_scheduled: u64,
+    /// Jobs completed, across tenants.
+    pub jobs_completed: u64,
+    /// Per-tenant counters, keyed by tenant name (sorted).
+    pub tenants: BTreeMap<String, TenantMetrics>,
+}
+
+/// The mutable registry the service core feeds.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    tenants: BTreeMap<String, TenantMetrics>,
+    rounds: u64,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    fn tenant(&mut self, name: &str) -> &mut TenantMetrics {
+        self.tenants.entry(name.to_string()).or_default()
+    }
+
+    /// Records `count` admitted jobs for `tenant`.
+    pub fn record_submitted(&mut self, tenant: &str, count: u64) {
+        self.tenant(tenant).submitted += count;
+    }
+
+    /// Records one refused submission of `count` jobs for `tenant`.
+    pub fn record_rejected(&mut self, tenant: &str, count: u64) {
+        self.tenant(tenant).rejected += count;
+    }
+
+    /// Records the planned finish time of a freshly planned job of `tenant`.
+    pub fn record_planned(&mut self, tenant: &str, finish: f64) {
+        let t = self.tenant(tenant);
+        t.planned_finish = t.planned_finish.max(finish);
+    }
+
+    /// Records a job start for `tenant`.
+    pub fn record_scheduled(&mut self, tenant: &str) {
+        self.tenant(tenant).scheduled += 1;
+    }
+
+    /// Records a job completion of `tenant` at virtual time `finish`.
+    pub fn record_completed(&mut self, tenant: &str, finish: f64) {
+        let t = self.tenant(tenant);
+        t.completed += 1;
+        t.realized_finish = t.realized_finish.max(finish);
+        if t.planned_finish > 0.0 {
+            t.stretch = t.realized_finish / t.planned_finish;
+        }
+    }
+
+    /// Records one executed batching round.
+    pub fn record_round(&mut self) {
+        self.rounds += 1;
+    }
+
+    /// Builds the queryable snapshot.
+    pub fn snapshot(&self, virtual_now: f64, queue_depth: usize) -> MetricsSnapshot {
+        let sum = |f: fn(&TenantMetrics) -> u64| self.tenants.values().map(f).sum();
+        MetricsSnapshot {
+            virtual_now,
+            rounds: self.rounds,
+            queue_depth,
+            jobs_submitted: sum(|t| t.submitted),
+            jobs_rejected: sum(|t| t.rejected),
+            jobs_scheduled: sum(|t| t.scheduled),
+            jobs_completed: sum(|t| t.completed),
+            tenants: self.tenants.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_aggregate_across_tenants() {
+        let mut reg = MetricsRegistry::new();
+        reg.record_submitted("a", 3);
+        reg.record_submitted("b", 2);
+        reg.record_rejected("b", 1);
+        reg.record_planned("a", 10.0);
+        reg.record_scheduled("a");
+        reg.record_completed("a", 12.0);
+        reg.record_round();
+        let snap = reg.snapshot(12.0, 4);
+        assert_eq!(snap.jobs_submitted, 5);
+        assert_eq!(snap.jobs_rejected, 1);
+        assert_eq!(snap.jobs_scheduled, 1);
+        assert_eq!(snap.jobs_completed, 1);
+        assert_eq!(snap.rounds, 1);
+        assert_eq!(snap.queue_depth, 4);
+        let a = &snap.tenants["a"];
+        assert!((a.stretch - 1.2).abs() < 1e-12);
+        // Snapshots serialise deterministically (sorted tenant order).
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+        assert_eq!(json, serde_json::to_string(&back).unwrap());
+    }
+}

@@ -1,0 +1,266 @@
+//! The wire protocol: line-delimited JSON over TCP.
+//!
+//! Every request and every response is one JSON document on one line
+//! (newline-terminated, at most [`ServeConfig::max_line_bytes`] bytes —
+//! oversized lines are rejected and the connection closed). Requests carry a
+//! client-chosen `id` that the matching response echoes, and a `tenant` name
+//! under which the metrics layer accounts the work.
+//!
+//! [`ServeConfig::max_line_bytes`]: crate::ServeConfig::max_line_bytes
+//!
+//! ```text
+//! -> {"id":1,"tenant":"alice","body":{"SubmitJob":{"job":{...},"deps":[]}}}
+//! <- {"id":1,"body":{"Accepted":{"jobs":[0]}}}
+//! ```
+
+use crate::metrics::MetricsSnapshot;
+use mrls_model::MoldableJob;
+use mrls_sim::RealizedTrace;
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, Read, Write};
+
+/// Default cap on the byte length of one protocol line (1 MiB).
+pub const DEFAULT_MAX_LINE_BYTES: usize = 1 << 20;
+
+/// One client request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// Tenant the work is accounted under.
+    pub tenant: String,
+    /// What is being asked.
+    pub body: RequestBody,
+}
+
+/// The request payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RequestBody {
+    /// Submit one moldable job. `deps` are global ids of previously accepted
+    /// jobs (of any tenant) that must complete first.
+    SubmitJob {
+        /// The job description.
+        job: MoldableJob,
+        /// Global ids of its predecessors.
+        deps: Vec<u64>,
+    },
+    /// Submit a whole DAG atomically. `edges` are `(from, to)` pairs of
+    /// indices into `jobs`.
+    SubmitDag {
+        /// The jobs of the DAG, assigned consecutive global ids.
+        jobs: Vec<MoldableJob>,
+        /// Precedence edges among the submitted jobs.
+        edges: Vec<(usize, usize)>,
+    },
+    /// Change one resource type's capacity (absolute new value, `>= 1`),
+    /// effective at the next batching round.
+    CapacityChange {
+        /// Affected resource type.
+        resource: usize,
+        /// The new capacity.
+        capacity: u64,
+    },
+    /// Ask for the current metrics snapshot.
+    QueryStatus,
+    /// Flush the current batch and run the virtual-time engine until every
+    /// admitted job completed; reply with a [`DrainReport`].
+    Drain,
+    /// Stop the server (queued-but-unflushed submissions are dropped; drain
+    /// first to complete them).
+    Shutdown,
+}
+
+/// One server response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// The id of the request being answered (0 when it could not be parsed).
+    pub id: u64,
+    /// The response payload.
+    pub body: ResponseBody,
+}
+
+/// The response payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ResponseBody {
+    /// The submission was admitted; these are the assigned global job ids.
+    Accepted {
+        /// Global ids, in submission order.
+        jobs: Vec<u64>,
+    },
+    /// The submission was refused (backpressure, validation failure, …).
+    Rejected {
+        /// Why.
+        reason: String,
+    },
+    /// Answer to [`RequestBody::QueryStatus`].
+    Status {
+        /// The metrics snapshot.
+        metrics: MetricsSnapshot,
+    },
+    /// Answer to [`RequestBody::Drain`].
+    Drained {
+        /// The drain report.
+        report: DrainReport,
+    },
+    /// Answer to [`RequestBody::Shutdown`]; the server stops afterwards.
+    Stopping,
+    /// The request could not be understood or served.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+/// Everything a drained server knows about the work it executed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DrainReport {
+    /// Virtual time at which the last job completed.
+    pub virtual_makespan: f64,
+    /// Jobs admitted since the server started.
+    pub submitted: u64,
+    /// Jobs completed.
+    pub completed: u64,
+    /// Whether the realized schedule passed capacity/precedence validation
+    /// (durations relaxed, as for every realized trace).
+    pub feasible: bool,
+    /// The metrics snapshot at drain time.
+    pub metrics: MetricsSnapshot,
+    /// The full realized trace (typed event log + realized schedule).
+    pub trace: RealizedTrace,
+}
+
+/// Serialises one protocol message as a newline-terminated compact JSON line.
+pub fn encode_line<T: Serialize>(msg: &T) -> String {
+    let mut line = serde_json::to_string(msg).expect("protocol messages are always serialisable");
+    line.push('\n');
+    line
+}
+
+/// Writes one protocol message and flushes.
+pub fn write_message<T: Serialize, W: Write>(writer: &mut W, msg: &T) -> std::io::Result<()> {
+    writer.write_all(encode_line(msg).as_bytes())?;
+    writer.flush()
+}
+
+/// Reads one line of at most `max_len` bytes. Returns `Ok(None)` on a clean
+/// EOF, and an `InvalidData` error when the line exceeds the cap (the caller
+/// should drop the connection — there is no way to resynchronise).
+pub fn read_frame<R: BufRead>(reader: &mut R, max_len: usize) -> std::io::Result<Option<String>> {
+    let mut buf = Vec::new();
+    let mut limited = reader.take(max_len as u64 + 1);
+    let n = limited.read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if buf.last() == Some(&b'\n') {
+        buf.pop();
+    } else if n > max_len {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("line exceeds the {max_len}-byte limit"),
+        ));
+    }
+    String::from_utf8(buf).map(Some).map_err(|_| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "line is not valid UTF-8")
+    })
+}
+
+/// Parses a request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    serde_json::from_str(line.trim()).map_err(|e| format!("malformed request: {e}"))
+}
+
+/// Best-effort extraction of the `id` of an unparsable request, so the error
+/// response can still be correlated.
+pub fn probe_request_id(line: &str) -> u64 {
+    #[derive(Deserialize)]
+    struct IdProbe {
+        id: u64,
+    }
+    serde_json::from_str::<IdProbe>(line.trim())
+        .map(|p| p.id)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrls_model::ExecTimeSpec;
+    use std::io::BufReader;
+
+    fn job() -> MoldableJob {
+        MoldableJob::new(0, ExecTimeSpec::Constant { time: 2.0 })
+    }
+
+    #[test]
+    fn requests_roundtrip_through_json_lines() {
+        let requests = vec![
+            Request {
+                id: 1,
+                tenant: "alice".into(),
+                body: RequestBody::SubmitJob {
+                    job: job(),
+                    deps: vec![0, 3],
+                },
+            },
+            Request {
+                id: 2,
+                tenant: "bob".into(),
+                body: RequestBody::SubmitDag {
+                    jobs: vec![job(), job()],
+                    edges: vec![(0, 1)],
+                },
+            },
+            Request {
+                id: 3,
+                tenant: "ops".into(),
+                body: RequestBody::CapacityChange {
+                    resource: 1,
+                    capacity: 4,
+                },
+            },
+            Request {
+                id: 4,
+                tenant: "ops".into(),
+                body: RequestBody::QueryStatus,
+            },
+            Request {
+                id: 5,
+                tenant: "ops".into(),
+                body: RequestBody::Drain,
+            },
+            Request {
+                id: 6,
+                tenant: "ops".into(),
+                body: RequestBody::Shutdown,
+            },
+        ];
+        for req in requests {
+            let line = encode_line(&req);
+            assert!(line.ends_with('\n') && !line[..line.len() - 1].contains('\n'));
+            let back = parse_request(&line).unwrap();
+            assert_eq!(req, back);
+        }
+    }
+
+    #[test]
+    fn read_frame_handles_eof_and_oversize() {
+        let mut reader = BufReader::new("one\ntwo".as_bytes());
+        assert_eq!(read_frame(&mut reader, 64).unwrap(), Some("one".into()));
+        // Final frame without trailing newline is still delivered.
+        assert_eq!(read_frame(&mut reader, 64).unwrap(), Some("two".into()));
+        assert_eq!(read_frame(&mut reader, 64).unwrap(), None);
+
+        let long = "x".repeat(100);
+        let mut reader = BufReader::new(long.as_bytes());
+        let err = read_frame(&mut reader, 64).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn unparsable_requests_still_yield_an_id() {
+        assert_eq!(probe_request_id(r#"{"id": 7, "nope": true}"#), 7);
+        assert_eq!(probe_request_id("not json at all"), 0);
+        assert!(parse_request(r#"{"id":7,"tenant":"t","body":"Flarb"}"#).is_err());
+    }
+}

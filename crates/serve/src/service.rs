@@ -1,0 +1,692 @@
+//! The service core: a growing world of submitted jobs executed by the
+//! `mrls-sim` virtual-time engine, one batching round at a time.
+//!
+//! Each flushed batch becomes one **round**: the new jobs and capacity
+//! changes are stamped with a single virtual time (`max(engine now, round ×
+//! tick)` — deterministic in the submission order, never wall clock), pushed
+//! into a channel-fed [`ChannelSource`], and the engine is resumed from the
+//! previous round's [`SimSnapshot`] against the grown instance. Pending jobs
+//! are (re-)planned with the paper's two-phase scheduler against the
+//! machine's *current* capacities; the configured [`PolicyKind`] reacts to
+//! events inside the round. [`ServiceCore::drain`] runs the engine to
+//! completion and reports the realized trace, validated for
+//! capacity/precedence feasibility.
+
+use crate::ingest::{Batch, IngestQueue};
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::protocol::{DrainReport, DEFAULT_MAX_LINE_BYTES};
+use mrls_analysis::{validate_schedule_with, ValidationOptions};
+use mrls_core::{MrlsConfig, MrlsScheduler, Schedule, ScheduledJob};
+use mrls_dag::Dag;
+use mrls_model::{Allocation, Instance, MoldableJob, SystemConfig};
+use mrls_sim::{
+    ChannelSource, PerturbationModel, Perturber, PolicyKind, RealizedTrace, SimRun, SimSnapshot,
+    SourceEvent,
+};
+use std::time::{Duration, Instant};
+
+/// Configuration of the scheduling service.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Initial per-type capacities of the machine.
+    pub capacities: Vec<u64>,
+    /// Reaction policy driven inside each round.
+    pub policy: PolicyKind,
+    /// Batching window: how long admitted work may wait before its round
+    /// starts (zero = every submission is its own round).
+    pub batch_window: Duration,
+    /// Virtual time that passes per batching round (spaces out the arrival
+    /// stamps of successive rounds so rounds overlap with running work).
+    pub tick: f64,
+    /// Admission limit: maximum jobs queued for the next round before
+    /// submissions are refused with a backpressure reply.
+    pub max_pending_jobs: usize,
+    /// Maximum byte length of one protocol line.
+    pub max_line_bytes: usize,
+    /// Seed of the perturbation stream.
+    pub seed: u64,
+    /// Stochastic execution-time model applied to job starts.
+    pub perturbation: PerturbationModel,
+    /// Configuration of the two-phase scheduler used to plan pending jobs.
+    pub scheduler: MrlsConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            capacities: vec![16, 16, 16],
+            policy: PolicyKind::FullReschedule,
+            batch_window: Duration::from_millis(20),
+            tick: 1.0,
+            max_pending_jobs: 4096,
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            seed: 0,
+            perturbation: PerturbationModel::None,
+            scheduler: MrlsConfig::default(),
+        }
+    }
+}
+
+/// One admitted job and the tenant it belongs to.
+#[derive(Debug, Clone)]
+struct WorldJob {
+    tenant: String,
+    job: MoldableJob,
+}
+
+/// The service core. Owns the world (every admitted job and edge), the
+/// engine checkpoint between rounds, the ingest queue and the metrics
+/// registry. Free of I/O — the TCP layer in [`crate::Server`] drives it, and
+/// tests can call it directly.
+#[derive(Debug)]
+pub struct ServiceCore {
+    config: ServeConfig,
+    world: Vec<WorldJob>,
+    edges: Vec<(usize, usize)>,
+    capacities_now: Vec<u64>,
+    capacities_max: Vec<u64>,
+    snapshot: Option<SimSnapshot>,
+    // The live perturbation stream, carried across rounds so resuming never
+    // replays the draw history (it must always match
+    // `snapshot.perturber_realizations`).
+    perturber: Option<Perturber>,
+    ingest: IngestQueue,
+    metrics: MetricsRegistry,
+    rounds: u64,
+    virtual_now: f64,
+    events_seen: usize,
+    fault: Option<String>,
+}
+
+impl ServiceCore {
+    /// Creates an idle service for the configured machine.
+    pub fn new(config: ServeConfig) -> Self {
+        let ingest = IngestQueue::new(config.batch_window, config.max_pending_jobs);
+        let capacities = config.capacities.clone();
+        ServiceCore {
+            config,
+            world: Vec::new(),
+            edges: Vec::new(),
+            capacities_now: capacities.clone(),
+            capacities_max: capacities,
+            snapshot: None,
+            perturber: None,
+            ingest,
+            metrics: MetricsRegistry::new(),
+            rounds: 0,
+            virtual_now: 0.0,
+            events_seen: 0,
+            fault: None,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Number of resource types `d` of the machine.
+    pub fn num_resource_types(&self) -> usize {
+        self.config.capacities.len()
+    }
+
+    /// When the open batch must be flushed, if one is open.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.ingest.deadline()
+    }
+
+    /// The error that poisoned the service, if any round failed.
+    pub fn fault(&self) -> Option<&str> {
+        self.fault.as_deref()
+    }
+
+    /// Admits one job with dependencies on previously accepted jobs.
+    /// Returns the assigned global id.
+    pub fn submit_job(
+        &mut self,
+        tenant: &str,
+        job: MoldableJob,
+        deps: &[u64],
+    ) -> Result<u64, String> {
+        self.check_fault()?;
+        self.validate_spec(&job).inspect_err(|_| {
+            self.metrics.record_rejected(tenant, 1);
+        })?;
+        let admit = self.ingest.admit(1).and_then(|()| {
+            let next = self.world.len() as u64;
+            match deps.iter().find(|&&d| d >= next) {
+                Some(d) => Err(format!(
+                    "dependency {d} does not exist yet (next id {next})"
+                )),
+                None => Ok(()),
+            }
+        });
+        if let Err(e) = admit {
+            self.metrics.record_rejected(tenant, 1);
+            return Err(e);
+        }
+        let id = self.world.len();
+        let mut deps: Vec<u64> = deps.to_vec();
+        deps.sort_unstable();
+        deps.dedup();
+        for d in deps {
+            self.edges.push((d as usize, id));
+        }
+        self.world.push(WorldJob {
+            tenant: tenant.to_string(),
+            job,
+        });
+        self.ingest.push_jobs(&[id]);
+        self.metrics.record_submitted(tenant, 1);
+        Ok(id as u64)
+    }
+
+    /// Admits a whole DAG atomically; `edges` are `(from, to)` pairs of
+    /// indices into `jobs`. Returns the assigned global ids, in order.
+    pub fn submit_dag(
+        &mut self,
+        tenant: &str,
+        jobs: Vec<MoldableJob>,
+        edges: &[(usize, usize)],
+    ) -> Result<Vec<u64>, String> {
+        self.check_fault()?;
+        let count = jobs.len();
+        let admit = (|| {
+            if count == 0 {
+                return Err("empty submission".to_string());
+            }
+            self.ingest.admit(count)?;
+            for job in &jobs {
+                self.validate_spec(job)?;
+            }
+            let mut local: Vec<(usize, usize)> = edges.to_vec();
+            local.sort_unstable();
+            local.dedup();
+            if let Some(&(a, b)) = local.iter().find(|&&(a, b)| a >= count || b >= count) {
+                return Err(format!("edge ({a}, {b}) references a job outside the DAG"));
+            }
+            Dag::from_edges(count, &local).map_err(|e| format!("invalid DAG: {e}"))?;
+            Ok(local)
+        })();
+        let local = match admit {
+            Ok(local) => local,
+            Err(e) => {
+                self.metrics.record_rejected(tenant, count.max(1) as u64);
+                return Err(e);
+            }
+        };
+        let base = self.world.len();
+        let ids: Vec<usize> = (base..base + count).collect();
+        for (a, b) in local {
+            self.edges.push((base + a, base + b));
+        }
+        for job in jobs {
+            self.world.push(WorldJob {
+                tenant: tenant.to_string(),
+                job,
+            });
+        }
+        self.ingest.push_jobs(&ids);
+        self.metrics.record_submitted(tenant, count as u64);
+        Ok(ids.into_iter().map(|id| id as u64).collect())
+    }
+
+    /// Queues a capacity change for the next round.
+    pub fn submit_capacity(&mut self, resource: usize, capacity: u64) -> Result<(), String> {
+        self.check_fault()?;
+        let d = self.num_resource_types();
+        if resource >= d {
+            return Err(format!(
+                "resource {resource} does not exist (the machine has {d} types)"
+            ));
+        }
+        if capacity == 0 {
+            return Err("capacities must stay >= 1".to_string());
+        }
+        self.ingest.push_capacity(resource, capacity);
+        Ok(())
+    }
+
+    /// The queryable metrics snapshot.
+    pub fn status(&self) -> MetricsSnapshot {
+        self.metrics
+            .snapshot(self.virtual_now, self.ingest.queue_depth())
+    }
+
+    /// Flushes the open batch into one scheduling round, if any work is
+    /// queued. The round places what it can and pauses; completions beyond
+    /// the round's stamp are processed by later rounds or by a drain.
+    pub fn flush(&mut self) -> Result<(), String> {
+        self.check_fault()?;
+        if self.ingest.is_empty() {
+            return Ok(());
+        }
+        let batch = self.ingest.take_batch();
+        self.run_round(batch, false).map(|_| ())
+    }
+
+    /// Flushes any queued work and runs the engine until every admitted job
+    /// completed, returning the drain report.
+    pub fn drain(&mut self) -> Result<DrainReport, String> {
+        self.check_fault()?;
+        let batch = self.ingest.take_batch();
+        let trace = self
+            .run_round(batch, true)?
+            .expect("completing rounds always produce a trace");
+        let submitted = self.world.len() as u64;
+        let completed = self.snapshot.as_ref().map_or(0, |s| s.num_completed as u64);
+        Ok(DrainReport {
+            virtual_makespan: trace.stats.realized_makespan,
+            submitted,
+            completed,
+            feasible: self.validate(&trace),
+            metrics: self.status(),
+            trace,
+        })
+    }
+
+    fn check_fault(&self) -> Result<(), String> {
+        match &self.fault {
+            Some(f) => Err(format!("service faulted: {f}")),
+            None => Ok(()),
+        }
+    }
+
+    /// Cheap submission-time validation of a job description.
+    fn validate_spec(&self, job: &MoldableJob) -> Result<(), String> {
+        let d = self.num_resource_types();
+        if let Some(dim) = job.spec.dimension() {
+            if dim != d {
+                return Err(format!(
+                    "job `{}` is specified for {dim} resource types but the machine has {d}",
+                    job.name
+                ));
+            }
+        }
+        let probe = Allocation::new(vec![1; d]);
+        let t = job.spec.time(&probe);
+        if !t.is_finite() || t <= 0.0 {
+            return Err(format!(
+                "job `{}` has invalid execution time {t} under the unit allocation",
+                job.name
+            ));
+        }
+        Ok(())
+    }
+
+    /// The virtual time stamped on the next round's events.
+    fn next_round_time(&self) -> f64 {
+        self.virtual_now.max(self.rounds as f64 * self.config.tick)
+    }
+
+    /// Executes one round. `complete` drives the engine until every job
+    /// finished (a drain) and returns the realized trace; otherwise the
+    /// round pauses at its stamp time.
+    fn run_round(&mut self, batch: Batch, complete: bool) -> Result<Option<RealizedTrace>, String> {
+        if batch.is_empty() && !complete {
+            return Ok(None);
+        }
+        let t = self.next_round_time();
+        if !batch.is_empty() {
+            self.rounds += 1;
+            self.metrics.record_round();
+        }
+        // Mirror the capacity changes before building the instance so its
+        // system covers every capacity the machine ever had.
+        for &(resource, capacity) in &batch.capacity_changes {
+            self.capacities_now[resource] = capacity;
+            self.capacities_max[resource] = self.capacities_max[resource].max(capacity);
+        }
+        let result = self.run_round_inner(&batch, t, complete);
+        match result {
+            Ok(trace) => Ok(trace),
+            Err(e) => {
+                self.fault = Some(e.clone());
+                Err(e)
+            }
+        }
+    }
+
+    fn run_round_inner(
+        &mut self,
+        batch: &Batch,
+        t: f64,
+        complete: bool,
+    ) -> Result<Option<RealizedTrace>, String> {
+        let n = self.world.len();
+        let system = SystemConfig::new(self.capacities_max.clone()).map_err(|e| e.to_string())?;
+        let dag = Dag::from_edges(n, &self.edges).map_err(|e| e.to_string())?;
+        let jobs: Vec<MoldableJob> = self.world.iter().map(|w| w.job.clone()).collect();
+        let instance = Instance::new(system, dag, jobs).map_err(|e| e.to_string())?;
+        let plan = self.build_plan(&instance, t, &batch.jobs)?;
+
+        let (tx, mut source) = ChannelSource::channel();
+        for &job in &batch.jobs {
+            let _ = tx.send(SourceEvent::Release { time: t, job });
+        }
+        for &(resource, capacity) in &batch.capacity_changes {
+            let _ = tx.send(SourceEvent::Capacity {
+                time: t,
+                resource,
+                capacity,
+            });
+        }
+        drop(tx);
+
+        let mut run = match (&self.snapshot, self.perturber.take()) {
+            (None, _) => SimRun::start(
+                &instance,
+                &plan,
+                self.config.seed,
+                self.config.perturbation.clone(),
+                None,
+                vec![false; n],
+            ),
+            (Some(snapshot), Some(perturber)) => {
+                SimRun::resume_with_perturber(&instance, &plan, snapshot, perturber, None)
+            }
+            (Some(snapshot), None) => SimRun::resume(
+                &instance,
+                &plan,
+                snapshot,
+                self.config.perturbation.clone(),
+                None,
+            ),
+        }
+        .map_err(|e| e.to_string())?;
+        let mut policy = self.config.policy.build();
+        if complete {
+            run.drive(policy.as_mut(), &mut source)
+        } else {
+            run.drive_until(policy.as_mut(), &mut source, t)
+        }
+        .map_err(|e| e.to_string())?;
+
+        let snapshot = run.checkpoint();
+        self.virtual_now = snapshot.now;
+        self.harvest_events(&snapshot);
+        self.perturber = Some(run.perturber().clone());
+        let trace = complete.then(|| run.into_trace(self.config.policy.label()));
+        self.snapshot = Some(snapshot);
+        Ok(trace)
+    }
+
+    /// Builds the job-indexed plan for the current world: realized entries
+    /// for jobs that already started, fresh two-phase plans (against the
+    /// machine's *current* capacities) for everything pending. Planned
+    /// finish times of newly submitted jobs are recorded per tenant.
+    fn build_plan(
+        &mut self,
+        instance: &Instance,
+        t: f64,
+        new_jobs: &[usize],
+    ) -> Result<Schedule, String> {
+        let n = instance.num_jobs();
+        let started = |j: usize| {
+            self.snapshot
+                .as_ref()
+                .is_some_and(|s| j < s.started.len() && s.started[j])
+        };
+        let mut entries: Vec<Option<ScheduledJob>> = vec![None; n];
+        let mut pending: Vec<usize> = Vec::new();
+        for (j, entry) in entries.iter_mut().enumerate() {
+            if started(j) {
+                let s = self.snapshot.as_ref().expect("started implies snapshot");
+                *entry = Some(ScheduledJob {
+                    job: j,
+                    start: s.start[j],
+                    finish: s.finish[j],
+                    alloc: s.alloc_used[j].clone(),
+                });
+            } else {
+                pending.push(j);
+            }
+        }
+        if !pending.is_empty() {
+            let (sub_dag, mapping) = instance.dag.induced_subgraph(&pending);
+            let sub_jobs: Vec<MoldableJob> = mapping
+                .iter()
+                .map(|&old| instance.jobs[old].clone())
+                .collect();
+            let system =
+                SystemConfig::new(self.capacities_now.clone()).map_err(|e| e.to_string())?;
+            let sub_instance =
+                Instance::new(system, sub_dag, sub_jobs).map_err(|e| e.to_string())?;
+            match MrlsScheduler::new(self.config.scheduler.clone()).schedule(&sub_instance) {
+                Ok(result) => {
+                    for sj in &result.schedule.jobs {
+                        let old = mapping[sj.job];
+                        entries[old] = Some(ScheduledJob {
+                            job: old,
+                            start: t + sj.start,
+                            finish: t + sj.finish,
+                            alloc: sj.alloc.clone(),
+                        });
+                    }
+                }
+                Err(_) => {
+                    // Fallback: serialise the pending jobs on unit
+                    // allocations (always feasible — capacities stay >= 1).
+                    let d = self.num_resource_types();
+                    let mut clock = t;
+                    for &old in &pending {
+                        let alloc = Allocation::new(vec![1; d]);
+                        let dur = instance.jobs[old].spec.time(&alloc).max(1e-9);
+                        entries[old] = Some(ScheduledJob {
+                            job: old,
+                            start: clock,
+                            finish: clock + dur,
+                            alloc,
+                        });
+                        clock += dur;
+                    }
+                }
+            }
+        }
+        let entries: Vec<ScheduledJob> = entries
+            .into_iter()
+            .map(|e| e.expect("every job planned or realized"))
+            .collect();
+        for &j in new_jobs {
+            let tenant = self.world[j].tenant.clone();
+            self.metrics.record_planned(&tenant, entries[j].finish);
+        }
+        Ok(Schedule::new(entries))
+    }
+
+    /// Feeds the engine events processed since the last harvest into the
+    /// metrics registry.
+    fn harvest_events(&mut self, snapshot: &SimSnapshot) {
+        use mrls_sim::TraceEvent;
+        for ev in &snapshot.events[self.events_seen..] {
+            match ev {
+                TraceEvent::JobStarted { job, .. } => {
+                    let tenant = self.world[*job].tenant.clone();
+                    self.metrics.record_scheduled(&tenant);
+                }
+                TraceEvent::JobCompleted { time, job, .. } => {
+                    let tenant = self.world[*job].tenant.clone();
+                    self.metrics.record_completed(&tenant, *time);
+                }
+                _ => {}
+            }
+        }
+        self.events_seen = snapshot.events.len();
+    }
+
+    /// Validates the realized schedule of a drained world
+    /// (capacity/precedence feasibility, durations relaxed).
+    fn validate(&self, trace: &RealizedTrace) -> bool {
+        let n = self.world.len();
+        if n == 0 {
+            return true;
+        }
+        let Ok(system) = SystemConfig::new(self.capacities_max.clone()) else {
+            return false;
+        };
+        let Ok(dag) = Dag::from_edges(n, &self.edges) else {
+            return false;
+        };
+        let jobs: Vec<MoldableJob> = self.world.iter().map(|w| w.job.clone()).collect();
+        let Ok(instance) = Instance::new(system, dag, jobs) else {
+            return false;
+        };
+        validate_schedule_with(
+            &instance,
+            &trace.realized,
+            ValidationOptions {
+                check_durations: false,
+            },
+        )
+        .is_valid()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrls_model::ExecTimeSpec;
+
+    fn config() -> ServeConfig {
+        ServeConfig {
+            capacities: vec![4, 4],
+            tick: 1.0,
+            ..ServeConfig::default()
+        }
+    }
+
+    fn job(time: f64) -> MoldableJob {
+        MoldableJob::new(0, ExecTimeSpec::Constant { time })
+    }
+
+    #[test]
+    fn submit_flush_drain_completes_everything() {
+        let mut core = ServiceCore::new(config());
+        let a = core.submit_job("alice", job(2.0), &[]).unwrap();
+        let b = core.submit_job("alice", job(1.0), &[a]).unwrap();
+        assert_eq!((a, b), (0, 1));
+        core.flush().unwrap();
+        let ids = core
+            .submit_dag("bob", vec![job(1.0), job(1.0)], &[(0, 1)])
+            .unwrap();
+        assert_eq!(ids, vec![2, 3]);
+        let report = core.drain().unwrap();
+        assert_eq!(report.submitted, 4);
+        assert_eq!(report.completed, 4);
+        assert!(report.feasible);
+        assert!(report.virtual_makespan >= 3.0 - 1e-9);
+        let alice = &report.metrics.tenants["alice"];
+        assert_eq!((alice.submitted, alice.completed), (2, 2));
+        // Draining again is idempotent.
+        let again = core.drain().unwrap();
+        assert_eq!(again.completed, 4);
+    }
+
+    #[test]
+    fn rounds_overlap_in_virtual_time() {
+        let mut core = ServiceCore::new(config());
+        core.submit_job("a", job(10.0), &[]).unwrap();
+        core.flush().unwrap();
+        // The first job is still running at the second round's stamp.
+        core.submit_job("a", job(1.0), &[]).unwrap();
+        core.flush().unwrap();
+        let report = core.drain().unwrap();
+        let starts: Vec<f64> = report.trace.realized.jobs.iter().map(|j| j.start).collect();
+        assert_eq!(starts, vec![0.0, 1.0], "second round stamped at tick");
+        assert!((report.virtual_makespan - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_changes_land_in_their_round() {
+        let mut core = ServiceCore::new(config());
+        core.submit_job("a", job(5.0), &[]).unwrap();
+        core.flush().unwrap();
+        core.submit_capacity(0, 2).unwrap();
+        core.flush().unwrap();
+        let report = core.drain().unwrap();
+        assert!(report.feasible);
+        assert!(report
+            .trace
+            .events
+            .iter()
+            .any(|e| matches!(e, mrls_sim::TraceEvent::CapacityChanged { capacity: 2, .. })));
+        // A recovery above the initial capacity is also honoured.
+        core.submit_capacity(0, 6).unwrap();
+        core.submit_job("a", job(1.0), &[]).unwrap();
+        let report = core.drain().unwrap();
+        assert!(report.feasible);
+        assert_eq!(report.completed, 2);
+    }
+
+    #[test]
+    fn invalid_submissions_are_rejected() {
+        let mut core = ServiceCore::new(config());
+        // Unknown dependency.
+        assert!(core.submit_job("a", job(1.0), &[5]).is_err());
+        // Wrong dimensionality.
+        let bad = MoldableJob::new(
+            0,
+            ExecTimeSpec::Amdahl {
+                seq: 1.0,
+                work: vec![1.0, 1.0, 1.0],
+            },
+        );
+        assert!(core.submit_job("a", bad, &[]).is_err());
+        // Non-positive execution time.
+        assert!(core.submit_job("a", job(0.0), &[]).is_err());
+        // Cyclic DAG.
+        assert!(core
+            .submit_dag("a", vec![job(1.0), job(1.0)], &[(0, 1), (1, 0)])
+            .is_err());
+        // Empty DAG.
+        assert!(core.submit_dag("a", vec![], &[]).is_err());
+        // Bad capacity change.
+        assert!(core.submit_capacity(7, 2).is_err());
+        assert!(core.submit_capacity(0, 0).is_err());
+        // Rejections count jobs: 1 + 1 + 1 + 2 (cyclic DAG) + 1 (empty DAG).
+        assert_eq!(core.status().jobs_rejected, 6);
+        // Nothing was admitted, so draining completes trivially.
+        let report = core.drain().unwrap();
+        assert_eq!(report.submitted, 0);
+        assert!(report.feasible);
+    }
+
+    #[test]
+    fn backpressure_rejects_over_the_limit() {
+        let mut core = ServiceCore::new(ServeConfig {
+            capacities: vec![4, 4],
+            max_pending_jobs: 2,
+            ..ServeConfig::default()
+        });
+        core.submit_job("a", job(1.0), &[]).unwrap();
+        core.submit_job("a", job(1.0), &[]).unwrap();
+        let err = core.submit_job("a", job(1.0), &[]).unwrap_err();
+        assert!(err.contains("backpressure"), "{err}");
+        core.flush().unwrap();
+        // The queue emptied: admissions resume.
+        core.submit_job("a", job(1.0), &[]).unwrap();
+        let report = core.drain().unwrap();
+        assert_eq!(report.submitted, 3);
+        assert_eq!(report.completed, 3);
+    }
+
+    #[test]
+    fn same_submission_order_is_byte_identical() {
+        let run = || {
+            let mut core = ServiceCore::new(config());
+            core.submit_dag("a", vec![job(2.0), job(1.0)], &[(0, 1)])
+                .unwrap();
+            core.flush().unwrap();
+            core.submit_job("b", job(3.0), &[]).unwrap();
+            core.flush().unwrap();
+            core.submit_capacity(1, 2).unwrap();
+            core.flush().unwrap();
+            let report = core.drain().unwrap();
+            (
+                serde_json::to_string(&report.metrics).unwrap(),
+                report.trace.to_json(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,151 @@
+//! Edge cases of the protocol layer over real loopback TCP: malformed JSON,
+//! unknown request kinds, oversized lines, half-closed connections, and a
+//! server that keeps serving other clients through all of it.
+
+use mrls_serve::{
+    read_frame, Client, Request, RequestBody, Response, ResponseBody, ServeConfig, Server,
+    ServerHandle,
+};
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn spawn_server(max_line_bytes: usize) -> ServerHandle {
+    Server::spawn(
+        ServeConfig {
+            capacities: vec![4, 4],
+            batch_window: Duration::ZERO,
+            max_line_bytes,
+            ..ServeConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("bind loopback")
+}
+
+/// Sends a raw line and reads one raw response line.
+fn raw_roundtrip(stream: &mut TcpStream, line: &str) -> Response {
+    stream.write_all(line.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    stream.flush().unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let reply = read_frame(&mut reader, 1 << 20).unwrap().expect("a reply");
+    serde_json::from_str(&reply).unwrap()
+}
+
+#[test]
+fn malformed_json_gets_an_error_reply() {
+    let handle = spawn_server(1 << 16);
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    let response = raw_roundtrip(&mut stream, "this is { not json");
+    assert_eq!(response.id, 0);
+    assert!(matches!(response.body, ResponseBody::Error { .. }));
+    // The connection survives a parse error; a valid request still works.
+    let response = raw_roundtrip(&mut stream, r#"{"id":9,"tenant":"t","body":"QueryStatus"}"#);
+    assert_eq!(response.id, 9);
+    assert!(matches!(response.body, ResponseBody::Status { .. }));
+
+    Client::connect(handle.addr(), "t")
+        .unwrap()
+        .shutdown()
+        .unwrap();
+    handle.join();
+}
+
+#[test]
+fn unknown_request_kinds_echo_the_id() {
+    let handle = spawn_server(1 << 16);
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    let response = raw_roundtrip(&mut stream, r#"{"id":41,"tenant":"t","body":"Flarb"}"#);
+    assert_eq!(response.id, 41, "id recovered from the unparsable request");
+    let ResponseBody::Error { message } = response.body else {
+        panic!("expected an error response");
+    };
+    assert!(message.contains("malformed request"), "{message}");
+    // Unknown payload-carrying kinds are errors too.
+    let response = raw_roundtrip(
+        &mut stream,
+        r#"{"id":42,"tenant":"t","body":{"Reticulate":{"splines":3}}}"#,
+    );
+    assert_eq!(response.id, 42);
+    assert!(matches!(response.body, ResponseBody::Error { .. }));
+
+    Client::connect(handle.addr(), "t")
+        .unwrap()
+        .shutdown()
+        .unwrap();
+    handle.join();
+}
+
+#[test]
+fn oversized_lines_are_rejected_and_the_connection_dropped() {
+    let handle = spawn_server(256);
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    let long = format!(
+        r#"{{"id":1,"tenant":"{}","body":"QueryStatus"}}"#,
+        "x".repeat(1000)
+    );
+    stream.write_all(long.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    stream.flush().unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let reply = read_frame(&mut reader, 1 << 20).unwrap().expect("a reply");
+    let response: Response = serde_json::from_str(&reply).unwrap();
+    let ResponseBody::Error { message } = response.body else {
+        panic!("expected an error response");
+    };
+    assert!(message.contains("256-byte limit"), "{message}");
+    // The server closed this connection — there is no way to resynchronise.
+    assert_eq!(read_frame(&mut reader, 1 << 20).unwrap(), None);
+    // Other clients are unaffected.
+    let mut client = Client::connect(handle.addr(), "t").unwrap();
+    assert_eq!(client.status().unwrap().jobs_submitted, 0);
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn half_closed_connections_still_get_their_responses() {
+    let handle = spawn_server(1 << 16);
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    let request = Request {
+        id: 7,
+        tenant: "half".into(),
+        body: RequestBody::QueryStatus,
+    };
+    stream
+        .write_all(mrls_serve::encode_line(&request).as_bytes())
+        .unwrap();
+    stream.flush().unwrap();
+    // Close the write half before reading: the server must still process the
+    // request and deliver the response on the intact read half.
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut reader = BufReader::new(stream);
+    let reply = read_frame(&mut reader, 1 << 20).unwrap().expect("a reply");
+    let response: Response = serde_json::from_str(&reply).unwrap();
+    assert_eq!(response.id, 7);
+    assert!(matches!(response.body, ResponseBody::Status { .. }));
+    // And the server then sees EOF and drops the connection quietly.
+    assert_eq!(read_frame(&mut reader, 1 << 20).unwrap(), None);
+
+    Client::connect(handle.addr(), "t")
+        .unwrap()
+        .shutdown()
+        .unwrap();
+    handle.join();
+}
+
+#[test]
+fn empty_lines_are_skipped() {
+    let handle = spawn_server(1 << 16);
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream.write_all(b"\n\n").unwrap();
+    let response = raw_roundtrip(&mut stream, r#"{"id":3,"tenant":"t","body":"QueryStatus"}"#);
+    assert_eq!(response.id, 3);
+
+    Client::connect(handle.addr(), "t")
+        .unwrap()
+        .shutdown()
+        .unwrap();
+    handle.join();
+}

@@ -8,6 +8,12 @@
 //! decides *which* ready jobs start, with which allocations, whenever the
 //! world changes.
 //!
+//! The run loop itself lives in [`SimRun`], an incremental driver that pulls
+//! external events from any [`EventSource`] and can be paused, checkpointed
+//! (serialisable [`SimSnapshot`]) and resumed — including against a *grown*
+//! instance, which is how the `mrls-serve` online service appends freshly
+//! submitted jobs between batching rounds.
+//!
 //! Everything is deterministic: events are processed in `(time, kind, id)`
 //! order, random draws are consumed in event order from a `ChaCha8` stream,
 //! and two runs with the same seed produce byte-identical traces.
@@ -15,9 +21,11 @@
 use crate::perturb::{PerturbationModel, Perturber};
 use crate::policy::Policy;
 use crate::scenario::Scenario;
+use crate::source::{EventSource, ScenarioSource, SourceEvent};
 use crate::trace::{RealizedTrace, StressStats, TraceEvent};
 use mrls_core::{CoreError, ResourceState, Schedule, ScheduledJob};
 use mrls_model::{Allocation, Instance};
+use serde::{Deserialize, Serialize};
 
 /// Errors produced by the simulation engine.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,6 +36,8 @@ pub enum SimError {
     InvalidPlan(String),
     /// The scenario does not match the instance.
     InvalidScenario(String),
+    /// A checkpoint does not match the instance/plan it is resumed against.
+    InvalidSnapshot(String),
     /// A policy asked the engine to do something infeasible.
     PolicyViolation {
         /// The offending policy.
@@ -59,6 +69,7 @@ impl std::fmt::Display for SimError {
             SimError::Core(e) => write!(f, "core error: {e}"),
             SimError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
             SimError::InvalidScenario(msg) => write!(f, "invalid scenario: {msg}"),
+            SimError::InvalidSnapshot(msg) => write!(f, "invalid snapshot: {msg}"),
             SimError::PolicyViolation {
                 policy,
                 job,
@@ -87,7 +98,7 @@ impl From<CoreError> for SimError {
 }
 
 /// A job currently executing.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunningJob {
     /// Job index.
     pub job: usize,
@@ -160,6 +171,19 @@ impl Default for SimConfig {
     }
 }
 
+/// How a [`SimRun::drive`] call ended (errors are reported separately).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// Every job of the instance completed and the source is exhausted.
+    Complete,
+    /// The stop time was reached; more events are pending.
+    Paused,
+    /// The source is exhausted and nothing is running, but incomplete jobs
+    /// remain, all blocked (directly or transitively) on unreleased jobs —
+    /// a live source may still feed the releases later.
+    Idle,
+}
+
 /// The discrete-event execution engine.
 #[derive(Debug, Clone)]
 pub struct Simulator {
@@ -167,7 +191,7 @@ pub struct Simulator {
 }
 
 /// Event-time grouping tolerance, matching the offline list scheduler.
-const EPS: f64 = 1e-9;
+pub(crate) const EPS: f64 = 1e-9;
 
 impl Simulator {
     /// Creates an engine with the given configuration.
@@ -188,27 +212,181 @@ impl Simulator {
         plan: &Schedule,
         policy: &mut dyn Policy,
     ) -> Result<RealizedTrace, SimError> {
+        let plan = normalize_plan(instance, plan)?;
+        let (mut run, mut source) = self.start(instance, &plan)?;
+        match run.drive(policy, &mut source)? {
+            RunStatus::Complete => Ok(run.into_trace(policy.label())),
+            RunStatus::Paused | RunStatus::Idle => Err(SimError::Stalled {
+                time: run.state.now,
+                ready: run.state.ready.clone(),
+            }),
+        }
+    }
+
+    /// Begins an incremental run of `plan` (which must be job-indexed — see
+    /// [`normalize_plan`]) under the configured scenario, returning the
+    /// paused driver plus the scenario's event source. Drive it with
+    /// [`SimRun::drive`] / [`SimRun::drive_until`].
+    pub fn start<'a>(
+        &self,
+        instance: &'a Instance,
+        plan: &'a Schedule,
+    ) -> Result<(SimRun<'a>, ScenarioSource), SimError> {
         let n = instance.num_jobs();
-        // Normalise the plan so entry `j` describes job `j` — externally
-        // loaded plans may list jobs in any order, but policies index the
-        // plan's allocation/start vectors by job id.
-        let plan = &normalize_plan(instance, plan)?;
-        let plan_allocs = plan.allocations();
         self.config
             .scenario
             .validate(instance)
             .map_err(SimError::InvalidScenario)?;
-        let scenario = &self.config.scenario;
-        let max_events = self.config.max_events.unwrap_or(1000 + 200 * n);
-        let mut perturber = Perturber::new(self.config.perturbation.clone(), self.config.seed);
+        let released: Vec<bool> = (0..n)
+            .map(|j| self.config.scenario.release_time(j) <= 0.0)
+            .collect();
+        let run = SimRun::start(
+            instance,
+            plan,
+            self.config.seed,
+            self.config.perturbation.clone(),
+            self.config.max_events,
+            released,
+        )?;
+        Ok((run, ScenarioSource::new(&self.config.scenario, n)))
+    }
 
-        // World state.
-        let released: Vec<bool> = (0..n).map(|j| scenario.release_time(j) <= 0.0).collect();
+    /// Resumes a checkpointed run against the configured scenario, returning
+    /// the driver plus a scenario source fast-forwarded past every event the
+    /// checkpointed run already consumed.
+    pub fn resume<'a>(
+        &self,
+        instance: &'a Instance,
+        plan: &'a Schedule,
+        snapshot: &SimSnapshot,
+    ) -> Result<(SimRun<'a>, ScenarioSource), SimError> {
+        let n = instance.num_jobs();
+        self.config
+            .scenario
+            .validate(instance)
+            .map_err(SimError::InvalidScenario)?;
+        let run = SimRun::resume(
+            instance,
+            plan,
+            snapshot,
+            self.config.perturbation.clone(),
+            self.config.max_events,
+        )?;
+        let source = ScenarioSource::resume_at(&self.config.scenario, n, snapshot.now);
+        Ok((run, source))
+    }
+}
+
+/// A fully owned, serialisable checkpoint of a paused [`SimRun`].
+///
+/// Together with the instance and the (job-indexed) plan, a snapshot restores
+/// the run exactly: availability amounts are stored verbatim (including
+/// floating-point residue) and the perturbation stream is fast-forwarded by
+/// its recorded draw count, so the continuation of a resumed run is
+/// byte-identical to the uninterrupted one for checkpoint-transparent
+/// policies (static replay and reactive-list; a resumed full-reschedule
+/// policy re-reads the plan and forgets earlier in-flight reschedules).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimSnapshot {
+    /// Seed of the perturbation stream.
+    pub seed: u64,
+    /// Virtual time of the checkpoint.
+    pub now: f64,
+    /// Current per-type capacities.
+    pub capacities: Vec<u64>,
+    /// Raw per-type availability amounts.
+    pub available: Vec<f64>,
+    /// Ready jobs, sorted by index (informational — recomputed from the
+    /// flags at resume).
+    pub ready: Vec<usize>,
+    /// Per-job released flag.
+    pub released: Vec<bool>,
+    /// Per-job started flag.
+    pub started: Vec<bool>,
+    /// Per-job completed flag.
+    pub completed: Vec<bool>,
+    /// Jobs currently executing.
+    pub running: Vec<RunningJob>,
+    /// Per-job count of not-yet-completed predecessors (informational —
+    /// recomputed from the flags at resume).
+    pub remaining_preds: Vec<usize>,
+    /// Realized start times (NaN = not started).
+    pub start: Vec<f64>,
+    /// Realized finish times (NaN = not finished).
+    pub finish: Vec<f64>,
+    /// Nominal execution times of started jobs (NaN = not started).
+    pub nominal: Vec<f64>,
+    /// Allocation each job ran (or is planned to run) with.
+    pub alloc_used: Vec<Allocation>,
+    /// Number of completed jobs.
+    pub num_completed: usize,
+    /// Every trace event processed so far.
+    pub events: Vec<TraceEvent>,
+    /// Events consumed from the budget so far.
+    pub event_budget: usize,
+    /// Perturbation draws consumed so far.
+    pub perturber_realizations: u64,
+}
+
+impl SimSnapshot {
+    /// The number of jobs the checkpointed world knew about.
+    pub fn num_jobs(&self) -> usize {
+        self.released.len()
+    }
+
+    /// Serialises the snapshot to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshots are always serialisable")
+    }
+
+    /// Parses a snapshot from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// An in-flight simulation: the world state plus the per-job realized record,
+/// driven incrementally against an [`EventSource`].
+#[derive(Debug, Clone)]
+pub struct SimRun<'a> {
+    seed: u64,
+    max_events: Option<usize>,
+    state: SimState<'a>,
+    perturber: Perturber,
+    start: Vec<f64>,
+    finish: Vec<f64>,
+    nominal: Vec<f64>,
+    alloc_used: Vec<Allocation>,
+    num_completed: usize,
+    events: Vec<TraceEvent>,
+    event_budget: usize,
+}
+
+impl<'a> SimRun<'a> {
+    /// Begins a run at time zero. `plan` must be job-indexed (entry `j`
+    /// describes job `j` — see [`normalize_plan`]); `released` flags the jobs
+    /// available before the first external event.
+    pub fn start(
+        instance: &'a Instance,
+        plan: &'a Schedule,
+        seed: u64,
+        perturbation: PerturbationModel,
+        max_events: Option<usize>,
+        released: Vec<bool>,
+    ) -> Result<Self, SimError> {
+        check_normalized(instance, plan)?;
+        let n = instance.num_jobs();
+        if released.len() != n {
+            return Err(SimError::InvalidScenario(format!(
+                "{} release flags for {n} jobs",
+                released.len()
+            )));
+        }
         let remaining_preds: Vec<usize> = (0..n).map(|j| instance.dag.in_degree(j)).collect();
         let ready: Vec<usize> = (0..n)
             .filter(|&j| released[j] && remaining_preds[j] == 0)
             .collect();
-        let mut state = SimState {
+        let state = SimState {
             instance,
             plan,
             now: 0.0,
@@ -221,79 +399,315 @@ impl Simulator {
             running: Vec::new(),
             remaining_preds,
         };
+        Ok(SimRun {
+            seed,
+            max_events,
+            state,
+            perturber: Perturber::new(perturbation, seed),
+            start: vec![f64::NAN; n],
+            finish: vec![f64::NAN; n],
+            nominal: vec![f64::NAN; n],
+            alloc_used: plan.allocations(),
+            num_completed: 0,
+            events: Vec::new(),
+            event_budget: 0,
+        })
+    }
 
-        // Future scenario events, each sorted ascending and consumed front to
-        // back via an index.
-        let mut arrivals: Vec<(f64, usize)> = (0..n)
-            .map(|j| (scenario.release_time(j), j))
-            .filter(|&(t, _)| t > 0.0)
+    /// Resumes a checkpointed run. The instance may have *grown* since the
+    /// checkpoint (jobs appended at the end, with edges only among new jobs
+    /// or from pre-existing jobs to new ones — never into pre-snapshot
+    /// jobs); appended jobs start unreleased and are fed in as
+    /// [`SourceEvent::Release`] events.
+    ///
+    /// The perturbation stream is reconstructed by replaying
+    /// `snapshot.perturber_realizations` draws; a caller resuming round
+    /// after round (the `mrls-serve` service) can keep the live
+    /// [`Perturber`] instead via [`SimRun::resume_with_perturber`].
+    pub fn resume(
+        instance: &'a Instance,
+        plan: &'a Schedule,
+        snapshot: &SimSnapshot,
+        perturbation: PerturbationModel,
+        max_events: Option<usize>,
+    ) -> Result<Self, SimError> {
+        let perturber =
+            Perturber::resume(perturbation, snapshot.seed, snapshot.perturber_realizations);
+        SimRun::resume_with_perturber(instance, plan, snapshot, perturber, max_events)
+    }
+
+    /// Like [`SimRun::resume`], but continues an already fast-forwarded
+    /// perturbation stream instead of replaying it from the seed.
+    pub fn resume_with_perturber(
+        instance: &'a Instance,
+        plan: &'a Schedule,
+        snapshot: &SimSnapshot,
+        perturber: Perturber,
+        max_events: Option<usize>,
+    ) -> Result<Self, SimError> {
+        if perturber.realizations() != snapshot.perturber_realizations {
+            return Err(SimError::InvalidSnapshot(format!(
+                "perturber has drawn {} realizations but the snapshot recorded {}",
+                perturber.realizations(),
+                snapshot.perturber_realizations
+            )));
+        }
+        check_normalized(instance, plan)?;
+        let n = instance.num_jobs();
+        let m = snapshot.num_jobs();
+        if m > n {
+            return Err(SimError::InvalidSnapshot(format!(
+                "snapshot covers {m} jobs but the instance has only {n}"
+            )));
+        }
+        let d = instance.num_resource_types();
+        if snapshot.capacities.len() != d || snapshot.available.len() != d {
+            return Err(SimError::InvalidSnapshot(format!(
+                "snapshot has {} resource types but the instance has {d}",
+                snapshot.capacities.len()
+            )));
+        }
+        for (what, len) in [
+            ("started", snapshot.started.len()),
+            ("completed", snapshot.completed.len()),
+            ("remaining_preds", snapshot.remaining_preds.len()),
+            ("start", snapshot.start.len()),
+            ("finish", snapshot.finish.len()),
+            ("nominal", snapshot.nominal.len()),
+            ("alloc_used", snapshot.alloc_used.len()),
+        ] {
+            if len != m {
+                return Err(SimError::InvalidSnapshot(format!(
+                    "snapshot field `{what}` has length {len}, expected {m}"
+                )));
+            }
+        }
+        if snapshot.num_completed != snapshot.completed.iter().filter(|&&c| c).count() {
+            return Err(SimError::InvalidSnapshot(
+                "completion counter disagrees with the completed flags".to_string(),
+            ));
+        }
+
+        let mut released = snapshot.released.clone();
+        let mut started = snapshot.started.clone();
+        let mut completed = snapshot.completed.clone();
+        released.resize(n, false);
+        started.resize(n, false);
+        completed.resize(n, false);
+        for j in 0..m {
+            if (completed[j] && !started[j]) || (started[j] && !released[j]) {
+                return Err(SimError::InvalidSnapshot(format!(
+                    "job {j} has inconsistent lifecycle flags"
+                )));
+            }
+        }
+        // A tampered or truncated checkpoint must fail cleanly, not panic
+        // mid-run: the running set is validated against the flags, and the
+        // derived fields (remaining predecessor counts, ready set) are
+        // recomputed from the flags rather than trusted.
+        let mut seen_running = vec![false; n];
+        for r in &snapshot.running {
+            if r.job >= m || !started[r.job] || completed[r.job] || seen_running[r.job] {
+                return Err(SimError::InvalidSnapshot(format!(
+                    "running entry for job {} contradicts the job flags",
+                    r.job
+                )));
+            }
+            seen_running[r.job] = true;
+            instance
+                .system
+                .validate_allocation(&r.alloc)
+                .map_err(|e| SimError::InvalidSnapshot(format!("running job {}: {e}", r.job)))?;
+        }
+        let remaining_preds: Vec<usize> = (0..n)
+            .map(|j| {
+                // Completed predecessors already had their completion events
+                // processed before the checkpoint (for appended jobs, before
+                // they existed).
+                instance
+                    .dag
+                    .predecessors(j)
+                    .iter()
+                    .filter(|&&p| !completed[p])
+                    .count()
+            })
             .collect();
-        arrivals.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-        let mut next_arrival = 0usize;
-        let mut cap_changes = scenario.capacity_changes.clone();
-        cap_changes.sort_by(|a, b| a.time.total_cmp(&b.time).then(a.resource.cmp(&b.resource)));
-        let mut next_cap = 0usize;
+        let ready: Vec<usize> = (0..n)
+            .filter(|&j| released[j] && !started[j] && remaining_preds[j] == 0)
+            .collect();
+        let mut alloc_used = snapshot.alloc_used.clone();
+        let plan_allocs = plan.allocations();
+        alloc_used.extend(plan_allocs[m..].iter().cloned());
+        let mut start = snapshot.start.clone();
+        let mut finish = snapshot.finish.clone();
+        let mut nominal = snapshot.nominal.clone();
+        start.resize(n, f64::NAN);
+        finish.resize(n, f64::NAN);
+        nominal.resize(n, f64::NAN);
 
-        // Per-job realized record.
-        let mut start = vec![f64::NAN; n];
-        let mut finish = vec![f64::NAN; n];
-        let mut nominal = vec![f64::NAN; n];
-        let mut alloc_used: Vec<Allocation> = plan_allocs.clone();
-        let mut num_completed = 0usize;
-        let mut events: Vec<TraceEvent> = Vec::new();
-        let mut event_budget = 0usize;
+        let state = SimState {
+            instance,
+            plan,
+            now: snapshot.now,
+            capacities: snapshot.capacities.clone(),
+            resources: ResourceState::from_available(snapshot.available.clone()),
+            ready,
+            released,
+            started,
+            completed,
+            running: snapshot.running.clone(),
+            remaining_preds,
+        };
+        Ok(SimRun {
+            seed: snapshot.seed,
+            max_events,
+            state,
+            perturber,
+            start,
+            finish,
+            nominal,
+            alloc_used,
+            num_completed: snapshot.num_completed,
+            events: snapshot.events.clone(),
+            event_budget: snapshot.event_budget,
+        })
+    }
 
-        policy.on_start(&state)?;
+    /// The observable world state.
+    pub fn state(&self) -> &SimState<'a> {
+        &self.state
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> f64 {
+        self.state.now
+    }
+
+    /// Number of completed jobs.
+    pub fn num_completed(&self) -> usize {
+        self.num_completed
+    }
+
+    /// The trace events processed so far.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// The perturbation stream in its current position (clone it to resume a
+    /// follow-up round without replaying draws — see
+    /// [`SimRun::resume_with_perturber`]).
+    pub fn perturber(&self) -> &Perturber {
+        &self.perturber
+    }
+
+    /// Captures a fully owned, serialisable checkpoint of the paused run.
+    pub fn checkpoint(&self) -> SimSnapshot {
+        SimSnapshot {
+            seed: self.seed,
+            now: self.state.now,
+            capacities: self.state.capacities.clone(),
+            available: self.state.resources.available_amounts().to_vec(),
+            ready: self.state.ready.clone(),
+            released: self.state.released.clone(),
+            started: self.state.started.clone(),
+            completed: self.state.completed.clone(),
+            running: self.state.running.clone(),
+            remaining_preds: self.state.remaining_preds.clone(),
+            start: self.start.clone(),
+            finish: self.finish.clone(),
+            nominal: self.nominal.clone(),
+            alloc_used: self.alloc_used.clone(),
+            num_completed: self.num_completed,
+            events: self.events.clone(),
+            event_budget: self.event_budget,
+            perturber_realizations: self.perturber.realizations(),
+        }
+    }
+
+    /// Drives the run until every job completed and the source is exhausted
+    /// ([`RunStatus::Complete`]) or nothing more can happen
+    /// ([`RunStatus::Idle`]). `policy` is (re-)initialised via
+    /// [`Policy::on_start`] at the beginning of every drive call.
+    pub fn drive(
+        &mut self,
+        policy: &mut dyn Policy,
+        source: &mut dyn EventSource,
+    ) -> Result<RunStatus, SimError> {
+        self.drive_inner(policy, source, None)
+    }
+
+    /// Like [`SimRun::drive`], but stops (returning [`RunStatus::Paused`])
+    /// before processing any event later than `t_stop`.
+    pub fn drive_until(
+        &mut self,
+        policy: &mut dyn Policy,
+        source: &mut dyn EventSource,
+        t_stop: f64,
+    ) -> Result<RunStatus, SimError> {
+        self.drive_inner(policy, source, Some(t_stop))
+    }
+
+    fn drive_inner(
+        &mut self,
+        policy: &mut dyn Policy,
+        source: &mut dyn EventSource,
+        t_stop: Option<f64>,
+    ) -> Result<RunStatus, SimError> {
+        let n = self.state.instance.num_jobs();
+        let max_events = self.max_events.unwrap_or(1000 + 200 * n);
+        policy.on_start(&self.state)?;
 
         loop {
             // Decision point: let the policy start jobs until it passes.
             loop {
-                let starts = policy.select_starts(&state);
+                let starts = policy.select_starts(&self.state);
                 if starts.is_empty() {
                     break;
                 }
                 for (j, alloc) in starts {
-                    self.apply_start(
-                        &mut state,
-                        policy.label(),
-                        j,
-                        alloc,
-                        &mut perturber,
-                        &mut start,
-                        &mut finish,
-                        &mut nominal,
-                        &mut alloc_used,
-                        &mut events,
-                    )?;
+                    self.apply_start(policy.label(), j, alloc)?;
                 }
             }
 
-            if num_completed == n {
-                break;
+            let src_next = source.next_time();
+            if self.num_completed == n && src_next.is_none() {
+                return Ok(RunStatus::Complete);
             }
 
             // Advance to the next event.
             let mut t_next = f64::INFINITY;
-            for r in &state.running {
+            for r in &self.state.running {
                 t_next = t_next.min(r.finish);
             }
-            if next_arrival < arrivals.len() {
-                t_next = t_next.min(arrivals[next_arrival].0);
-            }
-            if next_cap < cap_changes.len() {
-                t_next = t_next.min(cap_changes[next_cap].time);
+            if let Some(t) = src_next {
+                t_next = t_next.min(t);
             }
             if !t_next.is_finite() {
-                return Err(SimError::Stalled {
-                    time: state.now,
-                    ready: state.ready.clone(),
-                });
+                // Nothing is running and no event is pending, yet jobs
+                // remain. With nothing running, every incomplete job is
+                // unreleased, waiting on one, or ready: a non-empty ready
+                // set means jobs the policy can never start (stall), while
+                // an empty one means everything traces back to an
+                // unreleased job a live source may still feed (idle).
+                return if self.state.ready.is_empty() {
+                    Ok(RunStatus::Idle)
+                } else {
+                    Err(SimError::Stalled {
+                        time: self.state.now,
+                        ready: self.state.ready.clone(),
+                    })
+                };
             }
-            event_budget += 1;
-            if event_budget > max_events {
+            if let Some(stop) = t_stop {
+                if t_next > stop + EPS {
+                    return Ok(RunStatus::Paused);
+                }
+            }
+            self.event_budget += 1;
+            if self.event_budget > max_events {
                 return Err(SimError::EventLimitExceeded { limit: max_events });
             }
-            state.now = t_next;
+            self.state.now = t_next;
 
             // Apply every event at this instant, in a fixed order:
             // completions (freeing resources and successors), then arrivals,
@@ -301,8 +715,9 @@ impl Simulator {
             let mut batch: Vec<TraceEvent> = Vec::new();
 
             let mut done: Vec<RunningJob> = Vec::new();
-            state.running.retain(|r| {
-                if r.finish <= state.now + EPS {
+            let now = self.state.now;
+            self.state.running.retain(|r| {
+                if r.finish <= now + EPS {
                     done.push(r.clone());
                     false
                 } else {
@@ -311,78 +726,87 @@ impl Simulator {
             });
             done.sort_by_key(|r| r.job);
             for r in done {
-                state.completed[r.job] = true;
-                num_completed += 1;
-                state.resources.release(&r.alloc);
-                for &succ in instance.dag.successors(r.job) {
-                    state.remaining_preds[succ] -= 1;
-                    if state.remaining_preds[succ] == 0 && state.released[succ] {
-                        state.ready.push(succ);
+                self.state.completed[r.job] = true;
+                self.num_completed += 1;
+                self.state.resources.release(&r.alloc);
+                for &succ in self.state.instance.dag.successors(r.job) {
+                    self.state.remaining_preds[succ] -= 1;
+                    if self.state.remaining_preds[succ] == 0 && self.state.released[succ] {
+                        self.state.ready.push(succ);
                     }
                 }
                 batch.push(TraceEvent::JobCompleted {
-                    time: state.now,
+                    time: self.state.now,
                     job: r.job,
                     nominal: r.nominal,
                     realized: r.finish - r.start,
                 });
             }
 
-            while next_arrival < arrivals.len() && arrivals[next_arrival].0 <= state.now + EPS {
-                let (_, j) = arrivals[next_arrival];
-                next_arrival += 1;
-                state.released[j] = true;
-                if state.remaining_preds[j] == 0 && !state.started[j] {
-                    state.ready.push(j);
+            for ev in source.pop_until(self.state.now + EPS) {
+                match ev {
+                    SourceEvent::Release { job, .. } => {
+                        self.state.released[job] = true;
+                        if self.state.remaining_preds[job] == 0 && !self.state.started[job] {
+                            self.state.ready.push(job);
+                        }
+                        batch.push(TraceEvent::JobReleased {
+                            time: self.state.now,
+                            job,
+                        });
+                    }
+                    SourceEvent::Capacity {
+                        resource, capacity, ..
+                    } => {
+                        let delta = capacity as f64 - self.state.capacities[resource] as f64;
+                        self.state.capacities[resource] = capacity;
+                        self.state.resources.shift_capacity(resource, delta);
+                        batch.push(TraceEvent::CapacityChanged {
+                            time: self.state.now,
+                            resource,
+                            capacity,
+                        });
+                    }
                 }
-                batch.push(TraceEvent::JobReleased {
-                    time: state.now,
-                    job: j,
-                });
             }
 
-            while next_cap < cap_changes.len() && cap_changes[next_cap].time <= state.now + EPS {
-                let change = cap_changes[next_cap].clone();
-                next_cap += 1;
-                let delta = change.capacity as f64 - state.capacities[change.resource] as f64;
-                state.capacities[change.resource] = change.capacity;
-                state.resources.shift_capacity(change.resource, delta);
-                batch.push(TraceEvent::CapacityChanged {
-                    time: state.now,
-                    resource: change.resource,
-                    capacity: change.capacity,
-                });
-            }
-
-            state.ready.sort_unstable();
-            events.extend(batch.iter().cloned());
-            let policy_events = policy.on_events(&state, &batch)?;
-            events.extend(policy_events);
+            self.state.ready.sort_unstable();
+            self.events.extend(batch.iter().cloned());
+            let policy_events = policy.on_events(&self.state, &batch)?;
+            self.events.extend(policy_events);
         }
+    }
 
-        // Assemble the realized schedule and the stress statistics.
+    /// Assembles the realized trace. Call after [`RunStatus::Complete`];
+    /// unfinished jobs would leave NaN starts/finishes in the schedule.
+    pub fn into_trace(self, policy_label: &str) -> RealizedTrace {
+        let n = self.state.instance.num_jobs();
+        let plan_allocs = self.state.plan.allocations();
         let jobs: Vec<ScheduledJob> = (0..n)
             .map(|j| ScheduledJob {
                 job: j,
-                start: start[j],
-                finish: finish[j],
-                alloc: alloc_used[j].clone(),
+                start: self.start[j],
+                finish: self.finish[j],
+                alloc: self.alloc_used[j].clone(),
             })
             .collect();
         let realized = Schedule::new(jobs);
         let slowdowns: Vec<f64> = (0..n)
-            .map(|j| (finish[j] - start[j]) / nominal[j])
+            .map(|j| (self.finish[j] - self.start[j]) / self.nominal[j])
             .collect();
-        let num_reschedules = events
+        let num_reschedules = self
+            .events
             .iter()
             .filter(|e| matches!(e, TraceEvent::Rescheduled { .. }))
             .count();
-        let num_realloc_jobs = (0..n).filter(|&j| alloc_used[j] != plan_allocs[j]).count();
+        let num_realloc_jobs = (0..n)
+            .filter(|&j| self.alloc_used[j] != plan_allocs[j])
+            .count();
         let stats = StressStats {
-            planned_makespan: plan.makespan,
+            planned_makespan: self.state.plan.makespan,
             realized_makespan: realized.makespan,
-            stretch: if plan.makespan > 0.0 {
-                realized.makespan / plan.makespan
+            stretch: if self.state.plan.makespan > 0.0 {
+                realized.makespan / self.state.plan.makespan
             } else {
                 1.0
             },
@@ -399,35 +823,28 @@ impl Simulator {
             num_reschedules,
             num_realloc_jobs,
         };
-        Ok(RealizedTrace {
-            policy: policy.label().to_string(),
-            seed: self.config.seed,
-            events,
+        RealizedTrace {
+            policy: policy_label.to_string(),
+            seed: self.seed,
+            events: self.events,
             realized,
             stats,
-        })
+        }
     }
 
     /// Validates and applies one policy-selected start.
-    #[allow(clippy::too_many_arguments)]
     fn apply_start(
-        &self,
-        state: &mut SimState<'_>,
+        &mut self,
         policy_label: &str,
         j: usize,
         alloc: Allocation,
-        perturber: &mut Perturber,
-        start: &mut [f64],
-        finish: &mut [f64],
-        nominal: &mut [f64],
-        alloc_used: &mut [Allocation],
-        events: &mut Vec<TraceEvent>,
     ) -> Result<(), SimError> {
         let violation = |reason: String| SimError::PolicyViolation {
             policy: policy_label.to_string(),
             job: j,
             reason,
         };
+        let state = &mut self.state;
         let pos = state
             .ready
             .binary_search(&j)
@@ -448,14 +865,14 @@ impl Simulator {
                 "allocation {alloc} has invalid execution time {t_nom}"
             )));
         }
-        let t_real = perturber.realize(&alloc, t_nom);
+        let t_real = self.perturber.realize(&alloc, t_nom);
         state.ready.remove(pos);
         state.started[j] = true;
         state.resources.acquire(&alloc);
-        start[j] = state.now;
-        finish[j] = state.now + t_real;
-        nominal[j] = t_nom;
-        alloc_used[j] = alloc.clone();
+        self.start[j] = state.now;
+        self.finish[j] = state.now + t_real;
+        self.nominal[j] = t_nom;
+        self.alloc_used[j] = alloc.clone();
         state.running.push(RunningJob {
             job: j,
             start: state.now,
@@ -463,7 +880,7 @@ impl Simulator {
             nominal: t_nom,
             alloc: alloc.clone(),
         });
-        events.push(TraceEvent::JobStarted {
+        self.events.push(TraceEvent::JobStarted {
             time: state.now,
             job: j,
             alloc,
@@ -476,7 +893,7 @@ impl Simulator {
 /// Checks that `plan` covers every job of `instance` exactly once with a
 /// well-formed allocation, and returns it with entry `j` describing job `j`
 /// (externally loaded plans may list jobs in any order).
-fn normalize_plan(instance: &Instance, plan: &Schedule) -> Result<Schedule, SimError> {
+pub fn normalize_plan(instance: &Instance, plan: &Schedule) -> Result<Schedule, SimError> {
     let n = instance.num_jobs();
     if plan.jobs.len() != n {
         return Err(SimError::InvalidPlan(format!(
@@ -509,4 +926,29 @@ fn normalize_plan(instance: &Instance, plan: &Schedule) -> Result<Schedule, SimE
             .map(|sj| sj.expect("every job present exactly once"))
             .collect(),
     ))
+}
+
+/// Checks that `plan` is already job-indexed for `instance` (what
+/// [`normalize_plan`] produces).
+fn check_normalized(instance: &Instance, plan: &Schedule) -> Result<(), SimError> {
+    let n = instance.num_jobs();
+    if plan.jobs.len() != n {
+        return Err(SimError::InvalidPlan(format!(
+            "plan has {} entries for an instance of {n} jobs",
+            plan.jobs.len()
+        )));
+    }
+    for (j, sj) in plan.jobs.iter().enumerate() {
+        if sj.job != j {
+            return Err(SimError::InvalidPlan(format!(
+                "plan entry {j} describes job {} (run it through normalize_plan first)",
+                sj.job
+            )));
+        }
+        instance
+            .system
+            .validate_allocation(&sj.alloc)
+            .map_err(|e| SimError::InvalidPlan(format!("job {j}: {e}")))?;
+    }
+    Ok(())
 }

@@ -82,6 +82,7 @@ impl PerturbationModel {
 pub struct Perturber {
     model: PerturbationModel,
     rng: ChaCha8Rng,
+    realizations: u64,
 }
 
 /// Realized times are clamped to `[MIN_FACTOR, MAX_FACTOR] * nominal`.
@@ -94,7 +95,22 @@ impl Perturber {
         Perturber {
             model,
             rng: ChaCha8Rng::seed_from_u64(seed),
+            realizations: 0,
         }
+    }
+
+    /// Recreates a perturber that has already produced `realizations` draws
+    /// (a simulation checkpoint being resumed). The stream is fast-forwarded
+    /// by replaying that many draws, which is exact because the number of
+    /// uniform variates consumed per realization depends only on the model,
+    /// never on the allocation or the nominal time.
+    pub fn resume(model: PerturbationModel, seed: u64, realizations: u64) -> Self {
+        let mut p = Perturber::new(model, seed);
+        let dummy = Allocation::new(vec![]);
+        for _ in 0..realizations {
+            p.realize(&dummy, 1.0);
+        }
+        p
     }
 
     /// The model in use.
@@ -102,11 +118,17 @@ impl Perturber {
         &self.model
     }
 
+    /// How many realizations have been drawn so far (for checkpointing).
+    pub fn realizations(&self) -> u64 {
+        self.realizations
+    }
+
     /// Draws the realized execution time for one job start. Draws are
     /// consumed in event order, so a fixed seed and event sequence yields a
     /// fixed realization.
     pub fn realize(&mut self, alloc: &Allocation, nominal: f64) -> f64 {
         let factor = Self::factor(&mut self.rng, &self.model, alloc).clamp(MIN_FACTOR, MAX_FACTOR);
+        self.realizations += 1;
         nominal * factor
     }
 
@@ -227,6 +249,33 @@ mod tests {
         let mut p = Perturber::new(model.clone(), 0);
         assert!((p.realize(&Allocation::new(vec![1]), 1.0) - 6.0).abs() < 1e-12);
         assert!(!model.is_noise_free());
+    }
+
+    #[test]
+    fn resume_fast_forwards_the_stream_exactly() {
+        let model = PerturbationModel::Compose(vec![
+            PerturbationModel::Multiplicative { sigma: 0.3 },
+            PerturbationModel::HeavyTail {
+                prob: 0.2,
+                alpha: 1.5,
+                cap: 10.0,
+            },
+        ]);
+        let mut full = Perturber::new(model.clone(), 17);
+        for _ in 0..25 {
+            full.realize(&alloc(), 1.0);
+        }
+        assert_eq!(full.realizations(), 25);
+        let mut resumed = Perturber::resume(model, 17, 25);
+        assert_eq!(resumed.realizations(), 25);
+        for _ in 0..25 {
+            // Resumed draws continue the original stream, regardless of the
+            // allocations the skipped draws were made with.
+            assert_eq!(
+                resumed.realize(&Allocation::new(vec![1, 1]), 2.0),
+                full.realize(&Allocation::new(vec![1, 1]), 2.0)
+            );
+        }
     }
 
     #[test]

@@ -211,28 +211,56 @@ impl Policy for ReactiveListPolicy {
 /// straggler whose realized time exceeded `straggler_threshold ×` nominal),
 /// adopting the new allocations and the new plan's start order as priorities.
 /// Between reschedules it behaves like [`ReactiveListPolicy`].
+///
+/// Reschedules are **debounced** so the policy no longer thrashes under pure
+/// noise at high sigma: after a reschedule, further arrival/straggler
+/// triggers are ignored for `min_interval_frac ×` the planned makespan, and
+/// straggler triggers additionally require the run to actually be late —
+/// current time above `stretch_threshold ×` the planned finish time of the
+/// work completed so far. Capacity changes are structural and always
+/// reschedule.
 #[derive(Debug, Clone)]
 pub struct FullReschedulePolicy {
     config: MrlsConfig,
     straggler_threshold: f64,
+    min_interval_frac: f64,
+    stretch_threshold: f64,
     scheduler: ListScheduler,
     decision: Vec<Allocation>,
     keys: Vec<f64>,
+    min_interval: f64,
+    last_reschedule: f64,
 }
 
 impl FullReschedulePolicy {
-    /// Creates the policy. `config` drives the re-invoked scheduler;
-    /// `straggler_threshold` is the realized/nominal factor above which a
-    /// completion triggers a reschedule.
+    /// Creates the policy with the default debounce (see
+    /// [`FullReschedulePolicy::with_debounce`]). `config` drives the
+    /// re-invoked scheduler; `straggler_threshold` is the realized/nominal
+    /// factor above which a completion counts as a straggler.
     pub fn new(config: MrlsConfig, straggler_threshold: f64) -> Self {
         let priority = config.priority.clone();
         FullReschedulePolicy {
             config,
             straggler_threshold: straggler_threshold.max(1.0),
+            min_interval_frac: 0.25,
+            stretch_threshold: 1.25,
             scheduler: ListScheduler::new(priority),
             decision: Vec::new(),
             keys: Vec::new(),
+            min_interval: 0.0,
+            last_reschedule: f64::NEG_INFINITY,
         }
+    }
+
+    /// Overrides the debounce: `min_interval_frac` is the minimum virtual
+    /// time between reschedules as a fraction of the planned makespan (zero
+    /// disables the interval), and `stretch_threshold` is the lateness factor
+    /// below which straggler triggers are ignored (`<= 1` disables the
+    /// hysteresis).
+    pub fn with_debounce(mut self, min_interval_frac: f64, stretch_threshold: f64) -> Self {
+        self.min_interval_frac = min_interval_frac.max(0.0);
+        self.stretch_threshold = stretch_threshold;
+        self
     }
 
     /// The reschedule trigger in `batch`, if any.
@@ -251,6 +279,35 @@ impl FullReschedulePolicy {
             }
         }
         straggler.then_some("straggler")
+    }
+
+    /// How late the run currently is: current time over the latest planned
+    /// finish among completed jobs (1.0 = on plan; infinite before the first
+    /// completion, which cannot arise for straggler triggers).
+    fn progress_stretch(&self, state: &SimState<'_>) -> f64 {
+        let planned_so_far = state
+            .plan
+            .jobs
+            .iter()
+            .filter(|sj| state.completed[sj.job])
+            .map(|sj| sj.finish)
+            .fold(0.0f64, f64::max);
+        if planned_so_far > 0.0 {
+            state.now / planned_so_far
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// `true` iff the debounce suppresses this trigger.
+    fn debounced(&self, state: &SimState<'_>, trigger: &str) -> bool {
+        if trigger == "capacity-change" {
+            return false;
+        }
+        if state.now - self.last_reschedule < self.min_interval {
+            return true;
+        }
+        trigger == "straggler" && self.progress_stretch(state) <= self.stretch_threshold
     }
 
     /// Recomputes allocations and priorities for every pending (unstarted)
@@ -315,6 +372,8 @@ impl Policy for FullReschedulePolicy {
         // Replay priorities: the planned start times (ties broken by job
         // index inside the placement routine).
         self.keys = state.plan.start_times();
+        self.min_interval = self.min_interval_frac * state.plan.makespan.max(0.0);
+        self.last_reschedule = f64::NEG_INFINITY;
         Ok(())
     }
 
@@ -326,6 +385,10 @@ impl Policy for FullReschedulePolicy {
         let Some(trigger) = self.trigger(batch) else {
             return Ok(vec![]);
         };
+        if self.debounced(state, trigger) {
+            return Ok(vec![]);
+        }
+        self.last_reschedule = state.now;
         let jobs = self.reschedule(state)?;
         Ok(vec![TraceEvent::Rescheduled {
             time: state.now,

@@ -1,0 +1,253 @@
+//! External-event sources: where online arrivals and capacity changes come
+//! from.
+//!
+//! The engine used to read arrivals and capacity changes straight out of a
+//! pre-generated [`Scenario`]. [`EventSource`] abstracts that feed so the
+//! same drive loop serves two worlds:
+//!
+//! * [`ScenarioSource`] — the batch setting: every event is known up front
+//!   (release times, timed capacity drops), replayed in time order.
+//! * [`ChannelSource`] — the live setting: events are pushed into an
+//!   [`std::sync::mpsc`] channel while the engine runs, as `mrls-serve` does
+//!   when it stamps freshly admitted submissions with virtual times.
+//!
+//! A source must yield events in nondecreasing time order; within one
+//! instant, releases before capacity changes (the order the engine applies).
+
+use crate::scenario::{CapacityChange, Scenario};
+use std::collections::VecDeque;
+use std::sync::mpsc::{Receiver, Sender};
+
+/// One external event fed into the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourceEvent {
+    /// Job `job` becomes known to the scheduler.
+    Release {
+        /// Virtual time of the release.
+        time: f64,
+        /// The released job.
+        job: usize,
+    },
+    /// Resource `resource` changes to an absolute new capacity.
+    Capacity {
+        /// Virtual time of the change.
+        time: f64,
+        /// Affected resource type.
+        resource: usize,
+        /// The new capacity.
+        capacity: u64,
+    },
+}
+
+impl SourceEvent {
+    /// The virtual time of the event.
+    pub fn time(&self) -> f64 {
+        match self {
+            SourceEvent::Release { time, .. } | SourceEvent::Capacity { time, .. } => *time,
+        }
+    }
+}
+
+/// A feed of external events, consumed by the engine in time order.
+pub trait EventSource {
+    /// The time of the earliest pending event, if any is known right now.
+    fn next_time(&mut self) -> Option<f64>;
+
+    /// Removes and returns every pending event with time `<= t`, releases
+    /// first, then capacity changes, each sub-sequence in time order.
+    fn pop_until(&mut self, t: f64) -> Vec<SourceEvent>;
+}
+
+/// The pre-generated source: replays a [`Scenario`]'s release times and
+/// capacity changes.
+#[derive(Debug, Clone)]
+pub struct ScenarioSource {
+    arrivals: Vec<(f64, usize)>,
+    next_arrival: usize,
+    caps: Vec<CapacityChange>,
+    next_cap: usize,
+}
+
+impl ScenarioSource {
+    /// Builds the source for an `n`-job instance. Jobs with release time
+    /// `<= 0` are *not* emitted — they are released before the run starts
+    /// (see [`Scenario::release_time`]).
+    pub fn new(scenario: &Scenario, n: usize) -> Self {
+        let mut arrivals: Vec<(f64, usize)> = (0..n)
+            .map(|j| (scenario.release_time(j), j))
+            .filter(|&(t, _)| t > 0.0)
+            .collect();
+        arrivals.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut caps = scenario.capacity_changes.clone();
+        caps.sort_by(|a, b| a.time.total_cmp(&b.time).then(a.resource.cmp(&b.resource)));
+        ScenarioSource {
+            arrivals,
+            next_arrival: 0,
+            caps,
+            next_cap: 0,
+        }
+    }
+
+    /// Builds the source for a run resumed at virtual time `now`: events the
+    /// checkpointed run already consumed (time `<= now`, within the engine's
+    /// grouping tolerance) are skipped.
+    pub fn resume_at(scenario: &Scenario, n: usize, now: f64) -> Self {
+        let mut source = ScenarioSource::new(scenario, n);
+        let cut = now + crate::engine::EPS;
+        while source.next_arrival < source.arrivals.len()
+            && source.arrivals[source.next_arrival].0 <= cut
+        {
+            source.next_arrival += 1;
+        }
+        while source.next_cap < source.caps.len() && source.caps[source.next_cap].time <= cut {
+            source.next_cap += 1;
+        }
+        source
+    }
+}
+
+impl EventSource for ScenarioSource {
+    fn next_time(&mut self) -> Option<f64> {
+        let a = self.arrivals.get(self.next_arrival).map(|&(t, _)| t);
+        let c = self.caps.get(self.next_cap).map(|c| c.time);
+        match (a, c) {
+            (Some(a), Some(c)) => Some(a.min(c)),
+            (Some(t), None) | (None, Some(t)) => Some(t),
+            (None, None) => None,
+        }
+    }
+
+    fn pop_until(&mut self, t: f64) -> Vec<SourceEvent> {
+        let mut out = Vec::new();
+        while self.next_arrival < self.arrivals.len() && self.arrivals[self.next_arrival].0 <= t {
+            let (time, job) = self.arrivals[self.next_arrival];
+            self.next_arrival += 1;
+            out.push(SourceEvent::Release { time, job });
+        }
+        while self.next_cap < self.caps.len() && self.caps[self.next_cap].time <= t {
+            let c = self.caps[self.next_cap].clone();
+            self.next_cap += 1;
+            out.push(SourceEvent::Capacity {
+                time: c.time,
+                resource: c.resource,
+                capacity: c.capacity,
+            });
+        }
+        out
+    }
+}
+
+/// The live source: events arrive over an [`std::sync::mpsc`] channel while
+/// the engine runs. The feeder must push events in nondecreasing time order
+/// (and releases before capacity changes within one instant); `mrls-serve`
+/// guarantees this by stamping each batching round with a single virtual
+/// time.
+#[derive(Debug)]
+pub struct ChannelSource {
+    rx: Receiver<SourceEvent>,
+    buffer: VecDeque<SourceEvent>,
+}
+
+impl ChannelSource {
+    /// Wraps a receiver whose sender stamps events with nondecreasing times.
+    pub fn new(rx: Receiver<SourceEvent>) -> Self {
+        ChannelSource {
+            rx,
+            buffer: VecDeque::new(),
+        }
+    }
+
+    /// Creates a connected `(sender, source)` pair.
+    pub fn channel() -> (Sender<SourceEvent>, ChannelSource) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        (tx, ChannelSource::new(rx))
+    }
+
+    /// Moves everything currently in the channel into the local buffer
+    /// (non-blocking).
+    fn pump(&mut self) {
+        while let Ok(ev) = self.rx.try_recv() {
+            self.buffer.push_back(ev);
+        }
+    }
+}
+
+impl EventSource for ChannelSource {
+    fn next_time(&mut self) -> Option<f64> {
+        self.pump();
+        self.buffer.front().map(SourceEvent::time)
+    }
+
+    fn pop_until(&mut self, t: f64) -> Vec<SourceEvent> {
+        self.pump();
+        let mut out = Vec::new();
+        while self.buffer.front().is_some_and(|ev| ev.time() <= t) {
+            out.push(self.buffer.pop_front().expect("front checked above"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_source_orders_and_groups_events() {
+        let scenario = Scenario::offline()
+            .with_release_times(vec![0.0, 2.0, 1.0])
+            .with_capacity_changes(vec![(1.0, 0, 2), (3.0, 0, 4)]);
+        let mut source = ScenarioSource::new(&scenario, 3);
+        assert_eq!(source.next_time(), Some(1.0));
+        // Releases come before capacity changes at the same instant.
+        let batch = source.pop_until(1.0);
+        assert_eq!(
+            batch,
+            vec![
+                SourceEvent::Release { time: 1.0, job: 2 },
+                SourceEvent::Capacity {
+                    time: 1.0,
+                    resource: 0,
+                    capacity: 2
+                },
+            ]
+        );
+        assert_eq!(source.next_time(), Some(2.0));
+        assert_eq!(source.pop_until(10.0).len(), 2);
+        assert_eq!(source.next_time(), None);
+    }
+
+    #[test]
+    fn scenario_source_resumes_past_consumed_events() {
+        let scenario = Scenario::offline()
+            .with_release_times(vec![1.0, 2.0])
+            .with_capacity_changes(vec![(1.5, 0, 2)]);
+        let mut source = ScenarioSource::resume_at(&scenario, 2, 1.5);
+        assert_eq!(source.next_time(), Some(2.0));
+        assert_eq!(
+            source.pop_until(2.0),
+            vec![SourceEvent::Release { time: 2.0, job: 1 }]
+        );
+    }
+
+    #[test]
+    fn channel_source_buffers_pushed_events() {
+        let (tx, mut source) = ChannelSource::channel();
+        assert_eq!(source.next_time(), None);
+        tx.send(SourceEvent::Release { time: 0.5, job: 0 }).unwrap();
+        tx.send(SourceEvent::Capacity {
+            time: 0.5,
+            resource: 0,
+            capacity: 3,
+        })
+        .unwrap();
+        tx.send(SourceEvent::Release { time: 2.0, job: 1 }).unwrap();
+        assert_eq!(source.next_time(), Some(0.5));
+        assert_eq!(source.pop_until(1.0).len(), 2);
+        assert_eq!(source.next_time(), Some(2.0));
+        // Late pushes surface on the next poll.
+        tx.send(SourceEvent::Release { time: 2.0, job: 2 }).unwrap();
+        assert_eq!(source.pop_until(2.0).len(), 2);
+        assert_eq!(source.next_time(), None);
+    }
+}

@@ -18,6 +18,7 @@
 //! | [`baseline`] | `mrls-baseline` | rigid / sequential / Sun-et-al. baselines |
 //! | [`analysis`] | `mrls-analysis` | schedule validation, interval analysis, Gantt, statistics |
 //! | [`sim`] | `mrls-sim` | discrete-event execution runtime: stochastic perturbations, online arrivals, reactive rescheduling |
+//! | [`serve`] | `mrls-serve` | online TCP scheduling service: live job streams, batching rounds, per-tenant metrics |
 //!
 //! The most common entry points are re-exported at the top level.
 //!
@@ -56,6 +57,8 @@ pub use mrls_dag as dag;
 pub use mrls_lp as lp;
 /// The moldable multi-resource job model (`mrls-model`).
 pub use mrls_model as model;
+/// The online TCP scheduling service (`mrls-serve`).
+pub use mrls_serve as serve;
 /// The discrete-event execution runtime (`mrls-sim`).
 pub use mrls_sim as sim;
 /// Workload generators (`mrls-workload`).
