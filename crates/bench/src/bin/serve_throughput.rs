@@ -1,36 +1,50 @@
-//! **Serving benchmark** — submission throughput and time-to-first-placement
-//! of the `mrls-serve` online scheduling service across batching windows.
+//! **Serving benchmark** — submission throughput, time-to-first-placement,
+//! and per-round latency of the `mrls-serve` online scheduling service.
 //!
-//! For each batch-window setting an in-process server is started on an
-//! ephemeral loopback port and a client replays `jobs` singleton
-//! submissions as fast as the request/response protocol allows. Reported per
-//! window:
+//! Two sweeps:
 //!
-//! * `submit_per_s` — admissions per wall-clock second,
-//! * `ttfp_ms` — wall-clock time from the first submission until a
-//!   `QueryStatus` poll first observes a placed job (the latency cost of
-//!   batching),
-//! * `rounds` — how many scheduling rounds the stream coalesced into.
+//! 1. **TCP sweep** (per batching window): an in-process server on an
+//!    ephemeral loopback port, a client replaying `jobs` singleton
+//!    submissions flat out. Reported per window:
+//!    * `submit_per_s` — admissions per wall-clock second,
+//!    * `ttfp_ms` — wall-clock time from the first submission until a
+//!      `QueryStatus` poll first observes a placed job (the latency cost of
+//!      batching),
+//!    * `submit_p50_us` / `submit_p99_us` — request/response round-trip
+//!      percentiles over the bulk stream,
+//!    * `rounds` — how many scheduling rounds the stream coalesced into.
 //!
-//! Arguments (`key=value`, all optional): `jobs=120 windows-ms=0,10,50`.
-//! CI-sized smoke: `jobs=20 windows-ms=0,25`.
+//! 2. **Rounds-vs-latency sweep** (`rounds` one-job rounds, in-process, no
+//!    TCP): the incremental [`ServiceCore`] and the [`NaiveService`]
+//!    reference (the old checkpoint→clone→resume path) driven side by side,
+//!    timing every `flush`. Reported per path: p50/p99 over all rounds plus
+//!    first-decile vs last-decile medians and their ratio (`growth`) — the
+//!    O(history)→O(live) change makes the incremental path flat in the
+//!    round index where the naive path grows linearly.
 //!
-//! Results go to `results/serve_throughput.csv`.
+//! Arguments (`key=value`, all optional): `jobs=120 windows-ms=0,10,50
+//! rounds=320` (`rounds=0` skips the second sweep).
+//! CI-sized smoke: `jobs=20 windows-ms=0,25 rounds=120`.
+//!
+//! Results go to `results/serve_throughput.csv` and
+//! `results/serve_rounds_latency.csv`.
 
 use mrls_analysis::export::{fmt3, ResultTable};
 use mrls_bench::emit;
-use mrls_serve::{Client, ServeConfig, Server};
+use mrls_model::MoldableJob;
+use mrls_serve::{Client, NaiveService, ServeConfig, Server, ServiceCore};
 use mrls_sim::PolicyKind;
 use mrls_workload::InstanceRecipe;
 use std::time::{Duration, Instant};
 
-const ARG_KEYS: &[&str] = &["jobs", "windows-ms"];
+const ARG_KEYS: &[&str] = &["jobs", "windows-ms", "rounds"];
 
 /// Strict `key=value` lookup (same contract as the `mrls` CLI): unknown
 /// keys, malformed tokens and unparsable values exit with code 2.
-fn args() -> (usize, Vec<u64>) {
+fn args() -> (usize, Vec<u64>, usize) {
     let mut jobs = 120usize;
     let mut windows = vec![0u64, 10, 50];
+    let mut rounds = 320usize;
     for a in std::env::args().skip(1) {
         let Some((k, v)) = a.split_once('=') else {
             eprintln!("malformed argument `{a}` (expected key=value)");
@@ -45,6 +59,7 @@ fn args() -> (usize, Vec<u64>) {
         }
         match k {
             "jobs" => jobs = v.parse().unwrap_or_else(|_| invalid(k, v)),
+            "rounds" => rounds = v.parse().unwrap_or_else(|_| invalid(k, v)),
             _ => {
                 windows = v
                     .split(',')
@@ -53,7 +68,7 @@ fn args() -> (usize, Vec<u64>) {
             }
         }
     }
-    (jobs.max(1), windows)
+    (jobs.max(1), windows, rounds)
 }
 
 fn invalid(k: &str, v: &str) -> ! {
@@ -61,23 +76,27 @@ fn invalid(k: &str, v: &str) -> ! {
     std::process::exit(2);
 }
 
-fn main() {
-    let (jobs, windows) = args();
-    // A pool of singleton moldable jobs drawn from the standard mixed recipe.
-    let pool = InstanceRecipe::default_layered(jobs, 2, 8)
-        .generate(7)
-        .instance;
+/// The `q`-quantile of a sample (nearest-rank on the sorted copy).
+fn percentile(samples: &[Duration], q: f64) -> Duration {
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort();
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
 
+fn tcp_sweep(pool: &[MoldableJob], jobs: usize, windows: &[u64]) {
     let mut table = ResultTable::new(&[
         "window_ms",
         "jobs",
         "rounds",
         "submit_per_s",
         "ttfp_ms",
+        "submit_p50_us",
+        "submit_p99_us",
         "virtual_makespan",
     ]);
 
-    for &window_ms in &windows {
+    for &window_ms in windows {
         let handle = Server::spawn(
             ServeConfig {
                 capacities: vec![8, 8],
@@ -93,9 +112,7 @@ fn main() {
         // First submission, then poll until the service placed it: the
         // window is the dominant term of time-to-first-placement.
         let t0 = Instant::now();
-        client
-            .submit_job(pool.jobs[0].clone(), vec![])
-            .expect("submit");
+        client.submit_job(pool[0].clone(), vec![]).expect("submit");
         let ttfp = loop {
             let status = client.status().expect("status");
             if status.jobs_scheduled >= 1 {
@@ -104,13 +121,24 @@ fn main() {
             std::thread::sleep(Duration::from_micros(200));
         };
 
-        // Then the bulk of the stream, flat out.
+        // Then the bulk of the stream, flat out, timing every round trip.
+        let mut round_trips: Vec<Duration> = Vec::with_capacity(jobs.saturating_sub(1));
         let bulk = Instant::now();
-        for job in pool.jobs.iter().skip(1).cloned() {
+        for job in pool.iter().skip(1).cloned() {
+            let t = Instant::now();
             client.submit_job(job, vec![]).expect("submit");
+            round_trips.push(t.elapsed());
         }
         let elapsed = bulk.elapsed().as_secs_f64().max(1e-9);
         let submit_per_s = (jobs.saturating_sub(1)) as f64 / elapsed;
+        let (p50, p99) = if round_trips.is_empty() {
+            (Duration::ZERO, Duration::ZERO)
+        } else {
+            (
+                percentile(&round_trips, 0.5),
+                percentile(&round_trips, 0.99),
+            )
+        };
 
         let report = client.drain().expect("drain");
         assert_eq!(
@@ -124,9 +152,11 @@ fn main() {
 
         println!(
             "window {window_ms:>3}ms  {jobs:>4} jobs  rounds {:>4}  {submit_per_s:>9.0} submit/s  \
-             ttfp {:>7.2}ms  makespan {:.2}",
+             ttfp {:>7.2}ms  rt p50 {:>6.1}us p99 {:>7.1}us  makespan {:.2}",
             report.metrics.rounds,
             ttfp.as_secs_f64() * 1e3,
+            p50.as_secs_f64() * 1e6,
+            p99.as_secs_f64() * 1e6,
             report.virtual_makespan
         );
         table.push_row(vec![
@@ -135,9 +165,116 @@ fn main() {
             report.metrics.rounds.to_string(),
             fmt3(submit_per_s),
             fmt3(ttfp.as_secs_f64() * 1e3),
+            fmt3(p50.as_secs_f64() * 1e6),
+            fmt3(p99.as_secs_f64() * 1e6),
             fmt3(report.virtual_makespan),
         ]);
     }
 
     emit("serve_throughput", &table);
+}
+
+/// A steady-state workload for the rounds sweep: short jobs that complete
+/// within a few ticks of their round, so the pending backlog stays bounded
+/// while the *history* grows with every round — the regime where the naive
+/// path's O(history) world rebuild shows as linear per-round growth and the
+/// incremental path stays flat. (Long jobs would grow the backlog itself,
+/// and re-planning a growing backlog is O(backlog) on any path.)
+fn steady_state_job(round: usize) -> MoldableJob {
+    use mrls_model::ExecTimeSpec;
+    MoldableJob::new(
+        round,
+        ExecTimeSpec::Constant {
+            time: 0.5 + (round % 7) as f64 * 0.3,
+        },
+    )
+}
+
+/// Times `rounds` one-submission rounds against a service core, returning
+/// the per-round flush latencies.
+fn time_rounds<S, F>(core: &mut S, rounds: usize, mut step: F) -> Vec<Duration>
+where
+    F: FnMut(&mut S, MoldableJob) -> Duration,
+{
+    (0..rounds)
+        .map(|r| step(core, steady_state_job(r)))
+        .collect()
+}
+
+fn rounds_sweep(rounds: usize) {
+    let config = ServeConfig {
+        capacities: vec![8, 8],
+        policy: PolicyKind::ReactiveList,
+        ..ServeConfig::default()
+    };
+    let mut table = ResultTable::new(&[
+        "path",
+        "rounds",
+        "round_p50_us",
+        "round_p99_us",
+        "early_p50_us",
+        "late_p50_us",
+        "growth",
+    ]);
+
+    let mut row = |path: &str, times: Vec<Duration>, completed: u64| {
+        assert_eq!(completed, rounds as u64, "{path}: all rounds must complete");
+        let decile = (times.len() / 10).max(1);
+        let early = percentile(&times[..decile], 0.5);
+        let late = percentile(&times[times.len() - decile..], 0.5);
+        let growth = late.as_secs_f64() / early.as_secs_f64().max(1e-9);
+        println!(
+            "{path:>11}  {rounds:>5} rounds  p50 {:>7.1}us  p99 {:>8.1}us  early {:>7.1}us  \
+             late {:>8.1}us  growth {growth:>6.2}x",
+            percentile(&times, 0.5).as_secs_f64() * 1e6,
+            percentile(&times, 0.99).as_secs_f64() * 1e6,
+            early.as_secs_f64() * 1e6,
+            late.as_secs_f64() * 1e6,
+        );
+        table.push_row(vec![
+            path.to_string(),
+            rounds.to_string(),
+            fmt3(percentile(&times, 0.5).as_secs_f64() * 1e6),
+            fmt3(percentile(&times, 0.99).as_secs_f64() * 1e6),
+            fmt3(early.as_secs_f64() * 1e6),
+            fmt3(late.as_secs_f64() * 1e6),
+            fmt3(growth),
+        ]);
+    };
+
+    let mut incremental = ServiceCore::new(config.clone());
+    let times = time_rounds(&mut incremental, rounds, |core, job| {
+        core.submit_job("bench", job, &[]).expect("submit");
+        let t = Instant::now();
+        core.flush().expect("round");
+        t.elapsed()
+    });
+    let completed = incremental.drain().expect("drain").completed;
+    row("incremental", times, completed);
+
+    let mut naive = NaiveService::new(config);
+    let times = time_rounds(&mut naive, rounds, |core, job| {
+        core.submit_job("bench", job, &[]).expect("submit");
+        let t = Instant::now();
+        core.flush().expect("round");
+        t.elapsed()
+    });
+    let completed = naive.drain().expect("drain").completed;
+    row("naive", times, completed);
+
+    emit("serve_rounds_latency", &table);
+}
+
+fn main() {
+    let (jobs, windows, rounds) = args();
+    // A pool of singleton moldable jobs drawn from the standard mixed recipe.
+    let pool = InstanceRecipe::default_layered(jobs, 2, 8)
+        .generate(7)
+        .instance
+        .jobs;
+
+    tcp_sweep(&pool, jobs, &windows);
+    if rounds > 0 {
+        rounds_sweep(rounds);
+    }
 }

@@ -60,6 +60,7 @@ pub mod allocators;
 pub mod bounds;
 pub mod error;
 pub mod list_scheduler;
+pub mod plan_diff;
 pub mod priority;
 pub mod resource_state;
 pub mod schedule;
@@ -69,6 +70,7 @@ pub mod theory;
 
 pub use error::CoreError;
 pub use list_scheduler::ListScheduler;
+pub use plan_diff::{diff_plan_entries, PlanDelta};
 pub use priority::PriorityRule;
 pub use resource_state::ResourceState;
 pub use schedule::{Schedule, ScheduledJob};

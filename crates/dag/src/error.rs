@@ -26,6 +26,17 @@ pub enum DagError {
         /// Supplied length.
         got: usize,
     },
+    /// An appended edge points *into* the pre-existing node prefix, which
+    /// [`crate::Dag::append`] freezes (growth may only add edges towards
+    /// appended nodes, never retro-actively constrain old ones).
+    EdgeIntoFrozenPrefix {
+        /// The edge source.
+        from: usize,
+        /// The offending target inside the frozen prefix.
+        to: usize,
+        /// Size of the frozen prefix (nodes `0..frozen` are immutable).
+        frozen: usize,
+    },
     /// The graph is not series-parallel (contains an "N" sub-order), so no SP
     /// decomposition exists.
     NotSeriesParallel,
@@ -47,6 +58,10 @@ impl fmt::Display for DagError {
             DagError::WeightLengthMismatch { expected, got } => write!(
                 f,
                 "weight vector has length {got}, expected {expected} (one per node)"
+            ),
+            DagError::EdgeIntoFrozenPrefix { from, to, frozen } => write!(
+                f,
+                "appended edge {from} -> {to} targets the frozen prefix (nodes 0..{frozen})"
             ),
             DagError::NotSeriesParallel => {
                 write!(f, "the graph is not a series-parallel order")

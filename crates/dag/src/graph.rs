@@ -163,6 +163,95 @@ impl Dag {
         (b.build().expect("a subgraph of a DAG is a DAG"), mapping)
     }
 
+    /// Like [`Dag::induced_subgraph`], but for `nodes` **sorted ascending**
+    /// (an unchecked contract in release builds): membership is resolved by
+    /// binary search instead of an O(num_nodes) scratch map, so the cost
+    /// scales with the subgraph, not the graph — what the incremental
+    /// serving path needs when re-planning a small pending frontier inside a
+    /// huge world. Produces exactly the same graph and mapping as
+    /// [`Dag::induced_subgraph`].
+    pub fn induced_subgraph_sorted(&self, nodes: &[NodeId]) -> (Dag, Vec<NodeId>) {
+        debug_assert!(
+            nodes.windows(2).all(|w| w[0] < w[1]),
+            "induced_subgraph_sorted requires strictly ascending nodes"
+        );
+        let mut b = DagBuilder::new(nodes.len());
+        for (new_u, &old_u) in nodes.iter().enumerate() {
+            for &old_v in &self.succs[old_u] {
+                if let Ok(new_v) = nodes.binary_search(&old_v) {
+                    b.add_edge(new_u, new_v)
+                        .expect("subgraph edge endpoints are in range");
+                }
+            }
+        }
+        (
+            b.build().expect("a subgraph of a DAG is a DAG"),
+            nodes.to_vec(),
+        )
+    }
+
+    /// Grows the graph **in place** by `added` nodes (numbered
+    /// `num_nodes..num_nodes + added`) and the given edges, without rebuilding
+    /// the adjacency of the existing nodes — the incremental-world operation
+    /// the online service relies on for O(batch)-per-round growth.
+    ///
+    /// The pre-existing prefix is *frozen*: every new edge must point at an
+    /// appended node (`v >= old num_nodes`); sources may be old or new. Edges
+    /// among the appended nodes are checked for acyclicity (edges from the
+    /// frozen prefix can never close a cycle because nothing points back into
+    /// it). Duplicate edges are ignored, matching [`DagBuilder::build`].
+    ///
+    /// On error the graph is left unchanged.
+    pub fn append(&mut self, added: usize, edges: &[(NodeId, NodeId)]) -> Result<()> {
+        let old_n = self.num_nodes;
+        let new_n = old_n + added;
+        for &(u, v) in edges {
+            if u >= new_n || v >= new_n {
+                return Err(DagError::NodeOutOfRange {
+                    node: u.max(v),
+                    num_nodes: new_n,
+                });
+            }
+            if u == v {
+                return Err(DagError::SelfLoop(u));
+            }
+            if v < old_n {
+                return Err(DagError::EdgeIntoFrozenPrefix {
+                    from: u,
+                    to: v,
+                    frozen: old_n,
+                });
+            }
+        }
+        // Acyclicity only involves the appended block: validate it in
+        // isolation (shifted down by `old_n`) before touching the adjacency.
+        let local: Vec<(NodeId, NodeId)> = edges
+            .iter()
+            .filter(|&&(u, _)| u >= old_n)
+            .map(|&(u, v)| (u - old_n, v - old_n))
+            .collect();
+        Dag::from_edges(added, &local).map_err(|e| match e {
+            DagError::CycleDetected { witness } => DagError::CycleDetected {
+                witness: witness + old_n,
+            },
+            other => other,
+        })?;
+        self.succs.resize(new_n, Vec::new());
+        self.preds.resize(new_n, Vec::new());
+        for &(u, v) in edges {
+            if let Err(pos) = self.succs[u].binary_search(&v) {
+                self.succs[u].insert(pos, v);
+                let ppos = self.preds[v]
+                    .binary_search(&u)
+                    .expect_err("succ/pred lists agree");
+                self.preds[v].insert(ppos, u);
+                self.num_edges += 1;
+            }
+        }
+        self.num_nodes = new_n;
+        Ok(())
+    }
+
     /// Returns the reverse graph (every edge flipped). Useful for computing
     /// bottom levels as top levels of the reverse graph.
     pub fn reversed(&self) -> Dag {
@@ -382,5 +471,85 @@ mod tests {
         let json = serde_json::to_string(&g).unwrap();
         let back: Dag = serde_json::from_str(&json).unwrap();
         assert_eq!(g, back);
+    }
+
+    #[test]
+    fn sorted_subgraph_matches_general_subgraph() {
+        let g =
+            Dag::from_edges(6, &[(0, 1), (0, 2), (1, 3), (2, 3), (2, 4), (3, 5), (4, 5)]).unwrap();
+        for nodes in [vec![0, 1, 3], vec![2, 3, 4, 5], vec![1], vec![], vec![0, 5]] {
+            let (a, map_a) = g.induced_subgraph(&nodes);
+            let (b, map_b) = g.induced_subgraph_sorted(&nodes);
+            assert_eq!(a, b, "subgraph over {nodes:?} diverged");
+            assert_eq!(map_a, map_b);
+        }
+    }
+
+    #[test]
+    fn append_grows_equal_to_batch_rebuild() {
+        // Growing in place must be indistinguishable from rebuilding from the
+        // combined edge list (the differential service harness relies on it).
+        let mut g = diamond();
+        let new_edges = [(3, 4), (1, 5), (4, 5), (5, 6)];
+        g.append(3, &new_edges).unwrap();
+        let mut all: Vec<(usize, usize)> = diamond().edges().collect();
+        all.extend_from_slice(&new_edges);
+        let rebuilt = Dag::from_edges(7, &all).unwrap();
+        assert_eq!(g, rebuilt);
+        assert_eq!(g.num_nodes(), 7);
+        assert_eq!(g.num_edges(), 8);
+        assert_eq!(g.predecessors(5), &[1, 4]);
+    }
+
+    #[test]
+    fn append_with_no_edges_adds_isolated_nodes() {
+        let mut g = Dag::independent(2);
+        g.append(2, &[]).unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.sources(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn append_rejects_edges_into_the_frozen_prefix() {
+        let mut g = diamond();
+        let before = g.clone();
+        let err = g.append(1, &[(4, 2)]).unwrap_err();
+        assert!(matches!(
+            err,
+            DagError::EdgeIntoFrozenPrefix {
+                from: 4,
+                to: 2,
+                frozen: 4
+            }
+        ));
+        // Also from an old node into an old node.
+        let err = g.append(1, &[(0, 3)]).unwrap_err();
+        assert!(matches!(err, DagError::EdgeIntoFrozenPrefix { .. }));
+        assert_eq!(g, before, "failed append must leave the graph unchanged");
+    }
+
+    #[test]
+    fn append_rejects_cycles_and_bad_ids_without_mutating() {
+        let mut g = diamond();
+        let before = g.clone();
+        let err = g.append(2, &[(4, 5), (5, 4)]).unwrap_err();
+        assert!(matches!(err, DagError::CycleDetected { witness } if witness >= 4));
+        assert!(matches!(
+            g.append(1, &[(4, 4)]).unwrap_err(),
+            DagError::SelfLoop(4)
+        ));
+        assert!(matches!(
+            g.append(1, &[(0, 9)]).unwrap_err(),
+            DagError::NodeOutOfRange { node: 9, .. }
+        ));
+        assert_eq!(g, before);
+    }
+
+    #[test]
+    fn append_deduplicates_repeated_edges() {
+        let mut g = Dag::chain(2);
+        g.append(1, &[(1, 2), (1, 2), (0, 2)]).unwrap();
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.predecessors(2), &[0, 1]);
     }
 }

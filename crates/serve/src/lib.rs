@@ -14,12 +14,17 @@
 //! * [`ingest`] — the arrival queue: admissions coalesce within a batching
 //!   window into one scheduling round, with an admission limit answered by
 //!   backpressure replies ([`IngestQueue`]).
-//! * [`service`] — the core: owns the growing world, re-plans pending jobs
-//!   with the two-phase scheduler each round, and drives a checkpointed
-//!   `mrls-sim` [`SimRun`](mrls_sim::SimRun) over a channel-fed
-//!   [`ChannelSource`](mrls_sim::ChannelSource) ([`ServiceCore`]).
+//! * [`service`] — the core: owns the growing world and **one persistent**
+//!   `mrls-sim` [`PersistentRun`](mrls_sim::PersistentRun) carried across
+//!   rounds; pending jobs are re-planned each round and the planner output
+//!   is diffed against the in-flight plan, while processed engine events are
+//!   harvested into the ledger so per-round cost stays flat in the round
+//!   index ([`ServiceCore`]). The original checkpoint→clone→resume path is
+//!   preserved as [`naive::NaiveService`], the reference the differential
+//!   tests compare against.
 //! * [`metrics`] — per-tenant counters queryable over the protocol and
-//!   dumpable as JSON ([`MetricsSnapshot`]).
+//!   dumpable as JSON ([`MetricsSnapshot`]), plus the harvested-event
+//!   archive ([`EventLedger`]).
 //!
 //! Virtual time is decoupled from wall time: each round's events are stamped
 //! deterministically from the submission order alone, so two servers fed the
@@ -53,17 +58,19 @@
 pub mod client;
 pub mod ingest;
 pub mod metrics;
+pub mod naive;
 pub mod protocol;
 pub mod service;
 
 pub use client::Client;
 pub use ingest::{Batch, IngestQueue};
-pub use metrics::{MetricsRegistry, MetricsSnapshot, TenantMetrics};
+pub use metrics::{EventLedger, MetricsRegistry, MetricsSnapshot, TenantMetrics};
+pub use naive::NaiveService;
 pub use protocol::{
     encode_line, parse_request, probe_request_id, read_frame, write_message, DrainReport, Request,
     RequestBody, Response, ResponseBody, DEFAULT_MAX_LINE_BYTES,
 };
-pub use service::{ServeConfig, ServiceCore};
+pub use service::{RoundStateStats, ServeConfig, ServiceCore};
 
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};

@@ -1,11 +1,19 @@
-//! Per-tenant counters and the queryable metrics snapshot.
+//! Per-tenant counters, the queryable metrics snapshot, and the
+//! harvested-event ledger.
 //!
 //! The registry is fed from the service core (admissions as they happen,
 //! engine trace events as each round is harvested) and is deliberately free
 //! of wall-clock readings: two runs that see the same submission order
 //! produce byte-identical snapshots, which the loopback determinism test
 //! relies on.
+//!
+//! The [`EventLedger`] is the metrics layer's archive of engine history:
+//! after every round the service harvests the engine's processed events out
+//! of the retained trace and absorbs them here, so the engine (and any
+//! checkpoint of it) carries only live state while drain reports can still
+//! assemble the complete, byte-identical event log.
 
+use mrls_sim::TraceEvent;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -133,9 +141,77 @@ impl MetricsRegistry {
     }
 }
 
+/// Archive of events harvested out of the engine's retained trace: the
+/// immutable prefix of the run's history, plus the virtual-time watermark up
+/// to which it is complete. Appending is the only mutation — harvested
+/// events are frozen history.
+#[derive(Debug, Clone, Default)]
+pub struct EventLedger {
+    archived: Vec<TraceEvent>,
+    watermark: f64,
+}
+
+impl EventLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        EventLedger::default()
+    }
+
+    /// Absorbs one round's harvested events and advances the watermark
+    /// (watermarks never move backwards; an empty harvest still records
+    /// that history is complete up to `watermark`).
+    pub fn absorb(&mut self, events: Vec<TraceEvent>, watermark: f64) {
+        self.archived.extend(events);
+        self.watermark = self.watermark.max(watermark);
+    }
+
+    /// The archived events, in engine processing order.
+    pub fn archived(&self) -> &[TraceEvent] {
+        &self.archived
+    }
+
+    /// Virtual time up to which the archive is complete.
+    pub fn watermark(&self) -> f64 {
+        self.watermark
+    }
+
+    /// Number of archived events.
+    pub fn len(&self) -> usize {
+        self.archived.len()
+    }
+
+    /// `true` iff nothing was archived yet.
+    pub fn is_empty(&self) -> bool {
+        self.archived.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn ledger_archives_in_order_and_watermark_is_monotone() {
+        let mut ledger = EventLedger::new();
+        assert!(ledger.is_empty());
+        ledger.absorb(vec![TraceEvent::JobReleased { time: 1.0, job: 0 }], 1.0);
+        ledger.absorb(vec![], 3.0);
+        ledger.absorb(
+            vec![TraceEvent::JobCompleted {
+                time: 2.0,
+                job: 0,
+                nominal: 1.0,
+                realized: 1.0,
+            }],
+            2.0,
+        );
+        assert_eq!(ledger.len(), 2);
+        assert_eq!(ledger.watermark(), 3.0, "watermarks never regress");
+        assert!(matches!(
+            ledger.archived()[0],
+            TraceEvent::JobReleased { job: 0, .. }
+        ));
+    }
 
     #[test]
     fn counters_aggregate_across_tenants() {

@@ -1,0 +1,487 @@
+//! The **naive** service core: the original checkpoint→clone→resume round
+//! loop, kept as the executable reference specification.
+//!
+//! [`NaiveService`] rebuilds the world every batching round — it re-creates
+//! the full `Instance` (cloning every admitted job), rebuilds the complete
+//! plan, and resumes a fresh [`SimRun`] from the previous round's
+//! [`SimSnapshot`], whose event log grows without bound. That makes each
+//! round O(history) and a long-lived server O(n²) — the exact behaviour the
+//! incremental [`ServiceCore`](crate::ServiceCore) replaces.
+//!
+//! It stays in the tree (not under `#[cfg(test)]`) for two reasons:
+//!
+//! * the **differential harness** (`tests/differential.rs`) drives it
+//!   side-by-side with the incremental core over randomized submission
+//!   streams and asserts byte-identical replies, metrics, and traces — the
+//!   incremental core is correct *by construction against this reference*;
+//! * the `serve_throughput` bench's rounds-vs-latency sweep measures both
+//!   paths to demonstrate the O(history) → O(live) change.
+//!
+//! Behaviour must never be "improved" here; fix the incremental core
+//! instead. The only allowed changes are those keeping it byte-identical to
+//! its PR 3 semantics.
+
+use crate::ingest::{Batch, IngestQueue};
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::protocol::DrainReport;
+use crate::service::{plan_pending, validate_spec, ServeConfig, WorldJob};
+use mrls_analysis::{validate_schedule_with, ValidationOptions};
+use mrls_core::{Schedule, ScheduledJob};
+use mrls_dag::Dag;
+use mrls_model::{Instance, MoldableJob, SystemConfig};
+use mrls_sim::{
+    ChannelSource, Perturber, RealizedTrace, SimRun, SimSnapshot, SourceEvent, TraceEvent,
+};
+use std::time::Instant;
+
+/// The reference service core: same protocol-visible behaviour as
+/// [`crate::ServiceCore`], paid for with an O(history) world rebuild every
+/// round. See the module docs for why it is kept.
+#[derive(Debug)]
+pub struct NaiveService {
+    config: ServeConfig,
+    world: Vec<WorldJob>,
+    edges: Vec<(usize, usize)>,
+    capacities_now: Vec<u64>,
+    capacities_max: Vec<u64>,
+    snapshot: Option<SimSnapshot>,
+    // The live perturbation stream, carried across rounds so resuming never
+    // replays the draw history (it must always match
+    // `snapshot.perturber_realizations`).
+    perturber: Option<Perturber>,
+    ingest: IngestQueue,
+    metrics: MetricsRegistry,
+    rounds: u64,
+    virtual_now: f64,
+    events_seen: usize,
+    fault: Option<String>,
+}
+
+impl NaiveService {
+    /// Creates an idle service for the configured machine.
+    pub fn new(config: ServeConfig) -> Self {
+        let ingest = IngestQueue::new(config.batch_window, config.max_pending_jobs);
+        let capacities = config.capacities.clone();
+        NaiveService {
+            config,
+            world: Vec::new(),
+            edges: Vec::new(),
+            capacities_now: capacities.clone(),
+            capacities_max: capacities,
+            snapshot: None,
+            perturber: None,
+            ingest,
+            metrics: MetricsRegistry::new(),
+            rounds: 0,
+            virtual_now: 0.0,
+            events_seen: 0,
+            fault: None,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Number of resource types `d` of the machine.
+    pub fn num_resource_types(&self) -> usize {
+        self.config.capacities.len()
+    }
+
+    /// When the open batch must be flushed, if one is open.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.ingest.deadline()
+    }
+
+    /// The error that poisoned the service, if any round failed.
+    pub fn fault(&self) -> Option<&str> {
+        self.fault.as_deref()
+    }
+
+    /// Trace events retained by the engine checkpoint (grows with history —
+    /// the O(n²) driver the incremental core eliminates).
+    pub fn retained_events(&self) -> usize {
+        self.snapshot.as_ref().map_or(0, |s| s.events.len())
+    }
+
+    /// Admits one job with dependencies on previously accepted jobs.
+    /// Returns the assigned global id.
+    pub fn submit_job(
+        &mut self,
+        tenant: &str,
+        job: MoldableJob,
+        deps: &[u64],
+    ) -> Result<u64, String> {
+        self.check_fault()?;
+        validate_spec(self.num_resource_types(), &job).inspect_err(|_| {
+            self.metrics.record_rejected(tenant, 1);
+        })?;
+        let admit = self.ingest.admit(1).and_then(|()| {
+            let next = self.world.len() as u64;
+            match deps.iter().find(|&&d| d >= next) {
+                Some(d) => Err(format!(
+                    "dependency {d} does not exist yet (next id {next})"
+                )),
+                None => Ok(()),
+            }
+        });
+        if let Err(e) = admit {
+            self.metrics.record_rejected(tenant, 1);
+            return Err(e);
+        }
+        let id = self.world.len();
+        let mut deps: Vec<u64> = deps.to_vec();
+        deps.sort_unstable();
+        deps.dedup();
+        for d in deps {
+            self.edges.push((d as usize, id));
+        }
+        self.world.push(WorldJob {
+            tenant: tenant.to_string(),
+            job,
+        });
+        self.ingest.push_jobs(&[id]);
+        self.metrics.record_submitted(tenant, 1);
+        Ok(id as u64)
+    }
+
+    /// Admits a whole DAG atomically; `edges` are `(from, to)` pairs of
+    /// indices into `jobs`. Returns the assigned global ids, in order.
+    pub fn submit_dag(
+        &mut self,
+        tenant: &str,
+        jobs: Vec<MoldableJob>,
+        edges: &[(usize, usize)],
+    ) -> Result<Vec<u64>, String> {
+        self.check_fault()?;
+        let count = jobs.len();
+        let d = self.num_resource_types();
+        let admit = (|| {
+            if count == 0 {
+                return Err("empty submission".to_string());
+            }
+            self.ingest.admit(count)?;
+            for job in &jobs {
+                validate_spec(d, job)?;
+            }
+            let mut local: Vec<(usize, usize)> = edges.to_vec();
+            local.sort_unstable();
+            local.dedup();
+            if let Some(&(a, b)) = local.iter().find(|&&(a, b)| a >= count || b >= count) {
+                return Err(format!("edge ({a}, {b}) references a job outside the DAG"));
+            }
+            Dag::from_edges(count, &local).map_err(|e| format!("invalid DAG: {e}"))?;
+            Ok(local)
+        })();
+        let local = match admit {
+            Ok(local) => local,
+            Err(e) => {
+                self.metrics.record_rejected(tenant, count.max(1) as u64);
+                return Err(e);
+            }
+        };
+        let base = self.world.len();
+        let ids: Vec<usize> = (base..base + count).collect();
+        for (a, b) in local {
+            self.edges.push((base + a, base + b));
+        }
+        for job in jobs {
+            self.world.push(WorldJob {
+                tenant: tenant.to_string(),
+                job,
+            });
+        }
+        self.ingest.push_jobs(&ids);
+        self.metrics.record_submitted(tenant, count as u64);
+        Ok(ids.into_iter().map(|id| id as u64).collect())
+    }
+
+    /// Queues a capacity change for the next round.
+    pub fn submit_capacity(&mut self, resource: usize, capacity: u64) -> Result<(), String> {
+        self.check_fault()?;
+        let d = self.num_resource_types();
+        if resource >= d {
+            return Err(format!(
+                "resource {resource} does not exist (the machine has {d} types)"
+            ));
+        }
+        if capacity == 0 {
+            return Err("capacities must stay >= 1".to_string());
+        }
+        self.ingest.push_capacity(resource, capacity);
+        Ok(())
+    }
+
+    /// The queryable metrics snapshot.
+    pub fn status(&self) -> MetricsSnapshot {
+        self.metrics
+            .snapshot(self.virtual_now, self.ingest.queue_depth())
+    }
+
+    /// Flushes the open batch into one scheduling round, if any work is
+    /// queued.
+    pub fn flush(&mut self) -> Result<(), String> {
+        self.check_fault()?;
+        if self.ingest.is_empty() {
+            return Ok(());
+        }
+        let batch = self.ingest.take_batch();
+        self.run_round(batch, false).map(|_| ())
+    }
+
+    /// Flushes any queued work and runs the engine until every admitted job
+    /// completed, returning the drain report.
+    pub fn drain(&mut self) -> Result<DrainReport, String> {
+        self.check_fault()?;
+        let batch = self.ingest.take_batch();
+        let trace = self
+            .run_round(batch, true)?
+            .expect("completing rounds always produce a trace");
+        let submitted = self.world.len() as u64;
+        let completed = self.snapshot.as_ref().map_or(0, |s| s.num_completed as u64);
+        Ok(DrainReport {
+            virtual_makespan: trace.stats.realized_makespan,
+            submitted,
+            completed,
+            feasible: self.validate(&trace),
+            metrics: self.status(),
+            trace,
+        })
+    }
+
+    fn check_fault(&self) -> Result<(), String> {
+        match &self.fault {
+            Some(f) => Err(format!("service faulted: {f}")),
+            None => Ok(()),
+        }
+    }
+
+    /// The virtual time stamped on the next round's events.
+    fn next_round_time(&self) -> f64 {
+        self.virtual_now.max(self.rounds as f64 * self.config.tick)
+    }
+
+    /// Executes one round, rebuilding the whole world.
+    fn run_round(&mut self, batch: Batch, complete: bool) -> Result<Option<RealizedTrace>, String> {
+        if batch.is_empty() && !complete {
+            return Ok(None);
+        }
+        let t = self.next_round_time();
+        if !batch.is_empty() {
+            self.rounds += 1;
+            self.metrics.record_round();
+        }
+        // Mirror the capacity changes before building the instance so its
+        // system covers every capacity the machine ever had.
+        for &(resource, capacity) in &batch.capacity_changes {
+            self.capacities_now[resource] = capacity;
+            self.capacities_max[resource] = self.capacities_max[resource].max(capacity);
+        }
+        let result = self.run_round_inner(&batch, t, complete);
+        match result {
+            Ok(trace) => Ok(trace),
+            Err(e) => {
+                self.fault = Some(e.clone());
+                Err(e)
+            }
+        }
+    }
+
+    fn run_round_inner(
+        &mut self,
+        batch: &Batch,
+        t: f64,
+        complete: bool,
+    ) -> Result<Option<RealizedTrace>, String> {
+        let n = self.world.len();
+        let system = SystemConfig::new(self.capacities_max.clone()).map_err(|e| e.to_string())?;
+        let dag = Dag::from_edges(n, &self.edges).map_err(|e| e.to_string())?;
+        let jobs: Vec<MoldableJob> = self.world.iter().map(|w| w.job.clone()).collect();
+        let instance = Instance::new(system, dag, jobs).map_err(|e| e.to_string())?;
+        let plan = self.build_plan(&instance, t, &batch.jobs)?;
+
+        let (tx, mut source) = ChannelSource::channel();
+        for &job in &batch.jobs {
+            let _ = tx.send(SourceEvent::Release { time: t, job });
+        }
+        for &(resource, capacity) in &batch.capacity_changes {
+            let _ = tx.send(SourceEvent::Capacity {
+                time: t,
+                resource,
+                capacity,
+            });
+        }
+        drop(tx);
+
+        let mut run = match (&self.snapshot, self.perturber.take()) {
+            (None, _) => SimRun::start(
+                &instance,
+                &plan,
+                self.config.seed,
+                self.config.perturbation.clone(),
+                None,
+                vec![false; n],
+            ),
+            (Some(snapshot), Some(perturber)) => {
+                SimRun::resume_with_perturber(&instance, &plan, snapshot, perturber, None)
+            }
+            (Some(snapshot), None) => SimRun::resume(
+                &instance,
+                &plan,
+                snapshot,
+                self.config.perturbation.clone(),
+                None,
+            ),
+        }
+        .map_err(|e| e.to_string())?;
+        let mut policy = self.config.policy.build();
+        if complete {
+            run.drive(policy.as_mut(), &mut source)
+        } else {
+            run.drive_until(policy.as_mut(), &mut source, t)
+        }
+        .map_err(|e| e.to_string())?;
+
+        let snapshot = run.checkpoint();
+        self.virtual_now = snapshot.now;
+        self.harvest_events(&snapshot);
+        self.perturber = Some(run.perturber().clone());
+        let trace = complete.then(|| run.into_trace(self.config.policy.label()));
+        self.snapshot = Some(snapshot);
+        Ok(trace)
+    }
+
+    /// Builds the job-indexed plan for the current world: realized entries
+    /// for jobs that already started, fresh two-phase plans (against the
+    /// machine's *current* capacities) for everything pending. Planned
+    /// finish times of newly submitted jobs are recorded per tenant.
+    fn build_plan(
+        &mut self,
+        instance: &Instance,
+        t: f64,
+        new_jobs: &[usize],
+    ) -> Result<Schedule, String> {
+        let n = instance.num_jobs();
+        let started = |j: usize| {
+            self.snapshot
+                .as_ref()
+                .is_some_and(|s| j < s.started.len() && s.started[j])
+        };
+        let mut entries: Vec<Option<ScheduledJob>> = vec![None; n];
+        let mut pending: Vec<usize> = Vec::new();
+        for (j, entry) in entries.iter_mut().enumerate() {
+            if started(j) {
+                let s = self.snapshot.as_ref().expect("started implies snapshot");
+                *entry = Some(ScheduledJob {
+                    job: j,
+                    start: s.start[j],
+                    finish: s.finish[j],
+                    alloc: s.alloc_used[j].clone(),
+                });
+            } else {
+                pending.push(j);
+            }
+        }
+        let planned = plan_pending(
+            instance,
+            &self.capacities_now,
+            &pending,
+            t,
+            &self.config.scheduler,
+        )?;
+        for entry in planned {
+            let j = entry.job;
+            entries[j] = Some(entry);
+        }
+        let entries: Vec<ScheduledJob> = entries
+            .into_iter()
+            .map(|e| e.expect("every job planned or realized"))
+            .collect();
+        for &j in new_jobs {
+            let tenant = self.world[j].tenant.clone();
+            self.metrics.record_planned(&tenant, entries[j].finish);
+        }
+        Ok(Schedule::new(entries))
+    }
+
+    /// Feeds the engine events processed since the last harvest into the
+    /// metrics registry (the snapshot retains the full log, so the cursor
+    /// only ever advances).
+    fn harvest_events(&mut self, snapshot: &SimSnapshot) {
+        for ev in &snapshot.events[self.events_seen..] {
+            match ev {
+                TraceEvent::JobStarted { job, .. } => {
+                    let tenant = self.world[*job].tenant.clone();
+                    self.metrics.record_scheduled(&tenant);
+                }
+                TraceEvent::JobCompleted { time, job, .. } => {
+                    let tenant = self.world[*job].tenant.clone();
+                    self.metrics.record_completed(&tenant, *time);
+                }
+                _ => {}
+            }
+        }
+        self.events_seen = snapshot.events.len();
+    }
+
+    /// Validates the realized schedule of a drained world
+    /// (capacity/precedence feasibility, durations relaxed).
+    fn validate(&self, trace: &RealizedTrace) -> bool {
+        let n = self.world.len();
+        if n == 0 {
+            return true;
+        }
+        let Ok(system) = SystemConfig::new(self.capacities_max.clone()) else {
+            return false;
+        };
+        let Ok(dag) = Dag::from_edges(n, &self.edges) else {
+            return false;
+        };
+        let jobs: Vec<MoldableJob> = self.world.iter().map(|w| w.job.clone()).collect();
+        let Ok(instance) = Instance::new(system, dag, jobs) else {
+            return false;
+        };
+        validate_schedule_with(
+            &instance,
+            &trace.realized,
+            ValidationOptions {
+                check_durations: false,
+            },
+        )
+        .is_valid()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrls_model::ExecTimeSpec;
+
+    #[test]
+    fn naive_reference_still_serves() {
+        let mut core = NaiveService::new(ServeConfig {
+            capacities: vec![4, 4],
+            ..ServeConfig::default()
+        });
+        let a = core
+            .submit_job(
+                "t",
+                MoldableJob::new(0, ExecTimeSpec::Constant { time: 2.0 }),
+                &[],
+            )
+            .unwrap();
+        core.flush().unwrap();
+        core.submit_job(
+            "t",
+            MoldableJob::new(0, ExecTimeSpec::Constant { time: 1.0 }),
+            &[a],
+        )
+        .unwrap();
+        let report = core.drain().unwrap();
+        assert_eq!(report.completed, 2);
+        assert!(report.feasible);
+        // The naive path retains the whole event log in its checkpoint.
+        assert!(core.retained_events() > 0);
+    }
+}

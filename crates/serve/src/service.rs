@@ -3,25 +3,34 @@
 //!
 //! Each flushed batch becomes one **round**: the new jobs and capacity
 //! changes are stamped with a single virtual time (`max(engine now, round ×
-//! tick)` — deterministic in the submission order, never wall clock), pushed
-//! into a channel-fed [`ChannelSource`], and the engine is resumed from the
-//! previous round's [`SimSnapshot`] against the grown instance. Pending jobs
-//! are (re-)planned with the paper's two-phase scheduler against the
-//! machine's *current* capacities; the configured [`PolicyKind`] reacts to
-//! events inside the round. [`ServiceCore::drain`] runs the engine to
-//! completion and reports the realized trace, validated for
-//! capacity/precedence feasibility.
+//! tick)` — deterministic in the submission order, never wall clock), fed
+//! through a long-lived [`ChannelFeeder`], and a **persistent**
+//! [`PersistentRun`] is driven forward. Pending jobs are (re-)planned with
+//! the paper's two-phase scheduler against the machine's *current*
+//! capacities; the planner output is diffed against the in-flight plan
+//! (`mrls_core::diff_plan_entries`) so unchanged placements are not
+//! re-applied. After every round the engine's processed events are
+//! **harvested** into the metrics layer's [`EventLedger`], so the retained
+//! engine state — and any checkpoint of it — stays O(live) instead of
+//! O(history): per-round cost is flat in the round index where the old
+//! clone-and-replay path (kept as [`crate::naive::NaiveService`], the
+//! executable reference the differential tests compare against) degraded
+//! linearly.
+//!
+//! [`ServiceCore::drain`] runs the engine to completion and reports the
+//! realized trace — ledger archive plus retained suffix, byte-identical to
+//! the naive path's — validated for capacity/precedence feasibility.
 
 use crate::ingest::{Batch, IngestQueue};
-use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::metrics::{EventLedger, MetricsRegistry, MetricsSnapshot};
 use crate::protocol::{DrainReport, DEFAULT_MAX_LINE_BYTES};
 use mrls_analysis::{validate_schedule_with, ValidationOptions};
-use mrls_core::{MrlsConfig, MrlsScheduler, Schedule, ScheduledJob};
+use mrls_core::{diff_plan_entries, MrlsConfig, MrlsScheduler, Schedule, ScheduledJob};
 use mrls_dag::Dag;
 use mrls_model::{Allocation, Instance, MoldableJob, SystemConfig};
 use mrls_sim::{
-    ChannelSource, PerturbationModel, Perturber, PolicyKind, RealizedTrace, SimRun, SimSnapshot,
-    SourceEvent,
+    ChannelFeeder, ChannelSource, PersistentRun, PerturbationModel, PolicyKind, RealizedTrace,
+    SimSnapshot, TraceEvent,
 };
 use std::time::{Duration, Instant};
 
@@ -69,15 +78,131 @@ impl Default for ServeConfig {
 
 /// One admitted job and the tenant it belongs to.
 #[derive(Debug, Clone)]
-struct WorldJob {
-    tenant: String,
-    job: MoldableJob,
+pub(crate) struct WorldJob {
+    pub(crate) tenant: String,
+    pub(crate) job: MoldableJob,
 }
 
-/// The service core. Owns the world (every admitted job and edge), the
-/// engine checkpoint between rounds, the ingest queue and the metrics
-/// registry. Free of I/O — the TCP layer in [`crate::Server`] drives it, and
-/// tests can call it directly.
+/// Cheap submission-time validation of a job description against a
+/// `d`-resource machine. Shared by the incremental core and the naive
+/// reference so rejection replies stay byte-identical.
+pub(crate) fn validate_spec(d: usize, job: &MoldableJob) -> Result<(), String> {
+    if let Some(dim) = job.spec.dimension() {
+        if dim != d {
+            return Err(format!(
+                "job `{}` is specified for {dim} resource types but the machine has {d}",
+                job.name
+            ));
+        }
+    }
+    let probe = Allocation::new(vec![1; d]);
+    let t = job.spec.time(&probe);
+    if !t.is_finite() || t <= 0.0 {
+        return Err(format!(
+            "job `{}` has invalid execution time {t} under the unit allocation",
+            job.name
+        ));
+    }
+    Ok(())
+}
+
+/// Plans fresh placements for the given pending (unstarted) jobs of
+/// `instance` against the machine's *current* capacities, stamped at round
+/// time `t`. Entry `i` of the result describes global job `pending[i]`. On
+/// scheduler failure, falls back to serialising the pending jobs on unit
+/// allocations (always feasible — capacities stay >= 1).
+///
+/// Shared by the incremental core and the naive reference: both must feed
+/// the engine bit-identical placements for the differential guarantee.
+pub(crate) fn plan_pending(
+    instance: &Instance,
+    capacities_now: &[u64],
+    pending: &[usize],
+    t: f64,
+    config: &MrlsConfig,
+) -> Result<Vec<ScheduledJob>, String> {
+    if pending.is_empty() {
+        return Ok(Vec::new());
+    }
+    let (sub_dag, mapping) = instance.dag.induced_subgraph_sorted(pending);
+    let sub_jobs: Vec<MoldableJob> = mapping
+        .iter()
+        .map(|&old| instance.jobs[old].clone())
+        .collect();
+    let system = SystemConfig::new(capacities_now.to_vec()).map_err(|e| e.to_string())?;
+    let sub_instance = Instance::new(system, sub_dag, sub_jobs).map_err(|e| e.to_string())?;
+    match MrlsScheduler::new(config.clone()).schedule(&sub_instance) {
+        Ok(result) => {
+            let mut entries: Vec<Option<ScheduledJob>> = vec![None; pending.len()];
+            for sj in &result.schedule.jobs {
+                entries[sj.job] = Some(ScheduledJob {
+                    job: mapping[sj.job],
+                    start: t + sj.start,
+                    finish: t + sj.finish,
+                    alloc: sj.alloc.clone(),
+                });
+            }
+            Ok(entries
+                .into_iter()
+                .map(|e| e.expect("the scheduler covers every pending job"))
+                .collect())
+        }
+        Err(_) => {
+            let d = instance.num_resource_types();
+            let mut clock = t;
+            Ok(pending
+                .iter()
+                .map(|&old| {
+                    let alloc = Allocation::new(vec![1; d]);
+                    let dur = instance.jobs[old].spec.time(&alloc).max(1e-9);
+                    let entry = ScheduledJob {
+                        job: old,
+                        start: clock,
+                        finish: clock + dur,
+                        alloc,
+                    };
+                    clock += dur;
+                    entry
+                })
+                .collect())
+        }
+    }
+}
+
+/// A NaN-stamped placeholder entry for a job appended to the running world
+/// before its first planning; bit-compare-never-equal, so the next plan diff
+/// always installs the real placement.
+fn placeholder_entry(job: usize, d: usize) -> ScheduledJob {
+    ScheduledJob {
+        job,
+        start: f64::NAN,
+        finish: f64::NAN,
+        alloc: Allocation::new(vec![1; d]),
+    }
+}
+
+/// Introspection counters of the incremental round state (for soak tests and
+/// benches; not part of the protocol-visible metrics, which stay
+/// byte-identical with the naive reference).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundStateStats {
+    /// Trace events currently retained inside the engine (post-harvest this
+    /// is zero between rounds — the bounded-live-state invariant).
+    pub retained_events: usize,
+    /// Events archived in the ledger over the service's lifetime.
+    pub archived_events: usize,
+    /// Virtual-time watermark up to which events were harvested.
+    pub harvested_until: f64,
+    /// Plan entries re-applied after diffing (placements that changed).
+    pub plan_updates_applied: u64,
+    /// Plan entries skipped as bit-identical to the in-flight plan.
+    pub plan_entries_unchanged: u64,
+}
+
+/// The service core. Owns the world (every admitted job and edge), one
+/// **persistent** engine run carried across rounds, the harvested-event
+/// ledger, the ingest queue and the metrics registry. Free of I/O — the TCP
+/// layer in [`crate::Server`] drives it, and tests can call it directly.
 #[derive(Debug)]
 pub struct ServiceCore {
     config: ServeConfig,
@@ -85,16 +210,30 @@ pub struct ServiceCore {
     edges: Vec<(usize, usize)>,
     capacities_now: Vec<u64>,
     capacities_max: Vec<u64>,
-    snapshot: Option<SimSnapshot>,
-    // The live perturbation stream, carried across rounds so resuming never
-    // replays the draw history (it must always match
-    // `snapshot.perturber_realizations`).
-    perturber: Option<Perturber>,
+    /// The live engine world, created at the first round and kept across
+    /// rounds (never cloned, never replayed).
+    run: Option<PersistentRun>,
+    /// The long-lived event channel feeding the run.
+    feed: Option<(ChannelFeeder, ChannelSource)>,
+    /// Archive of events harvested out of the engine.
+    ledger: EventLedger,
+    /// Unstarted job ids, sorted ascending (the re-planning frontier).
+    pending: Vec<usize>,
+    /// Jobs started in earlier rounds whose realized placements are not yet
+    /// frozen into the plan (synced at the start of the next round, so the
+    /// plan stays fixed during a drive — exactly what the naive rebuild
+    /// would install).
+    needs_sync: Vec<usize>,
+    /// How many world jobs the run has been grown to.
+    grown: usize,
+    /// How many world edges the run's DAG has been grown to.
+    edge_cursor: usize,
     ingest: IngestQueue,
     metrics: MetricsRegistry,
     rounds: u64,
     virtual_now: f64,
-    events_seen: usize,
+    plan_updates_applied: u64,
+    plan_entries_unchanged: u64,
     fault: Option<String>,
 }
 
@@ -109,13 +248,19 @@ impl ServiceCore {
             edges: Vec::new(),
             capacities_now: capacities.clone(),
             capacities_max: capacities,
-            snapshot: None,
-            perturber: None,
+            run: None,
+            feed: None,
+            ledger: EventLedger::new(),
+            pending: Vec::new(),
+            needs_sync: Vec::new(),
+            grown: 0,
+            edge_cursor: 0,
             ingest,
             metrics: MetricsRegistry::new(),
             rounds: 0,
             virtual_now: 0.0,
-            events_seen: 0,
+            plan_updates_applied: 0,
+            plan_entries_unchanged: 0,
             fault: None,
         }
     }
@@ -140,6 +285,17 @@ impl ServiceCore {
         self.fault.as_deref()
     }
 
+    /// Incremental-state introspection counters.
+    pub fn round_state_stats(&self) -> RoundStateStats {
+        RoundStateStats {
+            retained_events: self.run.as_ref().map_or(0, |r| r.events().len()),
+            archived_events: self.ledger.len(),
+            harvested_until: self.ledger.watermark(),
+            plan_updates_applied: self.plan_updates_applied,
+            plan_entries_unchanged: self.plan_entries_unchanged,
+        }
+    }
+
     /// Admits one job with dependencies on previously accepted jobs.
     /// Returns the assigned global id.
     pub fn submit_job(
@@ -149,7 +305,7 @@ impl ServiceCore {
         deps: &[u64],
     ) -> Result<u64, String> {
         self.check_fault()?;
-        self.validate_spec(&job).inspect_err(|_| {
+        validate_spec(self.num_resource_types(), &job).inspect_err(|_| {
             self.metrics.record_rejected(tenant, 1);
         })?;
         let admit = self.ingest.admit(1).and_then(|()| {
@@ -176,6 +332,7 @@ impl ServiceCore {
             tenant: tenant.to_string(),
             job,
         });
+        self.pending.push(id);
         self.ingest.push_jobs(&[id]);
         self.metrics.record_submitted(tenant, 1);
         Ok(id as u64)
@@ -191,13 +348,14 @@ impl ServiceCore {
     ) -> Result<Vec<u64>, String> {
         self.check_fault()?;
         let count = jobs.len();
+        let d = self.num_resource_types();
         let admit = (|| {
             if count == 0 {
                 return Err("empty submission".to_string());
             }
             self.ingest.admit(count)?;
             for job in &jobs {
-                self.validate_spec(job)?;
+                validate_spec(d, job)?;
             }
             let mut local: Vec<(usize, usize)> = edges.to_vec();
             local.sort_unstable();
@@ -226,6 +384,7 @@ impl ServiceCore {
                 job,
             });
         }
+        self.pending.extend(&ids);
         self.ingest.push_jobs(&ids);
         self.metrics.record_submitted(tenant, count as u64);
         Ok(ids.into_iter().map(|id| id as u64).collect())
@@ -274,7 +433,7 @@ impl ServiceCore {
             .run_round(batch, true)?
             .expect("completing rounds always produce a trace");
         let submitted = self.world.len() as u64;
-        let completed = self.snapshot.as_ref().map_or(0, |s| s.num_completed as u64);
+        let completed = self.run.as_ref().map_or(0, |r| r.num_completed() as u64);
         Ok(DrainReport {
             virtual_makespan: trace.stats.realized_makespan,
             submitted,
@@ -285,33 +444,102 @@ impl ServiceCore {
         })
     }
 
+    /// Serialises the engine's truncated checkpoint (live state plus the
+    /// harvest watermark — no event history; that lives in the ledger), if a
+    /// round ever ran. Together with the service's own durable record (the
+    /// submitted world, metrics, ledger) this is the crash-recovery artefact.
+    pub fn checkpoint_engine_json(&self) -> Option<String> {
+        self.run.as_ref().map(|r| r.checkpoint().to_json())
+    }
+
+    /// Drops the live engine and rebuilds it from a checkpoint previously
+    /// produced by [`ServiceCore::checkpoint_engine_json`] against the
+    /// service's own world record. Service output after a restore is
+    /// byte-identical to never having restored (the differential property
+    /// test exercises exactly this mid-stream).
+    ///
+    /// The checkpoint must match the service's *current* durable state: a
+    /// stale one (taken before rounds whose events the ledger already
+    /// archived) would rewind the engine past harvested history and replay
+    /// completions into the metrics and trace, so it is refused.
+    pub fn restore_engine_json(&mut self, json: &str) -> Result<(), String> {
+        self.check_fault()?;
+        let snapshot = SimSnapshot::from_json(json).map_err(|e| e.to_string())?;
+        if self.run.is_none() {
+            return Err("no live engine to restore (no round has run yet)".to_string());
+        }
+        if snapshot.num_jobs() != self.grown {
+            return Err(format!(
+                "checkpoint covers {} jobs but the engine world has {}",
+                snapshot.num_jobs(),
+                self.grown
+            ));
+        }
+        if snapshot.harvested_events + snapshot.events.len() != self.ledger.len() {
+            return Err(format!(
+                "stale checkpoint: it accounts for {} events but the ledger archives {}",
+                snapshot.harvested_events + snapshot.events.len(),
+                self.ledger.len()
+            ));
+        }
+        if snapshot.now.to_bits() != self.virtual_now.to_bits() {
+            return Err(format!(
+                "stale checkpoint: taken at virtual time {} but the service is at {}",
+                snapshot.now, self.virtual_now
+            ));
+        }
+        let d = self.num_resource_types();
+        let system = SystemConfig::new(self.capacities_max.clone()).map_err(|e| e.to_string())?;
+        let dag = Dag::from_edges(self.grown, &self.edges[..self.edge_cursor])
+            .map_err(|e| e.to_string())?;
+        let jobs: Vec<MoldableJob> = self.world[..self.grown]
+            .iter()
+            .map(|w| w.job.clone())
+            .collect();
+        let instance = Instance::new(system, dag, jobs).map_err(|e| e.to_string())?;
+        // Realized placements for started jobs, placeholders for pending
+        // ones — the next round's plan diff installs fresh placements for
+        // every pending job (placeholders never bit-match).
+        let plan = Schedule::new(
+            (0..self.grown)
+                .map(|j| {
+                    if snapshot.started[j] {
+                        ScheduledJob {
+                            job: j,
+                            start: snapshot.start[j],
+                            finish: snapshot.finish[j],
+                            alloc: snapshot.alloc_used[j].clone(),
+                        }
+                    } else {
+                        placeholder_entry(j, d)
+                    }
+                })
+                .collect(),
+        );
+        let run = PersistentRun::resume(
+            instance,
+            plan,
+            &snapshot,
+            self.config.perturbation.clone(),
+            None,
+        )
+        .map_err(|e| e.to_string())?;
+        // Re-derive the service-side frontier from the restored flags.
+        self.pending = (0..self.grown)
+            .filter(|&j| !snapshot.started[j])
+            .chain(self.grown..self.world.len())
+            .collect();
+        self.needs_sync.clear();
+        self.run = Some(run);
+        self.feed = Some(ChannelSource::feeder());
+        Ok(())
+    }
+
     fn check_fault(&self) -> Result<(), String> {
         match &self.fault {
             Some(f) => Err(format!("service faulted: {f}")),
             None => Ok(()),
         }
-    }
-
-    /// Cheap submission-time validation of a job description.
-    fn validate_spec(&self, job: &MoldableJob) -> Result<(), String> {
-        let d = self.num_resource_types();
-        if let Some(dim) = job.spec.dimension() {
-            if dim != d {
-                return Err(format!(
-                    "job `{}` is specified for {dim} resource types but the machine has {d}",
-                    job.name
-                ));
-            }
-        }
-        let probe = Allocation::new(vec![1; d]);
-        let t = job.spec.time(&probe);
-        if !t.is_finite() || t <= 0.0 {
-            return Err(format!(
-                "job `{}` has invalid execution time {t} under the unit allocation",
-                job.name
-            ));
-        }
-        Ok(())
     }
 
     /// The virtual time stamped on the next round's events.
@@ -331,8 +559,8 @@ impl ServiceCore {
             self.rounds += 1;
             self.metrics.record_round();
         }
-        // Mirror the capacity changes before building the instance so its
-        // system covers every capacity the machine ever had.
+        // Mirror the capacity changes before growing the run so its system
+        // covers every capacity the machine ever had.
         for &(resource, capacity) in &batch.capacity_changes {
             self.capacities_now[resource] = capacity;
             self.capacities_max[resource] = self.capacities_max[resource].max(capacity);
@@ -353,156 +581,50 @@ impl ServiceCore {
         t: f64,
         complete: bool,
     ) -> Result<Option<RealizedTrace>, String> {
-        let n = self.world.len();
-        let system = SystemConfig::new(self.capacities_max.clone()).map_err(|e| e.to_string())?;
-        let dag = Dag::from_edges(n, &self.edges).map_err(|e| e.to_string())?;
-        let jobs: Vec<MoldableJob> = self.world.iter().map(|w| w.job.clone()).collect();
-        let instance = Instance::new(system, dag, jobs).map_err(|e| e.to_string())?;
-        let plan = self.build_plan(&instance, t, &batch.jobs)?;
+        let desired = self.prepare_round(t)?;
+        // Planned finish times of newly submitted jobs, per tenant, in
+        // admission order (`desired[i]` describes `pending[i]`).
+        for &j in &batch.jobs {
+            let idx = self
+                .pending
+                .binary_search(&j)
+                .expect("freshly admitted jobs are pending");
+            let finish = desired[idx].finish;
+            let tenant = self.world[j].tenant.clone();
+            self.metrics.record_planned(&tenant, finish);
+        }
+        let run = self.run.as_mut().expect("prepare_round created the run");
+        let delta = diff_plan_entries(run.plan(), &desired);
+        self.plan_entries_unchanged += delta.unchanged as u64;
+        self.plan_updates_applied += run
+            .apply_plan_updates(&delta.changed)
+            .map_err(|e| e.to_string())? as u64;
 
-        let (tx, mut source) = ChannelSource::channel();
+        let (feeder, source) = self.feed.as_mut().expect("feed lives with the run");
         for &job in &batch.jobs {
-            let _ = tx.send(SourceEvent::Release { time: t, job });
+            feeder.release(t, job);
         }
         for &(resource, capacity) in &batch.capacity_changes {
-            let _ = tx.send(SourceEvent::Capacity {
-                time: t,
-                resource,
-                capacity,
-            });
+            feeder.capacity(t, resource, capacity);
         }
-        drop(tx);
-
-        let mut run = match (&self.snapshot, self.perturber.take()) {
-            (None, _) => SimRun::start(
-                &instance,
-                &plan,
-                self.config.seed,
-                self.config.perturbation.clone(),
-                None,
-                vec![false; n],
-            ),
-            (Some(snapshot), Some(perturber)) => {
-                SimRun::resume_with_perturber(&instance, &plan, snapshot, perturber, None)
-            }
-            (Some(snapshot), None) => SimRun::resume(
-                &instance,
-                &plan,
-                snapshot,
-                self.config.perturbation.clone(),
-                None,
-            ),
-        }
-        .map_err(|e| e.to_string())?;
         let mut policy = self.config.policy.build();
         if complete {
-            run.drive(policy.as_mut(), &mut source)
+            run.drive(policy.as_mut(), source)
         } else {
-            run.drive_until(policy.as_mut(), &mut source, t)
+            run.drive_until(policy.as_mut(), source, t)
         }
         .map_err(|e| e.to_string())?;
 
-        let snapshot = run.checkpoint();
-        self.virtual_now = snapshot.now;
-        self.harvest_events(&snapshot);
-        self.perturber = Some(run.perturber().clone());
-        let trace = complete.then(|| run.into_trace(self.config.policy.label()));
-        self.snapshot = Some(snapshot);
-        Ok(trace)
-    }
-
-    /// Builds the job-indexed plan for the current world: realized entries
-    /// for jobs that already started, fresh two-phase plans (against the
-    /// machine's *current* capacities) for everything pending. Planned
-    /// finish times of newly submitted jobs are recorded per tenant.
-    fn build_plan(
-        &mut self,
-        instance: &Instance,
-        t: f64,
-        new_jobs: &[usize],
-    ) -> Result<Schedule, String> {
-        let n = instance.num_jobs();
-        let started = |j: usize| {
-            self.snapshot
-                .as_ref()
-                .is_some_and(|s| j < s.started.len() && s.started[j])
-        };
-        let mut entries: Vec<Option<ScheduledJob>> = vec![None; n];
-        let mut pending: Vec<usize> = Vec::new();
-        for (j, entry) in entries.iter_mut().enumerate() {
-            if started(j) {
-                let s = self.snapshot.as_ref().expect("started implies snapshot");
-                *entry = Some(ScheduledJob {
-                    job: j,
-                    start: s.start[j],
-                    finish: s.finish[j],
-                    alloc: s.alloc_used[j].clone(),
-                });
-            } else {
-                pending.push(j);
-            }
-        }
-        if !pending.is_empty() {
-            let (sub_dag, mapping) = instance.dag.induced_subgraph(&pending);
-            let sub_jobs: Vec<MoldableJob> = mapping
-                .iter()
-                .map(|&old| instance.jobs[old].clone())
-                .collect();
-            let system =
-                SystemConfig::new(self.capacities_now.clone()).map_err(|e| e.to_string())?;
-            let sub_instance =
-                Instance::new(system, sub_dag, sub_jobs).map_err(|e| e.to_string())?;
-            match MrlsScheduler::new(self.config.scheduler.clone()).schedule(&sub_instance) {
-                Ok(result) => {
-                    for sj in &result.schedule.jobs {
-                        let old = mapping[sj.job];
-                        entries[old] = Some(ScheduledJob {
-                            job: old,
-                            start: t + sj.start,
-                            finish: t + sj.finish,
-                            alloc: sj.alloc.clone(),
-                        });
-                    }
-                }
-                Err(_) => {
-                    // Fallback: serialise the pending jobs on unit
-                    // allocations (always feasible — capacities stay >= 1).
-                    let d = self.num_resource_types();
-                    let mut clock = t;
-                    for &old in &pending {
-                        let alloc = Allocation::new(vec![1; d]);
-                        let dur = instance.jobs[old].spec.time(&alloc).max(1e-9);
-                        entries[old] = Some(ScheduledJob {
-                            job: old,
-                            start: clock,
-                            finish: clock + dur,
-                            alloc,
-                        });
-                        clock += dur;
-                    }
-                }
-            }
-        }
-        let entries: Vec<ScheduledJob> = entries
-            .into_iter()
-            .map(|e| e.expect("every job planned or realized"))
-            .collect();
-        for &j in new_jobs {
-            let tenant = self.world[j].tenant.clone();
-            self.metrics.record_planned(&tenant, entries[j].finish);
-        }
-        Ok(Schedule::new(entries))
-    }
-
-    /// Feeds the engine events processed since the last harvest into the
-    /// metrics registry.
-    fn harvest_events(&mut self, snapshot: &SimSnapshot) {
-        use mrls_sim::TraceEvent;
-        for ev in &snapshot.events[self.events_seen..] {
+        self.virtual_now = run.now();
+        let watermark = run.now();
+        let events = run.take_harvested_events();
+        let mut started: Vec<usize> = Vec::new();
+        for ev in &events {
             match ev {
                 TraceEvent::JobStarted { job, .. } => {
                     let tenant = self.world[*job].tenant.clone();
                     self.metrics.record_scheduled(&tenant);
+                    started.push(*job);
                 }
                 TraceEvent::JobCompleted { time, job, .. } => {
                     let tenant = self.world[*job].tenant.clone();
@@ -511,28 +633,99 @@ impl ServiceCore {
                 _ => {}
             }
         }
-        self.events_seen = snapshot.events.len();
+        self.ledger.absorb(events, watermark);
+        if !started.is_empty() {
+            started.sort_unstable();
+            self.pending.retain(|j| started.binary_search(j).is_err());
+            self.needs_sync.extend(started);
+        }
+        let trace = complete.then(|| {
+            let run = self.run.as_ref().expect("run outlives the round");
+            run.trace_with_prefix(self.config.policy.label(), self.ledger.archived())
+        });
+        Ok(trace)
+    }
+
+    /// Brings the persistent run in sync with the submitted world before a
+    /// round: creates it at the first round, otherwise freezes realized
+    /// placements of previously started jobs into the plan, grows the run by
+    /// the jobs/edges/capacity bounds admitted since, and re-plans the
+    /// pending frontier. Returns the desired placements (`[i]` describes
+    /// `pending[i]`), ready to be diffed against the in-flight plan.
+    fn prepare_round(&mut self, t: f64) -> Result<Vec<ScheduledJob>, String> {
+        let d = self.num_resource_types();
+        if let Some(run) = self.run.as_mut() {
+            run.sync_realized(&self.needs_sync)
+                .map_err(|e| e.to_string())?;
+            self.needs_sync.clear();
+            let n = self.world.len();
+            let bounds_changed =
+                run.instance().system.capacities() != self.capacities_max.as_slice();
+            if n > self.grown || bounds_changed {
+                let system =
+                    SystemConfig::new(self.capacities_max.clone()).map_err(|e| e.to_string())?;
+                let new_jobs: Vec<MoldableJob> = self.world[self.grown..]
+                    .iter()
+                    .map(|w| w.job.clone())
+                    .collect();
+                let placeholders: Vec<ScheduledJob> =
+                    (self.grown..n).map(|j| placeholder_entry(j, d)).collect();
+                run.grow(
+                    system,
+                    new_jobs,
+                    &self.edges[self.edge_cursor..],
+                    placeholders,
+                )
+                .map_err(|e| e.to_string())?;
+                self.grown = n;
+                self.edge_cursor = self.edges.len();
+            }
+        } else {
+            let n = self.world.len();
+            let system =
+                SystemConfig::new(self.capacities_max.clone()).map_err(|e| e.to_string())?;
+            let dag = Dag::from_edges(n, &self.edges).map_err(|e| e.to_string())?;
+            let jobs: Vec<MoldableJob> = self.world.iter().map(|w| w.job.clone()).collect();
+            let instance = Instance::new(system, dag, jobs).map_err(|e| e.to_string())?;
+            // Nothing has started: the whole world is the pending frontier,
+            // planned from scratch and installed as plan placeholders so the
+            // uniform diff-and-apply below sees them as fresh.
+            let plan = Schedule::new((0..n).map(|j| placeholder_entry(j, d)).collect());
+            let run = PersistentRun::new(
+                instance,
+                plan,
+                self.config.seed,
+                self.config.perturbation.clone(),
+                None,
+                vec![false; n],
+            )
+            .map_err(|e| e.to_string())?;
+            self.run = Some(run);
+            self.feed = Some(ChannelSource::feeder());
+            self.grown = n;
+            self.edge_cursor = self.edges.len();
+        }
+        let run = self.run.as_ref().expect("created above");
+        plan_pending(
+            run.instance(),
+            &self.capacities_now,
+            &self.pending,
+            t,
+            &self.config.scheduler,
+        )
     }
 
     /// Validates the realized schedule of a drained world
     /// (capacity/precedence feasibility, durations relaxed).
     fn validate(&self, trace: &RealizedTrace) -> bool {
-        let n = self.world.len();
-        if n == 0 {
+        let Some(run) = self.run.as_ref() else {
+            return self.world.is_empty();
+        };
+        if run.instance().num_jobs() == 0 {
             return true;
         }
-        let Ok(system) = SystemConfig::new(self.capacities_max.clone()) else {
-            return false;
-        };
-        let Ok(dag) = Dag::from_edges(n, &self.edges) else {
-            return false;
-        };
-        let jobs: Vec<MoldableJob> = self.world.iter().map(|w| w.job.clone()).collect();
-        let Ok(instance) = Instance::new(system, dag, jobs) else {
-            return false;
-        };
         validate_schedule_with(
-            &instance,
+            run.instance(),
             &trace.realized,
             ValidationOptions {
                 check_durations: false,
@@ -688,5 +881,118 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn engine_retains_no_events_between_rounds() {
+        let mut core = ServiceCore::new(config());
+        for i in 0..5 {
+            core.submit_job("a", job(1.0 + i as f64), &[]).unwrap();
+            core.flush().unwrap();
+            let stats = core.round_state_stats();
+            assert_eq!(
+                stats.retained_events, 0,
+                "round {i}: events must be harvested into the ledger"
+            );
+        }
+        let stats = core.round_state_stats();
+        assert!(stats.archived_events > 0);
+        // The truncated checkpoint carries no history.
+        let snapshot = SimSnapshot::from_json(&core.checkpoint_engine_json().unwrap()).unwrap();
+        assert!(snapshot.events.is_empty());
+        assert_eq!(snapshot.harvested_events, stats.archived_events);
+        let report = core.drain().unwrap();
+        assert_eq!(report.completed, 5);
+        // The drain trace is complete despite the truncation: the ledger
+        // re-attaches the archive.
+        assert_eq!(
+            report.trace.events.len(),
+            core.round_state_stats().archived_events
+        );
+    }
+
+    #[test]
+    fn steady_state_skips_unchanged_placements() {
+        let mut core = ServiceCore::new(config());
+        for _ in 0..4 {
+            core.submit_job("a", job(50.0), &[]).unwrap();
+            core.flush().unwrap();
+        }
+        // Long jobs pile up pending behind capacity; re-planning them every
+        // round must find at least some placements it can skip.
+        core.flush().unwrap();
+        let stats = core.round_state_stats();
+        assert!(
+            stats.plan_entries_unchanged > 0 || stats.plan_updates_applied > 0,
+            "diff counters must move"
+        );
+    }
+
+    #[test]
+    fn restore_from_checkpoint_is_transparent() {
+        let script = |restore_at: Option<usize>| {
+            let mut core = ServiceCore::new(config());
+            for i in 0..6 {
+                core.submit_job(if i % 2 == 0 { "a" } else { "b" }, job(1.5), &[])
+                    .unwrap();
+                core.flush().unwrap();
+                if restore_at == Some(i) {
+                    let json = core.checkpoint_engine_json().unwrap();
+                    core.restore_engine_json(&json).unwrap();
+                }
+            }
+            let report = core.drain().unwrap();
+            (
+                serde_json::to_string(&report.metrics).unwrap(),
+                report.trace.to_json(),
+            )
+        };
+        let baseline = script(None);
+        assert_eq!(baseline, script(Some(2)));
+        assert_eq!(baseline, script(Some(5)));
+    }
+
+    #[test]
+    fn restore_rejects_garbage_and_mismatched_checkpoints() {
+        let mut core = ServiceCore::new(config());
+        assert!(core.restore_engine_json("{not json").is_err());
+        core.submit_job("a", job(1.0), &[]).unwrap();
+        core.flush().unwrap();
+        let json = core.checkpoint_engine_json().unwrap();
+        // A world-size mismatch is refused.
+        core.submit_job("a", job(1.0), &[]).unwrap();
+        core.flush().unwrap();
+        assert!(core.restore_engine_json(&json).is_err());
+        assert!(core.fault().is_none(), "a refused restore must not poison");
+        let report = core.drain().unwrap();
+        assert_eq!(report.completed, 2);
+    }
+
+    #[test]
+    fn restore_rejects_stale_checkpoints_with_matching_world_size() {
+        // A checkpoint taken earlier can cover the same *number* of jobs but
+        // predate history the ledger already archived; restoring it would
+        // rewind the engine and replay completions into metrics and trace.
+        let mut core = ServiceCore::new(config());
+        core.submit_job("a", job(50.0), &[]).unwrap();
+        core.flush().unwrap();
+        let stale = core.checkpoint_engine_json().unwrap();
+        // Capacity-only rounds: the world size stays 1, but new events land
+        // in the ledger and virtual time advances.
+        core.submit_capacity(0, 2).unwrap();
+        core.flush().unwrap();
+        let err = core.restore_engine_json(&stale).unwrap_err();
+        assert!(err.contains("stale"), "{err}");
+        assert!(core.fault().is_none());
+        let report = core.drain().unwrap();
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.metrics.jobs_completed, 1, "no replayed completions");
+        let completions = report
+            .trace
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::JobCompleted { .. }))
+            .count();
+        assert_eq!(completions, 1, "the trace must not double-count");
     }
 }

@@ -8,11 +8,23 @@
 //! decides *which* ready jobs start, with which allocations, whenever the
 //! world changes.
 //!
-//! The run loop itself lives in [`SimRun`], an incremental driver that pulls
-//! external events from any [`EventSource`] and can be paused, checkpointed
-//! (serialisable [`SimSnapshot`]) and resumed — including against a *grown*
-//! instance, which is how the `mrls-serve` online service appends freshly
-//! submitted jobs between batching rounds.
+//! The run loop itself lives in a borrow-free core shared by two drivers:
+//!
+//! * [`SimRun`] borrows the instance and plan — the right shape for batch
+//!   experiments where the world is fixed up front. It can be paused,
+//!   checkpointed (serialisable [`SimSnapshot`]) and resumed — including
+//!   against a *grown* instance.
+//! * [`PersistentRun`] **owns** the instance and plan and can grow them in
+//!   place ([`PersistentRun::grow`], [`PersistentRun::apply_plan_updates`]),
+//!   which is how the `mrls-serve` online service keeps one live world
+//!   across batching rounds instead of checkpoint→clone→resume each round.
+//!
+//! Processed trace events can be **harvested** out of the retained log
+//! ([`SimRun::take_harvested_events`]): the run then only carries live state
+//! plus a `harvested_until` watermark, and a checkpoint of it is truncated —
+//! O(live) instead of O(history). The harvested prefix is immutable history;
+//! callers archive it (the serve layer's event ledger) and pass it back when
+//! assembling a full [`RealizedTrace`].
 //!
 //! Everything is deterministic: events are processed in `(time, kind, id)`
 //! order, random draws are consumed in event order from a `ChaCha8` stream,
@@ -24,7 +36,7 @@ use crate::scenario::Scenario;
 use crate::source::{EventSource, ScenarioSource, SourceEvent};
 use crate::trace::{RealizedTrace, StressStats, TraceEvent};
 use mrls_core::{CoreError, ResourceState, Schedule, ScheduledJob};
-use mrls_model::{Allocation, Instance};
+use mrls_model::{Allocation, Instance, MoldableJob, SystemConfig};
 use serde::{Deserialize, Serialize};
 
 /// Errors produced by the simulation engine.
@@ -38,6 +50,9 @@ pub enum SimError {
     InvalidScenario(String),
     /// A checkpoint does not match the instance/plan it is resumed against.
     InvalidSnapshot(String),
+    /// An in-place world growth or plan update is inconsistent with the
+    /// running world (see [`PersistentRun::grow`]).
+    InvalidGrowth(String),
     /// A policy asked the engine to do something infeasible.
     PolicyViolation {
         /// The offending policy.
@@ -70,6 +85,7 @@ impl std::fmt::Display for SimError {
             SimError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
             SimError::InvalidScenario(msg) => write!(f, "invalid scenario: {msg}"),
             SimError::InvalidSnapshot(msg) => write!(f, "invalid snapshot: {msg}"),
+            SimError::InvalidGrowth(msg) => write!(f, "invalid world growth: {msg}"),
             SimError::PolicyViolation {
                 policy,
                 job,
@@ -112,13 +128,11 @@ pub struct RunningJob {
     pub alloc: Allocation,
 }
 
-/// The world state the engine maintains and policies observe.
+/// The borrow-free world state the engine maintains: virtual time, resource
+/// availability, and the per-job lifecycle flags. [`SimState`] pairs it with
+/// the instance and plan for policy observation.
 #[derive(Debug, Clone)]
-pub struct SimState<'a> {
-    /// The instance being executed.
-    pub instance: &'a Instance,
-    /// The offline plan the run started from.
-    pub plan: &'a Schedule,
+pub struct SimWorld {
     /// Current virtual time.
     pub now: f64,
     /// Current per-type capacities (after any capacity changes).
@@ -140,10 +154,30 @@ pub struct SimState<'a> {
     pub remaining_preds: Vec<usize>,
 }
 
-impl SimState<'_> {
+impl SimWorld {
     /// `true` iff job `j` is in the ready set.
     pub fn is_ready(&self, j: usize) -> bool {
         self.ready.binary_search(&j).is_ok()
+    }
+}
+
+/// The world state a policy observes: the [`SimWorld`] (dereferenced
+/// transparently, so `state.ready`, `state.now`, … keep reading naturally)
+/// plus the instance being executed and the plan the run started from.
+#[derive(Debug, Clone, Copy)]
+pub struct SimState<'a> {
+    /// The instance being executed.
+    pub instance: &'a Instance,
+    /// The offline plan the run started from.
+    pub plan: &'a Schedule,
+    world: &'a SimWorld,
+}
+
+impl std::ops::Deref for SimState<'_> {
+    type Target = SimWorld;
+
+    fn deref(&self) -> &SimWorld {
+        self.world
     }
 }
 
@@ -217,8 +251,8 @@ impl Simulator {
         match run.drive(policy, &mut source)? {
             RunStatus::Complete => Ok(run.into_trace(policy.label())),
             RunStatus::Paused | RunStatus::Idle => Err(SimError::Stalled {
-                time: run.state.now,
-                ready: run.state.ready.clone(),
+                time: run.core.world.now,
+                ready: run.core.world.ready.clone(),
             }),
         }
     }
@@ -277,7 +311,7 @@ impl Simulator {
     }
 }
 
-/// A fully owned, serialisable checkpoint of a paused [`SimRun`].
+/// A fully owned, serialisable checkpoint of a paused run.
 ///
 /// Together with the instance and the (job-indexed) plan, a snapshot restores
 /// the run exactly: availability amounts are stored verbatim (including
@@ -286,7 +320,14 @@ impl Simulator {
 /// byte-identical to the uninterrupted one for checkpoint-transparent
 /// policies (static replay and reactive-list; a resumed full-reschedule
 /// policy re-reads the plan and forgets earlier in-flight reschedules).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `events` holds only the **retained** log: events harvested out of the run
+/// (see [`SimRun::take_harvested_events`]) are counted by `harvested_events`
+/// and watermarked by `harvested_until`, keeping long-lived snapshots
+/// O(live state) instead of O(history). Snapshots written before harvesting
+/// existed deserialise with both fields at zero (nothing harvested), so old
+/// checkpoints keep loading.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct SimSnapshot {
     /// Seed of the perturbation stream.
     pub seed: u64,
@@ -320,12 +361,51 @@ pub struct SimSnapshot {
     pub alloc_used: Vec<Allocation>,
     /// Number of completed jobs.
     pub num_completed: usize,
-    /// Every trace event processed so far.
+    /// The retained trace events (everything processed since the last
+    /// harvest; the full log when nothing was ever harvested).
     pub events: Vec<TraceEvent>,
+    /// How many events were harvested out of the retained log before this
+    /// checkpoint (zero for pre-harvest snapshots).
+    pub harvested_events: usize,
+    /// Virtual-time watermark of the last harvest: every harvested event has
+    /// time `<=` this (zero for pre-harvest snapshots).
+    pub harvested_until: f64,
     /// Events consumed from the budget so far.
     pub event_budget: usize,
     /// Perturbation draws consumed so far.
     pub perturber_realizations: u64,
+}
+
+// Hand-written so that snapshots serialised before the harvesting fields
+// existed still load (the vendored serde_derive has no `#[serde(default)]`).
+impl Deserialize for SimSnapshot {
+    fn from_value(
+        v: &serde::__private::Value,
+    ) -> std::result::Result<Self, serde::__private::Error> {
+        use serde::__private::{field, opt_field};
+        Ok(SimSnapshot {
+            seed: field(v, "seed")?,
+            now: field(v, "now")?,
+            capacities: field(v, "capacities")?,
+            available: field(v, "available")?,
+            ready: field(v, "ready")?,
+            released: field(v, "released")?,
+            started: field(v, "started")?,
+            completed: field(v, "completed")?,
+            running: field(v, "running")?,
+            remaining_preds: field(v, "remaining_preds")?,
+            start: field(v, "start")?,
+            finish: field(v, "finish")?,
+            nominal: field(v, "nominal")?,
+            alloc_used: field(v, "alloc_used")?,
+            num_completed: field(v, "num_completed")?,
+            events: field(v, "events")?,
+            harvested_events: opt_field(v, "harvested_events")?.unwrap_or(0),
+            harvested_until: opt_field(v, "harvested_until")?.unwrap_or(0.0),
+            event_budget: field(v, "event_budget")?,
+            perturber_realizations: field(v, "perturber_realizations")?,
+        })
+    }
 }
 
 impl SimSnapshot {
@@ -345,30 +425,34 @@ impl SimSnapshot {
     }
 }
 
-/// An in-flight simulation: the world state plus the per-job realized record,
-/// driven incrementally against an [`EventSource`].
+/// The borrow-free core of an in-flight simulation: the world state, the
+/// per-job realized record, and the retained event log. Both drivers
+/// ([`SimRun`], [`PersistentRun`]) wrap it and pass the instance/plan in.
 #[derive(Debug, Clone)]
-pub struct SimRun<'a> {
+struct RunCore {
     seed: u64,
     max_events: Option<usize>,
-    state: SimState<'a>,
+    world: SimWorld,
     perturber: Perturber,
     start: Vec<f64>,
     finish: Vec<f64>,
     nominal: Vec<f64>,
     alloc_used: Vec<Allocation>,
     num_completed: usize,
+    /// Retained events (everything processed since the last harvest).
     events: Vec<TraceEvent>,
+    /// Count of events harvested out of `events` so far.
+    harvested_events: usize,
+    /// Virtual-time watermark of the last harvest.
+    harvested_until: f64,
     event_budget: usize,
 }
 
-impl<'a> SimRun<'a> {
-    /// Begins a run at time zero. `plan` must be job-indexed (entry `j`
-    /// describes job `j` — see [`normalize_plan`]); `released` flags the jobs
-    /// available before the first external event.
-    pub fn start(
-        instance: &'a Instance,
-        plan: &'a Schedule,
+impl RunCore {
+    /// Begins a run at time zero (see [`SimRun::start`]).
+    fn start(
+        instance: &Instance,
+        plan: &Schedule,
         seed: u64,
         perturbation: PerturbationModel,
         max_events: Option<usize>,
@@ -386,9 +470,7 @@ impl<'a> SimRun<'a> {
         let ready: Vec<usize> = (0..n)
             .filter(|&j| released[j] && remaining_preds[j] == 0)
             .collect();
-        let state = SimState {
-            instance,
-            plan,
+        let world = SimWorld {
             now: 0.0,
             capacities: instance.system.capacities().to_vec(),
             resources: ResourceState::from_system(&instance.system),
@@ -399,10 +481,10 @@ impl<'a> SimRun<'a> {
             running: Vec::new(),
             remaining_preds,
         };
-        Ok(SimRun {
+        Ok(RunCore {
             seed,
             max_events,
-            state,
+            world,
             perturber: Perturber::new(perturbation, seed),
             start: vec![f64::NAN; n],
             finish: vec![f64::NAN; n],
@@ -410,37 +492,16 @@ impl<'a> SimRun<'a> {
             alloc_used: plan.allocations(),
             num_completed: 0,
             events: Vec::new(),
+            harvested_events: 0,
+            harvested_until: 0.0,
             event_budget: 0,
         })
     }
 
-    /// Resumes a checkpointed run. The instance may have *grown* since the
-    /// checkpoint (jobs appended at the end, with edges only among new jobs
-    /// or from pre-existing jobs to new ones — never into pre-snapshot
-    /// jobs); appended jobs start unreleased and are fed in as
-    /// [`SourceEvent::Release`] events.
-    ///
-    /// The perturbation stream is reconstructed by replaying
-    /// `snapshot.perturber_realizations` draws; a caller resuming round
-    /// after round (the `mrls-serve` service) can keep the live
-    /// [`Perturber`] instead via [`SimRun::resume_with_perturber`].
-    pub fn resume(
-        instance: &'a Instance,
-        plan: &'a Schedule,
-        snapshot: &SimSnapshot,
-        perturbation: PerturbationModel,
-        max_events: Option<usize>,
-    ) -> Result<Self, SimError> {
-        let perturber =
-            Perturber::resume(perturbation, snapshot.seed, snapshot.perturber_realizations);
-        SimRun::resume_with_perturber(instance, plan, snapshot, perturber, max_events)
-    }
-
-    /// Like [`SimRun::resume`], but continues an already fast-forwarded
-    /// perturbation stream instead of replaying it from the seed.
-    pub fn resume_with_perturber(
-        instance: &'a Instance,
-        plan: &'a Schedule,
+    /// Resumes a checkpointed run (see [`SimRun::resume_with_perturber`]).
+    fn resume(
+        instance: &Instance,
+        plan: &Schedule,
         snapshot: &SimSnapshot,
         perturber: Perturber,
         max_events: Option<usize>,
@@ -545,9 +606,7 @@ impl<'a> SimRun<'a> {
         finish.resize(n, f64::NAN);
         nominal.resize(n, f64::NAN);
 
-        let state = SimState {
-            instance,
-            plan,
+        let world = SimWorld {
             now: snapshot.now,
             capacities: snapshot.capacities.clone(),
             resources: ResourceState::from_available(snapshot.available.clone()),
@@ -558,10 +617,10 @@ impl<'a> SimRun<'a> {
             running: snapshot.running.clone(),
             remaining_preds,
         };
-        Ok(SimRun {
+        Ok(RunCore {
             seed: snapshot.seed,
             max_events,
-            state,
+            world,
             perturber,
             start,
             finish,
@@ -569,103 +628,74 @@ impl<'a> SimRun<'a> {
             alloc_used,
             num_completed: snapshot.num_completed,
             events: snapshot.events.clone(),
+            harvested_events: snapshot.harvested_events,
+            harvested_until: snapshot.harvested_until,
             event_budget: snapshot.event_budget,
         })
     }
 
-    /// The observable world state.
-    pub fn state(&self) -> &SimState<'a> {
-        &self.state
+    fn state<'a>(&'a self, instance: &'a Instance, plan: &'a Schedule) -> SimState<'a> {
+        SimState {
+            instance,
+            plan,
+            world: &self.world,
+        }
     }
 
-    /// Current virtual time.
-    pub fn now(&self) -> f64 {
-        self.state.now
-    }
-
-    /// Number of completed jobs.
-    pub fn num_completed(&self) -> usize {
-        self.num_completed
-    }
-
-    /// The trace events processed so far.
-    pub fn events(&self) -> &[TraceEvent] {
-        &self.events
-    }
-
-    /// The perturbation stream in its current position (clone it to resume a
-    /// follow-up round without replaying draws — see
-    /// [`SimRun::resume_with_perturber`]).
-    pub fn perturber(&self) -> &Perturber {
-        &self.perturber
-    }
-
-    /// Captures a fully owned, serialisable checkpoint of the paused run.
-    pub fn checkpoint(&self) -> SimSnapshot {
+    fn checkpoint(&self) -> SimSnapshot {
         SimSnapshot {
             seed: self.seed,
-            now: self.state.now,
-            capacities: self.state.capacities.clone(),
-            available: self.state.resources.available_amounts().to_vec(),
-            ready: self.state.ready.clone(),
-            released: self.state.released.clone(),
-            started: self.state.started.clone(),
-            completed: self.state.completed.clone(),
-            running: self.state.running.clone(),
-            remaining_preds: self.state.remaining_preds.clone(),
+            now: self.world.now,
+            capacities: self.world.capacities.clone(),
+            available: self.world.resources.available_amounts().to_vec(),
+            ready: self.world.ready.clone(),
+            released: self.world.released.clone(),
+            started: self.world.started.clone(),
+            completed: self.world.completed.clone(),
+            running: self.world.running.clone(),
+            remaining_preds: self.world.remaining_preds.clone(),
             start: self.start.clone(),
             finish: self.finish.clone(),
             nominal: self.nominal.clone(),
             alloc_used: self.alloc_used.clone(),
             num_completed: self.num_completed,
             events: self.events.clone(),
+            harvested_events: self.harvested_events,
+            harvested_until: self.harvested_until,
             event_budget: self.event_budget,
             perturber_realizations: self.perturber.realizations(),
         }
     }
 
-    /// Drives the run until every job completed and the source is exhausted
-    /// ([`RunStatus::Complete`]) or nothing more can happen
-    /// ([`RunStatus::Idle`]). `policy` is (re-)initialised via
-    /// [`Policy::on_start`] at the beginning of every drive call.
-    pub fn drive(
-        &mut self,
-        policy: &mut dyn Policy,
-        source: &mut dyn EventSource,
-    ) -> Result<RunStatus, SimError> {
-        self.drive_inner(policy, source, None)
-    }
-
-    /// Like [`SimRun::drive`], but stops (returning [`RunStatus::Paused`])
-    /// before processing any event later than `t_stop`.
-    pub fn drive_until(
-        &mut self,
-        policy: &mut dyn Policy,
-        source: &mut dyn EventSource,
-        t_stop: f64,
-    ) -> Result<RunStatus, SimError> {
-        self.drive_inner(policy, source, Some(t_stop))
+    /// Moves the retained event log out of the run, advancing the watermark.
+    fn take_harvested(&mut self) -> Vec<TraceEvent> {
+        let out = std::mem::take(&mut self.events);
+        self.harvested_events += out.len();
+        self.harvested_until = self.world.now;
+        out
     }
 
     fn drive_inner(
         &mut self,
+        instance: &Instance,
+        plan: &Schedule,
         policy: &mut dyn Policy,
         source: &mut dyn EventSource,
         t_stop: Option<f64>,
     ) -> Result<RunStatus, SimError> {
-        let n = self.state.instance.num_jobs();
+        let n = instance.num_jobs();
         let max_events = self.max_events.unwrap_or(1000 + 200 * n);
-        policy.on_start(&self.state)?;
+        policy.on_start(&self.state(instance, plan))?;
 
         loop {
             // Decision point: let the policy start jobs until it passes.
             loop {
-                let starts = policy.select_starts(&self.state);
+                let starts = policy.select_starts(&self.state(instance, plan));
                 if starts.is_empty() {
                     break;
                 }
                 for (j, alloc) in starts {
-                    self.apply_start(policy.label(), j, alloc)?;
+                    self.apply_start(instance, policy.label(), j, alloc)?;
                 }
             }
 
@@ -676,7 +706,7 @@ impl<'a> SimRun<'a> {
 
             // Advance to the next event.
             let mut t_next = f64::INFINITY;
-            for r in &self.state.running {
+            for r in &self.world.running {
                 t_next = t_next.min(r.finish);
             }
             if let Some(t) = src_next {
@@ -689,12 +719,12 @@ impl<'a> SimRun<'a> {
                 // set means jobs the policy can never start (stall), while
                 // an empty one means everything traces back to an
                 // unreleased job a live source may still feed (idle).
-                return if self.state.ready.is_empty() {
+                return if self.world.ready.is_empty() {
                     Ok(RunStatus::Idle)
                 } else {
                     Err(SimError::Stalled {
-                        time: self.state.now,
-                        ready: self.state.ready.clone(),
+                        time: self.world.now,
+                        ready: self.world.ready.clone(),
                     })
                 };
             }
@@ -707,7 +737,7 @@ impl<'a> SimRun<'a> {
             if self.event_budget > max_events {
                 return Err(SimError::EventLimitExceeded { limit: max_events });
             }
-            self.state.now = t_next;
+            self.world.now = t_next;
 
             // Apply every event at this instant, in a fixed order:
             // completions (freeing resources and successors), then arrivals,
@@ -715,8 +745,8 @@ impl<'a> SimRun<'a> {
             let mut batch: Vec<TraceEvent> = Vec::new();
 
             let mut done: Vec<RunningJob> = Vec::new();
-            let now = self.state.now;
-            self.state.running.retain(|r| {
+            let now = self.world.now;
+            self.world.running.retain(|r| {
                 if r.finish <= now + EPS {
                     done.push(r.clone());
                     false
@@ -726,43 +756,43 @@ impl<'a> SimRun<'a> {
             });
             done.sort_by_key(|r| r.job);
             for r in done {
-                self.state.completed[r.job] = true;
+                self.world.completed[r.job] = true;
                 self.num_completed += 1;
-                self.state.resources.release(&r.alloc);
-                for &succ in self.state.instance.dag.successors(r.job) {
-                    self.state.remaining_preds[succ] -= 1;
-                    if self.state.remaining_preds[succ] == 0 && self.state.released[succ] {
-                        self.state.ready.push(succ);
+                self.world.resources.release(&r.alloc);
+                for &succ in instance.dag.successors(r.job) {
+                    self.world.remaining_preds[succ] -= 1;
+                    if self.world.remaining_preds[succ] == 0 && self.world.released[succ] {
+                        self.world.ready.push(succ);
                     }
                 }
                 batch.push(TraceEvent::JobCompleted {
-                    time: self.state.now,
+                    time: self.world.now,
                     job: r.job,
                     nominal: r.nominal,
                     realized: r.finish - r.start,
                 });
             }
 
-            for ev in source.pop_until(self.state.now + EPS) {
+            for ev in source.pop_until(self.world.now + EPS) {
                 match ev {
                     SourceEvent::Release { job, .. } => {
-                        self.state.released[job] = true;
-                        if self.state.remaining_preds[job] == 0 && !self.state.started[job] {
-                            self.state.ready.push(job);
+                        self.world.released[job] = true;
+                        if self.world.remaining_preds[job] == 0 && !self.world.started[job] {
+                            self.world.ready.push(job);
                         }
                         batch.push(TraceEvent::JobReleased {
-                            time: self.state.now,
+                            time: self.world.now,
                             job,
                         });
                     }
                     SourceEvent::Capacity {
                         resource, capacity, ..
                     } => {
-                        let delta = capacity as f64 - self.state.capacities[resource] as f64;
-                        self.state.capacities[resource] = capacity;
-                        self.state.resources.shift_capacity(resource, delta);
+                        let delta = capacity as f64 - self.world.capacities[resource] as f64;
+                        self.world.capacities[resource] = capacity;
+                        self.world.resources.shift_capacity(resource, delta);
                         batch.push(TraceEvent::CapacityChanged {
-                            time: self.state.now,
+                            time: self.world.now,
                             resource,
                             capacity,
                         });
@@ -770,18 +800,83 @@ impl<'a> SimRun<'a> {
                 }
             }
 
-            self.state.ready.sort_unstable();
+            self.world.ready.sort_unstable();
             self.events.extend(batch.iter().cloned());
-            let policy_events = policy.on_events(&self.state, &batch)?;
+            let policy_events = policy.on_events(&self.state(instance, plan), &batch)?;
             self.events.extend(policy_events);
         }
     }
 
-    /// Assembles the realized trace. Call after [`RunStatus::Complete`];
-    /// unfinished jobs would leave NaN starts/finishes in the schedule.
-    pub fn into_trace(self, policy_label: &str) -> RealizedTrace {
-        let n = self.state.instance.num_jobs();
-        let plan_allocs = self.state.plan.allocations();
+    /// Validates and applies one policy-selected start.
+    fn apply_start(
+        &mut self,
+        instance: &Instance,
+        policy_label: &str,
+        j: usize,
+        alloc: Allocation,
+    ) -> Result<(), SimError> {
+        let violation = |reason: String| SimError::PolicyViolation {
+            policy: policy_label.to_string(),
+            job: j,
+            reason,
+        };
+        let world = &mut self.world;
+        let pos = world
+            .ready
+            .binary_search(&j)
+            .map_err(|_| violation("job is not ready".to_string()))?;
+        instance
+            .system
+            .validate_allocation(&alloc)
+            .map_err(|e| violation(e.to_string()))?;
+        if !world.resources.fits(&alloc) {
+            return Err(violation(format!(
+                "allocation {alloc} does not fit the current availability"
+            )));
+        }
+        let t_nom = instance.jobs[j].spec.time(&alloc);
+        if !t_nom.is_finite() || t_nom <= 0.0 {
+            return Err(violation(format!(
+                "allocation {alloc} has invalid execution time {t_nom}"
+            )));
+        }
+        let t_real = self.perturber.realize(&alloc, t_nom);
+        world.ready.remove(pos);
+        world.started[j] = true;
+        world.resources.acquire(&alloc);
+        self.start[j] = world.now;
+        self.finish[j] = world.now + t_real;
+        self.nominal[j] = t_nom;
+        self.alloc_used[j] = alloc.clone();
+        world.running.push(RunningJob {
+            job: j,
+            start: world.now,
+            finish: world.now + t_real,
+            nominal: t_nom,
+            alloc: alloc.clone(),
+        });
+        self.events.push(TraceEvent::JobStarted {
+            time: world.now,
+            job: j,
+            alloc,
+            nominal: t_nom,
+        });
+        Ok(())
+    }
+
+    /// Assembles the realized trace, prepending `prefix` (previously
+    /// harvested events) to the retained log. Meaningful after
+    /// [`RunStatus::Complete`]; unfinished jobs would leave NaN
+    /// starts/finishes in the schedule.
+    fn build_trace(
+        &self,
+        instance: &Instance,
+        plan: &Schedule,
+        policy_label: &str,
+        prefix: &[TraceEvent],
+    ) -> RealizedTrace {
+        let n = instance.num_jobs();
+        let plan_allocs = plan.allocations();
         let jobs: Vec<ScheduledJob> = (0..n)
             .map(|j| ScheduledJob {
                 job: j,
@@ -794,8 +889,8 @@ impl<'a> SimRun<'a> {
         let slowdowns: Vec<f64> = (0..n)
             .map(|j| (self.finish[j] - self.start[j]) / self.nominal[j])
             .collect();
-        let num_reschedules = self
-            .events
+        let events: Vec<TraceEvent> = prefix.iter().chain(self.events.iter()).cloned().collect();
+        let num_reschedules = events
             .iter()
             .filter(|e| matches!(e, TraceEvent::Rescheduled { .. }))
             .count();
@@ -803,10 +898,10 @@ impl<'a> SimRun<'a> {
             .filter(|&j| self.alloc_used[j] != plan_allocs[j])
             .count();
         let stats = StressStats {
-            planned_makespan: self.state.plan.makespan,
+            planned_makespan: plan.makespan,
             realized_makespan: realized.makespan,
-            stretch: if self.state.plan.makespan > 0.0 {
-                realized.makespan / self.state.plan.makespan
+            stretch: if plan.makespan > 0.0 {
+                realized.makespan / plan.makespan
             } else {
                 1.0
             },
@@ -826,68 +921,478 @@ impl<'a> SimRun<'a> {
         RealizedTrace {
             policy: policy_label.to_string(),
             seed: self.seed,
-            events: self.events,
+            events,
             realized,
             stats,
         }
     }
+}
 
-    /// Validates and applies one policy-selected start.
-    fn apply_start(
+/// An in-flight simulation borrowing its instance and plan: the world state
+/// plus the per-job realized record, driven incrementally against an
+/// [`EventSource`].
+#[derive(Debug, Clone)]
+pub struct SimRun<'a> {
+    instance: &'a Instance,
+    plan: &'a Schedule,
+    core: RunCore,
+}
+
+impl<'a> SimRun<'a> {
+    /// Begins a run at time zero. `plan` must be job-indexed (entry `j`
+    /// describes job `j` — see [`normalize_plan`]); `released` flags the jobs
+    /// available before the first external event.
+    pub fn start(
+        instance: &'a Instance,
+        plan: &'a Schedule,
+        seed: u64,
+        perturbation: PerturbationModel,
+        max_events: Option<usize>,
+        released: Vec<bool>,
+    ) -> Result<Self, SimError> {
+        Ok(SimRun {
+            instance,
+            plan,
+            core: RunCore::start(instance, plan, seed, perturbation, max_events, released)?,
+        })
+    }
+
+    /// Resumes a checkpointed run. The instance may have *grown* since the
+    /// checkpoint (jobs appended at the end, with edges only among new jobs
+    /// or from pre-existing jobs to new ones — never into pre-snapshot
+    /// jobs); appended jobs start unreleased and are fed in as
+    /// [`SourceEvent::Release`] events.
+    ///
+    /// The perturbation stream is reconstructed by replaying
+    /// `snapshot.perturber_realizations` draws; a caller resuming round
+    /// after round can keep the live [`Perturber`] instead via
+    /// [`SimRun::resume_with_perturber`].
+    pub fn resume(
+        instance: &'a Instance,
+        plan: &'a Schedule,
+        snapshot: &SimSnapshot,
+        perturbation: PerturbationModel,
+        max_events: Option<usize>,
+    ) -> Result<Self, SimError> {
+        let perturber =
+            Perturber::resume(perturbation, snapshot.seed, snapshot.perturber_realizations);
+        SimRun::resume_with_perturber(instance, plan, snapshot, perturber, max_events)
+    }
+
+    /// Like [`SimRun::resume`], but continues an already fast-forwarded
+    /// perturbation stream instead of replaying it from the seed.
+    pub fn resume_with_perturber(
+        instance: &'a Instance,
+        plan: &'a Schedule,
+        snapshot: &SimSnapshot,
+        perturber: Perturber,
+        max_events: Option<usize>,
+    ) -> Result<Self, SimError> {
+        Ok(SimRun {
+            instance,
+            plan,
+            core: RunCore::resume(instance, plan, snapshot, perturber, max_events)?,
+        })
+    }
+
+    /// The observable world state.
+    pub fn state(&self) -> SimState<'_> {
+        self.core.state(self.instance, self.plan)
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> f64 {
+        self.core.world.now
+    }
+
+    /// Number of completed jobs.
+    pub fn num_completed(&self) -> usize {
+        self.core.num_completed
+    }
+
+    /// The retained trace events: everything processed since the last
+    /// harvest (the full log if nothing was ever harvested).
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.core.events
+    }
+
+    /// Count of events harvested out of the retained log so far.
+    pub fn harvested_events(&self) -> usize {
+        self.core.harvested_events
+    }
+
+    /// Virtual-time watermark of the last harvest.
+    pub fn harvested_until(&self) -> f64 {
+        self.core.harvested_until
+    }
+
+    /// Moves the retained event log out of the run and advances the
+    /// `harvested_until` watermark to the current virtual time. Subsequent
+    /// checkpoints carry only events processed after this call; pass the
+    /// harvested prefix back to [`SimRun::into_trace_with_prefix`] when
+    /// assembling the full trace.
+    pub fn take_harvested_events(&mut self) -> Vec<TraceEvent> {
+        self.core.take_harvested()
+    }
+
+    /// The perturbation stream in its current position (clone it to resume a
+    /// follow-up round without replaying draws — see
+    /// [`SimRun::resume_with_perturber`]).
+    pub fn perturber(&self) -> &Perturber {
+        &self.core.perturber
+    }
+
+    /// Captures a fully owned, serialisable checkpoint of the paused run.
+    pub fn checkpoint(&self) -> SimSnapshot {
+        self.core.checkpoint()
+    }
+
+    /// Drives the run until every job completed and the source is exhausted
+    /// ([`RunStatus::Complete`]) or nothing more can happen
+    /// ([`RunStatus::Idle`]). `policy` is (re-)initialised via
+    /// [`Policy::on_start`] at the beginning of every drive call.
+    pub fn drive(
         &mut self,
+        policy: &mut dyn Policy,
+        source: &mut dyn EventSource,
+    ) -> Result<RunStatus, SimError> {
+        self.core
+            .drive_inner(self.instance, self.plan, policy, source, None)
+    }
+
+    /// Like [`SimRun::drive`], but stops (returning [`RunStatus::Paused`])
+    /// before processing any event later than `t_stop`.
+    pub fn drive_until(
+        &mut self,
+        policy: &mut dyn Policy,
+        source: &mut dyn EventSource,
+        t_stop: f64,
+    ) -> Result<RunStatus, SimError> {
+        self.core
+            .drive_inner(self.instance, self.plan, policy, source, Some(t_stop))
+    }
+
+    /// Assembles the realized trace. Call after [`RunStatus::Complete`];
+    /// unfinished jobs would leave NaN starts/finishes in the schedule. If
+    /// events were harvested, the trace only covers the retained suffix —
+    /// use [`SimRun::into_trace_with_prefix`] to reattach the archive.
+    pub fn into_trace(self, policy_label: &str) -> RealizedTrace {
+        self.core
+            .build_trace(self.instance, self.plan, policy_label, &[])
+    }
+
+    /// Like [`SimRun::into_trace`], prepending previously harvested events so
+    /// the assembled log is complete again.
+    pub fn into_trace_with_prefix(
+        self,
         policy_label: &str,
-        j: usize,
-        alloc: Allocation,
+        prefix: &[TraceEvent],
+    ) -> RealizedTrace {
+        self.core
+            .build_trace(self.instance, self.plan, policy_label, prefix)
+    }
+}
+
+/// An in-flight simulation that **owns** its world: the instance, the plan
+/// and the run state live together, so the run survives across interaction
+/// rounds and the world can grow in place — no checkpoint→clone→resume
+/// cycle, no O(history) copying. This is the engine shape behind the
+/// `mrls-serve` incremental service core.
+///
+/// Mutations between drive calls:
+///
+/// * [`PersistentRun::grow`] appends jobs (and their precedence edges and
+///   plan entries) and raises the system's capacity bounds;
+/// * [`PersistentRun::sync_realized`] freezes the realized placement of
+///   started jobs into the plan (what a rebuilt plan would contain);
+/// * [`PersistentRun::apply_plan_updates`] installs re-planned placements
+///   for unstarted jobs — callers diff the planner output first
+///   (`mrls_core::diff_plan_entries`) so unchanged placements are not
+///   re-applied.
+#[derive(Debug, Clone)]
+pub struct PersistentRun {
+    instance: Instance,
+    plan: Schedule,
+    core: RunCore,
+}
+
+impl PersistentRun {
+    /// Begins an owned run at time zero (see [`SimRun::start`]).
+    pub fn new(
+        instance: Instance,
+        plan: Schedule,
+        seed: u64,
+        perturbation: PerturbationModel,
+        max_events: Option<usize>,
+        released: Vec<bool>,
+    ) -> Result<Self, SimError> {
+        let core = RunCore::start(&instance, &plan, seed, perturbation, max_events, released)?;
+        Ok(PersistentRun {
+            instance,
+            plan,
+            core,
+        })
+    }
+
+    /// Resumes an owned run from a checkpoint (restart-after-crash; see
+    /// [`SimRun::resume`] for the grown-instance contract).
+    pub fn resume(
+        instance: Instance,
+        plan: Schedule,
+        snapshot: &SimSnapshot,
+        perturbation: PerturbationModel,
+        max_events: Option<usize>,
+    ) -> Result<Self, SimError> {
+        let perturber =
+            Perturber::resume(perturbation, snapshot.seed, snapshot.perturber_realizations);
+        let core = RunCore::resume(&instance, &plan, snapshot, perturber, max_events)?;
+        Ok(PersistentRun {
+            instance,
+            plan,
+            core,
+        })
+    }
+
+    /// The instance being executed.
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// The in-flight plan (realized entries for synced started jobs, latest
+    /// applied placements for pending ones).
+    pub fn plan(&self) -> &Schedule {
+        &self.plan
+    }
+
+    /// The observable world state.
+    pub fn state(&self) -> SimState<'_> {
+        self.core.state(&self.instance, &self.plan)
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> f64 {
+        self.core.world.now
+    }
+
+    /// Number of completed jobs.
+    pub fn num_completed(&self) -> usize {
+        self.core.num_completed
+    }
+
+    /// The retained trace events (everything since the last harvest).
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.core.events
+    }
+
+    /// Count of events harvested out of the retained log so far.
+    pub fn harvested_events(&self) -> usize {
+        self.core.harvested_events
+    }
+
+    /// Virtual-time watermark of the last harvest.
+    pub fn harvested_until(&self) -> f64 {
+        self.core.harvested_until
+    }
+
+    /// Moves the retained event log out of the run, advancing the watermark
+    /// (see [`SimRun::take_harvested_events`]).
+    pub fn take_harvested_events(&mut self) -> Vec<TraceEvent> {
+        self.core.take_harvested()
+    }
+
+    /// The perturbation stream in its current position.
+    pub fn perturber(&self) -> &Perturber {
+        &self.core.perturber
+    }
+
+    /// Captures a fully owned, serialisable checkpoint of the paused run.
+    /// After harvesting, the checkpoint is truncated: it carries only the
+    /// retained event suffix plus the harvest watermark.
+    pub fn checkpoint(&self) -> SimSnapshot {
+        self.core.checkpoint()
+    }
+
+    /// Drives the run (see [`SimRun::drive`]).
+    pub fn drive(
+        &mut self,
+        policy: &mut dyn Policy,
+        source: &mut dyn EventSource,
+    ) -> Result<RunStatus, SimError> {
+        self.core
+            .drive_inner(&self.instance, &self.plan, policy, source, None)
+    }
+
+    /// Drives the run up to `t_stop` (see [`SimRun::drive_until`]).
+    pub fn drive_until(
+        &mut self,
+        policy: &mut dyn Policy,
+        source: &mut dyn EventSource,
+        t_stop: f64,
+    ) -> Result<RunStatus, SimError> {
+        self.core
+            .drive_inner(&self.instance, &self.plan, policy, source, Some(t_stop))
+    }
+
+    /// Grows the owned world in place: `system` raises the capacity bounds
+    /// (per-type capacities may only grow — the system records the maximum
+    /// the machine ever had, so previously validated allocations stay
+    /// valid), `jobs` are appended at the end, `edges` may only point into
+    /// the appended block, and `entries` are the appended jobs' plan entries
+    /// (placeholders are fine; they are replaced by the next
+    /// [`PersistentRun::apply_plan_updates`]). Appended jobs start
+    /// unreleased — feed them in as [`SourceEvent::Release`] events.
+    pub fn grow(
+        &mut self,
+        system: SystemConfig,
+        jobs: Vec<MoldableJob>,
+        edges: &[(usize, usize)],
+        entries: Vec<ScheduledJob>,
     ) -> Result<(), SimError> {
-        let violation = |reason: String| SimError::PolicyViolation {
-            policy: policy_label.to_string(),
-            job: j,
-            reason,
-        };
-        let state = &mut self.state;
-        let pos = state
-            .ready
-            .binary_search(&j)
-            .map_err(|_| violation("job is not ready".to_string()))?;
-        state
-            .instance
-            .system
-            .validate_allocation(&alloc)
-            .map_err(|e| violation(e.to_string()))?;
-        if !state.resources.fits(&alloc) {
-            return Err(violation(format!(
-                "allocation {alloc} does not fit the current availability"
+        let old_n = self.instance.num_jobs();
+        let added = jobs.len();
+        let d = self.instance.num_resource_types();
+        if system.num_resource_types() != d {
+            return Err(SimError::InvalidGrowth(format!(
+                "system has {} resource types but the world has {d}",
+                system.num_resource_types()
             )));
         }
-        let t_nom = state.instance.jobs[j].spec.time(&alloc);
-        if !t_nom.is_finite() || t_nom <= 0.0 {
-            return Err(violation(format!(
-                "allocation {alloc} has invalid execution time {t_nom}"
+        for (i, (&new, &old)) in system
+            .capacities()
+            .iter()
+            .zip(self.instance.system.capacities())
+            .enumerate()
+        {
+            if new < old {
+                return Err(SimError::InvalidGrowth(format!(
+                    "capacity bound of resource {i} shrank from {old} to {new} \
+                     (bounds record the maximum and may only grow)"
+                )));
+            }
+        }
+        if entries.len() != added {
+            return Err(SimError::InvalidGrowth(format!(
+                "{} plan entries for {added} appended jobs",
+                entries.len()
             )));
         }
-        let t_real = self.perturber.realize(&alloc, t_nom);
-        state.ready.remove(pos);
-        state.started[j] = true;
-        state.resources.acquire(&alloc);
-        self.start[j] = state.now;
-        self.finish[j] = state.now + t_real;
-        self.nominal[j] = t_nom;
-        self.alloc_used[j] = alloc.clone();
-        state.running.push(RunningJob {
-            job: j,
-            start: state.now,
-            finish: state.now + t_real,
-            nominal: t_nom,
-            alloc: alloc.clone(),
-        });
-        self.events.push(TraceEvent::JobStarted {
-            time: state.now,
-            job: j,
-            alloc,
-            nominal: t_nom,
-        });
+        for (i, entry) in entries.iter().enumerate() {
+            if entry.job != old_n + i {
+                return Err(SimError::InvalidGrowth(format!(
+                    "plan entry {i} describes job {} but the appended job has id {}",
+                    entry.job,
+                    old_n + i
+                )));
+            }
+            system
+                .validate_allocation(&entry.alloc)
+                .map_err(|e| SimError::InvalidGrowth(format!("job {}: {e}", entry.job)))?;
+        }
+        self.instance
+            .dag
+            .append(added, edges)
+            .map_err(|e| SimError::InvalidGrowth(e.to_string()))?;
+        self.instance.system = system;
+        self.instance.jobs.extend(jobs);
+        self.plan.jobs.extend(entries.iter().cloned());
+        self.plan.makespan = plan_makespan(&self.plan);
+
+        let n = old_n + added;
+        let world = &mut self.core.world;
+        world.released.resize(n, false);
+        world.started.resize(n, false);
+        world.completed.resize(n, false);
+        for j in old_n..n {
+            // Predecessors completed before the job existed already had
+            // their completion events processed (same contract as resuming
+            // a snapshot against a grown instance).
+            world.remaining_preds.push(
+                self.instance
+                    .dag
+                    .predecessors(j)
+                    .iter()
+                    .filter(|&&p| !world.completed[p])
+                    .count(),
+            );
+        }
+        self.core.start.resize(n, f64::NAN);
+        self.core.finish.resize(n, f64::NAN);
+        self.core.nominal.resize(n, f64::NAN);
+        self.core
+            .alloc_used
+            .extend(entries.into_iter().map(|e| e.alloc));
         Ok(())
     }
+
+    /// Freezes the realized placement of the given **started** jobs into the
+    /// plan — exactly what a from-scratch plan rebuild would install for
+    /// them. Call between drive calls (the plan must stay fixed during a
+    /// drive so policies observe a consistent world).
+    pub fn sync_realized(&mut self, jobs: &[usize]) -> Result<usize, SimError> {
+        for &j in jobs {
+            if j >= self.instance.num_jobs() || !self.core.world.started[j] {
+                return Err(SimError::InvalidGrowth(format!(
+                    "job {j} has not started; only realized placements can be synced"
+                )));
+            }
+            self.plan.jobs[j] = ScheduledJob {
+                job: j,
+                start: self.core.start[j],
+                finish: self.core.finish[j],
+                alloc: self.core.alloc_used[j].clone(),
+            };
+        }
+        if !jobs.is_empty() {
+            self.plan.makespan = plan_makespan(&self.plan);
+        }
+        Ok(jobs.len())
+    }
+
+    /// Installs re-planned placements for **unstarted** jobs (started jobs'
+    /// placements are frozen history — sync them instead). Returns how many
+    /// entries were applied. Callers diff against [`PersistentRun::plan`]
+    /// first so unchanged placements are skipped.
+    pub fn apply_plan_updates(&mut self, entries: &[ScheduledJob]) -> Result<usize, SimError> {
+        for entry in entries {
+            if entry.job >= self.instance.num_jobs() {
+                return Err(SimError::InvalidGrowth(format!(
+                    "plan update references job {} outside the world",
+                    entry.job
+                )));
+            }
+            if self.core.world.started[entry.job] {
+                return Err(SimError::InvalidGrowth(format!(
+                    "plan update targets job {}, which already started",
+                    entry.job
+                )));
+            }
+            self.instance
+                .system
+                .validate_allocation(&entry.alloc)
+                .map_err(|e| SimError::InvalidGrowth(format!("job {}: {e}", entry.job)))?;
+        }
+        for entry in entries {
+            self.plan.jobs[entry.job] = entry.clone();
+            self.core.alloc_used[entry.job] = entry.alloc.clone();
+        }
+        if !entries.is_empty() {
+            self.plan.makespan = plan_makespan(&self.plan);
+        }
+        Ok(entries.len())
+    }
+
+    /// Assembles the realized trace without consuming the run, prepending
+    /// `prefix` (the harvested-event archive) to the retained log.
+    pub fn trace_with_prefix(&self, policy_label: &str, prefix: &[TraceEvent]) -> RealizedTrace {
+        self.core
+            .build_trace(&self.instance, &self.plan, policy_label, prefix)
+    }
+}
+
+/// The makespan of a (possibly placeholder-holding) plan, with the same NaN
+/// semantics as [`Schedule::new`] (`f64::max` ignores NaN).
+fn plan_makespan(plan: &Schedule) -> f64 {
+    plan.jobs.iter().map(|j| j.finish).fold(0.0f64, f64::max)
 }
 
 /// Checks that `plan` covers every job of `instance` exactly once with a

@@ -20,6 +20,19 @@ use mrls_core::{ListScheduler, MrlsConfig, MrlsScheduler, PriorityRule};
 use mrls_model::{Allocation, Instance, MoldableJob, SystemConfig};
 use serde::{Deserialize, Serialize};
 
+/// The unstarted jobs of a state, ascending — the **live frontier**. Every
+/// job a policy can still start is in here, and (because a successor can
+/// only start after its predecessors complete) so is every descendant of a
+/// member: the frontier is successor-closed, which is what lets policies
+/// restrict their per-drive initialisation to it. A long-lived service
+/// re-initialises its policy every round; paying O(world) there would defeat
+/// the incremental round state, while a boolean scan stays in the noise.
+fn live_frontier(state: &SimState<'_>) -> Vec<usize> {
+    (0..state.instance.num_jobs())
+        .filter(|&j| !state.started[j])
+        .collect()
+}
+
 /// A scheduling policy driven by the engine at every decision point.
 pub trait Policy {
     /// Short label for traces and experiment tables.
@@ -111,12 +124,23 @@ impl Policy for StaticPolicy {
     }
 
     fn on_start(&mut self, state: &SimState<'_>) -> Result<(), SimError> {
-        let mut order: Vec<usize> = state.plan.jobs.iter().map(|sj| sj.job).collect();
-        let starts = state.plan.start_times();
-        order.sort_by(|&a, &b| starts[a].total_cmp(&starts[b]).then(a.cmp(&b)));
-        self.order = order;
+        // Only the live frontier can still be started; already started jobs
+        // would be skipped by the cursor anyway, so restricting the order to
+        // the frontier visits the same subsequence at O(live) cost.
+        let n = state.instance.num_jobs();
+        let mut order = live_frontier(state);
+        order.sort_by(|&a, &b| {
+            state.plan.jobs[a]
+                .start
+                .total_cmp(&state.plan.jobs[b].start)
+                .then(a.cmp(&b))
+        });
         self.cursor = 0;
-        self.decision = state.plan.allocations();
+        self.decision = vec![Allocation::new(Vec::new()); n];
+        for &j in &order {
+            self.decision[j] = state.plan.jobs[j].alloc.clone();
+        }
+        self.order = order;
         Ok(())
     }
 
@@ -177,13 +201,46 @@ impl Policy for ReactiveListPolicy {
     }
 
     fn on_start(&mut self, state: &SimState<'_>) -> Result<(), SimError> {
-        self.decision = state.plan.allocations();
+        let n = state.instance.num_jobs();
+        let live = live_frontier(state);
+        // `Explicit` keys are raw per-job vectors; everything else is
+        // pointwise in (time, allocation, bottom level), and the frontier is
+        // successor-closed, so bottom levels computed on the live
+        // sub-instance are bit-identical to the full-graph ones. Keys and
+        // decisions of started jobs are never read (only ready jobs are).
+        if live.len() == n || matches!(self.scheduler.priority(), PriorityRule::Explicit(_)) {
+            self.decision = state.plan.allocations();
+            let times = self
+                .scheduler
+                .evaluate_times(state.instance, &self.decision)?;
+            self.keys = self
+                .scheduler
+                .priority_keys(state.instance, &self.decision, &times)?;
+            return Ok(());
+        }
+        let (sub_dag, mapping) = state.instance.dag.induced_subgraph_sorted(&live);
+        let sub_jobs: Vec<MoldableJob> = mapping
+            .iter()
+            .map(|&old| state.instance.jobs[old].clone())
+            .collect();
+        let sub_instance = Instance::new(state.instance.system.clone(), sub_dag, sub_jobs)
+            .map_err(|e| SimError::InvalidPlan(e.to_string()))?;
+        let sub_decision: Vec<Allocation> = mapping
+            .iter()
+            .map(|&old| state.plan.jobs[old].alloc.clone())
+            .collect();
         let times = self
             .scheduler
-            .evaluate_times(state.instance, &self.decision)?;
-        self.keys = self
+            .evaluate_times(&sub_instance, &sub_decision)?;
+        let sub_keys = self
             .scheduler
-            .priority_keys(state.instance, &self.decision, &times)?;
+            .priority_keys(&sub_instance, &sub_decision, &times)?;
+        self.decision = vec![Allocation::new(Vec::new()); n];
+        self.keys = vec![0.0; n];
+        for ((&old, key), alloc) in mapping.iter().zip(sub_keys).zip(sub_decision) {
+            self.keys[old] = key;
+            self.decision[old] = alloc;
+        }
         Ok(())
     }
 
@@ -230,6 +287,9 @@ pub struct FullReschedulePolicy {
     keys: Vec<f64>,
     min_interval: f64,
     last_reschedule: f64,
+    /// Latest planned finish among completed jobs, maintained incrementally
+    /// from completion events (recomputing it per event would be O(world)).
+    planned_completed_max: f64,
 }
 
 impl FullReschedulePolicy {
@@ -249,6 +309,7 @@ impl FullReschedulePolicy {
             keys: Vec::new(),
             min_interval: 0.0,
             last_reschedule: f64::NEG_INFINITY,
+            planned_completed_max: 0.0,
         }
     }
 
@@ -283,17 +344,11 @@ impl FullReschedulePolicy {
 
     /// How late the run currently is: current time over the latest planned
     /// finish among completed jobs (1.0 = on plan; infinite before the first
-    /// completion, which cannot arise for straggler triggers).
+    /// completion, which cannot arise for straggler triggers). The maximum
+    /// is maintained from completion events, not recomputed.
     fn progress_stretch(&self, state: &SimState<'_>) -> f64 {
-        let planned_so_far = state
-            .plan
-            .jobs
-            .iter()
-            .filter(|sj| state.completed[sj.job])
-            .map(|sj| sj.finish)
-            .fold(0.0f64, f64::max);
-        if planned_so_far > 0.0 {
-            state.now / planned_so_far
+        if self.planned_completed_max > 0.0 {
+            state.now / self.planned_completed_max
         } else {
             f64::INFINITY
         }
@@ -318,7 +373,7 @@ impl FullReschedulePolicy {
         if pending.is_empty() {
             return Ok(0);
         }
-        let (sub_dag, mapping) = state.instance.dag.induced_subgraph(&pending);
+        let (sub_dag, mapping) = state.instance.dag.induced_subgraph_sorted(&pending);
         let sub_jobs: Vec<MoldableJob> = mapping
             .iter()
             .map(|&old| state.instance.jobs[old].clone())
@@ -368,12 +423,26 @@ impl Policy for FullReschedulePolicy {
     }
 
     fn on_start(&mut self, state: &SimState<'_>) -> Result<(), SimError> {
-        self.decision = state.plan.allocations();
         // Replay priorities: the planned start times (ties broken by job
-        // index inside the placement routine).
-        self.keys = state.plan.start_times();
+        // index inside the placement routine). Only the live frontier is
+        // ever read back — started jobs cannot re-enter the ready set — so
+        // initialisation is O(live), not O(world).
+        let n = state.instance.num_jobs();
+        self.decision = vec![Allocation::new(Vec::new()); n];
+        self.keys = vec![0.0; n];
+        for j in live_frontier(state) {
+            self.decision[j] = state.plan.jobs[j].alloc.clone();
+            self.keys[j] = state.plan.jobs[j].start;
+        }
         self.min_interval = self.min_interval_frac * state.plan.makespan.max(0.0);
         self.last_reschedule = f64::NEG_INFINITY;
+        self.planned_completed_max = state
+            .plan
+            .jobs
+            .iter()
+            .filter(|sj| state.completed[sj.job])
+            .map(|sj| sj.finish)
+            .fold(0.0f64, f64::max);
         Ok(())
     }
 
@@ -382,6 +451,15 @@ impl Policy for FullReschedulePolicy {
         state: &SimState<'_>,
         batch: &[TraceEvent],
     ) -> Result<Vec<TraceEvent>, SimError> {
+        // Fold this batch's completions into the progress maximum first:
+        // the debounce below compares against plan progress *including*
+        // them, exactly like the former full rescan did.
+        for e in batch {
+            if let TraceEvent::JobCompleted { job, .. } = e {
+                self.planned_completed_max =
+                    self.planned_completed_max.max(state.plan.jobs[*job].finish);
+            }
+        }
         let Some(trigger) = self.trigger(batch) else {
             return Ok(vec![]);
         };

@@ -163,12 +163,46 @@ impl ChannelSource {
         (tx, ChannelSource::new(rx))
     }
 
+    /// Creates a connected `(feeder, source)` pair — the long-lived shape:
+    /// a persistent run keeps both ends alive across interaction rounds and
+    /// feeds each round's events through the [`ChannelFeeder`].
+    pub fn feeder() -> (ChannelFeeder, ChannelSource) {
+        let (tx, source) = ChannelSource::channel();
+        (ChannelFeeder { tx }, source)
+    }
+
     /// Moves everything currently in the channel into the local buffer
     /// (non-blocking).
     fn pump(&mut self) {
         while let Ok(ev) = self.rx.try_recv() {
             self.buffer.push_back(ev);
         }
+    }
+}
+
+/// The sending half of a long-lived [`ChannelSource`]: typed helpers for
+/// feeding one interaction round's events (releases before capacity changes,
+/// all stamped with the round's single virtual time). Sends to a source
+/// whose run has been dropped are silently discarded, so teardown order does
+/// not matter.
+#[derive(Debug, Clone)]
+pub struct ChannelFeeder {
+    tx: Sender<SourceEvent>,
+}
+
+impl ChannelFeeder {
+    /// Feeds a job release at virtual time `time`.
+    pub fn release(&self, time: f64, job: usize) {
+        let _ = self.tx.send(SourceEvent::Release { time, job });
+    }
+
+    /// Feeds an absolute capacity change at virtual time `time`.
+    pub fn capacity(&self, time: f64, resource: usize, capacity: u64) {
+        let _ = self.tx.send(SourceEvent::Capacity {
+            time,
+            resource,
+            capacity,
+        });
     }
 }
 
@@ -228,6 +262,30 @@ mod tests {
             source.pop_until(2.0),
             vec![SourceEvent::Release { time: 2.0, job: 1 }]
         );
+    }
+
+    #[test]
+    fn feeder_stamps_rounds_in_engine_order() {
+        let (feeder, mut source) = ChannelSource::feeder();
+        feeder.release(1.0, 0);
+        feeder.capacity(1.0, 0, 2);
+        assert_eq!(
+            source.pop_until(1.0),
+            vec![
+                SourceEvent::Release { time: 1.0, job: 0 },
+                SourceEvent::Capacity {
+                    time: 1.0,
+                    resource: 0,
+                    capacity: 2
+                },
+            ]
+        );
+        // A later round through the same feeder; dropping the source makes
+        // further sends no-ops rather than panics.
+        feeder.release(2.0, 1);
+        assert_eq!(source.next_time(), Some(2.0));
+        drop(source);
+        feeder.release(3.0, 2);
     }
 
     #[test]

@@ -103,6 +103,111 @@ fn resume_replays_pending_scenario_events() {
     roundtrip(PolicyKind::ReactiveList, scenario, 0.6);
 }
 
+/// A truncated snapshot (events harvested out before checkpointing) resumes
+/// to a continuation byte-identical to one resumed from the untruncated
+/// snapshot — reattaching the harvested prefix restores the full trace.
+#[test]
+fn truncated_snapshot_resumes_byte_identically() {
+    let (instance, plan) = setup(22, 5);
+    let sim = Simulator::new(noisy_config(Scenario::offline()));
+    let plan = normalize_plan(&instance, &plan).unwrap();
+    let t_mid = 0.45 * plan.makespan;
+
+    let (mut run, mut source) = sim.start(&instance, &plan).unwrap();
+    let kind = PolicyKind::ReactiveList;
+    let status = run
+        .drive_until(kind.build().as_mut(), &mut source, t_mid)
+        .unwrap();
+    assert_eq!(status, RunStatus::Paused);
+    let full = run.checkpoint();
+    assert!(!full.events.is_empty(), "mid-run history exists");
+
+    // Harvest: the retained log empties, the watermark advances, and the
+    // checkpoint is truncated — strictly smaller on the wire.
+    let prefix = run.take_harvested_events();
+    assert_eq!(prefix.len(), full.events.len());
+    assert_eq!(run.harvested_events(), prefix.len());
+    assert!((run.harvested_until() - full.now).abs() < 1e-12);
+    let truncated = run.checkpoint();
+    assert!(truncated.events.is_empty());
+    assert_eq!(truncated.harvested_events, prefix.len());
+    assert!(truncated.to_json().len() < full.to_json().len());
+    drop(run);
+    drop(source);
+
+    // Continuation from the untruncated snapshot: the reference trace.
+    let parsed = SimSnapshot::from_json(&full.to_json()).unwrap();
+    let (mut reference, mut source) = sim.resume(&instance, &plan, &parsed).unwrap();
+    assert_eq!(
+        reference.drive(kind.build().as_mut(), &mut source).unwrap(),
+        RunStatus::Complete
+    );
+    let reference = reference.into_trace(kind.label());
+
+    // Continuation from the truncated snapshot, prefix reattached.
+    let parsed = SimSnapshot::from_json(&truncated.to_json()).unwrap();
+    assert_eq!(parsed.harvested_events, prefix.len());
+    let (mut resumed, mut source) = sim.resume(&instance, &plan, &parsed).unwrap();
+    assert_eq!(
+        resumed.drive(kind.build().as_mut(), &mut source).unwrap(),
+        RunStatus::Complete
+    );
+    let continued = resumed.into_trace_with_prefix(kind.label(), &prefix);
+
+    assert_eq!(
+        reference.to_json(),
+        continued.to_json(),
+        "truncated-snapshot continuation diverged"
+    );
+}
+
+/// Snapshots serialised before the harvesting fields existed (no
+/// `harvested_events` / `harvested_until` keys) still load, with nothing
+/// considered harvested; corrupt harvest fields are rejected cleanly.
+#[test]
+fn old_format_snapshots_still_load() {
+    let (instance, plan) = setup(14, 2);
+    let sim = Simulator::new(noisy_config(Scenario::offline()));
+    let plan = normalize_plan(&instance, &plan).unwrap();
+    let (mut run, mut source) = sim.start(&instance, &plan).unwrap();
+    run.drive_until(
+        PolicyKind::Static.build().as_mut(),
+        &mut source,
+        0.4 * plan.makespan,
+    )
+    .unwrap();
+    let json = run.checkpoint().to_json();
+    assert!(json.contains("\"harvested_events\""));
+
+    // Strip the two harvesting lines — exactly what a pre-harvest snapshot
+    // looks like (they sit mid-object, so the JSON stays well-formed).
+    let old_format: String = json
+        .lines()
+        .filter(|l| !l.contains("\"harvested_events\"") && !l.contains("\"harvested_until\""))
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(!old_format.contains("harvested"));
+    let snapshot = SimSnapshot::from_json(&old_format).expect("old format must load");
+    assert_eq!(snapshot.harvested_events, 0);
+    assert_eq!(snapshot.harvested_until, 0.0);
+
+    // The old-format snapshot resumes to the same continuation as the
+    // new-format one.
+    let reference = SimSnapshot::from_json(&json).unwrap();
+    let drive_on = |snapshot: &SimSnapshot| {
+        let (mut run, mut source) = sim.resume(&instance, &plan, snapshot).unwrap();
+        run.drive(PolicyKind::Static.build().as_mut(), &mut source)
+            .unwrap();
+        run.into_trace("static").to_json()
+    };
+    assert_eq!(drive_on(&reference), drive_on(&snapshot));
+
+    // A harvest field of the wrong shape is a parse error, not a panic or a
+    // silent default.
+    let corrupt = json.replace("\"harvested_events\": 0", "\"harvested_events\": \"bogus\"");
+    assert!(SimSnapshot::from_json(&corrupt).is_err());
+}
+
 #[test]
 fn snapshots_reject_mismatched_worlds() {
     let (instance, plan) = setup(12, 1);

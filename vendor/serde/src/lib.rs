@@ -114,6 +114,20 @@ pub mod __private {
         T::from_value(get_field(v, name)?)
     }
 
+    /// Deserialise an optional struct field: a missing field yields `None`
+    /// (a present field of the wrong shape is still an error). Hand-written
+    /// `Deserialize` impls use this to stay backward compatible with data
+    /// serialised before the field existed.
+    pub fn opt_field<T: Deserialize>(v: &Value, name: &str) -> Result<Option<T>, Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| Error::msg(format!("expected object with field `{name}`")))?;
+        match obj.iter().find(|(k, _)| k == name) {
+            Some((_, val)) => T::from_value(val).map(Some),
+            None => Ok(None),
+        }
+    }
+
     /// Decompose an externally-tagged enum value into `(tag, payload)`.
     ///
     /// Unit variants are encoded as a bare string; payload variants as a
