@@ -84,10 +84,38 @@ fn bench_phase2_only(c: &mut Criterion) {
     group.finish();
 }
 
+/// The pure event-loop regimes at scale (see `mrls_bench::event_loop`):
+/// wide independent layers (running/ready sets in the thousands — where the
+/// pre-index loop paid O(n) per completion event) and deep chains (sets of
+/// size one — where the indexed structures must cost nothing). Before/after
+/// medians against the retained naive loop are produced by the
+/// `core_event_loop` binary; this group tracks the indexed path itself.
+fn bench_event_loop(c: &mut Criterion) {
+    use mrls_bench::event_loop;
+    use mrls_core::{ListScheduler, PriorityRule};
+    type Workload = fn(usize) -> (mrls_model::Instance, Vec<mrls_model::Allocation>);
+    let scheduler = ListScheduler::new(PriorityRule::CriticalPath);
+    for (shape, build) in [
+        ("wide", event_loop::wide as Workload),
+        ("deep", event_loop::deep as Workload),
+    ] {
+        let mut group = c.benchmark_group(format!("event_loop_{shape}"));
+        group.sample_size(10);
+        for &n in &[1000usize, 5000, 20000] {
+            let (instance, decision) = build(n);
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+                b.iter(|| scheduler.schedule(&instance, &decision).unwrap().makespan)
+            });
+        }
+        group.finish();
+    }
+}
+
 criterion_group!(
     benches,
     bench_pipeline_vs_jobs,
     bench_pipeline_vs_d,
-    bench_phase2_only
+    bench_phase2_only,
+    bench_event_loop
 );
 criterion_main!(benches);

@@ -209,6 +209,7 @@ fn rounds_sweep(rounds: usize) {
     };
     let mut table = ResultTable::new(&[
         "path",
+        "policy_instance",
         "rounds",
         "round_p50_us",
         "round_p99_us",
@@ -217,7 +218,13 @@ fn rounds_sweep(rounds: usize) {
         "growth",
     ]);
 
-    let mut row = |path: &str, times: Vec<Duration>, completed: u64| {
+    // The incremental core keeps ONE policy instance alive across rounds
+    // (refreshed with `Policy::on_plan_update`); the naive reference builds
+    // a fresh one per round. The column records which mode produced the
+    // row, so regressions of the reused-instance path show up in the CSV
+    // history: incremental `round_p50_us` must not exceed its pre-reuse
+    // numbers (and stays flat where naive grows).
+    let mut row = |path: &str, policy_instance: &str, times: Vec<Duration>, completed: u64| {
         assert_eq!(completed, rounds as u64, "{path}: all rounds must complete");
         let decile = (times.len() / 10).max(1);
         let early = percentile(&times[..decile], 0.5);
@@ -225,7 +232,7 @@ fn rounds_sweep(rounds: usize) {
         let growth = late.as_secs_f64() / early.as_secs_f64().max(1e-9);
         println!(
             "{path:>11}  {rounds:>5} rounds  p50 {:>7.1}us  p99 {:>8.1}us  early {:>7.1}us  \
-             late {:>8.1}us  growth {growth:>6.2}x",
+             late {:>8.1}us  growth {growth:>6.2}x  ({policy_instance} policy)",
             percentile(&times, 0.5).as_secs_f64() * 1e6,
             percentile(&times, 0.99).as_secs_f64() * 1e6,
             early.as_secs_f64() * 1e6,
@@ -233,6 +240,7 @@ fn rounds_sweep(rounds: usize) {
         );
         table.push_row(vec![
             path.to_string(),
+            policy_instance.to_string(),
             rounds.to_string(),
             fmt3(percentile(&times, 0.5).as_secs_f64() * 1e6),
             fmt3(percentile(&times, 0.99).as_secs_f64() * 1e6),
@@ -250,7 +258,7 @@ fn rounds_sweep(rounds: usize) {
         t.elapsed()
     });
     let completed = incremental.drain().expect("drain").completed;
-    row("incremental", times, completed);
+    row("incremental", "reused", times, completed);
 
     let mut naive = NaiveService::new(config);
     let times = time_rounds(&mut naive, rounds, |core, job| {
@@ -260,7 +268,7 @@ fn rounds_sweep(rounds: usize) {
         t.elapsed()
     });
     let completed = naive.drain().expect("drain").completed;
-    row("naive", times, completed);
+    row("naive", "per-round", times, completed);
 
     emit("serve_rounds_latency", &table);
 }

@@ -144,6 +144,61 @@ where
     collected.into_iter().map(|(_, v)| v).collect()
 }
 
+/// Synthetic workloads for the list-scheduler **event-loop** benchmarks
+/// (`core_event_loop` binary, `scheduler_scaling` criterion group): shapes
+/// chosen so the per-event bookkeeping — not Phase 1 — dominates.
+pub mod event_loop {
+    use mrls_dag::Dag;
+    use mrls_model::{Allocation, ExecTimeSpec, Instance, MoldableJob, SystemConfig};
+
+    /// Pairwise-distinct execution times (so every completion is its own
+    /// event) with a fixed pseudo-random jitter. The modulus is prime and
+    /// larger than any benchmarked `n`, and the multiplier is coprime to
+    /// it, so `j ↦ time` is injective below the modulus — no two jobs of a
+    /// wave finish within the event-grouping tolerance of each other.
+    fn jittered_time(j: usize) -> f64 {
+        const P: usize = 999_983; // prime > max benchmarked n
+        1.0 + (j.wrapping_mul(7919) % P) as f64 * 1e-6
+    }
+
+    fn jobs(n: usize) -> Vec<MoldableJob> {
+        (0..n)
+            .map(|j| {
+                MoldableJob::new(
+                    j,
+                    ExecTimeSpec::Constant {
+                        time: jittered_time(j),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// A **wide independent layer**: `n` unit-allocation jobs on a
+    /// two-type machine with capacity `n/8` per type, so thousands run
+    /// concurrently, the ready queue stays hot the whole run, and every
+    /// completion is a distinct event. The regime where the pre-index
+    /// loop's per-event min-scan and re-sort are quadratic overall.
+    pub fn wide(n: usize) -> (Instance, Vec<Allocation>) {
+        let cap = ((n / 8).max(4)) as u64;
+        let system = SystemConfig::new(vec![cap, cap]).expect("capacities >= 1");
+        let instance = Instance::new(system, Dag::independent(n), jobs(n)).expect("valid instance");
+        let decision = vec![Allocation::new(vec![1, 1]); n];
+        (instance, decision)
+    }
+
+    /// A **deep chain**: `n` jobs in strict sequence. Running and ready
+    /// sets never exceed one job — the skinny regime that checks the
+    /// indexed structures add no overhead where the naive loop was already
+    /// O(1) per event.
+    pub fn deep(n: usize) -> (Instance, Vec<Allocation>) {
+        let system = SystemConfig::new(vec![4, 4]).expect("capacities >= 1");
+        let instance = Instance::new(system, Dag::chain(n), jobs(n)).expect("valid instance");
+        let decision = vec![Allocation::new(vec![1, 1]); n];
+        (instance, decision)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

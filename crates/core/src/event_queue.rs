@@ -1,0 +1,185 @@
+//! A deterministic completion-event queue: a binary min-heap of
+//! `(finish time, job)` pairs.
+//!
+//! Both the offline list scheduler ([`crate::ListScheduler::schedule`]) and
+//! the `mrls-sim` execution engine advance virtual time to "the earliest
+//! pending completion". Scanning the running set for that minimum is O(n)
+//! per event — the dominant cost of the event loop on wide instances. This
+//! heap makes it O(log n) per push/pop while keeping the iteration order
+//! fully deterministic: entries are ordered by finish time with ties broken
+//! by job index, so two runs over the same input pop the exact same
+//! sequence.
+//!
+//! Finish times are compared with [`f64::partial_cmp`] falling back to
+//! `Equal` — the same comparator the scheduler has always used for event
+//! times — so swapping the linear scan for the heap cannot change which
+//! event is "next". Finish times are produced by the scheduler itself and
+//! are always finite.
+
+/// A binary min-heap of `(finish, job)` completion events, ordered by finish
+/// time and then by job index.
+#[derive(Debug, Clone, Default)]
+pub struct EventQueue {
+    heap: Vec<(f64, usize)>,
+}
+
+/// The deterministic event order: finish time first ([`f64::partial_cmp`],
+/// incomparable values treated as equal), job index second.
+fn before(a: (f64, usize), b: (f64, usize)) -> bool {
+    a.0.partial_cmp(&b.0)
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then(a.1.cmp(&b.1))
+        .is_lt()
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// An empty queue with space reserved for `n` events.
+    pub fn with_capacity(n: usize) -> Self {
+        EventQueue {
+            heap: Vec::with_capacity(n),
+        }
+    }
+
+    /// Builds a queue from arbitrary entries in O(n) (bottom-up heapify).
+    pub fn from_entries(entries: Vec<(f64, usize)>) -> Self {
+        let mut q = EventQueue { heap: entries };
+        for i in (0..q.heap.len() / 2).rev() {
+            q.sift_down(i);
+        }
+        q
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` iff no event is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes every pending event.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    /// The earliest pending event, if any.
+    pub fn peek(&self) -> Option<(f64, usize)> {
+        self.heap.first().copied()
+    }
+
+    /// Schedules a completion event. O(log n).
+    pub fn push(&mut self, finish: f64, job: usize) {
+        self.heap.push((finish, job));
+        self.sift_up(self.heap.len() - 1);
+    }
+
+    /// Removes and returns the earliest pending event. O(log n).
+    pub fn pop(&mut self) -> Option<(f64, usize)> {
+        let n = self.heap.len();
+        match n {
+            0 => None,
+            1 => self.heap.pop(),
+            _ => {
+                self.heap.swap(0, n - 1);
+                let out = self.heap.pop();
+                self.sift_down(0);
+                out
+            }
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if before(self.heap[i], self.heap[parent]) {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.heap.len();
+        loop {
+            let mut best = i;
+            for child in [2 * i + 1, 2 * i + 2] {
+                if child < n && before(self.heap[child], self.heap[best]) {
+                    best = child;
+                }
+            }
+            if best == i {
+                break;
+            }
+            self.heap.swap(i, best);
+            i = best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_finish_order() {
+        let mut q = EventQueue::new();
+        for (f, j) in [(3.0, 0), (1.0, 1), (2.0, 2), (0.5, 3)] {
+            q.push(f, j);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|(_, j)| j).collect();
+        assert_eq!(order, vec![3, 1, 2, 0]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn equal_finish_times_tie_break_by_job_index() {
+        // Pushed in descending job order so a naive FIFO would invert it.
+        let mut q = EventQueue::new();
+        for j in [9usize, 4, 7, 1, 6] {
+            q.push(2.5, j);
+        }
+        q.push(1.0, 8);
+        let order: Vec<(f64, usize)> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(
+            order,
+            vec![(1.0, 8), (2.5, 1), (2.5, 4), (2.5, 6), (2.5, 7), (2.5, 9)]
+        );
+    }
+
+    #[test]
+    fn from_entries_heapifies() {
+        let q = EventQueue::from_entries(vec![(5.0, 0), (1.0, 2), (1.0, 1), (3.0, 3)]);
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.peek(), Some((1.0, 1)));
+        let mut q = q;
+        assert_eq!(q.pop(), Some((1.0, 1)));
+        assert_eq!(q.pop(), Some((1.0, 2)));
+        assert_eq!(q.pop(), Some((3.0, 3)));
+        assert_eq!(q.pop(), Some((5.0, 0)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::with_capacity(8);
+        q.push(4.0, 0);
+        q.push(2.0, 1);
+        assert_eq!(q.pop(), Some((2.0, 1)));
+        q.push(1.0, 2);
+        q.push(3.0, 3);
+        assert_eq!(q.pop(), Some((1.0, 2)));
+        assert_eq!(q.pop(), Some((3.0, 3)));
+        assert_eq!(q.pop(), Some((4.0, 0)));
+        q.clear();
+        assert!(q.is_empty());
+    }
+}

@@ -59,9 +59,11 @@
 pub mod allocators;
 pub mod bounds;
 pub mod error;
+pub mod event_queue;
 pub mod list_scheduler;
 pub mod plan_diff;
 pub mod priority;
+pub mod ready_queue;
 pub mod resource_state;
 pub mod schedule;
 pub mod scheduler;
@@ -69,12 +71,21 @@ pub mod theorem6;
 pub mod theory;
 
 pub use error::CoreError;
+pub use event_queue::EventQueue;
 pub use list_scheduler::ListScheduler;
 pub use plan_diff::{diff_plan_entries, PlanDelta};
 pub use priority::PriorityRule;
+pub use ready_queue::ReadyQueue;
 pub use resource_state::ResourceState;
 pub use schedule::{Schedule, ScheduledJob};
 pub use scheduler::{AllocatorKind, MrlsConfig, MrlsScheduler, ScheduleResult};
+
+/// The shared fit/completion tolerance of every placement and event-time
+/// decision: the list scheduler's completion grouping, [`ResourceState`]'s
+/// fit test, and the `mrls-sim` engine's event batching all compare against
+/// this same epsilon, so the optimized and reference event loops cannot
+/// drift apart on tolerance grounds.
+pub const EPS: f64 = 1e-9;
 
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, CoreError>;

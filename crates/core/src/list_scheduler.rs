@@ -7,12 +7,25 @@
 //! amount of every resource type. Resources are only allocated and released
 //! at job completion times, which is exactly the structure the interval
 //! analysis of Section 4.2.2 relies on.
+//!
+//! The event loop is **indexed**: pending completions live in a binary
+//! min-heap ([`EventQueue`], ordered by `(finish, job)`), and the ready
+//! queue is a persistent priority-ordered structure ([`ReadyQueue`]) that
+//! binary-inserts newly ready jobs instead of re-sorting per event. Both
+//! make the per-event bookkeeping O(log n) where it used to be O(n) /
+//! O(n log n); the placement sweep itself stays O(ready) because Algorithm 2
+//! backfills from the *whole* queue. The pre-index implementation is
+//! retained verbatim as [`ListScheduler::schedule_naive`] — the executable
+//! reference the equivalence property test (and the `core_event_loop` bench)
+//! pins the optimized loop against, byte for byte.
 
 use crate::error::CoreError;
+use crate::event_queue::EventQueue;
 use crate::priority::PriorityRule;
+use crate::ready_queue::ReadyQueue;
 use crate::resource_state::ResourceState;
 use crate::schedule::{Schedule, ScheduledJob};
-use crate::Result;
+use crate::{Result, EPS};
 use mrls_model::{Allocation, Instance};
 
 /// The multi-resource list scheduler.
@@ -83,39 +96,45 @@ impl ListScheduler {
     }
 
     /// One placement pass of Algorithm 2 over a persistent resource state:
-    /// sorts `ready` by `keys` (ties broken by job index), then starts
-    /// **every** job whose allocation fits the current availability,
-    /// acquiring its resources. Started jobs are removed from `ready` and
-    /// returned in start order.
+    /// walks `ready` in priority order (the [`ReadyQueue`] maintains
+    /// `(keys[job], job)` order persistently) and starts **every** job whose
+    /// allocation fits the current availability, acquiring its resources.
+    /// Started jobs are removed from `ready` in a single compaction sweep
+    /// and returned in start order; the queue's requirement floor
+    /// short-circuits the sweep as soon as the rest of the queue provably
+    /// cannot fit (see [`ReadyQueue::drain_fitting`]).
+    ///
+    /// `keys` must be the key vector the queue is ordered by (asserted in
+    /// debug builds); callers that insert into the queue between passes pass
+    /// the same slice to both sides.
     ///
     /// The offline [`ListScheduler::schedule`] calls this at time zero and at
     /// every completion event; reactive callers (the `mrls-sim` runtime) call
     /// it with whatever ready set and availability reality produced.
     pub fn schedule_ready(
         &self,
-        ready: &mut Vec<usize>,
+        ready: &mut ReadyQueue,
         keys: &[f64],
         decision: &[Allocation],
         resources: &mut ResourceState,
     ) -> Vec<usize> {
-        sort_by_key(ready, keys);
-        let mut started = Vec::new();
-        let mut i = 0;
-        while i < ready.len() {
-            let j = ready[i];
-            if resources.fits(&decision[j]) {
-                resources.acquire(&decision[j]);
-                started.push(j);
-                ready.remove(i);
-            } else {
-                i += 1;
-            }
-        }
-        started
+        debug_assert!(
+            ready
+                .as_slice()
+                .windows(2)
+                .all(|w| crate::ready_queue::key_order(w[0], w[1], keys).is_le()),
+            "ready queue out of order for the supplied keys (resort after key changes)"
+        );
+        ready.drain_fitting(decision, resources)
     }
 
     /// Runs Algorithm 2 on `instance` with the fixed allocation `decision`
     /// (one allocation per job) and returns the resulting schedule.
+    ///
+    /// The event loop is O(log n) per completion event (binary heap of
+    /// pending completions, binary insertion into the persistent ready
+    /// queue) plus the O(ready) placement sweep Algorithm 2 prescribes.
+    /// Output is byte-identical to [`ListScheduler::schedule_naive`].
     pub fn schedule(&self, instance: &Instance, decision: &[Allocation]) -> Result<Schedule> {
         let n = instance.num_jobs();
         // Evaluate execution times once and validate feasibility of every
@@ -132,14 +151,13 @@ impl ListScheduler {
         // Event-driven simulation.
         let mut resources = ResourceState::from_system(&instance.system);
         let mut remaining_preds: Vec<usize> = (0..n).map(|j| instance.dag.in_degree(j)).collect();
-        let mut ready: Vec<usize> = (0..n).filter(|&j| remaining_preds[j] == 0).collect();
+        let mut ready =
+            ReadyQueue::from_unsorted((0..n).filter(|&j| remaining_preds[j] == 0).collect(), &keys);
 
         let mut start = vec![f64::NAN; n];
         let mut finish = vec![f64::NAN; n];
-        // Running jobs as (finish_time, job), managed as a simple vector; the
-        // instance sizes the evaluation uses (up to a few thousand jobs) do
-        // not warrant a binary heap.
-        let mut running: Vec<(f64, usize)> = Vec::new();
+        // Pending completions, ordered by (finish, job).
+        let mut completions = EventQueue::with_capacity(n.min(1024));
         let mut now = 0.0f64;
         let mut num_completed = 0usize;
 
@@ -148,13 +166,13 @@ impl ListScheduler {
             for j in self.schedule_ready(&mut ready, &keys, decision, &mut resources) {
                 start[j] = now;
                 finish[j] = now + times[j];
-                running.push((finish[j], j));
+                completions.push(finish[j], j);
             }
 
             if num_completed == n {
                 break;
             }
-            if running.is_empty() {
+            let Some((next_time, _)) = completions.peek() else {
                 // No job is running and not everything is done: this can only
                 // happen if some ready job never fits, which the validation
                 // above excludes, or if the graph still has blocked jobs whose
@@ -162,22 +180,109 @@ impl ListScheduler {
                 // anyway to avoid an infinite loop in release builds.
                 debug_assert!(false, "list scheduler stalled with idle system");
                 return Err(CoreError::NoFeasibleAllocation {
+                    job: ready.as_slice().first().copied().unwrap_or(0),
+                });
+            };
+            now = next_time;
+            // Complete every job finishing at `now` (within tolerance) and
+            // release its resources. Availability amounts are exact integers
+            // in f64, so the release order within the batch cannot change
+            // any later fit decision.
+            while let Some((f, j)) = completions.peek() {
+                if f > now + EPS {
+                    break;
+                }
+                completions.pop();
+                num_completed += 1;
+                resources.release(&decision[j]);
+                for &succ in instance.dag.successors(j) {
+                    remaining_preds[succ] -= 1;
+                    if remaining_preds[succ] == 0 {
+                        ready.insert(succ, &keys, &decision[succ]);
+                    }
+                }
+            }
+        }
+
+        let jobs = (0..n)
+            .map(|j| ScheduledJob {
+                job: j,
+                start: start[j],
+                finish: finish[j],
+                alloc: decision[j].clone(),
+            })
+            .collect();
+        Ok(Schedule::new(jobs))
+    }
+
+    /// The pre-index reference implementation of Algorithm 2: a linear
+    /// min-scan over the running set per event, a full ready-queue sort per
+    /// placement pass, and `Vec::remove` per start — O(n) to O(n log n) per
+    /// completion event.
+    ///
+    /// Kept (not `#[cfg(test)]`) as the executable specification the
+    /// optimized [`ListScheduler::schedule`] is pinned against: the
+    /// equivalence property test asserts byte-identical `Schedule` JSON
+    /// across random instances, and the `core_event_loop` bench measures the
+    /// speedup. Behaviour must never be "improved" here; fix the indexed
+    /// loop instead.
+    pub fn schedule_naive(&self, instance: &Instance, decision: &[Allocation]) -> Result<Schedule> {
+        let n = instance.num_jobs();
+        let times = self.evaluate_times(instance, decision)?;
+        if n == 0 {
+            return Ok(Schedule::new(vec![]));
+        }
+        let keys = self.priority_keys(instance, decision, &times)?;
+
+        let mut resources = ResourceState::from_system(&instance.system);
+        let mut remaining_preds: Vec<usize> = (0..n).map(|j| instance.dag.in_degree(j)).collect();
+        let mut ready: Vec<usize> = (0..n).filter(|&j| remaining_preds[j] == 0).collect();
+
+        let mut start = vec![f64::NAN; n];
+        let mut finish = vec![f64::NAN; n];
+        let mut running: Vec<(f64, usize)> = Vec::new();
+        let mut now = 0.0f64;
+        let mut num_completed = 0usize;
+
+        loop {
+            // One placement pass: sort the whole queue, then Vec::remove
+            // every started job.
+            sort_by_key(&mut ready, &keys);
+            let mut i = 0;
+            while i < ready.len() {
+                let j = ready[i];
+                if resources.fits(&decision[j]) {
+                    resources.acquire(&decision[j]);
+                    start[j] = now;
+                    finish[j] = now + times[j];
+                    running.push((finish[j], j));
+                    ready.remove(i);
+                } else {
+                    i += 1;
+                }
+            }
+
+            if num_completed == n {
+                break;
+            }
+            if running.is_empty() {
+                debug_assert!(false, "list scheduler stalled with idle system");
+                return Err(CoreError::NoFeasibleAllocation {
                     job: ready.first().copied().unwrap_or(0),
                 });
             }
 
-            // Advance to the next completion event (the earliest finish time).
+            // Advance to the next completion event (linear min-fold).
             let next_time = running
                 .iter()
                 .map(|&(f, _)| f)
                 .fold(f64::INFINITY, f64::min);
             now = next_time;
-            // Complete every job finishing at `now` and release its resources.
             let mut newly_ready: Vec<usize> = Vec::new();
             let mut k = 0;
             while k < running.len() {
                 let (f, j) = running[k];
-                if f <= now + 1e-9 {
+                if f <= now + EPS {
                     running.swap_remove(k);
                     num_completed += 1;
                     resources.release(&decision[j]);
@@ -207,14 +312,9 @@ impl ListScheduler {
 }
 
 /// Sorts job indices by `(key, job index)` so the order is deterministic even
-/// with equal keys.
+/// with equal keys — the comparator [`ReadyQueue`] maintains incrementally.
 fn sort_by_key(jobs: &mut [usize], keys: &[f64]) {
-    jobs.sort_by(|&a, &b| {
-        keys[a]
-            .partial_cmp(&keys[b])
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
-    });
+    jobs.sort_by(|&a, &b| crate::ready_queue::key_order(a, b, keys));
 }
 
 #[cfg(test)]
@@ -356,12 +456,12 @@ mod tests {
         let times = sched.evaluate_times(&inst, &decision).unwrap();
         let keys = sched.priority_keys(&inst, &decision, &times).unwrap();
         let mut resources = ResourceState::from_system(&inst.system);
-        let mut ready = vec![0, 1, 2];
+        let mut ready = ReadyQueue::from_unsorted(vec![0, 1, 2], &keys);
         // At time 0: job 0 (3/4) starts, job 1 (4/4) does not fit, job 2
         // (1/4) backfills.
         let started = sched.schedule_ready(&mut ready, &keys, &decision, &mut resources);
         assert_eq!(started, vec![0, 2]);
-        assert_eq!(ready, vec![1]);
+        assert_eq!(ready.as_slice(), &[1]);
         // Nothing more fits until a completion releases resources.
         assert!(sched
             .schedule_ready(&mut ready, &keys, &decision, &mut resources)

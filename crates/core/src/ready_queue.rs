@@ -1,0 +1,326 @@
+//! A persistent, priority-ordered ready queue for Algorithm 2.
+//!
+//! The list scheduler keeps its ready jobs ordered by `(priority key, job
+//! index)`. Historically that order was recreated by re-sorting the whole
+//! queue at every event — O(r log r) per event even when a single job became
+//! ready. [`ReadyQueue`] maintains the order *persistently*: priority keys
+//! are fixed for a given allocation decision, so a newly ready job is
+//! binary-inserted in O(log r) (plus one memmove), and a placement pass
+//! removes every started job with a single in-place compaction sweep instead
+//! of one O(r) `Vec::remove` per start.
+//!
+//! The queue also carries a **requirement floor**: a per-resource-type lower
+//! bound on the smallest request among queued jobs. A placement sweep stops
+//! the moment availability drops below the floor in *any* type — from that
+//! point no queued job can fit (every request in that type is at least the
+//! floor), so the skipped suffix is provably start-free and the early exit
+//! is bit-exact. On saturated systems this turns the per-event placement
+//! cost from O(ready) into O(started jobs): the sweep visits little more
+//! than what it actually starts. The floor is *stale-sound*: removals may
+//! leave it lower than the true minimum (which only weakens the exit, never
+//! breaks it), and it is re-established exactly whenever a sweep runs to
+//! the end of the queue — at zero extra cost, since that sweep visits every
+//! survivor anyway.
+//!
+//! Keys live with the caller (an indexed `&[f64]`, one entry per job) and
+//! are passed to every ordering operation; the queue only stores job
+//! indices. If the caller's keys or allocations change (a reschedule
+//! adopting a new plan), [`ReadyQueue::resort`] restores the order invariant
+//! and resets the floor (the old bounds no longer apply to the new
+//! requests).
+//!
+//! Ordering uses the exact comparator the scheduler always sorted with —
+//! [`f64::partial_cmp`] falling back to `Equal`, ties broken by job index —
+//! so the maintained order is bit-identical to a full re-sort.
+
+use crate::resource_state::ResourceState;
+use crate::EPS;
+use mrls_model::Allocation;
+use std::cmp::Ordering;
+
+/// Ready jobs ordered by `(keys[job], job)`, maintained incrementally, with
+/// a per-type requirement floor for provably start-free sweep exits.
+#[derive(Debug, Clone, Default)]
+pub struct ReadyQueue {
+    jobs: Vec<usize>,
+    /// Per-type lower bound on the minimum request among queued jobs.
+    /// Empty = unknown (never blocks a sweep); re-established exactly by
+    /// the next completed sweep.
+    floor: Vec<f64>,
+    /// Scratch buffer for the replacement floor a sweep accumulates —
+    /// reused so the per-event hot path allocates nothing.
+    scratch: Vec<f64>,
+}
+
+/// The queue order: key first (incomparable values treated as equal — the
+/// comparator [`crate::ListScheduler`] has always used), job index second.
+pub(crate) fn key_order(a: usize, b: usize, keys: &[f64]) -> Ordering {
+    keys[a]
+        .partial_cmp(&keys[b])
+        .unwrap_or(Ordering::Equal)
+        .then(a.cmp(&b))
+}
+
+/// `true` iff the floor proves that **no** queued job fits `resources`:
+/// some resource type has less available (beyond the shared fit tolerance)
+/// than every queued job requests.
+fn floor_blocks(floor: &[f64], resources: &ResourceState) -> bool {
+    (0..floor.len()).any(|i| floor[i] > resources.available(i) + EPS)
+}
+
+impl ReadyQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        ReadyQueue::default()
+    }
+
+    /// Builds a queue from an arbitrary set of ready jobs, sorting it once
+    /// by `(keys[job], job)`. The requirement floor starts unknown and is
+    /// established by the first completed placement sweep.
+    pub fn from_unsorted(mut jobs: Vec<usize>, keys: &[f64]) -> Self {
+        jobs.sort_by(|&a, &b| key_order(a, b, keys));
+        ReadyQueue {
+            jobs,
+            floor: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Number of ready jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// `true` iff no job is ready.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The ready jobs in priority order.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.jobs
+    }
+
+    /// Removes every job.
+    pub fn clear(&mut self) {
+        self.jobs.clear();
+        self.floor.clear();
+    }
+
+    /// Inserts `job` (requesting `req`) at its ordered position in O(log r)
+    /// comparisons (one memmove), folding the request into the floor.
+    /// Inserting a job that is already queued is a no-op, so a duplicate
+    /// world event cannot double-queue it.
+    pub fn insert(&mut self, job: usize, keys: &[f64], req: &Allocation) {
+        match self.jobs.binary_search_by(|&q| key_order(q, job, keys)) {
+            Ok(_) => {}
+            Err(pos) => {
+                self.jobs.insert(pos, job);
+                // An unknown floor stays unknown (initialising it from this
+                // job alone could overestimate the queue minimum); a known
+                // floor absorbs the new request.
+                for i in 0..self.floor.len() {
+                    self.floor[i] = self.floor[i].min(req[i] as f64);
+                }
+            }
+        }
+    }
+
+    /// Restores the order invariant after the caller's keys changed. The
+    /// requirement floor is reset too: key changes accompany adopted
+    /// reschedules whose new allocations the old bounds do not cover.
+    pub fn resort(&mut self, keys: &[f64]) {
+        self.jobs.sort_by(|&a, &b| key_order(a, b, keys));
+        self.floor.clear();
+    }
+
+    /// One placement sweep of Algorithm 2 over this queue: visits jobs in
+    /// priority order, starts (acquires and removes) every one that fits
+    /// the availability left by the starts before it, and returns them in
+    /// start order. Survivors keep their relative order via a single
+    /// in-place compaction — no per-removal shifting.
+    ///
+    /// The sweep short-circuits — before visiting anything, and after every
+    /// acquisition — as soon as the requirement floor proves the remaining
+    /// queue start-free, and re-establishes the exact floor whenever it
+    /// does reach the end. Both make it bit-identical to an exhaustive scan
+    /// by construction.
+    pub fn drain_fitting(
+        &mut self,
+        decision: &[Allocation],
+        resources: &mut ResourceState,
+    ) -> Vec<usize> {
+        let mut started = Vec::new();
+        if self.jobs.is_empty() || floor_blocks(&self.floor, resources) {
+            return started;
+        }
+        let d = resources.num_resource_types();
+        self.scratch.clear();
+        self.scratch.resize(d, f64::INFINITY);
+        let n = self.jobs.len();
+        let (mut read, mut write) = (0, 0);
+        let mut reached_end = true;
+        while read < n {
+            let j = self.jobs[read];
+            if resources.fits(&decision[j]) {
+                resources.acquire(&decision[j]);
+                started.push(j);
+                read += 1;
+                if floor_blocks(&self.floor, resources) {
+                    reached_end = false;
+                    break;
+                }
+            } else {
+                for (i, f) in self.scratch.iter_mut().enumerate() {
+                    *f = f.min(decision[j][i] as f64);
+                }
+                self.jobs[write] = j;
+                write += 1;
+                read += 1;
+            }
+        }
+        if reached_end {
+            // The sweep visited every survivor: the accumulated scratch is
+            // the exact per-type minimum of the remaining queue.
+            self.jobs.truncate(write);
+            std::mem::swap(&mut self.floor, &mut self.scratch);
+        } else {
+            // Early exit: slide the untouched tail down over the gap left
+            // by the started prefix. The stale floor stays — removals only
+            // raise the true minimum, so the bound remains sound.
+            self.jobs.copy_within(read..n, write);
+            self.jobs.truncate(write + (n - read));
+        }
+        started
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_allocs(n: usize) -> Vec<Allocation> {
+        (0..n).map(|_| Allocation::new(vec![1])).collect()
+    }
+
+    #[test]
+    fn from_unsorted_orders_by_key_then_index() {
+        let keys = [3.0, 1.0, 2.0, 1.0];
+        let q = ReadyQueue::from_unsorted(vec![0, 1, 2, 3], &keys);
+        assert_eq!(q.as_slice(), &[1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn binary_insertion_at_equal_keys_lands_in_index_order() {
+        // Jobs 5, 1, 3 share a key; whatever the insertion order, the queue
+        // must read 1, 3, 5 — the tie-break the offline sort produces.
+        let keys = [0.0, 2.0, 0.0, 2.0, 0.0, 2.0, 9.0];
+        let req = Allocation::new(vec![1]);
+        let mut q = ReadyQueue::new();
+        for j in [5, 6, 1, 3] {
+            q.insert(j, &keys, &req);
+        }
+        assert_eq!(q.as_slice(), &[1, 3, 5, 6]);
+        // A smaller key still goes first; an equal-key smaller index slots
+        // between its peers.
+        q.insert(0, &keys, &req);
+        q.insert(2, &keys, &req);
+        assert_eq!(q.as_slice(), &[0, 2, 1, 3, 5, 6]);
+    }
+
+    #[test]
+    fn duplicate_insert_is_a_no_op() {
+        let keys = [1.0, 1.0];
+        let req = Allocation::new(vec![1]);
+        let mut q = ReadyQueue::new();
+        q.insert(1, &keys, &req);
+        q.insert(1, &keys, &req);
+        q.insert(0, &keys, &req);
+        assert_eq!(q.as_slice(), &[0, 1]);
+    }
+
+    #[test]
+    fn negative_zero_keys_compare_equal_to_positive_zero() {
+        // partial_cmp(-0.0, 0.0) is Equal, so the tie-break must fall to the
+        // job index — pinning the comparator the offline sort always used
+        // (total_cmp would order -0.0 first and change schedules).
+        let keys = [0.0, -0.0];
+        let req = Allocation::new(vec![1]);
+        let mut q = ReadyQueue::new();
+        q.insert(1, &keys, &req);
+        q.insert(0, &keys, &req);
+        assert_eq!(q.as_slice(), &[0, 1]);
+    }
+
+    #[test]
+    fn drain_fitting_starts_in_priority_order_and_compacts() {
+        // Capacity 3; jobs 0..5 with requests 2,2,1,1,3 and FIFO keys: job 0
+        // starts (1 left), job 1 (2) does not fit, job 2 (1) backfills,
+        // job 3 and 4 do not fit.
+        let keys = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let decision: Vec<Allocation> = [2u64, 2, 1, 1, 3]
+            .iter()
+            .map(|&u| Allocation::new(vec![u]))
+            .collect();
+        let mut resources = ResourceState::from_capacities(&[3]);
+        let mut q = ReadyQueue::from_unsorted(vec![0, 1, 2, 3, 4], &keys);
+        let started = q.drain_fitting(&decision, &mut resources);
+        assert_eq!(started, vec![0, 2]);
+        assert_eq!(q.as_slice(), &[1, 3, 4]);
+        // The completed sweep established the exact floor (min request 1);
+        // with nothing available the next sweep exits without visiting.
+        assert!((resources.available(0) - 0.0).abs() < 1e-12);
+        assert!(q.drain_fitting(&decision, &mut resources).is_empty());
+    }
+
+    #[test]
+    fn early_exit_preserves_untouched_tail() {
+        // Unit jobs on capacity 1: the first sweep starts job 0 and the
+        // floor (established by a prior full sweep) stops it immediately;
+        // the tail must survive in order.
+        let keys = [0.0, 1.0, 2.0, 3.0];
+        let decision = unit_allocs(4);
+        let mut resources = ResourceState::from_capacities(&[1]);
+        let mut q = ReadyQueue::from_unsorted(vec![0, 1, 2, 3], &keys);
+        assert_eq!(q.drain_fitting(&decision, &mut resources), vec![0]);
+        assert_eq!(q.as_slice(), &[1, 2, 3]);
+        // Release one unit: exactly one more starts per sweep, tail intact.
+        resources.release(&decision[0]);
+        assert_eq!(q.drain_fitting(&decision, &mut resources), vec![1]);
+        assert_eq!(q.as_slice(), &[2, 3]);
+    }
+
+    #[test]
+    fn floor_resets_on_resort() {
+        let mut keys = vec![0.0, 1.0, 2.0];
+        let decision = unit_allocs(3);
+        let mut resources = ResourceState::from_capacities(&[1]);
+        let mut q = ReadyQueue::from_unsorted(vec![0, 1, 2], &keys);
+        assert_eq!(q.drain_fitting(&decision, &mut resources), vec![0]);
+        keys.reverse();
+        q.resort(&keys);
+        assert_eq!(q.as_slice(), &[2, 1]);
+        // After the reset the sweep runs (no stale floor) and finds nothing
+        // fits; it re-establishes the floor exactly.
+        assert!(q.drain_fitting(&decision, &mut resources).is_empty());
+        resources.release(&decision[0]);
+        assert_eq!(q.drain_fitting(&decision, &mut resources), vec![2]);
+    }
+
+    #[test]
+    fn zero_component_requests_keep_the_exit_sound() {
+        // Job 1 requests nothing of type 0; after a capacity drop makes
+        // type 0 negative, nothing fits (0 > -1 + eps) and the floor exit
+        // must agree with the exhaustive scan.
+        let keys = [0.0, 1.0];
+        let decision = vec![Allocation::new(vec![2, 1]), Allocation::new(vec![0, 1])];
+        let mut resources = ResourceState::from_capacities(&[2, 2]);
+        let mut q = ReadyQueue::from_unsorted(vec![0, 1], &keys);
+        resources.shift_capacity(0, -3.0);
+        assert!(q.drain_fitting(&decision, &mut resources).is_empty());
+        assert_eq!(q.as_slice(), &[0, 1]);
+        // Type 1 alone recovers job 1 (its type-0 request is zero).
+        resources.shift_capacity(0, 1.0);
+        assert_eq!(q.drain_fitting(&decision, &mut resources), vec![1]);
+    }
+}

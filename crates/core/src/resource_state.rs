@@ -4,15 +4,16 @@
 //! incremental callers (the `mrls-sim` execution runtime) place jobs against
 //! the same notion of "what is free right now". [`ResourceState`] is that
 //! notion: a per-type available amount that jobs acquire on start and release
-//! on completion, with the same `1e-9` tolerance Algorithm 2 uses so that
-//! floating-point accumulation never makes an exactly-fitting job appear to
-//! not fit.
+//! on completion, with the shared [`crate::EPS`] tolerance Algorithm 2 uses
+//! so that floating-point accumulation never makes an exactly-fitting job
+//! appear to not fit.
 //!
 //! Availability is stored as `f64` (not `u64`) because the simulation runtime
 //! also models capacity *drops*: when the machine loses capacity while jobs
 //! still hold resources, availability legitimately goes negative until enough
 //! running jobs complete.
 
+use crate::EPS;
 use mrls_model::{Allocation, SystemConfig};
 
 /// Per-resource-type available amounts, acquired and released as jobs start
@@ -21,9 +22,6 @@ use mrls_model::{Allocation, SystemConfig};
 pub struct ResourceState {
     avail: Vec<f64>,
 }
-
-/// Fit tolerance shared by every placement decision.
-const EPS: f64 = 1e-9;
 
 impl ResourceState {
     /// A fully idle machine: availability equals the system capacities.

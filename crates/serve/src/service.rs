@@ -29,8 +29,8 @@ use mrls_core::{diff_plan_entries, MrlsConfig, MrlsScheduler, Schedule, Schedule
 use mrls_dag::Dag;
 use mrls_model::{Allocation, Instance, MoldableJob, SystemConfig};
 use mrls_sim::{
-    ChannelFeeder, ChannelSource, PersistentRun, PerturbationModel, PolicyKind, RealizedTrace,
-    SimSnapshot, TraceEvent,
+    ChannelFeeder, ChannelSource, PersistentRun, PerturbationModel, Policy, PolicyKind,
+    RealizedTrace, SimSnapshot, TraceEvent,
 };
 use std::time::{Duration, Instant};
 
@@ -213,6 +213,12 @@ pub struct ServiceCore {
     /// The live engine world, created at the first round and kept across
     /// rounds (never cloned, never replayed).
     run: Option<PersistentRun>,
+    /// The **persistent policy instance** driven inside every round: built
+    /// once, refreshed between rounds with the incremental
+    /// [`Policy::on_plan_update`] hook over the pending frontier — O(live)
+    /// per round where building and `on_start`-ing a fresh instance was
+    /// O(world).
+    policy: Box<dyn Policy>,
     /// The long-lived event channel feeding the run.
     feed: Option<(ChannelFeeder, ChannelSource)>,
     /// Archive of events harvested out of the engine.
@@ -242,6 +248,7 @@ impl ServiceCore {
     pub fn new(config: ServeConfig) -> Self {
         let ingest = IngestQueue::new(config.batch_window, config.max_pending_jobs);
         let capacities = config.capacities.clone();
+        let policy = config.policy.build();
         ServiceCore {
             config,
             world: Vec::new(),
@@ -249,6 +256,7 @@ impl ServiceCore {
             capacities_now: capacities.clone(),
             capacities_max: capacities,
             run: None,
+            policy,
             feed: None,
             ledger: EventLedger::new(),
             pending: Vec::new(),
@@ -600,6 +608,15 @@ impl ServiceCore {
             .apply_plan_updates(&delta.changed)
             .map_err(|e| e.to_string())? as u64;
 
+        // Refresh the persistent policy instance over the pending frontier:
+        // bit-equivalent to building a fresh policy and `on_start`-ing it
+        // (the old per-round path), but O(live) instead of O(world). The
+        // frontier handed over is exactly what a fresh scan would find —
+        // `pending` holds the unstarted jobs of the grown world, ascending.
+        self.policy
+            .on_plan_update(&run.state(), &self.pending)
+            .map_err(|e| e.to_string())?;
+
         let (feeder, source) = self.feed.as_mut().expect("feed lives with the run");
         for &job in &batch.jobs {
             feeder.release(t, job);
@@ -607,13 +624,8 @@ impl ServiceCore {
         for &(resource, capacity) in &batch.capacity_changes {
             feeder.capacity(t, resource, capacity);
         }
-        let mut policy = self.config.policy.build();
-        if complete {
-            run.drive(policy.as_mut(), source)
-        } else {
-            run.drive_until(policy.as_mut(), source, t)
-        }
-        .map_err(|e| e.to_string())?;
+        run.drive_prepared(self.policy.as_mut(), source, (!complete).then_some(t))
+            .map_err(|e| e.to_string())?;
 
         self.virtual_now = run.now();
         let watermark = run.now();

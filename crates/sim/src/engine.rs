@@ -35,9 +35,14 @@ use crate::policy::Policy;
 use crate::scenario::Scenario;
 use crate::source::{EventSource, ScenarioSource, SourceEvent};
 use crate::trace::{RealizedTrace, StressStats, TraceEvent};
-use mrls_core::{CoreError, ResourceState, Schedule, ScheduledJob};
+use mrls_core::{CoreError, EventQueue, ResourceState, Schedule, ScheduledJob};
 use mrls_model::{Allocation, Instance, MoldableJob, SystemConfig};
 use serde::{Deserialize, Serialize};
+
+/// Event-time grouping tolerance — the shared [`mrls_core::EPS`], so the
+/// engine batches completions with exactly the tolerance the offline list
+/// scheduler groups events with.
+pub(crate) use mrls_core::EPS;
 
 /// Errors produced by the simulation engine.
 #[derive(Debug, Clone, PartialEq)]
@@ -114,6 +119,12 @@ impl From<CoreError> for SimError {
 }
 
 /// A job currently executing.
+///
+/// The allocation it holds is *not* duplicated here: it lives in the run's
+/// `alloc_used` record (serialised in [`SimSnapshot::alloc_used`]), which
+/// `apply_start` keeps in sync for every started job. Snapshots written
+/// when running entries still carried an `alloc` field load unchanged — the
+/// extra field is ignored.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunningJob {
     /// Job index.
@@ -124,8 +135,6 @@ pub struct RunningJob {
     pub finish: f64,
     /// Its nominal execution time under the allocation it runs with.
     pub nominal: f64,
-    /// The allocation it holds.
-    pub alloc: Allocation,
 }
 
 /// The borrow-free world state the engine maintains: virtual time, resource
@@ -148,10 +157,17 @@ pub struct SimWorld {
     pub started: Vec<bool>,
     /// Per-job completed flag.
     pub completed: Vec<bool>,
-    /// Jobs currently executing.
+    /// Jobs currently executing (unordered; completions are processed in
+    /// deterministic `(finish, job)` order from an indexed event queue, not
+    /// in this vector's order).
     pub running: Vec<RunningJob>,
     /// Per-job count of not-yet-completed predecessors.
     pub remaining_preds: Vec<usize>,
+    /// The latest realized finish time among completed jobs, maintained
+    /// incrementally at each completion (recomputed from the snapshot at
+    /// resume). Policies use it to reason about run progress in O(1) where a
+    /// per-job sweep would be O(world).
+    pub max_completed_finish: f64,
 }
 
 impl SimWorld {
@@ -223,9 +239,6 @@ pub enum RunStatus {
 pub struct Simulator {
     config: SimConfig,
 }
-
-/// Event-time grouping tolerance, matching the offline list scheduler.
-pub(crate) const EPS: f64 = 1e-9;
 
 impl Simulator {
     /// Creates an engine with the given configuration.
@@ -434,6 +447,14 @@ struct RunCore {
     max_events: Option<usize>,
     world: SimWorld,
     perturber: Perturber,
+    /// Pending completion events, ordered by `(finish, job)`. Derived from
+    /// `world.running` (rebuilt at resume, never serialised); replaces the
+    /// O(running) min-scan per event with O(log n) heap operations.
+    completions: EventQueue,
+    /// Position of each running job inside `world.running` (`usize::MAX` =
+    /// not running), so a completion removes its entry with one swap instead
+    /// of an O(running) sweep.
+    running_pos: Vec<usize>,
     start: Vec<f64>,
     finish: Vec<f64>,
     nominal: Vec<f64>,
@@ -480,12 +501,15 @@ impl RunCore {
             completed: vec![false; n],
             running: Vec::new(),
             remaining_preds,
+            max_completed_finish: 0.0,
         };
         Ok(RunCore {
             seed,
             max_events,
             world,
             perturber: Perturber::new(perturbation, seed),
+            completions: EventQueue::new(),
+            running_pos: vec![usize::MAX; n],
             start: vec![f64::NAN; n],
             finish: vec![f64::NAN; n],
             nominal: vec![f64::NAN; n],
@@ -575,9 +599,11 @@ impl RunCore {
                 )));
             }
             seen_running[r.job] = true;
+            // The allocation a running job holds (and will release at its
+            // completion) is its `alloc_used` record.
             instance
                 .system
-                .validate_allocation(&r.alloc)
+                .validate_allocation(&snapshot.alloc_used[r.job])
                 .map_err(|e| SimError::InvalidSnapshot(format!("running job {}: {e}", r.job)))?;
         }
         let remaining_preds: Vec<usize> = (0..n)
@@ -606,6 +632,20 @@ impl RunCore {
         finish.resize(n, f64::NAN);
         nominal.resize(n, f64::NAN);
 
+        // The completion queue and position index are derived state: rebuilt
+        // from the snapshot's running set, never serialised. The progress
+        // maximum is refolded from the realized finishes of completed jobs.
+        let completions =
+            EventQueue::from_entries(snapshot.running.iter().map(|r| (r.finish, r.job)).collect());
+        let mut running_pos = vec![usize::MAX; n];
+        for (i, r) in snapshot.running.iter().enumerate() {
+            running_pos[r.job] = i;
+        }
+        let max_completed_finish = (0..m)
+            .filter(|&j| completed[j])
+            .map(|j| finish[j])
+            .fold(0.0f64, f64::max);
+
         let world = SimWorld {
             now: snapshot.now,
             capacities: snapshot.capacities.clone(),
@@ -616,12 +656,15 @@ impl RunCore {
             completed,
             running: snapshot.running.clone(),
             remaining_preds,
+            max_completed_finish,
         };
         Ok(RunCore {
             seed: snapshot.seed,
             max_events,
             world,
             perturber,
+            completions,
+            running_pos,
             start,
             finish,
             nominal,
@@ -682,10 +725,13 @@ impl RunCore {
         policy: &mut dyn Policy,
         source: &mut dyn EventSource,
         t_stop: Option<f64>,
+        init_policy: bool,
     ) -> Result<RunStatus, SimError> {
         let n = instance.num_jobs();
         let max_events = self.max_events.unwrap_or(1000 + 200 * n);
-        policy.on_start(&self.state(instance, plan))?;
+        if init_policy {
+            policy.on_start(&self.state(instance, plan))?;
+        }
 
         loop {
             // Decision point: let the policy start jobs until it passes.
@@ -704,11 +750,12 @@ impl RunCore {
                 return Ok(RunStatus::Complete);
             }
 
-            // Advance to the next event.
-            let mut t_next = f64::INFINITY;
-            for r in &self.world.running {
-                t_next = t_next.min(r.finish);
-            }
+            // Advance to the next event: the earliest pending completion
+            // (heap peek, O(1)) or the next source event.
+            let mut t_next = match self.completions.peek() {
+                Some((f, _)) => f,
+                None => f64::INFINITY,
+            };
             if let Some(t) = src_next {
                 t_next = t_next.min(t);
             }
@@ -744,30 +791,41 @@ impl RunCore {
             // then capacity changes.
             let mut batch: Vec<TraceEvent> = Vec::new();
 
-            let mut done: Vec<RunningJob> = Vec::new();
+            // Pop every completion within tolerance of this instant off the
+            // heap, then process the batch in job order (the deterministic
+            // trace order). Each completed entry is moved out of the running
+            // set with one swap — no O(running) sweep, no clone.
             let now = self.world.now;
-            self.world.running.retain(|r| {
-                if r.finish <= now + EPS {
-                    done.push(r.clone());
-                    false
-                } else {
-                    true
+            let mut done: Vec<usize> = Vec::new();
+            while let Some((f, j)) = self.completions.peek() {
+                if f > now + EPS {
+                    break;
                 }
-            });
-            done.sort_by_key(|r| r.job);
-            for r in done {
-                self.world.completed[r.job] = true;
+                self.completions.pop();
+                done.push(j);
+            }
+            done.sort_unstable();
+            for j in done {
+                let pos = self.running_pos[j];
+                let r = self.world.running.swap_remove(pos);
+                debug_assert_eq!(r.job, j, "running position index out of sync");
+                self.running_pos[j] = usize::MAX;
+                if let Some(moved) = self.world.running.get(pos) {
+                    self.running_pos[moved.job] = pos;
+                }
+                self.world.completed[j] = true;
                 self.num_completed += 1;
-                self.world.resources.release(&r.alloc);
-                for &succ in instance.dag.successors(r.job) {
+                self.world.resources.release(&self.alloc_used[j]);
+                self.world.max_completed_finish = self.world.max_completed_finish.max(r.finish);
+                for &succ in instance.dag.successors(j) {
                     self.world.remaining_preds[succ] -= 1;
                     if self.world.remaining_preds[succ] == 0 && self.world.released[succ] {
-                        self.world.ready.push(succ);
+                        insert_sorted(&mut self.world.ready, succ);
                     }
                 }
                 batch.push(TraceEvent::JobCompleted {
                     time: self.world.now,
-                    job: r.job,
+                    job: j,
                     nominal: r.nominal,
                     realized: r.finish - r.start,
                 });
@@ -778,7 +836,7 @@ impl RunCore {
                     SourceEvent::Release { job, .. } => {
                         self.world.released[job] = true;
                         if self.world.remaining_preds[job] == 0 && !self.world.started[job] {
-                            self.world.ready.push(job);
+                            insert_sorted(&mut self.world.ready, job);
                         }
                         batch.push(TraceEvent::JobReleased {
                             time: self.world.now,
@@ -800,7 +858,6 @@ impl RunCore {
                 }
             }
 
-            self.world.ready.sort_unstable();
             self.events.extend(batch.iter().cloned());
             let policy_events = policy.on_events(&self.state(instance, plan), &batch)?;
             self.events.extend(policy_events);
@@ -847,14 +904,17 @@ impl RunCore {
         self.start[j] = world.now;
         self.finish[j] = world.now + t_real;
         self.nominal[j] = t_nom;
+        // One clone: `alloc_used` keeps the authoritative copy the running
+        // job releases at completion; the trace event takes the original.
         self.alloc_used[j] = alloc.clone();
+        self.running_pos[j] = world.running.len();
         world.running.push(RunningJob {
             job: j,
             start: world.now,
             finish: world.now + t_real,
             nominal: t_nom,
-            alloc: alloc.clone(),
         });
+        self.completions.push(world.now + t_real, j);
         self.events.push(TraceEvent::JobStarted {
             time: world.now,
             job: j,
@@ -1057,7 +1117,7 @@ impl<'a> SimRun<'a> {
         source: &mut dyn EventSource,
     ) -> Result<RunStatus, SimError> {
         self.core
-            .drive_inner(self.instance, self.plan, policy, source, None)
+            .drive_inner(self.instance, self.plan, policy, source, None, true)
     }
 
     /// Like [`SimRun::drive`], but stops (returning [`RunStatus::Paused`])
@@ -1069,7 +1129,7 @@ impl<'a> SimRun<'a> {
         t_stop: f64,
     ) -> Result<RunStatus, SimError> {
         self.core
-            .drive_inner(self.instance, self.plan, policy, source, Some(t_stop))
+            .drive_inner(self.instance, self.plan, policy, source, Some(t_stop), true)
     }
 
     /// Assembles the realized trace. Call after [`RunStatus::Complete`];
@@ -1219,7 +1279,7 @@ impl PersistentRun {
         source: &mut dyn EventSource,
     ) -> Result<RunStatus, SimError> {
         self.core
-            .drive_inner(&self.instance, &self.plan, policy, source, None)
+            .drive_inner(&self.instance, &self.plan, policy, source, None, true)
     }
 
     /// Drives the run up to `t_stop` (see [`SimRun::drive_until`]).
@@ -1229,8 +1289,34 @@ impl PersistentRun {
         source: &mut dyn EventSource,
         t_stop: f64,
     ) -> Result<RunStatus, SimError> {
+        self.core.drive_inner(
+            &self.instance,
+            &self.plan,
+            policy,
+            source,
+            Some(t_stop),
+            true,
+        )
+    }
+
+    /// Drives the run *without* re-initialising the policy: unlike
+    /// [`PersistentRun::drive`], [`Policy::on_start`] is **not** called — the
+    /// caller must have prepared the policy itself, either with an explicit
+    /// `on_start` or, for a policy instance kept across rounds, with the
+    /// incremental [`Policy::on_plan_update`] hook. `t_stop` limits the run
+    /// as in [`SimRun::drive_until`]; `None` runs to completion.
+    ///
+    /// This is the drive shape behind the `mrls-serve` service core: one
+    /// policy instance lives as long as the run, and each round refreshes it
+    /// in O(live frontier) instead of paying a fresh O(world) `on_start`.
+    pub fn drive_prepared(
+        &mut self,
+        policy: &mut dyn Policy,
+        source: &mut dyn EventSource,
+        t_stop: Option<f64>,
+    ) -> Result<RunStatus, SimError> {
         self.core
-            .drive_inner(&self.instance, &self.plan, policy, source, Some(t_stop))
+            .drive_inner(&self.instance, &self.plan, policy, source, t_stop, false)
     }
 
     /// Grows the owned world in place: `system` raises the capacity bounds
@@ -1318,6 +1404,7 @@ impl PersistentRun {
         self.core.start.resize(n, f64::NAN);
         self.core.finish.resize(n, f64::NAN);
         self.core.nominal.resize(n, f64::NAN);
+        self.core.running_pos.resize(n, usize::MAX);
         self.core
             .alloc_used
             .extend(entries.into_iter().map(|e| e.alloc));
@@ -1386,6 +1473,16 @@ impl PersistentRun {
     pub fn trace_with_prefix(&self, policy_label: &str, prefix: &[TraceEvent]) -> RealizedTrace {
         self.core
             .build_trace(&self.instance, &self.plan, policy_label, prefix)
+    }
+}
+
+/// Inserts `j` into an index-sorted job list at its ordered position (one
+/// binary search + memmove — the ready set used to be re-sorted wholesale
+/// after every event). Inserting a present element is a no-op, so a
+/// duplicate release event cannot double-queue a job.
+fn insert_sorted(v: &mut Vec<usize>, j: usize) {
+    if let Err(pos) = v.binary_search(&j) {
+        v.insert(pos, j);
     }
 }
 
