@@ -23,7 +23,10 @@
 //!    round index where the naive path grows linearly.
 //!
 //! Arguments (`key=value`, all optional): `jobs=120 windows-ms=0,10,50
-//! rounds=320` (`rounds=0` skips the second sweep).
+//! rounds=320 timing=false` (`rounds=0` skips the second sweep;
+//! `timing=true` turns on the service's per-phase round instrumentation —
+//! see `mrls_core::timing` — and fills the `timed_us_per_round` column,
+//! which stays `0.000` in the default timing-off runs).
 //! CI-sized smoke: `jobs=20 windows-ms=0,25 rounds=120`.
 //!
 //! Results go to `results/serve_throughput.csv` and
@@ -37,14 +40,15 @@ use mrls_sim::PolicyKind;
 use mrls_workload::InstanceRecipe;
 use std::time::{Duration, Instant};
 
-const ARG_KEYS: &[&str] = &["jobs", "windows-ms", "rounds"];
+const ARG_KEYS: &[&str] = &["jobs", "windows-ms", "rounds", "timing"];
 
 /// Strict `key=value` lookup (same contract as the `mrls` CLI): unknown
 /// keys, malformed tokens and unparsable values exit with code 2.
-fn args() -> (usize, Vec<u64>, usize) {
+fn args() -> (usize, Vec<u64>, usize, bool) {
     let mut jobs = 120usize;
     let mut windows = vec![0u64, 10, 50];
     let mut rounds = 320usize;
+    let mut timing = false;
     for a in std::env::args().skip(1) {
         let Some((k, v)) = a.split_once('=') else {
             eprintln!("malformed argument `{a}` (expected key=value)");
@@ -60,6 +64,7 @@ fn args() -> (usize, Vec<u64>, usize) {
         match k {
             "jobs" => jobs = v.parse().unwrap_or_else(|_| invalid(k, v)),
             "rounds" => rounds = v.parse().unwrap_or_else(|_| invalid(k, v)),
+            "timing" => timing = v.parse().unwrap_or_else(|_| invalid(k, v)),
             _ => {
                 windows = v
                     .split(',')
@@ -68,7 +73,7 @@ fn args() -> (usize, Vec<u64>, usize) {
             }
         }
     }
-    (jobs.max(1), windows, rounds)
+    (jobs.max(1), windows, rounds, timing)
 }
 
 fn invalid(k: &str, v: &str) -> ! {
@@ -84,7 +89,7 @@ fn percentile(samples: &[Duration], q: f64) -> Duration {
     sorted[idx]
 }
 
-fn tcp_sweep(pool: &[MoldableJob], jobs: usize, windows: &[u64]) {
+fn tcp_sweep(pool: &[MoldableJob], jobs: usize, windows: &[u64], timing: bool) {
     let mut table = ResultTable::new(&[
         "window_ms",
         "jobs",
@@ -93,6 +98,7 @@ fn tcp_sweep(pool: &[MoldableJob], jobs: usize, windows: &[u64]) {
         "ttfp_ms",
         "submit_p50_us",
         "submit_p99_us",
+        "timed_us_per_round",
         "virtual_makespan",
     ]);
 
@@ -102,6 +108,7 @@ fn tcp_sweep(pool: &[MoldableJob], jobs: usize, windows: &[u64]) {
                 capacities: vec![8, 8],
                 policy: PolicyKind::ReactiveList,
                 batch_window: Duration::from_millis(window_ms),
+                timing,
                 ..ServeConfig::default()
             },
             "127.0.0.1:0",
@@ -140,6 +147,16 @@ fn tcp_sweep(pool: &[MoldableJob], jobs: usize, windows: &[u64]) {
             )
         };
 
+        // With timing on, the service thread accumulated per-phase wall
+        // clocks for every round since the last ttfp poll drained them; pull
+        // them before the drain round so the column attributes the bulk
+        // stream only. Off (the default) the snapshot's timings stay empty.
+        let timings = if timing {
+            client.status().expect("status").timings
+        } else {
+            Vec::new()
+        };
+
         let report = client.drain().expect("drain");
         assert_eq!(
             report.completed, jobs as u64,
@@ -150,9 +167,30 @@ fn tcp_sweep(pool: &[MoldableJob], jobs: usize, windows: &[u64]) {
         client.shutdown().expect("shutdown");
         handle.join();
 
+        // Per-phase instrumentation aggregate: total timed microseconds
+        // across all phases, averaged over the bulk-stream rounds. Zero in
+        // the default timing-off runs.
+        let timed_us = timings.iter().map(|t| t.nanos).sum::<u64>() as f64 / 1e3;
+        let timed_us_per_round = timed_us / (report.metrics.rounds.max(1)) as f64;
+        if !timings.is_empty() {
+            let detail: Vec<String> = timings
+                .iter()
+                .map(|t| {
+                    format!(
+                        "{} {:.1}us/{} calls",
+                        t.phase,
+                        t.nanos as f64 / 1e3,
+                        t.calls
+                    )
+                })
+                .collect();
+            println!("         phases: {}", detail.join(", "));
+        }
+
         println!(
             "window {window_ms:>3}ms  {jobs:>4} jobs  rounds {:>4}  {submit_per_s:>9.0} submit/s  \
-             ttfp {:>7.2}ms  rt p50 {:>6.1}us p99 {:>7.1}us  makespan {:.2}",
+             ttfp {:>7.2}ms  rt p50 {:>6.1}us p99 {:>7.1}us  timed {timed_us_per_round:>7.1}us/round  \
+             makespan {:.2}",
             report.metrics.rounds,
             ttfp.as_secs_f64() * 1e3,
             p50.as_secs_f64() * 1e6,
@@ -167,6 +205,7 @@ fn tcp_sweep(pool: &[MoldableJob], jobs: usize, windows: &[u64]) {
             fmt3(ttfp.as_secs_f64() * 1e3),
             fmt3(p50.as_secs_f64() * 1e6),
             fmt3(p99.as_secs_f64() * 1e6),
+            fmt3(timed_us_per_round),
             fmt3(report.virtual_makespan),
         ]);
     }
@@ -274,14 +313,14 @@ fn rounds_sweep(rounds: usize) {
 }
 
 fn main() {
-    let (jobs, windows, rounds) = args();
+    let (jobs, windows, rounds, timing) = args();
     // A pool of singleton moldable jobs drawn from the standard mixed recipe.
     let pool = InstanceRecipe::default_layered(jobs, 2, 8)
         .generate(7)
         .instance
         .jobs;
 
-    tcp_sweep(&pool, jobs, &windows);
+    tcp_sweep(&pool, jobs, &windows, timing);
     if rounds > 0 {
         rounds_sweep(rounds);
     }

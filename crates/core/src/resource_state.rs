@@ -1,26 +1,32 @@
-//! Persistent multi-resource availability state.
+//! Persistent multi-resource availability state — the "now" view of a
+//! [`crate::SlotSet`].
 //!
 //! Both the offline list scheduler ([`crate::ListScheduler::schedule`]) and
 //! incremental callers (the `mrls-sim` execution runtime) place jobs against
 //! the same notion of "what is free right now". [`ResourceState`] is that
-//! notion: a per-type available amount that jobs acquire on start and release
-//! on completion, with the shared [`crate::EPS`] tolerance Algorithm 2 uses
-//! so that floating-point accumulation never makes an exactly-fitting job
-//! appear to not fit.
+//! notion, backed by a time-indexed slot set: `acquire`/`release`/
+//! `shift_capacity` apply from now on (to every slot — the engine releases
+//! by completion *event*, not by planned window, so its claims carry no end
+//! time), and the fit test reads the first slot. A caller that never uses
+//! the timeline therefore keeps a single-slot set forever and pays exactly
+//! the flat-vector cost; look-ahead placement clones the timeline via
+//! [`ResourceState::timeline`] and plans future windows against it.
 //!
 //! Availability is stored as `f64` (not `u64`) because the simulation runtime
 //! also models capacity *drops*: when the machine loses capacity while jobs
 //! still hold resources, availability legitimately goes negative until enough
-//! running jobs complete.
+//! running jobs complete. Fit tests use the shared [`crate::EPS`] tolerance
+//! so floating-point accumulation never makes an exactly-fitting job appear
+//! to not fit.
 
-use crate::EPS;
+use crate::slotset::SlotSet;
 use mrls_model::{Allocation, SystemConfig};
 
 /// Per-resource-type available amounts, acquired and released as jobs start
-/// and complete.
+/// and complete, backed by a slot set whose first slot is "now".
 #[derive(Debug, Clone, PartialEq)]
 pub struct ResourceState {
-    avail: Vec<f64>,
+    slots: SlotSet,
 }
 
 impl ResourceState {
@@ -32,7 +38,7 @@ impl ResourceState {
     /// A fully idle machine with explicit per-type capacities.
     pub fn from_capacities(capacities: &[u64]) -> Self {
         ResourceState {
-            avail: capacities.iter().map(|&c| c as f64).collect(),
+            slots: SlotSet::new(capacities, 0.0),
         }
     }
 
@@ -41,49 +47,58 @@ impl ResourceState {
     /// accumulated floating-point residue — so a resumed run makes exactly
     /// the same fit decisions as the run it was captured from.
     pub fn from_available(avail: Vec<f64>) -> Self {
-        ResourceState { avail }
+        ResourceState {
+            slots: SlotSet::from_free(avail, 0.0),
+        }
     }
 
     /// The raw per-type availability amounts (for checkpointing).
     pub fn available_amounts(&self) -> &[f64] {
-        &self.avail
+        self.slots.now_free()
     }
 
     /// Number of resource types `d`.
     pub fn num_resource_types(&self) -> usize {
-        self.avail.len()
+        self.slots.num_resource_types()
     }
 
     /// The currently available amount of resource type `i`. May be negative
     /// after a capacity drop while running jobs still hold resources.
     pub fn available(&self, i: usize) -> f64 {
-        self.avail[i]
+        self.slots.now_free()[i]
     }
 
     /// `true` iff `alloc` fits in the currently available amount of **every**
     /// resource type (within tolerance).
     pub fn fits(&self, alloc: &Allocation) -> bool {
-        (0..self.avail.len()).all(|i| alloc[i] as f64 <= self.avail[i] + EPS)
+        let avail = self.slots.now_free();
+        (0..avail.len()).all(|i| alloc[i] as f64 <= avail[i] + crate::EPS)
     }
 
     /// Takes `alloc` out of the available pool (job start).
     pub fn acquire(&mut self, alloc: &Allocation) {
-        for i in 0..self.avail.len() {
-            self.avail[i] -= alloc[i] as f64;
-        }
+        self.slots.claim_all(alloc);
     }
 
     /// Returns `alloc` to the available pool (job completion).
     pub fn release(&mut self, alloc: &Allocation) {
-        for i in 0..self.avail.len() {
-            self.avail[i] += alloc[i] as f64;
-        }
+        self.slots.release_all(alloc);
     }
 
     /// Shifts the available amount of type `i` by `delta` (a capacity change
     /// event: negative = the machine lost capacity, positive = regained).
     pub fn shift_capacity(&mut self, i: usize, delta: f64) {
-        self.avail[i] += delta;
+        self.slots.shift_all(i, delta);
+    }
+
+    /// A planning timeline anchored at `now`: a copy of the slot set with
+    /// everything before `now` dropped. Look-ahead placement opens future
+    /// windows on the copy (running-job releases, reservations) without
+    /// touching the authoritative state.
+    pub fn timeline(&self, now: f64) -> SlotSet {
+        let mut tl = self.slots.clone();
+        tl.advance_to(now);
+        tl
     }
 }
 
@@ -129,5 +144,34 @@ mod tests {
         assert!((state.available(0) - 2.0).abs() < 1e-12);
         state.shift_capacity(0, 2.0);
         assert!((state.available(0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn engine_style_usage_stays_single_slot() {
+        // acquire/release/shift never split: the "now" view costs the same
+        // as the flat vector it replaced.
+        let mut state = ResourceState::from_capacities(&[8, 8]);
+        for _ in 0..100 {
+            let a = Allocation::new(vec![3, 2]);
+            state.acquire(&a);
+            state.shift_capacity(0, -1.0);
+            state.shift_capacity(0, 1.0);
+            state.release(&a);
+        }
+        assert_eq!(state.timeline(0.0).num_slots(), 1);
+        assert_eq!(state.available_amounts(), &[8.0, 8.0]);
+    }
+
+    #[test]
+    fn timeline_is_a_detached_copy() {
+        let mut state = ResourceState::from_capacities(&[4]);
+        state.acquire(&Allocation::new(vec![3]));
+        let mut tl = state.timeline(5.0);
+        assert_eq!(tl.begin(), 5.0);
+        assert_eq!(tl.now_free(), &[1.0]);
+        tl.release_from(7.0, &Allocation::new(vec![3]));
+        // Planning on the timeline leaves the authoritative state untouched.
+        assert!((state.available(0) - 1.0).abs() < 1e-12);
+        assert_eq!(tl.free_at(8.0, 0), 4.0);
     }
 }

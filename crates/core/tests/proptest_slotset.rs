@@ -1,0 +1,137 @@
+//! Property tests for the slot-set invariants.
+//!
+//! For random claim/release sequences the slot set must keep its slots
+//! non-overlapping, time-sorted and gap-free, and must conserve capacity:
+//! at every instant, the free amount of every type plus the sum of the
+//! claims active at that instant equals the total capacity. The indexed
+//! first-fit-window query must also agree with the brute-force timestep
+//! prober on every probe.
+
+use mrls_core::SlotSet;
+use mrls_model::Allocation;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Op {
+    t0: f64,
+    dur: f64,
+    amounts: Vec<u64>,
+}
+
+fn op_strategy(d: usize) -> impl Strategy<Value = Op> {
+    (
+        0u32..40,
+        1u32..20,
+        proptest::collection::vec(0u64..6, d..=d),
+    )
+        .prop_map(|(t0, dur, amounts)| Op {
+            t0: t0 as f64 * 0.5,
+            dur: dur as f64 * 0.5,
+            amounts,
+        })
+}
+
+/// Free(t) + sum of active claims(t) == capacity, per type, at instant `t`.
+fn assert_conserves(
+    s: &SlotSet,
+    caps: &[u64],
+    active: &[(f64, f64, Vec<u64>)],
+    t: f64,
+) -> Result<(), TestCaseError> {
+    for (i, &c) in caps.iter().enumerate() {
+        let claimed: u64 = active
+            .iter()
+            .filter(|(a, b, _)| *a <= t && t < *b)
+            .map(|(_, _, amounts)| amounts[i])
+            .sum();
+        let free = s.free_at(t, i);
+        prop_assert!(
+            (free + claimed as f64 - c as f64).abs() < 1e-9,
+            "type {i} at t={t}: free {free} + claimed {claimed} != capacity {c}"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn claim_release_sequences_conserve_capacity(
+        d in 1usize..4,
+        caps in proptest::collection::vec(4u64..12, 3),
+        ops in proptest::collection::vec(op_strategy(3), 1..30),
+        release_order in proptest::collection::vec(0usize..1000, 30),
+    ) {
+        let caps = &caps[..d];
+        let mut s = SlotSet::new(caps, 0.0);
+        let mut active: Vec<(f64, f64, Vec<u64>)> = Vec::new();
+
+        // Apply every claim, checking invariants and conservation as we go.
+        for op in &ops {
+            let alloc = Allocation::new(op.amounts[..d].to_vec());
+            s.claim(op.t0, op.t0 + op.dur, &alloc);
+            active.push((op.t0, op.t0 + op.dur, op.amounts[..d].to_vec()));
+            s.check_invariants().map_err(TestCaseError::fail)?;
+        }
+        // Sample instants: every slot begin plus midpoints.
+        let instants: Vec<f64> = s
+            .slots()
+            .iter()
+            .flat_map(|sl| {
+                let mid = if sl.end.is_finite() {
+                    (sl.begin + sl.end) / 2.0
+                } else {
+                    sl.begin + 1.0
+                };
+                [sl.begin, mid]
+            })
+            .collect();
+        for &t in &instants {
+            assert_conserves(&s, caps, &active, t)?;
+        }
+
+        // Release everything back in a scrambled order; conservation and
+        // structure must hold after every step, and the fully released set
+        // must merge back to the single idle slot.
+        for &pick in release_order.iter().take(active.len().max(1)) {
+            if active.is_empty() {
+                break;
+            }
+            let (a, b, amounts) = active.remove(pick % active.len());
+            s.release(a, b, &Allocation::new(amounts));
+            s.check_invariants().map_err(TestCaseError::fail)?;
+        }
+        while let Some((a, b, amounts)) = active.pop() {
+            s.release(a, b, &Allocation::new(amounts));
+            s.check_invariants().map_err(TestCaseError::fail)?;
+        }
+        prop_assert_eq!(s.num_slots(), 1, "full release must merge to one slot");
+        for (i, &c) in caps.iter().enumerate() {
+            prop_assert!((s.free_at(0.0, i) - c as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn indexed_window_query_matches_timestep_prober(
+        d in 1usize..3,
+        caps in proptest::collection::vec(4u64..10, 2),
+        ops in proptest::collection::vec(op_strategy(2), 1..20),
+        queries in proptest::collection::vec((0u32..50, 1u32..15, proptest::collection::vec(0u64..10, 2)), 1..10),
+    ) {
+        let caps = &caps[..d];
+        let mut s = SlotSet::new(caps, 0.0);
+        for op in &ops {
+            let alloc = Allocation::new(op.amounts[..d].to_vec());
+            s.claim(op.t0, op.t0 + op.dur, &alloc);
+        }
+        for (t, dur, req) in &queries {
+            let t = *t as f64 * 0.5;
+            let dur = *dur as f64 * 0.5;
+            let req = Allocation::new(req[..d].to_vec());
+            let fast = s.first_fit_window(t, &req, dur);
+            let slow = s.first_fit_window_naive(t, &req, dur);
+            prop_assert_eq!(fast, slow, "indexed vs prober at t={}, dur={}", t, dur);
+        }
+    }
+}

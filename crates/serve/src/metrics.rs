@@ -68,6 +68,10 @@ pub struct MetricsSnapshot {
     pub jobs_scheduled: u64,
     /// Jobs completed, across tenants.
     pub jobs_completed: u64,
+    /// Per-phase latency attribution of the rounds since the last status
+    /// query (empty unless the service was configured with timing on — the
+    /// wall-clock readings would break snapshot determinism otherwise).
+    pub timings: Vec<mrls_core::timing::PhaseTiming>,
     /// Per-tenant counters, keyed by tenant name (sorted).
     pub tenants: BTreeMap<String, TenantMetrics>,
 }
@@ -136,6 +140,7 @@ impl MetricsRegistry {
             jobs_rejected: sum(|t| t.rejected),
             jobs_scheduled: sum(|t| t.scheduled),
             jobs_completed: sum(|t| t.completed),
+            timings: Vec::new(),
             tenants: self.tenants.clone(),
         }
     }

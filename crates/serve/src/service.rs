@@ -58,6 +58,11 @@ pub struct ServeConfig {
     pub perturbation: PerturbationModel,
     /// Configuration of the two-phase scheduler used to plan pending jobs.
     pub scheduler: MrlsConfig,
+    /// Collect per-phase wall-clock timings of each round and expose them in
+    /// status snapshots. Off by default: timings are non-deterministic, and
+    /// the differential byte-identity guarantee only covers snapshots with
+    /// the (empty) default.
+    pub timing: bool,
 }
 
 impl Default for ServeConfig {
@@ -72,6 +77,7 @@ impl Default for ServeConfig {
             seed: 0,
             perturbation: PerturbationModel::None,
             scheduler: MrlsConfig::default(),
+            timing: false,
         }
     }
 }
@@ -249,6 +255,11 @@ impl ServiceCore {
         let ingest = IngestQueue::new(config.batch_window, config.max_pending_jobs);
         let capacities = config.capacities.clone();
         let policy = config.policy.build();
+        if config.timing {
+            // Never disabled here: the flag is process-wide and another core
+            // in the same process may still be collecting.
+            mrls_core::timing::set_enabled(true);
+        }
         ServiceCore {
             config,
             world: Vec::new(),
@@ -414,10 +425,17 @@ impl ServiceCore {
         Ok(())
     }
 
-    /// The queryable metrics snapshot.
+    /// The queryable metrics snapshot. With [`ServeConfig::timing`] on it
+    /// carries the per-phase latency of the rounds since the last query
+    /// (draining the thread-local registry).
     pub fn status(&self) -> MetricsSnapshot {
-        self.metrics
-            .snapshot(self.virtual_now, self.ingest.queue_depth())
+        let mut snap = self
+            .metrics
+            .snapshot(self.virtual_now, self.ingest.queue_depth());
+        if self.config.timing {
+            snap.timings = mrls_core::timing::drain();
+        }
+        snap
     }
 
     /// Flushes the open batch into one scheduling round, if any work is
@@ -589,7 +607,7 @@ impl ServiceCore {
         t: f64,
         complete: bool,
     ) -> Result<Option<RealizedTrace>, String> {
-        let desired = self.prepare_round(t)?;
+        let desired = mrls_core::time_phase!("plan", self.prepare_round(t)?);
         // Planned finish times of newly submitted jobs, per tenant, in
         // admission order (`desired[i]` describes `pending[i]`).
         for &j in &batch.jobs {
@@ -602,20 +620,25 @@ impl ServiceCore {
             self.metrics.record_planned(&tenant, finish);
         }
         let run = self.run.as_mut().expect("prepare_round created the run");
-        let delta = diff_plan_entries(run.plan(), &desired);
+        let delta = mrls_core::time_phase!("diff", diff_plan_entries(run.plan(), &desired));
         self.plan_entries_unchanged += delta.unchanged as u64;
-        self.plan_updates_applied += run
-            .apply_plan_updates(&delta.changed)
-            .map_err(|e| e.to_string())? as u64;
+        self.plan_updates_applied += mrls_core::time_phase!(
+            "diff",
+            run.apply_plan_updates(&delta.changed)
+                .map_err(|e| e.to_string())?
+        ) as u64;
 
         // Refresh the persistent policy instance over the pending frontier:
         // bit-equivalent to building a fresh policy and `on_start`-ing it
         // (the old per-round path), but O(live) instead of O(world). The
         // frontier handed over is exactly what a fresh scan would find —
         // `pending` holds the unstarted jobs of the grown world, ascending.
-        self.policy
-            .on_plan_update(&run.state(), &self.pending)
-            .map_err(|e| e.to_string())?;
+        mrls_core::time_phase!(
+            "policy",
+            self.policy
+                .on_plan_update(&run.state(), &self.pending)
+                .map_err(|e| e.to_string())?
+        );
 
         let (feeder, source) = self.feed.as_mut().expect("feed lives with the run");
         for &job in &batch.jobs {
@@ -624,9 +647,13 @@ impl ServiceCore {
         for &(resource, capacity) in &batch.capacity_changes {
             feeder.capacity(t, resource, capacity);
         }
-        run.drive_prepared(self.policy.as_mut(), source, (!complete).then_some(t))
-            .map_err(|e| e.to_string())?;
+        mrls_core::time_phase!(
+            "drive",
+            run.drive_prepared(self.policy.as_mut(), source, (!complete).then_some(t))
+                .map_err(|e| e.to_string())?
+        );
 
+        let _harvest = mrls_core::timing::scope("harvest");
         self.virtual_now = run.now();
         let watermark = run.now();
         let events = run.take_harvested_events();
@@ -651,6 +678,7 @@ impl ServiceCore {
             self.pending.retain(|j| started.binary_search(j).is_err());
             self.needs_sync.extend(started);
         }
+        drop(_harvest);
         let trace = complete.then(|| {
             let run = self.run.as_ref().expect("run outlives the round");
             run.trace_with_prefix(self.config.policy.label(), self.ledger.archived())
@@ -938,6 +966,32 @@ mod tests {
             stats.plan_entries_unchanged > 0 || stats.plan_updates_applied > 0,
             "diff counters must move"
         );
+    }
+
+    #[test]
+    fn timing_snapshot_attributes_round_phases() {
+        let mut core = ServiceCore::new(ServeConfig {
+            capacities: vec![4, 4],
+            timing: true,
+            ..ServeConfig::default()
+        });
+        core.submit_job("a", job(2.0), &[]).unwrap();
+        core.flush().unwrap();
+        let snap = core.status();
+        let phases: Vec<&str> = snap.timings.iter().map(|t| t.phase.as_str()).collect();
+        for p in ["diff", "drive", "harvest", "plan", "policy"] {
+            assert!(phases.contains(&p), "missing phase {p} in {phases:?}");
+        }
+        assert!(snap.timings.iter().all(|t| t.calls > 0));
+        // The query drains the registry: a second one reports only rounds
+        // that ran since (none).
+        assert!(core.status().timings.is_empty());
+        // Snapshots of a timing-off core stay empty (and byte-stable) even
+        // while another core enabled collection process-wide.
+        let mut plain = ServiceCore::new(config());
+        plain.submit_job("a", job(1.0), &[]).unwrap();
+        plain.flush().unwrap();
+        assert!(plain.status().timings.is_empty());
     }
 
     #[test]

@@ -187,6 +187,7 @@ pub struct SimState<'a> {
     /// The offline plan the run started from.
     pub plan: &'a Schedule,
     world: &'a SimWorld,
+    alloc_used: &'a [Allocation],
 }
 
 impl std::ops::Deref for SimState<'_> {
@@ -194,6 +195,16 @@ impl std::ops::Deref for SimState<'_> {
 
     fn deref(&self) -> &SimWorld {
         self.world
+    }
+}
+
+impl SimState<'_> {
+    /// The allocation job `j` actually started with (equals the plan's
+    /// allocation unless a policy overrode it). Only meaningful for started
+    /// jobs; look-ahead placement uses it to open future release windows for
+    /// the running set.
+    pub fn alloc_used(&self, j: usize) -> &Allocation {
+        &self.alloc_used[j]
     }
 }
 
@@ -682,6 +693,7 @@ impl RunCore {
             instance,
             plan,
             world: &self.world,
+            alloc_used: &self.alloc_used,
         }
     }
 

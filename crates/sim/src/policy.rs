@@ -27,7 +27,9 @@
 
 use crate::engine::{SimError, SimState};
 use crate::trace::TraceEvent;
-use mrls_core::{ListScheduler, MrlsConfig, MrlsScheduler, PriorityRule, ReadyQueue};
+use mrls_core::{
+    ListScheduler, MrlsConfig, MrlsScheduler, PlacementMode, PriorityRule, ReadyQueue, SlotSet,
+};
 use mrls_model::{Allocation, Instance, MoldableJob, SystemConfig};
 use serde::{Deserialize, Serialize};
 
@@ -43,6 +45,20 @@ fn live_frontier(state: &SimState<'_>) -> Vec<usize> {
     (0..state.instance.num_jobs())
         .filter(|&j| !state.started[j])
         .collect()
+}
+
+/// The planning timeline a look-ahead pass places against: the authoritative
+/// availability from `now` on, with every running job's allocation returned
+/// at its (currently known) finish time. Completions at `now` were already
+/// processed, so every running job finishes strictly later than `now` and
+/// the first slot stays exactly the engine's availability — look-ahead can
+/// never start a job the engine would reject.
+fn lookahead_timeline(state: &SimState<'_>) -> SlotSet {
+    let mut timeline = state.resources.timeline(state.now);
+    for r in &state.running {
+        timeline.release_from(r.finish.max(state.now), state.alloc_used(r.job));
+    }
+    timeline
 }
 
 /// A scheduling policy driven by the engine at every decision point.
@@ -240,9 +256,18 @@ struct MirroredQueue {
 
 impl MirroredQueue {
     /// Rebuilds the mirror from the engine's ready set (drive start / plan
-    /// update — O(ready log ready)).
-    fn rebuild(&mut self, state: &SimState<'_>, keys: &[f64]) {
-        self.queue = ReadyQueue::from_unsorted(state.ready.clone(), keys);
+    /// update — O(live log live)). `live` is the universe the requirement
+    /// index is addressed by: every job that may still be inserted (the
+    /// unstarted frontier) — anything becoming ready later was unstarted
+    /// now, so it is covered.
+    fn rebuild(
+        &mut self,
+        state: &SimState<'_>,
+        live: &[usize],
+        keys: &[f64],
+        decision: &[Allocation],
+    ) {
+        self.queue = ReadyQueue::with_universe(live, state.ready.clone(), keys, decision);
     }
 
     /// Folds one event batch into the mirror: any job the batch could have
@@ -289,10 +314,19 @@ impl MirroredQueue {
 #[derive(Debug, Clone)]
 pub struct ReactiveListPolicy {
     scheduler: ListScheduler,
+    mode: PlacementMode,
     decision: Vec<Allocation>,
     keys: Vec<f64>,
+    /// Execution times under `decision` — the window durations a look-ahead
+    /// pass plans with. Maintained alongside `keys` (same branches, same
+    /// frontier restriction).
+    times: Vec<f64>,
     mirror: MirroredQueue,
     settled: bool,
+    /// The frontier the keys were last derived over — `on_plan_update` skips
+    /// the recompute when the frontier and its plan allocations are
+    /// unchanged (no placement changed ⇒ same sub-instance ⇒ same keys).
+    last_live: Option<Vec<usize>>,
 }
 
 impl ReactiveListPolicy {
@@ -300,11 +334,20 @@ impl ReactiveListPolicy {
     pub fn new(priority: PriorityRule) -> Self {
         ReactiveListPolicy {
             scheduler: ListScheduler::new(priority),
+            mode: PlacementMode::AtEvent,
             decision: Vec::new(),
             keys: Vec::new(),
+            times: Vec::new(),
             mirror: MirroredQueue::default(),
             settled: false,
+            last_live: None,
         }
+    }
+
+    /// Selects the placement mode ([`PlacementMode::AtEvent`] by default).
+    pub fn with_placement(mut self, mode: PlacementMode) -> Self {
+        self.mode = mode;
+        self
     }
 
     /// (Re-)derives allocations and priority keys over the given live
@@ -324,6 +367,7 @@ impl ReactiveListPolicy {
             self.keys = self
                 .scheduler
                 .priority_keys(state.instance, &self.decision, &times)?;
+            self.times = times;
         } else {
             let (sub_dag, mapping) = state.instance.dag.induced_subgraph_sorted(live);
             let sub_jobs: Vec<MoldableJob> = mapping
@@ -344,12 +388,16 @@ impl ReactiveListPolicy {
                 .priority_keys(&sub_instance, &sub_decision, &times)?;
             self.decision.resize(n, Allocation::new(Vec::new()));
             self.keys.resize(n, 0.0);
-            for ((&old, key), alloc) in mapping.iter().zip(sub_keys).zip(sub_decision) {
+            self.times.resize(n, 0.0);
+            for (((&old, key), alloc), t) in
+                mapping.iter().zip(sub_keys).zip(sub_decision).zip(times)
+            {
                 self.keys[old] = key;
                 self.decision[old] = alloc;
+                self.times[old] = t;
             }
         }
-        self.mirror.rebuild(state, &self.keys);
+        self.mirror.rebuild(state, live, &self.keys, &self.decision);
         self.settled = false;
         Ok(())
     }
@@ -362,11 +410,46 @@ impl Policy for ReactiveListPolicy {
 
     fn on_start(&mut self, state: &SimState<'_>) -> Result<(), SimError> {
         let live = live_frontier(state);
-        self.init_over(state, &live)
+        self.init_over(state, &live)?;
+        self.last_live = Some(live);
+        Ok(())
     }
 
     fn on_plan_update(&mut self, state: &SimState<'_>, live: &[usize]) -> Result<(), SimError> {
-        self.init_over(state, live)
+        // Diff-aware refresh: when the frontier is the one the keys were
+        // derived over and no live placement changed, the induced
+        // sub-instance is identical, so the recompute (times, bottom levels,
+        // keys) would reproduce the stored values bit for bit — skip it and
+        // only rebuild the ready-queue mirror.
+        let unchanged = self.last_live.as_deref() == Some(live)
+            && live
+                .iter()
+                .all(|&j| state.plan.jobs[j].alloc == self.decision[j]);
+        if unchanged {
+            #[cfg(debug_assertions)]
+            {
+                let mut fresh = self.clone();
+                fresh.init_over(state, live)?;
+                for &j in live {
+                    debug_assert_eq!(
+                        self.keys[j].to_bits(),
+                        fresh.keys[j].to_bits(),
+                        "diff-aware key reuse diverged from a full recompute (job {j})"
+                    );
+                    debug_assert_eq!(
+                        self.times[j].to_bits(),
+                        fresh.times[j].to_bits(),
+                        "diff-aware time reuse diverged from a full recompute (job {j})"
+                    );
+                }
+            }
+            self.mirror.rebuild(state, live, &self.keys, &self.decision);
+            self.settled = false;
+            return Ok(());
+        }
+        self.init_over(state, live)?;
+        self.last_live = Some(live.to_vec());
+        Ok(())
     }
 
     fn on_events(
@@ -383,13 +466,27 @@ impl Policy for ReactiveListPolicy {
         if self.settled {
             return Vec::new();
         }
-        let mut resources = state.resources.clone();
-        let started = self.scheduler.schedule_ready(
-            &mut self.mirror.queue,
-            &self.keys,
-            &self.decision,
-            &mut resources,
-        );
+        let started = match self.mode {
+            PlacementMode::AtEvent => {
+                let mut resources = state.resources.clone();
+                self.scheduler.schedule_ready(
+                    &mut self.mirror.queue,
+                    &self.keys,
+                    &self.decision,
+                    &mut resources,
+                )
+            }
+            PlacementMode::LookAhead => {
+                let mut timeline = lookahead_timeline(state);
+                self.scheduler.schedule_ready_lookahead(
+                    &mut self.mirror.queue,
+                    &self.keys,
+                    &self.decision,
+                    &self.times,
+                    &mut timeline,
+                )
+            }
+        };
         self.settled = true;
         started
             .into_iter()
@@ -418,8 +515,11 @@ pub struct FullReschedulePolicy {
     min_interval_frac: f64,
     stretch_threshold: f64,
     scheduler: ListScheduler,
+    mode: PlacementMode,
     decision: Vec<Allocation>,
     keys: Vec<f64>,
+    /// Execution times under `decision` — look-ahead window durations.
+    times: Vec<f64>,
     mirror: MirroredQueue,
     settled: bool,
     min_interval: f64,
@@ -442,14 +542,22 @@ impl FullReschedulePolicy {
             min_interval_frac: 0.25,
             stretch_threshold: 1.25,
             scheduler: ListScheduler::new(priority),
+            mode: PlacementMode::AtEvent,
             decision: Vec::new(),
             keys: Vec::new(),
+            times: Vec::new(),
             mirror: MirroredQueue::default(),
             settled: false,
             min_interval: 0.0,
             last_reschedule: f64::NEG_INFINITY,
             planned_completed_max: 0.0,
         }
+    }
+
+    /// Selects the placement mode ([`PlacementMode::AtEvent`] by default).
+    pub fn with_placement(mut self, mode: PlacementMode) -> Self {
+        self.mode = mode;
+        self
     }
 
     /// Overrides the debounce: `min_interval_frac` is the minimum virtual
@@ -474,13 +582,15 @@ impl FullReschedulePolicy {
         // initialisation is O(live), not O(world).
         self.decision.resize(n, Allocation::new(Vec::new()));
         self.keys.resize(n, 0.0);
+        self.times.resize(n, 0.0);
         for &j in live {
             self.decision[j] = state.plan.jobs[j].alloc.clone();
             self.keys[j] = state.plan.jobs[j].start;
+            self.times[j] = state.plan.jobs[j].finish - state.plan.jobs[j].start;
         }
         self.min_interval = self.min_interval_frac * state.plan.makespan.max(0.0);
         self.last_reschedule = f64::NEG_INFINITY;
-        self.mirror.rebuild(state, &self.keys);
+        self.mirror.rebuild(state, live, &self.keys, &self.decision);
         self.settled = false;
     }
 
@@ -553,6 +663,7 @@ impl FullReschedulePolicy {
                     let old = mapping[sj.job];
                     self.decision[old] = sj.alloc.clone();
                     self.keys[old] = sj.start;
+                    self.times[old] = sj.finish - sj.start;
                 }
             }
             Err(_) => {
@@ -570,11 +681,18 @@ impl FullReschedulePolicy {
                         })
                         .collect();
                     self.decision[old] = Allocation::new(clamped);
+                    // The clamped allocation changes the execution time the
+                    // look-ahead window is sized with.
+                    let t = state.instance.jobs[old].spec.time(&self.decision[old]);
+                    if t.is_finite() && t > 0.0 {
+                        self.times[old] = t;
+                    }
                 }
             }
         }
-        // The adopted keys reorder the mirrored ready queue.
-        self.mirror.queue.resort(&self.keys);
+        // The adopted keys reorder the mirrored ready queue (and re-rank its
+        // requirement index, which is addressed by key order).
+        self.mirror.queue.resort(&self.keys, &self.decision);
         Ok(pending.len())
     }
 }
@@ -656,13 +774,27 @@ impl Policy for FullReschedulePolicy {
         if self.settled {
             return Vec::new();
         }
-        let mut resources = state.resources.clone();
-        let started = self.scheduler.schedule_ready(
-            &mut self.mirror.queue,
-            &self.keys,
-            &self.decision,
-            &mut resources,
-        );
+        let started = match self.mode {
+            PlacementMode::AtEvent => {
+                let mut resources = state.resources.clone();
+                self.scheduler.schedule_ready(
+                    &mut self.mirror.queue,
+                    &self.keys,
+                    &self.decision,
+                    &mut resources,
+                )
+            }
+            PlacementMode::LookAhead => {
+                let mut timeline = lookahead_timeline(state);
+                self.scheduler.schedule_ready_lookahead(
+                    &mut self.mirror.queue,
+                    &self.keys,
+                    &self.decision,
+                    &self.times,
+                    &mut timeline,
+                )
+            }
+        };
         self.settled = true;
         started
             .into_iter()

@@ -371,6 +371,61 @@ fn externally_reordered_plans_are_normalised() {
 }
 
 #[test]
+fn lookahead_policies_stay_feasible_and_deterministic() {
+    // Look-ahead placement is new semantics (EASY-style reservations), but
+    // the engine contract is unchanged: every start it proposes must fit the
+    // availability of the moment, so realized traces stay feasible under
+    // noise, arrivals and capacity drops — and same-seed runs stay
+    // byte-identical.
+    use mrls_core::{MrlsConfig, PlacementMode, PriorityRule};
+    use mrls_sim::{FullReschedulePolicy, ReactiveListPolicy};
+
+    let instance = layered(22, 7);
+    let planned = plan(&instance);
+    let release = ArrivalRecipe::UniformWindow {
+        horizon: planned.makespan * 0.4,
+    }
+    .release_times(instance.num_jobs(), &mut mrls_workload::rng_from_seed(3));
+    let changes = CapacityDropRecipe::SingleDrop {
+        at_frac: 0.5,
+        keep_fraction: 0.75,
+    }
+    .changes(instance.system.capacities(), planned.makespan);
+    let configs = [
+        SimConfig::default(),
+        SimConfig {
+            seed: 9,
+            perturbation: PerturbationModel::Multiplicative { sigma: 0.3 },
+            scenario: Scenario::offline()
+                .with_release_times(release)
+                .with_capacity_changes(changes),
+            max_events: None,
+        },
+    ];
+    for config in configs {
+        let mut reactive = ReactiveListPolicy::new(PriorityRule::CriticalPath)
+            .with_placement(PlacementMode::LookAhead);
+        let a = Simulator::new(config.clone())
+            .run(&instance, &planned, &mut reactive)
+            .expect("look-ahead reactive run");
+        assert_feasible(&instance, &a);
+        let mut full = FullReschedulePolicy::new(MrlsConfig::default(), 1.5)
+            .with_placement(PlacementMode::LookAhead);
+        let b = Simulator::new(config.clone())
+            .run(&instance, &planned, &mut full)
+            .expect("look-ahead full-reschedule run");
+        assert_feasible(&instance, &b);
+        // Determinism across repeated runs.
+        let mut again = ReactiveListPolicy::new(PriorityRule::CriticalPath)
+            .with_placement(PlacementMode::LookAhead);
+        let a2 = Simulator::new(config.clone())
+            .run(&instance, &planned, &mut again)
+            .unwrap();
+        assert_eq!(a.to_json(), a2.to_json());
+    }
+}
+
+#[test]
 fn empty_instance_simulates_to_empty_trace() {
     let instance = InstanceRecipe {
         system: SystemRecipe::Uniform { d: 2, p: 4 },
