@@ -38,6 +38,16 @@
 //!     Generate a workload and replay it against a running server; with
 //!     drain=true waits for completion and verifies every job finished.
 //!
+//! mrls metrics   [addr=127.0.0.1] [port=7163] [format=json|prom] [out=FILE]
+//!     Query a running server's observability snapshot (deterministic
+//!     counters/gauges/histograms plus namespaced wall-clock values) and
+//!     print it as sorted JSON or Prometheus text exposition.
+//!
+//! mrls trace-export [in=trace.json] [out=trace.chrome.json]
+//!     Convert a realized trace (from `mrls simulate out=...` or a drain
+//!     report's trace) to Chrome trace-event JSON for chrome://tracing or
+//!     Perfetto.
+//!
 //! mrls theory    [dmax=10] [epsilon=0.1]
 //!     Print the Table 1 approximation ratios for d = 1..dmax.
 //! ```
@@ -133,6 +143,10 @@ fn main() {
             ],
         )
         .and_then(|kv| cmd_client(&kv)),
+        "metrics" => {
+            parse_kv(&args[1..], &["addr", "port", "format", "out"]).and_then(|kv| cmd_metrics(&kv))
+        }
+        "trace-export" => parse_kv(&args[1..], &["in", "out"]).and_then(|kv| cmd_trace_export(&kv)),
         "theory" => parse_kv(&args[1..], &["dmax", "epsilon"]).and_then(|kv| cmd_theory(&kv)),
         "help" | "--help" | "-h" => {
             print_usage();
@@ -162,6 +176,8 @@ fn print_usage() {
          \u{20}                [sigma=0.3] [arrivals=none] [drop=none] [simseed=0] [out=trace.json]\n\
          \u{20}  mrls serve    [addr=127.0.0.1] [port=7163] [d=3] [p=16] [policy=full] [batch-window=0.02]\n\
          \u{20}  mrls client   [addr=127.0.0.1] [port=7163] [tenant=cli] [n=20] [arrivals=none] [drain=true]\n\
+         \u{20}  mrls metrics  [addr=127.0.0.1] [port=7163] [format=json|prom] [out=FILE]\n\
+         \u{20}  mrls trace-export [in=trace.json] [out=trace.chrome.json]\n\
          \u{20}  mrls theory   [dmax=10] [epsilon=0.1]"
     );
 }
@@ -800,6 +816,55 @@ fn cmd_client(kv: &HashMap<String, String>) -> Result<i32, String> {
         println!("server asked to stop");
     }
     Ok(code)
+}
+
+fn cmd_metrics(kv: &HashMap<String, String>) -> Result<i32, String> {
+    let addr: String = get(kv, "addr", "127.0.0.1".to_string())?;
+    let port: u16 = get(kv, "port", 7163)?;
+    let format: String = get(kv, "format", "json".to_string())?;
+    let mut client = Client::connect((addr.as_str(), port), "metrics")
+        .map_err(|e| format!("could not connect to {addr}:{port}: {e}"))?;
+    let snap = client.metrics()?;
+    let text = match format.as_str() {
+        "json" => snap.to_json(),
+        "prom" => {
+            let rendered = mrls_obs::prometheus::render(&snap);
+            mrls_obs::prometheus::validate(&rendered)
+                .map_err(|e| format!("rendered exposition failed validation: {e}"))?;
+            rendered
+        }
+        other => {
+            return Err(format!(
+                "invalid value `{other}` for key `format` (expected one of: json, prom)"
+            ))
+        }
+    };
+    match kv.get("out") {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| format!("could not write {path}: {e}"))?;
+            println!("wrote metrics to {path}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(0)
+}
+
+fn cmd_trace_export(kv: &HashMap<String, String>) -> Result<i32, String> {
+    let input: String = get(kv, "in", "trace.json".to_string())?;
+    let output: String = get(kv, "out", "trace.chrome.json".to_string())?;
+    let json =
+        std::fs::read_to_string(&input).map_err(|e| format!("could not read {input}: {e}"))?;
+    let trace = mrls_sim::RealizedTrace::from_json(&json)
+        .map_err(|e| format!("{input} is not a realized trace: {e}"))?;
+    let chrome = trace.to_chrome_trace_json();
+    let doc = mrls_obs::chrome::validate(&chrome)
+        .map_err(|e| format!("export failed self-validation: {e}"))?;
+    std::fs::write(&output, &chrome).map_err(|e| format!("could not write {output}: {e}"))?;
+    println!(
+        "wrote {} trace events ({} spans/instants) to {output}",
+        doc.events, doc.spans_and_instants
+    );
+    Ok(0)
 }
 
 fn cmd_theory(kv: &HashMap<String, String>) -> Result<i32, String> {

@@ -126,7 +126,14 @@ impl ListScheduler {
                 .all(|w| crate::ready_queue::key_order(w[0], w[1], keys).is_le()),
             "ready queue out of order for the supplied keys (resort after key changes)"
         );
-        ready.drain_fitting(decision, resources)
+        let scanned = ready.len() as u64;
+        let started = ready.drain_fitting(decision, resources);
+        if mrls_obs::enabled() {
+            mrls_obs::counter_add("core.placement.passes", 1);
+            mrls_obs::counter_add("core.placement.jobs_scanned", scanned);
+            mrls_obs::counter_add("core.placement.jobs_started", started.len() as u64);
+        }
+        started
     }
 
     /// Runs Algorithm 2 on `instance` with the fixed allocation `decision`

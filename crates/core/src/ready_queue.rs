@@ -98,6 +98,7 @@ struct SuffixMinIndex {
 
 impl SuffixMinIndex {
     fn build(universe: &[usize], keys: &[f64], d: usize) -> Self {
+        mrls_obs::counter_add("core.ready_queue.index_builds", 1);
         let mut ranked = universe.to_vec();
         ranked.sort_by(|&a, &b| key_order(a, b, keys));
         let mut by_id = universe.to_vec();
@@ -311,6 +312,7 @@ impl ReadyQueue {
     /// memory O(live) while charging each element at most one extra move.
     fn maybe_compact(&mut self) {
         if self.head > self.jobs.len() - self.head {
+            mrls_obs::counter_add("core.ready_queue.compactions", 1);
             self.jobs.copy_within(self.head.., 0);
             self.ranks.copy_within(self.head.., 0);
             let live = self.jobs.len() - self.head;
@@ -402,8 +404,11 @@ impl ReadyQueue {
         if n - lo > SMALL {
             self.index.flush();
             if self.index.root_blocks(resources) {
+                mrls_obs::counter_add("core.ready_queue.root_exits", 1);
                 return Vec::new();
             }
+        } else {
+            mrls_obs::counter_add("core.ready_queue.index_bypass", 1);
         }
         let mut scratch = std::mem::take(&mut self.scratch);
         let mut started = Vec::new();
@@ -431,6 +436,17 @@ impl ReadyQueue {
                         self.ranks.copy_within(lo..write, lo + gap);
                         self.head = lo + gap;
                         self.scratch = scratch;
+                        if mrls_obs::enabled() {
+                            mrls_obs::counter_add("core.ready_queue.early_exits", 1);
+                            mrls_obs::counter_add(
+                                "core.ready_queue.jobs_visited",
+                                (read - lo) as u64,
+                            );
+                            mrls_obs::counter_add(
+                                "core.ready_queue.jobs_started",
+                                started.len() as u64,
+                            );
+                        }
                         return started;
                     }
                 }
@@ -444,6 +460,10 @@ impl ReadyQueue {
         self.ranks.truncate(write);
         self.maybe_compact();
         self.scratch = scratch;
+        if mrls_obs::enabled() {
+            mrls_obs::counter_add("core.ready_queue.jobs_visited", (n - lo) as u64);
+            mrls_obs::counter_add("core.ready_queue.jobs_started", started.len() as u64);
+        }
         started
     }
 

@@ -135,6 +135,7 @@ impl SlotSet {
         self.slots[k].end = t;
         self.slots.insert(k + 1, tail);
         self.dirty = true;
+        mrls_obs::counter_add("core.slotset.splits", 1);
     }
 
     /// Subtracts `alloc` from every slot intersecting `[t0, t1)`, splitting
@@ -187,12 +188,17 @@ impl SlotSet {
     fn merge_equal_neighbors(&mut self, lo: usize, hi: usize) {
         let hi = hi.min(self.slots.len().saturating_sub(1));
         let mut k = hi.min(self.slots.len().saturating_sub(1));
+        let mut merged = 0u64;
         while k > lo {
             if self.slots[k - 1].free == self.slots[k].free {
                 self.slots[k - 1].end = self.slots[k].end;
                 self.slots.remove(k);
+                merged += 1;
             }
             k -= 1;
+        }
+        if merged > 0 {
+            mrls_obs::counter_add("core.slotset.merges", merged);
         }
     }
 
@@ -277,6 +283,7 @@ impl SlotSet {
         if !self.dirty {
             return;
         }
+        mrls_obs::counter_add("core.slotset.index_rebuilds", 1);
         let n = self.slots.len();
         let leaves = n.next_power_of_two();
         self.leaves = leaves;
@@ -347,6 +354,10 @@ impl SlotSet {
         let from = self.slot_index(t);
         let mut probes = 0usize;
         let hit = self.descend_first_fit(1, 0, self.leaves, from, req, &mut probes);
+        if mrls_obs::enabled() {
+            mrls_obs::counter_add("core.slotset.first_fit_queries", 1);
+            mrls_obs::counter_add("core.slotset.first_fit_probes", probes as u64);
+        }
         (hit.map(|k| (k, t.max(self.slots[k].begin))), probes)
     }
 

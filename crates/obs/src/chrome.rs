@@ -1,0 +1,212 @@
+//! Chrome trace-event (`chrome://tracing` / Perfetto) JSON export.
+//!
+//! The vendored `serde_json` has no dynamic `Value` API surface for building
+//! heterogeneous objects, so [`ChromeTrace`] emits the trace-event JSON by
+//! hand — each event is one object in the `traceEvents` array of the JSON
+//! Object Format. [`validate`] parses the output back through the real JSON
+//! parser (via a hand-written `Deserialize`) and checks the trace-event
+//! structure, which is what the export tests pin.
+
+use serde::__private as sp;
+
+/// JSON string escaping for event names and categories.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Incremental builder for a trace-event JSON document.
+#[derive(Debug, Default)]
+pub struct ChromeTrace {
+    events: Vec<String>,
+}
+
+impl ChromeTrace {
+    /// Empty trace.
+    pub fn new() -> ChromeTrace {
+        ChromeTrace::default()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` iff no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Names a process lane (metadata event, phase `M`).
+    pub fn process_name(&mut self, pid: u64, name: &str) {
+        self.events.push(format!(
+            "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            escape(name)
+        ));
+    }
+
+    /// Names a thread lane (metadata event, phase `M`).
+    pub fn thread_name(&mut self, pid: u64, tid: u64, name: &str) {
+        self.events.push(format!(
+            "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{pid},\"tid\":{tid},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            escape(name)
+        ));
+    }
+
+    /// Records a complete span (phase `X`) of `dur_us` microseconds at `ts_us`.
+    pub fn complete(&mut self, name: &str, cat: &str, pid: u64, tid: u64, ts_us: u64, dur_us: u64) {
+        self.events.push(format!(
+            "{{\"ph\":\"X\",\"name\":\"{}\",\"cat\":\"{}\",\"pid\":{pid},\"tid\":{tid},\
+             \"ts\":{ts_us},\"dur\":{dur_us}}}",
+            escape(name),
+            escape(cat)
+        ));
+    }
+
+    /// Records a thread-scoped instant event (phase `i`).
+    pub fn instant(&mut self, name: &str, cat: &str, pid: u64, tid: u64, ts_us: u64) {
+        self.events.push(format!(
+            "{{\"ph\":\"i\",\"name\":\"{}\",\"cat\":\"{}\",\"pid\":{pid},\"tid\":{tid},\
+             \"ts\":{ts_us},\"s\":\"t\"}}",
+            escape(name),
+            escape(cat)
+        ));
+    }
+
+    /// Records a counter sample (phase `C`): one series per `(key, value)`.
+    pub fn counter(&mut self, name: &str, pid: u64, ts_us: u64, series: &[(&str, u64)]) {
+        let args = series
+            .iter()
+            .map(|(k, v)| format!("\"{}\":{v}", escape(k)))
+            .collect::<Vec<_>>()
+            .join(",");
+        self.events.push(format!(
+            "{{\"ph\":\"C\",\"name\":\"{}\",\"pid\":{pid},\"tid\":0,\"ts\":{ts_us},\
+             \"args\":{{{args}}}}}",
+            escape(name)
+        ));
+    }
+
+    /// Serializes to the trace-event JSON Object Format that
+    /// `chrome://tracing` and Perfetto load directly.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, ev) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            out.push_str(ev);
+        }
+        out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+}
+
+/// Structural summary of a parsed trace-event document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceDoc {
+    /// Number of events in `traceEvents`.
+    pub events: usize,
+    /// Number of non-metadata (`ph != "M"`) events.
+    pub spans_and_instants: usize,
+}
+
+impl serde::Deserialize for TraceDoc {
+    fn from_value(v: &sp::Value) -> Result<Self, sp::Error> {
+        let events = sp::get_field(v, "traceEvents")?
+            .as_array()
+            .ok_or_else(|| sp::Error::msg("traceEvents must be an array"))?;
+        let mut payload = 0usize;
+        for (i, ev) in events.iter().enumerate() {
+            let ph: String =
+                sp::field(ev, "ph").map_err(|e| sp::Error::msg(format!("event {i}: {e}")))?;
+            let _name: String =
+                sp::field(ev, "name").map_err(|e| sp::Error::msg(format!("event {i}: {e}")))?;
+            let _pid: u64 =
+                sp::field(ev, "pid").map_err(|e| sp::Error::msg(format!("event {i}: {e}")))?;
+            match ph.as_str() {
+                "M" => {
+                    sp::get_field(ev, "args")
+                        .map_err(|e| sp::Error::msg(format!("metadata event {i}: {e}")))?;
+                }
+                "X" => {
+                    let _ts: u64 = sp::field(ev, "ts")
+                        .map_err(|e| sp::Error::msg(format!("event {i}: {e}")))?;
+                    let _dur: u64 = sp::field(ev, "dur")
+                        .map_err(|e| sp::Error::msg(format!("event {i}: {e}")))?;
+                    payload += 1;
+                }
+                "i" | "C" => {
+                    let _ts: u64 = sp::field(ev, "ts")
+                        .map_err(|e| sp::Error::msg(format!("event {i}: {e}")))?;
+                    payload += 1;
+                }
+                other => {
+                    return Err(sp::Error::msg(format!(
+                        "event {i}: unsupported phase `{other}`"
+                    )));
+                }
+            }
+        }
+        Ok(TraceDoc {
+            events: events.len(),
+            spans_and_instants: payload,
+        })
+    }
+}
+
+/// Parses `text` as trace-event JSON and checks every event's structure.
+pub fn validate(text: &str) -> Result<TraceDoc, String> {
+    serde_json::from_str::<TraceDoc>(text).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_output_validates() {
+        let mut t = ChromeTrace::new();
+        t.process_name(1, "mrls engine");
+        t.thread_name(1, 2, "jobs \"hot\" lane");
+        t.complete("job j0", "job", 1, 2, 0, 1_500_000);
+        t.instant("capacity drop", "capacity", 1, 0, 750_000);
+        t.counter("capacity", 1, 750_000, &[("cpu", 3), ("mem", 7)]);
+        assert_eq!(t.len(), 5);
+        let text = t.to_json();
+        let doc = validate(&text).expect("builder output is valid trace JSON");
+        assert_eq!(doc.events, 5);
+        assert_eq!(doc.spans_and_instants, 3);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate("{}").is_err(), "missing traceEvents");
+        assert!(validate("{\"traceEvents\":3}").is_err(), "non-array");
+        assert!(
+            validate("{\"traceEvents\":[{\"ph\":\"X\",\"name\":\"a\",\"pid\":1}]}").is_err(),
+            "X event without ts/dur"
+        );
+        assert!(
+            validate("{\"traceEvents\":[{\"ph\":\"Z\",\"name\":\"a\",\"pid\":1}]}").is_err(),
+            "unknown phase"
+        );
+        assert!(validate("not json").is_err());
+        let empty = ChromeTrace::new().to_json();
+        assert_eq!(validate(&empty).expect("empty trace is valid").events, 0);
+    }
+}

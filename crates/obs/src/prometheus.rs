@@ -1,0 +1,197 @@
+//! Prometheus text-format (version 0.0.4) rendering of a [`Snapshot`], plus a
+//! line-format checker used by the CI smoke test. Output order is canonical:
+//! counters, then gauges, then histograms, each sorted by metric name.
+
+use crate::{bucket_upper_bound, HistogramSnapshot, Snapshot};
+
+/// Maps a registry name like `core.ready_queue.early_exits` to a Prometheus
+/// metric name `mrls_core_ready_queue_early_exits`.
+pub fn metric_name(prefix: &str, name: &str) -> String {
+    let mut out = String::with_capacity(prefix.len() + name.len());
+    out.push_str(prefix);
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn render_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
+    out.push_str(&format!("# TYPE {name} histogram\n"));
+    let mut cumulative = 0u64;
+    for (idx, n) in h.buckets.iter().enumerate() {
+        cumulative = cumulative.saturating_add(*n);
+        out.push_str(&format!(
+            "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+            bucket_upper_bound(idx)
+        ));
+    }
+    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+    out.push_str(&format!("{name}_sum {}\n", h.sum));
+    out.push_str(&format!("{name}_count {}\n", h.count));
+}
+
+/// Renders the snapshot in Prometheus text format. Deterministic namespaces
+/// get the `mrls_` prefix; wall-clock histograms get `mrls_wall_` so a scrape
+/// can exclude nondeterministic series by prefix.
+pub fn render(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (k, v) in &snap.counters {
+        let name = metric_name("mrls_", k);
+        out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+    }
+    for (k, v) in &snap.gauges {
+        let name = metric_name("mrls_", k);
+        out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+    }
+    for (k, h) in &snap.histograms {
+        render_histogram(&mut out, &metric_name("mrls_", k), h);
+    }
+    for (k, h) in &snap.wall {
+        render_histogram(&mut out, &metric_name("mrls_wall_", k), h);
+    }
+    out
+}
+
+fn valid_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_set(s: &str) -> bool {
+    // Accepts `name="value"(,name="value")*` with no escapes inside values
+    // (the renderer never emits any).
+    for part in s.split(',') {
+        let Some((k, v)) = part.split_once('=') else {
+            return false;
+        };
+        if !valid_metric_name(k) {
+            return false;
+        }
+        if v.len() < 2 || !v.starts_with('"') || !v.ends_with('"') {
+            return false;
+        }
+        if v[1..v.len() - 1].contains('"') {
+            return false;
+        }
+    }
+    true
+}
+
+/// Checks that `text` is well-formed Prometheus exposition format: every line
+/// is a `# TYPE`/`# HELP` comment or a `name[{labels}] value` sample with a
+/// parseable number. Returns the number of sample lines.
+pub fn validate(text: &str) -> Result<usize, String> {
+    let mut samples = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let rest = comment.trim_start();
+            let mut words = rest.split_whitespace();
+            match words.next() {
+                Some("TYPE") => {
+                    let name = words
+                        .next()
+                        .ok_or(format!("line {lineno}: TYPE without name"))?;
+                    if !valid_metric_name(name) {
+                        return Err(format!("line {lineno}: bad TYPE metric name `{name}`"));
+                    }
+                    match words.next() {
+                        Some("counter" | "gauge" | "histogram" | "summary" | "untyped") => {}
+                        other => {
+                            return Err(format!("line {lineno}: bad TYPE kind {other:?}"));
+                        }
+                    }
+                }
+                Some("HELP") => {}
+                _ => return Err(format!("line {lineno}: unknown comment `{line}`")),
+            }
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or(format!("line {lineno}: sample without value"))?;
+        let name = if let Some((name, rest)) = series.split_once('{') {
+            let labels = rest
+                .strip_suffix('}')
+                .ok_or(format!("line {lineno}: unterminated label set"))?;
+            if !valid_label_set(labels) {
+                return Err(format!("line {lineno}: bad label set `{{{labels}}}`"));
+            }
+            name
+        } else {
+            series
+        };
+        if !valid_metric_name(name) {
+            return Err(format!("line {lineno}: bad metric name `{name}`"));
+        }
+        if value.parse::<f64>().is_err() && value != "+Inf" && value != "-Inf" && value != "NaN" {
+            return Err(format!("line {lineno}: bad sample value `{value}`"));
+        }
+        samples += 1;
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> Snapshot {
+        let mut s = Snapshot::default();
+        s.counters.insert("core.ready_queue.early_exits".into(), 7);
+        s.gauges.insert("serve.queue_depth".into(), 3);
+        let h = s
+            .histograms
+            .entry("serve.plan_diff.updates".into())
+            .or_default();
+        h.observe(0);
+        h.observe(1);
+        h.observe(5);
+        s.wall
+            .entry("serve.round_us".into())
+            .or_default()
+            .observe(120);
+        s
+    }
+
+    #[test]
+    fn render_is_valid_and_cumulative() {
+        let text = render(&sample_snapshot());
+        let samples = validate(&text).expect("rendering validates");
+        assert!(samples >= 8, "got {samples} samples:\n{text}");
+        assert!(text.contains("# TYPE mrls_core_ready_queue_early_exits counter\n"));
+        assert!(text.contains("mrls_core_ready_queue_early_exits 7\n"));
+        assert!(text.contains("mrls_serve_queue_depth 3\n"));
+        // Buckets are cumulative: le=0 has 1, le=1 has 2, le=3 has 2, le=7 has 3.
+        assert!(text.contains("mrls_serve_plan_diff_updates_bucket{le=\"0\"} 1\n"));
+        assert!(text.contains("mrls_serve_plan_diff_updates_bucket{le=\"1\"} 2\n"));
+        assert!(text.contains("mrls_serve_plan_diff_updates_bucket{le=\"7\"} 3\n"));
+        assert!(text.contains("mrls_serve_plan_diff_updates_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("mrls_serve_plan_diff_updates_sum 6\n"));
+        assert!(text.contains("mrls_serve_plan_diff_updates_count 3\n"));
+        assert!(text.contains("mrls_wall_serve_round_us_sum 120\n"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        assert!(validate("mrls_ok 1\n").is_ok());
+        assert!(validate("1bad_name 1\n").is_err());
+        assert!(validate("mrls_ok notanumber\n").is_err());
+        assert!(validate("mrls_ok{le=\"unterminated} 1\n").is_err());
+        assert!(validate("mrls_ok{le=} 1\n").is_err());
+        assert!(validate("# TYPE mrls_ok flavor\n").is_err());
+        assert!(validate("# random comment\n").is_err());
+        assert!(validate("# HELP mrls_ok text here\n").is_ok());
+    }
+}

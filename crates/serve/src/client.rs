@@ -108,6 +108,17 @@ impl Client {
         }
     }
 
+    /// Fetches the cross-layer observability snapshot (deterministic
+    /// counters/gauges/histograms; wall-clock values live in the separate
+    /// `wall` namespace).
+    pub fn metrics(&mut self) -> Result<mrls_obs::Snapshot, String> {
+        match self.request(RequestBody::QueryMetrics)?.body {
+            ResponseBody::Metrics { obs } => Ok(obs),
+            ResponseBody::Error { message } => Err(message),
+            other => Err(format!("unexpected response: {other:?}")),
+        }
+    }
+
     /// Drains the server: everything admitted runs to completion.
     pub fn drain(&mut self) -> Result<DrainReport, String> {
         match self.request(RequestBody::Drain)?.body {

@@ -64,7 +64,7 @@ pub mod service;
 
 pub use client::Client;
 pub use ingest::{Batch, IngestQueue};
-pub use metrics::{EventLedger, MetricsRegistry, MetricsSnapshot, TenantMetrics};
+pub use metrics::{EventLedger, MetricsRegistry, MetricsSnapshot, RejectReason, TenantMetrics};
 pub use naive::NaiveService;
 pub use protocol::{
     encode_line, parse_request, probe_request_id, read_frame, write_message, DrainReport, Request,
@@ -276,26 +276,32 @@ enum Flow {
     Stop,
 }
 
-/// Serves one request against the core.
+/// Serves one request against the core. The admission work of submit
+/// requests is attributed to an `ingest` timing phase and the response send
+/// to a `reply` phase: together with the round phases inside the core this
+/// makes the `QueryStatus` phase totals account for (nearly) all of the
+/// service thread's busy time, where previously only the in-round phases
+/// were counted. Both run on the single service thread, so `status()` drains
+/// every phase from one registry.
 fn handle(core: &mut ServiceCore, msg: ClientMsg) -> Flow {
     let Request { id, tenant, body } = msg.request;
     let (body, flow) = match body {
         RequestBody::SubmitJob { job, deps } => (
-            match core.submit_job(&tenant, job, &deps) {
+            match mrls_core::time_phase!("ingest", core.submit_job(&tenant, job, &deps)) {
                 Ok(id) => ResponseBody::Accepted { jobs: vec![id] },
                 Err(reason) => ResponseBody::Rejected { reason },
             },
             Flow::Continue,
         ),
         RequestBody::SubmitDag { jobs, edges } => (
-            match core.submit_dag(&tenant, jobs, &edges) {
+            match mrls_core::time_phase!("ingest", core.submit_dag(&tenant, jobs, &edges)) {
                 Ok(jobs) => ResponseBody::Accepted { jobs },
                 Err(reason) => ResponseBody::Rejected { reason },
             },
             Flow::Continue,
         ),
         RequestBody::CapacityChange { resource, capacity } => (
-            match core.submit_capacity(resource, capacity) {
+            match mrls_core::time_phase!("ingest", core.submit_capacity(resource, capacity)) {
                 Ok(()) => ResponseBody::Accepted { jobs: vec![] },
                 Err(reason) => ResponseBody::Rejected { reason },
             },
@@ -304,6 +310,12 @@ fn handle(core: &mut ServiceCore, msg: ClientMsg) -> Flow {
         RequestBody::QueryStatus => (
             ResponseBody::Status {
                 metrics: core.status(),
+            },
+            Flow::Continue,
+        ),
+        RequestBody::QueryMetrics => (
+            ResponseBody::Metrics {
+                obs: core.obs_snapshot(),
             },
             Flow::Continue,
         ),
@@ -316,6 +328,8 @@ fn handle(core: &mut ServiceCore, msg: ClientMsg) -> Flow {
         ),
         RequestBody::Shutdown => (ResponseBody::Stopping, Flow::Stop),
     };
-    let _ = msg.reply.send(Response { id, body });
+    mrls_core::time_phase!("reply", {
+        let _ = msg.reply.send(Response { id, body });
+    });
     flow
 }

@@ -17,6 +17,16 @@ use mrls_sim::TraceEvent;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
+/// Why a submission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The ingest queue was full (the client should retry later).
+    Backpressure,
+    /// The submission itself was malformed (retrying it verbatim cannot
+    /// succeed).
+    Validation,
+}
+
 /// Counters for one tenant.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TenantMetrics {
@@ -24,10 +34,16 @@ pub struct TenantMetrics {
     pub submitted: u64,
     /// Jobs refused (backpressure or validation).
     pub rejected: u64,
+    /// Jobs refused because the ingest queue was full.
+    pub rejected_backpressure: u64,
+    /// Jobs refused because the submission was invalid.
+    pub rejected_validation: u64,
     /// Jobs placed on the machine (started).
     pub scheduled: u64,
     /// Jobs completed.
     pub completed: u64,
+    /// High-water mark of this tenant's queued-but-unflushed submissions.
+    pub queue_depth_hwm: u64,
     /// Latest planned finish time among this tenant's jobs (virtual time).
     pub planned_finish: f64,
     /// Latest realized finish time among this tenant's jobs (virtual time).
@@ -42,8 +58,11 @@ impl Default for TenantMetrics {
         TenantMetrics {
             submitted: 0,
             rejected: 0,
+            rejected_backpressure: 0,
+            rejected_validation: 0,
             scheduled: 0,
             completed: 0,
+            queue_depth_hwm: 0,
             planned_finish: 0.0,
             realized_finish: 0.0,
             stretch: 1.0,
@@ -80,6 +99,7 @@ pub struct MetricsSnapshot {
 #[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
     tenants: BTreeMap<String, TenantMetrics>,
+    queued_now: BTreeMap<String, u64>,
     rounds: u64,
 }
 
@@ -99,8 +119,29 @@ impl MetricsRegistry {
     }
 
     /// Records one refused submission of `count` jobs for `tenant`.
-    pub fn record_rejected(&mut self, tenant: &str, count: u64) {
-        self.tenant(tenant).rejected += count;
+    pub fn record_rejected(&mut self, tenant: &str, count: u64, reason: RejectReason) {
+        let t = self.tenant(tenant);
+        t.rejected += count;
+        match reason {
+            RejectReason::Backpressure => t.rejected_backpressure += count,
+            RejectReason::Validation => t.rejected_validation += count,
+        }
+    }
+
+    /// Records `count` freshly queued (admitted but unflushed) jobs for
+    /// `tenant` and pushes the per-tenant queue-depth high-water mark.
+    pub fn record_queued(&mut self, tenant: &str, count: u64) {
+        let depth = self.queued_now.entry(tenant.to_string()).or_insert(0);
+        *depth += count;
+        let depth = *depth;
+        let t = self.tenant(tenant);
+        t.queue_depth_hwm = t.queue_depth_hwm.max(depth);
+    }
+
+    /// Records that the ingest queue was flushed into a round (every
+    /// tenant's live queue depth drops back to zero).
+    pub fn record_batch_taken(&mut self) {
+        self.queued_now.clear();
     }
 
     /// Records the planned finish time of a freshly planned job of `tenant`.
@@ -222,15 +263,28 @@ mod tests {
     fn counters_aggregate_across_tenants() {
         let mut reg = MetricsRegistry::new();
         reg.record_submitted("a", 3);
+        reg.record_queued("a", 3);
         reg.record_submitted("b", 2);
-        reg.record_rejected("b", 1);
+        reg.record_queued("b", 2);
+        reg.record_rejected("b", 1, RejectReason::Validation);
+        reg.record_rejected("b", 2, RejectReason::Backpressure);
         reg.record_planned("a", 10.0);
         reg.record_scheduled("a");
         reg.record_completed("a", 12.0);
         reg.record_round();
+        reg.record_batch_taken();
+        reg.record_queued("a", 1);
         let snap = reg.snapshot(12.0, 4);
         assert_eq!(snap.jobs_submitted, 5);
-        assert_eq!(snap.jobs_rejected, 1);
+        assert_eq!(snap.jobs_rejected, 3);
+        let b = &snap.tenants["b"];
+        assert_eq!(b.rejected_backpressure, 2);
+        assert_eq!(b.rejected_validation, 1);
+        assert_eq!(b.queue_depth_hwm, 2);
+        assert_eq!(
+            snap.tenants["a"].queue_depth_hwm, 3,
+            "high-water mark survives the flush; the post-flush depth of 1 does not beat it"
+        );
         assert_eq!(snap.jobs_scheduled, 1);
         assert_eq!(snap.jobs_completed, 1);
         assert_eq!(snap.rounds, 1);

@@ -22,7 +22,7 @@
 //! its PR 3 semantics.
 
 use crate::ingest::{Batch, IngestQueue};
-use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::metrics::{MetricsRegistry, MetricsSnapshot, RejectReason};
 use crate::protocol::DrainReport;
 use crate::service::{plan_pending, validate_spec, ServeConfig, WorldJob};
 use mrls_analysis::{validate_schedule_with, ValidationOptions};
@@ -115,19 +115,25 @@ impl NaiveService {
     ) -> Result<u64, String> {
         self.check_fault()?;
         validate_spec(self.num_resource_types(), &job).inspect_err(|_| {
-            self.metrics.record_rejected(tenant, 1);
+            self.metrics
+                .record_rejected(tenant, 1, RejectReason::Validation);
         })?;
-        let admit = self.ingest.admit(1).and_then(|()| {
-            let next = self.world.len() as u64;
-            match deps.iter().find(|&&d| d >= next) {
-                Some(d) => Err(format!(
-                    "dependency {d} does not exist yet (next id {next})"
-                )),
-                None => Ok(()),
-            }
-        });
-        if let Err(e) = admit {
-            self.metrics.record_rejected(tenant, 1);
+        let admit = self
+            .ingest
+            .admit(1)
+            .map_err(|e| (RejectReason::Backpressure, e))
+            .and_then(|()| {
+                let next = self.world.len() as u64;
+                match deps.iter().find(|&&d| d >= next) {
+                    Some(d) => Err((
+                        RejectReason::Validation,
+                        format!("dependency {d} does not exist yet (next id {next})"),
+                    )),
+                    None => Ok(()),
+                }
+            });
+        if let Err((reason, e)) = admit {
+            self.metrics.record_rejected(tenant, 1, reason);
             return Err(e);
         }
         let id = self.world.len();
@@ -143,6 +149,7 @@ impl NaiveService {
         });
         self.ingest.push_jobs(&[id]);
         self.metrics.record_submitted(tenant, 1);
+        self.metrics.record_queued(tenant, 1);
         Ok(id as u64)
     }
 
@@ -159,25 +166,32 @@ impl NaiveService {
         let d = self.num_resource_types();
         let admit = (|| {
             if count == 0 {
-                return Err("empty submission".to_string());
+                return Err((RejectReason::Validation, "empty submission".to_string()));
             }
-            self.ingest.admit(count)?;
+            self.ingest
+                .admit(count)
+                .map_err(|e| (RejectReason::Backpressure, e))?;
             for job in &jobs {
-                validate_spec(d, job)?;
+                validate_spec(d, job).map_err(|e| (RejectReason::Validation, e))?;
             }
             let mut local: Vec<(usize, usize)> = edges.to_vec();
             local.sort_unstable();
             local.dedup();
             if let Some(&(a, b)) = local.iter().find(|&&(a, b)| a >= count || b >= count) {
-                return Err(format!("edge ({a}, {b}) references a job outside the DAG"));
+                return Err((
+                    RejectReason::Validation,
+                    format!("edge ({a}, {b}) references a job outside the DAG"),
+                ));
             }
-            Dag::from_edges(count, &local).map_err(|e| format!("invalid DAG: {e}"))?;
+            Dag::from_edges(count, &local)
+                .map_err(|e| (RejectReason::Validation, format!("invalid DAG: {e}")))?;
             Ok(local)
         })();
         let local = match admit {
             Ok(local) => local,
-            Err(e) => {
-                self.metrics.record_rejected(tenant, count.max(1) as u64);
+            Err((reason, e)) => {
+                self.metrics
+                    .record_rejected(tenant, count.max(1) as u64, reason);
                 return Err(e);
             }
         };
@@ -194,6 +208,7 @@ impl NaiveService {
         }
         self.ingest.push_jobs(&ids);
         self.metrics.record_submitted(tenant, count as u64);
+        self.metrics.record_queued(tenant, count as u64);
         Ok(ids.into_iter().map(|id| id as u64).collect())
     }
 
@@ -227,6 +242,7 @@ impl NaiveService {
             return Ok(());
         }
         let batch = self.ingest.take_batch();
+        self.metrics.record_batch_taken();
         self.run_round(batch, false).map(|_| ())
     }
 
@@ -235,6 +251,7 @@ impl NaiveService {
     pub fn drain(&mut self) -> Result<DrainReport, String> {
         self.check_fault()?;
         let batch = self.ingest.take_batch();
+        self.metrics.record_batch_taken();
         let trace = self
             .run_round(batch, true)?
             .expect("completing rounds always produce a trace");

@@ -62,6 +62,9 @@ pub enum RequestBody {
     },
     /// Ask for the current metrics snapshot.
     QueryStatus,
+    /// Ask for the cross-layer observability snapshot (deterministic
+    /// counters/gauges/histograms plus the namespaced wall-clock values).
+    QueryMetrics,
     /// Flush the current batch and run the virtual-time engine until every
     /// admitted job completed; reply with a [`DrainReport`].
     Drain,
@@ -96,6 +99,12 @@ pub enum ResponseBody {
     Status {
         /// The metrics snapshot.
         metrics: MetricsSnapshot,
+    },
+    /// Answer to [`RequestBody::QueryMetrics`].
+    Metrics {
+        /// The observability snapshot (counters, gauges, histograms; the
+        /// `wall` namespace is the only nondeterministic part).
+        obs: mrls_obs::Snapshot,
     },
     /// Answer to [`RequestBody::Drain`].
     Drained {
@@ -223,6 +232,11 @@ mod tests {
                 id: 4,
                 tenant: "ops".into(),
                 body: RequestBody::QueryStatus,
+            },
+            Request {
+                id: 7,
+                tenant: "ops".into(),
+                body: RequestBody::QueryMetrics,
             },
             Request {
                 id: 5,

@@ -22,7 +22,7 @@
 //! the naive path's — validated for capacity/precedence feasibility.
 
 use crate::ingest::{Batch, IngestQueue};
-use crate::metrics::{EventLedger, MetricsRegistry, MetricsSnapshot};
+use crate::metrics::{EventLedger, MetricsRegistry, MetricsSnapshot, RejectReason};
 use crate::protocol::{DrainReport, DEFAULT_MAX_LINE_BYTES};
 use mrls_analysis::{validate_schedule_with, ValidationOptions};
 use mrls_core::{diff_plan_entries, MrlsConfig, MrlsScheduler, Schedule, ScheduledJob};
@@ -242,6 +242,11 @@ pub struct ServiceCore {
     edge_cursor: usize,
     ingest: IngestQueue,
     metrics: MetricsRegistry,
+    /// Cumulative observability registry: the per-thread `mrls_obs` deltas
+    /// produced while this core runs are drained into it after every round
+    /// (and on query), so the snapshot is owned by the core and deterministic
+    /// in the submission order.
+    obs: mrls_obs::Registry,
     rounds: u64,
     virtual_now: f64,
     plan_updates_applied: u64,
@@ -260,6 +265,12 @@ impl ServiceCore {
             // in the same process may still be collecting.
             mrls_core::timing::set_enabled(true);
         }
+        // Metric collection is always on for a service (and, like timing,
+        // never switched off — the flag is process-wide). Discard whatever a
+        // previous core on this thread left in the per-thread store so this
+        // core's registry starts from zero.
+        mrls_obs::set_enabled(true);
+        let _ = mrls_obs::take();
         ServiceCore {
             config,
             world: Vec::new(),
@@ -276,6 +287,7 @@ impl ServiceCore {
             edge_cursor: 0,
             ingest,
             metrics: MetricsRegistry::new(),
+            obs: mrls_obs::Registry::new(),
             rounds: 0,
             virtual_now: 0.0,
             plan_updates_applied: 0,
@@ -325,19 +337,33 @@ impl ServiceCore {
     ) -> Result<u64, String> {
         self.check_fault()?;
         validate_spec(self.num_resource_types(), &job).inspect_err(|_| {
-            self.metrics.record_rejected(tenant, 1);
+            self.metrics
+                .record_rejected(tenant, 1, RejectReason::Validation);
+            mrls_obs::counter_add("serve.rejected.validation", 1);
         })?;
-        let admit = self.ingest.admit(1).and_then(|()| {
-            let next = self.world.len() as u64;
-            match deps.iter().find(|&&d| d >= next) {
-                Some(d) => Err(format!(
-                    "dependency {d} does not exist yet (next id {next})"
-                )),
-                None => Ok(()),
-            }
-        });
-        if let Err(e) = admit {
-            self.metrics.record_rejected(tenant, 1);
+        let admit = self
+            .ingest
+            .admit(1)
+            .map_err(|e| (RejectReason::Backpressure, e))
+            .and_then(|()| {
+                let next = self.world.len() as u64;
+                match deps.iter().find(|&&d| d >= next) {
+                    Some(d) => Err((
+                        RejectReason::Validation,
+                        format!("dependency {d} does not exist yet (next id {next})"),
+                    )),
+                    None => Ok(()),
+                }
+            });
+        if let Err((reason, e)) = admit {
+            self.metrics.record_rejected(tenant, 1, reason);
+            mrls_obs::counter_add(
+                match reason {
+                    RejectReason::Backpressure => "serve.rejected.backpressure",
+                    RejectReason::Validation => "serve.rejected.validation",
+                },
+                1,
+            );
             return Err(e);
         }
         let id = self.world.len();
@@ -354,6 +380,8 @@ impl ServiceCore {
         self.pending.push(id);
         self.ingest.push_jobs(&[id]);
         self.metrics.record_submitted(tenant, 1);
+        self.metrics.record_queued(tenant, 1);
+        mrls_obs::counter_add("serve.admitted_jobs", 1);
         Ok(id as u64)
     }
 
@@ -370,25 +398,39 @@ impl ServiceCore {
         let d = self.num_resource_types();
         let admit = (|| {
             if count == 0 {
-                return Err("empty submission".to_string());
+                return Err((RejectReason::Validation, "empty submission".to_string()));
             }
-            self.ingest.admit(count)?;
+            self.ingest
+                .admit(count)
+                .map_err(|e| (RejectReason::Backpressure, e))?;
             for job in &jobs {
-                validate_spec(d, job)?;
+                validate_spec(d, job).map_err(|e| (RejectReason::Validation, e))?;
             }
             let mut local: Vec<(usize, usize)> = edges.to_vec();
             local.sort_unstable();
             local.dedup();
             if let Some(&(a, b)) = local.iter().find(|&&(a, b)| a >= count || b >= count) {
-                return Err(format!("edge ({a}, {b}) references a job outside the DAG"));
+                return Err((
+                    RejectReason::Validation,
+                    format!("edge ({a}, {b}) references a job outside the DAG"),
+                ));
             }
-            Dag::from_edges(count, &local).map_err(|e| format!("invalid DAG: {e}"))?;
+            Dag::from_edges(count, &local)
+                .map_err(|e| (RejectReason::Validation, format!("invalid DAG: {e}")))?;
             Ok(local)
         })();
         let local = match admit {
             Ok(local) => local,
-            Err(e) => {
-                self.metrics.record_rejected(tenant, count.max(1) as u64);
+            Err((reason, e)) => {
+                self.metrics
+                    .record_rejected(tenant, count.max(1) as u64, reason);
+                mrls_obs::counter_add(
+                    match reason {
+                        RejectReason::Backpressure => "serve.rejected.backpressure",
+                        RejectReason::Validation => "serve.rejected.validation",
+                    },
+                    count.max(1) as u64,
+                );
                 return Err(e);
             }
         };
@@ -406,6 +448,8 @@ impl ServiceCore {
         self.pending.extend(&ids);
         self.ingest.push_jobs(&ids);
         self.metrics.record_submitted(tenant, count as u64);
+        self.metrics.record_queued(tenant, count as u64);
+        mrls_obs::counter_add("serve.admitted_jobs", count as u64);
         Ok(ids.into_iter().map(|id| id as u64).collect())
     }
 
@@ -438,6 +482,18 @@ impl ServiceCore {
         snap
     }
 
+    /// The cumulative observability snapshot: every `mrls_obs` counter,
+    /// gauge and histogram recorded by this core's layers (ready queue, slot
+    /// set, placement, engine, serve rounds) since it was created. The
+    /// counter/gauge/histogram namespaces are virtual-time/count valued and
+    /// deterministic in the submission order; only the `wall` namespace
+    /// carries wall-clock readings (excluded by
+    /// [`mrls_obs::Snapshot::deterministic`]).
+    pub fn obs_snapshot(&mut self) -> mrls_obs::Snapshot {
+        self.obs.absorb(mrls_obs::take());
+        self.obs.snapshot().clone()
+    }
+
     /// Flushes the open batch into one scheduling round, if any work is
     /// queued. The round places what it can and pauses; completions beyond
     /// the round's stamp are processed by later rounds or by a drain.
@@ -447,6 +503,7 @@ impl ServiceCore {
             return Ok(());
         }
         let batch = self.ingest.take_batch();
+        self.metrics.record_batch_taken();
         self.run_round(batch, false).map(|_| ())
     }
 
@@ -455,6 +512,7 @@ impl ServiceCore {
     pub fn drain(&mut self) -> Result<DrainReport, String> {
         self.check_fault()?;
         let batch = self.ingest.take_batch();
+        self.metrics.record_batch_taken();
         let trace = self
             .run_round(batch, true)?
             .expect("completing rounds always produce a trace");
@@ -580,10 +638,12 @@ impl ServiceCore {
         if batch.is_empty() && !complete {
             return Ok(None);
         }
+        let wall_start = Instant::now();
         let t = self.next_round_time();
         if !batch.is_empty() {
             self.rounds += 1;
             self.metrics.record_round();
+            mrls_obs::counter_add("serve.rounds", 1);
         }
         // Mirror the capacity changes before growing the run so its system
         // covers every capacity the machine ever had.
@@ -592,6 +652,9 @@ impl ServiceCore {
             self.capacities_max[resource] = self.capacities_max[resource].max(capacity);
         }
         let result = self.run_round_inner(&batch, t, complete);
+        mrls_obs::observe_wall_us("serve.round_us", wall_start.elapsed().as_micros() as u64);
+        mrls_obs::gauge_set("serve.pending_jobs", self.pending.len() as u64);
+        self.obs.absorb(mrls_obs::take());
         match result {
             Ok(trace) => Ok(trace),
             Err(e) => {
@@ -622,11 +685,15 @@ impl ServiceCore {
         let run = self.run.as_mut().expect("prepare_round created the run");
         let delta = mrls_core::time_phase!("diff", diff_plan_entries(run.plan(), &desired));
         self.plan_entries_unchanged += delta.unchanged as u64;
-        self.plan_updates_applied += mrls_core::time_phase!(
+        let applied = mrls_core::time_phase!(
             "diff",
             run.apply_plan_updates(&delta.changed)
                 .map_err(|e| e.to_string())?
         ) as u64;
+        self.plan_updates_applied += applied;
+        mrls_obs::observe("serve.plan_diff.planned", desired.len() as u64);
+        mrls_obs::observe("serve.plan_diff.updates", applied);
+        mrls_obs::observe("serve.plan_diff.kept", delta.unchanged as u64);
 
         // Refresh the persistent policy instance over the pending frontier:
         // bit-equivalent to building a fresh policy and `on_start`-ing it
@@ -672,6 +739,7 @@ impl ServiceCore {
                 _ => {}
             }
         }
+        mrls_obs::counter_add("serve.harvest.events", events.len() as u64);
         self.ledger.absorb(events, watermark);
         if !started.is_empty() {
             started.sort_unstable();

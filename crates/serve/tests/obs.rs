@@ -1,0 +1,143 @@
+//! End-to-end observability tests: the `QueryMetrics` protocol verb over
+//! loopback TCP, byte-identical obs snapshots across same-order runs (with
+//! the wall-clock namespace stripped), Prometheus rendering of a live
+//! scrape, and Chrome trace-event export of a drained run's realized trace.
+
+use mrls_obs::Snapshot;
+use mrls_serve::{Client, DrainReport, ServeConfig, Server};
+use mrls_sim::PolicyKind;
+use mrls_workload::InstanceRecipe;
+use std::time::Duration;
+
+/// Drives a fixed 2-tenant stream (one DAG, chained singletons, one
+/// validation reject, one capacity drop) against a fresh server and returns
+/// the drain report plus the obs snapshot queried right after the drain.
+fn run_stream() -> (DrainReport, Snapshot) {
+    let handle = Server::spawn(
+        ServeConfig {
+            capacities: vec![8, 8],
+            policy: PolicyKind::FullReschedule,
+            batch_window: Duration::ZERO,
+            tick: 1.0,
+            ..ServeConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("bind loopback");
+    let addr = handle.addr();
+
+    let mut alice = Client::connect(addr, "alice").unwrap();
+    let mut bob = Client::connect(addr, "bob").unwrap();
+
+    let dag = InstanceRecipe::default_layered(8, 2, 8)
+        .generate(21)
+        .instance;
+    let ids = alice
+        .submit_dag(dag.jobs.clone(), dag.dag.edges().collect())
+        .unwrap();
+    assert_eq!(ids.len(), 8);
+
+    let singles = InstanceRecipe::default_layered(4, 2, 8)
+        .generate(22)
+        .instance;
+    let mut prev: Option<u64> = None;
+    for job in singles.jobs.clone() {
+        let deps = prev.map(|p| vec![p]).unwrap_or_default();
+        prev = Some(bob.submit_job(job, deps).unwrap());
+    }
+
+    // One validation reject: a dependency on an id the server never issued
+    // must be refused, and lands in the per-reason reject counter.
+    let bad = singles.jobs[0].clone();
+    assert!(bob.submit_job(bad, vec![9999]).is_err());
+
+    bob.change_capacity(0, 4).unwrap();
+
+    let report = alice.drain().unwrap();
+    let snap = alice.metrics().unwrap();
+    alice.shutdown().unwrap();
+    handle.join();
+    (report, snap)
+}
+
+#[test]
+fn query_metrics_reflects_the_run_and_is_deterministic() {
+    let (report, snap) = run_stream();
+    assert_eq!(report.completed, report.submitted);
+
+    // Serve-layer counters agree with the protocol-level metrics.
+    assert_eq!(
+        snap.counters.get("serve.rounds").copied(),
+        Some(report.metrics.rounds)
+    );
+    assert_eq!(
+        snap.counters.get("serve.admitted_jobs").copied(),
+        Some(report.submitted)
+    );
+    assert_eq!(
+        snap.counters.get("serve.rejected.validation").copied(),
+        Some(1)
+    );
+
+    // The instrumented layers below serve all contributed: the scheduling
+    // core, the sim engine, and the per-round plan-diff distributions.
+    let keys: Vec<&String> = snap.counters.keys().collect();
+    assert!(
+        keys.iter().any(|k| k.starts_with("core.")),
+        "no core counters in {keys:?}"
+    );
+    assert!(
+        keys.iter().any(|k| k.starts_with("sim.engine.")),
+        "no engine counters in {keys:?}"
+    );
+    assert!(snap.histograms.contains_key("serve.plan_diff.updates"));
+    assert!(snap.histograms.contains_key("serve.plan_diff.planned"));
+
+    // Wall-clock timings exist but live in their own namespace: one sample
+    // per executed round, plus the batch-empty completion rounds a drain
+    // runs (timed but not counted as batching rounds).
+    let round_us = snap.wall.get("serve.round_us").expect("wall round timing");
+    assert!(
+        round_us.count >= report.metrics.rounds,
+        "{} wall samples < {} rounds",
+        round_us.count,
+        report.metrics.rounds
+    );
+
+    // Same-order reruns are byte-identical once the wall namespace is
+    // stripped — the snapshot-determinism invariant pinned in ROADMAP.md.
+    let (report2, snap2) = run_stream();
+    assert_eq!(
+        serde_json::to_string(&report.metrics).unwrap(),
+        serde_json::to_string(&report2.metrics).unwrap(),
+        "protocol metrics diverged between identical runs"
+    );
+    assert_eq!(
+        snap.deterministic().to_json(),
+        snap2.deterministic().to_json(),
+        "obs snapshots diverged between identical runs"
+    );
+}
+
+#[test]
+fn live_scrape_renders_valid_prometheus_text() {
+    let (_report, snap) = run_stream();
+    let text = snap.render_prometheus();
+    let samples = mrls_obs::prometheus::validate(&text).expect("valid exposition format");
+    assert!(samples > 10, "only {samples} samples:\n{text}");
+    assert!(text.contains("# TYPE mrls_serve_rounds counter\n"));
+    assert!(text.contains("# TYPE mrls_serve_plan_diff_updates histogram\n"));
+    // Wall-clock series are prefix-separated so a scrape can drop them.
+    assert!(text.contains("mrls_wall_serve_round_us_count"));
+}
+
+#[test]
+fn drained_trace_exports_valid_chrome_json() {
+    let (report, _snap) = run_stream();
+    let text = report.trace.to_chrome_trace_json();
+    let doc = mrls_obs::chrome::validate(&text).expect("valid trace-event JSON");
+    assert!(
+        doc.spans_and_instants >= report.completed as usize,
+        "expected at least one span per completed job: {doc:?}"
+    );
+}

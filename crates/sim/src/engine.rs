@@ -817,6 +817,7 @@ impl RunCore {
                 done.push(j);
             }
             done.sort_unstable();
+            mrls_obs::counter_add("sim.engine.completions", done.len() as u64);
             for j in done {
                 let pos = self.running_pos[j];
                 let r = self.world.running.swap_remove(pos);
@@ -843,9 +844,11 @@ impl RunCore {
                 });
             }
 
+            let (mut releases, mut capacity_changes) = (0u64, 0u64);
             for ev in source.pop_until(self.world.now + EPS) {
                 match ev {
                     SourceEvent::Release { job, .. } => {
+                        releases += 1;
                         self.world.released[job] = true;
                         if self.world.remaining_preds[job] == 0 && !self.world.started[job] {
                             insert_sorted(&mut self.world.ready, job);
@@ -858,6 +861,7 @@ impl RunCore {
                     SourceEvent::Capacity {
                         resource, capacity, ..
                     } => {
+                        capacity_changes += 1;
                         let delta = capacity as f64 - self.world.capacities[resource] as f64;
                         self.world.capacities[resource] = capacity;
                         self.world.resources.shift_capacity(resource, delta);
@@ -870,6 +874,11 @@ impl RunCore {
                 }
             }
 
+            if mrls_obs::enabled() {
+                mrls_obs::counter_add("sim.engine.releases", releases);
+                mrls_obs::counter_add("sim.engine.capacity_changes", capacity_changes);
+                mrls_obs::counter_add("sim.engine.events_processed", batch.len() as u64);
+            }
             self.events.extend(batch.iter().cloned());
             let policy_events = policy.on_events(&self.state(instance, plan), &batch)?;
             self.events.extend(policy_events);
@@ -927,6 +936,7 @@ impl RunCore {
             nominal: t_nom,
         });
         self.completions.push(world.now + t_real, j);
+        mrls_obs::counter_add("sim.engine.job_starts", 1);
         self.events.push(TraceEvent::JobStarted {
             time: world.now,
             job: j,

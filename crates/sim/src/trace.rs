@@ -117,6 +117,101 @@ impl RealizedTrace {
     pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
         serde_json::from_str(s)
     }
+
+    /// Renders the run as Chrome trace-event JSON (`chrome://tracing` /
+    /// Perfetto). Virtual time maps to microseconds (1 time unit = 1s = 1e6
+    /// µs). Realized job executions become complete spans packed greedily
+    /// onto lanes (threads of process 1); releases, capacity changes, and
+    /// reschedules become instant events on process 0, with capacity changes
+    /// also emitted as counter samples so the viewer plots them as a series.
+    pub fn to_chrome_trace_json(&self) -> String {
+        fn us(t: f64) -> u64 {
+            (t * 1e6).round().max(0.0) as u64
+        }
+        let mut trace = mrls_obs::chrome::ChromeTrace::new();
+        trace.process_name(0, &format!("mrls events ({})", self.policy));
+        trace.process_name(1, "mrls jobs");
+
+        // Greedy lane packing: spans sorted by start reuse the first lane
+        // whose previous span already finished, so concurrent jobs render on
+        // separate rows without one row per job.
+        let mut spans: Vec<_> = self
+            .realized
+            .jobs
+            .iter()
+            .filter(|s| s.start.is_finite() && s.finish.is_finite())
+            .collect();
+        spans.sort_by(|a, b| {
+            a.start
+                .partial_cmp(&b.start)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.job.cmp(&b.job))
+        });
+        let mut lane_free: Vec<f64> = Vec::new();
+        for s in spans {
+            let lane = match lane_free.iter().position(|&f| f <= s.start) {
+                Some(k) => k,
+                None => {
+                    lane_free.push(f64::NEG_INFINITY);
+                    lane_free.len() - 1
+                }
+            };
+            lane_free[lane] = s.finish;
+            trace.complete(
+                &format!("job {} {}", s.job, s.alloc),
+                "job",
+                1,
+                lane as u64,
+                us(s.start),
+                us(s.finish - s.start).max(1),
+            );
+        }
+        for (lane, _) in lane_free.iter().enumerate() {
+            trace.thread_name(1, lane as u64, &format!("lane {lane}"));
+        }
+
+        for ev in &self.events {
+            match ev {
+                TraceEvent::JobReleased { time, job } => {
+                    trace.instant(&format!("release job {job}"), "arrival", 0, 0, us(*time));
+                }
+                TraceEvent::CapacityChanged {
+                    time,
+                    resource,
+                    capacity,
+                } => {
+                    trace.instant(
+                        &format!("capacity[{resource}] -> {capacity}"),
+                        "capacity",
+                        0,
+                        0,
+                        us(*time),
+                    );
+                    trace.counter(
+                        &format!("capacity[{resource}]"),
+                        0,
+                        us(*time),
+                        &[("capacity", *capacity)],
+                    );
+                }
+                TraceEvent::Rescheduled {
+                    time,
+                    trigger,
+                    jobs,
+                } => {
+                    trace.instant(
+                        &format!("reschedule ({trigger}, {jobs} jobs)"),
+                        "reschedule",
+                        0,
+                        0,
+                        us(*time),
+                    );
+                }
+                TraceEvent::JobStarted { .. } | TraceEvent::JobCompleted { .. } => {}
+            }
+        }
+        trace.to_json()
+    }
 }
 
 #[cfg(test)]
@@ -170,6 +265,59 @@ mod tests {
         let t = sample();
         let times: Vec<f64> = t.events.iter().map(|e| e.time()).collect();
         assert_eq!(times, vec![0.0, 1.25, 1.25]);
+    }
+
+    #[test]
+    fn chrome_export_is_valid_trace_event_json() {
+        let mut t = sample();
+        t.events.insert(
+            0,
+            TraceEvent::CapacityChanged {
+                time: 0.5,
+                resource: 0,
+                capacity: 3,
+            },
+        );
+        t.events
+            .insert(0, TraceEvent::JobReleased { time: 0.0, job: 0 });
+        let text = t.to_chrome_trace_json();
+        let doc = mrls_obs::chrome::validate(&text).expect("export is valid trace JSON");
+        // 2 process names + 1 lane name + 1 job span + release instant +
+        // capacity instant + capacity counter + reschedule instant.
+        assert_eq!(doc.events, 8);
+        assert_eq!(doc.spans_and_instants, 5);
+        assert!(text.contains("\"ph\":\"X\""), "job span present");
+        assert!(text.contains("\"dur\":1250000"), "1.25 time units = 1.25s");
+    }
+
+    #[test]
+    fn chrome_export_packs_overlapping_jobs_onto_distinct_lanes() {
+        let mut t = sample();
+        t.realized = Schedule::new(vec![
+            ScheduledJob {
+                job: 0,
+                start: 0.0,
+                finish: 2.0,
+                alloc: Allocation::new(vec![1]),
+            },
+            ScheduledJob {
+                job: 1,
+                start: 1.0,
+                finish: 3.0,
+                alloc: Allocation::new(vec![1]),
+            },
+            ScheduledJob {
+                job: 2,
+                start: 2.5,
+                finish: 4.0,
+                alloc: Allocation::new(vec![1]),
+            },
+        ]);
+        let text = t.to_chrome_trace_json();
+        mrls_obs::chrome::validate(&text).expect("valid");
+        // Jobs 0 and 1 overlap (two lanes); job 2 reuses lane 0 (free at 2.0).
+        assert!(text.contains("\"name\":\"lane 1\""));
+        assert!(!text.contains("\"name\":\"lane 2\""));
     }
 
     #[test]
