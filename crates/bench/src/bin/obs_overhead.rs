@@ -28,6 +28,14 @@
 //! The acceptance gate for the observability PR is `disabled_vs_ref_pct`
 //! under 2% on `wide n=20000` — the disabled path must be free.
 //!
+//! The causal-explainability layer's call sites are part of what this bench
+//! measures: the list scheduler's wait-reason recording (blame categories)
+//! sits inside the timed event loop behind the same `mrls_obs::enabled()`
+//! gate, so the gate also covers the span/blame instrumentation added on
+//! top of the original counters. (The engine's per-job ready-time record
+//! and the serve flight recorder are plain field writes on paths this
+//! bench does not exercise — they are always on and O(1) per event.)
+//!
 //! Arguments (`key=value`, all optional): `n=1000,5000,20000 reps=5
 //! ref-ms=10.70`. CI-sized smoke: `n=600,1200 reps=2`.
 //! Results go to `results/obs_overhead.csv`.

@@ -48,6 +48,22 @@
 //!     report's trace) to Chrome trace-event JSON for chrome://tracing or
 //!     Perfetto.
 //!
+//! mrls explain   [in=trace.json] [instance=FILE | n=40 d=3 p=16 dag=layered seed=0]
+//!                [job=ID|critical-path] [out=report.json] [chrome-out=FILE]
+//!     Causal explainability over a realized trace: per-job lifecycle spans
+//!     (submitted→admitted→ready→started→completed) with every wait second
+//!     blamed on a category (precedence, per-type resource contention,
+//!     admission, replan churn, policy), critical-path blame attribution
+//!     telescoping to the realized makespan, and the optimality-gap report
+//!     against the paper's lower bounds. Deterministic: same trace, same
+//!     instance — byte-identical JSON. `chrome-out=` writes the
+//!     blame-annotated Chrome trace export.
+//!
+//! mrls flight-recorder [addr=127.0.0.1] [port=7163] [out=FILE]
+//!     Query a running server's round flight recorder: the bounded ring of
+//!     per-round summaries (admissions, plan-diff counts, starts,
+//!     completions, pending depth, wall latency vs the tick budget).
+//!
 //! mrls theory    [dmax=10] [epsilon=0.1]
 //!     Print the Table 1 approximation ratios for d = 1..dmax.
 //! ```
@@ -147,6 +163,25 @@ fn main() {
             parse_kv(&args[1..], &["addr", "port", "format", "out"]).and_then(|kv| cmd_metrics(&kv))
         }
         "trace-export" => parse_kv(&args[1..], &["in", "out"]).and_then(|kv| cmd_trace_export(&kv)),
+        "explain" => parse_kv(
+            &args[1..],
+            &[
+                "in",
+                "instance",
+                "n",
+                "d",
+                "p",
+                "dag",
+                "seed",
+                "job",
+                "out",
+                "chrome-out",
+            ],
+        )
+        .and_then(|kv| cmd_explain(&kv)),
+        "flight-recorder" => {
+            parse_kv(&args[1..], &["addr", "port", "out"]).and_then(|kv| cmd_flight_recorder(&kv))
+        }
         "theory" => parse_kv(&args[1..], &["dmax", "epsilon"]).and_then(|kv| cmd_theory(&kv)),
         "help" | "--help" | "-h" => {
             print_usage();
@@ -178,6 +213,9 @@ fn print_usage() {
          \u{20}  mrls client   [addr=127.0.0.1] [port=7163] [tenant=cli] [n=20] [arrivals=none] [drain=true]\n\
          \u{20}  mrls metrics  [addr=127.0.0.1] [port=7163] [format=json|prom] [out=FILE]\n\
          \u{20}  mrls trace-export [in=trace.json] [out=trace.chrome.json]\n\
+         \u{20}  mrls explain  [in=trace.json] [instance=FILE|n=40 d=3 p=16 dag=layered seed=0]\n\
+         \u{20}                [job=ID|critical-path] [out=report.json] [chrome-out=FILE]\n\
+         \u{20}  mrls flight-recorder [addr=127.0.0.1] [port=7163] [out=FILE]\n\
          \u{20}  mrls theory   [dmax=10] [epsilon=0.1]"
     );
 }
@@ -864,6 +902,182 @@ fn cmd_trace_export(kv: &HashMap<String, String>) -> Result<i32, String> {
         "wrote {} trace events ({} spans/instants) to {output}",
         doc.events, doc.spans_and_instants
     );
+    Ok(0)
+}
+
+fn cmd_explain(kv: &HashMap<String, String>) -> Result<i32, String> {
+    if kv.contains_key("instance") {
+        for k in ["n", "d", "p", "dag", "seed"] {
+            if kv.contains_key(k) {
+                return Err(format!(
+                    "key `{k}` has no effect when `instance=` loads an instance file"
+                ));
+            }
+        }
+    }
+    let input: String = get(kv, "in", "trace.json".to_string())?;
+    let json =
+        std::fs::read_to_string(&input).map_err(|e| format!("could not read {input}: {e}"))?;
+    let trace = mrls_sim::RealizedTrace::from_json(&json)
+        .map_err(|e| format!("{input} is not a realized trace: {e}"))?;
+    let instance = match kv.get("instance") {
+        Some(path) => std::fs::read_to_string(path)
+            .map_err(|e| format!("could not read {path}: {e}"))
+            .and_then(|s| {
+                Instance::from_json(&s).map_err(|e| format!("could not parse {path}: {e}"))
+            })?,
+        None => build_recipe(kv)?.generate(get(kv, "seed", 0)?).instance,
+    };
+    // Without engine-recorded readiness (a standalone trace file), the
+    // analyzer derives it from admission and predecessor finish times.
+    let report = mrls_sim::explain(&trace, &instance, None, None)
+        .map_err(|e| format!("explain failed: {e}"))?;
+    // Self-validation before anything is printed or written: the wait
+    // segments must tile every job's span and the critical-path blame must
+    // telescope to the realized makespan.
+    report
+        .check_identities(1e-6)
+        .map_err(|e| format!("report failed self-validation: {e}"))?;
+
+    let per_category = |segments: &[mrls_obs::span::SpanSegment]| {
+        let mut totals = mrls_obs::blame::BlameTotals::new();
+        totals.add_segments(segments);
+        totals
+            .by_category
+            .iter()
+            .map(|(k, v)| format!("{k} {v:.3}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    match kv.get("job").map(String::as_str) {
+        Some("critical-path") => {
+            let cp = &report.critical_path;
+            println!(
+                "critical path     : {} steps, telescoping to makespan {:.3}",
+                cp.steps.len(),
+                cp.makespan
+            );
+            for step in &cp.steps {
+                println!(
+                    "  job {:<5} [{:>9.3}, {:>9.3}]  {}",
+                    step.job,
+                    step.from,
+                    step.finish,
+                    per_category(&step.segments)
+                );
+            }
+            println!("blame on the path : {}", per_category_totals(&cp.totals));
+        }
+        Some(id_str) => {
+            let id: usize = id_str.parse().map_err(|_| {
+                format!("invalid value `{id_str}` for key `job` (an id or `critical-path`)")
+            })?;
+            let span = report.jobs.get(id).ok_or_else(|| {
+                format!(
+                    "job {id} does not exist (the trace has {})",
+                    report.jobs.len()
+                )
+            })?;
+            println!(
+                "job {id}: submitted {:.3} admitted {:.3} ready {:.3} started {:.3} completed {:.3}",
+                span.submitted, span.admitted, span.ready, span.started, span.completed
+            );
+            println!(
+                "  wait {:.3} / execution {:.3} — {}",
+                span.wait(),
+                span.execution(),
+                per_category(&span.segments)
+            );
+            let on_path = report.critical_path.steps.iter().any(|s| s.job == id);
+            println!("  on critical path: {on_path}");
+        }
+        None => {
+            println!("policy            : {}", report.policy);
+            println!("seed              : {}", report.seed);
+            println!("realized makespan : {:.3}", report.makespan);
+            println!("jobs              : {}", report.jobs.len());
+            println!(
+                "blame totals      : {}",
+                per_category_totals(&report.totals)
+            );
+            println!(
+                "critical path     : {} steps — {}",
+                report.critical_path.steps.len(),
+                per_category_totals(&report.critical_path.totals)
+            );
+            println!(
+                "lower bounds      : cp {:.3} / area {:.3} / single-job {:.3} (best {:.3})",
+                report.gap.critical_path_bound,
+                report.gap.area_bound,
+                report.gap.single_job_bound,
+                report.gap.best_bound
+            );
+            println!("optimality ratio  : {:.3}", report.gap.ratio);
+        }
+    }
+    if let Some(path) = kv.get("out") {
+        std::fs::write(path, report.to_json())
+            .map_err(|e| format!("could not write {path}: {e}"))?;
+        println!("wrote explain report to {path}");
+    }
+    if let Some(path) = kv.get("chrome-out") {
+        let chrome = mrls_sim::to_chrome_trace_with_blame(&trace, &report);
+        mrls_obs::chrome::validate(&chrome)
+            .map_err(|e| format!("blame-annotated export failed self-validation: {e}"))?;
+        std::fs::write(path, &chrome).map_err(|e| format!("could not write {path}: {e}"))?;
+        println!("wrote blame-annotated Chrome trace to {path}");
+    }
+    Ok(0)
+}
+
+/// Renders blame totals as `category value (share%)`, largest first.
+fn per_category_totals(totals: &mrls_obs::blame::BlameTotals) -> String {
+    let sum = totals.total().max(1e-12);
+    let mut entries: Vec<(&String, &f64)> = totals.by_category.iter().collect();
+    entries.sort_by(|a, b| b.1.total_cmp(a.1).then(a.0.cmp(b.0)));
+    entries
+        .iter()
+        .map(|(k, v)| format!("{k} {v:.3} ({:.0}%)", 100.0 * *v / sum))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn cmd_flight_recorder(kv: &HashMap<String, String>) -> Result<i32, String> {
+    let addr: String = get(kv, "addr", "127.0.0.1".to_string())?;
+    let port: u16 = get(kv, "port", 7163)?;
+    let mut client = Client::connect((addr.as_str(), port), "flight")
+        .map_err(|e| format!("could not connect to {addr}:{port}: {e}"))?;
+    let (rounds, total) = client.flight_recorder()?;
+    println!(
+        "flight recorder: {} rounds retained ({} recorded over the server's lifetime)",
+        rounds.len(),
+        total
+    );
+    for r in &rounds {
+        println!(
+            "  round {:<4} t={:<9.3} admitted={} caps={} planned={} updates={} kept={} \
+             started={} completed={} pending={} wall_us={}{}{}",
+            r.round,
+            r.virtual_time,
+            r.admitted_jobs,
+            r.capacity_changes,
+            r.plan_planned,
+            r.plan_updates,
+            r.plan_kept,
+            r.started,
+            r.completed,
+            r.pending_after,
+            r.wall_us,
+            if r.drain { " [drain]" } else { "" },
+            if r.over_tick { " [OVER TICK]" } else { "" },
+        );
+    }
+    if let Some(path) = kv.get("out") {
+        let json =
+            serde_json::to_string_pretty(&rounds).expect("flight records are always serialisable");
+        std::fs::write(path, json).map_err(|e| format!("could not write {path}: {e}"))?;
+        println!("wrote flight records to {path}");
+    }
     Ok(0)
 }
 

@@ -76,6 +76,36 @@ impl ChromeTrace {
         ));
     }
 
+    /// [`ChromeTrace::complete`] with string-valued `args` shown in the
+    /// viewer's detail pane when the span is selected (e.g. blame
+    /// attribution). Keys and values are JSON-escaped.
+    #[allow(clippy::too_many_arguments)]
+    pub fn complete_with_args(
+        &mut self,
+        name: &str,
+        cat: &str,
+        pid: u64,
+        tid: u64,
+        ts_us: u64,
+        dur_us: u64,
+        args: &[(&str, String)],
+    ) {
+        if args.is_empty() {
+            return self.complete(name, cat, pid, tid, ts_us, dur_us);
+        }
+        let rendered = args
+            .iter()
+            .map(|(k, v)| format!("\"{}\":\"{}\"", escape(k), escape(v)))
+            .collect::<Vec<_>>()
+            .join(",");
+        self.events.push(format!(
+            "{{\"ph\":\"X\",\"name\":\"{}\",\"cat\":\"{}\",\"pid\":{pid},\"tid\":{tid},\
+             \"ts\":{ts_us},\"dur\":{dur_us},\"args\":{{{rendered}}}}}",
+            escape(name),
+            escape(cat)
+        ));
+    }
+
     /// Records a thread-scoped instant event (phase `i`).
     pub fn instant(&mut self, name: &str, cat: &str, pid: u64, tid: u64, ts_us: u64) {
         self.events.push(format!(
@@ -186,11 +216,27 @@ mod tests {
         t.complete("job j0", "job", 1, 2, 0, 1_500_000);
         t.instant("capacity drop", "capacity", 1, 0, 750_000);
         t.counter("capacity", 1, 750_000, &[("cpu", 3), ("mem", 7)]);
-        assert_eq!(t.len(), 5);
+        t.complete_with_args(
+            "job j1",
+            "job",
+            1,
+            2,
+            2_000_000,
+            500_000,
+            &[
+                ("blame", "resource[0]".to_string()),
+                ("wait", "1.25 \"units\"".to_string()),
+            ],
+        );
+        // Empty args fall back to the plain span shape.
+        t.complete_with_args("job j2", "job", 1, 2, 3_000_000, 100_000, &[]);
+        assert_eq!(t.len(), 7);
         let text = t.to_json();
         let doc = validate(&text).expect("builder output is valid trace JSON");
-        assert_eq!(doc.events, 5);
-        assert_eq!(doc.spans_and_instants, 3);
+        assert_eq!(doc.events, 7);
+        assert_eq!(doc.spans_and_instants, 5);
+        assert!(text.contains("\"args\":{\"blame\":\"resource[0]\""));
+        assert!(!text.contains("\"name\":\"job j2\",\"cat\":\"job\",\"pid\":1,\"tid\":2,\"ts\":3000000,\"dur\":100000,\"args\""));
     }
 
     #[test]

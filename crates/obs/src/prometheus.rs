@@ -19,6 +19,40 @@ pub fn metric_name(prefix: &str, name: &str) -> String {
     out
 }
 
+/// Escapes a string for use inside a quoted Prometheus label value:
+/// backslash, double quote, and newline become backslash escapes, per the
+/// text exposition format.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inclusive upper bound of the log2 bucket containing the `q`-quantile of
+/// `h` (`q` in `(0, 1]`): the smallest bucket upper bound at or below which
+/// at least `ceil(q * count)` observations fall. 0 for an empty histogram.
+pub fn quantile_upper_bound(h: &HistogramSnapshot, q: f64) -> u64 {
+    if h.count == 0 {
+        return 0;
+    }
+    let target = (q * h.count as f64).ceil().max(1.0) as u64;
+    let mut cumulative = 0u64;
+    for (idx, n) in h.buckets.iter().enumerate() {
+        cumulative = cumulative.saturating_add(*n);
+        if cumulative >= target {
+            return bucket_upper_bound(idx);
+        }
+    }
+    bucket_upper_bound(h.buckets.len().saturating_sub(1))
+}
+
 fn render_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
     out.push_str(&format!("# TYPE {name} histogram\n"));
     let mut cumulative = 0u64;
@@ -51,7 +85,15 @@ pub fn render(snap: &Snapshot) -> String {
         render_histogram(&mut out, &metric_name("mrls_", k), h);
     }
     for (k, h) in &snap.wall {
-        render_histogram(&mut out, &metric_name("mrls_wall_", k), h);
+        let name = metric_name("mrls_wall_", k);
+        render_histogram(&mut out, &name, h);
+        // SLO companion gauge: the log2-bucket upper estimate of the p99,
+        // so a scrape can alert on e.g. round latency vs the configured
+        // tick without PromQL histogram_quantile over sparse buckets.
+        out.push_str(&format!(
+            "# TYPE {name}_p99 gauge\n{name}_p99 {}\n",
+            quantile_upper_bound(h, 0.99)
+        ));
     }
     out
 }
@@ -66,23 +108,51 @@ fn valid_metric_name(s: &str) -> bool {
 }
 
 fn valid_label_set(s: &str) -> bool {
-    // Accepts `name="value"(,name="value")*` with no escapes inside values
-    // (the renderer never emits any).
-    for part in s.split(',') {
-        let Some((k, v)) = part.split_once('=') else {
+    // Accepts `name="value"(,name="value")*`. Values may contain the three
+    // exposition-format escapes (`\\`, `\"`, `\n`); a bare quote or newline
+    // inside a value, an unknown escape, or an unterminated value is
+    // malformed.
+    let mut rest = s;
+    loop {
+        let Some(eq) = rest.find('=') else {
             return false;
         };
-        if !valid_metric_name(k) {
+        if !valid_metric_name(&rest[..eq]) {
             return false;
         }
-        if v.len() < 2 || !v.starts_with('"') || !v.ends_with('"') {
+        let after = &rest[eq + 1..];
+        if !after.starts_with('"') {
             return false;
         }
-        if v[1..v.len() - 1].contains('"') {
-            return false;
+        let mut end = None;
+        let mut escaped = false;
+        for (i, c) in after.char_indices().skip(1) {
+            if escaped {
+                if !matches!(c, '\\' | '"' | 'n') {
+                    return false;
+                }
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                end = Some(i);
+                break;
+            } else if c == '\n' {
+                return false;
+            }
         }
+        let Some(end) = end else {
+            return false;
+        };
+        rest = &after[end + 1..];
+        if rest.is_empty() {
+            return true;
+        }
+        let Some(r) = rest.strip_prefix(',') else {
+            return false;
+        };
+        rest = r;
     }
-    true
 }
 
 /// Checks that `text` is well-formed Prometheus exposition format: every line
@@ -181,6 +251,10 @@ mod tests {
         assert!(text.contains("mrls_serve_plan_diff_updates_sum 6\n"));
         assert!(text.contains("mrls_serve_plan_diff_updates_count 3\n"));
         assert!(text.contains("mrls_wall_serve_round_us_sum 120\n"));
+        // Every wall histogram carries its p99 SLO companion gauge: one
+        // sample of 120µs lands in the log2 bucket topping out at 127.
+        assert!(text.contains("# TYPE mrls_wall_serve_round_us_p99 gauge\n"));
+        assert!(text.contains("mrls_wall_serve_round_us_p99 127\n"));
     }
 
     #[test]
@@ -193,5 +267,60 @@ mod tests {
         assert!(validate("# TYPE mrls_ok flavor\n").is_err());
         assert!(validate("# random comment\n").is_err());
         assert!(validate("# HELP mrls_ok text here\n").is_ok());
+    }
+
+    #[test]
+    fn label_values_escape_and_validate() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(
+            escape_label_value("a\"b\\c\nd"),
+            "a\\\"b\\\\c\\nd",
+            "quote, backslash, and newline get escaped"
+        );
+        // Escaped values pass the validator; raw specials do not.
+        let escaped = format!(
+            "mrls_ok{{tenant=\"{}\"}} 1\n",
+            escape_label_value("a\"b\\c\nd")
+        );
+        assert!(
+            validate(&escaped).is_ok(),
+            "escaped value rejected:\n{escaped}"
+        );
+        assert!(
+            validate("mrls_ok{tenant=\"a\"b\"} 1\n").is_err(),
+            "bare quote"
+        );
+        assert!(
+            validate("mrls_ok{tenant=\"a\\zb\"} 1\n").is_err(),
+            "unknown escape"
+        );
+        assert!(
+            validate("mrls_ok{tenant=\"a\\\\\"} 1\n").is_ok(),
+            "trailing escaped backslash"
+        );
+        assert!(
+            validate("mrls_ok{a=\"1\",b=\"2\"} 3\n").is_ok(),
+            "multiple labels"
+        );
+        assert!(
+            validate("mrls_ok{a=\"1\"b=\"2\"} 3\n").is_err(),
+            "missing comma"
+        );
+        // A comma *inside* an escaped-quoted value must not split the pair.
+        assert!(validate("mrls_ok{a=\"x,y\"} 3\n").is_ok());
+    }
+
+    #[test]
+    fn quantile_upper_bound_tracks_log2_buckets() {
+        let mut h = HistogramSnapshot::default();
+        assert_eq!(quantile_upper_bound(&h, 0.99), 0, "empty histogram");
+        for _ in 0..99 {
+            h.observe(3); // bucket [2, 3]
+        }
+        assert_eq!(quantile_upper_bound(&h, 0.99), 3);
+        h.observe(1000); // one outlier in bucket [512, 1023]
+        assert_eq!(quantile_upper_bound(&h, 0.99), 3, "99 of 100 below 4");
+        assert_eq!(quantile_upper_bound(&h, 1.0), 1023, "max tracks the tail");
+        assert_eq!(quantile_upper_bound(&h, 0.5), 3);
     }
 }

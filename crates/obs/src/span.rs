@@ -1,0 +1,234 @@
+//! Virtual-time lifecycle spans: the causal record of one job's journey
+//! through the scheduler, with every non-executing interval attributed to a
+//! blame category.
+//!
+//! A [`JobSpan`] carries the five milestones of a job's life —
+//! submitted → admitted → ready (dependencies satisfied) → started →
+//! completed — plus a list of [`SpanSegment`]s that **exactly tile** the
+//! `[submitted, completed]` interval. Each segment names the single reason
+//! the job was not executing ([`Blame`]): admission/batching delay,
+//! precedence wait, a specific resource type being exhausted, replan churn,
+//! or the placement policy passing it over while it would have fit.
+//!
+//! All values are virtual time, so spans are byte-identical across same-seed
+//! runs — the standing determinism invariant. Nothing here reads a clock;
+//! populating spans is the job of the sim engine (milestones) and the
+//! post-hoc analyzer in `mrls-sim::explain` (segment attribution).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a job spent a span segment not executing (or executing, for the
+/// final segment). Categories are mutually exclusive per segment; the
+/// analyzer picks the *binding* cause for each sub-interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Blame {
+    /// The job did not exist yet (before its submission). Only appears in
+    /// makespan decompositions, never inside a job's own span.
+    Arrival,
+    /// Submitted but not yet released into the engine: batching window,
+    /// admission queue, or round granularity.
+    Admission,
+    /// Released, but a predecessor had not finished.
+    Precedence,
+    /// Ready, but resource type `resource` had less available than the job
+    /// requests (the smallest such type index is charged).
+    Resource {
+        /// The binding resource type.
+        resource: usize,
+    },
+    /// Ready and fitting, but a reschedule happened between readiness and
+    /// this interval — the wait is replan churn, not a capacity shortage.
+    Replan,
+    /// Ready and fitting with no intervening reschedule: the placement
+    /// order or policy simply had not started it yet.
+    Policy,
+    /// Executing (start to completion).
+    Execution,
+}
+
+impl Blame {
+    /// Stable lowercase label used as the JSON / metrics key.
+    pub fn label(&self) -> String {
+        match self {
+            Blame::Arrival => "arrival".to_string(),
+            Blame::Admission => "admission".to_string(),
+            Blame::Precedence => "precedence".to_string(),
+            Blame::Resource { resource } => format!("resource[{resource}]"),
+            Blame::Replan => "replan".to_string(),
+            Blame::Policy => "policy".to_string(),
+            Blame::Execution => "execution".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Blame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// One attributed interval `[from, until)` of a lifecycle span.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanSegment {
+    /// Segment start (virtual time).
+    pub from: f64,
+    /// Segment end (virtual time).
+    pub until: f64,
+    /// The single binding reason for this interval.
+    pub blame: Blame,
+}
+
+impl SpanSegment {
+    /// The segment's duration in virtual time.
+    pub fn duration(&self) -> f64 {
+        self.until - self.from
+    }
+}
+
+/// The full virtual-time lifecycle of one job: milestones plus the exact
+/// tiling of `[submitted, completed]` into blamed segments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpan {
+    /// The job's index.
+    pub job: usize,
+    /// When the job was submitted (serve ingest virtual time; for offline
+    /// runs, its release time).
+    pub submitted: f64,
+    /// When it was released into the engine (round stamp / release event).
+    pub admitted: f64,
+    /// When its last predecessor finished (`max(admitted, max pred finish)`).
+    pub ready: f64,
+    /// When it started executing.
+    pub started: f64,
+    /// When it completed.
+    pub completed: f64,
+    /// Blame segments tiling `[submitted, completed]` exactly, in time order.
+    pub segments: Vec<SpanSegment>,
+}
+
+impl JobSpan {
+    /// Total lifetime `completed - submitted`.
+    pub fn total(&self) -> f64 {
+        self.completed - self.submitted
+    }
+
+    /// Total non-executing time `started - submitted`.
+    pub fn wait(&self) -> f64 {
+        self.started - self.submitted
+    }
+
+    /// Execution time `completed - started`.
+    pub fn execution(&self) -> f64 {
+        self.completed - self.started
+    }
+
+    /// `true` iff the segments tile `[submitted, completed]` exactly:
+    /// contiguous (each starts where the previous ended, within `eps`),
+    /// starting at `submitted` and ending at `completed`, with the summed
+    /// durations matching the total lifetime within `eps`.
+    pub fn tiles_exactly(&self, eps: f64) -> bool {
+        let mut cursor = self.submitted;
+        let mut sum = 0.0;
+        for seg in &self.segments {
+            if (seg.from - cursor).abs() > eps || seg.until < seg.from - eps {
+                return false;
+            }
+            sum += seg.duration();
+            cursor = seg.until;
+        }
+        (cursor - self.completed).abs() <= eps && (sum - self.total()).abs() <= eps
+    }
+
+    /// The milestone ordering every well-formed span satisfies.
+    pub fn milestones_ordered(&self) -> bool {
+        self.submitted <= self.admitted
+            && self.admitted <= self.ready
+            && self.ready <= self.started
+            && self.started <= self.completed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span() -> JobSpan {
+        JobSpan {
+            job: 3,
+            submitted: 1.0,
+            admitted: 2.0,
+            ready: 4.0,
+            started: 5.5,
+            completed: 8.0,
+            segments: vec![
+                SpanSegment {
+                    from: 1.0,
+                    until: 2.0,
+                    blame: Blame::Admission,
+                },
+                SpanSegment {
+                    from: 2.0,
+                    until: 4.0,
+                    blame: Blame::Precedence,
+                },
+                SpanSegment {
+                    from: 4.0,
+                    until: 5.5,
+                    blame: Blame::Resource { resource: 1 },
+                },
+                SpanSegment {
+                    from: 5.5,
+                    until: 8.0,
+                    blame: Blame::Execution,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Blame::Arrival.label(), "arrival");
+        assert_eq!(Blame::Admission.label(), "admission");
+        assert_eq!(Blame::Precedence.label(), "precedence");
+        assert_eq!(Blame::Resource { resource: 2 }.label(), "resource[2]");
+        assert_eq!(Blame::Replan.label(), "replan");
+        assert_eq!(Blame::Policy.label(), "policy");
+        assert_eq!(format!("{}", Blame::Execution), "execution");
+    }
+
+    #[test]
+    fn well_formed_span_tiles_exactly() {
+        let s = span();
+        assert!(s.milestones_ordered());
+        assert!(s.tiles_exactly(1e-9));
+        assert!((s.total() - 7.0).abs() < 1e-12);
+        assert!((s.wait() - 4.5).abs() < 1e-12);
+        assert!((s.execution() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaps_and_short_tilings_are_rejected() {
+        // A hole between segments breaks contiguity.
+        let mut s = span();
+        s.segments[1].from = 2.5;
+        assert!(!s.tiles_exactly(1e-9));
+        // Ending before `completed` breaks the endpoint check.
+        let mut s = span();
+        s.segments.pop();
+        assert!(!s.tiles_exactly(1e-9));
+        // Unordered milestones are detectable.
+        let mut s = span();
+        s.started = 3.0;
+        assert!(!s.milestones_ordered());
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        let s = span();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: JobSpan = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+        assert_eq!(json, serde_json::to_string(&back).unwrap());
+    }
+}

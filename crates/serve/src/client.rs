@@ -1,6 +1,7 @@
 //! A small blocking client for the serve protocol, used by `mrls client`,
 //! the `serve_throughput` bench and the loopback tests.
 
+use crate::flight::RoundRecord;
 use crate::metrics::MetricsSnapshot;
 use crate::protocol::{
     read_frame, write_message, DrainReport, Request, RequestBody, Response, ResponseBody,
@@ -114,6 +115,19 @@ impl Client {
     pub fn metrics(&mut self) -> Result<mrls_obs::Snapshot, String> {
         match self.request(RequestBody::QueryMetrics)?.body {
             ResponseBody::Metrics { obs } => Ok(obs),
+            ResponseBody::Error { message } => Err(message),
+            other => Err(format!("unexpected response: {other:?}")),
+        }
+    }
+
+    /// Fetches the round flight recorder: the retained per-round summaries
+    /// (oldest first) and the count of rounds ever recorded.
+    pub fn flight_recorder(&mut self) -> Result<(Vec<RoundRecord>, u64), String> {
+        match self.request(RequestBody::QueryFlightRecorder)?.body {
+            ResponseBody::FlightRecorder {
+                rounds,
+                total_rounds,
+            } => Ok((rounds, total_rounds)),
             ResponseBody::Error { message } => Err(message),
             other => Err(format!("unexpected response: {other:?}")),
         }

@@ -56,6 +56,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod client;
+pub mod flight;
 pub mod ingest;
 pub mod metrics;
 pub mod naive;
@@ -63,6 +64,7 @@ pub mod protocol;
 pub mod service;
 
 pub use client::Client;
+pub use flight::{FlightRecorder, RoundDigest, RoundRecord, FLIGHT_RECORDER_CAPACITY};
 pub use ingest::{Batch, IngestQueue};
 pub use metrics::{EventLedger, MetricsRegistry, MetricsSnapshot, RejectReason, TenantMetrics};
 pub use naive::NaiveService;
@@ -316,6 +318,13 @@ fn handle(core: &mut ServiceCore, msg: ClientMsg) -> Flow {
         RequestBody::QueryMetrics => (
             ResponseBody::Metrics {
                 obs: core.obs_snapshot(),
+            },
+            Flow::Continue,
+        ),
+        RequestBody::QueryFlightRecorder => (
+            ResponseBody::FlightRecorder {
+                rounds: core.flight_records(),
+                total_rounds: core.flight_total_rounds(),
             },
             Flow::Continue,
         ),

@@ -21,6 +21,7 @@
 //! instead. The only allowed changes are those keeping it byte-identical to
 //! its PR 3 semantics.
 
+use crate::flight::{RoundDigest, FLIGHT_RECORDER_CAPACITY};
 use crate::ingest::{Batch, IngestQueue};
 use crate::metrics::{MetricsRegistry, MetricsSnapshot, RejectReason};
 use crate::protocol::DrainReport;
@@ -51,6 +52,11 @@ pub struct NaiveService {
     perturber: Option<Perturber>,
     ingest: IngestQueue,
     metrics: MetricsRegistry,
+    /// The naive mirror of the incremental core's flight recorder, limited
+    /// to the deterministic digest fields both cores can produce (no plan
+    /// diff here, no wall-clock). Pure record-keeping on the side — it does
+    /// not change the reference behaviour.
+    flight: std::collections::VecDeque<RoundDigest>,
     rounds: u64,
     virtual_now: f64,
     events_seen: usize,
@@ -72,6 +78,7 @@ impl NaiveService {
             perturber: None,
             ingest,
             metrics: MetricsRegistry::new(),
+            flight: std::collections::VecDeque::new(),
             rounds: 0,
             virtual_now: 0.0,
             events_seen: 0,
@@ -103,6 +110,13 @@ impl NaiveService {
     /// the O(n²) driver the incremental core eliminates).
     pub fn retained_events(&self) -> usize {
         self.snapshot.as_ref().map_or(0, |s| s.events.len())
+    }
+
+    /// The retained flight digests, oldest first: the reference the
+    /// differential harness compares the incremental core's
+    /// [`RoundRecord::digest`](crate::flight::RoundRecord::digest)s against.
+    pub fn flight_digests(&self) -> Vec<RoundDigest> {
+        self.flight.iter().cloned().collect()
     }
 
     /// Admits one job with dependencies on previously accepted jobs.
@@ -295,9 +309,26 @@ impl NaiveService {
             self.capacities_now[resource] = capacity;
             self.capacities_max[resource] = self.capacities_max[resource].max(capacity);
         }
-        let result = self.run_round_inner(&batch, t, complete);
+        let mut digest = RoundDigest {
+            round: self.rounds,
+            drain: complete,
+            virtual_time: 0.0,
+            admitted_jobs: batch.jobs.len() as u64,
+            capacity_changes: batch.capacity_changes.len() as u64,
+            started: 0,
+            completed: 0,
+            events_harvested: 0,
+            pending_after: 0,
+        };
+        let result = self.run_round_inner(&batch, t, complete, &mut digest);
         match result {
-            Ok(trace) => Ok(trace),
+            Ok(trace) => {
+                if self.flight.len() == FLIGHT_RECORDER_CAPACITY {
+                    self.flight.pop_front();
+                }
+                self.flight.push_back(digest);
+                Ok(trace)
+            }
             Err(e) => {
                 self.fault = Some(e.clone());
                 Err(e)
@@ -310,6 +341,7 @@ impl NaiveService {
         batch: &Batch,
         t: f64,
         complete: bool,
+        digest: &mut RoundDigest,
     ) -> Result<Option<RealizedTrace>, String> {
         let n = self.world.len();
         let system = SystemConfig::new(self.capacities_max.clone()).map_err(|e| e.to_string())?;
@@ -362,7 +394,12 @@ impl NaiveService {
 
         let snapshot = run.checkpoint();
         self.virtual_now = snapshot.now;
-        self.harvest_events(&snapshot);
+        digest.events_harvested = (snapshot.events.len() - self.events_seen) as u64;
+        let (started, completed) = self.harvest_events(&snapshot);
+        digest.started = started;
+        digest.completed = completed;
+        digest.virtual_time = self.virtual_now;
+        digest.pending_after = snapshot.started.iter().filter(|&&s| !s).count() as u64;
         self.perturber = Some(run.perturber().clone());
         let trace = complete.then(|| run.into_trace(self.config.policy.label()));
         self.snapshot = Some(snapshot);
@@ -424,22 +461,26 @@ impl NaiveService {
 
     /// Feeds the engine events processed since the last harvest into the
     /// metrics registry (the snapshot retains the full log, so the cursor
-    /// only ever advances).
-    fn harvest_events(&mut self, snapshot: &SimSnapshot) {
+    /// only ever advances). Returns how many jobs started and completed.
+    fn harvest_events(&mut self, snapshot: &SimSnapshot) -> (u64, u64) {
+        let (mut started, mut completed) = (0u64, 0u64);
         for ev in &snapshot.events[self.events_seen..] {
             match ev {
                 TraceEvent::JobStarted { job, .. } => {
                     let tenant = self.world[*job].tenant.clone();
                     self.metrics.record_scheduled(&tenant);
+                    started += 1;
                 }
                 TraceEvent::JobCompleted { time, job, .. } => {
                     let tenant = self.world[*job].tenant.clone();
                     self.metrics.record_completed(&tenant, *time);
+                    completed += 1;
                 }
                 _ => {}
             }
         }
         self.events_seen = snapshot.events.len();
+        (started, completed)
     }
 
     /// Validates the realized schedule of a drained world

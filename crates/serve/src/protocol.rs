@@ -13,6 +13,7 @@
 //! <- {"id":1,"body":{"Accepted":{"jobs":[0]}}}
 //! ```
 
+use crate::flight::RoundRecord;
 use crate::metrics::MetricsSnapshot;
 use mrls_model::MoldableJob;
 use mrls_sim::RealizedTrace;
@@ -65,6 +66,10 @@ pub enum RequestBody {
     /// Ask for the cross-layer observability snapshot (deterministic
     /// counters/gauges/histograms plus the namespaced wall-clock values).
     QueryMetrics,
+    /// Ask for the round flight recorder: the bounded ring of per-round
+    /// summaries (counts and virtual times, plus the nondeterministic
+    /// wall-clock latency of each round).
+    QueryFlightRecorder,
     /// Flush the current batch and run the virtual-time engine until every
     /// admitted job completed; reply with a [`DrainReport`].
     Drain,
@@ -105,6 +110,14 @@ pub enum ResponseBody {
         /// The observability snapshot (counters, gauges, histograms; the
         /// `wall` namespace is the only nondeterministic part).
         obs: mrls_obs::Snapshot,
+    },
+    /// Answer to [`RequestBody::QueryFlightRecorder`].
+    FlightRecorder {
+        /// The retained per-round summaries, oldest first (at most
+        /// [`crate::flight::FLIGHT_RECORDER_CAPACITY`]).
+        rounds: Vec<RoundRecord>,
+        /// Rounds ever recorded, including those the ring evicted.
+        total_rounds: u64,
     },
     /// Answer to [`RequestBody::Drain`].
     Drained {
@@ -239,6 +252,11 @@ mod tests {
                 body: RequestBody::QueryMetrics,
             },
             Request {
+                id: 8,
+                tenant: "ops".into(),
+                body: RequestBody::QueryFlightRecorder,
+            },
+            Request {
                 id: 5,
                 tenant: "ops".into(),
                 body: RequestBody::Drain,
@@ -255,6 +273,24 @@ mod tests {
             let back = parse_request(&line).unwrap();
             assert_eq!(req, back);
         }
+    }
+
+    #[test]
+    fn flight_recorder_responses_roundtrip() {
+        let mut record = RoundRecord::new(3, false);
+        record.admitted_jobs = 2;
+        record.virtual_time = 3.0;
+        record.wall_us = 1234;
+        let response = Response {
+            id: 8,
+            body: ResponseBody::FlightRecorder {
+                rounds: vec![record],
+                total_rounds: 7,
+            },
+        };
+        let line = encode_line(&response);
+        let back: Response = serde_json::from_str(line.trim()).unwrap();
+        assert_eq!(response, back);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! realized trace — ledger archive plus retained suffix, byte-identical to
 //! the naive path's — validated for capacity/precedence feasibility.
 
+use crate::flight::{FlightRecorder, RoundRecord};
 use crate::ingest::{Batch, IngestQueue};
 use crate::metrics::{EventLedger, MetricsRegistry, MetricsSnapshot, RejectReason};
 use crate::protocol::{DrainReport, DEFAULT_MAX_LINE_BYTES};
@@ -247,6 +248,10 @@ pub struct ServiceCore {
     /// (and on query), so the snapshot is owned by the core and deterministic
     /// in the submission order.
     obs: mrls_obs::Registry,
+    /// Bounded ring of per-round summaries (the black box). Not part of
+    /// `status()` — records carry wall-clock fields, and the differential
+    /// byte-identity guarantee only covers their deterministic digest.
+    flight: FlightRecorder,
     rounds: u64,
     virtual_now: f64,
     plan_updates_applied: u64,
@@ -288,6 +293,7 @@ impl ServiceCore {
             ingest,
             metrics: MetricsRegistry::new(),
             obs: mrls_obs::Registry::new(),
+            flight: FlightRecorder::default(),
             rounds: 0,
             virtual_now: 0.0,
             plan_updates_applied: 0,
@@ -494,6 +500,21 @@ impl ServiceCore {
         self.obs.snapshot().clone()
     }
 
+    /// The retained flight-recorder rounds, oldest first. Every field is a
+    /// count or a virtual time except `wall_us`/`over_tick`, which are
+    /// wall-clock measurements — the reason flight data is queried through
+    /// its own protocol verb instead of riding along in `status()` snapshots
+    /// (those must stay byte-identical across same-stream runs).
+    pub fn flight_records(&self) -> Vec<RoundRecord> {
+        self.flight.records()
+    }
+
+    /// Rounds ever recorded by the flight recorder, including those the
+    /// ring has evicted.
+    pub fn flight_total_rounds(&self) -> u64 {
+        self.flight.total_recorded()
+    }
+
     /// Flushes the open batch into one scheduling round, if any work is
     /// queued. The round places what it can and pauses; completions beyond
     /// the round's stamp are processed by later rounds or by a drain.
@@ -651,12 +672,33 @@ impl ServiceCore {
             self.capacities_now[resource] = capacity;
             self.capacities_max[resource] = self.capacities_max[resource].max(capacity);
         }
-        let result = self.run_round_inner(&batch, t, complete);
-        mrls_obs::observe_wall_us("serve.round_us", wall_start.elapsed().as_micros() as u64);
+        let mut record = RoundRecord::new(self.rounds, complete);
+        record.admitted_jobs = batch.jobs.len() as u64;
+        record.capacity_changes = batch.capacity_changes.len() as u64;
+        let result = self.run_round_inner(&batch, t, complete, &mut record);
+        let wall_us = wall_start.elapsed().as_micros() as u64;
+        mrls_obs::observe_wall_us("serve.round_us", wall_us);
         mrls_obs::gauge_set("serve.pending_jobs", self.pending.len() as u64);
+        // The round's wall-clock budget, as a gauge next to the measured
+        // `wall`-namespace latencies (deterministic: derived from config).
+        mrls_obs::gauge_set("serve.tick_us", (self.config.tick * 1e6).round() as u64);
         self.obs.absorb(mrls_obs::take());
         match result {
-            Ok(trace) => Ok(trace),
+            Ok(trace) => {
+                record.wall_us = wall_us;
+                record.over_tick =
+                    self.config.tick > 0.0 && (wall_us as f64) > self.config.tick * 1e6;
+                if record.over_tick {
+                    eprintln!(
+                        "mrls-serve: flight recorder: round {} exceeded its {}s tick budget: {}",
+                        record.round,
+                        self.config.tick,
+                        serde_json::to_string(&record).expect("flight records serialise"),
+                    );
+                }
+                self.flight.push(record);
+                Ok(trace)
+            }
             Err(e) => {
                 self.fault = Some(e.clone());
                 Err(e)
@@ -669,8 +711,10 @@ impl ServiceCore {
         batch: &Batch,
         t: f64,
         complete: bool,
+        record: &mut RoundRecord,
     ) -> Result<Option<RealizedTrace>, String> {
         let desired = mrls_core::time_phase!("plan", self.prepare_round(t)?);
+        record.plan_planned = desired.len() as u64;
         // Planned finish times of newly submitted jobs, per tenant, in
         // admission order (`desired[i]` describes `pending[i]`).
         for &j in &batch.jobs {
@@ -691,6 +735,8 @@ impl ServiceCore {
                 .map_err(|e| e.to_string())?
         ) as u64;
         self.plan_updates_applied += applied;
+        record.plan_updates = applied;
+        record.plan_kept = delta.unchanged as u64;
         mrls_obs::observe("serve.plan_diff.planned", desired.len() as u64);
         mrls_obs::observe("serve.plan_diff.updates", applied);
         mrls_obs::observe("serve.plan_diff.kept", delta.unchanged as u64);
@@ -735,10 +781,13 @@ impl ServiceCore {
                 TraceEvent::JobCompleted { time, job, .. } => {
                     let tenant = self.world[*job].tenant.clone();
                     self.metrics.record_completed(&tenant, *time);
+                    record.completed += 1;
                 }
                 _ => {}
             }
         }
+        record.events_harvested = events.len() as u64;
+        record.started = started.len() as u64;
         mrls_obs::counter_add("serve.harvest.events", events.len() as u64);
         self.ledger.absorb(events, watermark);
         if !started.is_empty() {
@@ -746,6 +795,8 @@ impl ServiceCore {
             self.pending.retain(|j| started.binary_search(j).is_err());
             self.needs_sync.extend(started);
         }
+        record.virtual_time = self.virtual_now;
+        record.pending_after = self.pending.len() as u64;
         drop(_harvest);
         let trace = complete.then(|| {
             let run = self.run.as_ref().expect("run outlives the round");

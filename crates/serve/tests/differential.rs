@@ -127,6 +127,20 @@ impl Pair {
             self.naive.fault().map(str::to_string),
             "fault state diverged {context}"
         );
+        // The flight recorder's deterministic projection must agree too:
+        // same rounds, same counts, same virtual times (wall-clock fields
+        // are excluded by the digest).
+        let flights: Vec<_> = self
+            .incremental
+            .flight_records()
+            .iter()
+            .map(|r| r.digest())
+            .collect();
+        assert_eq!(
+            flights,
+            self.naive.flight_digests(),
+            "flight digests diverged {context}"
+        );
     }
 
     fn step(&mut self, i: usize, op: &Op) {

@@ -120,6 +120,66 @@ fn query_metrics_reflects_the_run_and_is_deterministic() {
 }
 
 #[test]
+fn flight_recorder_over_tcp_is_bounded_and_deterministic() {
+    let run_flight = || {
+        let handle = Server::spawn(
+            ServeConfig {
+                capacities: vec![8, 8],
+                policy: PolicyKind::FullReschedule,
+                batch_window: Duration::ZERO,
+                tick: 1.0,
+                ..ServeConfig::default()
+            },
+            "127.0.0.1:0",
+        )
+        .expect("bind loopback");
+        let mut client = Client::connect(handle.addr(), "carol").unwrap();
+        let jobs = InstanceRecipe::default_layered(5, 2, 8)
+            .generate(31)
+            .instance;
+        let mut prev: Option<u64> = None;
+        for job in jobs.jobs.clone() {
+            let deps = prev.map(|p| vec![p]).unwrap_or_default();
+            prev = Some(client.submit_job(job, deps).unwrap());
+        }
+        let report = client.drain().unwrap();
+        let (rounds, total) = client.flight_recorder().unwrap();
+        client.shutdown().unwrap();
+        handle.join();
+        (report, rounds, total)
+    };
+
+    let (report, rounds, total) = run_flight();
+    assert!(!rounds.is_empty(), "rounds must be recorded");
+    assert!(rounds.len() <= mrls_serve::FLIGHT_RECORDER_CAPACITY);
+    assert_eq!(total, rounds.len() as u64, "nothing evicted at this scale");
+    let last = rounds.last().unwrap();
+    assert!(last.drain, "the drain is the last recorded round");
+    assert_eq!(last.pending_after, 0, "a drain leaves nothing pending");
+    let admitted: u64 = rounds.iter().map(|r| r.admitted_jobs).sum();
+    assert_eq!(admitted, report.submitted);
+    let completed: u64 = rounds.iter().map(|r| r.completed).sum();
+    assert_eq!(completed, report.completed);
+    assert!(
+        rounds.iter().all(|r| r.events_harvested > 0),
+        "every recorded round processed engine events"
+    );
+
+    // The deterministic digest projection is byte-identical across
+    // same-order reruns; the raw records are not (wall_us is measurement).
+    let digest_json = |records: &[mrls_serve::RoundRecord]| {
+        let digests: Vec<_> = records.iter().map(|r| r.digest()).collect();
+        serde_json::to_string(&digests).unwrap()
+    };
+    let (_, rounds2, _) = run_flight();
+    assert_eq!(
+        digest_json(&rounds),
+        digest_json(&rounds2),
+        "flight digests diverged between identical runs"
+    );
+}
+
+#[test]
 fn live_scrape_renders_valid_prometheus_text() {
     let (_report, snap) = run_stream();
     let text = snap.render_prometheus();

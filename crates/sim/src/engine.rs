@@ -381,6 +381,11 @@ pub struct SimSnapshot {
     pub finish: Vec<f64>,
     /// Nominal execution times of started jobs (NaN = not started).
     pub nominal: Vec<f64>,
+    /// Virtual times at which each job became ready (released with every
+    /// predecessor complete; NaN = not yet ready). Snapshots written before
+    /// this field existed deserialise as all-NaN, and the explain analyzer
+    /// falls back to deriving readiness from the trace.
+    pub ready_time: Vec<f64>,
     /// Allocation each job ran (or is planned to run) with.
     pub alloc_used: Vec<Allocation>,
     /// Number of completed jobs.
@@ -423,6 +428,7 @@ impl Deserialize for SimSnapshot {
             nominal: field(v, "nominal")?,
             alloc_used: field(v, "alloc_used")?,
             num_completed: field(v, "num_completed")?,
+            ready_time: opt_field(v, "ready_time")?.unwrap_or_default(),
             events: field(v, "events")?,
             harvested_events: opt_field(v, "harvested_events")?.unwrap_or(0),
             harvested_until: opt_field(v, "harvested_until")?.unwrap_or(0.0),
@@ -469,6 +475,9 @@ struct RunCore {
     start: Vec<f64>,
     finish: Vec<f64>,
     nominal: Vec<f64>,
+    /// Virtual time each job became ready (NaN = not yet ready). Purely an
+    /// observability record — never read back by the engine itself.
+    ready_time: Vec<f64>,
     alloc_used: Vec<Allocation>,
     num_completed: usize,
     /// Retained events (everything processed since the last harvest).
@@ -502,6 +511,15 @@ impl RunCore {
         let ready: Vec<usize> = (0..n)
             .filter(|&j| released[j] && remaining_preds[j] == 0)
             .collect();
+        let ready_time: Vec<f64> = (0..n)
+            .map(|j| {
+                if released[j] && remaining_preds[j] == 0 {
+                    0.0
+                } else {
+                    f64::NAN
+                }
+            })
+            .collect();
         let world = SimWorld {
             now: 0.0,
             capacities: instance.system.capacities().to_vec(),
@@ -524,6 +542,7 @@ impl RunCore {
             start: vec![f64::NAN; n],
             finish: vec![f64::NAN; n],
             nominal: vec![f64::NAN; n],
+            ready_time,
             alloc_used: plan.allocations(),
             num_completed: 0,
             events: Vec::new(),
@@ -642,6 +661,10 @@ impl RunCore {
         start.resize(n, f64::NAN);
         finish.resize(n, f64::NAN);
         nominal.resize(n, f64::NAN);
+        // Pre-`ready_time` snapshots deserialise the field empty; the resize
+        // fills every slot with the not-yet-ready sentinel.
+        let mut ready_time = snapshot.ready_time.clone();
+        ready_time.resize(n, f64::NAN);
 
         // The completion queue and position index are derived state: rebuilt
         // from the snapshot's running set, never serialised. The progress
@@ -679,6 +702,7 @@ impl RunCore {
             start,
             finish,
             nominal,
+            ready_time,
             alloc_used,
             num_completed: snapshot.num_completed,
             events: snapshot.events.clone(),
@@ -712,6 +736,7 @@ impl RunCore {
             start: self.start.clone(),
             finish: self.finish.clone(),
             nominal: self.nominal.clone(),
+            ready_time: self.ready_time.clone(),
             alloc_used: self.alloc_used.clone(),
             num_completed: self.num_completed,
             events: self.events.clone(),
@@ -834,6 +859,7 @@ impl RunCore {
                     self.world.remaining_preds[succ] -= 1;
                     if self.world.remaining_preds[succ] == 0 && self.world.released[succ] {
                         insert_sorted(&mut self.world.ready, succ);
+                        self.ready_time[succ] = self.world.now;
                     }
                 }
                 batch.push(TraceEvent::JobCompleted {
@@ -852,6 +878,7 @@ impl RunCore {
                         self.world.released[job] = true;
                         if self.world.remaining_preds[job] == 0 && !self.world.started[job] {
                             insert_sorted(&mut self.world.ready, job);
+                            self.ready_time[job] = self.world.now;
                         }
                         batch.push(TraceEvent::JobReleased {
                             time: self.world.now,
@@ -1124,6 +1151,13 @@ impl<'a> SimRun<'a> {
         &self.core.perturber
     }
 
+    /// Per-job virtual times at which each job became ready (NaN = not yet
+    /// ready; all-NaN prefix for runs resumed from pre-`ready_time`
+    /// snapshots).
+    pub fn ready_times(&self) -> &[f64] {
+        &self.core.ready_time
+    }
+
     /// Captures a fully owned, serialisable checkpoint of the paused run.
     pub fn checkpoint(&self) -> SimSnapshot {
         self.core.checkpoint()
@@ -1287,6 +1321,12 @@ impl PersistentRun {
         &self.core.perturber
     }
 
+    /// Per-job virtual times at which each job became ready (NaN = not yet
+    /// ready — see [`SimRun::ready_times`]).
+    pub fn ready_times(&self) -> &[f64] {
+        &self.core.ready_time
+    }
+
     /// Captures a fully owned, serialisable checkpoint of the paused run.
     /// After harvesting, the checkpoint is truncated: it carries only the
     /// retained event suffix plus the harvest watermark.
@@ -1426,6 +1466,7 @@ impl PersistentRun {
         self.core.start.resize(n, f64::NAN);
         self.core.finish.resize(n, f64::NAN);
         self.core.nominal.resize(n, f64::NAN);
+        self.core.ready_time.resize(n, f64::NAN);
         self.core.running_pos.resize(n, usize::MAX);
         self.core
             .alloc_used

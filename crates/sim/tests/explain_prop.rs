@@ -1,0 +1,153 @@
+//! Blame-decomposition identity proptests (the span-determinism invariant):
+//! on random perturbed DAG runs, every job's wait segments plus execution
+//! must tile its `[submitted, completed]` span **exactly**, the critical-path
+//! blame must telescope to the realized makespan, and the analyzer's derived
+//! readiness times must agree with the engine's recorded ones.
+
+use mrls_core::MrlsScheduler;
+use mrls_sim::{
+    explain, normalize_plan, PerturbationModel, PolicyKind, RunStatus, Scenario, SimConfig,
+    Simulator,
+};
+use mrls_workload::{ArrivalRecipe, InstanceRecipe};
+use proptest::prelude::*;
+
+const EPS: f64 = 1e-6;
+
+proptest! {
+    // Fixed seed: the vendored runner derives every case from `seed + case`,
+    // so a failure replays exactly.
+    #![proptest_config(ProptestConfig { cases: 32, seed: 0xb1a_3ed })]
+
+    #[test]
+    fn blame_decomposition_tiles_and_telescopes(
+        seed in 0u64..1_000_000,
+        n in 3usize..28,
+        layers in 2usize..5,
+        sigma in 0.0f64..0.5,
+        policy_which in 0usize..3,
+        online in proptest::bool::ANY,
+    ) {
+        let instance = InstanceRecipe::default_layered(n, 2, 8)
+            .generate(seed)
+            .instance;
+        let plan = MrlsScheduler::with_defaults()
+            .schedule(&instance)
+            .map_err(|e| TestCaseError::reject(format!("planning failed: {e}")))?
+            .schedule;
+        let plan = normalize_plan(&instance, &plan).unwrap();
+        let _ = layers;
+
+        // Half the cases run online: staggered arrivals exercise the
+        // admission milestone and release-driven readiness.
+        let scenario = if online {
+            let release = ArrivalRecipe::UniformWindow {
+                horizon: (plan.makespan * 0.6).max(1.0),
+            }
+            .release_times(n, &mut mrls_workload::rng_from_seed(seed ^ 0x9e37));
+            Scenario::offline().with_release_times(release)
+        } else {
+            Scenario::offline()
+        };
+        let sim = Simulator::new(SimConfig {
+            seed,
+            perturbation: PerturbationModel::Multiplicative { sigma },
+            scenario,
+            max_events: None,
+        });
+        let kind = match policy_which {
+            0 => PolicyKind::Static,
+            1 => PolicyKind::ReactiveList,
+            _ => PolicyKind::FullReschedule,
+        };
+
+        let (mut run, mut source) = sim.start(&instance, &plan).unwrap();
+        let mut policy = kind.build();
+        match run.drive(policy.as_mut(), &mut source) {
+            Ok(RunStatus::Complete) => {}
+            other => {
+                return Err(TestCaseError::reject(format!(
+                    "run did not complete: {other:?}"
+                )));
+            }
+        }
+        let engine_ready = run.ready_times().to_vec();
+        let trace = run.into_trace(kind.label());
+
+        let report = explain(&trace, &instance, None, Some(&engine_ready))
+            .map_err(TestCaseError::fail)?;
+
+        // Identity 1: per-job wait segments + execution exactly tile the
+        // submit -> completion span. Identity 2: critical-path blame sums to
+        // the realized makespan.
+        report.check_identities(EPS).map_err(TestCaseError::fail)?;
+        prop_assert!(
+            report.critical_path.sums_to_makespan(EPS),
+            "critical path sums to {} but makespan is {}",
+            report.critical_path.totals.total(),
+            report.critical_path.makespan
+        );
+
+        // Identity 3: the analyzer's derived readiness (max of admission and
+        // predecessor finishes) agrees with the engine's recorded times.
+        let derived = explain(&trace, &instance, None, None).map_err(TestCaseError::fail)?;
+        for (j, (a, b)) in report.jobs.iter().zip(derived.jobs.iter()).enumerate() {
+            prop_assert!(
+                (a.ready - b.ready).abs() <= EPS,
+                "job {j}: engine readiness {} vs derived {}",
+                a.ready,
+                b.ready
+            );
+        }
+        derived.check_identities(EPS).map_err(TestCaseError::fail)?;
+
+        // Aggregate sanity: total blame equals the summed job lifetimes, and
+        // the gap report's bounds bracket the nominal makespan on
+        // unperturbed runs.
+        let lifetimes: f64 = report.jobs.iter().map(|s| s.total()).sum();
+        prop_assert!(
+            (report.totals.total() - lifetimes).abs() <= EPS * (n as f64).max(1.0),
+            "blame totals {} vs summed lifetimes {lifetimes}",
+            report.totals.total()
+        );
+        if sigma == 0.0 && !online {
+            prop_assert!(
+                report.gap.best_bound <= report.makespan + EPS,
+                "lower bound {} exceeds realized makespan {}",
+                report.gap.best_bound,
+                report.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn same_seed_reports_are_byte_identical(
+        seed in 0u64..1_000_000,
+        n in 3usize..20,
+    ) {
+        let instance = InstanceRecipe::default_layered(n, 2, 8)
+            .generate(seed)
+            .instance;
+        let plan = MrlsScheduler::with_defaults()
+            .schedule(&instance)
+            .map_err(|e| TestCaseError::reject(format!("planning failed: {e}")))?
+            .schedule;
+        let plan = normalize_plan(&instance, &plan).unwrap();
+        let run_once = || {
+            let sim = Simulator::new(SimConfig {
+                seed,
+                perturbation: PerturbationModel::Multiplicative { sigma: 0.3 },
+                scenario: Scenario::offline(),
+                max_events: None,
+            });
+            let (mut run, mut source) = sim.start(&instance, &plan).unwrap();
+            let mut policy = PolicyKind::ReactiveList.build();
+            let status = run.drive(policy.as_mut(), &mut source).unwrap();
+            assert_eq!(status, RunStatus::Complete);
+            let ready = run.ready_times().to_vec();
+            let trace = run.into_trace("reactive-list");
+            explain(&trace, &instance, None, Some(&ready)).unwrap().to_json()
+        };
+        prop_assert_eq!(run_once(), run_once());
+    }
+}
