@@ -22,20 +22,35 @@
 //!    O(history)→O(live) change makes the incremental path flat in the
 //!    round index where the naive path grows linearly.
 //!
+//! 3. **Durability sweep** (`rounds` four-submission rounds, in-process):
+//!    the steady-state workload against a durable [`ServiceCore`] in each
+//!    durability mode (`off` / `buffered` / `fsync`), timing every `flush`
+//!    (round latency, same definition as sweep 2) and every submission (the
+//!    WAL append of the admitted record rides the submit path, before the
+//!    reply). Rounds carry a four-job batch — the coalescing regime the
+//!    serve tier exists for; the durable flush appends one round marker
+//!    regardless of batch size, so its cost is constant per round (the
+//!    one-job worst case for that constant is sweep 2's regime). Reported per mode: p50/p99 round latency, the round-latency
+//!    p50 overhead relative to `off`, the submit p50, and the log volume
+//!    (bytes, checkpoints) the run produced. The `buffered` round overhead
+//!    is the headline number: the write-through round marker must stay
+//!    within a few percent of `off` at p50 (checkpoints ride the cadence
+//!    and surface at p99; `fsync` pays a disk sync per record by design).
+//!
 //! Arguments (`key=value`, all optional): `jobs=120 windows-ms=0,10,50
-//! rounds=320 timing=false` (`rounds=0` skips the second sweep;
+//! rounds=320 timing=false` (`rounds=0` skips the second and third sweeps;
 //! `timing=true` turns on the service's per-phase round instrumentation —
 //! see `mrls_core::timing` — and fills the `timed_us_per_round` column,
 //! which stays `0.000` in the default timing-off runs).
 //! CI-sized smoke: `jobs=20 windows-ms=0,25 rounds=120`.
 //!
-//! Results go to `results/serve_throughput.csv` and
-//! `results/serve_rounds_latency.csv`.
+//! Results go to `results/serve_throughput.csv`,
+//! `results/serve_rounds_latency.csv` and `results/serve_durability.csv`.
 
 use mrls_analysis::export::{fmt3, ResultTable};
 use mrls_bench::emit;
 use mrls_model::MoldableJob;
-use mrls_serve::{Client, NaiveService, ServeConfig, Server, ServiceCore};
+use mrls_serve::{Client, DurabilityMode, NaiveService, ServeConfig, Server, ServiceCore};
 use mrls_sim::PolicyKind;
 use mrls_workload::InstanceRecipe;
 use std::time::{Duration, Instant};
@@ -312,6 +327,124 @@ fn rounds_sweep(rounds: usize) {
     emit("serve_rounds_latency", &table);
 }
 
+/// One-submission rounds per durability mode, timing the submit+flush pair
+/// (the submission carries the WAL append, the flush carries the round
+/// marker and any due checkpoint).
+fn durability_sweep(rounds: usize) {
+    let mut table = ResultTable::new(&[
+        "durability",
+        "rounds",
+        "checkpoint_every",
+        "round_p50_us",
+        "round_p99_us",
+        "overhead_p50_pct",
+        "submit_p50_us",
+        "wal_bytes",
+        "checkpoints",
+    ]);
+    let checkpoint_every = 32u64;
+    let modes = [
+        DurabilityMode::Off,
+        DurabilityMode::Buffered,
+        DurabilityMode::Fsync,
+    ];
+    // One core per mode, all alive at once: every round is driven through
+    // every core back to back, so all three modes sample the same clock
+    // frequency, cache state and background interference. Measuring the
+    // modes sequentially instead lets minute-scale machine drift land
+    // entirely on one mode and swing the overhead column by more than the
+    // effect being measured.
+    let mut cores = Vec::new();
+    for mode in modes {
+        let dir = (mode != DurabilityMode::Off).then(|| {
+            std::env::temp_dir().join(format!(
+                "mrls-bench-durability-{}-{}",
+                mode.label(),
+                std::process::id()
+            ))
+        });
+        if let Some(d) = &dir {
+            let _ = std::fs::remove_dir_all(d);
+        }
+        let config = ServeConfig {
+            capacities: vec![8, 8],
+            policy: PolicyKind::ReactiveList,
+            durability: mode,
+            dir: dir.clone(),
+            checkpoint_every_rounds: checkpoint_every,
+            ..ServeConfig::default()
+        };
+        let (core, _) = ServiceCore::open(config).expect("open durable core");
+        let submits: Vec<Duration> = Vec::with_capacity(rounds * 4);
+        let times: Vec<Duration> = Vec::with_capacity(rounds);
+        cores.push((mode, dir, core, submits, times));
+    }
+    // Four-submission rounds: the batch-coalescing regime the serve tier
+    // exists for. The durable flush appends ONE round marker regardless of
+    // batch size, so this measures the constant per-round record cost
+    // against a representative flush; the per-submission Job-record cost is
+    // timed separately into `submit_p50_us`. The first rounds are untimed
+    // warmup (cold caches, clock ramp-up).
+    let batch = 4usize;
+    let warmup = 64usize;
+    for round in 0..warmup + rounds {
+        for (_, _, core, submits, times) in &mut cores {
+            for k in 0..batch {
+                let job = steady_state_job(round * batch + k);
+                let t = Instant::now();
+                core.submit_job("bench", job, &[]).expect("submit");
+                if round >= warmup {
+                    submits.push(t.elapsed());
+                }
+            }
+            let t = Instant::now();
+            core.flush().expect("round");
+            if round >= warmup {
+                times.push(t.elapsed());
+            }
+        }
+    }
+    let mut off_p50 = None;
+    for (mode, dir, mut core, submits, times) in cores {
+        let status = core.durability_status();
+        let completed = core.drain().expect("drain").completed;
+        assert_eq!(
+            completed,
+            ((warmup + rounds) * batch) as u64,
+            "{}: all submissions complete",
+            mode.label()
+        );
+        if let Some(d) = &dir {
+            let _ = std::fs::remove_dir_all(d);
+        }
+
+        let p50 = percentile(&times, 0.5).as_secs_f64() * 1e6;
+        let p99 = percentile(&times, 0.99).as_secs_f64() * 1e6;
+        let submit_p50 = percentile(&submits, 0.5).as_secs_f64() * 1e6;
+        let base = *off_p50.get_or_insert(p50);
+        let overhead_pct = (p50 / base.max(1e-9) - 1.0) * 100.0;
+        println!(
+            "{:>9}  {rounds:>5} rounds  round p50 {p50:>7.1}us  p99 {p99:>8.1}us  overhead {overhead_pct:>+6.1}%  \
+             submit p50 {submit_p50:>6.1}us  wal {:>8} bytes  {} checkpoints",
+            mode.label(),
+            status.wal_bytes,
+            status.checkpoints_written,
+        );
+        table.push_row(vec![
+            mode.label().to_string(),
+            rounds.to_string(),
+            checkpoint_every.to_string(),
+            fmt3(p50),
+            fmt3(p99),
+            fmt3(overhead_pct),
+            fmt3(submit_p50),
+            status.wal_bytes.to_string(),
+            status.checkpoints_written.to_string(),
+        ]);
+    }
+    emit("serve_durability", &table);
+}
+
 fn main() {
     let (jobs, windows, rounds, timing) = args();
     // A pool of singleton moldable jobs drawn from the standard mixed recipe.
@@ -323,5 +456,6 @@ fn main() {
     tcp_sweep(&pool, jobs, &windows, timing);
     if rounds > 0 {
         rounds_sweep(rounds);
+        durability_sweep(rounds);
     }
 }

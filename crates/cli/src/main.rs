@@ -28,9 +28,24 @@
 //! mrls serve     [addr=127.0.0.1] [port=7163] [d=3] [p=16] [policy=full|reactive|static]
 //!                [batch-window=0.02] [tick=1.0] [max-pending=4096] [seed=0]
 //!                [noise=none|mult] [sigma=0.3]
+//!                [dir=PATH] [durability=off|buffered|fsync] [checkpoint-every=32]
 //!     Run the online scheduling service: clients stream jobs/DAGs over
 //!     line-delimited JSON on TCP; batches are planned with the two-phase
-//!     scheduler and executed in virtual time.
+//!     scheduler and executed in virtual time. With `dir=` every admitted
+//!     input is appended to a checksummed write-ahead log before the reply
+//!     is sent, and periodic checkpoints bound the replay; restarting with
+//!     the same `dir=` (and the same deterministic configuration) recovers
+//!     the exact pre-crash state and resumes serving.
+//!
+//! mrls recover   dir=PATH [replay=checkpoint|scratch] [drain=false] [out=FILE]
+//!                [d=3] [p=16] [policy=full] [tick=1.0] [max-pending=4096] [seed=0]
+//!                [noise=none|mult] [sigma=0.3] [durability=buffered] [checkpoint-every=32]
+//!     Recover a service's state from its durability directory without
+//!     serving: report what was replayed and truncated, optionally drain the
+//!     recovered state and write the drain report. `replay=scratch` ignores
+//!     checkpoints and replays the whole log — the independent path the
+//!     crash smoke compares checkpoint recovery against. The configuration
+//!     keys must match the ones the directory was written under.
 //!
 //! mrls client    [addr=127.0.0.1] [port=7163] [tenant=cli] [n=20] [d=3] [p=16] [dag=layered]
 //!                [seed=0] [arrivals=none|uniform|poisson] [horizon=...] [mean-gap=0.5]
@@ -79,7 +94,7 @@ use mrls_baseline::{BaselineScheduler, RigidListScheduler, RigidRule, Sequential
 use mrls_core::scheduler::{AllocatorKind, MrlsConfig, MrlsScheduler};
 use mrls_core::{theory, PriorityRule, Schedule};
 use mrls_model::{AllocationSpace, Instance};
-use mrls_serve::{Client, ServeConfig, Server};
+use mrls_serve::{Client, DurabilityMode, ServeConfig, Server, ServiceCore};
 use mrls_sim::{PerturbationModel, PolicyKind, Scenario, SimConfig, Simulator};
 use mrls_workload::{
     rng_from_seed, ArrivalRecipe, CapacityDropRecipe, DagRecipe, InstanceRecipe, JobRecipe,
@@ -148,9 +163,32 @@ fn main() {
                 "seed",
                 "noise",
                 "sigma",
+                "dir",
+                "durability",
+                "checkpoint-every",
             ],
         )
         .and_then(|kv| cmd_serve(&kv)),
+        "recover" => parse_kv(
+            &args[1..],
+            &[
+                "dir",
+                "d",
+                "p",
+                "policy",
+                "tick",
+                "max-pending",
+                "seed",
+                "noise",
+                "sigma",
+                "durability",
+                "checkpoint-every",
+                "replay",
+                "drain",
+                "out",
+            ],
+        )
+        .and_then(|kv| cmd_recover(&kv)),
         "client" => parse_kv(
             &args[1..],
             &[
@@ -210,6 +248,8 @@ fn print_usage() {
          \u{20}  mrls simulate [in=FILE|n=40 d=3 p=16 dag=layered seed=0] [policy=reactive] [noise=mult]\n\
          \u{20}                [sigma=0.3] [arrivals=none] [drop=none] [simseed=0] [out=trace.json]\n\
          \u{20}  mrls serve    [addr=127.0.0.1] [port=7163] [d=3] [p=16] [policy=full] [batch-window=0.02]\n\
+         \u{20}                [dir=PATH] [durability=off|buffered|fsync] [checkpoint-every=32]\n\
+         \u{20}  mrls recover  dir=PATH [replay=checkpoint|scratch] [drain=false] [out=FILE]\n\
          \u{20}  mrls client   [addr=127.0.0.1] [port=7163] [tenant=cli] [n=20] [arrivals=none] [drain=true]\n\
          \u{20}  mrls metrics  [addr=127.0.0.1] [port=7163] [format=json|prom] [out=FILE]\n\
          \u{20}  mrls trace-export [in=trace.json] [out=trace.chrome.json]\n\
@@ -680,9 +720,11 @@ fn cmd_simulate(kv: &HashMap<String, String>) -> Result<i32, String> {
     Ok(if report.is_valid() { 0 } else { 1 })
 }
 
-fn cmd_serve(kv: &HashMap<String, String>) -> Result<i32, String> {
-    let addr: String = get(kv, "addr", "127.0.0.1".to_string())?;
-    let port: u16 = get(kv, "port", 7163)?;
+/// Builds the deterministic (digest-relevant) part of a [`ServeConfig`] from
+/// `key=value` args — shared by `serve` and `recover`, which must agree: a
+/// recovery under a configuration different from the one the directory was
+/// written under is refused.
+fn core_serve_config(kv: &HashMap<String, String>) -> Result<ServeConfig, String> {
     let d: usize = get(kv, "d", 3)?;
     let p: u64 = get(kv, "p", 16)?;
     if d == 0 || p == 0 {
@@ -698,10 +740,6 @@ fn cmd_serve(kv: &HashMap<String, String>) -> Result<i32, String> {
         ],
         PolicyKind::FullReschedule,
     )?;
-    let window_s: f64 = get(kv, "batch-window", 0.02)?;
-    if !(0.0..=3600.0).contains(&window_s) {
-        return Err(format!("invalid batch-window {window_s} (seconds)"));
-    }
     let sigma: f64 = get(kv, "sigma", 0.3)?;
     let perturbation = match kv.get("noise").map(String::as_str) {
         None | Some("none") => PerturbationModel::None,
@@ -712,27 +750,128 @@ fn cmd_serve(kv: &HashMap<String, String>) -> Result<i32, String> {
             ))
         }
     };
-    let config = ServeConfig {
+    let dir = kv.get("dir").map(std::path::PathBuf::from);
+    // `dir=` switches durability on (buffered) unless overridden; the other
+    // modes require a directory to write to.
+    let durability = match kv.get("durability").map(String::as_str) {
+        None if dir.is_some() => DurabilityMode::Buffered,
+        None => DurabilityMode::Off,
+        Some(s) => DurabilityMode::parse(s)?,
+    };
+    if durability != DurabilityMode::Off && dir.is_none() {
+        return Err(format!(
+            "durability={} requires dir=PATH",
+            durability.label()
+        ));
+    }
+    Ok(ServeConfig {
         capacities: vec![p; d],
         policy,
-        batch_window: std::time::Duration::from_secs_f64(window_s),
         tick: get(kv, "tick", 1.0)?,
         max_pending_jobs: get(kv, "max-pending", 4096)?,
         seed: get(kv, "seed", 0)?,
         perturbation,
+        durability,
+        dir,
+        checkpoint_every_rounds: get(kv, "checkpoint-every", 32)?,
         ..ServeConfig::default()
-    };
+    })
+}
+
+fn cmd_serve(kv: &HashMap<String, String>) -> Result<i32, String> {
+    let addr: String = get(kv, "addr", "127.0.0.1".to_string())?;
+    let port: u16 = get(kv, "port", 7163)?;
+    let window_s: f64 = get(kv, "batch-window", 0.02)?;
+    if !(0.0..=3600.0).contains(&window_s) {
+        return Err(format!("invalid batch-window {window_s} (seconds)"));
+    }
+    let mut config = core_serve_config(kv)?;
+    config.batch_window = std::time::Duration::from_secs_f64(window_s);
+    let d = config.capacities.len();
+    let p = config.capacities[0];
+    let policy = config.policy;
+    let durability = config.durability;
+    let dir = config.dir.clone();
     let handle = Server::spawn(config, &format!("{addr}:{port}"))
         .map_err(|e| format!("could not bind {addr}:{port}: {e}"))?;
-    println!(
-        "mrls-serve listening on {} (d={d}, p={p}, policy={}, batch-window={window_s}s)",
-        handle.addr(),
-        policy.label()
-    );
+    match dir {
+        Some(dir) => println!(
+            "mrls-serve listening on {} (d={d}, p={p}, policy={}, batch-window={window_s}s, durability={} in {})",
+            handle.addr(),
+            policy.label(),
+            durability.label(),
+            dir.display()
+        ),
+        None => println!(
+            "mrls-serve listening on {} (d={d}, p={p}, policy={}, batch-window={window_s}s)",
+            handle.addr(),
+            policy.label()
+        ),
+    }
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     handle.join();
     println!("mrls-serve stopped");
+    Ok(0)
+}
+
+/// Offline recovery: rebuilds the service state from a durability directory
+/// (checkpoint + log-suffix replay, or a full replay with `replay=scratch`),
+/// reports what was recovered, and optionally drains the recovered state to
+/// a report file. Draining *continues* the log — it appends the drain round
+/// — so compare recovery paths on copies of the directory.
+fn cmd_recover(kv: &HashMap<String, String>) -> Result<i32, String> {
+    let config = core_serve_config(kv)?;
+    if config.dir.is_none() {
+        return Err("recover requires dir=PATH".to_string());
+    }
+    let from_scratch = match kv.get("replay").map(String::as_str) {
+        None | Some("checkpoint") => false,
+        Some("scratch") => true,
+        Some(other) => {
+            return Err(format!(
+                "invalid value `{other}` for key `replay` (expected one of: checkpoint, scratch)"
+            ))
+        }
+    };
+    let (mut core, report) = if from_scratch {
+        ServiceCore::recover_from_genesis(config)
+    } else {
+        ServiceCore::recover(config)
+    }
+    .map_err(|e| format!("recovery failed: {e}"))?;
+    let from = match report.checkpoint_round {
+        Some(round) => format!(
+            "checkpoint at round {round} (covering {} log records)",
+            report.checkpoint_seq
+        ),
+        None => "genesis".to_string(),
+    };
+    println!(
+        "recovered from {from}: {} records replayed ({} rounds), {} torn bytes truncated",
+        report.replayed_records, report.replayed_rounds, report.truncated_bytes
+    );
+    let status = core.durability_status();
+    println!(
+        "log: {} records ({} bytes), recovery #{} for this directory's current core",
+        status.wal_records, status.wal_bytes, status.recoveries
+    );
+    let drain: bool = get(kv, "drain", false)?;
+    if drain {
+        let report = core.drain().map_err(|e| format!("drain failed: {e}"))?;
+        println!(
+            "drained: {} submitted, {} completed, virtual makespan {:.3}, feasible {}",
+            report.submitted, report.completed, report.virtual_makespan, report.feasible
+        );
+        if let Some(out) = kv.get("out") {
+            let json = serde_json::to_string(&report)
+                .map_err(|e| format!("could not serialise the drain report: {e}"))?;
+            std::fs::write(out, json).map_err(|e| format!("could not write {out}: {e}"))?;
+            println!("drain report written to {out}");
+        }
+    } else if kv.contains_key("out") {
+        return Err("out=FILE requires drain=true".to_string());
+    }
     Ok(0)
 }
 

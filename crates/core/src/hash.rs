@@ -1,0 +1,130 @@
+//! Hand-rolled content hashes shared across the workspace — the `vendor/`
+//! policy bans external crates, so the serve tier's write-ahead log and the
+//! snapshot digests roll their own.
+//!
+//! Two hashes, two jobs:
+//!
+//! * [`crc32`] — the IEEE 802.3 CRC-32 (the zlib/gzip polynomial). Detects
+//!   every single-bit flip and every burst error shorter than 32 bits, which
+//!   is exactly the failure model of a torn or bit-rotted log record. Used
+//!   as the per-record checksum of the serve tier's WAL.
+//! * [`fnv1a64`] — the 64-bit FNV-1a fold. Cheap, stable across platforms,
+//!   used to fingerprint larger artefacts (engine snapshots, configurations)
+//!   where a compact identity beats cryptographic strength.
+//!
+//! Neither is cryptographic: they defend against corruption, not attackers.
+
+/// The CRC-32 (IEEE) lookup table, built at compile time from the reflected
+/// polynomial `0xEDB8_8320`.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE 802.3) of `data` — the same value `crc32(data)` produces in
+/// zlib, gzip and PNG.
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_finish(crc32_update(crc32_init(), data))
+}
+
+/// The initial state of an incremental CRC-32 (use with [`crc32_update`] /
+/// [`crc32_finish`] to checksum non-contiguous parts without copying them
+/// into one buffer — the WAL's append path checksums its length prefix and
+/// payload this way).
+#[inline]
+pub fn crc32_init() -> u32 {
+    !0u32
+}
+
+/// Folds `data` into an incremental CRC-32 state.
+#[inline]
+pub fn crc32_update(mut crc: u32, data: &[u8]) -> u32 {
+    for &b in data {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    crc
+}
+
+/// Finalises an incremental CRC-32 state into the checksum value.
+#[inline]
+pub fn crc32_finish(crc: u32) -> u32 {
+    !crc
+}
+
+/// 64-bit FNV-1a hash of `data`.
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The canonical check value of the CRC-32/IEEE family.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn crc32_detects_every_single_bit_flip() {
+        let data = b"mrls wal record payload: {\"seq\":7}";
+        let clean = crc32(data);
+        let mut buf = data.to_vec();
+        for byte in 0..buf.len() {
+            for bit in 0..8 {
+                buf[byte] ^= 1 << bit;
+                assert_ne!(
+                    crc32(&buf),
+                    clean,
+                    "flip at byte {byte} bit {bit} undetected"
+                );
+                buf[byte] ^= 1 << bit;
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_crc32_equals_one_shot() {
+        let data = b"incremental == one-shot, wherever the split lands";
+        let one_shot = crc32(data);
+        for split in 0..data.len() {
+            let crc = crc32_update(crc32_init(), &data[..split]);
+            let crc = crc32_update(crc, &data[split..]);
+            assert_eq!(crc32_finish(crc), one_shot, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn fnv1a64_matches_known_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

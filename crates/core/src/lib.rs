@@ -60,6 +60,7 @@ pub mod allocators;
 pub mod bounds;
 pub mod error;
 pub mod event_queue;
+pub mod hash;
 pub mod list_scheduler;
 pub mod plan_diff;
 pub mod priority;

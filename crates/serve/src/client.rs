@@ -133,6 +133,16 @@ impl Client {
         }
     }
 
+    /// Fetches the durability status: log position, newest checkpoint
+    /// watermark, recovery count.
+    pub fn durability(&mut self) -> Result<crate::wal::DurabilityStatus, String> {
+        match self.request(RequestBody::QueryDurability)?.body {
+            ResponseBody::Durability { status } => Ok(status),
+            ResponseBody::Error { message } => Err(message),
+            other => Err(format!("unexpected response: {other:?}")),
+        }
+    }
+
     /// Drains the server: everything admitted runs to completion.
     pub fn drain(&mut self) -> Result<DrainReport, String> {
         match self.request(RequestBody::Drain)?.body {

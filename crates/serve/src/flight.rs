@@ -141,6 +141,18 @@ impl FlightRecorder {
         }
     }
 
+    /// Rebuilds a default-capacity recorder from checkpointed state (the
+    /// durability layer's recovery path): the retained ring in order, and the
+    /// lifetime total including rounds the ring had already evicted.
+    pub fn restore(records: Vec<RoundRecord>, total: u64) -> Self {
+        let mut fr = FlightRecorder::default();
+        for r in records {
+            fr.push(r);
+        }
+        fr.total = total;
+        fr
+    }
+
     /// Appends one record, evicting the oldest when full.
     pub fn push(&mut self, record: RoundRecord) {
         if self.ring.len() == self.capacity {

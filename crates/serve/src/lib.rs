@@ -7,7 +7,7 @@
 //! by the virtual-time engine — std-only (no async runtime), built from
 //! `std::net::TcpListener`, `std::thread` and `std::sync::mpsc`.
 //!
-//! Four layers:
+//! Five layers:
 //!
 //! * [`protocol`] — line-delimited JSON requests/responses with correlation
 //!   ids ([`Request`], [`Response`], [`DrainReport`]).
@@ -25,6 +25,11 @@
 //! * [`metrics`] — per-tenant counters queryable over the protocol and
 //!   dumpable as JSON ([`MetricsSnapshot`]), plus the harvested-event
 //!   archive ([`EventLedger`]).
+//! * [`wal`] — the durability subsystem: a checksummed append-only
+//!   write-ahead log of every admitted input plus rotating checkpoints, so
+//!   [`ServiceCore::recover`] rebuilds a crashed server byte-identical to
+//!   one that never crashed (torn or corrupt log tails are truncated to the
+//!   last valid record, never propagated).
 //!
 //! Virtual time is decoupled from wall time: each round's events are stamped
 //! deterministically from the submission order alone, so two servers fed the
@@ -62,6 +67,7 @@ pub mod metrics;
 pub mod naive;
 pub mod protocol;
 pub mod service;
+pub mod wal;
 
 pub use client::Client;
 pub use flight::{FlightRecorder, RoundDigest, RoundRecord, FLIGHT_RECORDER_CAPACITY};
@@ -73,6 +79,9 @@ pub use protocol::{
     RequestBody, Response, ResponseBody, DEFAULT_MAX_LINE_BYTES,
 };
 pub use service::{RoundStateStats, ServeConfig, ServiceCore};
+pub use wal::{
+    DurabilityMode, DurabilityStatus, RecoverError, RecoveryReport, WalOp, WalRecord, WalWriter,
+};
 
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -235,7 +244,24 @@ fn service_loop(
     stopping: Arc<AtomicBool>,
     addr: SocketAddr,
 ) {
-    let mut core = ServiceCore::new(config);
+    let mut core = match ServiceCore::open(config) {
+        Ok((core, report)) => {
+            if let Some(r) = report {
+                eprintln!(
+                    "mrls-serve: recovered: {} records replayed ({} rounds) from \
+                     checkpoint seq {}, {} torn bytes truncated",
+                    r.replayed_records, r.replayed_rounds, r.checkpoint_seq, r.truncated_bytes
+                );
+            }
+            core
+        }
+        Err(e) => {
+            eprintln!("mrls-serve: recovery failed, refusing to serve: {e}");
+            stopping.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(addr);
+            return;
+        }
+    };
     loop {
         // Flush before waiting for more work, so a zero window makes every
         // submission its own round regardless of how fast clients pipeline.
@@ -325,6 +351,12 @@ fn handle(core: &mut ServiceCore, msg: ClientMsg) -> Flow {
             ResponseBody::FlightRecorder {
                 rounds: core.flight_records(),
                 total_rounds: core.flight_total_rounds(),
+            },
+            Flow::Continue,
+        ),
+        RequestBody::QueryDurability => (
+            ResponseBody::Durability {
+                status: core.durability_status(),
             },
             Flow::Continue,
         ),

@@ -95,8 +95,11 @@ pub struct MetricsSnapshot {
     pub tenants: BTreeMap<String, TenantMetrics>,
 }
 
-/// The mutable registry the service core feeds.
-#[derive(Debug, Clone, Default)]
+/// The mutable registry the service core feeds. Serialisable so the
+/// durability layer can checkpoint it verbatim — a recovered registry must
+/// resume byte-identical to the uninterrupted one, including the live
+/// queue-depth mirrors.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct MetricsRegistry {
     tenants: BTreeMap<String, TenantMetrics>,
     queued_now: BTreeMap<String, u64>,
@@ -201,6 +204,15 @@ impl EventLedger {
     /// Creates an empty ledger.
     pub fn new() -> Self {
         EventLedger::default()
+    }
+
+    /// Rebuilds a ledger from checkpointed state (the durability layer's
+    /// recovery path).
+    pub fn restore(archived: Vec<TraceEvent>, watermark: f64) -> Self {
+        EventLedger {
+            archived,
+            watermark,
+        }
     }
 
     /// Absorbs one round's harvested events and advances the watermark

@@ -70,6 +70,9 @@ pub enum RequestBody {
     /// summaries (counts and virtual times, plus the nondeterministic
     /// wall-clock latency of each round).
     QueryFlightRecorder,
+    /// Ask for the durability layer's state: log position and byte length,
+    /// newest checkpoint watermark, recovery count, truncated-tail bytes.
+    QueryDurability,
     /// Flush the current batch and run the virtual-time engine until every
     /// admitted job completed; reply with a [`DrainReport`].
     Drain,
@@ -118,6 +121,12 @@ pub enum ResponseBody {
         rounds: Vec<RoundRecord>,
         /// Rounds ever recorded, including those the ring evicted.
         total_rounds: u64,
+    },
+    /// Answer to [`RequestBody::QueryDurability`].
+    Durability {
+        /// The durability status (mode, log position, checkpoints,
+        /// recoveries).
+        status: crate::wal::DurabilityStatus,
     },
     /// Answer to [`RequestBody::Drain`].
     Drained {
@@ -255,6 +264,11 @@ mod tests {
                 id: 8,
                 tenant: "ops".into(),
                 body: RequestBody::QueryFlightRecorder,
+            },
+            Request {
+                id: 9,
+                tenant: "ops".into(),
+                body: RequestBody::QueryDurability,
             },
             Request {
                 id: 5,

@@ -25,6 +25,10 @@ use crate::flight::{FlightRecorder, RoundRecord};
 use crate::ingest::{Batch, IngestQueue};
 use crate::metrics::{EventLedger, MetricsRegistry, MetricsSnapshot, RejectReason};
 use crate::protocol::{DrainReport, DEFAULT_MAX_LINE_BYTES};
+use crate::wal::{
+    list_checkpoints, scan_wal, wal_path, DurabilityMode, DurabilityStatus, RecoverError,
+    RecoveryReport, WalOp, WalRecord, WalWriter,
+};
 use mrls_analysis::{validate_schedule_with, ValidationOptions};
 use mrls_core::{diff_plan_entries, MrlsConfig, MrlsScheduler, Schedule, ScheduledJob};
 use mrls_dag::Dag;
@@ -33,6 +37,8 @@ use mrls_sim::{
     ChannelFeeder, ChannelSource, PersistentRun, PerturbationModel, Policy, PolicyKind,
     RealizedTrace, SimSnapshot, TraceEvent,
 };
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Configuration of the scheduling service.
@@ -64,6 +70,17 @@ pub struct ServeConfig {
     /// the differential byte-identity guarantee only covers snapshots with
     /// the (empty) default.
     pub timing: bool,
+    /// How the write-ahead log is persisted (off by default — no log, no
+    /// recovery, the pre-durability behaviour). Takes effect only when
+    /// [`ServeConfig::dir`] names a durability directory.
+    pub durability: DurabilityMode,
+    /// The durability directory: holds `wal.log` plus rotating checkpoint
+    /// files. `None` (the default) disables durability regardless of the
+    /// mode.
+    pub dir: Option<PathBuf>,
+    /// Checkpoint cadence: a checkpoint is written after every this-many
+    /// rounds (and after every drain). Zero = checkpoint only at drains.
+    pub checkpoint_every_rounds: u64,
 }
 
 impl Default for ServeConfig {
@@ -79,12 +96,15 @@ impl Default for ServeConfig {
             perturbation: PerturbationModel::None,
             scheduler: MrlsConfig::default(),
             timing: false,
+            durability: DurabilityMode::Off,
+            dir: None,
+            checkpoint_every_rounds: 32,
         }
     }
 }
 
 /// One admitted job and the tenant it belongs to.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub(crate) struct WorldJob {
     pub(crate) tenant: String,
     pub(crate) job: MoldableJob,
@@ -188,6 +208,96 @@ fn placeholder_entry(job: usize, d: usize) -> ScheduledJob {
     }
 }
 
+/// The checkpoint artefact of the durability layer: everything a fresh
+/// process needs to rebuild a [`ServiceCore`] byte-identical to the one that
+/// wrote it, without replaying the covered log prefix. `wal_seq` is the
+/// log-position watermark — the first `wal_seq` records of `wal.log` are
+/// already folded into this state, replay starts after them.
+///
+/// Checkpoints are written right after a round, when the ingest queue is
+/// provably empty (the round took the batch and the core is single-threaded),
+/// so no in-flight admissions need serialising. The pending/needs-sync
+/// frontiers are recomputed from the snapshot's started flags at restore, the
+/// same way the in-memory checkpoint/restore path
+/// ([`ServiceCore::restore_engine_json`]) does.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct DurableState {
+    /// Log position (records) this state already covers.
+    wal_seq: u64,
+    /// Fingerprint of the determinism-relevant configuration the state was
+    /// produced under (capacities, policy, tick, admission limit, seed,
+    /// perturbation, scheduler). A recovery under a different configuration
+    /// would silently diverge, so it is refused instead.
+    config_digest: u64,
+    /// Every admitted job, with its tenant.
+    world: Vec<WorldJob>,
+    /// Every admitted precedence edge.
+    edges: Vec<(usize, usize)>,
+    /// Current per-type capacities.
+    capacities_now: Vec<u64>,
+    /// High-water capacities (the engine system's bounds).
+    capacities_max: Vec<u64>,
+    /// The engine's truncated checkpoint.
+    snapshot: SimSnapshot,
+    /// FNV fingerprint of `snapshot` — cross-checked at restore so a
+    /// corrupted-but-parsable checkpoint is refused rather than resumed.
+    engine_digest: u64,
+    /// The harvested-event archive.
+    ledger_events: Vec<TraceEvent>,
+    /// The ledger's harvest watermark.
+    ledger_watermark: f64,
+    /// The per-tenant metrics registry, verbatim.
+    metrics: MetricsRegistry,
+    /// The flight recorder's retained ring.
+    flight_records: Vec<RoundRecord>,
+    /// Rounds ever recorded by the flight recorder.
+    flight_total: u64,
+    /// Rounds executed.
+    rounds: u64,
+    /// Virtual time of the service.
+    virtual_now: f64,
+    /// Plan-diff counter: entries re-applied.
+    plan_updates_applied: u64,
+    /// Plan-diff counter: entries kept.
+    plan_entries_unchanged: u64,
+    /// World jobs the engine was grown to.
+    grown: usize,
+    /// World edges the engine's DAG was grown to.
+    edge_cursor: usize,
+    /// Recoveries performed before this state was written.
+    recoveries: u64,
+    /// Invalid-tail bytes cut by those recoveries.
+    truncated_bytes: u64,
+}
+
+impl DurableState {
+    fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("durable state is always serialisable")
+    }
+
+    fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+}
+
+/// Fingerprint of the configuration fields that determine the core's
+/// deterministic outputs. Wall-clock knobs (batch window, line cap, timing)
+/// are excluded: they shape *when* rounds happen, which the log records
+/// explicitly, not what a round produces.
+fn config_digest(config: &ServeConfig) -> u64 {
+    let key = format!(
+        "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+        config.capacities,
+        config.policy,
+        config.tick,
+        config.max_pending_jobs,
+        config.seed,
+        config.perturbation,
+        config.scheduler,
+    );
+    mrls_core::hash::fnv1a64(key.as_bytes())
+}
+
 /// Introspection counters of the incremental round state (for soak tests and
 /// benches; not part of the protocol-visible metrics, which stay
 /// byte-identical with the naive reference).
@@ -257,6 +367,21 @@ pub struct ServiceCore {
     plan_updates_applied: u64,
     plan_entries_unchanged: u64,
     fault: Option<String>,
+    /// The write-ahead log append handle. `Some` iff durability is on and
+    /// recovery (if any) completed — during replay it stays `None`, so the
+    /// replayed operations do not re-log themselves.
+    wal: Option<WalWriter>,
+    /// Round count at the newest checkpoint written by this core or restored
+    /// from (cadence anchor).
+    last_checkpoint_round: Option<u64>,
+    /// Log position covered by the newest checkpoint.
+    last_checkpoint_seq: Option<u64>,
+    checkpoints_written: u64,
+    /// Lifetime recoveries of this durability directory (carried through
+    /// checkpoints and `Recovered` log records).
+    recoveries: u64,
+    /// Lifetime invalid-tail bytes those recoveries cut.
+    truncated_bytes: u64,
 }
 
 impl ServiceCore {
@@ -299,6 +424,382 @@ impl ServiceCore {
             plan_updates_applied: 0,
             plan_entries_unchanged: 0,
             fault: None,
+            wal: None,
+            last_checkpoint_round: None,
+            last_checkpoint_seq: None,
+            checkpoints_written: 0,
+            recoveries: 0,
+            truncated_bytes: 0,
+        }
+    }
+
+    /// Creates or recovers the service for the configured durability
+    /// directory: without one (or with durability off) this is
+    /// [`ServiceCore::new`]; with a fresh directory it creates the log and
+    /// starts clean; with an existing log it recovers — newest valid
+    /// checkpoint plus log-suffix replay — and resumes serving. The report is
+    /// `Some` iff a recovery ran.
+    pub fn open(config: ServeConfig) -> Result<(Self, Option<RecoveryReport>), RecoverError> {
+        let durable = config.dir.is_some() && config.durability != DurabilityMode::Off;
+        if !durable {
+            return Ok((ServiceCore::new(config), None));
+        }
+        let dir = config.dir.clone().expect("checked above");
+        std::fs::create_dir_all(&dir)?;
+        let path = wal_path(&dir);
+        if path.exists() {
+            let (core, report) = Self::recover(config)?;
+            return Ok((core, Some(report)));
+        }
+        let mut core = ServiceCore::new(config.clone());
+        std::fs::write(dir.join("CONFIG"), format!("{}\n", config_digest(&config)))?;
+        core.wal = Some(WalWriter::create(&path, config.durability)?);
+        Ok((core, None))
+    }
+
+    /// Recovers a service from its durability directory: truncates any torn
+    /// or corrupt log tail back to the last valid record, loads the newest
+    /// usable checkpoint (falling back to older ones, then to a full replay
+    /// from genesis), replays the log suffix through the unchanged round
+    /// machinery, and re-attaches the log for appending. The recovered core
+    /// is byte-identical to one that processed the logged inputs without
+    /// interruption.
+    pub fn recover(config: ServeConfig) -> Result<(Self, RecoveryReport), RecoverError> {
+        Self::recover_inner(config, true)
+    }
+
+    /// Like [`ServiceCore::recover`], but ignores every checkpoint and
+    /// replays the whole log from genesis — the independent recovery path
+    /// the crash smoke compares checkpoint-based recovery against, and an
+    /// escape hatch when checkpoints are suspect.
+    pub fn recover_from_genesis(
+        config: ServeConfig,
+    ) -> Result<(Self, RecoveryReport), RecoverError> {
+        Self::recover_inner(config, false)
+    }
+
+    fn recover_inner(
+        config: ServeConfig,
+        use_checkpoints: bool,
+    ) -> Result<(Self, RecoveryReport), RecoverError> {
+        if config.durability == DurabilityMode::Off {
+            return Err(RecoverError::Checkpoint(
+                "durability is off — nothing to recover".to_string(),
+            ));
+        }
+        let dir = config.dir.clone().ok_or_else(|| {
+            RecoverError::Checkpoint("no durability directory configured".to_string())
+        })?;
+        let digest = config_digest(&config);
+        let config_file = dir.join("CONFIG");
+        if let Ok(text) = std::fs::read_to_string(&config_file) {
+            let recorded = text.trim().parse::<u64>().ok();
+            if recorded != Some(digest) {
+                return Err(RecoverError::Checkpoint(format!(
+                    "the directory was written under a different configuration \
+                     (recorded digest {}, current {digest}) — recovering under it \
+                     would silently diverge",
+                    text.trim()
+                )));
+            }
+        }
+        let path = wal_path(&dir);
+        let scan = scan_wal(&path)?;
+        let mut core = None;
+        let mut checkpoint_round = None;
+        let mut checkpoint_seq = 0u64;
+        if use_checkpoints {
+            for (seq, p) in list_checkpoints(&dir)? {
+                // A checkpoint whose watermark points past the valid log
+                // covers records that no longer exist: unusable.
+                if seq as usize > scan.records.len() {
+                    continue;
+                }
+                let Ok(text) = std::fs::read_to_string(&p) else {
+                    continue;
+                };
+                let rebuilt = DurableState::from_json(&text)
+                    .and_then(|state| Self::from_durable(config.clone(), state, digest));
+                if let Ok(c) = rebuilt {
+                    checkpoint_round = Some(c.rounds);
+                    checkpoint_seq = seq;
+                    core = Some(c);
+                    break;
+                }
+            }
+        }
+        let mut core = core.unwrap_or_else(|| ServiceCore::new(config.clone()));
+        let suffix = &scan.records[checkpoint_seq as usize..];
+        let replayed_rounds = core.replay(suffix)?;
+        let mut writer = WalWriter::resume(&path, config.durability, &scan)?;
+        core.recoveries += 1;
+        core.truncated_bytes += scan.truncated_bytes;
+        writer.append(WalOp::Recovered {
+            truncated_bytes: scan.truncated_bytes,
+        })?;
+        core.wal = Some(writer);
+        if !config_file.exists() {
+            let _ = std::fs::write(&config_file, format!("{digest}\n"));
+        }
+        mrls_obs::counter_add("serve.wal.recoveries", 1);
+        mrls_obs::counter_add("serve.wal.truncated_bytes", scan.truncated_bytes);
+        let report = RecoveryReport {
+            checkpoint_round,
+            checkpoint_seq,
+            replayed_records: suffix.len() as u64,
+            replayed_rounds,
+            truncated_bytes: scan.truncated_bytes,
+        };
+        Ok((core, report))
+    }
+
+    /// Rebuilds a core from a checkpointed [`DurableState`], mirroring
+    /// [`ServiceCore::restore_engine_json`]: realized placements for started
+    /// jobs, placeholders for pending ones, frontiers recomputed from the
+    /// snapshot's flags.
+    fn from_durable(config: ServeConfig, state: DurableState, digest: u64) -> Result<Self, String> {
+        if state.config_digest != digest {
+            return Err(format!(
+                "checkpoint was written under configuration digest {} but the \
+                 service runs under {digest}",
+                state.config_digest
+            ));
+        }
+        if state.snapshot.digest() != state.engine_digest {
+            return Err("checkpoint engine digest mismatch (corrupt checkpoint)".to_string());
+        }
+        if state.snapshot.num_jobs() != state.grown
+            || state.grown > state.world.len()
+            || state.edge_cursor > state.edges.len()
+        {
+            return Err("checkpoint world bounds are inconsistent".to_string());
+        }
+        if state.snapshot.harvested_events + state.snapshot.events.len()
+            != state.ledger_events.len()
+        {
+            return Err("checkpoint ledger does not match its engine snapshot".to_string());
+        }
+        let mut core = ServiceCore::new(config);
+        let d = core.num_resource_types();
+        let system = SystemConfig::new(state.capacities_max.clone()).map_err(|e| e.to_string())?;
+        let dag = Dag::from_edges(state.grown, &state.edges[..state.edge_cursor])
+            .map_err(|e| e.to_string())?;
+        let jobs: Vec<MoldableJob> = state.world[..state.grown]
+            .iter()
+            .map(|w| w.job.clone())
+            .collect();
+        let instance = Instance::new(system, dag, jobs).map_err(|e| e.to_string())?;
+        let plan = Schedule::new(
+            (0..state.grown)
+                .map(|j| {
+                    if state.snapshot.started[j] {
+                        ScheduledJob {
+                            job: j,
+                            start: state.snapshot.start[j],
+                            finish: state.snapshot.finish[j],
+                            alloc: state.snapshot.alloc_used[j].clone(),
+                        }
+                    } else {
+                        placeholder_entry(j, d)
+                    }
+                })
+                .collect(),
+        );
+        let run = PersistentRun::resume(
+            instance,
+            plan,
+            &state.snapshot,
+            core.config.perturbation.clone(),
+            None,
+        )
+        .map_err(|e| e.to_string())?;
+        core.pending = (0..state.grown)
+            .filter(|&j| !state.snapshot.started[j])
+            .chain(state.grown..state.world.len())
+            .collect();
+        core.needs_sync.clear();
+        core.run = Some(run);
+        core.feed = Some(ChannelSource::feeder());
+        core.world = state.world;
+        core.edges = state.edges;
+        core.capacities_now = state.capacities_now;
+        core.capacities_max = state.capacities_max;
+        core.ledger = EventLedger::restore(state.ledger_events, state.ledger_watermark);
+        core.metrics = state.metrics;
+        core.flight = FlightRecorder::restore(state.flight_records, state.flight_total);
+        core.rounds = state.rounds;
+        core.virtual_now = state.virtual_now;
+        core.plan_updates_applied = state.plan_updates_applied;
+        core.plan_entries_unchanged = state.plan_entries_unchanged;
+        core.grown = state.grown;
+        core.edge_cursor = state.edge_cursor;
+        core.recoveries = state.recoveries;
+        core.truncated_bytes = state.truncated_bytes;
+        core.last_checkpoint_round = Some(state.rounds);
+        core.last_checkpoint_seq = Some(state.wal_seq);
+        Ok(core)
+    }
+
+    /// Replays a log suffix through the normal round machinery. Submissions
+    /// re-run their full admission path (including rejections — those mutate
+    /// metrics and must reproduce); round markers cross-check their recorded
+    /// stamp against what the rebuilt core would stamp, then re-run the
+    /// flush or drain. A fault the original run hit is reproduced, not
+    /// propagated — it is part of the recovered state. Returns the number of
+    /// rounds re-run.
+    fn replay(&mut self, records: &[WalRecord]) -> Result<u64, RecoverError> {
+        debug_assert!(self.wal.is_none(), "replay must not re-log itself");
+        let mut rounds = 0u64;
+        for record in records {
+            match &record.op {
+                WalOp::Job { tenant, job, deps } => {
+                    let _ = self.submit_job(tenant, job.clone(), deps);
+                }
+                WalOp::Dag {
+                    tenant,
+                    jobs,
+                    edges,
+                } => {
+                    let _ = self.submit_dag(tenant, jobs.clone(), edges);
+                }
+                WalOp::Capacity { resource, capacity } => {
+                    let _ = self.submit_capacity(*resource, *capacity);
+                }
+                WalOp::Round { stamp, drain } => {
+                    if self.fault.is_none() {
+                        let expect = self.next_round_time();
+                        if expect.to_bits() != stamp.to_bits() {
+                            return Err(RecoverError::Replay {
+                                seq: record.seq,
+                                detail: format!(
+                                    "round marker stamped {stamp} but the rebuilt core \
+                                     stamps {expect} — the log does not continue this state"
+                                ),
+                            });
+                        }
+                        if !drain && self.ingest.is_empty() {
+                            return Err(RecoverError::Replay {
+                                seq: record.seq,
+                                detail: "round marker with no queued inputs".to_string(),
+                            });
+                        }
+                    }
+                    let result = if *drain {
+                        self.drain().map(|_| ())
+                    } else {
+                        self.flush()
+                    };
+                    match result {
+                        Ok(()) => {}
+                        // A reproduced fault is consistent recovered state;
+                        // anything else means the log does not replay.
+                        Err(_) if self.fault.is_some() => {}
+                        Err(e) => {
+                            return Err(RecoverError::Replay {
+                                seq: record.seq,
+                                detail: e,
+                            });
+                        }
+                    }
+                    rounds += 1;
+                }
+                WalOp::Recovered { truncated_bytes } => {
+                    self.recoveries += 1;
+                    self.truncated_bytes += truncated_bytes;
+                }
+            }
+        }
+        Ok(rounds)
+    }
+
+    /// Appends one op to the write-ahead log, if one is attached. Called
+    /// **before** the op is applied (and so before any reply is sent): a
+    /// logged-but-unapplied op replays to the applied state, while an
+    /// applied-but-unlogged op would be lost — so the log always leads.
+    fn log_op(&mut self, op: impl FnOnce() -> WalOp) -> Result<(), String> {
+        match self.wal.as_mut() {
+            None => Ok(()),
+            Some(w) => w
+                .append(op())
+                .map(|_| ())
+                .map_err(|e| format!("durability: log append failed: {e}")),
+        }
+    }
+
+    /// Writes a checkpoint if one is due (cadence reached, or `force` — the
+    /// drain path). Runs right after a round, when the ingest queue is
+    /// empty, so the durable state plus the covered log prefix is the whole
+    /// service. A failed write degrades durability (longer replay) but never
+    /// the service: it is reported, not propagated.
+    fn maybe_checkpoint(&mut self, force: bool) {
+        let Some(wal_seq) = self.wal.as_ref().map(|w| w.next_seq()) else {
+            return;
+        };
+        let Some(dir) = self.config.dir.clone() else {
+            return;
+        };
+        if self.run.is_none() {
+            return;
+        }
+        let every = self.config.checkpoint_every_rounds;
+        let since = self.rounds - self.last_checkpoint_round.unwrap_or(0);
+        if !(force || (every > 0 && since >= every)) {
+            return;
+        }
+        debug_assert!(self.ingest.is_empty(), "checkpoints cover the whole log");
+        let snapshot = self.run.as_ref().expect("checked above").checkpoint();
+        let engine_digest = snapshot.digest();
+        let state = DurableState {
+            wal_seq,
+            config_digest: config_digest(&self.config),
+            world: self.world.clone(),
+            edges: self.edges.clone(),
+            capacities_now: self.capacities_now.clone(),
+            capacities_max: self.capacities_max.clone(),
+            snapshot,
+            engine_digest,
+            ledger_events: self.ledger.archived().to_vec(),
+            ledger_watermark: self.ledger.watermark(),
+            metrics: self.metrics.clone(),
+            flight_records: self.flight.records(),
+            flight_total: self.flight.total_recorded(),
+            rounds: self.rounds,
+            virtual_now: self.virtual_now,
+            plan_updates_applied: self.plan_updates_applied,
+            plan_entries_unchanged: self.plan_entries_unchanged,
+            grown: self.grown,
+            edge_cursor: self.edge_cursor,
+            recoveries: self.recoveries,
+            truncated_bytes: self.truncated_bytes,
+        };
+        match crate::wal::write_checkpoint(&dir, wal_seq, &state.to_json()) {
+            Ok(()) => {
+                self.last_checkpoint_round = Some(self.rounds);
+                self.last_checkpoint_seq = Some(wal_seq);
+                self.checkpoints_written += 1;
+            }
+            Err(e) => eprintln!("mrls-serve: checkpoint write failed (durability degraded): {e}"),
+        }
+    }
+
+    /// The queryable state of the durability layer. **Not** part of the
+    /// recovery byte-identity oracle: a recovered server has a higher
+    /// recovery count than one that never crashed — that asymmetry lives
+    /// here, and only here.
+    pub fn durability_status(&self) -> DurabilityStatus {
+        DurabilityStatus {
+            mode: if self.wal.is_some() {
+                self.config.durability.label().to_string()
+            } else {
+                DurabilityMode::Off.label().to_string()
+            },
+            wal_records: self.wal.as_ref().map_or(0, |w| w.next_seq()),
+            wal_bytes: self.wal.as_ref().map_or(0, |w| w.bytes()),
+            last_checkpoint_round: self.last_checkpoint_round,
+            last_checkpoint_seq: self.last_checkpoint_seq,
+            checkpoints_written: self.checkpoints_written,
+            recoveries: self.recoveries,
+            truncated_bytes: self.truncated_bytes,
         }
     }
 
@@ -342,6 +843,13 @@ impl ServiceCore {
         deps: &[u64],
     ) -> Result<u64, String> {
         self.check_fault()?;
+        // Log before validating: rejections mutate metrics, so replay must
+        // re-reject the same submissions to reproduce the same counters.
+        self.log_op(|| WalOp::Job {
+            tenant: tenant.to_string(),
+            job: job.clone(),
+            deps: deps.to_vec(),
+        })?;
         validate_spec(self.num_resource_types(), &job).inspect_err(|_| {
             self.metrics
                 .record_rejected(tenant, 1, RejectReason::Validation);
@@ -400,6 +908,11 @@ impl ServiceCore {
         edges: &[(usize, usize)],
     ) -> Result<Vec<u64>, String> {
         self.check_fault()?;
+        self.log_op(|| WalOp::Dag {
+            tenant: tenant.to_string(),
+            jobs: jobs.clone(),
+            edges: edges.to_vec(),
+        })?;
         let count = jobs.len();
         let d = self.num_resource_types();
         let admit = (|| {
@@ -462,6 +975,7 @@ impl ServiceCore {
     /// Queues a capacity change for the next round.
     pub fn submit_capacity(&mut self, resource: usize, capacity: u64) -> Result<(), String> {
         self.check_fault()?;
+        self.log_op(|| WalOp::Capacity { resource, capacity })?;
         let d = self.num_resource_types();
         if resource >= d {
             return Err(format!(
@@ -523,20 +1037,35 @@ impl ServiceCore {
         if self.ingest.is_empty() {
             return Ok(());
         }
+        // Batch boundaries are wall-clock-driven — the one nondeterministic
+        // input — so each is recorded where it actually happened, stamped
+        // with the round time replay will cross-check.
+        let stamp = self.next_round_time();
+        self.log_op(|| WalOp::Round {
+            stamp,
+            drain: false,
+        })?;
         let batch = self.ingest.take_batch();
         self.metrics.record_batch_taken();
-        self.run_round(batch, false).map(|_| ())
+        let result = self.run_round(batch, false).map(|_| ());
+        if result.is_ok() {
+            self.maybe_checkpoint(false);
+        }
+        result
     }
 
     /// Flushes any queued work and runs the engine until every admitted job
     /// completed, returning the drain report.
     pub fn drain(&mut self) -> Result<DrainReport, String> {
         self.check_fault()?;
+        let stamp = self.next_round_time();
+        self.log_op(|| WalOp::Round { stamp, drain: true })?;
         let batch = self.ingest.take_batch();
         self.metrics.record_batch_taken();
         let trace = self
             .run_round(batch, true)?
             .expect("completing rounds always produce a trace");
+        self.maybe_checkpoint(true);
         let submitted = self.world.len() as u64;
         let completed = self.run.as_ref().map_or(0, |r| r.num_completed() as u64);
         Ok(DrainReport {
@@ -1151,6 +1680,144 @@ mod tests {
         assert!(core.fault().is_none(), "a refused restore must not poison");
         let report = core.drain().unwrap();
         assert_eq!(report.completed, 2);
+    }
+
+    fn temp_dir() -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "mrls-service-test-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn durable_config(dir: &std::path::Path) -> ServeConfig {
+        ServeConfig {
+            capacities: vec![4, 4],
+            tick: 1.0,
+            durability: DurabilityMode::Buffered,
+            dir: Some(dir.to_path_buf()),
+            checkpoint_every_rounds: 2,
+            ..ServeConfig::default()
+        }
+    }
+
+    /// Drives the same op script against any core; the durability layer must
+    /// be output-transparent for it.
+    fn script(core: &mut ServiceCore) {
+        core.submit_job("a", job(2.0), &[]).unwrap();
+        core.submit_job("b", job(1.5), &[0]).unwrap();
+        core.flush().unwrap();
+        core.submit_dag("a", vec![job(1.0), job(1.0)], &[(0, 1)])
+            .unwrap();
+        core.submit_capacity(0, 2).unwrap();
+        // A rejection: must replay identically (it mutates metrics).
+        assert!(core.submit_job("b", job(1.0), &[99]).is_err());
+        core.flush().unwrap();
+        core.submit_job("b", job(0.5), &[2]).unwrap();
+        core.flush().unwrap();
+    }
+
+    fn fingerprint(core: &mut ServiceCore) -> (String, String, String) {
+        let status = serde_json::to_string(&core.status()).unwrap();
+        let digests: Vec<_> = core.flight_records().iter().map(|r| r.digest()).collect();
+        let report = core.drain().unwrap();
+        (
+            status,
+            serde_json::to_string(&digests).unwrap(),
+            serde_json::to_string(&report).unwrap(),
+        )
+    }
+
+    #[test]
+    fn recovered_core_is_byte_identical_to_uninterrupted() {
+        let dir = temp_dir();
+        let (mut durable, report) = ServiceCore::open(durable_config(&dir)).unwrap();
+        assert!(report.is_none(), "a fresh directory has nothing to recover");
+        script(&mut durable);
+        // Unflushed admissions after the last round: logged, not yet rounded.
+        durable.submit_job("a", job(3.0), &[]).unwrap();
+        drop(durable); // crash
+
+        let (mut recovered, report) = ServiceCore::recover(durable_config(&dir)).unwrap();
+        assert_eq!(report.truncated_bytes, 0, "clean log, nothing torn");
+        assert!(report.checkpoint_round.is_some(), "cadence 2 wrote one");
+
+        let mut reference = ServiceCore::new(ServeConfig {
+            capacities: vec![4, 4],
+            tick: 1.0,
+            ..ServeConfig::default()
+        });
+        script(&mut reference);
+        reference.submit_job("a", job(3.0), &[]).unwrap();
+
+        assert_eq!(fingerprint(&mut recovered), fingerprint(&mut reference));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_from_genesis_matches_checkpoint_recovery() {
+        let dir = temp_dir();
+        let (mut durable, _) = ServiceCore::open(durable_config(&dir)).unwrap();
+        script(&mut durable);
+        drop(durable);
+        let (mut a, ra) = ServiceCore::recover(durable_config(&dir)).unwrap();
+        let (mut b, rb) = ServiceCore::recover_from_genesis(durable_config(&dir)).unwrap();
+        assert!(ra.checkpoint_round.is_some());
+        assert_eq!(rb.checkpoint_round, None);
+        assert!(rb.replayed_records > ra.replayed_records);
+        assert_eq!(fingerprint(&mut a), fingerprint(&mut b));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_refuses_a_mismatched_configuration() {
+        let dir = temp_dir();
+        let (mut durable, _) = ServiceCore::open(durable_config(&dir)).unwrap();
+        script(&mut durable);
+        drop(durable);
+        let mut other = durable_config(&dir);
+        other.capacities = vec![8, 8];
+        let err = ServiceCore::recover(other).unwrap_err();
+        assert!(err.to_string().contains("different configuration"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn durability_status_tracks_log_and_checkpoints() {
+        let dir = temp_dir();
+        let (mut core, _) = ServiceCore::open(durable_config(&dir)).unwrap();
+        let before = core.durability_status();
+        assert_eq!(before.mode, "buffered");
+        assert_eq!(before.recoveries, 0);
+        script(&mut core);
+        let after = core.durability_status();
+        // 5 submissions (one rejected) + 1 capacity + 3 rounds = 9 records.
+        assert_eq!(after.wal_records, 9);
+        assert!(after.wal_bytes > before.wal_bytes);
+        assert!(after.checkpoints_written >= 1);
+        assert!(after.last_checkpoint_seq.is_some());
+        drop(core);
+        let (core, _) = ServiceCore::recover(durable_config(&dir)).unwrap();
+        let status = core.durability_status();
+        assert_eq!(status.recoveries, 1);
+        // The log grew by the `Recovered` audit record.
+        assert_eq!(status.wal_records, 10);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn plain_cores_stay_log_free() {
+        let mut core = ServiceCore::new(config());
+        core.submit_job("a", job(1.0), &[]).unwrap();
+        core.flush().unwrap();
+        let status = core.durability_status();
+        assert_eq!(status.mode, "off");
+        assert_eq!((status.wal_records, status.wal_bytes), (0, 0));
+        assert_eq!(status.checkpoints_written, 0);
     }
 
     #[test]

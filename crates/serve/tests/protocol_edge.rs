@@ -3,8 +3,8 @@
 //! server that keeps serving other clients through all of it.
 
 use mrls_serve::{
-    read_frame, Client, Request, RequestBody, Response, ResponseBody, ServeConfig, Server,
-    ServerHandle,
+    read_frame, Client, DurabilityMode, Request, RequestBody, Response, ResponseBody, ServeConfig,
+    Server, ServerHandle,
 };
 use std::io::{BufReader, Write};
 use std::net::TcpStream;
@@ -126,6 +126,106 @@ fn half_closed_connections_still_get_their_responses() {
     assert_eq!(response.id, 7);
     assert!(matches!(response.body, ResponseBody::Status { .. }));
     // And the server then sees EOF and drops the connection quietly.
+    assert_eq!(read_frame(&mut reader, 1 << 20).unwrap(), None);
+
+    Client::connect(handle.addr(), "t")
+        .unwrap()
+        .shutdown()
+        .unwrap();
+    handle.join();
+}
+
+#[test]
+fn query_durability_reports_the_log_position_over_the_wire() {
+    // A plain server answers with mode `off` and an empty log.
+    let handle = spawn_server(1 << 16);
+    let mut client = Client::connect(handle.addr(), "t").unwrap();
+    let status = client.durability().unwrap();
+    assert_eq!(status.mode, "off");
+    assert_eq!((status.wal_records, status.wal_bytes), (0, 0));
+    assert_eq!(status.recoveries, 0);
+    client.shutdown().unwrap();
+    handle.join();
+
+    // A durable server reports its live log position and checkpoint
+    // watermark, and the raw unit-variant wire form works too.
+    let dir = std::env::temp_dir().join(format!("mrls-protocol-durability-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let handle = Server::spawn(
+        ServeConfig {
+            capacities: vec![4, 4],
+            batch_window: Duration::ZERO,
+            durability: DurabilityMode::Buffered,
+            dir: Some(dir.clone()),
+            checkpoint_every_rounds: 1,
+            ..ServeConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("bind loopback");
+    let mut client = Client::connect(handle.addr(), "t").unwrap();
+    let job = mrls_model::MoldableJob::new(0, mrls_model::ExecTimeSpec::Constant { time: 1.0 });
+    client.submit_job(job, vec![]).unwrap();
+    client.drain().unwrap();
+    let status = client.durability().unwrap();
+    assert_eq!(status.mode, "buffered");
+    assert!(status.wal_records >= 2, "a Job and a Round record at least");
+    assert!(status.wal_bytes > 8, "more than the magic");
+    assert!(status.last_checkpoint_seq.is_some(), "drain checkpoints");
+    assert_eq!(status.recoveries, 0);
+
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    let response = raw_roundtrip(
+        &mut stream,
+        r#"{"id":21,"tenant":"t","body":"QueryDurability"}"#,
+    );
+    assert_eq!(response.id, 21);
+    assert!(matches!(response.body, ResponseBody::Durability { .. }));
+
+    // Malformed shapes of the new verb are errors that keep the connection:
+    // a payload where none belongs, and a misspelled variant.
+    let response = raw_roundtrip(
+        &mut stream,
+        r#"{"id":22,"tenant":"t","body":{"QueryDurability":{"extra":1}}}"#,
+    );
+    assert_eq!(response.id, 22);
+    assert!(matches!(response.body, ResponseBody::Error { .. }));
+    let response = raw_roundtrip(
+        &mut stream,
+        r#"{"id":23,"tenant":"t","body":"QueryDurabilty"}"#,
+    );
+    assert_eq!(response.id, 23);
+    assert!(matches!(response.body, ResponseBody::Error { .. }));
+    // The connection survived all of it.
+    let response = raw_roundtrip(
+        &mut stream,
+        r#"{"id":24,"tenant":"t","body":"QueryDurability"}"#,
+    );
+    assert!(matches!(response.body, ResponseBody::Durability { .. }));
+
+    client.shutdown().unwrap();
+    handle.join();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn oversized_query_durability_drops_the_connection() {
+    let handle = spawn_server(128);
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    let long = format!(
+        r#"{{"id":1,"tenant":"{}","body":"QueryDurability"}}"#,
+        "x".repeat(500)
+    );
+    stream.write_all(long.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    stream.flush().unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let reply = read_frame(&mut reader, 1 << 20).unwrap().expect("a reply");
+    let response: Response = serde_json::from_str(&reply).unwrap();
+    let ResponseBody::Error { message } = response.body else {
+        panic!("expected an error response");
+    };
+    assert!(message.contains("128-byte limit"), "{message}");
     assert_eq!(read_frame(&mut reader, 1 << 20).unwrap(), None);
 
     Client::connect(handle.addr(), "t")

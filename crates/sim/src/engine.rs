@@ -453,6 +453,17 @@ impl SimSnapshot {
     pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
         serde_json::from_str(s)
     }
+
+    /// A compact, platform-stable fingerprint of the snapshot: the FNV-1a
+    /// fold of its compact JSON rendering. Two snapshots digest equal iff
+    /// they serialise identically, which (floats included, bit for bit) is
+    /// the same identity the byte-identity test suites compare on. The serve
+    /// tier's durability layer stamps checkpoints with this so a recovery can
+    /// cross-check what it rebuilt against what was written.
+    pub fn digest(&self) -> u64 {
+        let json = serde_json::to_string(self).expect("snapshots are always serialisable");
+        mrls_core::hash::fnv1a64(json.as_bytes())
+    }
 }
 
 /// The borrow-free core of an in-flight simulation: the world state, the
