@@ -58,8 +58,15 @@ impl Schedule {
     /// All distinct event times (starts and finishes), sorted ascending and
     /// deduplicated — the boundaries of the intervals `I` of Section 4.2.2.
     pub fn event_times(&self) -> Vec<f64> {
-        let mut times: Vec<f64> = self.jobs.iter().flat_map(|j| [j.start, j.finish]).collect();
-        times.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        // Jobs that never ran (abandoned under fault injection) carry NaN
+        // placements and contribute no events.
+        let mut times: Vec<f64> = self
+            .jobs
+            .iter()
+            .flat_map(|j| [j.start, j.finish])
+            .filter(|t| t.is_finite())
+            .collect();
+        times.sort_by(f64::total_cmp);
         times.dedup_by(|a, b| (*a - *b).abs() <= 1e-9);
         times
     }

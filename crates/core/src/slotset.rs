@@ -56,6 +56,11 @@ pub struct SlotSet {
     /// Node-major max tree: node `k` owns `tree[k*d .. (k+1)*d]`, the
     /// per-type max over the slots below it. 1-indexed, `leaves` leaves.
     tree: Vec<f64>,
+    /// Node-major min tree mirroring `tree`: the per-type *min* over the
+    /// slots below each node. A subtree whose min fits a request proves the
+    /// whole span fits, which is what lets the window query skip provably
+    /// feasible spans instead of walking them slot by slot.
+    tmin: Vec<f64>,
     leaves: usize,
     dirty: bool,
 }
@@ -78,6 +83,7 @@ impl SlotSet {
             }],
             d,
             tree: Vec::new(),
+            tmin: Vec::new(),
             leaves: 0,
             dirty: true,
         }
@@ -289,15 +295,23 @@ impl SlotSet {
         self.leaves = leaves;
         self.tree.clear();
         self.tree.resize(2 * leaves * self.d, f64::NEG_INFINITY);
+        // Padding leaves hold +∞ in the min tree so they always "fit": the
+        // first-unfit descent then never wanders past the real slots.
+        self.tmin.clear();
+        self.tmin.resize(2 * leaves * self.d, f64::INFINITY);
         for (k, s) in self.slots.iter().enumerate() {
             let node = (leaves + k) * self.d;
             self.tree[node..node + self.d].copy_from_slice(&s.free);
+            self.tmin[node..node + self.d].copy_from_slice(&s.free);
         }
         for node in (1..leaves).rev() {
             for i in 0..self.d {
                 let l = self.tree[(2 * node) * self.d + i];
                 let r = self.tree[(2 * node + 1) * self.d + i];
                 self.tree[node * self.d + i] = l.max(r);
+                let l = self.tmin[(2 * node) * self.d + i];
+                let r = self.tmin[(2 * node + 1) * self.d + i];
+                self.tmin[node * self.d + i] = l.min(r);
             }
         }
         self.dirty = false;
@@ -361,26 +375,81 @@ impl SlotSet {
         (hit.map(|k| (k, t.max(self.slots[k].begin))), probes)
     }
 
-    /// First instant `>= t` at which `req` fits for `dur` *contiguous* time:
-    /// first-fit, then walk forward while consecutive slots keep fitting; on
-    /// a break, restart the query after the breaking slot.
-    pub fn first_fit_window(&mut self, t: f64, req: &Allocation, dur: f64) -> Option<f64> {
-        let mut t_try = t;
-        loop {
-            let (k, t0) = self.first_fit_after(t_try, req)?;
-            let need_end = t0 + dur;
-            let mut j = k;
-            loop {
-                if self.slots[j].end >= need_end {
-                    return Some(t0);
-                }
-                j += 1;
-                if !self.slots[j].fits(req) {
-                    t_try = self.slots[j].end;
-                    break;
-                }
-            }
+    /// `true` iff **every** slot under `node` fits `req` per the min index —
+    /// a sufficient condition that lets the first-unfit descent skip the
+    /// whole subtree.
+    fn node_all_fit(&self, node: usize, req: &Allocation) -> bool {
+        (0..self.d).all(|i| req[i] as f64 <= self.tmin[node * self.d + i] + EPS)
+    }
+
+    /// First slot index `>= from` that does **not** fit `req`, or `None`
+    /// when every slot from `from` onward fits. The min tree proves entire
+    /// spans feasible in one probe, so the search is O(log S) instead of a
+    /// slot-by-slot walk.
+    fn descend_first_unfit(
+        &self,
+        node: usize,
+        lo: usize,
+        width: usize,
+        from: usize,
+        req: &Allocation,
+        probes: &mut usize,
+    ) -> Option<usize> {
+        *probes += 1;
+        if lo + width <= from || self.node_all_fit(node, req) {
+            return None;
         }
+        if width == 1 {
+            return (lo < self.slots.len() && !self.slots[lo].fits(req)).then_some(lo);
+        }
+        let half = width / 2;
+        self.descend_first_unfit(2 * node, lo, half, from, req, probes)
+            .or_else(|| self.descend_first_unfit(2 * node + 1, lo + half, half, from, req, probes))
+    }
+
+    /// First instant `>= t` at which `req` fits for `dur` *contiguous* time.
+    ///
+    /// First-fit on the max tree finds the earliest candidate start; the min
+    /// tree then locates the first subsequent slot that breaks the fit. If
+    /// that break starts at/after the window's end the candidate is proven
+    /// feasible without touching the slots in between; otherwise the query
+    /// restarts after the breaking slot. Both descents are O(log S), so a
+    /// long feasible window costs O(log S) instead of a walk over every slot
+    /// it covers.
+    pub fn first_fit_window(&mut self, t: f64, req: &Allocation, dur: f64) -> Option<f64> {
+        self.first_fit_window_counting(t, req, dur).0
+    }
+
+    /// [`SlotSet::first_fit_window`] plus the number of tree nodes visited
+    /// across every descent — the probe count the O(log S) unit test pins.
+    pub fn first_fit_window_counting(
+        &mut self,
+        t: f64,
+        req: &Allocation,
+        dur: f64,
+    ) -> (Option<f64>, usize) {
+        self.ensure_index();
+        let mut probes = 0usize;
+        let mut t_try = t;
+        let hit = loop {
+            let from = self.slot_index(t_try.max(self.slots[0].begin));
+            let Some(k) = self.descend_first_fit(1, 0, self.leaves, from, req, &mut probes) else {
+                break None;
+            };
+            let t0 = t_try.max(self.slots[k].begin);
+            let need_end = t0 + dur;
+            // Slot k fits; every slot in [k, j) fits too. The window fits
+            // iff the first non-fitting slot j starts at/after its end.
+            match self.descend_first_unfit(1, 0, self.leaves, k, req, &mut probes) {
+                Some(j) if self.slots[j].begin < need_end => t_try = self.slots[j].end,
+                _ => break Some(t0),
+            }
+        };
+        if mrls_obs::enabled() {
+            mrls_obs::counter_add("core.slotset.window_queries", 1);
+            mrls_obs::counter_add("core.slotset.window_probes", probes as u64);
+        }
+        (hit, probes)
     }
 
     /// Brute-force timestep prober for [`SlotSet::first_fit_window`]: tries
@@ -624,6 +693,70 @@ mod tests {
             "probes {probes} exceeds O(log S) bound {}",
             4 * log2
         );
+    }
+
+    #[test]
+    fn window_probe_count_is_logarithmic_over_long_feasible_spans() {
+        // A long fragmented timeline where every slot fits the request: the
+        // pre-index walk would touch every slot the window covers (~S); the
+        // min tree proves the whole span feasible in two descents.
+        let n = 1024usize;
+        let mut s = SlotSet::new(&[8], 0.0);
+        for k in 0..n {
+            s.claim(
+                k as f64,
+                k as f64 + 1.0,
+                &alloc(&[if k % 2 == 0 { 1 } else { 2 }]),
+            );
+        }
+        assert!(s.num_slots() > n);
+        let (hit, probes) = s.first_fit_window_counting(0.0, &alloc(&[5]), n as f64 + 10.0);
+        assert_eq!(hit, Some(0.0));
+        let log2 = (s.num_slots().next_power_of_two().trailing_zeros() + 1) as usize;
+        assert!(
+            probes <= 8 * log2,
+            "probes {probes} exceeds O(log S) bound {}",
+            8 * log2
+        );
+        // Same bound when the answer sits past one infeasible stretch: one
+        // restart, each restart O(log S).
+        s.claim(100.0, 101.0, &alloc(&[6]));
+        let (hit, probes) = s.first_fit_window_counting(90.0, &alloc(&[5]), 50.0);
+        assert_eq!(hit, Some(101.0));
+        assert!(
+            probes <= 12 * log2,
+            "probes {probes} exceeds the two-descent-per-restart bound {}",
+            12 * log2
+        );
+    }
+
+    #[test]
+    fn window_query_matches_the_naive_prober_exhaustively() {
+        // A messy two-type timeline; compare the indexed query against the
+        // brute-force prober over a dense (t, req, dur) grid, including
+        // never-fitting requests and windows crossing every boundary.
+        let mut s = SlotSet::new(&[8, 4], 0.0);
+        s.claim(1.0, 4.0, &alloc(&[3, 1]));
+        s.claim(2.0, 6.0, &alloc(&[2, 2]));
+        s.claim(5.0, 9.0, &alloc(&[4, 0]));
+        s.claim(7.0, 8.0, &alloc(&[1, 3]));
+        s.claim(10.0, 12.0, &alloc(&[8, 4]));
+        s.check_invariants().unwrap();
+        for t10 in 0..30 {
+            let t = t10 as f64 * 0.5;
+            for r0 in [0u64, 1, 2, 3, 5, 8, 9] {
+                for r1 in [0u64, 1, 2, 4] {
+                    for dur in [0.5, 1.0, 2.5, 4.0, 20.0] {
+                        let req = alloc(&[r0, r1]);
+                        assert_eq!(
+                            s.first_fit_window(t, &req, dur),
+                            s.first_fit_window_naive(t, &req, dur),
+                            "diverged at t={t} req=[{r0},{r1}] dur={dur}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

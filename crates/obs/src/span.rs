@@ -40,6 +40,9 @@ pub enum Blame {
     /// Ready and fitting, but a reschedule happened between readiness and
     /// this interval — the wait is replan churn, not a capacity shortage.
     Replan,
+    /// A failed attempt plus the backoff before the job became eligible
+    /// again: the time lost to failure-driven re-execution churn.
+    Retry,
     /// Ready and fitting with no intervening reschedule: the placement
     /// order or policy simply had not started it yet.
     Policy,
@@ -56,6 +59,7 @@ impl Blame {
             Blame::Precedence => "precedence".to_string(),
             Blame::Resource { resource } => format!("resource[{resource}]"),
             Blame::Replan => "replan".to_string(),
+            Blame::Retry => "retry".to_string(),
             Blame::Policy => "policy".to_string(),
             Blame::Execution => "execution".to_string(),
         }
@@ -193,6 +197,7 @@ mod tests {
         assert_eq!(Blame::Precedence.label(), "precedence");
         assert_eq!(Blame::Resource { resource: 2 }.label(), "resource[2]");
         assert_eq!(Blame::Replan.label(), "replan");
+        assert_eq!(Blame::Retry.label(), "retry");
         assert_eq!(Blame::Policy.label(), "policy");
         assert_eq!(format!("{}", Blame::Execution), "execution");
     }

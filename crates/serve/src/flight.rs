@@ -46,6 +46,11 @@ pub struct RoundRecord {
     pub started: u64,
     /// Jobs that completed during this round's drive.
     pub completed: u64,
+    /// Failed attempts (injected faults) during this round's drive.
+    pub failed: u64,
+    /// Jobs quarantined (retry budget exhausted or cascade-abandoned)
+    /// during this round's drive.
+    pub quarantined: u64,
     /// Engine events harvested into the ledger after the drive.
     pub events_harvested: u64,
     /// Jobs still pending (admitted, not started) when the round ended.
@@ -72,6 +77,8 @@ impl RoundRecord {
             plan_kept: 0,
             started: 0,
             completed: 0,
+            failed: 0,
+            quarantined: 0,
             events_harvested: 0,
             pending_after: 0,
             wall_us: 0,
@@ -92,6 +99,8 @@ impl RoundRecord {
             capacity_changes: self.capacity_changes,
             started: self.started,
             completed: self.completed,
+            failed: self.failed,
+            quarantined: self.quarantined,
             events_harvested: self.events_harvested,
             pending_after: self.pending_after,
         }
@@ -117,6 +126,10 @@ pub struct RoundDigest {
     pub started: u64,
     /// Jobs completed during the round.
     pub completed: u64,
+    /// Failed attempts during the round.
+    pub failed: u64,
+    /// Jobs quarantined during the round.
+    pub quarantined: u64,
     /// Engine events processed by the round.
     pub events_harvested: u64,
     /// Jobs still pending when the round ended.

@@ -8,6 +8,7 @@
 //! jobs are waiting than `max_pending_jobs`, further submissions are refused
 //! with a backpressure reply instead of growing the queue without bound.
 
+use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
 /// One flushed batch: job releases and capacity changes, each in admission
@@ -98,9 +99,89 @@ impl IngestQueue {
     }
 }
 
+/// The idempotency dedup window: the last `window` *accepted* submit tokens,
+/// each mapped to the global job ids the original submission was assigned.
+///
+/// A retried `SubmitJob`/`SubmitDag` carrying a token already present here is
+/// answered with the original ids without being journaled or admitted again —
+/// the server-side half of the resilient client's exactly-once-admission
+/// guarantee. Only *accepted* outcomes are cached: a rejected submission
+/// (backpressure, overload, validation) must stay retryable under the same
+/// token. Insertion order is the eviction order, and the whole structure is
+/// serialisable so checkpoints restore it byte-identically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DedupWindow {
+    window: usize,
+    entries: Vec<(String, Vec<u64>)>,
+}
+
+impl DedupWindow {
+    /// An empty window retaining at most `window` tokens (0 disables dedup).
+    pub fn new(window: usize) -> Self {
+        DedupWindow {
+            window,
+            entries: Vec::new(),
+        }
+    }
+
+    /// The job ids the token's original submission was assigned, if the
+    /// token is still inside the window.
+    pub fn lookup(&self, token: &str) -> Option<&[u64]> {
+        self.entries
+            .iter()
+            .find(|(t, _)| t == token)
+            .map(|(_, ids)| ids.as_slice())
+    }
+
+    /// Caches an accepted submission's ids under its token, evicting the
+    /// oldest entries beyond the window. A no-op when dedup is disabled.
+    pub fn insert(&mut self, token: &str, ids: Vec<u64>) {
+        if self.window == 0 {
+            return;
+        }
+        self.entries.push((token.to_string(), ids));
+        while self.entries.len() > self.window {
+            self.entries.remove(0);
+        }
+    }
+
+    /// Tokens currently retained.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` iff no token is retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn dedup_window_replays_accepted_ids_and_evicts_oldest() {
+        let mut w = DedupWindow::new(2);
+        assert!(w.is_empty());
+        assert_eq!(w.lookup("a"), None);
+        w.insert("a", vec![0]);
+        w.insert("b", vec![1, 2]);
+        assert_eq!(w.lookup("a"), Some(&[0][..]));
+        assert_eq!(w.lookup("b"), Some(&[1, 2][..]));
+        w.insert("c", vec![3]);
+        assert_eq!(w.lookup("a"), None, "oldest token evicted");
+        assert_eq!(w.lookup("c"), Some(&[3][..]));
+        assert_eq!(w.len(), 2);
+        // Serialises and restores byte-identically.
+        let json = serde_json::to_string(&w).unwrap();
+        let back: DedupWindow = serde_json::from_str(&json).unwrap();
+        assert_eq!(w, back);
+
+        let mut off = DedupWindow::new(0);
+        off.insert("a", vec![0]);
+        assert!(off.is_empty(), "a zero window disables dedup");
+    }
 
     #[test]
     fn batches_accumulate_until_taken() {

@@ -69,14 +69,14 @@ pub mod protocol;
 pub mod service;
 pub mod wal;
 
-pub use client::Client;
+pub use client::{Client, ClientError, RetryConfig};
 pub use flight::{FlightRecorder, RoundDigest, RoundRecord, FLIGHT_RECORDER_CAPACITY};
-pub use ingest::{Batch, IngestQueue};
+pub use ingest::{Batch, DedupWindow, IngestQueue};
 pub use metrics::{EventLedger, MetricsRegistry, MetricsSnapshot, RejectReason, TenantMetrics};
 pub use naive::NaiveService;
 pub use protocol::{
-    encode_line, parse_request, probe_request_id, read_frame, write_message, DrainReport, Request,
-    RequestBody, Response, ResponseBody, DEFAULT_MAX_LINE_BYTES,
+    encode_line, parse_request, probe_request_id, read_frame, write_message, DrainReport,
+    QuarantineEntry, Request, RequestBody, Response, ResponseBody, DEFAULT_MAX_LINE_BYTES,
 };
 pub use service::{RoundStateStats, ServeConfig, ServiceCore};
 pub use wal::{
@@ -312,17 +312,29 @@ enum Flow {
 /// were counted. Both run on the single service thread, so `status()` drains
 /// every phase from one registry.
 fn handle(core: &mut ServiceCore, msg: ClientMsg) -> Flow {
-    let Request { id, tenant, body } = msg.request;
+    let Request {
+        id,
+        tenant,
+        token,
+        body,
+    } = msg.request;
+    let token = token.as_deref();
     let (body, flow) = match body {
         RequestBody::SubmitJob { job, deps } => (
-            match mrls_core::time_phase!("ingest", core.submit_job(&tenant, job, &deps)) {
+            match mrls_core::time_phase!(
+                "ingest",
+                core.submit_job_token(&tenant, job, &deps, token)
+            ) {
                 Ok(id) => ResponseBody::Accepted { jobs: vec![id] },
                 Err(reason) => ResponseBody::Rejected { reason },
             },
             Flow::Continue,
         ),
         RequestBody::SubmitDag { jobs, edges } => (
-            match mrls_core::time_phase!("ingest", core.submit_dag(&tenant, jobs, &edges)) {
+            match mrls_core::time_phase!(
+                "ingest",
+                core.submit_dag_token(&tenant, jobs, &edges, token)
+            ) {
                 Ok(jobs) => ResponseBody::Accepted { jobs },
                 Err(reason) => ResponseBody::Rejected { reason },
             },
@@ -357,6 +369,12 @@ fn handle(core: &mut ServiceCore, msg: ClientMsg) -> Flow {
         RequestBody::QueryDurability => (
             ResponseBody::Durability {
                 status: core.durability_status(),
+            },
+            Flow::Continue,
+        ),
+        RequestBody::QueryQuarantine => (
+            ResponseBody::Quarantine {
+                entries: core.quarantine(),
             },
             Flow::Continue,
         ),

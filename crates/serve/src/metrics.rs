@@ -25,6 +25,9 @@ pub enum RejectReason {
     /// The submission itself was malformed (retrying it verbatim cannot
     /// succeed).
     Validation,
+    /// The scheduler's in-flight backlog crossed the configured high-water
+    /// mark; load was shed before the job entered the ingest queue.
+    Overload,
 }
 
 /// Counters for one tenant.
@@ -38,10 +41,20 @@ pub struct TenantMetrics {
     pub rejected_backpressure: u64,
     /// Jobs refused because the submission was invalid.
     pub rejected_validation: u64,
-    /// Jobs placed on the machine (started).
+    /// Jobs refused because the in-flight backlog crossed the overload
+    /// high-water mark.
+    pub rejected_overload: u64,
+    /// Jobs placed on the machine (started). With failure injection a job
+    /// counts once per started attempt.
     pub scheduled: u64,
     /// Jobs completed.
     pub completed: u64,
+    /// Retries granted: failed attempts that re-entered the ready set after
+    /// their backoff instead of being given up on.
+    pub retried: u64,
+    /// Jobs quarantined: retry budget exhausted, or cascade-abandoned behind
+    /// a poisoned ancestor.
+    pub quarantined: u64,
     /// High-water mark of this tenant's queued-but-unflushed submissions.
     pub queue_depth_hwm: u64,
     /// Latest planned finish time among this tenant's jobs (virtual time).
@@ -60,8 +73,11 @@ impl Default for TenantMetrics {
             rejected: 0,
             rejected_backpressure: 0,
             rejected_validation: 0,
+            rejected_overload: 0,
             scheduled: 0,
             completed: 0,
+            retried: 0,
+            quarantined: 0,
             queue_depth_hwm: 0,
             planned_finish: 0.0,
             realized_finish: 0.0,
@@ -128,6 +144,7 @@ impl MetricsRegistry {
         match reason {
             RejectReason::Backpressure => t.rejected_backpressure += count,
             RejectReason::Validation => t.rejected_validation += count,
+            RejectReason::Overload => t.rejected_overload += count,
         }
     }
 
@@ -166,6 +183,17 @@ impl MetricsRegistry {
         if t.planned_finish > 0.0 {
             t.stretch = t.realized_finish / t.planned_finish;
         }
+    }
+
+    /// Records a retry grant for `tenant`: a failed attempt that re-entered
+    /// the ready set after its backoff.
+    pub fn record_retried(&mut self, tenant: &str) {
+        self.tenant(tenant).retried += 1;
+    }
+
+    /// Records a quarantined (poisoned) job of `tenant`.
+    pub fn record_quarantined(&mut self, tenant: &str) {
+        self.tenant(tenant).quarantined += 1;
     }
 
     /// Records one executed batching round.
@@ -280,18 +308,23 @@ mod tests {
         reg.record_queued("b", 2);
         reg.record_rejected("b", 1, RejectReason::Validation);
         reg.record_rejected("b", 2, RejectReason::Backpressure);
+        reg.record_rejected("b", 1, RejectReason::Overload);
         reg.record_planned("a", 10.0);
         reg.record_scheduled("a");
         reg.record_completed("a", 12.0);
+        reg.record_retried("a");
+        reg.record_quarantined("b");
         reg.record_round();
         reg.record_batch_taken();
         reg.record_queued("a", 1);
         let snap = reg.snapshot(12.0, 4);
         assert_eq!(snap.jobs_submitted, 5);
-        assert_eq!(snap.jobs_rejected, 3);
+        assert_eq!(snap.jobs_rejected, 4);
         let b = &snap.tenants["b"];
         assert_eq!(b.rejected_backpressure, 2);
         assert_eq!(b.rejected_validation, 1);
+        assert_eq!(b.rejected_overload, 1);
+        assert_eq!(b.quarantined, 1);
         assert_eq!(b.queue_depth_hwm, 2);
         assert_eq!(
             snap.tenants["a"].queue_depth_hwm, 3,
@@ -299,6 +332,7 @@ mod tests {
         );
         assert_eq!(snap.jobs_scheduled, 1);
         assert_eq!(snap.jobs_completed, 1);
+        assert_eq!(snap.tenants["a"].retried, 1);
         assert_eq!(snap.rounds, 1);
         assert_eq!(snap.queue_depth, 4);
         let a = &snap.tenants["a"];

@@ -22,16 +22,17 @@
 //! its PR 3 semantics.
 
 use crate::flight::{RoundDigest, FLIGHT_RECORDER_CAPACITY};
-use crate::ingest::{Batch, IngestQueue};
+use crate::ingest::{Batch, DedupWindow, IngestQueue};
 use crate::metrics::{MetricsRegistry, MetricsSnapshot, RejectReason};
-use crate::protocol::DrainReport;
+use crate::protocol::{DrainReport, QuarantineEntry};
 use crate::service::{plan_pending, validate_spec, ServeConfig, WorldJob};
 use mrls_analysis::{validate_schedule_with, ValidationOptions};
 use mrls_core::{Schedule, ScheduledJob};
 use mrls_dag::Dag;
 use mrls_model::{Instance, MoldableJob, SystemConfig};
 use mrls_sim::{
-    ChannelSource, Perturber, RealizedTrace, SimRun, SimSnapshot, SourceEvent, TraceEvent,
+    ChannelSource, FailCause, FailureSampler, Perturber, RealizedTrace, SimRun, SimSnapshot,
+    SourceEvent, TraceEvent,
 };
 use std::time::Instant;
 
@@ -50,6 +51,13 @@ pub struct NaiveService {
     // replays the draw history (it must always match
     // `snapshot.perturber_realizations`).
     perturber: Option<Perturber>,
+    // The live failure-draw stream, carried across rounds exactly like the
+    // perturber (its position must match the snapshot's recorded attempts).
+    failure_sampler: Option<FailureSampler>,
+    // The naive mirror of the incremental core's poison quarantine.
+    quarantine: Vec<QuarantineEntry>,
+    // The naive mirror of the incremental core's idempotency dedup window.
+    dedup: DedupWindow,
     ingest: IngestQueue,
     metrics: MetricsRegistry,
     /// The naive mirror of the incremental core's flight recorder, limited
@@ -68,6 +76,7 @@ impl NaiveService {
     pub fn new(config: ServeConfig) -> Self {
         let ingest = IngestQueue::new(config.batch_window, config.max_pending_jobs);
         let capacities = config.capacities.clone();
+        let dedup = DedupWindow::new(config.dedup_window);
         NaiveService {
             config,
             world: Vec::new(),
@@ -76,6 +85,9 @@ impl NaiveService {
             capacities_max: capacities,
             snapshot: None,
             perturber: None,
+            failure_sampler: None,
+            quarantine: Vec::new(),
+            dedup,
             ingest,
             metrics: MetricsRegistry::new(),
             flight: std::collections::VecDeque::new(),
@@ -119,6 +131,41 @@ impl NaiveService {
         self.flight.iter().cloned().collect()
     }
 
+    /// The naive mirror of the incremental core's in-flight backlog: every
+    /// admitted job that is neither started nor abandoned, derived from the
+    /// snapshot's flags (the core tracks the same set incrementally in its
+    /// `pending` frontier).
+    fn backlog(&self) -> usize {
+        match &self.snapshot {
+            Some(s) => {
+                let live = s
+                    .started
+                    .iter()
+                    .zip(s.abandoned.iter().chain(std::iter::repeat(&false)))
+                    .filter(|&(&started, &abandoned)| !started && !abandoned)
+                    .count();
+                live + (self.world.len() - s.started.len())
+            }
+            None => self.world.len(),
+        }
+    }
+
+    fn check_overload(&self) -> Result<(), String> {
+        match self.config.overload_high_water {
+            Some(hwm) if self.backlog() >= hwm => Err(format!(
+                "overload: {} jobs in flight have reached the high-water mark {hwm} — \
+                 load shed, retry after the backlog drains",
+                self.backlog()
+            )),
+            _ => Ok(()),
+        }
+    }
+
+    /// The poison quarantine, oldest entry first.
+    pub fn quarantine(&self) -> Vec<QuarantineEntry> {
+        self.quarantine.clone()
+    }
+
     /// Admits one job with dependencies on previously accepted jobs.
     /// Returns the assigned global id.
     pub fn submit_job(
@@ -127,7 +174,28 @@ impl NaiveService {
         job: MoldableJob,
         deps: &[u64],
     ) -> Result<u64, String> {
+        self.submit_job_token(tenant, job, deps, None)
+    }
+
+    /// [`NaiveService::submit_job`] with an optional client idempotency
+    /// token, mirroring
+    /// [`ServiceCore::submit_job_token`](crate::ServiceCore::submit_job_token).
+    pub fn submit_job_token(
+        &mut self,
+        tenant: &str,
+        job: MoldableJob,
+        deps: &[u64],
+        token: Option<&str>,
+    ) -> Result<u64, String> {
         self.check_fault()?;
+        if let Some(ids) = token.and_then(|t| self.dedup.lookup(t)) {
+            return Ok(ids[0]);
+        }
+        if let Err(e) = self.check_overload() {
+            self.metrics
+                .record_rejected(tenant, 1, RejectReason::Overload);
+            return Err(e);
+        }
         validate_spec(self.num_resource_types(), &job).inspect_err(|_| {
             self.metrics
                 .record_rejected(tenant, 1, RejectReason::Validation);
@@ -164,6 +232,9 @@ impl NaiveService {
         self.ingest.push_jobs(&[id]);
         self.metrics.record_submitted(tenant, 1);
         self.metrics.record_queued(tenant, 1);
+        if let Some(token) = token {
+            self.dedup.insert(token, vec![id as u64]);
+        }
         Ok(id as u64)
     }
 
@@ -175,10 +246,28 @@ impl NaiveService {
         jobs: Vec<MoldableJob>,
         edges: &[(usize, usize)],
     ) -> Result<Vec<u64>, String> {
+        self.submit_dag_token(tenant, jobs, edges, None)
+    }
+
+    /// [`NaiveService::submit_dag`] with an optional client idempotency
+    /// token, mirroring
+    /// [`ServiceCore::submit_dag_token`](crate::ServiceCore::submit_dag_token).
+    pub fn submit_dag_token(
+        &mut self,
+        tenant: &str,
+        jobs: Vec<MoldableJob>,
+        edges: &[(usize, usize)],
+        token: Option<&str>,
+    ) -> Result<Vec<u64>, String> {
         self.check_fault()?;
+        if let Some(ids) = token.and_then(|t| self.dedup.lookup(t)) {
+            return Ok(ids.to_vec());
+        }
         let count = jobs.len();
         let d = self.num_resource_types();
+        let overload = self.check_overload();
         let admit = (|| {
+            overload.map_err(|e| (RejectReason::Overload, e))?;
             if count == 0 {
                 return Err((RejectReason::Validation, "empty submission".to_string()));
             }
@@ -223,7 +312,11 @@ impl NaiveService {
         self.ingest.push_jobs(&ids);
         self.metrics.record_submitted(tenant, count as u64);
         self.metrics.record_queued(tenant, count as u64);
-        Ok(ids.into_iter().map(|id| id as u64).collect())
+        let ids: Vec<u64> = ids.into_iter().map(|id| id as u64).collect();
+        if let Some(token) = token {
+            self.dedup.insert(token, ids.clone());
+        }
+        Ok(ids)
     }
 
     /// Queues a capacity change for the next round.
@@ -317,6 +410,8 @@ impl NaiveService {
             capacity_changes: batch.capacity_changes.len() as u64,
             started: 0,
             completed: 0,
+            failed: 0,
+            quarantined: 0,
             events_harvested: 0,
             pending_after: 0,
         };
@@ -384,6 +479,17 @@ impl NaiveService {
             ),
         }
         .map_err(|e| e.to_string())?;
+        if !self.config.failures.is_failure_free() {
+            // The failure stream resumes exactly where the previous round
+            // left it, like the perturber; on the first round it starts
+            // fresh from the seed.
+            match self.failure_sampler.take() {
+                Some(sampler) => run
+                    .set_failures_with_sampler(self.config.failures.clone(), sampler)
+                    .map_err(|e| e.to_string())?,
+                None => run.set_failures(self.config.failures.clone()),
+            }
+        }
         let mut policy = self.config.policy.build();
         if complete {
             run.drive(policy.as_mut(), &mut source)
@@ -395,11 +501,17 @@ impl NaiveService {
         let snapshot = run.checkpoint();
         self.virtual_now = snapshot.now;
         digest.events_harvested = (snapshot.events.len() - self.events_seen) as u64;
-        let (started, completed) = self.harvest_events(&snapshot);
-        digest.started = started;
-        digest.completed = completed;
+        self.harvest_events(&snapshot, digest);
         digest.virtual_time = self.virtual_now;
-        digest.pending_after = snapshot.started.iter().filter(|&&s| !s).count() as u64;
+        digest.pending_after = snapshot
+            .started
+            .iter()
+            .zip(snapshot.abandoned.iter().chain(std::iter::repeat(&false)))
+            .filter(|&(&started, &abandoned)| !started && !abandoned)
+            .count() as u64;
+        if !self.config.failures.is_failure_free() {
+            self.failure_sampler = Some(run.failure_sampler().clone());
+        }
         self.perturber = Some(run.perturber().clone());
         let trace = complete.then(|| run.into_trace(self.config.policy.label()));
         self.snapshot = Some(snapshot);
@@ -460,27 +572,54 @@ impl NaiveService {
     }
 
     /// Feeds the engine events processed since the last harvest into the
-    /// metrics registry (the snapshot retains the full log, so the cursor
-    /// only ever advances). Returns how many jobs started and completed.
-    fn harvest_events(&mut self, snapshot: &SimSnapshot) -> (u64, u64) {
-        let (mut started, mut completed) = (0u64, 0u64);
+    /// metrics registry and the round digest (the snapshot retains the full
+    /// log, so the cursor only ever advances). Mirrors the incremental
+    /// core's harvest, including retry and quarantine bookkeeping.
+    fn harvest_events(&mut self, snapshot: &SimSnapshot, digest: &mut RoundDigest) {
+        let retry_max = self.config.failures.retry.max_attempts;
         for ev in &snapshot.events[self.events_seen..] {
             match ev {
                 TraceEvent::JobStarted { job, .. } => {
                     let tenant = self.world[*job].tenant.clone();
                     self.metrics.record_scheduled(&tenant);
-                    started += 1;
+                    digest.started += 1;
                 }
                 TraceEvent::JobCompleted { time, job, .. } => {
                     let tenant = self.world[*job].tenant.clone();
                     self.metrics.record_completed(&tenant, *time);
-                    completed += 1;
+                    digest.completed += 1;
+                }
+                TraceEvent::JobFailed {
+                    time,
+                    job,
+                    attempt,
+                    cause,
+                } => {
+                    let cascade = *cause == FailCause::Cascade;
+                    if !cascade {
+                        digest.failed += 1;
+                    }
+                    if cascade || *attempt >= retry_max {
+                        let tenant = self.world[*job].tenant.clone();
+                        self.metrics.record_quarantined(&tenant);
+                        digest.quarantined += 1;
+                        self.quarantine.push(QuarantineEntry {
+                            tenant,
+                            job: *job as u64,
+                            attempts: *attempt,
+                            cause: cause.label(),
+                            time: *time,
+                        });
+                    }
+                }
+                TraceEvent::JobRetried { job, .. } => {
+                    let tenant = self.world[*job].tenant.clone();
+                    self.metrics.record_retried(&tenant);
                 }
                 _ => {}
             }
         }
         self.events_seen = snapshot.events.len();
-        (started, completed)
     }
 
     /// Validates the realized schedule of a drained world

@@ -24,14 +24,52 @@ use std::io::{BufRead, Read, Write};
 pub const DEFAULT_MAX_LINE_BYTES: usize = 1 << 20;
 
 /// One client request.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Request {
     /// Client-chosen correlation id, echoed in the response.
     pub id: u64,
     /// Tenant the work is accounted under.
     pub tenant: String,
+    /// Client-assigned idempotency token for submit verbs: a resend carrying
+    /// a token the server already accepted is answered with the original ids
+    /// instead of being admitted twice (the retried-submission guarantee of
+    /// the resilient client). `None` (the wire default) opts out.
+    pub token: Option<String>,
     /// What is being asked.
     pub body: RequestBody,
+}
+
+// Hand-written so the `token` field stays optional on the wire: requests
+// serialised without it (every pre-token client) still parse, and `None` is
+// omitted instead of encoded as `null` (the vendored serde_derive has no
+// `#[serde(default)]` / `skip_serializing_if`).
+impl Serialize for Request {
+    fn to_value(&self) -> serde::__private::Value {
+        use serde::__private::Value;
+        let mut pairs = vec![
+            ("id".to_string(), self.id.to_value()),
+            ("tenant".to_string(), self.tenant.to_value()),
+        ];
+        if let Some(token) = &self.token {
+            pairs.push(("token".to_string(), token.to_value()));
+        }
+        pairs.push(("body".to_string(), self.body.to_value()));
+        Value::Object(pairs)
+    }
+}
+
+impl Deserialize for Request {
+    fn from_value(
+        v: &serde::__private::Value,
+    ) -> std::result::Result<Self, serde::__private::Error> {
+        use serde::__private::{field, opt_field};
+        Ok(Request {
+            id: field(v, "id")?,
+            tenant: field(v, "tenant")?,
+            token: opt_field(v, "token")?,
+            body: field(v, "body")?,
+        })
+    }
 }
 
 /// The request payload.
@@ -73,6 +111,10 @@ pub enum RequestBody {
     /// Ask for the durability layer's state: log position and byte length,
     /// newest checkpoint watermark, recovery count, truncated-tail bytes.
     QueryDurability,
+    /// Ask for the poison quarantine: every job that exhausted its retry
+    /// budget (or was cascade-abandoned with a failed ancestor), in the
+    /// order the jobs were quarantined.
+    QueryQuarantine,
     /// Flush the current batch and run the virtual-time engine until every
     /// admitted job completed; reply with a [`DrainReport`].
     Drain,
@@ -128,6 +170,11 @@ pub enum ResponseBody {
         /// recoveries).
         status: crate::wal::DurabilityStatus,
     },
+    /// Answer to [`RequestBody::QueryQuarantine`].
+    Quarantine {
+        /// The quarantined jobs, oldest first.
+        entries: Vec<QuarantineEntry>,
+    },
     /// Answer to [`RequestBody::Drain`].
     Drained {
         /// The drain report.
@@ -140,6 +187,25 @@ pub enum ResponseBody {
         /// What went wrong.
         message: String,
     },
+}
+
+/// One poisoned job: it failed until its retry budget was exhausted (or an
+/// ancestor did, abandoning it by cascade) and was pulled out of the
+/// scheduler instead of being retried forever.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuarantineEntry {
+    /// Tenant the job belonged to.
+    pub tenant: String,
+    /// The job's global id.
+    pub job: u64,
+    /// Failed attempts when the job was given up on (0 for cascade-abandoned
+    /// descendants that never ran).
+    pub attempts: u32,
+    /// Stable label of the final failure cause (`fault`, `straggler`,
+    /// `outage[i]`, `cascade`).
+    pub cause: String,
+    /// Virtual time of the final failure.
+    pub time: f64,
 }
 
 /// Everything a drained server knows about the work it executed.
@@ -229,6 +295,7 @@ mod tests {
             Request {
                 id: 1,
                 tenant: "alice".into(),
+                token: None,
                 body: RequestBody::SubmitJob {
                     job: job(),
                     deps: vec![0, 3],
@@ -237,6 +304,7 @@ mod tests {
             Request {
                 id: 2,
                 tenant: "bob".into(),
+                token: Some("bob-7-0".into()),
                 body: RequestBody::SubmitDag {
                     jobs: vec![job(), job()],
                     edges: vec![(0, 1)],
@@ -245,6 +313,7 @@ mod tests {
             Request {
                 id: 3,
                 tenant: "ops".into(),
+                token: None,
                 body: RequestBody::CapacityChange {
                     resource: 1,
                     capacity: 4,
@@ -253,31 +322,43 @@ mod tests {
             Request {
                 id: 4,
                 tenant: "ops".into(),
+                token: None,
                 body: RequestBody::QueryStatus,
             },
             Request {
                 id: 7,
                 tenant: "ops".into(),
+                token: None,
                 body: RequestBody::QueryMetrics,
             },
             Request {
                 id: 8,
                 tenant: "ops".into(),
+                token: None,
                 body: RequestBody::QueryFlightRecorder,
             },
             Request {
                 id: 9,
                 tenant: "ops".into(),
+                token: None,
                 body: RequestBody::QueryDurability,
+            },
+            Request {
+                id: 10,
+                tenant: "ops".into(),
+                token: None,
+                body: RequestBody::QueryQuarantine,
             },
             Request {
                 id: 5,
                 tenant: "ops".into(),
+                token: None,
                 body: RequestBody::Drain,
             },
             Request {
                 id: 6,
                 tenant: "ops".into(),
+                token: None,
                 body: RequestBody::Shutdown,
             },
         ];
@@ -287,6 +368,45 @@ mod tests {
             let back = parse_request(&line).unwrap();
             assert_eq!(req, back);
         }
+    }
+
+    #[test]
+    fn token_field_is_optional_on_the_wire() {
+        // Pre-token requests (no `token` key) still parse.
+        let legacy = r#"{"id":3,"tenant":"t","body":"QueryStatus"}"#;
+        let req = parse_request(legacy).unwrap();
+        assert_eq!(req.token, None);
+        // A token-free request serialises without the key at all.
+        let line = encode_line(&req);
+        assert!(!line.contains("token"));
+        // A tokened request keeps its token through a roundtrip.
+        let tokened = Request {
+            id: 4,
+            tenant: "t".into(),
+            token: Some("t-1-9".into()),
+            body: RequestBody::QueryStatus,
+        };
+        let back = parse_request(&encode_line(&tokened)).unwrap();
+        assert_eq!(back, tokened);
+    }
+
+    #[test]
+    fn quarantine_responses_roundtrip() {
+        let response = Response {
+            id: 11,
+            body: ResponseBody::Quarantine {
+                entries: vec![QuarantineEntry {
+                    tenant: "alice".into(),
+                    job: 5,
+                    attempts: 3,
+                    cause: "fault".into(),
+                    time: 12.5,
+                }],
+            },
+        };
+        let line = encode_line(&response);
+        let back: Response = serde_json::from_str(line.trim()).unwrap();
+        assert_eq!(response, back);
     }
 
     #[test]

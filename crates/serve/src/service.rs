@@ -22,8 +22,10 @@
 //! the naive path's — validated for capacity/precedence feasibility.
 
 use crate::flight::{FlightRecorder, RoundRecord};
+use crate::ingest::DedupWindow;
 use crate::ingest::{Batch, IngestQueue};
 use crate::metrics::{EventLedger, MetricsRegistry, MetricsSnapshot, RejectReason};
+use crate::protocol::QuarantineEntry;
 use crate::protocol::{DrainReport, DEFAULT_MAX_LINE_BYTES};
 use crate::wal::{
     list_checkpoints, scan_wal, wal_path, DurabilityMode, DurabilityStatus, RecoverError,
@@ -34,8 +36,8 @@ use mrls_core::{diff_plan_entries, MrlsConfig, MrlsScheduler, Schedule, Schedule
 use mrls_dag::Dag;
 use mrls_model::{Allocation, Instance, MoldableJob, SystemConfig};
 use mrls_sim::{
-    ChannelFeeder, ChannelSource, PersistentRun, PerturbationModel, Policy, PolicyKind,
-    RealizedTrace, SimSnapshot, TraceEvent,
+    ChannelFeeder, ChannelSource, FailCause, FailurePlan, PersistentRun, PerturbationModel, Policy,
+    PolicyKind, RealizedTrace, SimSnapshot, TraceEvent,
 };
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
@@ -81,6 +83,21 @@ pub struct ServeConfig {
     /// Checkpoint cadence: a checkpoint is written after every this-many
     /// rounds (and after every drain). Zero = checkpoint only at drains.
     pub checkpoint_every_rounds: u64,
+    /// Deterministic failure injection: the seeded fault model, resource
+    /// outages and the bounded-retry policy installed into the engine.
+    /// [`FailurePlan::none`] (the default) keeps every pre-failure behaviour
+    /// byte-identical. Requires a reactive `policy` when failures are
+    /// enabled — a static cursor policy deadlocks on a job in backoff.
+    pub failures: FailurePlan,
+    /// Overload guard: when `Some(n)` and the scheduler's in-flight backlog
+    /// (admitted, not started, not abandoned) has reached `n` jobs, further
+    /// submissions are shed with a typed overload rejection instead of being
+    /// queued. `None` (the default) never sheds.
+    pub overload_high_water: Option<usize>,
+    /// Idempotency dedup window: how many recently *accepted* submit tokens
+    /// the core remembers for exactly-once admission of client retries.
+    /// Zero disables dedup.
+    pub dedup_window: usize,
 }
 
 impl Default for ServeConfig {
@@ -99,6 +116,9 @@ impl Default for ServeConfig {
             durability: DurabilityMode::Off,
             dir: None,
             checkpoint_every_rounds: 32,
+            failures: FailurePlan::none(),
+            overload_high_water: None,
+            dedup_window: 64,
         }
     }
 }
@@ -268,6 +288,10 @@ struct DurableState {
     recoveries: u64,
     /// Invalid-tail bytes cut by those recoveries.
     truncated_bytes: u64,
+    /// The poison quarantine, oldest entry first.
+    quarantine: Vec<QuarantineEntry>,
+    /// The idempotency dedup window, verbatim.
+    dedup: DedupWindow,
 }
 
 impl DurableState {
@@ -286,7 +310,7 @@ impl DurableState {
 /// explicitly, not what a round produces.
 fn config_digest(config: &ServeConfig) -> u64 {
     let key = format!(
-        "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+        "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
         config.capacities,
         config.policy,
         config.tick,
@@ -294,8 +318,20 @@ fn config_digest(config: &ServeConfig) -> u64 {
         config.seed,
         config.perturbation,
         config.scheduler,
+        config.failures,
+        config.overload_high_water,
+        config.dedup_window,
     );
     mrls_core::hash::fnv1a64(key.as_bytes())
+}
+
+/// The obs counter a rejection of the given kind increments.
+fn reject_counter(reason: RejectReason) -> &'static str {
+    match reason {
+        RejectReason::Backpressure => "serve.rejected.backpressure",
+        RejectReason::Validation => "serve.rejected.validation",
+        RejectReason::Overload => "serve.rejected.overload",
+    }
 }
 
 /// Introspection counters of the incremental round state (for soak tests and
@@ -366,6 +402,11 @@ pub struct ServiceCore {
     virtual_now: f64,
     plan_updates_applied: u64,
     plan_entries_unchanged: u64,
+    /// The poison quarantine: jobs that exhausted their retry budget (or
+    /// were cascade-abandoned), in quarantine order. Append-only.
+    quarantine: Vec<QuarantineEntry>,
+    /// The idempotency dedup window for client submit retries.
+    dedup: DedupWindow,
     fault: Option<String>,
     /// The write-ahead log append handle. `Some` iff durability is on and
     /// recovery (if any) completed — during replay it stays `None`, so the
@@ -401,6 +442,7 @@ impl ServiceCore {
         // core's registry starts from zero.
         mrls_obs::set_enabled(true);
         let _ = mrls_obs::take();
+        let dedup = DedupWindow::new(config.dedup_window);
         ServiceCore {
             config,
             world: Vec::new(),
@@ -423,6 +465,8 @@ impl ServiceCore {
             virtual_now: 0.0,
             plan_updates_applied: 0,
             plan_entries_unchanged: 0,
+            quarantine: Vec::new(),
+            dedup,
             fault: None,
             wal: None,
             last_checkpoint_round: None,
@@ -605,7 +649,7 @@ impl ServiceCore {
                 })
                 .collect(),
         );
-        let run = PersistentRun::resume(
+        let mut run = PersistentRun::resume(
             instance,
             plan,
             &state.snapshot,
@@ -613,8 +657,14 @@ impl ServiceCore {
             None,
         )
         .map_err(|e| e.to_string())?;
+        if !core.config.failures.is_failure_free() {
+            // The sampler resumes at the snapshot's recorded attempt count,
+            // so the post-recovery failure stream continues byte-identically.
+            run.set_failures(core.config.failures.clone());
+        }
+        let abandoned = |j: usize| state.snapshot.abandoned.get(j).copied().unwrap_or(false);
         core.pending = (0..state.grown)
-            .filter(|&j| !state.snapshot.started[j])
+            .filter(|&j| !state.snapshot.started[j] && !abandoned(j))
             .chain(state.grown..state.world.len())
             .collect();
         core.needs_sync.clear();
@@ -635,6 +685,8 @@ impl ServiceCore {
         core.edge_cursor = state.edge_cursor;
         core.recoveries = state.recoveries;
         core.truncated_bytes = state.truncated_bytes;
+        core.quarantine = state.quarantine;
+        core.dedup = state.dedup;
         core.last_checkpoint_round = Some(state.rounds);
         core.last_checkpoint_seq = Some(state.wal_seq);
         Ok(core)
@@ -655,12 +707,28 @@ impl ServiceCore {
                 WalOp::Job { tenant, job, deps } => {
                     let _ = self.submit_job(tenant, job.clone(), deps);
                 }
+                WalOp::TokenJob {
+                    tenant,
+                    job,
+                    deps,
+                    token,
+                } => {
+                    let _ = self.submit_job_token(tenant, job.clone(), deps, Some(token));
+                }
                 WalOp::Dag {
                     tenant,
                     jobs,
                     edges,
                 } => {
                     let _ = self.submit_dag(tenant, jobs.clone(), edges);
+                }
+                WalOp::TokenDag {
+                    tenant,
+                    jobs,
+                    edges,
+                    token,
+                } => {
+                    let _ = self.submit_dag_token(tenant, jobs.clone(), edges, Some(token));
                 }
                 WalOp::Capacity { resource, capacity } => {
                     let _ = self.submit_capacity(*resource, *capacity);
@@ -771,6 +839,8 @@ impl ServiceCore {
             edge_cursor: self.edge_cursor,
             recoveries: self.recoveries,
             truncated_bytes: self.truncated_bytes,
+            quarantine: self.quarantine.clone(),
+            dedup: self.dedup.clone(),
         };
         match crate::wal::write_checkpoint(&dir, wal_seq, &state.to_json()) {
             Ok(()) => {
@@ -842,14 +912,47 @@ impl ServiceCore {
         job: MoldableJob,
         deps: &[u64],
     ) -> Result<u64, String> {
+        self.submit_job_token(tenant, job, deps, None)
+    }
+
+    /// [`ServiceCore::submit_job`] with an optional client idempotency
+    /// token. A token the dedup window already holds short-circuits to the
+    /// original ids — nothing is journaled or admitted again, so a client
+    /// retrying a submission it never saw the reply for cannot double-admit.
+    pub fn submit_job_token(
+        &mut self,
+        tenant: &str,
+        job: MoldableJob,
+        deps: &[u64],
+        token: Option<&str>,
+    ) -> Result<u64, String> {
         self.check_fault()?;
+        if let Some(ids) = token.and_then(|t| self.dedup.lookup(t)) {
+            let id = ids[0];
+            mrls_obs::counter_add("serve.dedup.hits", 1);
+            return Ok(id);
+        }
         // Log before validating: rejections mutate metrics, so replay must
         // re-reject the same submissions to reproduce the same counters.
-        self.log_op(|| WalOp::Job {
-            tenant: tenant.to_string(),
-            job: job.clone(),
-            deps: deps.to_vec(),
+        self.log_op(|| match token {
+            Some(token) => WalOp::TokenJob {
+                tenant: tenant.to_string(),
+                job: job.clone(),
+                deps: deps.to_vec(),
+                token: token.to_string(),
+            },
+            None => WalOp::Job {
+                tenant: tenant.to_string(),
+                job: job.clone(),
+                deps: deps.to_vec(),
+            },
         })?;
+        if let Err(e) = self.check_overload() {
+            self.metrics
+                .record_rejected(tenant, 1, RejectReason::Overload);
+            mrls_obs::counter_add("serve.rejected.overload", 1);
+            return Err(e);
+        }
         validate_spec(self.num_resource_types(), &job).inspect_err(|_| {
             self.metrics
                 .record_rejected(tenant, 1, RejectReason::Validation);
@@ -871,13 +974,7 @@ impl ServiceCore {
             });
         if let Err((reason, e)) = admit {
             self.metrics.record_rejected(tenant, 1, reason);
-            mrls_obs::counter_add(
-                match reason {
-                    RejectReason::Backpressure => "serve.rejected.backpressure",
-                    RejectReason::Validation => "serve.rejected.validation",
-                },
-                1,
-            );
+            mrls_obs::counter_add(reject_counter(reason), 1);
             return Err(e);
         }
         let id = self.world.len();
@@ -896,6 +993,9 @@ impl ServiceCore {
         self.metrics.record_submitted(tenant, 1);
         self.metrics.record_queued(tenant, 1);
         mrls_obs::counter_add("serve.admitted_jobs", 1);
+        if let Some(token) = token {
+            self.dedup.insert(token, vec![id as u64]);
+        }
         Ok(id as u64)
     }
 
@@ -907,15 +1007,42 @@ impl ServiceCore {
         jobs: Vec<MoldableJob>,
         edges: &[(usize, usize)],
     ) -> Result<Vec<u64>, String> {
+        self.submit_dag_token(tenant, jobs, edges, None)
+    }
+
+    /// [`ServiceCore::submit_dag`] with an optional client idempotency
+    /// token (see [`ServiceCore::submit_job_token`]).
+    pub fn submit_dag_token(
+        &mut self,
+        tenant: &str,
+        jobs: Vec<MoldableJob>,
+        edges: &[(usize, usize)],
+        token: Option<&str>,
+    ) -> Result<Vec<u64>, String> {
         self.check_fault()?;
-        self.log_op(|| WalOp::Dag {
-            tenant: tenant.to_string(),
-            jobs: jobs.clone(),
-            edges: edges.to_vec(),
+        if let Some(ids) = token.and_then(|t| self.dedup.lookup(t)) {
+            let ids = ids.to_vec();
+            mrls_obs::counter_add("serve.dedup.hits", 1);
+            return Ok(ids);
+        }
+        self.log_op(|| match token {
+            Some(token) => WalOp::TokenDag {
+                tenant: tenant.to_string(),
+                jobs: jobs.clone(),
+                edges: edges.to_vec(),
+                token: token.to_string(),
+            },
+            None => WalOp::Dag {
+                tenant: tenant.to_string(),
+                jobs: jobs.clone(),
+                edges: edges.to_vec(),
+            },
         })?;
         let count = jobs.len();
         let d = self.num_resource_types();
+        let overload = self.check_overload();
         let admit = (|| {
+            overload.map_err(|e| (RejectReason::Overload, e))?;
             if count == 0 {
                 return Err((RejectReason::Validation, "empty submission".to_string()));
             }
@@ -943,13 +1070,7 @@ impl ServiceCore {
             Err((reason, e)) => {
                 self.metrics
                     .record_rejected(tenant, count.max(1) as u64, reason);
-                mrls_obs::counter_add(
-                    match reason {
-                        RejectReason::Backpressure => "serve.rejected.backpressure",
-                        RejectReason::Validation => "serve.rejected.validation",
-                    },
-                    count.max(1) as u64,
-                );
+                mrls_obs::counter_add(reject_counter(reason), count.max(1) as u64);
                 return Err(e);
             }
         };
@@ -969,7 +1090,31 @@ impl ServiceCore {
         self.metrics.record_submitted(tenant, count as u64);
         self.metrics.record_queued(tenant, count as u64);
         mrls_obs::counter_add("serve.admitted_jobs", count as u64);
-        Ok(ids.into_iter().map(|id| id as u64).collect())
+        let ids: Vec<u64> = ids.into_iter().map(|id| id as u64).collect();
+        if let Some(token) = token {
+            self.dedup.insert(token, ids.clone());
+        }
+        Ok(ids)
+    }
+
+    /// The overload guard: refuses the submission outright when the
+    /// in-flight backlog (admitted, not started, not abandoned) has reached
+    /// the configured high-water mark. Checked before any other admission
+    /// work — shedding is supposed to be cheap.
+    fn check_overload(&self) -> Result<(), String> {
+        match self.config.overload_high_water {
+            Some(hwm) if self.pending.len() >= hwm => Err(format!(
+                "overload: {} jobs in flight have reached the high-water mark {hwm} — \
+                 load shed, retry after the backlog drains",
+                self.pending.len()
+            )),
+            _ => Ok(()),
+        }
+    }
+
+    /// The poison quarantine, oldest entry first.
+    pub fn quarantine(&self) -> Vec<QuarantineEntry> {
+        self.quarantine.clone()
     }
 
     /// Queues a capacity change for the next round.
@@ -1150,7 +1295,7 @@ impl ServiceCore {
                 })
                 .collect(),
         );
-        let run = PersistentRun::resume(
+        let mut run = PersistentRun::resume(
             instance,
             plan,
             &snapshot,
@@ -1158,9 +1303,13 @@ impl ServiceCore {
             None,
         )
         .map_err(|e| e.to_string())?;
+        if !self.config.failures.is_failure_free() {
+            run.set_failures(self.config.failures.clone());
+        }
         // Re-derive the service-side frontier from the restored flags.
+        let abandoned = |j: usize| snapshot.abandoned.get(j).copied().unwrap_or(false);
         self.pending = (0..self.grown)
-            .filter(|&j| !snapshot.started[j])
+            .filter(|&j| !snapshot.started[j] && !abandoned(j))
             .chain(self.grown..self.world.len())
             .collect();
         self.needs_sync.clear();
@@ -1270,15 +1419,25 @@ impl ServiceCore {
         mrls_obs::observe("serve.plan_diff.updates", applied);
         mrls_obs::observe("serve.plan_diff.kept", delta.unchanged as u64);
 
-        // Refresh the persistent policy instance over the pending frontier:
+        // Refresh the persistent policy instance over the live frontier:
         // bit-equivalent to building a fresh policy and `on_start`-ing it
         // (the old per-round path), but O(live) instead of O(world). The
-        // frontier handed over is exactly what a fresh scan would find —
-        // `pending` holds the unstarted jobs of the grown world, ascending.
+        // frontier is pending ∪ running — the same `!completed &&
+        // !abandoned` universe the sim's resume path hands a policy. The
+        // running jobs' keys are only ever read if a failure returns one of
+        // them to the ready set, so failure-free rounds stay bit-identical
+        // to the old pending-only frontier.
+        let live = {
+            let state = run.state();
+            let mut live = self.pending.clone();
+            live.extend(state.running.iter().map(|r| r.job));
+            live.sort_unstable();
+            live
+        };
         mrls_core::time_phase!(
             "policy",
             self.policy
-                .on_plan_update(&run.state(), &self.pending)
+                .on_plan_update(&run.state(), &live)
                 .map_err(|e| e.to_string())?
         );
 
@@ -1299,6 +1458,7 @@ impl ServiceCore {
         self.virtual_now = run.now();
         let watermark = run.now();
         let events = run.take_harvested_events();
+        let retry_max = self.config.failures.retry.max_attempts;
         let mut started: Vec<usize> = Vec::new();
         for ev in &events {
             match ev {
@@ -1312,6 +1472,38 @@ impl ServiceCore {
                     self.metrics.record_completed(&tenant, *time);
                     record.completed += 1;
                 }
+                TraceEvent::JobFailed {
+                    time,
+                    job,
+                    attempt,
+                    cause,
+                } => {
+                    let cascade = *cause == FailCause::Cascade;
+                    if !cascade {
+                        record.failed += 1;
+                        mrls_obs::counter_add("serve.retry.failed_attempts", 1);
+                    }
+                    if cascade || *attempt >= retry_max {
+                        // Terminal: the retry budget is exhausted (or an
+                        // ancestor's was) — poison-quarantine the job.
+                        let tenant = self.world[*job].tenant.clone();
+                        self.metrics.record_quarantined(&tenant);
+                        record.quarantined += 1;
+                        mrls_obs::counter_add("serve.quarantine.jobs", 1);
+                        self.quarantine.push(QuarantineEntry {
+                            tenant,
+                            job: *job as u64,
+                            attempts: *attempt,
+                            cause: cause.label(),
+                            time: *time,
+                        });
+                    }
+                }
+                TraceEvent::JobRetried { job, .. } => {
+                    let tenant = self.world[*job].tenant.clone();
+                    self.metrics.record_retried(&tenant);
+                    mrls_obs::counter_add("serve.retry.retries", 1);
+                }
                 _ => {}
             }
         }
@@ -1319,9 +1511,19 @@ impl ServiceCore {
         record.started = started.len() as u64;
         mrls_obs::counter_add("serve.harvest.events", events.len() as u64);
         self.ledger.absorb(events, watermark);
-        if !started.is_empty() {
+        if !started.is_empty() || record.failed > 0 || record.quarantined > 0 {
+            // Re-derive the frontiers from the engine's flags rather than
+            // replaying the event deltas: with failure injection one job can
+            // start, fail and restart within a single drive, so only the
+            // final flags say whether it is pending, running or gone.
+            let state = run.state();
+            self.pending = (0..self.grown)
+                .filter(|&j| !state.started[j] && !state.abandoned[j])
+                .chain(self.grown..self.world.len())
+                .collect();
             started.sort_unstable();
-            self.pending.retain(|j| started.binary_search(j).is_err());
+            started.dedup();
+            started.retain(|&j| state.started[j]);
             self.needs_sync.extend(started);
         }
         record.virtual_time = self.virtual_now;
@@ -1379,7 +1581,7 @@ impl ServiceCore {
             // planned from scratch and installed as plan placeholders so the
             // uniform diff-and-apply below sees them as fresh.
             let plan = Schedule::new((0..n).map(|j| placeholder_entry(j, d)).collect());
-            let run = PersistentRun::new(
+            let mut run = PersistentRun::new(
                 instance,
                 plan,
                 self.config.seed,
@@ -1388,6 +1590,9 @@ impl ServiceCore {
                 vec![false; n],
             )
             .map_err(|e| e.to_string())?;
+            if !self.config.failures.is_failure_free() {
+                run.set_failures(self.config.failures.clone());
+            }
             self.run = Some(run);
             self.feed = Some(ChannelSource::feeder());
             self.grown = n;

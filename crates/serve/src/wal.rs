@@ -116,6 +116,29 @@ pub enum WalOp {
         /// Local precedence edges, as submitted.
         edges: Vec<(usize, usize)>,
     },
+    /// One `submit_job` call that carried a client idempotency token. Kept
+    /// separate from [`WalOp::Job`] so pre-token logs replay untouched.
+    TokenJob {
+        /// Tenant the work was accounted under.
+        tenant: String,
+        /// The submitted job description.
+        job: MoldableJob,
+        /// Global ids of its predecessors, as submitted.
+        deps: Vec<u64>,
+        /// The client-assigned idempotency token.
+        token: String,
+    },
+    /// One `submit_dag` call that carried a client idempotency token.
+    TokenDag {
+        /// Tenant the work was accounted under.
+        tenant: String,
+        /// The submitted jobs.
+        jobs: Vec<MoldableJob>,
+        /// Local precedence edges, as submitted.
+        edges: Vec<(usize, usize)>,
+        /// The client-assigned idempotency token.
+        token: String,
+    },
     /// One `submit_capacity` call.
     Capacity {
         /// Affected resource type.

@@ -1,0 +1,222 @@
+//! Chaos smoke: connections die mid-stream and the system shrugs.
+//!
+//! Two layers of abuse. A **fake flaky server** drops the connection after
+//! reading a submission without replying — the resilient client must
+//! reconnect with capped backoff and resend the *same frame* (same
+//! correlation id, same idempotency token), so the real server's dedup
+//! window can collapse the replay. And a **real server under failure
+//! injection** fed a paced tokened stream by a client that is killed and
+//! recreated mid-stream, resending an overlap window of tokens: the server
+//! must admit every distinct token exactly once, drain cleanly, and account
+//! for every job as completed or quarantined.
+
+use mrls_model::{ExecTimeSpec, MoldableJob};
+use mrls_serve::{
+    encode_line, read_frame, Client, ClientError, Response, ResponseBody, RetryConfig, ServeConfig,
+    Server,
+};
+use mrls_sim::{FailureModel, FailurePlan, RetryPolicy};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::time::Duration;
+
+fn job(time: f64) -> MoldableJob {
+    MoldableJob::new(0, ExecTimeSpec::Constant { time })
+}
+
+/// The fake flaky server: drops the first connection after reading the
+/// submission (no reply), then serves the resent frame on the second
+/// connection — asserting it is byte-identical to the first.
+#[test]
+fn client_reconnects_and_resends_the_same_frame() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    let server = std::thread::spawn(move || {
+        // Connection 1: read the frame, say nothing, hang up.
+        let (conn, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(conn);
+        let mut first = String::new();
+        reader.read_line(&mut first).unwrap();
+        drop(reader); // the "crash"
+
+        // Connection 2: the client reconnected; the frame must be identical.
+        let (conn, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        let mut second = String::new();
+        reader.read_line(&mut second).unwrap();
+        assert_eq!(
+            first, second,
+            "the resent frame must be byte-identical (same id, same token)"
+        );
+        assert!(second.contains(r#""token":"chaos-1""#), "{second}");
+        // Answer with the id the frame carried.
+        let id = mrls_serve::probe_request_id(&second);
+        let reply = Response {
+            id,
+            body: ResponseBody::Accepted { jobs: vec![7] },
+        };
+        let mut writer = conn;
+        writer.write_all(encode_line(&reply).as_bytes()).unwrap();
+        first
+    });
+
+    let mut client = Client::connect(addr, "t").unwrap().with_retry(RetryConfig {
+        max_attempts: 3,
+        backoff_base: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(5),
+    });
+    let id = client
+        .submit_job_with_token(job(1.0), vec![], "chaos-1")
+        .unwrap();
+    assert_eq!(id, 7);
+    server.join().unwrap();
+}
+
+/// With retries disabled, the same flaky server surfaces the typed
+/// disconnect instead of hiding it.
+#[test]
+fn without_retry_a_dropped_connection_is_a_typed_error() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let (conn, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(conn);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        // hang up without replying
+    });
+    let mut client = Client::connect(addr, "t")
+        .unwrap()
+        .with_retry(RetryConfig::none());
+    let err = client
+        .submit_job_with_token(job(1.0), vec![], "tok")
+        .unwrap_err();
+    assert!(
+        matches!(err, ClientError::Disconnected(_)),
+        "expected Disconnected, got {err:?}"
+    );
+    server.join().unwrap();
+}
+
+/// A malformed reply is the other typed error, and is never retried (the
+/// stream position is untrustworthy, and resending would not help).
+#[test]
+fn a_malformed_reply_is_a_typed_error() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let (conn, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let mut writer = conn;
+        writer.write_all(b"{ not json at all\n").unwrap();
+    });
+    let mut client = Client::connect(addr, "t").unwrap();
+    let err = client
+        .submit_job_with_token(job(1.0), vec![], "tok")
+        .unwrap_err();
+    assert!(
+        matches!(err, ClientError::Malformed(_)),
+        "expected Malformed, got {err:?}"
+    );
+    server.join().unwrap();
+}
+
+/// The end-to-end chaos smoke: a real server under failure injection, a
+/// paced tokened stream, the client killed and recreated twice mid-stream
+/// with an overlap window of resent tokens. Every distinct token admits
+/// exactly once; the drain is clean; completed + quarantined accounts for
+/// every admitted job.
+#[test]
+fn killed_clients_resend_tokens_without_duplicate_admissions() {
+    let handle = Server::spawn(
+        ServeConfig {
+            capacities: vec![4, 4],
+            batch_window: Duration::ZERO,
+            failures: FailurePlan {
+                model: FailureModel::Random { prob: 0.3 },
+                outages: vec![],
+                retry: RetryPolicy {
+                    max_attempts: 2,
+                    backoff_base: 0.25,
+                    backoff_factor: 2.0,
+                },
+            },
+            ..ServeConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("bind loopback");
+
+    const JOBS: usize = 24;
+    const OVERLAP: usize = 4; // tokens resent after each "crash"
+    let crash_points = [8usize, 17];
+
+    let mut ids = vec![None::<u64>; JOBS];
+    let mut client = Client::connect(handle.addr(), "stream").unwrap();
+    let mut crashed = [false; 2];
+    let mut i = 0;
+    while i < JOBS {
+        let crash_now = crash_points
+            .iter()
+            .position(|&p| p == i)
+            .is_some_and(|k| !std::mem::replace(&mut crashed[k], true));
+        if crash_now {
+            // Kill the client (drop the socket mid-stream) and start over
+            // from a few tokens back — the crashed client never learned
+            // whether its tail submissions were admitted.
+            drop(client);
+            client = Client::connect(handle.addr(), "stream").unwrap();
+            i = i.saturating_sub(OVERLAP);
+        }
+        let token = format!("stream-{i}");
+        let id = client
+            .submit_job_with_token(job(0.5 + (i % 5) as f64 * 0.25), vec![], &token)
+            .unwrap();
+        if let Some(seen) = ids[i] {
+            assert_eq!(seen, id, "token {token} admitted twice with new id {id}");
+        }
+        ids[i] = Some(id);
+        i += 1;
+    }
+
+    let status = client.status().unwrap();
+    assert_eq!(
+        status.jobs_submitted, JOBS as u64,
+        "resent tokens must not admit twice"
+    );
+    let report = client.drain().unwrap();
+    assert!(report.feasible, "the drained schedule must validate");
+    let quarantined = client.quarantine().unwrap().len() as u64;
+    assert_eq!(
+        report.completed + quarantined,
+        JOBS as u64,
+        "every admitted job is either completed or quarantined"
+    );
+    // All ids are distinct and dense: exactly one admission per token.
+    let mut seen: Vec<u64> = ids.iter().map(|id| id.unwrap()).collect();
+    seen.sort_unstable();
+    seen.dedup();
+    assert_eq!(seen.len(), JOBS);
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+/// `read_frame` is used directly by the chaos harness above; pin its EOF
+/// contract here so the fake servers stay honest.
+#[test]
+fn read_frame_reports_clean_eof_as_none() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let t = std::thread::spawn(move || {
+        let (conn, _) = listener.accept().unwrap();
+        drop(conn);
+    });
+    let stream = std::net::TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream);
+    assert_eq!(read_frame(&mut reader, 1 << 16).unwrap(), None);
+    t.join().unwrap();
+}

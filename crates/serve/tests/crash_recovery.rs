@@ -313,6 +313,97 @@ fn crash_at_every_op_boundary_recovers_byte_identical() {
     }
 }
 
+/// Crash **mid-retry-backoff**: under a failure plan, some flushed rounds
+/// pause with a failed job sitting in its virtual-time backoff window —
+/// failed once, not yet re-run. Killing the core at every op boundary also
+/// kills it at those states; recovery must resume the failure sampler's
+/// random stream exactly (by replaying the recorded attempt count) and
+/// continue byte-identical to an uninterrupted run, quarantine included.
+#[test]
+fn crash_mid_retry_backoff_recovers_byte_identical() {
+    let failures = mrls_sim::FailurePlan {
+        model: mrls_sim::FailureModel::Random { prob: 0.6 },
+        outages: vec![],
+        retry: mrls_sim::RetryPolicy {
+            max_attempts: 2,
+            backoff_base: 1.5,
+            backoff_factor: 2.0,
+        },
+    };
+    let durable = |dir: &Path| ServeConfig {
+        failures: failures.clone(),
+        ..durable_config(dir)
+    };
+    let plain = ServeConfig {
+        failures: failures.clone(),
+        ..plain_config()
+    };
+    let ops = script();
+
+    // The uninterrupted reference, on both the naive core (a different code
+    // path entirely) and a plain incremental core.
+    let mut naive = NaiveService::new(plain.clone());
+    let want_replies: Vec<String> = ops.iter().map(|op| apply(&mut naive, op)).collect();
+    let want_quarantine = {
+        let mut probe = ServiceCore::new(plain.clone());
+        for op in &ops {
+            apply(&mut probe, op);
+        }
+        let _ = probe.drain().unwrap();
+        let status = probe.status();
+        let retried: u64 = status.tenants.values().map(|t| t.retried).sum();
+        let quarantined: u64 = status.tenants.values().map(|t| t.quarantined).sum();
+        assert!(
+            retried > 0 && quarantined > 0,
+            "the failure plan must actually bite for this test to mean anything \
+             (retried {retried}, quarantined {quarantined})"
+        );
+        serde_json::to_string(&probe.quarantine()).unwrap()
+    };
+    let _ = naive.drain().unwrap();
+    assert_eq!(
+        want_quarantine,
+        serde_json::to_string(&naive.quarantine()).unwrap(),
+        "the two uninterrupted cores disagree on the quarantine"
+    );
+    let want_fp = {
+        let mut probe = ServiceCore::new(plain.clone());
+        for op in &ops {
+            apply(&mut probe, op);
+        }
+        fingerprint(&mut probe)
+    };
+
+    for crash_at in 0..=ops.len() {
+        let dir = temp_dir("backoff");
+        let (mut core, _) = ServiceCore::open(durable(&dir)).unwrap();
+        let mut replies: Vec<String> = ops[..crash_at]
+            .iter()
+            .map(|op| apply(&mut core, op))
+            .collect();
+        drop(core); // crash — possibly with a job mid-backoff
+
+        let (mut recovered, _) = ServiceCore::recover(durable(&dir))
+            .unwrap_or_else(|e| panic!("crash point {crash_at}: recovery failed: {e}"));
+        replies.extend(ops[crash_at..].iter().map(|op| apply(&mut recovered, op)));
+        assert_eq!(
+            replies, want_replies,
+            "crash point {crash_at}: replies diverged under failure injection"
+        );
+        assert_eq!(
+            fingerprint(&mut recovered),
+            want_fp,
+            "crash point {crash_at}: state diverged under failure injection"
+        );
+        assert_eq!(
+            serde_json::to_string(&recovered.quarantine()).unwrap(),
+            want_quarantine,
+            "crash point {crash_at}: quarantine diverged"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
 /// Double crashes: recovery of a recovered directory must be just as exact
 /// (the `Recovered` audit record replays as a no-op).
 #[test]
@@ -371,6 +462,22 @@ fn reference_for_prefix(records: &[WalRecord]) -> (String, String, String) {
                 edges,
             } => {
                 let _ = core.submit_dag(tenant, jobs.clone(), edges);
+            }
+            WalOp::TokenJob {
+                tenant,
+                job,
+                deps,
+                token,
+            } => {
+                let _ = core.submit_job_token(tenant, job.clone(), deps, Some(token));
+            }
+            WalOp::TokenDag {
+                tenant,
+                jobs,
+                edges,
+                token,
+            } => {
+                let _ = core.submit_dag_token(tenant, jobs.clone(), edges, Some(token));
             }
             WalOp::Capacity { resource, capacity } => {
                 let _ = core.submit_capacity(*resource, *capacity);

@@ -11,7 +11,7 @@
 
 use mrls_model::{ExecTimeSpec, MoldableJob};
 use mrls_serve::{NaiveService, ServeConfig, ServiceCore};
-use mrls_sim::{PerturbationModel, PolicyKind};
+use mrls_sim::{FailureModel, FailurePlan, Outage, PerturbationModel, PolicyKind, RetryPolicy};
 use proptest::prelude::*;
 
 const TENANTS: [&str; 3] = ["alpha", "beta", "gamma"];
@@ -102,14 +102,17 @@ struct Pair {
 
 impl Pair {
     fn new(policy: PolicyKind, perturbation: PerturbationModel) -> Self {
-        let config = ServeConfig {
+        Pair::with_config(ServeConfig {
             capacities: vec![4, 4],
             policy,
             perturbation,
             max_pending_jobs: 24,
             seed: 11,
             ..ServeConfig::default()
-        };
+        })
+    }
+
+    fn with_config(config: ServeConfig) -> Self {
         Pair {
             incremental: ServiceCore::new(config.clone()),
             naive: NaiveService::new(config),
@@ -140,6 +143,13 @@ impl Pair {
             flights,
             self.naive.flight_digests(),
             "flight digests diverged {context}"
+        );
+        // The poison quarantine — tenant, job, attempt count, cause label
+        // and virtual quarantine time of every entry — byte-for-byte.
+        assert_eq!(
+            serde_json::to_string(&self.incremental.quarantine()).unwrap(),
+            serde_json::to_string(&self.naive.quarantine()).unwrap(),
+            "quarantine diverged {context}"
         );
     }
 
@@ -323,6 +333,218 @@ fn deterministic_mixed_stream_is_byte_identical() {
     }
     pair.finish();
     // Draining twice is idempotent on both paths, and still byte-identical.
+    pair.finish();
+}
+
+/// A failure plan for the injection streams: random mid-run faults, a
+/// straggler deadline, one timed outage, and a tight retry budget so
+/// streams actually exhaust it and quarantine jobs.
+fn failure_plan() -> FailurePlan {
+    FailurePlan {
+        model: FailureModel::Compose(vec![
+            FailureModel::Random { prob: 0.35 },
+            FailureModel::StragglerKill {
+                deadline_factor: 2.5,
+            },
+        ]),
+        outages: vec![Outage {
+            time: 3.0,
+            resource: 0,
+        }],
+        retry: RetryPolicy {
+            max_attempts: 2,
+            backoff_base: 0.25,
+            backoff_factor: 2.0,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, seed: 0x5eed_fa11 })]
+
+    // The failure-injection differential: same streams, but attempts die
+    // (faults, straggler kills, an outage), retries re-enter the ready set
+    // after virtual-time backoff, and exhausted jobs land in quarantine —
+    // all of which must stay byte-identical between the two cores.
+    // `Static` is excluded by design: a static plan cannot re-place a
+    // retried job, so failure plans under it deadlock (documented).
+    #[test]
+    fn incremental_equals_naive_under_failure_injection(
+        ops in proptest::collection::vec(op_strategy(), 6..30),
+        reactive in proptest::bool::Any,
+        noisy in proptest::bool::Any,
+    ) {
+        let policy = if reactive {
+            PolicyKind::ReactiveList
+        } else {
+            PolicyKind::FullReschedule
+        };
+        let perturbation = if noisy {
+            PerturbationModel::Multiplicative { sigma: 0.3 }
+        } else {
+            PerturbationModel::None
+        };
+        let mut pair = Pair::with_config(ServeConfig {
+            capacities: vec![4, 4],
+            policy,
+            perturbation,
+            failures: failure_plan(),
+            max_pending_jobs: 24,
+            seed: 11,
+            ..ServeConfig::default()
+        });
+        for (i, op) in ops.iter().enumerate() {
+            pair.step(i, op);
+        }
+        pair.finish();
+    }
+}
+
+/// A deterministic failure-injection anchor: enough work under a tight
+/// retry budget that retries *and* quarantines demonstrably happen, with
+/// every observable — replies, metrics JSON, quarantine contents, flight
+/// digests, drain report — byte-identical between the two cores.
+#[test]
+fn failure_stream_quarantines_identically() {
+    let mut pair = Pair::with_config(ServeConfig {
+        capacities: vec![4, 4],
+        policy: PolicyKind::FullReschedule,
+        perturbation: PerturbationModel::Multiplicative { sigma: 0.25 },
+        failures: failure_plan(),
+        max_pending_jobs: 24,
+        seed: 11,
+        ..ServeConfig::default()
+    });
+    let ops = [
+        Op::Job {
+            tenant: 0,
+            time_centi: 200,
+            amdahl: false,
+            deps: vec![],
+        },
+        Op::Dag {
+            tenant: 1,
+            times_centi: vec![120, 90, 150],
+            chain: true,
+        },
+        Op::Flush,
+        Op::Job {
+            tenant: 2,
+            time_centi: 180,
+            amdahl: true,
+            deps: vec![0],
+        },
+        Op::Flush,
+        Op::Recycle,
+        Op::Dag {
+            tenant: 0,
+            times_centi: vec![60, 60],
+            chain: false,
+        },
+        Op::Flush,
+    ];
+    for (i, op) in ops.iter().enumerate() {
+        pair.step(i, op);
+    }
+    pair.finish();
+    // The plan must actually have bitten: failed attempts were recorded and
+    // at least one job exhausted its budget into quarantine, identically.
+    let status = pair.incremental.status();
+    let retried: u64 = status.tenants.values().map(|t| t.retried).sum();
+    let quarantine = pair.incremental.quarantine();
+    assert!(
+        retried > 0 || !quarantine.is_empty(),
+        "the failure plan never bit: no retries and an empty quarantine"
+    );
+    assert_eq!(
+        serde_json::to_string(&quarantine).unwrap(),
+        serde_json::to_string(&pair.naive.quarantine()).unwrap()
+    );
+}
+
+/// Duplicate idempotency tokens are deduplicated identically: the replay
+/// returns the original ids without a second admission, on both cores.
+#[test]
+fn duplicate_tokens_are_deduplicated_identically() {
+    let config = ServeConfig {
+        capacities: vec![4, 4],
+        dedup_window: 4,
+        ..ServeConfig::default()
+    };
+    let mut pair = Pair::with_config(config);
+    let job = || MoldableJob::new(0, ExecTimeSpec::Constant { time: 1.0 });
+
+    let first = (
+        pair.incremental
+            .submit_job_token("t", job(), &[], Some("tok-1")),
+        pair.naive.submit_job_token("t", job(), &[], Some("tok-1")),
+    );
+    assert_eq!(first.0, first.1, "first submission replies diverged");
+    let replay = (
+        pair.incremental
+            .submit_job_token("t", job(), &[], Some("tok-1")),
+        pair.naive.submit_job_token("t", job(), &[], Some("tok-1")),
+    );
+    assert_eq!(replay.0, replay.1, "replayed submission replies diverged");
+    assert_eq!(first.0, replay.0, "replay must return the original id");
+    assert_eq!(
+        pair.incremental.status().jobs_submitted,
+        1,
+        "the replay must not admit a second job"
+    );
+
+    let dag_first = (
+        pair.incremental
+            .submit_dag_token("t", vec![job(), job()], &[(0, 1)], Some("tok-2")),
+        pair.naive
+            .submit_dag_token("t", vec![job(), job()], &[(0, 1)], Some("tok-2")),
+    );
+    assert_eq!(dag_first.0, dag_first.1);
+    let dag_replay = (
+        pair.incremental
+            .submit_dag_token("t", vec![job(), job()], &[(0, 1)], Some("tok-2")),
+        pair.naive
+            .submit_dag_token("t", vec![job(), job()], &[(0, 1)], Some("tok-2")),
+    );
+    assert_eq!(dag_replay.0, dag_replay.1);
+    assert_eq!(dag_first.0, dag_replay.0);
+    assert_eq!(pair.incremental.status().jobs_submitted, 3);
+    pair.assert_agreement("after token dedup");
+    pair.finish();
+}
+
+/// The overload guard sheds identically: beyond the pending-backlog
+/// high-water mark both cores refuse with the same typed overload reply,
+/// and both resume admitting once a round drains the backlog.
+#[test]
+fn overload_shedding_is_byte_identical() {
+    let mut pair = Pair::with_config(ServeConfig {
+        capacities: vec![4, 4],
+        overload_high_water: Some(3),
+        ..ServeConfig::default()
+    });
+    let job = || MoldableJob::new(0, ExecTimeSpec::Constant { time: 1.0 });
+    for i in 0..6 {
+        let a = pair.incremental.submit_job("t", job(), &[]);
+        let b = pair.naive.submit_job("t", job(), &[]);
+        assert_eq!(a, b, "overload replies diverged at submission {i}");
+        if i >= 3 {
+            let reason = a.unwrap_err();
+            assert!(reason.contains("overload"), "{reason}");
+        }
+    }
+    // A dag over the mark is shed atomically on both cores.
+    assert_eq!(
+        pair.incremental.submit_dag("t", vec![job(), job()], &[]),
+        pair.naive.submit_dag("t", vec![job(), job()], &[])
+    );
+    pair.assert_agreement("under overload");
+    assert_eq!(pair.incremental.flush(), pair.naive.flush());
+    // The round drained the backlog below the mark: admission resumes.
+    let a = pair.incremental.submit_job("t", job(), &[]);
+    let b = pair.naive.submit_job("t", job(), &[]);
+    assert_eq!(a, b);
+    assert!(a.is_ok(), "admission must resume after the backlog drains");
     pair.finish();
 }
 

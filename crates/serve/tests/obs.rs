@@ -5,7 +5,7 @@
 
 use mrls_obs::Snapshot;
 use mrls_serve::{Client, DrainReport, ServeConfig, Server};
-use mrls_sim::PolicyKind;
+use mrls_sim::{FailureModel, FailurePlan, PolicyKind, RetryPolicy};
 use mrls_workload::InstanceRecipe;
 use std::time::Duration;
 
@@ -116,6 +116,65 @@ fn query_metrics_reflects_the_run_and_is_deterministic() {
         snap.deterministic().to_json(),
         snap2.deterministic().to_json(),
         "obs snapshots diverged between identical runs"
+    );
+}
+
+/// A failure-injected server surfaces the `serve.retry.*` and
+/// `serve.quarantine.*` counters in `QueryMetrics`, and they agree exactly
+/// with the quarantine contents at drain. Independent singletons only, so
+/// there are no cascades and every failed attempt is either retried or
+/// terminal: `failed_attempts = retries + quarantined`.
+#[test]
+fn retry_and_quarantine_counters_reach_query_metrics() {
+    let handle = Server::spawn(
+        ServeConfig {
+            capacities: vec![8, 8],
+            batch_window: Duration::ZERO,
+            failures: FailurePlan {
+                model: FailureModel::Random { prob: 0.5 },
+                outages: vec![],
+                retry: RetryPolicy {
+                    max_attempts: 2,
+                    backoff_base: 0.25,
+                    backoff_factor: 2.0,
+                },
+            },
+            ..ServeConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("bind loopback");
+
+    let mut client = Client::connect(handle.addr(), "t").unwrap();
+    let singles = InstanceRecipe::default_layered(12, 2, 8)
+        .generate(33)
+        .instance;
+    for job in singles.jobs.clone() {
+        client.submit_job(job, vec![]).unwrap();
+    }
+    let report = client.drain().unwrap();
+    let snap = client.metrics().unwrap();
+    let quarantined = client.quarantine().unwrap().len() as u64;
+    client.shutdown().unwrap();
+    handle.join();
+
+    let counter = |k: &str| snap.counters.get(k).copied().unwrap_or(0);
+    let failed = counter("serve.retry.failed_attempts");
+    assert!(failed > 0, "the 50% failure plan must produce failed attempts");
+    assert_eq!(
+        counter("serve.quarantine.jobs"),
+        quarantined,
+        "quarantine counter must equal the quarantine contents"
+    );
+    assert_eq!(
+        failed,
+        counter("serve.retry.retries") + quarantined,
+        "every failed attempt is either retried or terminal"
+    );
+    assert_eq!(
+        report.completed + quarantined,
+        12,
+        "completed + quarantined must account for every admitted job"
     );
 }
 

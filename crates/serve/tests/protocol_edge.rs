@@ -111,6 +111,7 @@ fn half_closed_connections_still_get_their_responses() {
     let request = Request {
         id: 7,
         tenant: "half".into(),
+        token: None,
         body: RequestBody::QueryStatus,
     };
     stream
@@ -232,6 +233,158 @@ fn oversized_query_durability_drops_the_connection() {
         .unwrap()
         .shutdown()
         .unwrap();
+    handle.join();
+}
+
+#[test]
+fn query_quarantine_works_and_rejects_malformed_shapes() {
+    // A server whose every attempt dies and whose retry budget is one
+    // attempt: the submitted job must land in quarantine, visible both via
+    // the typed client and the raw unit-variant wire form.
+    let handle = Server::spawn(
+        ServeConfig {
+            capacities: vec![4, 4],
+            batch_window: Duration::ZERO,
+            failures: mrls_sim::FailurePlan {
+                model: mrls_sim::FailureModel::Random { prob: 1.0 },
+                outages: vec![],
+                retry: mrls_sim::RetryPolicy {
+                    max_attempts: 1,
+                    backoff_base: 0.5,
+                    backoff_factor: 2.0,
+                },
+            },
+            ..ServeConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("bind loopback");
+    let mut client = Client::connect(handle.addr(), "doomed").unwrap();
+    let job = mrls_model::MoldableJob::new(0, mrls_model::ExecTimeSpec::Constant { time: 1.0 });
+    client.submit_job(job, vec![]).unwrap();
+    client.drain().unwrap();
+    let entries = client.quarantine().unwrap();
+    assert_eq!(entries.len(), 1, "the only attempt failed into quarantine");
+    assert_eq!(entries[0].tenant, "doomed");
+    assert_eq!(entries[0].job, 0);
+    assert_eq!(entries[0].cause, "fault");
+
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    let response = raw_roundtrip(
+        &mut stream,
+        r#"{"id":31,"tenant":"t","body":"QueryQuarantine"}"#,
+    );
+    assert_eq!(response.id, 31);
+    assert!(matches!(response.body, ResponseBody::Quarantine { .. }));
+    // Malformed shapes are errors that keep the connection: a payload where
+    // none belongs, and a misspelled variant.
+    let response = raw_roundtrip(
+        &mut stream,
+        r#"{"id":32,"tenant":"t","body":{"QueryQuarantine":{"extra":1}}}"#,
+    );
+    assert_eq!(response.id, 32);
+    assert!(matches!(response.body, ResponseBody::Error { .. }));
+    let response = raw_roundtrip(
+        &mut stream,
+        r#"{"id":33,"tenant":"t","body":"QueryQuarantene"}"#,
+    );
+    assert_eq!(response.id, 33);
+    assert!(matches!(response.body, ResponseBody::Error { .. }));
+    // The connection survived all of it.
+    let response = raw_roundtrip(
+        &mut stream,
+        r#"{"id":34,"tenant":"t","body":"QueryQuarantine"}"#,
+    );
+    assert!(matches!(response.body, ResponseBody::Quarantine { .. }));
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn oversized_query_quarantine_drops_the_connection() {
+    let handle = spawn_server(128);
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    let long = format!(
+        r#"{{"id":1,"tenant":"{}","body":"QueryQuarantine"}}"#,
+        "x".repeat(500)
+    );
+    stream.write_all(long.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    stream.flush().unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let reply = read_frame(&mut reader, 1 << 20).unwrap().expect("a reply");
+    let response: Response = serde_json::from_str(&reply).unwrap();
+    let ResponseBody::Error { message } = response.body else {
+        panic!("expected an error response");
+    };
+    assert!(message.contains("128-byte limit"), "{message}");
+    assert_eq!(read_frame(&mut reader, 1 << 20).unwrap(), None);
+
+    Client::connect(handle.addr(), "t")
+        .unwrap()
+        .shutdown()
+        .unwrap();
+    handle.join();
+}
+
+#[test]
+fn duplicate_idempotency_tokens_admit_once_over_the_wire() {
+    let handle = spawn_server(1 << 16);
+    let job = || mrls_model::MoldableJob::new(0, mrls_model::ExecTimeSpec::Constant { time: 1.0 });
+
+    // The typed client: resending the same pinned token yields the
+    // original id and no second admission.
+    let mut client = Client::connect(handle.addr(), "t").unwrap();
+    let first = client
+        .submit_job_with_token(job(), vec![], "tok-a")
+        .unwrap();
+    let replay = client
+        .submit_job_with_token(job(), vec![], "tok-a")
+        .unwrap();
+    assert_eq!(first, replay, "the replay must return the original id");
+    assert_eq!(client.status().unwrap().jobs_submitted, 1);
+
+    // Even from a *different connection* (the crashed-and-reconnected
+    // client): the dedup window lives in the server, not the socket.
+    let mut second = Client::connect(handle.addr(), "t").unwrap();
+    let replay = second
+        .submit_job_with_token(job(), vec![], "tok-a")
+        .unwrap();
+    assert_eq!(first, replay);
+    assert_eq!(second.status().unwrap().jobs_submitted, 1);
+
+    // The raw wire form: a token field on the request JSON.
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    let tokened = Request {
+        id: 51,
+        tenant: "t".into(),
+        token: Some("tok-a".to_string()),
+        body: RequestBody::SubmitJob {
+            job: job(),
+            deps: vec![],
+        },
+    };
+    let line = mrls_serve::encode_line(&tokened);
+    assert!(line.contains(r#""token":"tok-a""#), "{line}");
+    let response = raw_roundtrip(&mut stream, line.trim_end());
+    assert_eq!(response.id, 51);
+    let ResponseBody::Accepted { jobs } = response.body else {
+        panic!("expected an accepted response");
+    };
+    assert_eq!(jobs, vec![first]);
+
+    // Distinct tokens admit distinct jobs, and auto tokens never collide.
+    let other = second
+        .submit_job_with_token(job(), vec![], "tok-b")
+        .unwrap();
+    assert_ne!(first, other);
+    let auto = second.submit_job(job(), vec![]).unwrap();
+    assert_ne!(other, auto);
+    assert_eq!(second.status().unwrap().jobs_submitted, 3);
+
+    second.drain().unwrap();
+    second.shutdown().unwrap();
     handle.join();
 }
 

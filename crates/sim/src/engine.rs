@@ -30,6 +30,7 @@
 //! order, random draws are consumed in event order from a `ChaCha8` stream,
 //! and two runs with the same seed produce byte-identical traces.
 
+use crate::failure::{FailCause, FailurePlan, FailureSampler, Outage, RetryPolicy};
 use crate::perturb::{PerturbationModel, Perturber};
 use crate::policy::Policy;
 use crate::scenario::Scenario;
@@ -163,6 +164,9 @@ pub struct SimWorld {
     pub running: Vec<RunningJob>,
     /// Per-job count of not-yet-completed predecessors.
     pub remaining_preds: Vec<usize>,
+    /// Per-job abandoned flag: the job exhausted its retry budget (or an
+    /// ancestor did) and will never run. Abandoned jobs are never ready.
+    pub abandoned: Vec<bool>,
     /// The latest realized finish time among completed jobs, maintained
     /// incrementally at each completion (recomputed from the snapshot at
     /// resume). Policies use it to reason about run progress in O(1) where a
@@ -174,6 +178,12 @@ impl SimWorld {
     /// `true` iff job `j` is in the ready set.
     pub fn is_ready(&self, j: usize) -> bool {
         self.ready.binary_search(&j).is_ok()
+    }
+
+    /// `true` iff job `j` was abandoned (its retry budget, or an ancestor's,
+    /// is exhausted).
+    pub fn is_abandoned(&self, j: usize) -> bool {
+        self.abandoned[j]
     }
 }
 
@@ -403,6 +413,20 @@ pub struct SimSnapshot {
     pub event_budget: usize,
     /// Perturbation draws consumed so far.
     pub perturber_realizations: u64,
+    /// Per-job count of attempts consumed so far (empty for pre-failure
+    /// snapshots: no attempts beyond the implicit single one).
+    pub attempts: Vec<u32>,
+    /// Per-job virtual time at which a failed job becomes eligible again
+    /// (NaN = not in backoff; empty for pre-failure snapshots).
+    pub retry_at: Vec<f64>,
+    /// Per-job abandoned flag (empty for pre-failure snapshots).
+    pub abandoned: Vec<bool>,
+    /// Planned death point of each running attempt (`None` = the attempt
+    /// will complete; empty for pre-failure snapshots).
+    pub fail_cause: Vec<Option<FailCause>>,
+    /// Failure-sampler attempts judged so far (zero for pre-failure
+    /// snapshots).
+    pub failure_attempts: u64,
 }
 
 // Hand-written so that snapshots serialised before the harvesting fields
@@ -434,6 +458,11 @@ impl Deserialize for SimSnapshot {
             harvested_until: opt_field(v, "harvested_until")?.unwrap_or(0.0),
             event_budget: field(v, "event_budget")?,
             perturber_realizations: field(v, "perturber_realizations")?,
+            attempts: opt_field(v, "attempts")?.unwrap_or_default(),
+            retry_at: opt_field(v, "retry_at")?.unwrap_or_default(),
+            abandoned: opt_field(v, "abandoned")?.unwrap_or_default(),
+            fail_cause: opt_field(v, "fail_cause")?.unwrap_or_default(),
+            failure_attempts: opt_field(v, "failure_attempts")?.unwrap_or(0),
         })
     }
 }
@@ -498,6 +527,27 @@ struct RunCore {
     /// Virtual-time watermark of the last harvest.
     harvested_until: f64,
     event_budget: usize,
+    /// The failure-injection stream (a no-op `FailureModel::None` sampler
+    /// until [`RunCore::install_failures`] swaps in a real plan).
+    failure: FailureSampler,
+    /// The retry budget and backoff schedule.
+    retry: RetryPolicy,
+    /// Timed resource outages, sorted by `(time, resource)`.
+    outages: Vec<Outage>,
+    /// How many outages have fired already.
+    outages_done: usize,
+    /// Per-job attempts consumed (incremented at each start).
+    attempts: Vec<u32>,
+    /// Per-job backoff re-eligibility time (NaN = not in backoff).
+    retry_at: Vec<f64>,
+    /// Planned death of each running attempt (`Some` = the completion-queue
+    /// entry for this job is a failure, not a completion).
+    fail_cause: Vec<Option<FailCause>>,
+    /// Number of abandoned jobs (counterpart of `world.abandoned`).
+    num_abandoned: usize,
+    /// Pending backoff-expiry events, ordered by `(time, job)`. Derived from
+    /// `retry_at` (rebuilt at resume, never serialised).
+    retries: EventQueue,
 }
 
 impl RunCore {
@@ -541,6 +591,7 @@ impl RunCore {
             completed: vec![false; n],
             running: Vec::new(),
             remaining_preds,
+            abandoned: vec![false; n],
             max_completed_finish: 0.0,
         };
         Ok(RunCore {
@@ -560,6 +611,15 @@ impl RunCore {
             harvested_events: 0,
             harvested_until: 0.0,
             event_budget: 0,
+            failure: FailureSampler::new(crate::FailureModel::None, seed),
+            retry: RetryPolicy::default(),
+            outages: Vec::new(),
+            outages_done: 0,
+            attempts: vec![0; n],
+            retry_at: vec![f64::NAN; n],
+            fail_cause: vec![None; n],
+            num_abandoned: 0,
+            retries: EventQueue::new(),
         })
     }
 
@@ -647,6 +707,36 @@ impl RunCore {
                 .validate_allocation(&snapshot.alloc_used[r.job])
                 .map_err(|e| SimError::InvalidSnapshot(format!("running job {}: {e}", r.job)))?;
         }
+        // Failure-era fields: pre-failure snapshots deserialise them empty
+        // and the resizes restore the "nothing ever failed" defaults.
+        for (what, len) in [
+            ("attempts", snapshot.attempts.len()),
+            ("retry_at", snapshot.retry_at.len()),
+            ("abandoned", snapshot.abandoned.len()),
+            ("fail_cause", snapshot.fail_cause.len()),
+        ] {
+            if len != 0 && len != m {
+                return Err(SimError::InvalidSnapshot(format!(
+                    "snapshot field `{what}` has length {len}, expected {m} or 0"
+                )));
+            }
+        }
+        let mut attempts = snapshot.attempts.clone();
+        attempts.resize(n, 0);
+        let mut retry_at = snapshot.retry_at.clone();
+        retry_at.resize(n, f64::NAN);
+        let mut abandoned = snapshot.abandoned.clone();
+        abandoned.resize(n, false);
+        let mut fail_cause = snapshot.fail_cause.clone();
+        fail_cause.resize(n, None);
+        let num_abandoned = abandoned.iter().filter(|&&a| a).count();
+        let retries = EventQueue::from_entries(
+            (0..n)
+                .filter(|&j| retry_at[j].is_finite())
+                .map(|j| (retry_at[j], j))
+                .collect(),
+        );
+
         let remaining_preds: Vec<usize> = (0..n)
             .map(|j| {
                 // Completed predecessors already had their completion events
@@ -660,8 +750,17 @@ impl RunCore {
                     .count()
             })
             .collect();
+        // A job sitting in retry backoff satisfies the released/unstarted/
+        // no-pending-preds predicate but is *held out* of the ready set until
+        // its backoff expires; abandoned jobs never return.
         let ready: Vec<usize> = (0..n)
-            .filter(|&j| released[j] && !started[j] && remaining_preds[j] == 0)
+            .filter(|&j| {
+                released[j]
+                    && !started[j]
+                    && !abandoned[j]
+                    && !retry_at[j].is_finite()
+                    && remaining_preds[j] == 0
+            })
             .collect();
         let mut alloc_used = snapshot.alloc_used.clone();
         let plan_allocs = plan.allocations();
@@ -701,6 +800,7 @@ impl RunCore {
             completed,
             running: snapshot.running.clone(),
             remaining_preds,
+            abandoned,
             max_completed_finish,
         };
         Ok(RunCore {
@@ -720,7 +820,45 @@ impl RunCore {
             harvested_events: snapshot.harvested_events,
             harvested_until: snapshot.harvested_until,
             event_budget: snapshot.event_budget,
+            // The stream position is restored counter-only here; installing
+            // a real failure plan (`install_failures`) replays the model's
+            // draws up to this count, exactly like `Perturber::resume`.
+            failure: FailureSampler::resume(
+                crate::FailureModel::None,
+                snapshot.seed,
+                snapshot.failure_attempts,
+            ),
+            retry: RetryPolicy::default(),
+            outages: Vec::new(),
+            outages_done: 0,
+            attempts,
+            retry_at,
+            fail_cause,
+            num_abandoned,
+            retries,
         })
+    }
+
+    /// Installs a failure plan, resuming the failure stream at the recorded
+    /// attempt count. Call before driving (fresh runs and resumed ones
+    /// alike); a run without an installed plan never fails anything.
+    fn install_failures(&mut self, plan: FailurePlan, sampler: FailureSampler) {
+        self.failure = sampler;
+        self.retry = plan.retry;
+        let mut outages = plan.outages;
+        outages.sort_by(|a, b| {
+            a.time
+                .partial_cmp(&b.time)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.resource.cmp(&b.resource))
+        });
+        // Outages at or before the current instant already fired (the drive
+        // loop processes everything `<= now + EPS` before pausing).
+        self.outages_done = outages
+            .iter()
+            .filter(|o| o.time <= self.world.now + EPS)
+            .count();
+        self.outages = outages;
     }
 
     fn state<'a>(&'a self, instance: &'a Instance, plan: &'a Schedule) -> SimState<'a> {
@@ -755,6 +893,11 @@ impl RunCore {
             harvested_until: self.harvested_until,
             event_budget: self.event_budget,
             perturber_realizations: self.perturber.realizations(),
+            attempts: self.attempts.clone(),
+            retry_at: self.retry_at.clone(),
+            abandoned: self.world.abandoned.clone(),
+            fail_cause: self.fail_cause.clone(),
+            failure_attempts: self.failure.attempts(),
         }
     }
 
@@ -794,16 +937,33 @@ impl RunCore {
             }
 
             let src_next = source.next_time();
-            if self.num_completed == n && src_next.is_none() {
+            if self.num_completed + self.num_abandoned == n && src_next.is_none() {
                 return Ok(RunStatus::Complete);
             }
 
+            // Drop stale completion entries (attempts killed early by an
+            // outage leave their queued finish behind) so the time advance
+            // never targets a dead instant.
+            while let Some((f, j)) = self.completions.peek() {
+                let pos = self.running_pos[j];
+                if pos != usize::MAX && self.world.running[pos].finish == f {
+                    break;
+                }
+                self.completions.pop();
+            }
+
             // Advance to the next event: the earliest pending completion
-            // (heap peek, O(1)) or the next source event.
+            // (heap peek, O(1)), backoff expiry, outage, or source event.
             let mut t_next = match self.completions.peek() {
                 Some((f, _)) => f,
                 None => f64::INFINITY,
             };
+            if let Some((t, _)) = self.retries.peek() {
+                t_next = t_next.min(t);
+            }
+            if let Some(o) = self.outages.get(self.outages_done) {
+                t_next = t_next.min(o.time);
+            }
             if let Some(t) = src_next {
                 t_next = t_next.min(t);
             }
@@ -835,14 +995,17 @@ impl RunCore {
             self.world.now = t_next;
 
             // Apply every event at this instant, in a fixed order:
-            // completions (freeing resources and successors), then arrivals,
-            // then capacity changes.
+            // completions and attempt failures (freeing resources and
+            // successors), then outages, then backoff expiries, then
+            // arrivals, then capacity changes.
             let mut batch: Vec<TraceEvent> = Vec::new();
 
-            // Pop every completion within tolerance of this instant off the
-            // heap, then process the batch in job order (the deterministic
-            // trace order). Each completed entry is moved out of the running
-            // set with one swap — no O(running) sweep, no clone.
+            // Pop every attempt ending within tolerance of this instant off
+            // the heap, then process the batch in job order (the
+            // deterministic trace order). Each entry is moved out of the
+            // running set with one swap — no O(running) sweep, no clone. An
+            // entry whose finish no longer matches its running attempt is a
+            // stale leftover of an outage kill and is skipped.
             let now = self.world.now;
             let mut done: Vec<usize> = Vec::new();
             while let Some((f, j)) = self.completions.peek() {
@@ -850,11 +1013,19 @@ impl RunCore {
                     break;
                 }
                 self.completions.pop();
-                done.push(j);
+                let pos = self.running_pos[j];
+                if pos != usize::MAX && self.world.running[pos].finish == f {
+                    done.push(j);
+                }
             }
             done.sort_unstable();
             mrls_obs::counter_add("sim.engine.completions", done.len() as u64);
             for j in done {
+                if let Some(cause) = self.fail_cause[j] {
+                    // The attempt's queued end is its planned death point.
+                    self.fail_attempt(instance, j, cause, &mut batch);
+                    continue;
+                }
                 let pos = self.running_pos[j];
                 let r = self.world.running.swap_remove(pos);
                 debug_assert_eq!(r.job, j, "running position index out of sync");
@@ -878,6 +1049,58 @@ impl RunCore {
                     job: j,
                     nominal: r.nominal,
                     realized: r.finish - r.start,
+                });
+            }
+
+            // Timed resource outages: every attempt running with a non-zero
+            // allocation on the type dies, in job order. Capacity itself is
+            // untouched (an outage is a fault, not a capacity change).
+            while let Some(o) = self.outages.get(self.outages_done) {
+                if o.time > now + EPS {
+                    break;
+                }
+                let resource = o.resource;
+                self.outages_done += 1;
+                let mut victims: Vec<usize> = self
+                    .world
+                    .running
+                    .iter()
+                    .filter(|r| {
+                        let a = &self.alloc_used[r.job];
+                        resource < a.dim() && a[resource] > 0
+                    })
+                    .map(|r| r.job)
+                    .collect();
+                victims.sort_unstable();
+                for j in victims {
+                    self.fail_attempt(instance, j, FailCause::Outage { resource }, &mut batch);
+                }
+            }
+
+            // Backoff expiries: failed jobs rejoin the ready set. A failed
+            // job is released with every predecessor complete (it started
+            // once), so re-insertion is unconditional.
+            while let Some((t, j)) = self.retries.peek() {
+                if t > now + EPS {
+                    break;
+                }
+                self.retries.pop();
+                if !self.retry_at[j].is_finite() || self.world.abandoned[j] {
+                    continue;
+                }
+                self.retry_at[j] = f64::NAN;
+                debug_assert!(
+                    self.world.released[j]
+                        && !self.world.started[j]
+                        && self.world.remaining_preds[j] == 0,
+                    "a job in backoff is released with all predecessors complete"
+                );
+                insert_sorted(&mut self.world.ready, j);
+                self.ready_time[j] = now;
+                batch.push(TraceEvent::JobRetried {
+                    time: now,
+                    job: j,
+                    attempt: self.attempts[j] + 1,
                 });
             }
 
@@ -923,6 +1146,91 @@ impl RunCore {
         }
     }
 
+    /// Kills job `j`'s running attempt at the current instant: releases its
+    /// resources, rewinds its lifecycle to "released but unstarted", and
+    /// either schedules its backoff re-eligibility or — when the retry
+    /// budget is exhausted — abandons it along with every descendant.
+    fn fail_attempt(
+        &mut self,
+        instance: &Instance,
+        j: usize,
+        cause: FailCause,
+        batch: &mut Vec<TraceEvent>,
+    ) {
+        let pos = self.running_pos[j];
+        let r = self.world.running.swap_remove(pos);
+        debug_assert_eq!(r.job, j, "running position index out of sync");
+        self.running_pos[j] = usize::MAX;
+        if let Some(moved) = self.world.running.get(pos) {
+            self.running_pos[moved.job] = pos;
+        }
+        self.world.started[j] = false;
+        self.world.resources.release(&self.alloc_used[j]);
+        self.fail_cause[j] = None;
+        self.start[j] = f64::NAN;
+        self.finish[j] = f64::NAN;
+        self.nominal[j] = f64::NAN;
+        let attempt = self.attempts[j];
+        let now = self.world.now;
+        mrls_obs::counter_add("sim.engine.attempt_failures", 1);
+        batch.push(TraceEvent::JobFailed {
+            time: now,
+            job: j,
+            attempt,
+            cause,
+        });
+        if attempt >= self.retry.max_attempts {
+            self.abandon_with_descendants(instance, j, now, batch);
+        } else {
+            let at = now + self.retry.delay_after(attempt);
+            self.retry_at[j] = at;
+            self.retries.push(at, j);
+        }
+    }
+
+    /// Marks `j` and every not-yet-completed descendant abandoned; each
+    /// descendant gets a cascade `JobFailed` event (attempt 0 — it never
+    /// ran). Descendants are provably never ready, started, or in backoff:
+    /// their predecessor chain back to `j` contains a job that never
+    /// completes, so their remaining-predecessor count never reaches zero.
+    fn abandon_with_descendants(
+        &mut self,
+        instance: &Instance,
+        j: usize,
+        now: f64,
+        batch: &mut Vec<TraceEvent>,
+    ) {
+        let mut stack = vec![j];
+        let mut marked: Vec<usize> = Vec::new();
+        while let Some(u) = stack.pop() {
+            if self.world.abandoned[u] || self.world.completed[u] {
+                continue;
+            }
+            debug_assert!(
+                u == j || (!self.world.started[u] && !self.world.is_ready(u)),
+                "a descendant of an uncompleted job cannot be ready or started"
+            );
+            self.world.abandoned[u] = true;
+            self.num_abandoned += 1;
+            marked.push(u);
+            for &s in instance.dag.successors(u) {
+                stack.push(s);
+            }
+        }
+        marked.sort_unstable();
+        for &u in &marked {
+            if u == j {
+                continue;
+            }
+            batch.push(TraceEvent::JobFailed {
+                time: now,
+                job: u,
+                attempt: 0,
+                cause: FailCause::Cascade,
+            });
+        }
+    }
+
     /// Validates and applies one policy-selected start.
     fn apply_start(
         &mut self,
@@ -957,11 +1265,22 @@ impl RunCore {
             )));
         }
         let t_real = self.perturber.realize(&alloc, t_nom);
+        self.attempts[j] += 1;
+        // The failure draw happens at start time so the death is decided (and
+        // the RNG stream advanced) deterministically regardless of what else
+        // happens while the attempt runs. A doomed attempt occupies its
+        // resources for `frac * t_real` and dies at the completion queue.
+        let fail = self.failure.sample(t_real / t_nom);
+        self.fail_cause[j] = fail.map(|(_, cause)| cause);
+        let t_end = match fail {
+            Some((frac, _)) => world.now + frac * t_real,
+            None => world.now + t_real,
+        };
         world.ready.remove(pos);
         world.started[j] = true;
         world.resources.acquire(&alloc);
         self.start[j] = world.now;
-        self.finish[j] = world.now + t_real;
+        self.finish[j] = t_end;
         self.nominal[j] = t_nom;
         // One clone: `alloc_used` keeps the authoritative copy the running
         // job releases at completion; the trace event takes the original.
@@ -970,10 +1289,10 @@ impl RunCore {
         world.running.push(RunningJob {
             job: j,
             start: world.now,
-            finish: world.now + t_real,
+            finish: t_end,
             nominal: t_nom,
         });
-        self.completions.push(world.now + t_real, j);
+        self.completions.push(t_end, j);
         mrls_obs::counter_add("sim.engine.job_starts", 1);
         self.events.push(TraceEvent::JobStarted {
             time: world.now,
@@ -1006,8 +1325,11 @@ impl RunCore {
             })
             .collect();
         let realized = Schedule::new(jobs);
+        // Abandoned jobs never ran: their NaN starts/finishes are excluded
+        // from the slowdown statistics rather than poisoning the means.
         let slowdowns: Vec<f64> = (0..n)
             .map(|j| (self.finish[j] - self.start[j]) / self.nominal[j])
+            .filter(|s| s.is_finite())
             .collect();
         let events: Vec<TraceEvent> = prefix.iter().chain(self.events.iter()).cloned().collect();
         let num_reschedules = events
@@ -1025,12 +1347,12 @@ impl RunCore {
             } else {
                 1.0
             },
-            mean_slowdown: if n > 0 {
-                slowdowns.iter().sum::<f64>() / n as f64
+            mean_slowdown: if !slowdowns.is_empty() {
+                slowdowns.iter().sum::<f64>() / slowdowns.len() as f64
             } else {
                 1.0
             },
-            max_slowdown: if n > 0 {
+            max_slowdown: if !slowdowns.is_empty() {
                 slowdowns.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
             } else {
                 1.0
@@ -1160,6 +1482,52 @@ impl<'a> SimRun<'a> {
     /// [`SimRun::resume_with_perturber`]).
     pub fn perturber(&self) -> &Perturber {
         &self.core.perturber
+    }
+
+    /// Installs a failure plan on the paused run, replaying the failure
+    /// stream from the seed to its current position (see
+    /// [`PersistentRun::set_failures`]).
+    pub fn set_failures(&mut self, plan: FailurePlan) {
+        let sampler = FailureSampler::resume(
+            plan.model.clone(),
+            self.core.seed,
+            self.core.failure.attempts(),
+        );
+        self.core.install_failures(plan, sampler);
+    }
+
+    /// Like [`SimRun::set_failures`], but continues an already
+    /// fast-forwarded failure stream instead of replaying it.
+    pub fn set_failures_with_sampler(
+        &mut self,
+        plan: FailurePlan,
+        sampler: FailureSampler,
+    ) -> Result<(), SimError> {
+        if sampler.attempts() != self.core.failure.attempts() {
+            return Err(SimError::InvalidSnapshot(format!(
+                "failure sampler is at attempt {} but the run is at {}",
+                sampler.attempts(),
+                self.core.failure.attempts()
+            )));
+        }
+        self.core.install_failures(plan, sampler);
+        Ok(())
+    }
+
+    /// The failure stream in its current position.
+    pub fn failure_sampler(&self) -> &FailureSampler {
+        &self.core.failure
+    }
+
+    /// Per-job attempt counts (0 = never started).
+    pub fn attempts(&self) -> &[u32] {
+        &self.core.attempts
+    }
+
+    /// Number of abandoned jobs (retry budget exhausted, plus cascaded
+    /// descendants).
+    pub fn num_abandoned(&self) -> usize {
+        self.core.num_abandoned
     }
 
     /// Per-job virtual times at which each job became ready (NaN = not yet
@@ -1332,6 +1700,57 @@ impl PersistentRun {
         &self.core.perturber
     }
 
+    /// Installs a failure plan on the paused run. Runs start failure-free;
+    /// call this right after [`PersistentRun::new`] /
+    /// [`PersistentRun::resume`] (the failure stream is replayed from the
+    /// seed to the checkpointed position, mirroring how
+    /// [`PersistentRun::resume`] replays the perturbation stream). Failure
+    /// injection requires a reactive policy — a static cursor policy
+    /// deadlocks when its cursor reaches a job that is in backoff.
+    pub fn set_failures(&mut self, plan: FailurePlan) {
+        let sampler = FailureSampler::resume(
+            plan.model.clone(),
+            self.core.seed,
+            self.core.failure.attempts(),
+        );
+        self.core.install_failures(plan, sampler);
+    }
+
+    /// Like [`PersistentRun::set_failures`], but continues an already
+    /// fast-forwarded failure stream (kept live across rounds) instead of
+    /// replaying it from the seed.
+    pub fn set_failures_with_sampler(
+        &mut self,
+        plan: FailurePlan,
+        sampler: FailureSampler,
+    ) -> Result<(), SimError> {
+        if sampler.attempts() != self.core.failure.attempts() {
+            return Err(SimError::InvalidSnapshot(format!(
+                "failure sampler is at attempt {} but the run is at {}",
+                sampler.attempts(),
+                self.core.failure.attempts()
+            )));
+        }
+        self.core.install_failures(plan, sampler);
+        Ok(())
+    }
+
+    /// The failure stream in its current position.
+    pub fn failure_sampler(&self) -> &FailureSampler {
+        &self.core.failure
+    }
+
+    /// Per-job attempt counts (0 = never started).
+    pub fn attempts(&self) -> &[u32] {
+        &self.core.attempts
+    }
+
+    /// Number of abandoned jobs (retry budget exhausted, plus cascaded
+    /// descendants).
+    pub fn num_abandoned(&self) -> usize {
+        self.core.num_abandoned
+    }
+
     /// Per-job virtual times at which each job became ready (NaN = not yet
     /// ready — see [`SimRun::ready_times`]).
     pub fn ready_times(&self) -> &[f64] {
@@ -1461,6 +1880,7 @@ impl PersistentRun {
         world.released.resize(n, false);
         world.started.resize(n, false);
         world.completed.resize(n, false);
+        world.abandoned.resize(n, false);
         for j in old_n..n {
             // Predecessors completed before the job existed already had
             // their completion events processed (same contract as resuming
@@ -1479,6 +1899,9 @@ impl PersistentRun {
         self.core.nominal.resize(n, f64::NAN);
         self.core.ready_time.resize(n, f64::NAN);
         self.core.running_pos.resize(n, usize::MAX);
+        self.core.attempts.resize(n, 0);
+        self.core.retry_at.resize(n, f64::NAN);
+        self.core.fail_cause.resize(n, None);
         self.core
             .alloc_used
             .extend(entries.into_iter().map(|e| e.alloc));

@@ -127,6 +127,7 @@ struct Timeline {
 impl Timeline {
     fn replay(trace: &RealizedTrace, instance: &Instance) -> Timeline {
         let d = instance.num_resource_types();
+        let n = instance.num_jobs();
         let mut avail: Vec<f64> = instance
             .system
             .capacities()
@@ -137,6 +138,10 @@ impl Timeline {
         let mut times = vec![0.0];
         let mut states = vec![avail.clone()];
         let mut reschedules = Vec::new();
+        // The allocation each job's *latest* attempt started with: a failed
+        // attempt must release exactly what it acquired, which may differ
+        // from the realized (final-attempt) allocation.
+        let mut last_alloc: Vec<Option<mrls_model::Allocation>> = vec![None; n];
         let push = |t: f64, avail: &[f64], times: &mut Vec<f64>, states: &mut Vec<Vec<f64>>| {
             if (t - *times.last().expect("seeded with t=0")).abs() <= EPS {
                 *states.last_mut().expect("seeded") = avail.to_vec();
@@ -147,9 +152,14 @@ impl Timeline {
         };
         for ev in &trace.events {
             match ev {
-                TraceEvent::JobStarted { time, alloc, .. } => {
+                TraceEvent::JobStarted {
+                    time, job, alloc, ..
+                } => {
                     for t in 0..d.min(alloc.dim()) {
                         avail[t] -= alloc[t] as f64;
+                    }
+                    if *job < n {
+                        last_alloc[*job] = Some(alloc.clone());
                     }
                     push(*time, &avail, &mut times, &mut states);
                 }
@@ -173,7 +183,17 @@ impl Timeline {
                     push(*time, &avail, &mut times, &mut states);
                 }
                 TraceEvent::Rescheduled { time, .. } => reschedules.push(*time),
-                TraceEvent::JobReleased { .. } => {}
+                // A failed attempt releases what it acquired at start; a
+                // cascade abandonment (attempt 0) never held anything.
+                TraceEvent::JobFailed { time, job, .. } => {
+                    if let Some(alloc) = (*job < n).then(|| last_alloc[*job].take()).flatten() {
+                        for t in 0..d.min(alloc.dim()) {
+                            avail[t] += alloc[t] as f64;
+                        }
+                        push(*time, &avail, &mut times, &mut states);
+                    }
+                }
+                TraceEvent::JobReleased { .. } | TraceEvent::JobRetried { .. } => {}
             }
         }
         Timeline {
@@ -241,6 +261,55 @@ fn decompose_resource_wait(
     }
 }
 
+/// Per-job retry-churn intervals: each failed attempt contributes
+/// `[attempt start, re-eligibility)` (or `[attempt start, failure)` when the
+/// job was abandoned instead of retried). Built from the event log; empty
+/// for failure-free runs.
+fn churn_intervals(trace: &RealizedTrace, n: usize) -> Vec<Vec<(f64, f64)>> {
+    let mut open = vec![f64::NAN; n];
+    let mut churn: Vec<Vec<(f64, f64)>> = vec![Vec::new(); n];
+    for ev in &trace.events {
+        match ev {
+            TraceEvent::JobStarted { time, job, .. } if *job < n => {
+                open[*job] = *time;
+            }
+            TraceEvent::JobFailed { time, job, .. } if *job < n && open[*job].is_finite() => {
+                churn[*job].push((open[*job], *time));
+                open[*job] = f64::NAN;
+            }
+            TraceEvent::JobRetried { time, job, .. } if *job < n => {
+                // The backoff up to re-eligibility is part of the churn.
+                if let Some(last) = churn[*job].last_mut() {
+                    last.1 = *time;
+                }
+            }
+            _ => {}
+        }
+    }
+    churn
+}
+
+/// Pushes `[from, until)` as precedence wait, carving out the retry-churn
+/// intervals (failed attempts plus their backoff) as [`Blame::Retry`]. With
+/// no churn this is exactly one precedence segment.
+fn push_wait_with_retry(out: &mut Vec<SpanSegment>, from: f64, until: f64, churn: &[(f64, f64)]) {
+    let mut cursor = from;
+    for &(s, e) in churn {
+        if e <= cursor + EPS {
+            continue;
+        }
+        if s >= until - EPS {
+            break;
+        }
+        let s_c = s.max(cursor);
+        let e_c = e.min(until);
+        push_segment(out, cursor, s_c, Blame::Precedence);
+        push_segment(out, s_c, e_c, Blame::Retry);
+        cursor = e_c;
+    }
+    push_segment(out, cursor, until, Blame::Precedence);
+}
+
 /// Appends `[from, until)` blamed `blame`, merging with an adjacent previous
 /// segment of the same blame and skipping zero-width pieces.
 fn push_segment(out: &mut Vec<SpanSegment>, from: f64, until: f64, blame: Blame) {
@@ -300,6 +369,7 @@ pub fn explain(
     }
 
     let timeline = Timeline::replay(trace, instance);
+    let churn = churn_intervals(trace, n);
     let starts: Vec<f64> = trace.realized.jobs.iter().map(|j| j.start).collect();
     let finishes: Vec<f64> = trace.realized.jobs.iter().map(|j| j.finish).collect();
 
@@ -329,7 +399,7 @@ pub fn explain(
             .min(admitted[j]);
         let mut segments = Vec::new();
         push_segment(&mut segments, submitted, admitted[j], Blame::Admission);
-        push_segment(&mut segments, admitted[j], ready[j], Blame::Precedence);
+        push_wait_with_retry(&mut segments, admitted[j], ready[j], &churn[j]);
         decompose_resource_wait(
             &timeline,
             &trace.realized.jobs[j].alloc,
@@ -352,7 +422,7 @@ pub fn explain(
 
     let allocs: Vec<&mrls_model::Allocation> =
         trace.realized.jobs.iter().map(|j| &j.alloc).collect();
-    let critical_path = critical_path_blame(&jobs, &allocs, instance, &timeline);
+    let critical_path = critical_path_blame(&jobs, &allocs, instance, &timeline, &churn);
 
     let makespan = trace.realized.makespan;
     let profiles = instance
@@ -391,6 +461,7 @@ fn critical_path_blame(
     allocs: &[&mrls_model::Allocation],
     instance: &Instance,
     timeline: &Timeline,
+    churn: &[Vec<(f64, f64)>],
 ) -> CriticalPathBlame {
     if jobs.is_empty() {
         return CriticalPathBlame {
@@ -450,12 +521,13 @@ fn critical_path_blame(
                 span.admitted,
                 Blame::Admission,
             );
-            push_segment(&mut segments, span.admitted, span.ready, Blame::Precedence);
+            push_wait_with_retry(&mut segments, span.admitted, span.ready, &churn[j]);
         } else {
             // Chained at the predecessor's finish, which is what made this
             // job ready (within tolerance); any residue between the chain
-            // point and readiness is still precedence wait.
-            push_segment(&mut segments, from, span.ready, Blame::Precedence);
+            // point and readiness is still precedence wait — minus any retry
+            // churn of the job's own failed attempts.
+            push_wait_with_retry(&mut segments, from, span.ready, &churn[j]);
         }
         decompose_resource_wait(timeline, allocs[j], span.ready, span.started, &mut segments);
         push_segment(

@@ -1,0 +1,397 @@
+//! Deterministic fault injection: seeded failure models, retry budgets,
+//! and resource-outage timelines.
+//!
+//! The paper's model assumes jobs run to completion; real work fails. A
+//! [`FailurePlan`] describes *how* attempts die — per-attempt failure
+//! probability, straggler-kill deadlines, timed resource outages — and
+//! *what happens next* — a [`RetryPolicy`] with a bounded attempt budget
+//! and virtual-time exponential backoff before re-eligibility.
+//!
+//! Like [`Perturber`](crate::Perturber), the [`FailureSampler`] draws from
+//! its own seeded `ChaCha8` stream with a **fixed number of uniform
+//! variates per attempt** (depending only on the model, never on the
+//! outcome), so a checkpointed run resumes the stream exactly by replaying
+//! the recorded attempt count, and two same-seed runs fail byte-identically.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Why an attempt (or a job) failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailCause {
+    /// A random injected fault killed the attempt mid-run.
+    Fault,
+    /// The attempt overran its straggler-kill deadline and was killed.
+    Straggler,
+    /// A resource outage killed every attempt running on the type.
+    Outage {
+        /// The resource type that went out.
+        resource: usize,
+    },
+    /// An ancestor exhausted its retry budget, so this job can never become
+    /// ready and is abandoned without ever running.
+    Cascade,
+}
+
+impl FailCause {
+    /// Stable lowercase label used as the JSON / metrics key.
+    pub fn label(&self) -> String {
+        match self {
+            FailCause::Fault => "fault".to_string(),
+            FailCause::Straggler => "straggler".to_string(),
+            FailCause::Outage { resource } => format!("outage[{resource}]"),
+            FailCause::Cascade => "cascade".to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for FailCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// How running attempts die. Every model answers, per attempt, "does this
+/// attempt fail, and at what fraction of its realized duration?".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FailureModel {
+    /// Attempts never fail (outages in the plan still apply).
+    None,
+    /// With probability `prob`, an attempt dies partway through: the death
+    /// point is uniform over its realized duration.
+    Random {
+        /// Per-attempt failure probability.
+        prob: f64,
+    },
+    /// An attempt whose realized duration exceeds `deadline_factor` times
+    /// its nominal duration is killed exactly at the deadline (a straggler
+    /// kill, deterministic given the perturbed duration).
+    StragglerKill {
+        /// Kill deadline as a multiple of the nominal duration (`> 1`).
+        deadline_factor: f64,
+    },
+    /// Apply several models; the earliest death point wins.
+    Compose(Vec<FailureModel>),
+}
+
+impl FailureModel {
+    /// Short label for experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FailureModel::None => "none",
+            FailureModel::Random { .. } => "random",
+            FailureModel::StragglerKill { .. } => "straggler-kill",
+            FailureModel::Compose(_) => "compose",
+        }
+    }
+
+    /// `true` iff the model never fails any attempt.
+    pub fn is_failure_free(&self) -> bool {
+        match self {
+            FailureModel::None => true,
+            FailureModel::Random { prob } => *prob <= 0.0,
+            FailureModel::StragglerKill { deadline_factor } => !deadline_factor.is_finite(),
+            FailureModel::Compose(models) => models.iter().all(|m| m.is_failure_free()),
+        }
+    }
+}
+
+/// A timed outage of one resource type: at `time`, every attempt running
+/// with a non-zero allocation on `resource` fails with
+/// [`FailCause::Outage`]. Capacity is untouched — the outage models a
+/// transient fault domain (a rack reboot), not a capacity change.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Outage {
+    /// Virtual time of the outage.
+    pub time: f64,
+    /// The resource type that goes out.
+    pub resource: usize,
+}
+
+/// Bounded retry with virtual-time exponential backoff.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total attempts a job may consume (>= 1). A job whose last attempt
+    /// fails is abandoned, along with every descendant.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt, in virtual time.
+    pub backoff_base: f64,
+    /// Multiplier applied per further attempt (`delay_k = base * factor^(k-1)`
+    /// after the `k`-th failed attempt).
+    pub backoff_factor: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_base: 0.5,
+            backoff_factor: 2.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff delay after the `attempt`-th failed attempt (1-based).
+    pub fn delay_after(&self, attempt: u32) -> f64 {
+        self.backoff_base * self.backoff_factor.powi(attempt.saturating_sub(1) as i32)
+    }
+}
+
+/// The full failure configuration of a run: the per-attempt failure model,
+/// the timed outage schedule, and the retry policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailurePlan {
+    /// How attempts die.
+    pub model: FailureModel,
+    /// Timed resource outages (sorted by the engine on installation).
+    pub outages: Vec<Outage>,
+    /// What happens after a failure.
+    pub retry: RetryPolicy,
+}
+
+impl FailurePlan {
+    /// A plan under which nothing ever fails.
+    pub fn none() -> Self {
+        FailurePlan {
+            model: FailureModel::None,
+            outages: Vec::new(),
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// `true` iff the plan can never fail any attempt.
+    pub fn is_failure_free(&self) -> bool {
+        self.model.is_failure_free() && self.outages.is_empty()
+    }
+}
+
+impl Default for FailurePlan {
+    fn default() -> Self {
+        FailurePlan::none()
+    }
+}
+
+/// Samples attempt failures deterministically from a seeded stream.
+///
+/// Mirrors the [`Perturber`](crate::Perturber) stream discipline: the number
+/// of uniform draws consumed per attempt depends only on the model, so
+/// [`FailureSampler::resume`] reconstructs the stream position exactly from
+/// the recorded attempt count.
+#[derive(Debug, Clone)]
+pub struct FailureSampler {
+    model: FailureModel,
+    rng: ChaCha8Rng,
+    attempts: u64,
+}
+
+/// Seed-domain separator: the failure stream must be independent of the
+/// perturbation stream even though both derive from the run seed.
+const SEED_MIX: u64 = 0x9e37_79b9_7f4a_7c15;
+
+impl FailureSampler {
+    /// Creates a sampler for `model` from the run seed (domain-separated
+    /// from the perturbation stream).
+    pub fn new(model: FailureModel, seed: u64) -> Self {
+        FailureSampler {
+            model,
+            rng: ChaCha8Rng::seed_from_u64(seed ^ SEED_MIX),
+            attempts: 0,
+        }
+    }
+
+    /// Recreates a sampler that has already judged `attempts` attempts.
+    pub fn resume(model: FailureModel, seed: u64, attempts: u64) -> Self {
+        let mut s = FailureSampler::new(model, seed);
+        for _ in 0..attempts {
+            s.sample(1.0);
+        }
+        s
+    }
+
+    /// The model in use.
+    pub fn model(&self) -> &FailureModel {
+        &self.model
+    }
+
+    /// How many attempts have been judged so far (for checkpointing).
+    pub fn attempts(&self) -> u64 {
+        self.attempts
+    }
+
+    /// Judges one attempt whose realized duration is `ratio` times its
+    /// nominal duration. Returns the death point as a fraction of the
+    /// *realized* duration plus the cause, or `None` if the attempt
+    /// survives. Consumes a fixed number of draws regardless of outcome.
+    pub fn sample(&mut self, ratio: f64) -> Option<(f64, FailCause)> {
+        let out = Self::judge(&mut self.rng, &self.model, ratio);
+        self.attempts += 1;
+        out
+    }
+
+    fn judge(rng: &mut ChaCha8Rng, model: &FailureModel, ratio: f64) -> Option<(f64, FailCause)> {
+        match model {
+            FailureModel::None => None,
+            FailureModel::Random { prob } => {
+                // Always consume both draws so the stream position does not
+                // depend on whether this attempt failed.
+                let hit = rng.gen::<f64>() < *prob;
+                let u: f64 = rng.gen();
+                // Keep the death point strictly inside (0, 1] so a failed
+                // attempt always consumes some virtual time.
+                hit.then(|| (u.clamp(1e-3, 1.0), FailCause::Fault))
+            }
+            FailureModel::StragglerKill { deadline_factor } => {
+                // Deterministic given the perturbed duration: no draws.
+                (ratio > *deadline_factor && deadline_factor.is_finite()).then(|| {
+                    (
+                        (deadline_factor / ratio).clamp(1e-3, 1.0),
+                        FailCause::Straggler,
+                    )
+                })
+            }
+            FailureModel::Compose(models) => {
+                let mut earliest: Option<(f64, FailCause)> = None;
+                for m in models {
+                    let hit = Self::judge(rng, m, ratio);
+                    earliest = match (earliest, hit) {
+                        (None, h) => h,
+                        (e, None) => e,
+                        (Some((fe, ce)), Some((fh, ch))) => {
+                            if fh < fe {
+                                Some((fh, ch))
+                            } else {
+                                Some((fe, ce))
+                            }
+                        }
+                    };
+                }
+                earliest
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(FailCause::Fault.label(), "fault");
+        assert_eq!(FailCause::Straggler.label(), "straggler");
+        assert_eq!(FailCause::Outage { resource: 1 }.label(), "outage[1]");
+        assert_eq!(format!("{}", FailCause::Cascade), "cascade");
+        assert_eq!(FailureModel::Random { prob: 0.1 }.label(), "random");
+    }
+
+    #[test]
+    fn none_never_fails() {
+        let mut s = FailureSampler::new(FailureModel::None, 7);
+        for _ in 0..50 {
+            assert_eq!(s.sample(3.0), None);
+        }
+        assert!(FailurePlan::none().is_failure_free());
+    }
+
+    #[test]
+    fn random_failures_are_seeded_and_bounded() {
+        let model = FailureModel::Random { prob: 0.3 };
+        let mut a = FailureSampler::new(model.clone(), 42);
+        let mut b = FailureSampler::new(model.clone(), 42);
+        let mut c = FailureSampler::new(model, 43);
+        let xs: Vec<_> = (0..300).map(|_| a.sample(1.0)).collect();
+        let ys: Vec<_> = (0..300).map(|_| b.sample(1.0)).collect();
+        let zs: Vec<_> = (0..300).map(|_| c.sample(1.0)).collect();
+        assert_eq!(xs, ys, "same seed, same failures");
+        assert_ne!(xs, zs, "different seed, different failures");
+        let hits = xs.iter().filter(|x| x.is_some()).count();
+        assert!((40..=160).contains(&hits), "hits = {hits}");
+        for x in xs.into_iter().flatten() {
+            assert!(x.0 > 0.0 && x.0 <= 1.0);
+            assert_eq!(x.1, FailCause::Fault);
+        }
+    }
+
+    #[test]
+    fn straggler_kill_is_deterministic_at_the_deadline() {
+        let model = FailureModel::StragglerKill {
+            deadline_factor: 2.0,
+        };
+        let mut s = FailureSampler::new(model, 0);
+        assert_eq!(s.sample(1.5), None, "within deadline");
+        let (frac, cause) = s.sample(4.0).expect("overran 2x deadline");
+        assert_eq!(cause, FailCause::Straggler);
+        // Killed at 2x nominal = half the 4x realized duration.
+        assert!((frac - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compose_takes_the_earliest_death() {
+        let model = FailureModel::Compose(vec![
+            FailureModel::StragglerKill {
+                deadline_factor: 2.0,
+            },
+            FailureModel::Random { prob: 0.0 },
+        ]);
+        let mut s = FailureSampler::new(model, 3);
+        let (frac, cause) = s.sample(8.0).expect("straggler branch fires");
+        assert_eq!(cause, FailCause::Straggler);
+        assert!((frac - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resume_fast_forwards_the_stream_exactly() {
+        let model = FailureModel::Compose(vec![
+            FailureModel::Random { prob: 0.4 },
+            FailureModel::StragglerKill {
+                deadline_factor: 3.0,
+            },
+        ]);
+        let mut full = FailureSampler::new(model.clone(), 17);
+        for _ in 0..30 {
+            full.sample(1.0);
+        }
+        assert_eq!(full.attempts(), 30);
+        let mut resumed = FailureSampler::resume(model, 17, 30);
+        assert_eq!(resumed.attempts(), 30);
+        for _ in 0..30 {
+            assert_eq!(resumed.sample(2.0), full.sample(2.0));
+        }
+    }
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let r = RetryPolicy {
+            max_attempts: 4,
+            backoff_base: 0.5,
+            backoff_factor: 2.0,
+        };
+        assert!((r.delay_after(1) - 0.5).abs() < 1e-12);
+        assert!((r.delay_after(2) - 1.0).abs() < 1e-12);
+        assert!((r.delay_after(3) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let plan = FailurePlan {
+            model: FailureModel::Compose(vec![
+                FailureModel::Random { prob: 0.05 },
+                FailureModel::StragglerKill {
+                    deadline_factor: 4.0,
+                },
+            ]),
+            outages: vec![Outage {
+                time: 3.0,
+                resource: 1,
+            }],
+            retry: RetryPolicy::default(),
+        };
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FailurePlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+        let cause: FailCause = serde_json::from_str("{\"Outage\":{\"resource\":2}}").unwrap();
+        assert_eq!(cause, FailCause::Outage { resource: 2 });
+    }
+}

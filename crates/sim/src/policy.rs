@@ -33,17 +33,20 @@ use mrls_core::{
 use mrls_model::{Allocation, Instance, MoldableJob, SystemConfig};
 use serde::{Deserialize, Serialize};
 
-/// The unstarted jobs of a state, ascending — the **live frontier**. Every
-/// job a policy can still start is in here, and (because a successor can
-/// only start after its predecessors complete) so is every descendant of a
-/// member: the frontier is successor-closed, which is what lets policies
-/// restrict their per-drive initialisation to it. Scanning for it is
-/// O(world); callers that already track the frontier (the `mrls-serve`
-/// service core) pass it to [`Policy::on_plan_update`] instead so a
-/// long-lived policy instance re-initialises in O(live).
+/// The uncompleted, unabandoned jobs of a state, ascending — the **live
+/// frontier**. Every job a policy can still start is in here; running jobs
+/// are included because under failure injection a running attempt can fail
+/// and re-enter the ready set, so the mirrored queue's universe must cover
+/// them. Because a successor can only start after its predecessors complete,
+/// every descendant of a member is also a member: the frontier is
+/// successor-closed, which is what lets policies restrict their per-drive
+/// initialisation to it. Scanning for it is O(world); callers that already
+/// track the frontier (the `mrls-serve` service core) pass it to
+/// [`Policy::on_plan_update`] instead so a long-lived policy instance
+/// re-initialises in O(live).
 fn live_frontier(state: &SimState<'_>) -> Vec<usize> {
     (0..state.instance.num_jobs())
-        .filter(|&j| !state.started[j])
+        .filter(|&j| !state.completed[j] && !state.abandoned[j])
         .collect()
 }
 
@@ -258,8 +261,9 @@ impl MirroredQueue {
     /// Rebuilds the mirror from the engine's ready set (drive start / plan
     /// update — O(live log live)). `live` is the universe the requirement
     /// index is addressed by: every job that may still be inserted (the
-    /// unstarted frontier) — anything becoming ready later was unstarted
-    /// now, so it is covered.
+    /// uncompleted frontier) — anything becoming ready later is uncompleted
+    /// now (including a running job whose attempt fails and retries), so it
+    /// is covered.
     fn rebuild(
         &mut self,
         state: &SimState<'_>,
@@ -292,6 +296,12 @@ impl MirroredQueue {
                     }
                 }
                 TraceEvent::JobReleased { job, .. } if state.is_ready(*job) => {
+                    self.queue.insert(*job, keys, &decision[*job]);
+                }
+                // A retried job re-enters the ready set exactly once per
+                // backoff expiry; the engine removed it at failure time, so
+                // re-insertion here keeps the mirror bit-identical.
+                TraceEvent::JobRetried { job, .. } if state.is_ready(*job) => {
                     self.queue.insert(*job, keys, &decision[*job]);
                 }
                 _ => {}
@@ -578,7 +588,8 @@ impl FullReschedulePolicy {
         let n = state.instance.num_jobs();
         // Replay priorities: the planned start times (ties broken by job
         // index inside the placement routine). Only the live frontier is
-        // ever read back — started jobs cannot re-enter the ready set — so
+        // ever read back — completed jobs cannot re-enter the ready set, and
+        // a running job that fails re-enters through its frontier entry — so
         // initialisation is O(live), not O(world).
         self.decision.resize(n, Allocation::new(Vec::new()));
         self.keys.resize(n, 0.0);
@@ -601,6 +612,8 @@ impl FullReschedulePolicy {
             match e {
                 TraceEvent::CapacityChanged { .. } => return Some("capacity-change"),
                 TraceEvent::JobReleased { .. } => return Some("arrival"),
+                TraceEvent::JobFailed { .. } => return Some("failure"),
+                TraceEvent::JobRetried { .. } => return Some("retry"),
                 TraceEvent::JobCompleted {
                     nominal, realized, ..
                 } => {
@@ -639,7 +652,9 @@ impl FullReschedulePolicy {
     /// job by scheduling the induced sub-instance from scratch.
     fn reschedule(&mut self, state: &SimState<'_>) -> Result<usize, SimError> {
         let n = state.instance.num_jobs();
-        let pending: Vec<usize> = (0..n).filter(|&j| !state.started[j]).collect();
+        let pending: Vec<usize> = (0..n)
+            .filter(|&j| !state.started[j] && !state.abandoned[j])
+            .collect();
         if pending.is_empty() {
             return Ok(0);
         }

@@ -57,6 +57,31 @@ pub enum TraceEvent {
         /// How many pending jobs the new plan covers.
         jobs: usize,
     },
+    /// A job's running attempt failed (fault injection, straggler kill, or a
+    /// resource outage), or the job was abandoned outright.
+    JobFailed {
+        /// Event time.
+        time: f64,
+        /// The failed job.
+        job: usize,
+        /// The 1-based attempt number that failed (0 for cascade-abandoned
+        /// descendants that never ran). The job is abandoned — moved to
+        /// quarantine by the serve tier — iff the cause is
+        /// [`FailCause::Cascade`](crate::FailCause) or this was its last
+        /// budgeted attempt.
+        attempt: u32,
+        /// Why the attempt died.
+        cause: crate::FailCause,
+    },
+    /// A failed job's backoff expired and it rejoined the ready set.
+    JobRetried {
+        /// Event time.
+        time: f64,
+        /// The re-eligible job.
+        job: usize,
+        /// The 1-based attempt number the job will consume next.
+        attempt: u32,
+    },
 }
 
 impl TraceEvent {
@@ -67,7 +92,9 @@ impl TraceEvent {
             | TraceEvent::JobStarted { time, .. }
             | TraceEvent::JobCompleted { time, .. }
             | TraceEvent::CapacityChanged { time, .. }
-            | TraceEvent::Rescheduled { time, .. } => *time,
+            | TraceEvent::Rescheduled { time, .. }
+            | TraceEvent::JobFailed { time, .. }
+            | TraceEvent::JobRetried { time, .. } => *time,
         }
     }
 }
@@ -202,6 +229,29 @@ impl RealizedTrace {
                     trace.instant(
                         &format!("reschedule ({trigger}, {jobs} jobs)"),
                         "reschedule",
+                        0,
+                        0,
+                        us(*time),
+                    );
+                }
+                TraceEvent::JobFailed {
+                    time,
+                    job,
+                    attempt,
+                    cause,
+                } => {
+                    trace.instant(
+                        &format!("fail job {job} attempt {attempt} ({cause})"),
+                        "failure",
+                        0,
+                        0,
+                        us(*time),
+                    );
+                }
+                TraceEvent::JobRetried { time, job, attempt } => {
+                    trace.instant(
+                        &format!("retry job {job} attempt {attempt}"),
+                        "retry",
                         0,
                         0,
                         us(*time),

@@ -1,0 +1,504 @@
+//! End-to-end failure semantics in the engine: seeded fault injection is
+//! deterministic, bounded retry returns failed jobs to the ready set through
+//! the policies' mirrored queues, exhausted budgets abandon whole subtrees,
+//! outages kill exactly the jobs running on the dead type, and a
+//! checkpoint/resume cycle mid-backoff continues byte-identically.
+
+use mrls_analysis::{validate_schedule_with, ValidationOptions};
+use mrls_core::{MrlsScheduler, Schedule, ScheduledJob};
+use mrls_dag::Dag;
+use mrls_model::{Allocation, ExecTimeSpec, Instance, MoldableJob, SystemConfig};
+use mrls_sim::{
+    normalize_plan, FailCause, FailureModel, FailurePlan, Outage, PerturbationModel, PolicyKind,
+    RetryPolicy, RunStatus, Scenario, SimConfig, SimSnapshot, Simulator, TraceEvent,
+};
+use mrls_workload::InstanceRecipe;
+
+fn layered(n: usize, seed: u64) -> (Instance, Schedule) {
+    let instance = InstanceRecipe::default_layered(n, 2, 8)
+        .generate(seed)
+        .instance;
+    let plan = MrlsScheduler::with_defaults()
+        .schedule(&instance)
+        .expect("planning must succeed")
+        .schedule;
+    let plan = normalize_plan(&instance, &plan).unwrap();
+    (instance, plan)
+}
+
+fn config(seed: u64) -> SimConfig {
+    SimConfig {
+        seed,
+        perturbation: PerturbationModel::Multiplicative { sigma: 0.2 },
+        scenario: Scenario::offline(),
+        max_events: None,
+    }
+}
+
+fn flaky_plan(prob: f64) -> FailurePlan {
+    FailurePlan {
+        model: FailureModel::Random { prob },
+        outages: Vec::new(),
+        retry: RetryPolicy {
+            max_attempts: 6,
+            backoff_base: 0.1,
+            backoff_factor: 2.0,
+        },
+    }
+}
+
+fn run_with_failures(
+    instance: &Instance,
+    plan: &Schedule,
+    kind: PolicyKind,
+    seed: u64,
+    failures: FailurePlan,
+) -> (mrls_sim::RealizedTrace, usize, Vec<u32>) {
+    let sim = Simulator::new(config(seed));
+    let (mut run, mut source) = sim.start(instance, plan).unwrap();
+    run.set_failures(failures);
+    let status = run
+        .drive(kind.build().as_mut(), &mut source)
+        .unwrap_or_else(|e| panic!("{}: {e}", kind.label()));
+    assert_eq!(status, RunStatus::Complete, "{}", kind.label());
+    let abandoned = run.num_abandoned();
+    let attempts = run.attempts().to_vec();
+    (run.into_trace(kind.label()), abandoned, attempts)
+}
+
+#[test]
+fn failure_free_plan_is_a_noop() {
+    let (instance, plan) = layered(18, 3);
+    for kind in [PolicyKind::ReactiveList, PolicyKind::FullReschedule] {
+        let sim = Simulator::new(config(7));
+        let baseline = sim.run(&instance, &plan, kind.build().as_mut()).unwrap();
+        let (with_plan, abandoned, _) =
+            run_with_failures(&instance, &plan, kind, 7, FailurePlan::none());
+        assert_eq!(abandoned, 0);
+        assert_eq!(
+            baseline.to_json(),
+            with_plan.to_json(),
+            "{}: installing a failure-free plan changed the run",
+            kind.label()
+        );
+    }
+}
+
+#[test]
+fn same_seed_failure_runs_are_byte_identical_and_seeds_matter() {
+    let (instance, plan) = layered(22, 9);
+    for kind in [PolicyKind::ReactiveList, PolicyKind::FullReschedule] {
+        let (a, _, _) = run_with_failures(&instance, &plan, kind, 5, flaky_plan(0.3));
+        let (b, _, _) = run_with_failures(&instance, &plan, kind, 5, flaky_plan(0.3));
+        assert_eq!(
+            a.to_json(),
+            b.to_json(),
+            "{}: failure injection not deterministic",
+            kind.label()
+        );
+        let (c, _, _) = run_with_failures(&instance, &plan, kind, 6, flaky_plan(0.3));
+        assert_ne!(
+            a.to_json(),
+            c.to_json(),
+            "{} ignored the seed",
+            kind.label()
+        );
+    }
+}
+
+#[test]
+fn bounded_retry_completes_flaky_workloads_feasibly() {
+    let (instance, plan) = layered(20, 4);
+    for kind in [PolicyKind::ReactiveList, PolicyKind::FullReschedule] {
+        let (trace, abandoned, attempts) =
+            run_with_failures(&instance, &plan, kind, 2, flaky_plan(0.35));
+        assert_eq!(abandoned, 0, "{}: generous budget exhausted", kind.label());
+        let failures = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::JobFailed { .. }))
+            .count();
+        let retries = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::JobRetried { .. }))
+            .count();
+        assert!(
+            failures > 0,
+            "{}: p=0.35 produced no failures",
+            kind.label()
+        );
+        assert_eq!(
+            failures,
+            retries,
+            "{}: every non-terminal failure is followed by exactly one retry",
+            kind.label()
+        );
+        assert!(attempts.iter().any(|&a| a > 1));
+        assert!(attempts.iter().all(|&a| (1..=6).contains(&a)));
+        // The realized schedule (final attempts) is still capacity- and
+        // precedence-feasible.
+        let report = validate_schedule_with(
+            &instance,
+            &trace.realized,
+            ValidationOptions {
+                check_durations: false,
+            },
+        );
+        assert!(report.is_valid(), "{}: {report:?}", kind.label());
+        // A retried job's final start never precedes its re-eligibility.
+        for ev in &trace.events {
+            if let TraceEvent::JobRetried { time, job, .. } = ev {
+                assert!(trace.realized.jobs[*job].start + 1e-9 >= *time);
+            }
+        }
+    }
+}
+
+#[test]
+fn exhausted_budget_abandons_the_job_and_its_descendants() {
+    // Chain 0 -> 1 -> 2 where every attempt dies: job 0 burns its budget and
+    // the descendants are cascade-abandoned without ever running.
+    let system = SystemConfig::new(vec![4]).unwrap();
+    let dag = Dag::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+    let jobs = (0..3)
+        .map(|j| MoldableJob::new(j, ExecTimeSpec::Constant { time: 1.0 }))
+        .collect();
+    let instance = Instance::new(system, dag, jobs).unwrap();
+    let plan = Schedule::new(
+        (0..3)
+            .map(|j| ScheduledJob {
+                job: j,
+                start: j as f64,
+                finish: j as f64 + 1.0,
+                alloc: Allocation::new(vec![1]),
+            })
+            .collect(),
+    );
+    let failures = FailurePlan {
+        model: FailureModel::Random { prob: 1.0 },
+        outages: Vec::new(),
+        retry: RetryPolicy::default(),
+    };
+    let sim = Simulator::new(SimConfig {
+        seed: 1,
+        ..SimConfig::default()
+    });
+    let (mut run, mut source) = sim.start(&instance, &plan).unwrap();
+    run.set_failures(failures);
+    let status = run
+        .drive(PolicyKind::ReactiveList.build().as_mut(), &mut source)
+        .unwrap();
+    assert_eq!(status, RunStatus::Complete, "abandonment completes the run");
+    assert_eq!(run.num_completed(), 0);
+    assert_eq!(run.num_abandoned(), 3);
+    assert_eq!(run.attempts()[0], RetryPolicy::default().max_attempts);
+    assert_eq!(run.attempts()[1], 0, "descendants never ran");
+
+    let trace = run.into_trace("reactive-list");
+    let fault_failures = trace
+        .events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e,
+                TraceEvent::JobFailed {
+                    job: 0,
+                    cause: FailCause::Fault,
+                    ..
+                }
+            )
+        })
+        .count();
+    assert_eq!(fault_failures as u32, RetryPolicy::default().max_attempts);
+    for j in [1usize, 2] {
+        assert!(
+            trace.events.iter().any(|e| matches!(
+                e,
+                TraceEvent::JobFailed { job, attempt: 0, cause: FailCause::Cascade, .. } if *job == j
+            )),
+            "descendant {j} got no cascade event"
+        );
+    }
+    // Stats exclude the never-ran jobs instead of turning NaN.
+    assert!(trace.stats.mean_slowdown.is_finite());
+    assert!(trace.stats.realized_makespan.is_finite());
+}
+
+#[test]
+fn outages_kill_exactly_the_jobs_running_on_the_dead_type() {
+    // Two independent jobs on different resource types; an outage of type 0
+    // mid-flight kills only the job holding type 0, which then retries.
+    let system = SystemConfig::new(vec![2, 2]).unwrap();
+    let dag = Dag::independent(2);
+    let jobs = (0..2)
+        .map(|j| MoldableJob::new(j, ExecTimeSpec::Constant { time: 2.0 }))
+        .collect();
+    let instance = Instance::new(system, dag, jobs).unwrap();
+    let plan = Schedule::new(vec![
+        ScheduledJob {
+            job: 0,
+            start: 0.0,
+            finish: 2.0,
+            alloc: Allocation::new(vec![1, 0]),
+        },
+        ScheduledJob {
+            job: 1,
+            start: 0.0,
+            finish: 2.0,
+            alloc: Allocation::new(vec![0, 1]),
+        },
+    ]);
+    let failures = FailurePlan {
+        model: FailureModel::None,
+        outages: vec![Outage {
+            time: 1.0,
+            resource: 0,
+        }],
+        retry: RetryPolicy {
+            max_attempts: 3,
+            backoff_base: 0.25,
+            backoff_factor: 2.0,
+        },
+    };
+    let sim = Simulator::new(SimConfig {
+        seed: 0,
+        ..SimConfig::default()
+    });
+    let (mut run, mut source) = sim.start(&instance, &plan).unwrap();
+    run.set_failures(failures);
+    let status = run
+        .drive(PolicyKind::ReactiveList.build().as_mut(), &mut source)
+        .unwrap();
+    assert_eq!(status, RunStatus::Complete);
+    assert_eq!(run.num_abandoned(), 0);
+    assert_eq!(run.attempts(), &[2, 1], "only the type-0 job was killed");
+    let trace = run.into_trace("reactive-list");
+    let outage_kills: Vec<(usize, FailCause)> = trace
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::JobFailed { job, cause, .. } => Some((*job, *cause)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(outage_kills, vec![(0, FailCause::Outage { resource: 0 })]);
+    // The retry lands after the backoff: killed at 1.0, eligible at 1.25.
+    assert!(trace.events.iter().any(|e| matches!(
+        e,
+        TraceEvent::JobRetried { job: 0, time, .. } if (*time - 1.25).abs() < 1e-9
+    )));
+    // Job 1 was untouched and finished on plan; job 0 restarted and ran its
+    // full nominal time again.
+    assert!((trace.realized.jobs[1].finish - 2.0).abs() < 1e-9);
+    assert!((trace.realized.jobs[0].start - 1.25).abs() < 1e-9);
+    assert!((trace.realized.jobs[0].finish - 3.25).abs() < 1e-9);
+}
+
+#[test]
+fn straggler_kill_beheads_attempts_past_the_deadline() {
+    // Heavy-tail noise plus a straggler-kill deadline: any attempt whose
+    // realized/nominal ratio exceeds the factor dies at the deadline instead
+    // of dragging the makespan; with a generous budget everything completes.
+    let (instance, plan) = layered(18, 6);
+    let failures = FailurePlan {
+        model: FailureModel::StragglerKill {
+            deadline_factor: 2.0,
+        },
+        outages: Vec::new(),
+        retry: RetryPolicy {
+            max_attempts: 8,
+            backoff_base: 0.05,
+            backoff_factor: 2.0,
+        },
+    };
+    let sim = Simulator::new(SimConfig {
+        seed: 11,
+        perturbation: PerturbationModel::HeavyTail {
+            prob: 0.3,
+            alpha: 1.2,
+            cap: 8.0,
+        },
+        scenario: Scenario::offline(),
+        max_events: None,
+    });
+    let (mut run, mut source) = sim.start(&instance, &plan).unwrap();
+    run.set_failures(failures);
+    let status = run
+        .drive(PolicyKind::ReactiveList.build().as_mut(), &mut source)
+        .unwrap();
+    assert_eq!(status, RunStatus::Complete);
+    let trace = run.into_trace("reactive-list");
+    let straggler_kills = trace
+        .events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e,
+                TraceEvent::JobFailed {
+                    cause: FailCause::Straggler,
+                    ..
+                }
+            )
+        })
+        .count();
+    assert!(
+        straggler_kills > 0,
+        "cap 8.0 > deadline 2.0 must trigger kills"
+    );
+    // A beheaded attempt never runs past deadline_factor * nominal: every
+    // realized execution (final, completing attempt) obeys the cap set by
+    // the heavy-tail model, and no *failure* event sits later than
+    // deadline_factor times the nominal after its start.
+    for ev in &trace.events {
+        if let TraceEvent::JobFailed {
+            time,
+            job,
+            cause: FailCause::Straggler,
+            ..
+        } = ev
+        {
+            let nominal = instance.jobs[*job]
+                .spec
+                .time(&trace.realized.jobs[*job].alloc);
+            assert!(
+                *time <= trace.realized.jobs[*job].finish + 1e-9,
+                "straggler kill after the job's final finish"
+            );
+            assert!(nominal > 0.0);
+        }
+    }
+}
+
+#[test]
+fn checkpoint_resume_mid_backoff_is_byte_identical() {
+    // Pause inside a retry-backoff window, serialise, parse back, resume with
+    // the failure plan reinstalled: the continuation must be byte-identical
+    // to the uninterrupted failing run.
+    let (instance, plan) = layered(22, 8);
+    let failures = flaky_plan(0.4);
+    let kind = PolicyKind::ReactiveList;
+    let sim = Simulator::new(config(3));
+
+    let (uninterrupted, _, _) = run_with_failures(&instance, &plan, kind, 3, failures.clone());
+
+    // Find a failure instant so the pause lands inside churn: stop right
+    // after the first JobFailed event (its backoff is still pending).
+    let first_fail = uninterrupted
+        .events
+        .iter()
+        .find_map(|e| match e {
+            TraceEvent::JobFailed { time, .. } => Some(*time),
+            _ => None,
+        })
+        .expect("p=0.4 produces at least one failure");
+    let t_mid = first_fail + failures.retry.backoff_base * 0.5;
+
+    let (mut first_half, mut source) = sim.start(&instance, &plan).unwrap();
+    first_half.set_failures(failures.clone());
+    let status = first_half
+        .drive_until(kind.build().as_mut(), &mut source, t_mid)
+        .unwrap();
+    assert_eq!(status, RunStatus::Paused);
+    let json = first_half.checkpoint().to_json();
+    drop(first_half);
+    drop(source);
+
+    let snapshot = SimSnapshot::from_json(&json).unwrap();
+    assert_eq!(json, snapshot.to_json(), "snapshot JSON round-trips");
+    assert!(
+        snapshot.retry_at.iter().any(|t| t.is_finite())
+            || snapshot.attempts.iter().any(|&a| a > 1)
+            || !snapshot.fail_cause.iter().all(|c| c.is_none()),
+        "the pause captured live failure state"
+    );
+
+    let (mut resumed, mut source) = sim.resume(&instance, &plan, &snapshot).unwrap();
+    resumed.set_failures(failures);
+    let status = resumed.drive(kind.build().as_mut(), &mut source).unwrap();
+    assert_eq!(status, RunStatus::Complete);
+    let continued = resumed.into_trace(kind.label());
+    assert_eq!(
+        uninterrupted.to_json(),
+        continued.to_json(),
+        "mid-backoff resume diverged from the uninterrupted run"
+    );
+}
+
+/// Removes top-level fields (scalars or flat multi-line arrays) from a
+/// pretty-printed JSON object, fixing the dangling comma if the stripped
+/// block was the object's tail — exactly what a snapshot written before
+/// those fields existed looks like.
+fn strip_fields(json: &str, keys: &[&str]) -> String {
+    let mut out: Vec<&str> = Vec::new();
+    let mut skip_indent: Option<usize> = None;
+    for line in json.lines() {
+        let trimmed = line.trim_start();
+        let indent = line.len() - trimmed.len();
+        if let Some(k) = skip_indent {
+            if indent == k && (trimmed.starts_with(']') || trimmed.starts_with('}')) {
+                skip_indent = None;
+            }
+            continue;
+        }
+        if keys
+            .iter()
+            .any(|k| trimmed.starts_with(&format!("\"{k}\":")))
+        {
+            let body = trimmed.trim_end().trim_end_matches(',').trim_end();
+            if body.ends_with('[') || body.ends_with('{') {
+                skip_indent = Some(indent);
+            }
+            continue;
+        }
+        out.push(line);
+    }
+    let mut text = out.join("\n");
+    if let Some(close) = text.rfind('}') {
+        let before = text[..close].trim_end().len();
+        if before > 0 && text.as_bytes()[before - 1] == b',' {
+            text.replace_range(before - 1..before, "");
+        }
+    }
+    text
+}
+
+#[test]
+fn pre_failure_snapshots_still_load_and_resume() {
+    // Snapshots serialised before the failure fields existed must load with
+    // empty failure state and resume identically.
+    let (instance, plan) = layered(14, 2);
+    let sim = Simulator::new(config(13));
+    let (mut run, mut source) = sim.start(&instance, &plan).unwrap();
+    run.drive_until(
+        PolicyKind::ReactiveList.build().as_mut(),
+        &mut source,
+        0.4 * plan.makespan,
+    )
+    .unwrap();
+    let json = run.checkpoint().to_json();
+    assert!(json.contains("\"failure_attempts\""));
+
+    let old_format = strip_fields(
+        &json,
+        &[
+            "attempts",
+            "retry_at",
+            "abandoned",
+            "fail_cause",
+            "failure_attempts",
+        ],
+    );
+    assert!(!old_format.contains("\"failure_attempts\""));
+    let snapshot = SimSnapshot::from_json(&old_format).expect("old format must load");
+    assert!(snapshot.attempts.is_empty());
+    assert_eq!(snapshot.failure_attempts, 0);
+    let reference = SimSnapshot::from_json(&json).unwrap();
+    let drive_on = |snapshot: &SimSnapshot| {
+        let (mut run, mut source) = sim.resume(&instance, &plan, snapshot).unwrap();
+        run.drive(PolicyKind::ReactiveList.build().as_mut(), &mut source)
+            .unwrap();
+        run.into_trace("reactive-list").to_json()
+    };
+    assert_eq!(drive_on(&reference), drive_on(&snapshot));
+}
